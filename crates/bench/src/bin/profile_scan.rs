@@ -1,0 +1,62 @@
+//! Ad-hoc profiling helper: where does the core ψ scan spend its time?
+//! Not part of the experiment suite; kept for performance work.
+use mlql_bench::{load_names_table, mural_db, timed};
+use mlql_phonetics::distance::DistanceBuffer;
+
+fn main() {
+    let n = 50_000;
+    let (mut db, mural) = mural_db();
+    load_names_table(&mut db, &mural, "names", n, 1).unwrap();
+    db.execute("SET lexequal.threshold = 3").unwrap();
+
+    // Full SQL scan.
+    let (r, secs) = timed(|| {
+        db.execute("SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')")
+            .unwrap()
+    });
+    println!("sql scan:        {secs:.4}s  ({:.2} us/row)  count={}", secs / n as f64 * 1e6, r.rows[0][0]);
+
+    // Plain count(*) (no predicate) — executor + decode baseline.
+    let (_, secs_plain) = timed(|| db.execute("SELECT count(*) FROM names").unwrap());
+    println!("plain count(*):  {secs_plain:.4}s  ({:.2} us/row)", secs_plain / n as f64 * 1e6);
+
+    // Filter on a cheap predicate (text compare on a TEXT col absent; use name = name? skip).
+
+    // Raw loop over decoded rows (no SQL).
+    let rows = db.query("SELECT name FROM names").unwrap();
+    let probe = mural.unitext("Nehru", "English").unwrap();
+    let (cnt, secs2) = timed(|| {
+        let mut c = 0;
+        for row in &rows {
+            if mlql_mural::lexequal::psi_matches(&row[0], &probe, 3, &mural.converters).unwrap() {
+                c += 1;
+            }
+        }
+        c
+    });
+    println!("psi_matches raw: {secs2:.4}s  ({:.2} us/row) count={cnt}", secs2 / n as f64 * 1e6);
+
+    // Pure banded distance on pre-extracted slices.
+    let phs: Vec<Vec<u8>> = rows
+        .iter()
+        .map(|r| {
+            let (_, bytes) = r[0].as_ext().unwrap();
+            mlql_mural::types::phoneme_slice(bytes).unwrap().to_vec()
+        })
+        .collect();
+    let q = {
+        let (_, bytes) = probe.as_ext().unwrap();
+        mlql_mural::types::phoneme_slice(bytes).unwrap().to_vec()
+    };
+    let (cnt2, secs3) = timed(|| {
+        let mut buf = DistanceBuffer::new();
+        let mut c = 0;
+        for p in &phs {
+            if buf.distance_within(p, &q, 3).is_some() {
+                c += 1;
+            }
+        }
+        c
+    });
+    println!("banded only:     {secs3:.4}s  ({:.2} us/row) count={cnt2}", secs3 / n as f64 * 1e6);
+}

@@ -1,0 +1,106 @@
+//! The Books.com catalog (Figure 1) at arbitrary scale.
+
+use crate::names::{names_dataset, NamesConfig};
+use mlql_unitext::{LanguageRegistry, UniText};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One catalog row: the columns of the paper's Figure 1.
+#[derive(Debug, Clone)]
+pub struct BookRecord {
+    /// Book id.
+    pub id: i64,
+    /// Author name (multilingual).
+    pub author: UniText,
+    /// Title (multilingual; synthesized per language).
+    pub title: UniText,
+    /// Category (multilingual concept — a word form from the taxonomy).
+    pub category: UniText,
+    /// Display language name.
+    pub language: String,
+    /// Price.
+    pub price: f64,
+}
+
+/// Categories of the worked-example fragment, per language.
+const CATEGORIES: &[(&str, &str)] = &[
+    ("History", "English"),
+    ("Historiography", "English"),
+    ("Biography", "English"),
+    ("Autobiography", "English"),
+    ("Fiction", "English"),
+    ("Novel", "English"),
+    ("Histoire", "French"),
+    ("Biographie", "French"),
+    ("சரித்திரம்", "Tamil"),
+];
+
+const TITLE_WORDS: &[&str] = &[
+    "glimpses", "history", "letters", "discovery", "freedom", "india", "world", "story",
+    "midnight", "truth", "experiments", "wings", "fire", "river", "song",
+];
+
+/// Generate `n` catalog rows (deterministic).
+pub fn books_catalog(registry: &LanguageRegistry, n: usize, seed: u64) -> Vec<BookRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let authors = names_dataset(
+        registry,
+        &NamesConfig { records: n.max(1), noise: 0.2, seed: seed ^ 0xbeef, ..NamesConfig::default() },
+    );
+    let mut out = Vec::with_capacity(n);
+    for (i, author_rec) in authors.into_iter().enumerate().take(n) {
+        let (cat, cat_lang) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+        let lang_name = registry
+            .get(author_rec.name.lang())
+            .map(|l| l.name.clone())
+            .unwrap_or_else(|| "Unknown".into());
+        let w1 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let w2 = TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())];
+        let title = UniText::compose(format!("{w1} {w2} {i}"), author_rec.name.lang());
+        out.push(BookRecord {
+            id: i as i64,
+            author: author_rec.name,
+            title,
+            category: UniText::compose(cat, registry.id_of(cat_lang)),
+            language: lang_name,
+            price: 5.0 + rng.gen_range(0..4500) as f64 / 100.0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_n_rows_deterministically() {
+        let reg = LanguageRegistry::new();
+        let a = books_catalog(&reg, 500, 42);
+        let b = books_catalog(&reg, 500, 42);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a[123].author, b[123].author);
+        assert_eq!(a[123].price, b[123].price);
+    }
+
+    #[test]
+    fn categories_span_languages() {
+        let reg = LanguageRegistry::new();
+        let rows = books_catalog(&reg, 1000, 7);
+        let fr = reg.id_of("French");
+        let ta = reg.id_of("Tamil");
+        assert!(rows.iter().any(|r| r.category.lang() == fr));
+        assert!(rows.iter().any(|r| r.category.lang() == ta));
+        assert!(rows.iter().any(|r| r.category.text() == "History"));
+    }
+
+    #[test]
+    fn ids_are_sequential_and_prices_bounded() {
+        let reg = LanguageRegistry::new();
+        let rows = books_catalog(&reg, 100, 1);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.id, i as i64);
+            assert!((5.0..50.0).contains(&r.price));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # Datagen — deterministic multilingual datasets and workloads
+//!
+//! The paper's evaluation used a pre-tagged multilingual names dataset
+//! (~50 K records) and the English WordNet; neither is shippable here, so
+//! this crate fabricates equivalents with the same statistical structure
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`names`] — a seed list of romanized Indian & Western surnames
+//!   expanded across scripts (Latin, Devanagari, Tamil, Kannada) with
+//!   controlled orthographic noise, giving known cross-script homophone
+//!   clusters.
+//! * [`books`] — the Books.com catalog of the paper's Figure 1, at any
+//!   scale, with multilingual authors, titles and categories drawn from
+//!   the taxonomy fragment.
+//! * [`workload`] — query workload generators for the optimizer-validation
+//!   experiment (Figure 6).
+
+pub mod books;
+pub mod names;
+pub mod workload;
+
+pub use books::{books_catalog, BookRecord};
+pub use names::{names_dataset, NameRecord, NamesConfig};
+pub use workload::{fig6_workload, WorkloadQuery};

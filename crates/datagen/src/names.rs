@@ -1,0 +1,266 @@
+//! Multilingual names dataset generator (the ψ evaluation corpus, §5.1).
+
+use mlql_phonetics::indic::IndicScript;
+use mlql_phonetics::translit::to_indic;
+use mlql_unitext::{LanguageRegistry, UniText};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed list of romanized surnames (Indian + Western), the base homophone
+/// classes of the generated corpus.
+pub const SEED_NAMES: &[&str] = &[
+    "nehru", "gandhi", "patel", "bose", "naidu", "kumar", "sharma", "gupta", "reddy", "iyer",
+    "menon", "pillai", "rao", "verma", "mishra", "chopra", "kapoor", "malhotra", "banerjee",
+    "mukherjee", "chatterjee", "ghosh", "dutta", "sen", "das", "roy", "singh", "yadav", "joshi",
+    "desai", "mehta", "shah", "trivedi", "pandey", "tiwari", "dubey", "saxena", "srivastava",
+    "agarwal", "jain", "khanna", "bhatia", "arora", "sethi", "anand", "bhatt", "nair", "kurup",
+    "raman", "krishnan", "subramanian", "venkatesan", "natarajan", "sundaram", "rajan",
+    "chandran", "balan", "mohan", "prasad", "murthy", "hegde", "shetty", "kamath", "pai",
+    "bhandary", "gowda", "miller", "meyer", "smith", "johnson", "brown", "taylor", "walker",
+    "lewis", "clark", "hall", "allen", "young", "king", "wright", "scott", "green", "baker",
+    "adams", "nelson", "carter", "mitchell", "roberts", "turner", "phillips", "campbell",
+    "parker", "evans", "edwards", "collins", "stewart", "morris", "rogers", "reed", "cook",
+    "morgan", "bell", "murphy", "bailey", "rivera", "cooper",
+];
+
+/// One generated record.
+#[derive(Debug, Clone)]
+pub struct NameRecord {
+    /// The multilingual name.
+    pub name: UniText,
+    /// Index of the seed name this record derives from (records sharing a
+    /// seed are ground-truth homophones — used to sanity-check recall).
+    pub seed: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct NamesConfig {
+    /// Total number of records (the paper used ≈ 50 000).
+    pub records: usize,
+    /// Probability of injecting one orthographic noise edit into a
+    /// romanized variant (models spelling variation in real tagged data).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct name stems.  The curated [`SEED_NAMES`] come
+    /// first; the rest are synthesized pronounceable stems.  Real tagged
+    /// name corpora are mostly-distinct (the paper's 50 K set), which is
+    /// what makes metric-index pruning hard — a low stem count would make
+    /// the M-Tree look unrealistically effective.
+    pub distinct: usize,
+}
+
+impl Default for NamesConfig {
+    fn default() -> Self {
+        NamesConfig { records: 50_000, noise: 0.25, seed: 0xa11ce, distinct: 8000 }
+    }
+}
+
+/// Deterministic pronounceable stem for seed indexes beyond the curated
+/// list: 2–4 CV(C) syllables.
+fn synth_stem(ordinal: usize) -> String {
+    const ONSETS: [&str; 16] = [
+        "k", "t", "n", "r", "s", "m", "d", "p", "l", "b", "g", "v", "ch", "sh", "j", "h",
+    ];
+    const VOWELS: [&str; 7] = ["a", "e", "i", "o", "u", "aa", "ee"];
+    const CODAS: [&str; 6] = ["", "", "n", "r", "l", "m"];
+    let mut x = ordinal.wrapping_mul(0x9e3779b9).wrapping_add(0x5bd1e995);
+    let syllables = 2 + (x % 3);
+    x /= 3;
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push_str(ONSETS[x % ONSETS.len()]);
+        x = x / ONSETS.len() + 0x1234567;
+        s.push_str(VOWELS[x % VOWELS.len()]);
+        x = x / VOWELS.len() + 0x89abcd;
+        s.push_str(CODAS[x % CODAS.len()]);
+        x = x / CODAS.len() + 0xfeed;
+    }
+    s
+}
+
+/// The romanized stem for a seed index (curated first, synthetic beyond).
+pub fn stem(seed: usize) -> String {
+    if seed < SEED_NAMES.len() {
+        SEED_NAMES[seed].to_string()
+    } else {
+        synth_stem(seed)
+    }
+}
+
+/// Small orthographic edits that preserve pronounceability.
+fn perturb(name: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 3 {
+        return name.to_string();
+    }
+    let mut out = chars.clone();
+    match rng.gen_range(0..4) {
+        // double a consonant
+        0 => {
+            let i = rng.gen_range(1..out.len());
+            let c = out[i];
+            if !"aeiou".contains(c) {
+                out.insert(i, c);
+            }
+        }
+        // swap a vowel
+        1 => {
+            let vowels = ['a', 'e', 'i', 'o', 'u'];
+            if let Some(i) = (0..out.len()).find(|&i| vowels.contains(&out[i])) {
+                out[i] = vowels[rng.gen_range(0..vowels.len())];
+            }
+        }
+        // drop an 'h'
+        2 => {
+            if let Some(i) = out.iter().position(|&c| c == 'h') {
+                out.remove(i);
+            }
+        }
+        // append a vowel
+        _ => out.push(['a', 'u'][rng.gen_range(0..2)]),
+    }
+    out.into_iter().collect()
+}
+
+/// Generate the multilingual names corpus: each record picks a seed name,
+/// optionally perturbs its romanization, then renders it in one of the
+/// four scripts (tagged with the corresponding language).
+pub fn names_dataset(registry: &LanguageRegistry, config: &NamesConfig) -> Vec<NameRecord> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let en = registry.id_of("English");
+    let hi = registry.id_of("Hindi");
+    let ta = registry.id_of("Tamil");
+    let kn = registry.id_of("Kannada");
+    let distinct = config.distinct.max(1);
+    let mut out = Vec::with_capacity(config.records);
+    for i in 0..config.records {
+        let seed = i % distinct;
+        let mut roman = stem(seed);
+        if rng.gen_bool(config.noise) {
+            roman = perturb(&roman, &mut rng);
+        }
+        let name = match rng.gen_range(0..4) {
+            0 => UniText::compose(title_case(&roman), en),
+            1 => UniText::compose(to_indic(IndicScript::Devanagari, &roman), hi),
+            2 => UniText::compose(to_indic(IndicScript::Tamil, &roman), ta),
+            _ => UniText::compose(to_indic(IndicScript::Kannada, &roman), kn),
+        };
+        out.push(NameRecord { name, seed });
+    }
+    out
+}
+
+fn title_case(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlql_phonetics::distance::within_distance;
+    use mlql_phonetics::ConverterRegistry;
+
+    fn small() -> (LanguageRegistry, Vec<NameRecord>) {
+        let reg = LanguageRegistry::new();
+        let cfg = NamesConfig { records: 2000, ..NamesConfig::default() };
+        let records = names_dataset(&reg, &cfg);
+        (reg, records)
+    }
+
+    #[test]
+    fn deterministic_and_sized() {
+        let (reg, a) = small();
+        let b = names_dataset(&reg, &NamesConfig { records: 2000, ..NamesConfig::default() });
+        assert_eq!(a.len(), 2000);
+        assert_eq!(a[17].name, b[17].name);
+    }
+
+    #[test]
+    fn covers_all_four_languages() {
+        let (reg, records) = small();
+        for lang in ["English", "Hindi", "Tamil", "Kannada"] {
+            let id = reg.id_of(lang);
+            assert!(
+                records.iter().any(|r| r.name.lang() == id),
+                "no records in {lang}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_records_are_phonetically_close() {
+        // Few stems so each seed has many sibling records.
+        let reg = LanguageRegistry::new();
+        let records = names_dataset(
+            &reg,
+            &NamesConfig { records: 2000, distinct: 100, ..NamesConfig::default() },
+        );
+        let convs = ConverterRegistry::with_builtins(&reg);
+        // For each seed, most same-seed cross-record pairs should fall
+        // within edit distance 3 of each other (noise adds ≤ ~2).
+        let nehru: Vec<&NameRecord> = records.iter().filter(|r| r.seed == 0).take(12).collect();
+        assert!(nehru.len() >= 4);
+        let mut close = 0;
+        let mut total = 0;
+        for i in 0..nehru.len() {
+            for j in i + 1..nehru.len() {
+                let a = convs.phonemes_of(&nehru[i].name);
+                let b = convs.phonemes_of(&nehru[j].name);
+                total += 1;
+                if within_distance(a.as_bytes(), b.as_bytes(), 3) {
+                    close += 1;
+                }
+            }
+        }
+        assert!(
+            close * 10 >= total * 7,
+            "same-seed pairs should usually be close: {close}/{total}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_are_usually_far() {
+        let reg = LanguageRegistry::new();
+        let records = names_dataset(
+            &reg,
+            &NamesConfig { records: 2000, distinct: 100, ..NamesConfig::default() },
+        );
+        let convs = ConverterRegistry::with_builtins(&reg);
+        let a = convs.phonemes_of(&records.iter().find(|r| r.seed == 0).unwrap().name);
+        let b = convs.phonemes_of(&records.iter().find(|r| r.seed == 1).unwrap().name);
+        // nehru vs gandhi: far apart.
+        assert!(!within_distance(a.as_bytes(), b.as_bytes(), 3));
+    }
+
+    #[test]
+    fn synthetic_stems_unique_and_pronounceable() {
+        let mut seen = std::collections::HashSet::new();
+        let mut dups = 0;
+        for i in SEED_NAMES.len()..SEED_NAMES.len() + 4000 {
+            let s = stem(i);
+            assert!(s.len() >= 3, "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            if !seen.insert(s) {
+                dups += 1;
+            }
+        }
+        // Hash-derived stems may collide occasionally; they must stay rare.
+        assert!(dups < 400, "{dups} duplicate stems in 4000");
+    }
+
+    #[test]
+    fn perturbations_stay_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in SEED_NAMES.iter().take(20) {
+            let p = perturb(seed, &mut rng);
+            let d = mlql_phonetics::distance::edit_distance(seed.as_bytes(), p.as_bytes());
+            assert!(d <= 2, "{seed} -> {p} distance {d}");
+        }
+    }
+}

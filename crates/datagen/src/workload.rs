@@ -1,0 +1,76 @@
+//! Workload generator for the optimizer-validation experiment (Figure 6).
+//!
+//! §5.2: "a set of tables of varying characteristics (in terms of attribute
+//! count and attribute size) were created and populated with different data
+//! sets (with varying record counts and number of database blocks).  Then
+//! the selected queries were run over a range of selectivities (by
+//! appropriately setting the threshold parameters) ... between different
+//! runs of the same query, duplicate records were introduced in the tables
+//! and the histograms rebuilt".
+//!
+//! [`fig6_workload`] produces that grid as declarative descriptions the
+//! harness turns into DDL + loads + queries.
+
+/// One Figure-6 configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Left table row count.
+    pub left_rows: usize,
+    /// Right table row count.
+    pub right_rows: usize,
+    /// Extra filler columns (attribute count variation).
+    pub filler_cols: usize,
+    /// Filler column width in characters (attribute size variation).
+    pub filler_width: usize,
+    /// ψ threshold for the run (selectivity variation).
+    pub threshold: i64,
+    /// Duplication factor applied before re-ANALYZE (histogram variation).
+    pub duplication: usize,
+}
+
+/// The experiment grid.  `scale` multiplies the base table sizes so the
+/// harness can run quick (scale 1) or paper-scale (scale 8+) sweeps.
+pub fn fig6_workload(scale: usize) -> Vec<WorkloadQuery> {
+    let scale = scale.max(1);
+    let mut out = Vec::new();
+    for &(l, r) in &[(300, 300), (800, 400), (1500, 750)] {
+        for &(cols, width) in &[(0, 0), (2, 24), (4, 64)] {
+            for &k in &[1i64, 2, 3] {
+                for &dup in &[1usize, 2] {
+                    out.push(WorkloadQuery {
+                        left_rows: l * scale,
+                        right_rows: r * scale,
+                        filler_cols: cols,
+                        filler_width: width,
+                        threshold: k,
+                        duplication: dup,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_dimensions() {
+        let w = fig6_workload(1);
+        assert_eq!(w.len(), 3 * 3 * 3 * 2);
+        assert!(w.iter().any(|q| q.filler_cols == 4));
+        assert!(w.iter().any(|q| q.threshold == 3));
+        assert!(w.iter().any(|q| q.duplication == 2));
+        let sizes: std::collections::HashSet<usize> = w.iter().map(|q| q.left_rows).collect();
+        assert_eq!(sizes.len(), 3);
+    }
+
+    #[test]
+    fn scale_multiplies_rows() {
+        let a = fig6_workload(1);
+        let b = fig6_workload(4);
+        assert_eq!(b[0].left_rows, a[0].left_rows * 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// All the ways engine operations can fail.
+#[derive(Debug)]
+pub enum Error {
+    /// SQL lexing/parsing failure.
+    Parse(String),
+    /// Name resolution / typing failure (unknown table, column, operator,
+    /// type mismatch...).
+    Binder(String),
+    /// Catalog constraint violated (duplicate table, unknown index, ...).
+    Catalog(String),
+    /// Storage-layer failure (page corruption, backend I/O, WAL).
+    Storage(String),
+    /// Executor runtime failure (e.g. division by zero).
+    Execution(String),
+    /// Procedural-language runtime failure.
+    Pl(String),
+    /// Underlying OS I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Binder(m) => write!(f, "binder error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Pl(m) => write!(f, "PL error: {m}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::Parse("x".into()).to_string().contains("parse"));
+        assert!(Error::Binder("x".into()).to_string().contains("binder"));
+        assert!(Error::Storage("x".into()).to_string().contains("storage"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,811 @@
+//! Volcano-style executors.
+//!
+//! Every operator is a pull-based iterator ([`Executor::next`]); rescans
+//! (`rescan`) support non-materialized nested-loops joins, whose repeated
+//! inner-side page traffic is exactly what makes the paper's Plan 2 of
+//! Example 5 expensive.
+
+use crate::catalog::{Catalog, SessionVars, TableMeta};
+use crate::error::{Error, Result};
+use crate::expr::{EvalCtx, Expr};
+use crate::plan::{AggFunc, PhysNode, PhysOp};
+use crate::schema::{Row, Schema};
+use crate::storage::{decode_row, BufferPool, HeapFile, TupleId};
+use crate::value::Datum;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runtime counters outside the buffer pool (index traffic, operator calls).
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Index nodes visited (charged as page reads in reporting).
+    pub index_node_visits: Cell<u64>,
+    /// Extension-operator invocations.
+    pub ext_op_calls: Cell<u64>,
+    /// Rows produced by the plan root.
+    pub rows_out: Cell<u64>,
+}
+
+/// Execution context shared by all executors of one query.
+pub struct ExecCtx<'a> {
+    /// The catalog.
+    pub catalog: &'a Catalog,
+    /// The buffer pool.
+    pub pool: &'a BufferPool,
+    /// Session variables.
+    pub session: &'a SessionVars,
+    /// Runtime counters.
+    pub stats: &'a ExecStats,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn eval_ctx(&self) -> EvalCtx<'a> {
+        EvalCtx { catalog: self.catalog, session: self.session }
+    }
+}
+
+/// A pull-based operator.
+pub trait Executor {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next row, or `None` at end of stream.
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>>;
+    /// Reset to the start of the stream (for nested-loops rescans).
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()>;
+}
+
+/// Build an executor tree from a physical plan.
+pub fn build_executor(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Box<dyn Executor>> {
+    match &node.op {
+        PhysOp::SeqScan { table, filter } => {
+            let meta = ctx.catalog.table(table)?;
+            Ok(Box::new(SeqScanExec::new(meta, filter.clone())))
+        }
+        PhysOp::IndexScan { table, index, strategy, probe, extra, residual } => {
+            let meta = ctx.catalog.table(table)?;
+            let idx = ctx
+                .catalog
+                .indexes_of(meta.id)
+                .into_iter()
+                .find(|i| &i.name == index)
+                .ok_or_else(|| Error::Execution(format!("no index {index:?}")))?;
+            Ok(Box::new(IndexScanExec::new(
+                meta,
+                idx,
+                strategy.clone(),
+                probe.clone(),
+                extra.clone(),
+                residual.clone(),
+            )))
+        }
+        PhysOp::Filter { input, predicate } => Ok(Box::new(FilterExec {
+            input: build_executor(input, ctx)?,
+            predicate: predicate.clone(),
+        })),
+        PhysOp::Project { input, exprs } => Ok(Box::new(ProjectExec {
+            input: build_executor(input, ctx)?,
+            exprs: exprs.clone(),
+            schema: node.schema.clone(),
+        })),
+        PhysOp::NlJoin { outer, inner, predicate, materialize_inner } => {
+            Ok(Box::new(NlJoinExec {
+                outer: build_executor(outer, ctx)?,
+                inner: build_executor(inner, ctx)?,
+                predicate: predicate.clone(),
+                materialize: *materialize_inner,
+                schema: node.schema.clone(),
+                outer_row: None,
+                inner_buf: None,
+                inner_pos: 0,
+                started: false,
+            }))
+        }
+        PhysOp::HashJoin { left, right, left_key, right_key, residual } => {
+            Ok(Box::new(HashJoinExec {
+                left: build_executor(left, ctx)?,
+                right: build_executor(right, ctx)?,
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+                residual: residual.clone(),
+                schema: node.schema.clone(),
+                table: None,
+                probe_row: None,
+                matches: Vec::new(),
+                match_pos: 0,
+            }))
+        }
+        PhysOp::Aggregate { input, group_by, aggs } => Ok(Box::new(AggregateExec {
+            input: build_executor(input, ctx)?,
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            schema: node.schema.clone(),
+            output: None,
+            pos: 0,
+        })),
+        PhysOp::Sort { input, keys } => Ok(Box::new(SortExec {
+            input: build_executor(input, ctx)?,
+            keys: keys.clone(),
+            buffered: None,
+            pos: 0,
+        })),
+        PhysOp::Limit { input, n } => Ok(Box::new(LimitExec {
+            input: build_executor(input, ctx)?,
+            remaining: *n,
+        })),
+        PhysOp::Values { rows } => Ok(Box::new(ValuesExec {
+            rows: rows.clone(),
+            schema: node.schema.clone(),
+            pos: 0,
+        })),
+    }
+}
+
+/// Run a plan to completion, collecting all rows.
+pub fn run_to_vec(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
+    let mut exec = build_executor(node, ctx)?;
+    let mut out = Vec::new();
+    while let Some(row) = exec.next(ctx)? {
+        out.push(row);
+    }
+    ctx.stats.rows_out.set(out.len() as u64);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- SeqScan
+
+struct SeqScanExec {
+    meta: Arc<TableMeta>,
+    filter: Option<Expr>,
+    page: u32,
+    page_rows: Vec<Row>,
+    row_pos: usize,
+    n_pages: Option<u32>,
+}
+
+impl SeqScanExec {
+    fn new(meta: Arc<TableMeta>, filter: Option<Expr>) -> Self {
+        SeqScanExec { meta, filter, page: 0, page_rows: Vec::new(), row_pos: 0, n_pages: None }
+    }
+
+    fn load_page(&mut self, ctx: &ExecCtx<'_>) -> Result<bool> {
+        let n_pages = match self.n_pages {
+            Some(n) => n,
+            None => {
+                let n = self.meta.heap.pages(ctx.pool)?;
+                self.n_pages = Some(n);
+                n
+            }
+        };
+        if self.page >= n_pages {
+            return Ok(false);
+        }
+        let arity = self.meta.schema.len();
+        let file = self.meta.heap.file_id();
+        self.page_rows.clear();
+        let rows: Result<Vec<Row>> = ctx.pool.with_page(file, self.page, |buf| {
+            HeapFile::page_tuples(buf)
+                .map(|(_, t)| decode_row(t, arity))
+                .collect()
+        })?;
+        self.page_rows = rows?;
+        self.page += 1;
+        self.row_pos = 0;
+        Ok(true)
+    }
+}
+
+impl Executor for SeqScanExec {
+    fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        let eval = ctx.eval_ctx();
+        loop {
+            if self.row_pos < self.page_rows.len() {
+                let row = std::mem::take(&mut self.page_rows[self.row_pos]);
+                self.row_pos += 1;
+                if let Some(f) = &self.filter {
+                    ctx.stats.ext_op_calls.set(ctx.stats.ext_op_calls.get() + 1);
+                    if !f.eval(&row, &eval)?.is_true() {
+                        continue;
+                    }
+                }
+                return Ok(Some(row));
+            }
+            if !self.load_page(ctx)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.page = 0;
+        self.page_rows.clear();
+        self.row_pos = 0;
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- IndexScan
+
+struct IndexScanExec {
+    meta: Arc<TableMeta>,
+    index: Arc<crate::catalog::IndexMeta>,
+    strategy: String,
+    probe: Datum,
+    extra: Datum,
+    residual: Option<Expr>,
+    tids: Option<Vec<TupleId>>,
+    pos: usize,
+}
+
+impl IndexScanExec {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        meta: Arc<TableMeta>,
+        index: Arc<crate::catalog::IndexMeta>,
+        strategy: String,
+        probe: Datum,
+        extra: Datum,
+        residual: Option<Expr>,
+    ) -> Self {
+        IndexScanExec { meta, index, strategy, probe, extra, residual, tids: None, pos: 0 }
+    }
+}
+
+impl Executor for IndexScanExec {
+    fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.tids.is_none() {
+            let search = self.index.instance.lock().search(&self.strategy, &self.probe, &self.extra)?;
+            ctx.stats
+                .index_node_visits
+                .set(ctx.stats.index_node_visits.get() + search.node_visits);
+            self.tids = Some(search.tids);
+            self.pos = 0;
+        }
+        let eval = ctx.eval_ctx();
+        let arity = self.meta.schema.len();
+        loop {
+            let tids = self.tids.as_ref().expect("probed above");
+            let Some(&tid) = tids.get(self.pos) else {
+                return Ok(None);
+            };
+            self.pos += 1;
+            let Some(bytes) = self.meta.heap.get(ctx.pool, tid)? else {
+                continue; // deleted since the index entry was made
+            };
+            let row = decode_row(&bytes, arity)?;
+            if let Some(f) = &self.residual {
+                if !f.eval(&row, &eval)?.is_true() {
+                    continue;
+                }
+            }
+            return Ok(Some(row));
+        }
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- Filter
+
+struct FilterExec {
+    input: Box<dyn Executor>,
+    predicate: Expr,
+}
+
+impl Executor for FilterExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        let eval = ctx.eval_ctx();
+        while let Some(row) = self.input.next(ctx)? {
+            if self.predicate.eval(&row, &eval)?.is_true() {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.rescan(ctx)
+    }
+}
+
+// ---------------------------------------------------------------- Project
+
+struct ProjectExec {
+    input: Box<dyn Executor>,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Executor for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        let eval = ctx.eval_ctx();
+        match self.input.next(ctx)? {
+            Some(row) => {
+                let mut out = Row::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&row, &eval)?);
+                }
+                Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.rescan(ctx)
+    }
+}
+
+// ----------------------------------------------------------------- NlJoin
+
+struct NlJoinExec {
+    outer: Box<dyn Executor>,
+    inner: Box<dyn Executor>,
+    predicate: Option<Expr>,
+    materialize: bool,
+    schema: Schema,
+    outer_row: Option<Row>,
+    /// Materialized inner rows (when `materialize`).
+    inner_buf: Option<Vec<Row>>,
+    inner_pos: usize,
+    started: bool,
+}
+
+impl NlJoinExec {
+    fn advance_outer(&mut self, ctx: &ExecCtx<'_>) -> Result<bool> {
+        match self.outer.next(ctx)? {
+            Some(row) => {
+                self.outer_row = Some(row);
+                if self.materialize {
+                    self.inner_pos = 0;
+                } else {
+                    self.inner.rescan(ctx)?;
+                }
+                Ok(true)
+            }
+            None => {
+                self.outer_row = None;
+                Ok(false)
+            }
+        }
+    }
+
+    fn next_inner(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.materialize {
+            let buf = self.inner_buf.as_ref().expect("materialized at start");
+            if self.inner_pos < buf.len() {
+                let row = buf[self.inner_pos].clone();
+                self.inner_pos += 1;
+                Ok(Some(row))
+            } else {
+                Ok(None)
+            }
+        } else {
+            self.inner.next(ctx)
+        }
+    }
+}
+
+impl Executor for NlJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        let eval = ctx.eval_ctx();
+        if !self.started {
+            self.started = true;
+            // Materialize once; the buffer survives rescans.
+            if self.materialize && self.inner_buf.is_none() {
+                let mut buf = Vec::new();
+                while let Some(r) = self.inner.next(ctx)? {
+                    buf.push(r);
+                }
+                self.inner_buf = Some(buf);
+            }
+            if !self.advance_outer(ctx)? {
+                return Ok(None);
+            }
+        }
+        loop {
+            if self.outer_row.is_none() {
+                return Ok(None);
+            }
+            match self.next_inner(ctx)? {
+                Some(inner_row) => {
+                    let outer_row = self.outer_row.as_ref().expect("checked above");
+                    let mut joined = Row::with_capacity(outer_row.len() + inner_row.len());
+                    joined.extend(outer_row.iter().cloned());
+                    joined.extend(inner_row);
+                    if let Some(p) = &self.predicate {
+                        ctx.stats.ext_op_calls.set(ctx.stats.ext_op_calls.get() + 1);
+                        if !p.eval(&joined, &eval)?.is_true() {
+                            continue;
+                        }
+                    }
+                    return Ok(Some(joined));
+                }
+                None => {
+                    if !self.advance_outer(ctx)? {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.outer.rescan(ctx)?;
+        if !self.materialize {
+            self.inner.rescan(ctx)?;
+        }
+        // The materialized buffer (if any) stays valid across rescans.
+        self.started = false;
+        self.outer_row = None;
+        self.inner_pos = 0;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- HashJoin
+
+struct HashJoinExec {
+    left: Box<dyn Executor>,
+    right: Box<dyn Executor>,
+    left_key: Expr,
+    right_key: Expr,
+    residual: Option<Expr>,
+    schema: Schema,
+    /// Build table over the RIGHT input.
+    table: Option<HashMap<Datum, Vec<Row>>>,
+    probe_row: Option<Row>,
+    matches: Vec<Row>,
+    match_pos: usize,
+}
+
+impl Executor for HashJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        let eval = ctx.eval_ctx();
+        if self.table.is_none() {
+            let mut table: HashMap<Datum, Vec<Row>> = HashMap::new();
+            while let Some(row) = self.right.next(ctx)? {
+                let key = self.right_key.eval(&row, &eval)?;
+                if key.is_null() {
+                    continue;
+                }
+                table.entry(key).or_default().push(row);
+            }
+            self.table = Some(table);
+        }
+        loop {
+            if self.match_pos < self.matches.len() {
+                let inner = self.matches[self.match_pos].clone();
+                self.match_pos += 1;
+                let outer = self.probe_row.as_ref().expect("probe row set");
+                let mut joined = Row::with_capacity(outer.len() + inner.len());
+                joined.extend(outer.iter().cloned());
+                joined.extend(inner);
+                if let Some(r) = &self.residual {
+                    if !r.eval(&joined, &eval)?.is_true() {
+                        continue;
+                    }
+                }
+                return Ok(Some(joined));
+            }
+            match self.left.next(ctx)? {
+                Some(row) => {
+                    let key = self.left_key.eval(&row, &eval)?;
+                    self.matches = if key.is_null() {
+                        Vec::new()
+                    } else {
+                        self.table
+                            .as_ref()
+                            .expect("built above")
+                            .get(&key)
+                            .cloned()
+                            .unwrap_or_default()
+                    };
+                    self.match_pos = 0;
+                    self.probe_row = Some(row);
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.left.rescan(ctx)?;
+        self.probe_row = None;
+        self.matches.clear();
+        self.match_pos = 0;
+        // Build table is kept.
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------- Aggregate
+
+struct AggregateExec {
+    input: Box<dyn Executor>,
+    group_by: Vec<Expr>,
+    aggs: Vec<crate::plan::AggExpr>,
+    schema: Schema,
+    output: Option<Vec<Row>>,
+    pos: usize,
+}
+
+#[derive(Clone)]
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Datum>,
+    max: Option<Datum>,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    fn update(&mut self, v: &Datum) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(f) = v.as_float() {
+            self.sum += f;
+        }
+        let better_min = self.min.as_ref().map(|m| v.cmp_sql(m).is_lt()).unwrap_or(true);
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self.max.as_ref().map(|m| v.cmp_sql(m).is_gt()).unwrap_or(true);
+        if better_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(&self, func: AggFunc, rows_in_group: u64) -> Datum {
+        match func {
+            AggFunc::CountStar => Datum::Int(rows_in_group as i64),
+            AggFunc::Count => Datum::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Datum::Null
+                } else if self.sum.fract() == 0.0 {
+                    Datum::Int(self.sum as i64)
+                } else {
+                    Datum::Float(self.sum)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+}
+
+impl Executor for AggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.output.is_none() {
+            let eval = ctx.eval_ctx();
+            // group key -> (row count, one state per aggregate)
+            let mut groups: HashMap<Vec<Datum>, (u64, Vec<AggState>)> = HashMap::new();
+            let mut order: Vec<Vec<Datum>> = Vec::new();
+            while let Some(row) = self.input.next(ctx)? {
+                let mut key = Vec::with_capacity(self.group_by.len());
+                for g in &self.group_by {
+                    key.push(g.eval(&row, &eval)?);
+                }
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (0, vec![AggState::new(); self.aggs.len()])
+                });
+                entry.0 += 1;
+                for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+                    if let Some(input) = &agg.input {
+                        let v = input.eval(&row, &eval)?;
+                        state.update(&v);
+                    }
+                }
+            }
+            // Global aggregate over empty input still yields one row.
+            if groups.is_empty() && self.group_by.is_empty() {
+                order.push(Vec::new());
+                groups.insert(Vec::new(), (0, vec![AggState::new(); self.aggs.len()]));
+            }
+            let mut out = Vec::with_capacity(order.len());
+            for key in order {
+                let (n, states) = &groups[&key];
+                let mut row: Row = key.clone();
+                for (agg, state) in self.aggs.iter().zip(states) {
+                    row.push(state.finish(agg.func, *n));
+                }
+                out.push(row);
+            }
+            self.output = Some(out);
+            self.pos = 0;
+        }
+        let out = self.output.as_ref().expect("computed above");
+        if self.pos < out.len() {
+            let row = out[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------- Sort
+
+struct SortExec {
+    input: Box<dyn Executor>,
+    keys: Vec<(Expr, bool)>,
+    buffered: Option<Vec<Row>>,
+    pos: usize,
+}
+
+impl Executor for SortExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.buffered.is_none() {
+            let eval = ctx.eval_ctx();
+            let mut rows = Vec::new();
+            while let Some(r) = self.input.next(ctx)? {
+                rows.push(r);
+            }
+            // Precompute sort keys (decorate-sort-undecorate).
+            let mut decorated: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut ks = Vec::with_capacity(self.keys.len());
+                for (e, _) in &self.keys {
+                    ks.push(e.eval(&row, &eval)?);
+                }
+                decorated.push((ks, row));
+            }
+            let dirs: Vec<bool> = self.keys.iter().map(|(_, asc)| *asc).collect();
+            // Extension keys sort through their registered comparator (for
+            // UniText that is text-component order, §3.2.1 of the paper).
+            let cmp_typed = |x: &Datum, y: &Datum| match (x, y) {
+                (Datum::Ext { ty: t1, bytes: b1 }, Datum::Ext { ty: t2, bytes: b2 })
+                    if t1 == t2 =>
+                {
+                    match ctx.catalog.type_by_id(*t1) {
+                        Some(def) => (def.compare)(b1, b2),
+                        None => x.cmp_sql(y),
+                    }
+                }
+                _ => x.cmp_sql(y),
+            };
+            decorated.sort_by(|(a, _), (b, _)| {
+                for ((x, y), asc) in a.iter().zip(b.iter()).zip(&dirs) {
+                    let ord = cmp_typed(x, y);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *asc { ord } else { ord.reverse() };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.buffered = Some(decorated.into_iter().map(|(_, r)| r).collect());
+            self.pos = 0;
+        }
+        let buf = self.buffered.as_ref().expect("sorted above");
+        if self.pos < buf.len() {
+            let row = buf[self.pos].clone();
+            self.pos += 1;
+            Ok(Some(row))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------------ Limit
+
+struct LimitExec {
+    input: Box<dyn Executor>,
+    remaining: u64,
+}
+
+impl Executor for LimitExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next(ctx)? {
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.input.rescan(ctx)
+    }
+}
+
+// ----------------------------------------------------------------- Values
+
+struct ValuesExec {
+    rows: Vec<Vec<Expr>>,
+    schema: Schema,
+    pos: usize,
+}
+
+impl Executor for ValuesExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.pos >= self.rows.len() {
+            return Ok(None);
+        }
+        let eval = ctx.eval_ctx();
+        let exprs = &self.rows[self.pos];
+        self.pos += 1;
+        let mut row = Row::with_capacity(exprs.len());
+        for e in exprs {
+            row.push(e.eval(&[], &eval)?);
+        }
+        Ok(Some(row))
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+}

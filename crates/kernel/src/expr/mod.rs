@@ -1,0 +1,642 @@
+//! Typed expression trees and evaluation.
+
+use crate::catalog::{Catalog, SessionVars};
+use crate::error::{Error, Result};
+use crate::value::{DataType, Datum};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `ordering` satisfy the comparison?
+    pub fn matches(self, ordering: Ordering) -> bool {
+        matches!(
+            (self, ordering),
+            (CmpOp::Eq, Ordering::Equal)
+                | (CmpOp::Ne, Ordering::Less)
+                | (CmpOp::Ne, Ordering::Greater)
+                | (CmpOp::Lt, Ordering::Less)
+                | (CmpOp::Le, Ordering::Less)
+                | (CmpOp::Le, Ordering::Equal)
+                | (CmpOp::Gt, Ordering::Greater)
+                | (CmpOp::Ge, Ordering::Greater)
+                | (CmpOp::Ge, Ordering::Equal)
+        )
+    }
+
+    /// B-Tree strategy name serving this comparison, if any.
+    pub fn btree_strategy(self) -> Option<&'static str> {
+        match self {
+            CmpOp::Eq => Some("eq"),
+            CmpOp::Lt => Some("lt"),
+            CmpOp::Le => Some("le"),
+            CmpOp::Gt => Some("gt"),
+            CmpOp::Ge => Some("ge"),
+            CmpOp::Ne => None,
+        }
+    }
+
+    /// Mirror operator for operand swapping (`a < b ≡ b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An expression over a row.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column reference (index into the input schema).
+    ColRef { index: usize, ty: DataType, name: String },
+    /// Literal constant.
+    Literal(Datum),
+    /// Comparison; extension operands compare through their registered
+    /// support function (text-component semantics for UniText, §3.2.1).
+    Cmp { op: CmpOp, left: Box<Expr>, right: Box<Expr> },
+    /// Arithmetic.
+    Arith { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    /// Boolean AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Boolean OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Boolean NOT.
+    Not(Box<Expr>),
+    /// NULL test.
+    IsNull(Box<Expr>),
+    /// Extension operator (`author LEXEQUAL 'Nehru' IN (English, Hindi)`).
+    /// `modifiers` carries the IN-list; applied to the LEFT operand through
+    /// the operator's registered modifier filter.
+    ExtOp {
+        name: String,
+        left: Box<Expr>,
+        right: Box<Expr>,
+        modifiers: Vec<String>,
+    },
+    /// Scalar function call.
+    Func { name: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Literal integer helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Datum::Int(v))
+    }
+
+    /// Literal text helper.
+    pub fn text(s: &str) -> Expr {
+        Expr::Literal(Datum::text(s))
+    }
+
+    /// Is this expression a constant (no column references)?
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::ColRef { .. } => false,
+            Expr::Literal(_) => true,
+            Expr::Cmp { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::ExtOp { left, right, .. } => left.is_const() && right.is_const(),
+            Expr::And(l, r) | Expr::Or(l, r) => l.is_const() && r.is_const(),
+            Expr::Not(e) | Expr::IsNull(e) => e.is_const(),
+            Expr::Func { args, .. } => args.iter().all(Expr::is_const),
+        }
+    }
+
+    /// Column indexes referenced by this expression (sorted, deduplicated).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::ColRef { index, .. } => out.push(*index),
+            Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::ExtOp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Shift all column references by `delta` (used when moving predicates
+    /// across join inputs).
+    pub fn shift_columns(&self, delta: isize) -> Expr {
+        self.map_columns(&|i| (i as isize + delta) as usize)
+    }
+
+    /// Rewrite every column reference through `f` (join reordering).
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        let map = |e: &Expr| e.map_columns(f);
+        match self {
+            Expr::ColRef { index, ty, name } => Expr::ColRef {
+                index: f(*index),
+                ty: *ty,
+                name: name.clone(),
+            },
+            Expr::Literal(d) => Expr::Literal(d.clone()),
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(map(left)),
+                right: Box::new(map(right)),
+            },
+            Expr::Arith { op, left, right } => Expr::Arith {
+                op: *op,
+                left: Box::new(map(left)),
+                right: Box::new(map(right)),
+            },
+            Expr::And(l, r) => Expr::And(Box::new(map(l)), Box::new(map(r))),
+            Expr::Or(l, r) => Expr::Or(Box::new(map(l)), Box::new(map(r))),
+            Expr::Not(e) => Expr::Not(Box::new(map(e))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(map(e))),
+            Expr::ExtOp { name, left, right, modifiers } => Expr::ExtOp {
+                name: name.clone(),
+                left: Box::new(map(left)),
+                right: Box::new(map(right)),
+                modifiers: modifiers.clone(),
+            },
+            Expr::Func { name, args } => Expr::Func {
+                name: name.clone(),
+                args: args.iter().map(map).collect(),
+            },
+        }
+    }
+
+    /// Result type, when statically known.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Expr::ColRef { ty, .. } => Some(*ty),
+            Expr::Literal(d) => d.data_type(),
+            Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(_) | Expr::IsNull(_) => {
+                Some(DataType::Bool)
+            }
+            Expr::ExtOp { .. } => Some(DataType::Bool),
+            Expr::Arith { left, right, .. } => match (left.data_type(), right.data_type()) {
+                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => Some(DataType::Float),
+                (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+                _ => None,
+            },
+            Expr::Func { .. } => None, // binder resolves through the catalog
+        }
+    }
+}
+
+/// Evaluation context: catalog for extension dispatch, session vars for
+/// operator thresholds.
+pub struct EvalCtx<'a> {
+    /// The catalog (type/operator/function lookup).
+    pub catalog: &'a Catalog,
+    /// Session variables.
+    pub session: &'a SessionVars,
+}
+
+impl Expr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Datum], ctx: &EvalCtx<'_>) -> Result<Datum> {
+        match self {
+            Expr::ColRef { index, .. } => row
+                .get(*index)
+                .cloned()
+                .ok_or_else(|| Error::Execution(format!("column {index} out of range"))),
+            Expr::Literal(d) => Ok(d.clone()),
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(row, ctx)?;
+                let r = right.eval(row, ctx)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let ordering = match (&l, &r) {
+                    (Datum::Ext { ty: t1, bytes: b1 }, Datum::Ext { ty: t2, bytes: b2 })
+                        if t1 == t2 =>
+                    {
+                        match ctx.catalog.type_by_id(*t1) {
+                            Some(def) => (def.compare)(b1, b2),
+                            None => l.cmp_sql(&r),
+                        }
+                    }
+                    // Mixed ext-vs-text goes through the type's text
+                    // comparator (UniText: its text component).
+                    (Datum::Ext { ty, bytes }, Datum::Text(s)) => {
+                        match ctx.catalog.type_by_id(*ty).and_then(|d| d.compare_text.clone()) {
+                            Some(cmp) => cmp(bytes, s),
+                            None => {
+                                return Err(Error::Execution(format!(
+                                    "type ext#{} does not compare with text",
+                                    ty.0
+                                )))
+                            }
+                        }
+                    }
+                    (Datum::Text(s), Datum::Ext { ty, bytes }) => {
+                        match ctx.catalog.type_by_id(*ty).and_then(|d| d.compare_text.clone()) {
+                            Some(cmp) => cmp(bytes, s).reverse(),
+                            None => {
+                                return Err(Error::Execution(format!(
+                                    "type ext#{} does not compare with text",
+                                    ty.0
+                                )))
+                            }
+                        }
+                    }
+                    _ => l.cmp_sql(&r),
+                };
+                Ok(Datum::Bool(op.matches(ordering)))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(row, ctx)?;
+                let r = right.eval(row, ctx)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Datum::Null);
+                }
+                eval_arith(*op, &l, &r)
+            }
+            Expr::And(l, r) => {
+                let lv = l.eval(row, ctx)?;
+                if matches!(lv, Datum::Bool(false)) {
+                    return Ok(Datum::Bool(false));
+                }
+                let rv = r.eval(row, ctx)?;
+                Ok(match (lv, rv) {
+                    (Datum::Bool(true), Datum::Bool(true)) => Datum::Bool(true),
+                    (_, Datum::Bool(false)) => Datum::Bool(false),
+                    _ => Datum::Null,
+                })
+            }
+            Expr::Or(l, r) => {
+                let lv = l.eval(row, ctx)?;
+                if matches!(lv, Datum::Bool(true)) {
+                    return Ok(Datum::Bool(true));
+                }
+                let rv = r.eval(row, ctx)?;
+                Ok(match (lv, rv) {
+                    (Datum::Bool(false), Datum::Bool(false)) => Datum::Bool(false),
+                    (_, Datum::Bool(true)) => Datum::Bool(true),
+                    _ => Datum::Null,
+                })
+            }
+            Expr::Not(e) => Ok(match e.eval(row, ctx)? {
+                Datum::Bool(b) => Datum::Bool(!b),
+                Datum::Null => Datum::Null,
+                other => {
+                    return Err(Error::Execution(format!("NOT applied to {other}")));
+                }
+            }),
+            Expr::IsNull(e) => Ok(Datum::Bool(e.eval(row, ctx)?.is_null())),
+            Expr::ExtOp { name, left, right, modifiers } => {
+                let op = ctx
+                    .catalog
+                    .operator(name)
+                    .ok_or_else(|| Error::Execution(format!("unknown operator {name:?}")))?;
+                let l = left.eval(row, ctx)?;
+                let r = right.eval(row, ctx)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let verdict = (op.eval)(&l, &r, ctx.session)?;
+                // Language modifier (`IN English, Hindi`): a conjunct over
+                // the LEFT operand, delegated to the operator's filter.
+                if !modifiers.is_empty() && verdict.is_true() {
+                    if let Some(filter) = &op.modifier_filter {
+                        return Ok(Datum::Bool(filter(&l, modifiers)));
+                    }
+                }
+                Ok(verdict)
+            }
+            Expr::Func { name, args } => {
+                let f = ctx
+                    .catalog
+                    .function(name)
+                    .ok_or_else(|| Error::Execution(format!("unknown function {name:?}")))?;
+                if args.len() != f.arity {
+                    return Err(Error::Execution(format!(
+                        "{name} expects {} args, got {}",
+                        f.arity,
+                        args.len()
+                    )));
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row, ctx)?);
+                }
+                (f.eval)(&vals, ctx.session)
+            }
+        }
+    }
+}
+
+fn eval_arith(op: ArithOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    use Datum::{Float, Int};
+    match (l, r) {
+        (Int(a), Int(b)) => Ok(match op {
+            ArithOp::Add => Int(a.wrapping_add(*b)),
+            ArithOp::Sub => Int(a.wrapping_sub(*b)),
+            ArithOp::Mul => Int(a.wrapping_mul(*b)),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(Error::Execution("division by zero".into()));
+                }
+                Int(a / b)
+            }
+        }),
+        _ => {
+            let a = l.as_float().ok_or_else(|| Error::Execution(format!("non-numeric {l}")))?;
+            let b = r.as_float().ok_or_else(|| Error::Execution(format!("non-numeric {r}")))?;
+            Ok(match op {
+                ArithOp::Add => Float(a + b),
+                ArithOp::Sub => Float(a - b),
+                ArithOp::Mul => Float(a * b),
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(Error::Execution("division by zero".into()));
+                    }
+                    Float(a / b)
+                }
+            })
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::ColRef { name, .. } => write!(f, "{name}"),
+            Expr::Literal(d) => match d {
+                Datum::Text(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Cmp { op, left, right } => write!(f, "({left} {} {right})", op.symbol()),
+            Expr::Arith { op, left, right } => {
+                let sym = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::ExtOp { name, left, right, modifiers } => {
+                write!(f, "({left} {} {right}", name.to_uppercase())?;
+                if !modifiers.is_empty() {
+                    write!(f, " IN ({})", modifiers.join(", "))?;
+                }
+                write!(f, ")")
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, ExtOperator, FuncDef, OperatorKind};
+    use std::sync::Arc;
+
+    fn col(i: usize) -> Expr {
+        Expr::ColRef { index: i, ty: DataType::Int, name: format!("c{i}") }
+    }
+
+    #[test]
+    fn comparisons_and_null_propagation() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let row = vec![Datum::Int(5), Datum::Null];
+        let e = Expr::Cmp { op: CmpOp::Gt, left: Box::new(col(0)), right: Box::new(Expr::int(3)) };
+        assert!(e.eval(&row, &c).unwrap().is_true());
+        let n = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(1)), right: Box::new(Expr::int(3)) };
+        assert!(n.eval(&row, &c).unwrap().is_null());
+        let isn = Expr::IsNull(Box::new(col(1)));
+        assert!(isn.eval(&row, &c).unwrap().is_true());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let row = vec![Datum::Null];
+        let t = Expr::Literal(Datum::Bool(true));
+        let fls = Expr::Literal(Datum::Bool(false));
+        let null_cmp =
+            Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(1)) };
+        // NULL AND false = false ; NULL AND true = NULL ; NULL OR true = true
+        let and_false = Expr::And(Box::new(null_cmp.clone()), Box::new(fls));
+        assert!(matches!(and_false.eval(&row, &c).unwrap(), Datum::Bool(false)));
+        let and_true = Expr::And(Box::new(null_cmp.clone()), Box::new(t.clone()));
+        assert!(and_true.eval(&row, &c).unwrap().is_null());
+        let or_true = Expr::Or(Box::new(null_cmp), Box::new(t));
+        assert!(or_true.eval(&row, &c).unwrap().is_true());
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let row = vec![];
+        let add = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(Expr::int(2)),
+            right: Box::new(Expr::int(3)),
+        };
+        assert!(add.eval(&row, &c).unwrap().eq_sql(&Datum::Int(5)));
+        let div0 = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::int(1)),
+            right: Box::new(Expr::int(0)),
+        };
+        assert!(div0.eval(&row, &c).is_err());
+        let fmix = Expr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(Expr::int(2)),
+            right: Box::new(Expr::Literal(Datum::Float(1.5))),
+        };
+        assert!(fmix.eval(&row, &c).unwrap().eq_sql(&Datum::Float(3.0)));
+    }
+
+    #[test]
+    fn ext_operator_dispatch_with_threshold() {
+        let mut cat = Catalog::new();
+        // A toy "within" operator: |l - r| <= session threshold.
+        cat.register_operator(ExtOperator {
+            name: "near".into(),
+            operand_type: DataType::Int,
+            eval: Arc::new(|l, r, s| {
+                let k = s.get_int("near.threshold", 0);
+                Ok(Datum::Bool((l.as_int().unwrap_or(0) - r.as_int().unwrap_or(0)).abs() <= k))
+            }),
+            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            per_tuple_cost: Arc::new(|_, _| 1.0),
+            selectivity: Arc::new(|_| 0.1),
+            index_strategy: None,
+            index_extra: None,
+            modifier_filter: None,
+            index_scan_fraction: None,
+        });
+        let mut sess = SessionVars::new();
+        sess.set("near.threshold", Datum::Int(2));
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let e = Expr::ExtOp {
+            name: "near".into(),
+            left: Box::new(Expr::int(10)),
+            right: Box::new(Expr::int(12)),
+            modifiers: vec![],
+        };
+        assert!(e.eval(&[], &c).unwrap().is_true());
+        let mut sess2 = SessionVars::new();
+        sess2.set("near.threshold", Datum::Int(1));
+        let c2 = EvalCtx { catalog: &cat, session: &sess2 };
+        assert!(!e.eval(&[], &c2).unwrap().is_true());
+    }
+
+    #[test]
+    fn modifier_filter_restricts_matches() {
+        let mut cat = Catalog::new();
+        cat.register_operator(ExtOperator {
+            name: "tagged".into(),
+            operand_type: DataType::Text,
+            eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
+            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            per_tuple_cost: Arc::new(|_, _| 1.0),
+            selectivity: Arc::new(|_| 1.0),
+            index_strategy: None,
+            index_extra: None,
+            // Left operand "passes" only if its text appears in the list.
+            modifier_filter: Some(Arc::new(|l, mods| {
+                l.as_text().map(|t| mods.iter().any(|m| m == t)).unwrap_or(false)
+            })),
+            index_scan_fraction: None,
+        });
+        let sess = SessionVars::new();
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let mk = |val: &str, mods: Vec<String>| Expr::ExtOp {
+            name: "tagged".into(),
+            left: Box::new(Expr::text(val)),
+            right: Box::new(Expr::text("x")),
+            modifiers: mods,
+        };
+        assert!(mk("en", vec!["en".into(), "fr".into()]).eval(&[], &c).unwrap().is_true());
+        assert!(!mk("ta", vec!["en".into()]).eval(&[], &c).unwrap().is_true());
+        assert!(mk("ta", vec![]).eval(&[], &c).unwrap().is_true(), "no modifiers = no filter");
+    }
+
+    #[test]
+    fn function_dispatch_and_arity_check() {
+        let mut cat = Catalog::new();
+        cat.register_function(FuncDef {
+            name: "plus1".into(),
+            arity: 1,
+            ret: Some(DataType::Int),
+            eval: Arc::new(|args, _| Ok(Datum::Int(args[0].as_int().unwrap_or(0) + 1))),
+        });
+        let sess = SessionVars::new();
+        let c = EvalCtx { catalog: &cat, session: &sess };
+        let ok = Expr::Func { name: "plus1".into(), args: vec![Expr::int(41)] };
+        assert!(ok.eval(&[], &c).unwrap().eq_sql(&Datum::Int(42)));
+        let bad = Expr::Func { name: "plus1".into(), args: vec![] };
+        assert!(bad.eval(&[], &c).is_err());
+        let missing = Expr::Func { name: "nope".into(), args: vec![] };
+        assert!(missing.eval(&[], &c).is_err());
+    }
+
+    #[test]
+    fn column_collection_and_shift() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(2)), right: Box::new(col(0)) }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Lt,
+                left: Box::new(col(2)),
+                right: Box::new(Expr::int(9)),
+            }),
+        );
+        assert_eq!(e.columns(), vec![0, 2]);
+        let shifted = e.shift_columns(3);
+        assert_eq!(shifted.columns(), vec![3, 5]);
+        assert!(!e.is_const());
+        assert!(Expr::int(1).is_const());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::ExtOp {
+            name: "lexequal".into(),
+            left: Box::new(col(0)),
+            right: Box::new(Expr::text("Nehru")),
+            modifiers: vec!["English".into(), "Hindi".into()],
+        };
+        assert_eq!(e.to_string(), "(c0 LEXEQUAL 'Nehru' IN (English, Hindi))");
+    }
+
+    #[test]
+    fn cmp_flip_is_involutive_mirror() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flip().flip(), op);
+        }
+        assert!(CmpOp::Lt.flip().matches(Ordering::Greater));
+    }
+}

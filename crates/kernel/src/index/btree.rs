@@ -1,0 +1,449 @@
+//! A node-based B+Tree with chained leaves.
+//!
+//! Keys are [`Datum`]s ordered by `Datum::cmp_sql`; duplicates are allowed
+//! (secondary index semantics: the payload is a tuple id).  The node fan-out
+//! is sized so one node ≈ one 8 KiB page of fixed-width keys, making
+//! `pages()` and node-visit counts meaningful units for the cost model.
+
+use crate::error::{Error, Result};
+use crate::index::{IndexInstance, IndexSearch};
+use crate::storage::TupleId;
+use crate::value::Datum;
+use std::cmp::Ordering;
+
+/// Max entries per node (≈ 8 KiB / ~64 B per entry).
+const FANOUT: usize = 128;
+
+#[derive(Debug)]
+struct Leaf {
+    keys: Vec<Datum>,
+    tids: Vec<TupleId>,
+    next: Option<usize>, // arena index of the right sibling
+}
+
+#[derive(Debug)]
+struct Internal {
+    /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (≥ key).
+    keys: Vec<Datum>,
+    children: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+/// The B+Tree index.
+pub struct BTreeIndex {
+    arena: Vec<Node>,
+    root: usize,
+    len: usize,
+    height: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BTreeIndex {
+            arena: vec![Node::Leaf(Leaf { keys: Vec::new(), tids: Vec::new(), next: None })],
+            root: 0,
+            len: 0,
+            height: 1,
+        }
+    }
+
+    /// Height of the tree (leaf-only tree = 1).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Find the leaf that should contain `key`, counting visited nodes.
+    fn find_leaf(&self, key: &Datum, visits: &mut u64) -> usize {
+        let mut idx = self.root;
+        loop {
+            *visits += 1;
+            match &self.arena[idx] {
+                Node::Leaf(_) => return idx,
+                Node::Internal(int) => {
+                    // Leftmost child whose range can contain the key
+                    // (invariant: children[i] ≤ keys[i] ≤ children[i+1],
+                    // non-strict on both sides because of duplicates).
+                    let pos = int.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                    idx = int.children[pos];
+                }
+            }
+        }
+    }
+
+    /// Leftmost leaf (for full-range scans).
+    fn leftmost_leaf(&self, visits: &mut u64) -> usize {
+        let mut idx = self.root;
+        loop {
+            *visits += 1;
+            match &self.arena[idx] {
+                Node::Leaf(_) => return idx,
+                Node::Internal(int) => idx = int.children[0],
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: usize, key: &Datum, tid: TupleId) -> Option<(Datum, usize)> {
+        match &mut self.arena[node] {
+            Node::Leaf(leaf) => {
+                let pos = leaf.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                leaf.keys.insert(pos, key.clone());
+                leaf.tids.insert(pos, tid);
+                if leaf.keys.len() <= FANOUT {
+                    return None;
+                }
+                // Split.
+                let mid = leaf.keys.len() / 2;
+                let right_keys = leaf.keys.split_off(mid);
+                let right_tids = leaf.tids.split_off(mid);
+                let old_next = leaf.next;
+                let sep = right_keys[0].clone();
+                let right_idx = self.arena.len();
+                if let Node::Leaf(leaf) = &mut self.arena[node] {
+                    leaf.next = Some(right_idx);
+                }
+                self.arena.push(Node::Leaf(Leaf { keys: right_keys, tids: right_tids, next: old_next }));
+                Some((sep, right_idx))
+            }
+            Node::Internal(int) => {
+                let pos = int.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                let child = int.children[pos];
+                if let Some((sep, new_child)) = self.insert_rec(child, key, tid) {
+                    if let Node::Internal(int) = &mut self.arena[node] {
+                        // The separator must sit exactly at the split
+                        // child's position.  Re-searching by value would
+                        // misplace it among duplicate separators and corrupt
+                        // the subtree ranges.
+                        int.keys.insert(pos, sep);
+                        int.children.insert(pos + 1, new_child);
+                        if int.keys.len() > FANOUT {
+                            let mid = int.keys.len() / 2;
+                            let sep_up = int.keys[mid].clone();
+                            let right_keys = int.keys.split_off(mid + 1);
+                            int.keys.pop(); // sep_up moves up
+                            let right_children = int.children.split_off(mid + 1);
+                            let right_idx = self.arena.len();
+                            self.arena.push(Node::Internal(Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            }));
+                            return Some((sep_up, right_idx));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Collect entries from `start_leaf` while `keep(key)`; `emit(key)`
+    /// filters which of the scanned entries are returned.
+    fn scan_from(
+        &self,
+        start_leaf: usize,
+        search: &mut IndexSearch,
+        mut keep: impl FnMut(&Datum) -> bool,
+        mut emit: impl FnMut(&Datum) -> bool,
+    ) {
+        let mut leaf_idx = Some(start_leaf);
+        while let Some(li) = leaf_idx {
+            let Node::Leaf(leaf) = &self.arena[li] else {
+                unreachable!("leaf chain links only leaves");
+            };
+            for (k, t) in leaf.keys.iter().zip(&leaf.tids) {
+                search.comparisons += 1;
+                if !keep(k) {
+                    return;
+                }
+                if emit(k) {
+                    search.tids.push(*t);
+                }
+            }
+            leaf_idx = leaf.next;
+            if leaf_idx.is_some() {
+                search.node_visits += 1;
+            }
+        }
+    }
+}
+
+impl IndexInstance for BTreeIndex {
+    fn insert(&mut self, key: &Datum, tid: TupleId) -> Result<()> {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, tid) {
+            let new_root = Internal { keys: vec![sep], children: vec![self.root, right] };
+            self.arena.push(Node::Internal(new_root));
+            self.root = self.arena.len() - 1;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &Datum, tid: TupleId) -> Result<()> {
+        // Locate and remove the first exact (key, tid) match.  Underflow is
+        // not rebalanced (PostgreSQL never merges B-Tree pages online
+        // either); lookups remain correct.
+        let mut visits = 0u64;
+        let mut leaf_idx = Some(self.find_leaf(key, &mut visits));
+        while let Some(li) = leaf_idx {
+            let Node::Leaf(leaf) = &mut self.arena[li] else { unreachable!() };
+            let mut found = None;
+            for (i, (k, t)) in leaf.keys.iter().zip(&leaf.tids).enumerate() {
+                match k.cmp_sql(key) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => {
+                        if *t == tid {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                    Ordering::Greater => return Ok(()), // not present
+                }
+            }
+            if let Some(i) = found {
+                leaf.keys.remove(i);
+                leaf.tids.remove(i);
+                self.len -= 1;
+                return Ok(());
+            }
+            leaf_idx = leaf.next;
+        }
+        Ok(())
+    }
+
+    fn search(&self, strategy: &str, probe: &Datum, _extra: &Datum) -> Result<IndexSearch> {
+        let mut out = IndexSearch::default();
+        match strategy {
+            "eq" => {
+                let leaf = self.find_leaf(probe, &mut out.node_visits);
+                self.scan_from(
+                    leaf,
+                    &mut out,
+                    |k| k.cmp_sql(probe) != Ordering::Greater,
+                    |k| k.cmp_sql(probe) == Ordering::Equal,
+                );
+            }
+            "ge" | "gt" => {
+                let ordering_ok: fn(Ordering) -> bool = if strategy == "ge" {
+                    |o| o != Ordering::Less
+                } else {
+                    |o| o == Ordering::Greater
+                };
+                let leaf = self.find_leaf(probe, &mut out.node_visits);
+                self.scan_from(leaf, &mut out, |_| true, |k| ordering_ok(k.cmp_sql(probe)));
+            }
+            "lt" | "le" => {
+                let ordering_ok: fn(Ordering) -> bool = if strategy == "le" {
+                    |o| o != Ordering::Greater
+                } else {
+                    |o| o == Ordering::Less
+                };
+                let leaf = self.leftmost_leaf(&mut out.node_visits);
+                self.scan_from(leaf, &mut out, |k| ordering_ok(k.cmp_sql(probe)), |_| true);
+            }
+            other => {
+                return Err(Error::Execution(format!(
+                    "btree does not support strategy {other:?}"
+                )))
+            }
+        }
+        Ok(out)
+    }
+
+    fn pages(&self) -> u64 {
+        self.arena.len() as u64
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u32) -> TupleId {
+        TupleId { page: n, slot: 0 }
+    }
+
+    fn build(n: i64) -> BTreeIndex {
+        let mut t = BTreeIndex::new();
+        // Insert in a scrambled order to exercise splits everywhere.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            t.insert(&Datum::Int(k), tid(k as u32)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn eq_search_finds_exactly_one() {
+        let t = build(10_000);
+        for probe in [0i64, 1, 4999, 9999] {
+            let r = t.search("eq", &Datum::Int(probe), &Datum::Null).unwrap();
+            assert_eq!(r.tids, vec![tid(probe as u32)], "probe {probe}");
+            assert!(r.node_visits as usize >= t.height());
+        }
+        let r = t.search("eq", &Datum::Int(123456), &Datum::Null).unwrap();
+        assert!(r.tids.is_empty());
+    }
+
+    #[test]
+    fn duplicates_all_returned() {
+        let mut t = BTreeIndex::new();
+        for i in 0..300u32 {
+            t.insert(&Datum::Int(7), tid(i)).unwrap();
+            t.insert(&Datum::Int(9), tid(1000 + i)).unwrap();
+        }
+        let r = t.search("eq", &Datum::Int(7), &Datum::Null).unwrap();
+        assert_eq!(r.tids.len(), 300);
+        assert!(r.tids.iter().all(|t| t.page < 300));
+    }
+
+    #[test]
+    fn range_strategies() {
+        let t = build(1000);
+        let ge = t.search("ge", &Datum::Int(990), &Datum::Null).unwrap();
+        assert_eq!(ge.tids.len(), 10);
+        let gt = t.search("gt", &Datum::Int(990), &Datum::Null).unwrap();
+        assert_eq!(gt.tids.len(), 9);
+        let lt = t.search("lt", &Datum::Int(10), &Datum::Null).unwrap();
+        assert_eq!(lt.tids.len(), 10);
+        let le = t.search("le", &Datum::Int(10), &Datum::Null).unwrap();
+        assert_eq!(le.tids.len(), 11);
+    }
+
+    #[test]
+    fn tree_grows_log_height() {
+        let t = build(50_000);
+        assert!(t.height() >= 2 && t.height() <= 4, "height {}", t.height());
+        assert_eq!(t.len(), 50_000);
+        assert!(t.pages() > 50_000_u64 / FANOUT as u64);
+    }
+
+    #[test]
+    fn eq_probe_visits_height_not_size() {
+        let t = build(50_000);
+        let r = t.search("eq", &Datum::Int(25_000), &Datum::Null).unwrap();
+        assert!(
+            r.node_visits <= t.height() as u64 + 2,
+            "visits {} vs height {}",
+            r.node_visits,
+            t.height()
+        );
+    }
+
+    #[test]
+    fn delete_removes_single_entry() {
+        let mut t = BTreeIndex::new();
+        t.insert(&Datum::Int(1), tid(10)).unwrap();
+        t.insert(&Datum::Int(1), tid(11)).unwrap();
+        t.delete(&Datum::Int(1), tid(10)).unwrap();
+        let r = t.search("eq", &Datum::Int(1), &Datum::Null).unwrap();
+        assert_eq!(r.tids, vec![tid(11)]);
+        assert_eq!(t.len(), 1);
+        // Deleting a missing entry is a no-op.
+        t.delete(&Datum::Int(99), tid(0)).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn text_keys_order_correctly() {
+        let mut t = BTreeIndex::new();
+        for (i, w) in ["mango", "apple", "zebra", "kiwi"].iter().enumerate() {
+            t.insert(&Datum::text(*w), tid(i as u32)).unwrap();
+        }
+        let r = t.search("lt", &Datum::text("m"), &Datum::Null).unwrap();
+        assert_eq!(r.tids.len(), 2); // apple, kiwi
+    }
+
+    #[test]
+    fn unknown_strategy_is_an_error() {
+        let t = BTreeIndex::new();
+        assert!(t.search("within", &Datum::Int(0), &Datum::Int(1)).is_err());
+    }
+
+    #[test]
+    fn heavy_duplicates_across_internal_splits() {
+        // Regression: with few distinct keys and enough volume to split
+        // internal nodes, duplicate separators used to misplace the new
+        // separator (searched by value instead of split position), losing
+        // entries from eq scans.
+        let mut t = BTreeIndex::new();
+        let mut expected = vec![0usize; 50];
+        for i in 0..60_000u32 {
+            let k = (i * 7919) % 50;
+            t.insert(&Datum::Int(k as i64), tid(i)).unwrap();
+            expected[k as usize] += 1;
+        }
+        assert!(t.height() >= 3, "must split internal nodes, height {}", t.height());
+        for k in 0..50i64 {
+            let r = t.search("eq", &Datum::Int(k), &Datum::Null).unwrap();
+            assert_eq!(r.tids.len(), expected[k as usize], "key {k}");
+        }
+    }
+
+    #[test]
+    fn sorted_insertion_also_balanced() {
+        let mut t = BTreeIndex::new();
+        for i in 0..20_000i64 {
+            t.insert(&Datum::Int(i), tid(i as u32)).unwrap();
+        }
+        let r = t.search("eq", &Datum::Int(19_999), &Datum::Null).unwrap();
+        assert_eq!(r.tids.len(), 1);
+        assert!(t.height() <= 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn matches_reference_multimap(ops in proptest::collection::vec((0i64..50, 0u32..8), 1..400)) {
+            let mut t = BTreeIndex::new();
+            let mut reference: Vec<(i64, u32)> = Vec::new();
+            for (k, v) in ops {
+                t.insert(&Datum::Int(k), TupleId { page: v, slot: 0 }).unwrap();
+                reference.push((k, v));
+            }
+            for probe in 0..50i64 {
+                let mut got: Vec<u32> = t
+                    .search("eq", &Datum::Int(probe), &Datum::Null)
+                    .unwrap()
+                    .tids
+                    .iter()
+                    .map(|t| t.page)
+                    .collect();
+                got.sort_unstable();
+                let mut expect: Vec<u32> = reference
+                    .iter()
+                    .filter(|&&(k, _)| k == probe)
+                    .map(|&(_, v)| v)
+                    .collect();
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}

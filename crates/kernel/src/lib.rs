@@ -1,0 +1,51 @@
+//! # mlql-kernel — a single-node relational engine
+//!
+//! The PostgreSQL stand-in for the reproduction of *On Pushing Multilingual
+//! Query Operators into Relational Engines* (ICDE 2006).  The paper's
+//! contribution is evaluated *against* engine machinery — an extensible
+//! catalog, a cost-based optimizer with end-biased histograms, a buffer
+//! pool whose page I/O drives the cost model, GiST-style extensible access
+//! methods, and a procedural-language runtime for the outside-the-server
+//! baseline — so this crate provides all of it, from scratch.
+//!
+//! Architecture (bottom-up):
+//!
+//! * [`storage`] — 8 KiB slotted pages, pluggable backends (memory / file),
+//!   a buffer pool with clock eviction and I/O accounting, heap files, and
+//!   a redo-only write-ahead log.
+//! * [`catalog`] — tables, columns, **extension types**, **extension
+//!   operators** (with cost & selectivity hooks — how Mural's ψ and Ω get
+//!   first-class treatment), **access methods** (B+Tree built in; M-Tree
+//!   registered by `mlql-mural` exactly as the paper used GiST), and
+//!   per-column statistics.
+//! * [`expr`] — typed expression trees and evaluation.
+//! * [`plan`] — logical and physical plans, `EXPLAIN` rendering.
+//! * [`opt`] — rewrite rules, cardinality estimation (end-biased
+//!   histograms, §3.4.1 of the paper), and the cost model.
+//! * [`exec`] — Volcano-style executors.
+//! * [`sql`] — a small SQL dialect with extension infix operators
+//!   (`author LEXEQUAL unitext('Nehru','English') IN (English, Hindi)`).
+//! * [`pl`] — an interpreted procedural language with an SPI, used to
+//!   implement the paper's outside-the-server baselines honestly: its
+//!   slowness comes from interpretation, function-manager argument
+//!   marshalling and per-statement SQL processing, not from sleeps.
+//! * [`db`] — the `Database` facade tying everything together.
+
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod index;
+pub mod opt;
+pub mod pl;
+pub mod plan;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod value;
+
+pub use db::{Database, QueryResult};
+pub use error::{Error, Result};
+pub use schema::{Column, Schema};
+pub use value::{DataType, Datum, ExtTypeId};

@@ -1,0 +1,206 @@
+//! Cardinality estimation.
+//!
+//! `estimate` computes the selectivity of a predicate over a relation whose
+//! columns map to base-table statistics through a [`ColumnOrigin`] table.
+//! Built-in comparisons use the end-biased histograms; extension operators
+//! dispatch to their registered estimator (§3.4).
+
+use crate::catalog::{Catalog, ColumnStats, SelectivityInput, SessionVars};
+use crate::expr::{CmpOp, Expr};
+use crate::value::Datum;
+
+/// Where each visible column of a relation comes from: `Some(stats)` when
+/// the column maps to an analyzed base-table column.
+pub type ColumnOrigin<'a> = &'a [Option<&'a ColumnStats>];
+
+/// Default selectivities when statistics are unavailable (PostgreSQL's).
+const DEFAULT_EQ_SEL: f64 = 0.005;
+const DEFAULT_RANGE_SEL: f64 = 0.3333;
+const DEFAULT_MISC_SEL: f64 = 0.25;
+
+/// Estimate the selectivity of `predicate` over a relation with the given
+/// column origins.
+pub fn estimate(
+    predicate: &Expr,
+    origins: ColumnOrigin<'_>,
+    catalog: &Catalog,
+    session: &SessionVars,
+) -> f64 {
+    let s = match predicate {
+        Expr::Literal(Datum::Bool(true)) => 1.0,
+        Expr::Literal(Datum::Bool(false)) => 0.0,
+        Expr::And(l, r) => {
+            estimate(l, origins, catalog, session) * estimate(r, origins, catalog, session)
+        }
+        Expr::Or(l, r) => {
+            let a = estimate(l, origins, catalog, session);
+            let b = estimate(r, origins, catalog, session);
+            a + b - a * b
+        }
+        Expr::Not(e) => 1.0 - estimate(e, origins, catalog, session),
+        Expr::IsNull(e) => match column_of(e).and_then(|c| origins.get(c).copied().flatten()) {
+            Some(stats) => stats.null_frac,
+            None => DEFAULT_EQ_SEL,
+        },
+        Expr::Cmp { op, left, right } => estimate_cmp(*op, left, right, origins),
+        Expr::ExtOp { name, left, right, .. } => {
+            let op = match catalog.operator(name) {
+                Some(op) => op,
+                None => return DEFAULT_MISC_SEL,
+            };
+            // Normalize to column-vs-(column|const) using commutativity
+            // (Table 1: ψ commutes, so `const ψ col` flips; Ω does not).
+            let (col_side, other_side) = if column_of(left).is_some() {
+                (left, right)
+            } else if op.kind.commutative {
+                (right, left)
+            } else {
+                (left, right)
+            };
+            let col_stats = column_of(col_side).and_then(|c| origins.get(c).copied().flatten());
+            let (constant, other_stats) = match other_side.as_ref() {
+                Expr::Literal(d) => (Some(d), None),
+                e => (None, column_of(e).and_then(|c| origins.get(c).copied().flatten())),
+            };
+            (op.selectivity)(&SelectivityInput {
+                column: col_stats,
+                constant,
+                other_column: other_stats,
+                session,
+            })
+        }
+        _ => DEFAULT_MISC_SEL,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+fn estimate_cmp(op: CmpOp, left: &Expr, right: &Expr, origins: ColumnOrigin<'_>) -> f64 {
+    // Normalize to col OP const / col OP col.
+    let (col, other, op) = match (column_of(left), column_of(right)) {
+        (Some(_), _) => (left, right, op),
+        (None, Some(_)) => (right, left, op.flip()),
+        (None, None) => return DEFAULT_MISC_SEL,
+    };
+    let stats = column_of(col).and_then(|c| origins.get(c).copied().flatten());
+    match other {
+        Expr::Literal(d) => {
+            let Some(stats) = stats else {
+                return match op {
+                    CmpOp::Eq => DEFAULT_EQ_SEL,
+                    CmpOp::Ne => 1.0 - DEFAULT_EQ_SEL,
+                    _ => DEFAULT_RANGE_SEL,
+                };
+            };
+            match op {
+                CmpOp::Eq => stats.eq_selectivity(d),
+                CmpOp::Ne => 1.0 - stats.eq_selectivity(d),
+                CmpOp::Lt => stats.lt_selectivity(d),
+                CmpOp::Le => stats.lt_selectivity(d) + stats.eq_selectivity(d),
+                CmpOp::Gt => 1.0 - stats.lt_selectivity(d) - stats.eq_selectivity(d),
+                CmpOp::Ge => 1.0 - stats.lt_selectivity(d),
+            }
+        }
+        _ if column_of(other).is_some() => {
+            // Join predicate.
+            let other_stats = column_of(other).and_then(|c| origins.get(c).copied().flatten());
+            match (op, stats, other_stats) {
+                (CmpOp::Eq, Some(a), Some(b)) => a.join_selectivity(b),
+                (CmpOp::Eq, _, _) => DEFAULT_EQ_SEL,
+                (CmpOp::Ne, Some(a), Some(b)) => 1.0 - a.join_selectivity(b),
+                _ => DEFAULT_RANGE_SEL,
+            }
+        }
+        _ => DEFAULT_MISC_SEL,
+    }
+}
+
+/// If the expression is a bare column reference, its index.
+pub fn column_of(e: &Expr) -> Option<usize> {
+    match e {
+        Expr::ColRef { index, .. } => Some(*index),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::value::DataType;
+
+    fn col(i: usize) -> Expr {
+        Expr::ColRef { index: i, ty: DataType::Int, name: format!("c{i}") }
+    }
+
+    fn stats_0_to_999() -> ColumnStats {
+        let vals: Vec<Datum> = (0..1000).map(Datum::Int).collect();
+        ColumnStats::build(&vals)
+    }
+
+    #[test]
+    fn eq_const_uses_histogram() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let stats = stats_0_to_999();
+        let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats)];
+        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(5)) };
+        let s = estimate(&e, &origins, &cat, &sess);
+        assert!((s - 0.001).abs() < 0.0005, "got {s}");
+    }
+
+    #[test]
+    fn flipped_comparison_normalizes() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let stats = stats_0_to_999();
+        let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats)];
+        // 250 > c0  ≡  c0 < 250
+        let e = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(Expr::int(250)),
+            right: Box::new(col(0)),
+        };
+        let s = estimate(&e, &origins, &cat, &sess);
+        assert!((s - 0.25).abs() < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn and_multiplies_or_adds() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let stats = stats_0_to_999();
+        let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats)];
+        let lt = Expr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(col(0)),
+            right: Box::new(Expr::int(500)),
+        };
+        let and = Expr::And(Box::new(lt.clone()), Box::new(lt.clone()));
+        let or = Expr::Or(Box::new(lt.clone()), Box::new(lt.clone()));
+        let s_lt = estimate(&lt, &origins, &cat, &sess);
+        let s_and = estimate(&and, &origins, &cat, &sess);
+        let s_or = estimate(&or, &origins, &cat, &sess);
+        assert!((s_and - s_lt * s_lt).abs() < 1e-9);
+        assert!((s_or - (2.0 * s_lt - s_lt * s_lt)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_without_stats() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let origins: Vec<Option<&ColumnStats>> = vec![None];
+        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(5)) };
+        assert_eq!(estimate(&e, &origins, &cat, &sess), DEFAULT_EQ_SEL);
+    }
+
+    #[test]
+    fn join_predicate_uses_ndistinct() {
+        let cat = Catalog::new();
+        let sess = SessionVars::new();
+        let stats = stats_0_to_999();
+        let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats), Some(&stats)];
+        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(col(1)) };
+        let s = estimate(&e, &origins, &cat, &sess);
+        assert!((s - 0.001).abs() < 1e-6);
+    }
+}

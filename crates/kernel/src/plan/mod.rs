@@ -1,0 +1,272 @@
+//! Logical and physical query plans.
+
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::value::Datum;
+use std::fmt::Write as _;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(*)`.
+    CountStar,
+    /// `count(expr)` (non-null count).
+    Count,
+    /// `sum(expr)`.
+    Sum,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+    /// `avg(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+/// One aggregate in a SELECT list.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Input expression (`None` for `count(*)`).
+    pub input: Option<Expr>,
+}
+
+/// Logical plan (binder output, optimizer input).
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Full-table scan producing all columns.
+    Scan { table: String, schema: Schema },
+    /// σ.
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// π (generalized: arbitrary expressions).
+    Project { input: Box<LogicalPlan>, exprs: Vec<Expr>, schema: Schema },
+    /// Inner join; predicate over the concatenated schema (left then right).
+    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, predicate: Option<Expr> },
+    /// γ.
+    Aggregate { input: Box<LogicalPlan>, group_by: Vec<Expr>, aggs: Vec<AggExpr>, schema: Schema },
+    /// ORDER BY.
+    Sort { input: Box<LogicalPlan>, keys: Vec<(Expr, bool)> },
+    /// LIMIT.
+    Limit { input: Box<LogicalPlan>, n: u64 },
+    /// Literal rows.
+    Values { rows: Vec<Vec<Expr>>, schema: Schema },
+}
+
+impl LogicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema.clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema.clone(),
+            LogicalPlan::Join { left, right, .. } => left.schema().join(&right.schema()),
+            LogicalPlan::Aggregate { schema, .. } => schema.clone(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Values { schema, .. } => schema.clone(),
+        }
+    }
+}
+
+/// Physical plan node with cost annotations.
+#[derive(Debug, Clone)]
+pub struct PhysNode {
+    /// The operator.
+    pub op: PhysOp,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated total cost (start-to-finish, optimizer units).
+    pub est_cost: f64,
+    /// Output schema.
+    pub schema: Schema,
+}
+
+/// Physical operators.
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    /// Sequential heap scan with optional pushed-down filter.
+    SeqScan { table: String, filter: Option<Expr> },
+    /// Index scan: probe `index` with `strategy`, re-check `residual`.
+    IndexScan {
+        table: String,
+        index: String,
+        strategy: String,
+        probe: Datum,
+        extra: Datum,
+        residual: Option<Expr>,
+    },
+    /// σ.
+    Filter { input: Box<PhysNode>, predicate: Expr },
+    /// π.
+    Project { input: Box<PhysNode>, exprs: Vec<Expr> },
+    /// Nested-loops join (inner side optionally materialized).
+    NlJoin {
+        outer: Box<PhysNode>,
+        inner: Box<PhysNode>,
+        predicate: Option<Expr>,
+        materialize_inner: bool,
+    },
+    /// Hash join on a single equi-key pair; `residual` re-checked on matches.
+    HashJoin {
+        left: Box<PhysNode>,
+        right: Box<PhysNode>,
+        left_key: Expr,
+        right_key: Expr,
+        residual: Option<Expr>,
+    },
+    /// γ.
+    Aggregate { input: Box<PhysNode>, group_by: Vec<Expr>, aggs: Vec<AggExpr> },
+    /// ORDER BY.
+    Sort { input: Box<PhysNode>, keys: Vec<(Expr, bool)> },
+    /// LIMIT.
+    Limit { input: Box<PhysNode>, n: u64 },
+    /// VALUES.
+    Values { rows: Vec<Vec<Expr>> },
+}
+
+impl PhysNode {
+    /// Render an `EXPLAIN` tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match &self.op {
+            PhysOp::SeqScan { table, filter } => match filter {
+                Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
+                None => format!("Seq Scan on {table}"),
+            },
+            PhysOp::IndexScan { table, index, strategy, residual, .. } => {
+                let mut s = format!("Index Scan using {index} on {table}  Strategy: {strategy}");
+                if let Some(r) = residual {
+                    let _ = write!(s, "  Recheck: {r}");
+                }
+                s
+            }
+            PhysOp::Filter { predicate, .. } => format!("Filter: {predicate}"),
+            PhysOp::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                format!("Project: {}", cols.join(", "))
+            }
+            PhysOp::NlJoin { predicate, materialize_inner, .. } => {
+                let mat = if *materialize_inner { " (materialized inner)" } else { "" };
+                match predicate {
+                    Some(p) => format!("Nested Loop{mat}  Join Filter: {p}"),
+                    None => format!("Nested Loop{mat}"),
+                }
+            }
+            PhysOp::HashJoin { left_key, right_key, residual, .. } => {
+                let mut s = format!("Hash Join  Cond: ({left_key} = {right_key})");
+                if let Some(r) = residual {
+                    let _ = write!(s, "  Filter: {r}");
+                }
+                s
+            }
+            PhysOp::Aggregate { aggs, group_by, .. } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.func.name()).collect();
+                if group_by.is_empty() {
+                    format!("Aggregate: {}", names.join(", "))
+                } else {
+                    format!("GroupAggregate: {}", names.join(", "))
+                }
+            }
+            PhysOp::Sort { keys, .. } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, asc)| format!("{e} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                format!("Sort: {}", ks.join(", "))
+            }
+            PhysOp::Limit { n, .. } => format!("Limit: {n}"),
+            PhysOp::Values { rows } => format!("Values: {} rows", rows.len()),
+        };
+        let _ = writeln!(out, "{pad}{line}  (cost={:.2} rows={:.0})", self.est_cost, self.est_rows);
+        match &self.op {
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Aggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. } => input.explain_into(out, depth + 1),
+            PhysOp::NlJoin { outer, inner, .. } => {
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            PhysOp::HashJoin { left, right, .. } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn scan_schema() -> Schema {
+        Schema::new(vec![Column::new("id", DataType::Int)])
+    }
+
+    #[test]
+    fn logical_schema_propagation() {
+        let scan = LogicalPlan::Scan { table: "t".into(), schema: scan_schema() };
+        let join = LogicalPlan::Join {
+            left: Box::new(scan.clone()),
+            right: Box::new(scan.clone()),
+            predicate: None,
+        };
+        assert_eq!(join.schema().len(), 2);
+        let filter = LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: Expr::Literal(Datum::Bool(true)),
+        };
+        assert_eq!(filter.schema().len(), 1);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let leaf = PhysNode {
+            op: PhysOp::SeqScan { table: "book".into(), filter: None },
+            est_rows: 100.0,
+            est_cost: 12.5,
+            schema: scan_schema(),
+        };
+        let agg = PhysNode {
+            op: PhysOp::Aggregate {
+                input: Box::new(leaf),
+                group_by: vec![],
+                aggs: vec![AggExpr { func: AggFunc::CountStar, input: None }],
+            },
+            est_rows: 1.0,
+            est_cost: 13.0,
+            schema: Schema::new(vec![Column::new("count", DataType::Int)]),
+        };
+        let text = agg.explain();
+        assert!(text.contains("Aggregate: count(*)"));
+        assert!(text.contains("Seq Scan on book"));
+        assert!(text.contains("cost=13.00"));
+        // Child is indented deeper than parent.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("  "));
+    }
+}

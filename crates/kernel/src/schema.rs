@@ -1,0 +1,139 @@
+//! Table and result-set schemas.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// One column: name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lowercased by the binder).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Column { name: name.into().to_lowercase(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Empty schema (e.g. for `SELECT count(*)` inputs during planning).
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by case-insensitive name.  With a qualifier
+    /// (`table.column`), only the column part is matched here; qualified
+    /// resolution happens in the binder, which tracks table aliases.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column at an index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A row of values.  Kept as a plain Vec: rows are short-lived and cloned
+/// only through `Arc`ed payloads inside `Datum`.
+pub type Row = Vec<crate::value::Datum>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![
+            Column::new("Id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        assert_eq!(s().column(0).name, "id");
+    }
+
+    #[test]
+    fn index_lookup_case_insensitive() {
+        assert_eq!(s().index_of("NAME"), Some(1));
+        assert_eq!(s().index_of("missing"), None);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let j = s().join(&s());
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.column(2).name, "id");
+    }
+
+    #[test]
+    fn project_selects() {
+        let p = s().project(&[1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.column(0).name, "name");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(s().to_string(), "(id int, name text)");
+    }
+}

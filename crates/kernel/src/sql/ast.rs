@@ -1,0 +1,96 @@
+//! Abstract syntax tree for the SQL dialect.
+
+/// A parsed statement.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable { name: String, columns: Vec<(String, String)> },
+    /// `CREATE INDEX name ON table (column) USING am`
+    CreateIndex { name: String, table: String, column: String, using: String },
+    /// `DROP TABLE name`
+    DropTable { name: String },
+    /// `DROP INDEX name`
+    DropIndex { name: String },
+    /// `INSERT INTO table VALUES (...), (...)`
+    Insert { table: String, rows: Vec<Vec<AstExpr>> },
+    /// `INSERT INTO table SELECT ...`
+    InsertSelect { table: String, select: SelectStmt },
+    /// `UPDATE table SET col = expr [, ...] [WHERE expr]`
+    Update { table: String, sets: Vec<(String, AstExpr)>, filter: Option<AstExpr> },
+    /// `DELETE FROM table [WHERE expr]`
+    Delete { table: String, filter: Option<AstExpr> },
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT ...`
+    Explain { select: SelectStmt, analyze: bool },
+    /// `SET name = literal`
+    Set { name: String, value: AstExpr },
+    /// `SHOW name`
+    Show { name: String },
+    /// `ANALYZE table`
+    Analyze { table: String },
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select-list items.
+    pub items: Vec<SelectItem>,
+    /// FROM items (comma list and/or JOIN chains, flattened with their ON
+    /// predicates moved into `where_clause` by the parser).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// ORDER BY (expr, ascending).
+    pub order_by: Vec<(AstExpr, bool)>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+/// One select-list item.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Expression with optional alias.
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// A FROM item.
+#[derive(Debug, Clone)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// Unresolved expression.
+#[derive(Debug, Clone)]
+pub enum AstExpr {
+    /// Column reference `name` or `qualifier.name`.
+    Column { qualifier: Option<String>, name: String },
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL literal.
+    Null,
+    /// Binary operation (symbols and extension operator names).
+    Binary { op: String, left: Box<AstExpr>, right: Box<AstExpr>, modifiers: Vec<String> },
+    /// Unary NOT.
+    Not(Box<AstExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<AstExpr>, negated: bool },
+    /// Function call, including aggregates; `count(*)` becomes
+    /// `Func { name: "count", star: true, .. }`.
+    Func { name: String, args: Vec<AstExpr>, star: bool },
+}

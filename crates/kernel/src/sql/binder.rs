@@ -1,0 +1,556 @@
+//! Name resolution and typing: AST → logical plan.
+
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::plan::{AggExpr, AggFunc, LogicalPlan};
+use crate::schema::{Column, Schema};
+use crate::sql::ast::*;
+use crate::value::{DataType, Datum};
+
+/// Scope: visible columns with their alias qualifiers.
+struct Scope {
+    /// (alias, column name, type), in schema order.
+    cols: Vec<(String, String, DataType)>,
+}
+
+impl Scope {
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, DataType)> {
+        let lower = name.to_lowercase();
+        let matches: Vec<(usize, DataType)> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (alias, col, _))| {
+                col == &lower && qualifier.map(|q| q.eq_ignore_ascii_case(alias)).unwrap_or(true)
+            })
+            .map(|(i, (_, _, ty))| (i, *ty))
+            .collect();
+        match matches.len() {
+            0 => Err(Error::Binder(format!(
+                "unknown column {}{lower}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            1 => Ok(matches[0]),
+            _ => Err(Error::Binder(format!("ambiguous column {lower:?}"))),
+        }
+    }
+}
+
+/// Bind a SELECT statement to a logical plan.
+pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
+    if stmt.from.is_empty() {
+        return Err(Error::Binder("FROM clause is required".into()));
+    }
+    // Build the FROM scope and the left-deep join tree (bind order).
+    let mut scope = Scope { cols: Vec::new() };
+    let mut plan: Option<LogicalPlan> = None;
+    let mut seen_aliases: Vec<String> = Vec::new();
+    for tr in &stmt.from {
+        if seen_aliases.contains(&tr.alias) {
+            return Err(Error::Binder(format!("duplicate table alias {:?}", tr.alias)));
+        }
+        seen_aliases.push(tr.alias.clone());
+        let meta = catalog.table(&tr.table)?;
+        for c in meta.schema.columns() {
+            scope.cols.push((tr.alias.clone(), c.name.clone(), c.ty));
+        }
+        let scan = LogicalPlan::Scan { table: meta.name.clone(), schema: meta.schema.clone() };
+        plan = Some(match plan {
+            None => scan,
+            Some(prev) => LogicalPlan::Join {
+                left: Box::new(prev),
+                right: Box::new(scan),
+                predicate: None,
+            },
+        });
+    }
+    let mut plan = plan.expect("non-empty FROM");
+
+    // WHERE.
+    if let Some(w) = &stmt.where_clause {
+        let predicate = bind_expr(w, &scope, catalog)?;
+        expect_boolean(&predicate, "WHERE")?;
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+    }
+
+    // Select list: aggregates vs. plain expressions.
+    let has_agg = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+        SelectItem::Wildcard => false,
+    });
+
+    if has_agg || !stmt.group_by.is_empty() {
+        let group_by: Vec<Expr> = stmt
+            .group_by
+            .iter()
+            .map(|g| bind_expr(g, &scope, catalog))
+            .collect::<Result<_>>()?;
+        let mut aggs = Vec::new();
+        let mut out_cols = Vec::new();
+        // Group keys come first in the output row.
+        for (i, g) in stmt.group_by.iter().enumerate() {
+            let name = match g {
+                AstExpr::Column { name, .. } => name.clone(),
+                _ => format!("group{i}"),
+            };
+            let ty = group_by[i].data_type().unwrap_or(DataType::Text);
+            out_cols.push(Column::new(name, ty));
+        }
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::Binder("* not allowed with aggregates".into()))
+                }
+                SelectItem::Expr { expr, alias } => match expr {
+                    AstExpr::Func { name, args, star } if is_aggregate(name) => {
+                        let func = agg_func(name, *star)?;
+                        let input = if *star {
+                            None
+                        } else {
+                            if args.len() != 1 {
+                                return Err(Error::Binder(format!(
+                                    "{name} takes exactly one argument"
+                                )));
+                            }
+                            Some(bind_expr(&args[0], &scope, catalog)?)
+                        };
+                        let ty = match func {
+                            AggFunc::CountStar | AggFunc::Count => DataType::Int,
+                            AggFunc::Avg => DataType::Float,
+                            _ => input
+                                .as_ref()
+                                .and_then(Expr::data_type)
+                                .unwrap_or(DataType::Float),
+                        };
+                        out_cols.push(Column::new(
+                            alias.clone().unwrap_or_else(|| func.name().to_string()),
+                            ty,
+                        ));
+                        aggs.push(AggExpr { func, input });
+                    }
+                    // Bare group-key expressions in the select list must
+                    // match a GROUP BY item.
+                    other => {
+                        let bound = bind_expr(other, &scope, catalog)?;
+                        let pos = group_by
+                            .iter()
+                            .position(|g| format!("{g}") == format!("{bound}"))
+                            .ok_or_else(|| {
+                                Error::Binder(format!(
+                                    "{other:?} must appear in GROUP BY or an aggregate"
+                                ))
+                            })?;
+                        let _ = pos; // key already projected by Aggregate
+                    }
+                },
+            }
+        }
+        let schema = Schema::new(out_cols);
+        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggs, schema: schema.clone() };
+        // ORDER BY over an aggregate binds against the aggregate's output
+        // columns (group keys and aggregate aliases).
+        if !stmt.order_by.is_empty() {
+            let agg_scope = Scope {
+                cols: schema
+                    .columns()
+                    .iter()
+                    .map(|c| (String::new(), c.name.clone(), c.ty))
+                    .collect(),
+            };
+            let keys: Vec<(Expr, bool)> = stmt
+                .order_by
+                .iter()
+                .map(|(e, asc)| {
+                    let bound = match e {
+                        // `ORDER BY count(*)` refers to the output column.
+                        AstExpr::Func { name, star: true, .. } if name == "count" => {
+                            let idx = schema.index_of("count(*)").ok_or_else(|| {
+                                Error::Binder("count(*) not in select list".into())
+                            })?;
+                            Expr::ColRef {
+                                index: idx,
+                                ty: DataType::Int,
+                                name: "count(*)".into(),
+                            }
+                        }
+                        other => bind_expr(other, &agg_scope, catalog)?,
+                    };
+                    Ok((bound, *asc))
+                })
+                .collect::<Result<_>>()?;
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+    } else {
+        // Plain projection.
+        let mut exprs = Vec::new();
+        let mut cols = Vec::new();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, (_, name, ty)) in scope.cols.iter().enumerate() {
+                        exprs.push(Expr::ColRef { index: i, ty: *ty, name: name.clone() });
+                        cols.push(Column::new(name.clone(), *ty));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = bind_expr(expr, &scope, catalog)?;
+                    let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                    let ty = bound.data_type().unwrap_or(DataType::Text);
+                    cols.push(Column::new(name, ty));
+                    exprs.push(bound);
+                }
+            }
+        }
+        // ORDER BY binds against the *input* scope, so sort before project.
+        if !stmt.order_by.is_empty() {
+            let keys: Vec<(Expr, bool)> = stmt
+                .order_by
+                .iter()
+                .map(|(e, asc)| Ok((bind_expr(e, &scope, catalog)?, *asc)))
+                .collect::<Result<_>>()?;
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+        let out_schema = Schema::new(cols);
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            schema: out_schema.clone(),
+        };
+        // SELECT DISTINCT = grouping by every output column.
+        if stmt.distinct {
+            let group_by: Vec<Expr> = out_schema
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Expr::ColRef { index: i, ty: c.ty, name: c.name.clone() })
+                .collect();
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggs: vec![],
+                schema: out_schema,
+            };
+        }
+    }
+
+    if let Some(n) = stmt.limit {
+        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+    }
+    Ok(plan)
+}
+
+/// Bind one expression against a scope.
+fn bind_expr(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
+    match e {
+        AstExpr::Column { qualifier, name } => {
+            let (index, ty) = scope.resolve(qualifier.as_deref(), name)?;
+            Ok(Expr::ColRef { index, ty, name: name.clone() })
+        }
+        AstExpr::Str(s) => Ok(Expr::text(s)),
+        AstExpr::Int(n) => Ok(Expr::int(*n)),
+        AstExpr::Float(f) => Ok(Expr::Literal(Datum::Float(*f))),
+        AstExpr::Bool(b) => Ok(Expr::Literal(Datum::Bool(*b))),
+        AstExpr::Null => Ok(Expr::Literal(Datum::Null)),
+        AstExpr::Not(inner) => Ok(Expr::Not(Box::new(bind_expr(inner, scope, catalog)?))),
+        AstExpr::IsNull { expr, negated } => {
+            let inner = Expr::IsNull(Box::new(bind_expr(expr, scope, catalog)?));
+            Ok(if *negated { Expr::Not(Box::new(inner)) } else { inner })
+        }
+        AstExpr::Binary { op, left, right, modifiers } => {
+            let l = bind_expr(left, scope, catalog)?;
+            let r = bind_expr(right, scope, catalog)?;
+            match op.as_str() {
+                "and" => Ok(Expr::And(Box::new(l), Box::new(r))),
+                "or" => Ok(Expr::Or(Box::new(l), Box::new(r))),
+                "=" => cmp(CmpOp::Eq, l, r),
+                "<>" => cmp(CmpOp::Ne, l, r),
+                "<" => cmp(CmpOp::Lt, l, r),
+                "<=" => cmp(CmpOp::Le, l, r),
+                ">" => cmp(CmpOp::Gt, l, r),
+                ">=" => cmp(CmpOp::Ge, l, r),
+                "+" => arith(ArithOp::Add, l, r),
+                "-" => arith(ArithOp::Sub, l, r),
+                "*" => arith(ArithOp::Mul, l, r),
+                "/" => arith(ArithOp::Div, l, r),
+                name => {
+                    let op_def = catalog
+                        .operator(name)
+                        .ok_or_else(|| Error::Binder(format!("unknown operator {name:?}")))?;
+                    if !modifiers.is_empty() && op_def.modifier_filter.is_none() {
+                        return Err(Error::Binder(format!(
+                            "operator {name:?} takes no IN modifier"
+                        )));
+                    }
+                    // Type check: operands must match the registered type
+                    // (Text literals are accepted for convenience when the
+                    // operator's eval can coerce them).
+                    for side in [&l, &r] {
+                        if let Some(ty) = side.data_type() {
+                            if ty != op_def.operand_type && ty != DataType::Text {
+                                return Err(Error::Binder(format!(
+                                    "operator {name:?} expects {}, got {}",
+                                    op_def.operand_type, ty
+                                )));
+                            }
+                        }
+                    }
+                    Ok(Expr::ExtOp {
+                        name: name.to_string(),
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        modifiers: modifiers.clone(),
+                    })
+                }
+            }
+        }
+        AstExpr::Func { name, args, star } => {
+            if *star || is_aggregate(name) {
+                return Err(Error::Binder(format!(
+                    "aggregate {name} not allowed in this context"
+                )));
+            }
+            let f = catalog
+                .function(name)
+                .ok_or_else(|| Error::Binder(format!("unknown function {name:?}")))?;
+            if args.len() != f.arity {
+                return Err(Error::Binder(format!(
+                    "{name} expects {} arguments, got {}",
+                    f.arity,
+                    args.len()
+                )));
+            }
+            let bound: Vec<Expr> =
+                args.iter().map(|a| bind_expr(a, scope, catalog)).collect::<Result<_>>()?;
+            Ok(Expr::Func { name: name.clone(), args: bound })
+        }
+    }
+}
+
+/// Bind an expression with no table scope (INSERT values, SET).
+pub fn bind_const_expr(e: &AstExpr, catalog: &Catalog) -> Result<Expr> {
+    bind_expr(e, &Scope { cols: Vec::new() }, catalog)
+}
+
+/// Bind an expression against a single table's columns (UPDATE/DELETE).
+pub fn bind_single_table(
+    e: &AstExpr,
+    table: &str,
+    schema: &crate::schema::Schema,
+    catalog: &Catalog,
+) -> Result<Expr> {
+    let scope = Scope {
+        cols: schema
+            .columns()
+            .iter()
+            .map(|c| (table.to_lowercase(), c.name.clone(), c.ty))
+            .collect(),
+    };
+    bind_expr(e, &scope, catalog)
+}
+
+fn cmp(op: CmpOp, l: Expr, r: Expr) -> Result<Expr> {
+    check_comparable(&l, &r)?;
+    Ok(Expr::Cmp { op, left: Box::new(l), right: Box::new(r) })
+}
+
+fn arith(op: ArithOp, l: Expr, r: Expr) -> Result<Expr> {
+    for side in [&l, &r] {
+        if let Some(ty) = side.data_type() {
+            if !matches!(ty, DataType::Int | DataType::Float) {
+                return Err(Error::Binder(format!("arithmetic on non-numeric {ty}")));
+            }
+        }
+    }
+    Ok(Expr::Arith { op, left: Box::new(l), right: Box::new(r) })
+}
+
+fn check_comparable(l: &Expr, r: &Expr) -> Result<()> {
+    match (l.data_type(), r.data_type()) {
+        (Some(a), Some(b)) => {
+            let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
+            // Ext-vs-Text is allowed (UniText compares its text component
+            // with text literals through the support function at eval).
+            let ext_text = matches!(
+                (a, b),
+                (DataType::Ext(_), DataType::Text) | (DataType::Text, DataType::Ext(_))
+            );
+            if a == b || (numeric(a) && numeric(b)) || ext_text {
+                Ok(())
+            } else {
+                Err(Error::Binder(format!("cannot compare {a} with {b}")))
+            }
+        }
+        _ => Ok(()), // NULLs / unresolved function results compare at runtime
+    }
+}
+
+fn expect_boolean(e: &Expr, clause: &str) -> Result<()> {
+    match e.data_type() {
+        Some(DataType::Bool) | None => Ok(()),
+        Some(other) => Err(Error::Binder(format!("{clause} must be boolean, got {other}"))),
+    }
+}
+
+fn is_aggregate(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "min" | "max" | "avg")
+}
+
+fn agg_func(name: &str, star: bool) -> Result<AggFunc> {
+    Ok(match (name, star) {
+        ("count", true) => AggFunc::CountStar,
+        ("count", false) => AggFunc::Count,
+        ("sum", _) => AggFunc::Sum,
+        ("min", _) => AggFunc::Min,
+        ("max", _) => AggFunc::Max,
+        ("avg", _) => AggFunc::Avg,
+        _ => return Err(Error::Binder(format!("unknown aggregate {name:?}"))),
+    })
+}
+
+fn contains_aggregate(e: &AstExpr) -> bool {
+    match e {
+        AstExpr::Func { name, .. } => is_aggregate(name),
+        AstExpr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        AstExpr::Not(inner) => contains_aggregate(inner),
+        AstExpr::IsNull { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    }
+}
+
+fn default_name(e: &AstExpr) -> String {
+    match e {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::Func { name, .. } => name.clone(),
+        _ => "?column?".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+    use crate::storage::{BufferPool, HeapFile, MemBackend};
+
+    fn setup() -> (Catalog, BufferPool) {
+        let pool = BufferPool::new(Box::new(MemBackend::new()), 16);
+        let mut cat = Catalog::new();
+        let heap = HeapFile::create(&pool).unwrap();
+        cat.create_table(
+            "book",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("title", DataType::Text),
+                Column::new("price", DataType::Float),
+            ]),
+            heap,
+        )
+        .unwrap();
+        let heap2 = HeapFile::create(&pool).unwrap();
+        cat.create_table(
+            "author",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+            ]),
+            heap2,
+        )
+        .unwrap();
+        (cat, pool)
+    }
+
+    fn bind_sql(sql: &str, cat: &Catalog) -> Result<LogicalPlan> {
+        let Statement::Select(sel) = parse(sql)? else { panic!("not a select") };
+        bind(&sel, cat)
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let (cat, _) = setup();
+        let plan = bind_sql("SELECT * FROM book", &cat).unwrap();
+        assert_eq!(plan.schema().len(), 3);
+    }
+
+    #[test]
+    fn qualified_columns_resolve_with_offsets() {
+        let (cat, _) = setup();
+        let plan = bind_sql(
+            "SELECT b.title, a.name FROM book b, author a WHERE b.id = a.id",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(plan.schema().len(), 2);
+        assert_eq!(plan.schema().column(0).name, "title");
+        assert_eq!(plan.schema().column(1).name, "name");
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let (cat, _) = setup();
+        let err = bind_sql("SELECT id FROM book, author", &cat).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_and_table() {
+        let (cat, _) = setup();
+        assert!(bind_sql("SELECT nope FROM book", &cat).is_err());
+        assert!(bind_sql("SELECT * FROM nope", &cat).is_err());
+    }
+
+    #[test]
+    fn count_star_aggregate() {
+        let (cat, _) = setup();
+        let plan = bind_sql("SELECT count(*) FROM book", &cat).unwrap();
+        let LogicalPlan::Aggregate { aggs, schema, .. } = &plan else { panic!() };
+        assert_eq!(aggs.len(), 1);
+        assert!(matches!(aggs[0].func, AggFunc::CountStar));
+        assert_eq!(schema.column(0).ty, DataType::Int);
+    }
+
+    #[test]
+    fn group_by_with_key_in_select() {
+        let (cat, _) = setup();
+        let plan =
+            bind_sql("SELECT title, count(*) FROM book GROUP BY title", &cat).unwrap();
+        let LogicalPlan::Aggregate { group_by, schema, .. } = &plan else { panic!() };
+        assert_eq!(group_by.len(), 1);
+        assert_eq!(schema.len(), 2);
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let (cat, _) = setup();
+        assert!(bind_sql("SELECT title, count(*) FROM book", &cat).is_err());
+    }
+
+    #[test]
+    fn type_errors() {
+        let (cat, _) = setup();
+        assert!(bind_sql("SELECT * FROM book WHERE title > 3", &cat).is_err());
+        assert!(bind_sql("SELECT title + 1 FROM book", &cat).is_err());
+        assert!(bind_sql("SELECT * FROM book WHERE id + 1", &cat).is_err(), "WHERE not boolean");
+    }
+
+    #[test]
+    fn unknown_operator_rejected() {
+        let (cat, _) = setup();
+        let err = bind_sql("SELECT * FROM book WHERE title FOO 'x'", &cat).unwrap_err();
+        assert!(err.to_string().contains("unknown operator"));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let (cat, _) = setup();
+        assert!(bind_sql("SELECT * FROM book b, author b", &cat).is_err());
+    }
+
+    #[test]
+    fn order_by_binds_before_projection() {
+        let (cat, _) = setup();
+        let plan = bind_sql("SELECT title FROM book ORDER BY price DESC", &cat).unwrap();
+        // Sort sits below the projection.
+        let LogicalPlan::Project { input, .. } = &plan else { panic!() };
+        assert!(matches!(input.as_ref(), LogicalPlan::Sort { .. }));
+    }
+}

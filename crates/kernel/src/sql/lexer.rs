@@ -1,0 +1,198 @@
+//! SQL tokenizer.
+
+use crate::error::{Error, Result};
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword checks are
+    /// case-insensitive string comparisons in the parser).
+    Ident(String),
+    /// String literal (single quotes, `''` escape).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator symbol.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Is this the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Is this the given symbol?
+    pub fn is_sym(&self, sym: &str) -> bool {
+        matches!(self, Token::Sym(s) if *s == sym)
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            _ if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') {
+                    let f = text
+                        .parse::<f64>()
+                        .map_err(|_| Error::Parse(format!("bad number {text:?}")))?;
+                    out.push(Token::Float(f));
+                } else {
+                    let n = text
+                        .parse::<i64>()
+                        .map_err(|_| Error::Parse(format!("bad number {text:?}")))?;
+                    out.push(Token::Int(n));
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            ':' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym(":="));
+                i += 2;
+            }
+            '|' if chars.get(i + 1) == Some(&'|') => {
+                out.push(Token::Sym("||"));
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym("<="));
+                i += 2;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym(">="));
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '(' | ')' | ',' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | ';' | '.' | '[' | ']' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    ';' => ";",
+                    '.' => ".",
+                    '[' => "[",
+                    ']' => "]",
+                    _ => unreachable!(),
+                };
+                out.push(Token::Sym(sym));
+                i += 1;
+            }
+            other => return Err(Error::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_symbols() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x <= 3;").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks[1].is_kw("a"));
+        assert!(toks[2].is_sym(","));
+        assert!(toks.iter().any(|t| t.is_sym("<=")));
+        assert!(toks.last().unwrap().is_sym(";"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unicode_strings_and_identifiers() {
+        let toks = tokenize("SELECT 'நேரு' FROM café").unwrap();
+        assert_eq!(toks[1], Token::Str("நேரு".into()));
+        assert_eq!(toks[3], Token::Ident("café".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.25").unwrap();
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(3.25)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("§").is_err());
+    }
+
+    #[test]
+    fn not_equals_both_spellings() {
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Sym("<>"));
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Sym("<>"));
+    }
+}

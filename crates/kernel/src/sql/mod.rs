@@ -1,0 +1,29 @@
+//! SQL front-end: lexer, parser, AST, binder.
+//!
+//! The dialect covers what the paper's experiments need:
+//!
+//! ```sql
+//! CREATE TABLE book (id INT, author UNITEXT, title UNITEXT, price FLOAT);
+//! CREATE INDEX book_author_mt ON book (author) USING mtree;
+//! INSERT INTO book VALUES (1, unitext('Nehru', 'English'), ...);
+//! SET lexequal.threshold = 2;
+//! SELECT author, title FROM book
+//!   WHERE author LEXEQUAL unitext('Nehru', 'English') IN (English, Hindi, Tamil);
+//! SELECT count(*) FROM book b, author a WHERE b.authorid = a.authorid;
+//! ANALYZE book;
+//! EXPLAIN SELECT ...;
+//! ```
+//!
+//! Any identifier that names a registered extension operator can be used in
+//! infix position — that is how `LEXEQUAL` and `SEMEQUAL` become first-class
+//! SQL operators without the kernel knowing them.
+
+mod ast;
+mod binder;
+mod lexer;
+mod parser;
+
+pub use ast::*;
+pub use binder::{bind, bind_const_expr, bind_single_table};
+pub use lexer::{tokenize, Token};
+pub use parser::parse;

@@ -1,0 +1,737 @@
+//! Recursive-descent parser.
+
+use crate::error::{Error, Result};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token};
+
+/// Keywords that may not be mistaken for extension infix operators.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "and", "or", "not", "in", "is",
+    "null", "as", "on", "join", "inner", "values", "insert", "into", "create", "table", "index",
+    "drop", "using", "set", "show", "analyze", "explain", "delete", "update", "asc", "desc",
+    "true", "false", "union", "distinct",
+];
+
+/// Parse one statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    // Optional trailing semicolon.
+    if p.peek_sym(";") {
+        p.pos += 1;
+    }
+    if p.pos < p.tokens.len() {
+        return Err(Error::Parse(format!("trailing tokens at {:?}", p.tokens[p.pos])));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        self.peek().map(|t| t.is_sym(sym)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {sym:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("create") {
+            if self.eat_kw("table") {
+                return self.create_table();
+            }
+            if self.eat_kw("index") {
+                return self.create_index();
+            }
+            return Err(Error::Parse("expected TABLE or INDEX after CREATE".into()));
+        }
+        if self.eat_kw("drop") {
+            if self.eat_kw("table") {
+                return Ok(Statement::DropTable { name: self.ident()? });
+            }
+            if self.eat_kw("index") {
+                return Ok(Statement::DropIndex { name: self.ident()? });
+            }
+            return Err(Error::Parse("expected TABLE or INDEX after DROP".into()));
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("update") {
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_sym("=")?;
+                sets.push((col, self.expr()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Statement::Update { table, sets, filter });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.peek_kw("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("explain") {
+            let analyze = self.eat_kw("analyze");
+            return Ok(Statement::Explain { select: self.select()?, analyze });
+        }
+        if self.eat_kw("set") {
+            // SET a.b.c = literal  (dotted names allowed)
+            let mut name = self.ident()?;
+            while self.eat_sym(".") {
+                name.push('.');
+                name.push_str(&self.ident()?);
+            }
+            self.expect_sym("=")?;
+            let value = self.expr()?;
+            return Ok(Statement::Set { name, value });
+        }
+        if self.eat_kw("show") {
+            let mut name = self.ident()?;
+            while self.eat_sym(".") {
+                name.push('.');
+                name.push_str(&self.ident()?);
+            }
+            return Ok(Statement::Show { name });
+        }
+        if self.eat_kw("analyze") {
+            return Ok(Statement::Analyze { table: self.ident()? });
+        }
+        Err(Error::Parse(format!("unrecognized statement start: {:?}", self.peek())))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.ident()?;
+            columns.push((col, ty));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect_sym("(")?;
+        let column = self.ident()?;
+        self.expect_sym(")")?;
+        let using = if self.eat_kw("using") { self.ident()? } else { "btree".into() };
+        Ok(Statement::CreateIndex { name, table, column, using })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        if self.peek_kw("select") {
+            let select = self.select()?;
+            return Ok(Statement::InsertSelect { table, select });
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        let mut join_preds: Vec<AstExpr> = Vec::new();
+        loop {
+            from.push(self.table_ref()?);
+            // JOIN chains: `a JOIN b ON pred` desugars to comma + WHERE.
+            loop {
+                let inner = self.eat_kw("inner");
+                if self.eat_kw("join") {
+                    from.push(self.table_ref()?);
+                    self.expect_kw("on")?;
+                    join_preds.push(self.expr()?);
+                } else {
+                    if inner {
+                        return Err(Error::Parse("INNER must be followed by JOIN".into()));
+                    }
+                    break;
+                }
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let mut where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        for p in join_preds {
+            where_clause = Some(match where_clause {
+                Some(w) => AstExpr::Binary {
+                    op: "and".into(),
+                    left: Box::new(w),
+                    right: Box::new(p),
+                    modifiers: vec![],
+                },
+                None => p,
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.peek() {
+                Some(Token::Int(n)) if *n >= 0 => {
+                    let n = *n as u64;
+                    self.pos += 1;
+                    Some(n)
+                }
+                other => return Err(Error::Parse(format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { distinct, items, from, where_clause, group_by, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        if RESERVED.contains(&table.to_lowercase().as_str()) {
+            return Err(Error::Parse(format!("unexpected keyword {table:?} in FROM")));
+        }
+        let alias = if self.eat_kw("as") {
+            self.ident()?
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            if RESERVED.contains(&s.to_lowercase().as_str()) {
+                table.clone()
+            } else {
+                let s = s.clone();
+                self.pos += 1;
+                s
+            }
+        } else {
+            table.clone()
+        };
+        Ok(TableRef { table, alias: alias.to_lowercase() })
+    }
+
+    // Precedence: OR < AND < NOT < comparison/ext-op < add/sub < mul/div < unary < primary
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: "or".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+                modifiers: vec![],
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: "and".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+                modifiers: vec![],
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr> {
+        let left = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+        }
+        // Symbolic comparison.
+        for sym in ["<=", ">=", "<>", "=", "<", ">"] {
+            if self.eat_sym(sym) {
+                let right = self.add_expr()?;
+                return Ok(AstExpr::Binary {
+                    op: sym.into(),
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    modifiers: vec![],
+                });
+            }
+        }
+        // Extension infix operator: any non-reserved identifier.
+        if let Some(Token::Ident(name)) = self.peek() {
+            let lower = name.to_lowercase();
+            if !RESERVED.contains(&lower.as_str()) {
+                // Lookahead: an operand must follow, otherwise this
+                // identifier belongs to an outer production (e.g. alias).
+                if self.operand_follows() {
+                    self.pos += 1;
+                    let right = self.add_expr()?;
+                    // Optional `IN (lang, ...)` / `IN lang, ...` modifier.
+                    let mut modifiers = Vec::new();
+                    if self.eat_kw("in") {
+                        let parens = self.eat_sym("(");
+                        loop {
+                            modifiers.push(self.ident()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        if parens {
+                            self.expect_sym(")")?;
+                        }
+                    }
+                    return Ok(AstExpr::Binary {
+                        op: lower,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        modifiers,
+                    });
+                }
+            }
+        }
+        Ok(left)
+    }
+
+    /// Does the token after the current one start an operand expression?
+    fn operand_follows(&self) -> bool {
+        match self.tokens.get(self.pos + 1) {
+            Some(Token::Str(_)) | Some(Token::Int(_)) | Some(Token::Float(_)) => true,
+            Some(Token::Sym(s)) => *s == "(",
+            Some(Token::Ident(s)) => !RESERVED.contains(&s.to_lowercase().as_str()),
+            None => false,
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                "+"
+            } else if self.eat_sym("-") {
+                "-"
+            } else {
+                break;
+            };
+            let right = self.mul_expr()?;
+            left = AstExpr::Binary {
+                op: op.into(),
+                left: Box::new(left),
+                right: Box::new(right),
+                modifiers: vec![],
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                "*"
+            } else if self.eat_sym("/") {
+                "/"
+            } else {
+                break;
+            };
+            let right = self.unary_expr()?;
+            left = AstExpr::Binary {
+                op: op.into(),
+                left: Box::new(left),
+                right: Box::new(right),
+                modifiers: vec![],
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_sym("-") {
+            let inner = self.unary_expr()?;
+            return Ok(match inner {
+                AstExpr::Int(n) => AstExpr::Int(-n),
+                AstExpr::Float(f) => AstExpr::Float(-f),
+                other => AstExpr::Binary {
+                    op: "-".into(),
+                    left: Box::new(AstExpr::Int(0)),
+                    right: Box::new(other),
+                    modifiers: vec![],
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(AstExpr::Int(n))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(AstExpr::Float(f))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(AstExpr::Str(s))
+            }
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                let lower = name.to_lowercase();
+                self.pos += 1;
+                if lower == "null" {
+                    return Ok(AstExpr::Null);
+                }
+                if lower == "true" {
+                    return Ok(AstExpr::Bool(true));
+                }
+                if lower == "false" {
+                    return Ok(AstExpr::Bool(false));
+                }
+                // Function call?
+                if self.peek_sym("(") {
+                    self.pos += 1;
+                    if self.eat_sym("*") {
+                        self.expect_sym(")")?;
+                        return Ok(AstExpr::Func { name: lower, args: vec![], star: true });
+                    }
+                    let mut args = Vec::new();
+                    if !self.peek_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(AstExpr::Func { name: lower, args, star: false });
+                }
+                // Qualified column?
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column {
+                        qualifier: Some(lower),
+                        name: col.to_lowercase(),
+                    });
+                }
+                Ok(AstExpr::Column { qualifier: None, name: lower })
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_and_index() {
+        let s = parse("CREATE TABLE book (id INT, author UNITEXT)").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "book");
+                assert_eq!(columns.len(), 2);
+                assert_eq!(columns[1], ("author".to_string(), "UNITEXT".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("CREATE INDEX i ON book (author) USING mtree").unwrap();
+        match s {
+            Statement::CreateIndex { using, column, .. } => {
+                assert_eq!(using, "mtree");
+                assert_eq!(column, "author");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multiple_rows() {
+        let s = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => assert_eq!(rows.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_lexequal_and_langs() {
+        let s = parse(
+            "SELECT author, title FROM book WHERE author LEXEQUAL unitext('Nehru','English') IN (English, Hindi, Tamil)",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 2);
+        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else { panic!() };
+        assert_eq!(op, "lexequal");
+        assert_eq!(modifiers, vec!["English", "Hindi", "Tamil"]);
+    }
+
+    #[test]
+    fn in_list_without_parens() {
+        let s =
+            parse("SELECT * FROM book WHERE category SEMEQUAL 'History' IN English, French")
+                .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else { panic!() };
+        assert_eq!(op, "semequal");
+        assert_eq!(modifiers.len(), 2);
+    }
+
+    #[test]
+    fn join_desugars_to_where() {
+        let s = parse("SELECT count(*) FROM a JOIN b ON a.x = b.y WHERE a.z > 3").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 2);
+        // WHERE contains both the filter and the join predicate.
+        let w = sel.where_clause.unwrap();
+        let AstExpr::Binary { op, .. } = &w else { panic!() };
+        assert_eq!(op, "and");
+    }
+
+    #[test]
+    fn aliases_and_qualified_columns() {
+        let s = parse("SELECT b.id FROM book b, author AS a WHERE b.aid = a.id").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from[0].alias, "b");
+        assert_eq!(sel.from[1].alias, "a");
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = parse(
+            "SELECT lang, count(*) FROM t GROUP BY lang ORDER BY lang DESC, count(*) ASC LIMIT 5",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.group_by.len(), 1);
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(!sel.order_by[0].1);
+        assert_eq!(sel.limit, Some(5));
+    }
+
+    #[test]
+    fn set_show_analyze_explain() {
+        assert!(matches!(
+            parse("SET lexequal.threshold = 3").unwrap(),
+            Statement::Set { name, .. } if name == "lexequal.threshold"
+        ));
+        assert!(matches!(parse("SHOW lexequal.threshold").unwrap(), Statement::Show { .. }));
+        assert!(matches!(parse("ANALYZE book").unwrap(), Statement::Analyze { .. }));
+        assert!(matches!(
+            parse("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("SELECT 1 FROM t garbage garbage").is_err());
+        assert!(parse("SELECT * FROM t; SELECT 1").is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        // Must parse as 1 + (2 * 3).
+        let AstExpr::Binary { op, right, .. } = expr else { panic!() };
+        assert_eq!(op, "+");
+        assert!(matches!(right.as_ref(), AstExpr::Binary { op, .. } if op == "*"));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = parse("SELECT -5, -2.5 FROM t").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(
+            &sel.items[0],
+            SelectItem::Expr { expr: AstExpr::Int(-5), .. }
+        ));
+    }
+
+    #[test]
+    fn delete_with_filter() {
+        let s = parse("DELETE FROM t WHERE id = 3").unwrap();
+        assert!(matches!(s, Statement::Delete { filter: Some(_), .. }));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser is total: arbitrary input may fail but never panics.
+        #[test]
+        fn never_panics_on_arbitrary_input(input in ".{0,200}") {
+            let _ = parse(&input);
+        }
+
+        /// Near-SQL inputs (keyword soup) also never panic and, when they
+        /// parse, re-parse identically.
+        #[test]
+        fn keyword_soup_is_safe(words in proptest::collection::vec(
+            prop_oneof![
+                Just("select"), Just("from"), Just("where"), Just("insert"),
+                Just("values"), Just("("), Just(")"), Just(","), Just("*"),
+                Just("t"), Just("x"), Just("1"), Just("'s'"), Just("="),
+                Just("and"), Just("lexequal"), Just("in"), Just("group"),
+                Just("by"), Just("order"), Just("limit"), Just("update"),
+                Just("set"), Just("distinct"),
+            ], 0..25)) {
+            let input = words.join(" ");
+            let _ = parse(&input);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Row ⇄ tuple-bytes serialization.
+//!
+//! Variable-length encoding, one byte of type tag per field:
+//! ```text
+//! 0x00 NULL
+//! 0x01 Bool       + 1 byte
+//! 0x02 Int        + 8 bytes LE
+//! 0x03 Float      + 8 bytes LE (f64 bits)
+//! 0x04 Text       + u32 len + bytes (UTF-8)
+//! 0x05 Ext        + u32 type id + u32 len + bytes
+//! ```
+
+use crate::error::{Error, Result};
+use crate::schema::Row;
+use crate::value::{Datum, ExtTypeId};
+
+/// Encode a row into a fresh byte vector.
+pub fn encode_row(row: &Row) -> Vec<u8> {
+    let mut out = Vec::with_capacity(row.len() * 9);
+    for d in row {
+        match d {
+            Datum::Null => out.push(0x00),
+            Datum::Bool(b) => {
+                out.push(0x01);
+                out.push(u8::from(*b));
+            }
+            Datum::Int(i) => {
+                out.push(0x02);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Datum::Float(f) => {
+                out.push(0x03);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Datum::Text(s) => {
+                out.push(0x04);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Datum::Ext { ty, bytes } => {
+                out.push(0x05);
+                out.extend_from_slice(&ty.0.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a tuple produced by [`encode_row`].  `arity` fields are read.
+pub fn decode_row(mut bytes: &[u8], arity: usize) -> Result<Row> {
+    let mut row = Row::with_capacity(arity);
+    let corrupt = || Error::Storage("corrupt tuple".into());
+    for _ in 0..arity {
+        let (&tag, rest) = bytes.split_first().ok_or_else(corrupt)?;
+        bytes = rest;
+        let d = match tag {
+            0x00 => Datum::Null,
+            0x01 => {
+                let (&b, rest) = bytes.split_first().ok_or_else(corrupt)?;
+                bytes = rest;
+                Datum::Bool(b != 0)
+            }
+            0x02 => {
+                if bytes.len() < 8 {
+                    return Err(corrupt());
+                }
+                let (v, rest) = bytes.split_at(8);
+                bytes = rest;
+                Datum::Int(i64::from_le_bytes(v.try_into().expect("8 bytes")))
+            }
+            0x03 => {
+                if bytes.len() < 8 {
+                    return Err(corrupt());
+                }
+                let (v, rest) = bytes.split_at(8);
+                bytes = rest;
+                Datum::Float(f64::from_bits(u64::from_le_bytes(v.try_into().expect("8 bytes"))))
+            }
+            0x04 => {
+                if bytes.len() < 4 {
+                    return Err(corrupt());
+                }
+                let (l, rest) = bytes.split_at(4);
+                let len = u32::from_le_bytes(l.try_into().expect("4 bytes")) as usize;
+                if rest.len() < len {
+                    return Err(corrupt());
+                }
+                let (s, rest) = rest.split_at(len);
+                bytes = rest;
+                let text = std::str::from_utf8(s).map_err(|_| corrupt())?;
+                Datum::text(text)
+            }
+            0x05 => {
+                if bytes.len() < 8 {
+                    return Err(corrupt());
+                }
+                let (t, rest) = bytes.split_at(4);
+                let ty = ExtTypeId(u32::from_le_bytes(t.try_into().expect("4 bytes")));
+                let (l, rest) = rest.split_at(4);
+                let len = u32::from_le_bytes(l.try_into().expect("4 bytes")) as usize;
+                if rest.len() < len {
+                    return Err(corrupt());
+                }
+                let (v, rest) = rest.split_at(len);
+                bytes = rest;
+                Datum::ext(ty, v.to_vec())
+            }
+            _ => return Err(corrupt()),
+        };
+        row.push(d);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(row: Row) {
+        let bytes = encode_row(&row);
+        let back = decode_row(&bytes, row.len()).unwrap();
+        assert_eq!(row.len(), back.len());
+        for (a, b) in row.iter().zip(&back) {
+            match (a, b) {
+                (Datum::Null, Datum::Null) => {}
+                _ => assert!(a.eq_sql(b), "{a} != {b}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(vec![
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Int(-42),
+            Datum::Float(2.625),
+            Datum::text("héllo ☃ நேரு"),
+            Datum::ext(ExtTypeId(3), vec![0u8, 255, 7]),
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_empty_payloads() {
+        roundtrip(vec![Datum::text(""), Datum::ext(ExtTypeId(0), Vec::new())]);
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let bytes = encode_row(&vec![Datum::Int(7)]);
+        assert!(decode_row(&bytes[..bytes.len() - 1], 1).is_err());
+        assert!(decode_row(&[], 1).is_err());
+        assert!(decode_row(&[0xff], 1).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_reads_prefix() {
+        let bytes = encode_row(&vec![Datum::Int(1), Datum::Int(2)]);
+        let one = decode_row(&bytes, 1).unwrap();
+        assert_eq!(one.len(), 1);
+        assert!(one[0].eq_sql(&Datum::Int(1)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = vec![0x04];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_row(&bytes, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_datum() -> impl Strategy<Value = Datum> {
+        prop_oneof![
+            Just(Datum::Null),
+            any::<bool>().prop_map(Datum::Bool),
+            any::<i64>().prop_map(Datum::Int),
+            any::<f64>().prop_map(Datum::Float),
+            ".{0,40}".prop_map(Datum::text),
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(t, b)| Datum::ext(ExtTypeId(t), b)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(row in proptest::collection::vec(arb_datum(), 0..8)) {
+            let bytes = encode_row(&row);
+            let back = decode_row(&bytes, row.len()).unwrap();
+            prop_assert_eq!(row.len(), back.len());
+            for (a, b) in row.iter().zip(&back) {
+                match (a, b) {
+                    (Datum::Null, Datum::Null) => {}
+                    (Datum::Float(x), Datum::Float(y)) => {
+                        prop_assert_eq!(x.to_bits(), y.to_bits(), "NaN-safe float identity");
+                    }
+                    (Datum::Ext { ty: t1, bytes: b1 }, Datum::Ext { ty: t2, bytes: b2 }) => {
+                        prop_assert_eq!(t1, t2);
+                        prop_assert_eq!(b1, b2);
+                    }
+                    _ => prop_assert!(a.eq_sql(b), "{} != {}", a, b),
+                }
+            }
+        }
+
+        #[test]
+        fn truncation_never_panics(row in proptest::collection::vec(arb_datum(), 1..6),
+                                   cut in 0usize..64) {
+            let bytes = encode_row(&row);
+            let cut = cut.min(bytes.len());
+            // Any prefix either decodes (when the cut lands after the full
+            // row) or errors — it must never panic.
+            let _ = decode_row(&bytes[..cut], row.len());
+        }
+
+        #[test]
+        fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128),
+                                arity in 0usize..6) {
+            let _ = decode_row(&bytes, arity);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared-reference read concurrency: the engine's internal locking
+//! (buffer-pool mutex, per-index mutexes) must let many threads run
+//! SELECTs against one `Database` simultaneously with consistent results.
+
+use mlql_kernel::Database;
+
+#[test]
+fn parallel_selects_are_consistent() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE t (id INT, grp INT)").unwrap();
+    for i in 0..5000 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7)).unwrap();
+    }
+    db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+    db.execute("ANALYZE t").unwrap();
+    let db = &db;
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            handles.push(scope.spawn(move |_| {
+                for round in 0..20 {
+                    let probe = (w * 131 + round * 17) % 5000;
+                    let point = db
+                        .query_ref(&format!("SELECT grp FROM t WHERE id = {probe}"))
+                        .unwrap();
+                    assert_eq!(point.len(), 1);
+                    assert_eq!(point[0][0].as_int(), Some((probe % 7) as i64));
+                    let agg = db.query_ref("SELECT count(*) FROM t WHERE grp = 3").unwrap();
+                    assert_eq!(agg[0][0].as_int(), Some(714));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn query_ref_rejects_writes() {
+    let mut db = Database::new_in_memory();
+    db.execute("CREATE TABLE t (id INT)").unwrap();
+    assert!(db.query_ref("INSERT INTO t VALUES (1)").is_err());
+    assert!(db.query_ref("DELETE FROM t").is_err());
+    assert!(db.query_ref("SELECT count(*) FROM t").is_ok());
+}

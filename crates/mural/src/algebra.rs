@@ -1,0 +1,180 @@
+//! The Mural algebra at the set level (§3.2).
+//!
+//! These are the *definitional* semantics of ψ and Ω as operators on sets
+//! of UniText values: both produce the tagged Cartesian product of their
+//! inputs — ψ tags each pair with the edit distance between the phonemic
+//! strings, Ω with the subsumption boolean.  The engine's physical
+//! operators must agree with these definitions, and the composition laws
+//! of Table 1 are property-tested against them (`tests/algebra_laws.rs`).
+
+use crate::semequal::SemState;
+use mlql_phonetics::distance::edit_distance;
+use mlql_phonetics::ConverterRegistry;
+use mlql_unitext::UniText;
+use std::collections::BTreeSet;
+
+/// ψ: Set〈UniText〉 × Set〈UniText〉 → Set〈UniText, UniText, dist〉.
+/// "The output is the Cartesian product of the two sets, with each result
+/// tuple tagged with the edit-distance between the phonemic strings."
+pub fn psi(
+    a: &[UniText],
+    b: &[UniText],
+    converters: &ConverterRegistry,
+) -> Vec<(UniText, UniText, usize)> {
+    let pa: Vec<Vec<u8>> = a.iter().map(|v| converters.phonemes_of(v).as_bytes().to_vec()).collect();
+    let pb: Vec<Vec<u8>> = b.iter().map(|v| converters.phonemes_of(v).as_bytes().to_vec()).collect();
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for (x, px) in a.iter().zip(&pa) {
+        for (y, py) in b.iter().zip(&pb) {
+            out.push((x.clone(), y.clone(), edit_distance(px, py)));
+        }
+    }
+    out
+}
+
+/// σ over ψ's output: keep pairs within the threshold (how Example 2's
+/// query composes σ_{dist ≤ k} with ψ).
+pub fn psi_select(
+    a: &[UniText],
+    b: &[UniText],
+    k: usize,
+    converters: &ConverterRegistry,
+) -> Vec<(UniText, UniText, usize)> {
+    psi(a, b, converters).into_iter().filter(|(_, _, d)| *d <= k).collect()
+}
+
+/// Ω: Set〈UniText〉 × Set〈UniText〉 → Set〈UniText, UniText, bool〉, the
+/// tag being `lhs ∈ TC(rhs)`.
+pub fn omega(a: &[UniText], b: &[UniText], state: &SemState) -> Vec<(UniText, UniText, bool)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone(), state.omega_matches(x, y)));
+        }
+    }
+    out
+}
+
+/// Set union of UniText sets (duplicates removed, ≐ identity).
+pub fn union(a: &[UniText], b: &[UniText]) -> Vec<UniText> {
+    let set: BTreeSet<UniText> = a.iter().chain(b.iter()).cloned().collect();
+    set.into_iter().collect()
+}
+
+/// Canonical form of a ψ result for order-insensitive comparison.
+pub fn canon_psi(mut rows: Vec<(UniText, UniText, usize)>) -> Vec<(UniText, UniText, usize)> {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+/// Canonical form of a ψ result with the pair components swapped —
+/// commutativity (Table 1) says `canon_psi(psi(a, b)) ==
+/// canon_swapped(psi(b, a))`.
+pub fn canon_psi_swapped(rows: Vec<(UniText, UniText, usize)>) -> Vec<(UniText, UniText, usize)> {
+    canon_psi(rows.into_iter().map(|(x, y, d)| (y, x, d)).collect())
+}
+
+/// Canonical form of an Ω result.
+pub fn canon_omega(mut rows: Vec<(UniText, UniText, bool)>) -> Vec<(UniText, UniText, bool)> {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlql_taxonomy::books_fragment;
+    use mlql_unitext::LanguageRegistry;
+    use std::sync::Arc;
+
+    fn langs() -> Arc<LanguageRegistry> {
+        Arc::new(LanguageRegistry::new())
+    }
+
+    fn names(reg: &LanguageRegistry, list: &[(&str, &str)]) -> Vec<UniText> {
+        list.iter().map(|(t, l)| UniText::compose(*t, reg.id_of(l))).collect()
+    }
+
+    #[test]
+    fn psi_is_full_tagged_product() {
+        let reg = langs();
+        let convs = ConverterRegistry::with_builtins(&reg);
+        let a = names(&reg, &[("Nehru", "English"), ("Gandhi", "English")]);
+        let b = names(&reg, &[("நேரு", "Tamil")]);
+        let out = psi(&a, &b, &convs);
+        assert_eq!(out.len(), 2, "both input tuples preserved");
+        let nehru_pair = out.iter().find(|(x, _, _)| x.text() == "Nehru").unwrap();
+        assert!(nehru_pair.2 <= 2);
+        let gandhi_pair = out.iter().find(|(x, _, _)| x.text() == "Gandhi").unwrap();
+        assert!(gandhi_pair.2 > 2);
+    }
+
+    #[test]
+    fn psi_select_filters_by_threshold() {
+        let reg = langs();
+        let convs = ConverterRegistry::with_builtins(&reg);
+        let a = names(&reg, &[("Nehru", "English"), ("Gandhi", "English")]);
+        let b = names(&reg, &[("நேரு", "Tamil")]);
+        let out = psi_select(&a, &b, 2, &convs);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.text(), "Nehru");
+    }
+
+    #[test]
+    fn psi_commutes_modulo_swap() {
+        let reg = langs();
+        let convs = ConverterRegistry::with_builtins(&reg);
+        let a = names(&reg, &[("Nehru", "English"), ("Patel", "English")]);
+        let b = names(&reg, &[("நேரு", "Tamil"), ("Meyer", "German")]);
+        assert_eq!(canon_psi(psi(&a, &b, &convs)), canon_psi_swapped(psi(&b, &a, &convs)));
+    }
+
+    #[test]
+    fn psi_distributes_over_union() {
+        let reg = langs();
+        let convs = ConverterRegistry::with_builtins(&reg);
+        let a = names(&reg, &[("Nehru", "English")]);
+        let b = names(&reg, &[("Patel", "English")]);
+        let c = names(&reg, &[("நேரு", "Tamil")]);
+        let lhs = canon_psi(psi(&union(&a, &b), &c, &convs));
+        let rhs = canon_psi([psi(&a, &c, &convs), psi(&b, &c, &convs)].concat());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn omega_does_not_commute() {
+        let reg = langs();
+        let (taxonomy, _) = books_fragment(&reg);
+        let state = SemState::new(Arc::new(taxonomy));
+        let a = names(&reg, &[("Biography", "English")]);
+        let b = names(&reg, &[("History", "English")]);
+        let fwd = omega(&a, &b, &state); // Biography ⊑ History: true
+        let bwd = omega(&b, &a, &state); // History ⊑ Biography: false
+        assert!(fwd[0].2);
+        assert!(!bwd[0].2);
+    }
+
+    #[test]
+    fn omega_distributes_over_union() {
+        let reg = langs();
+        let (taxonomy, _) = books_fragment(&reg);
+        let state = SemState::new(Arc::new(taxonomy));
+        let a = names(&reg, &[("Biography", "English")]);
+        let b = names(&reg, &[("Fiction", "English")]);
+        let c = names(&reg, &[("History", "English")]);
+        let lhs = canon_omega(omega(&union(&a, &b), &c, &state));
+        let rhs = canon_omega([omega(&a, &c, &state), omega(&b, &c, &state)].concat());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn union_deduplicates_by_identity() {
+        let reg = langs();
+        let a = names(&reg, &[("x", "English"), ("x", "French")]);
+        let b = names(&reg, &[("x", "English")]);
+        // ⟨x, English⟩ appears once; ⟨x, French⟩ is a distinct value (≐).
+        assert_eq!(union(&a, &b).len(), 2);
+    }
+}

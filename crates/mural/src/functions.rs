@@ -1,0 +1,155 @@
+//! SQL scalar functions of the Mural extension.
+//!
+//! * `unitext(text, language)` — the composing operator ⊕ (§3.1) as a SQL
+//!   constructor; materializes the phoneme string immediately so query
+//!   constants probe indexes without re-conversion.
+//! * `text_of(unitext)` / `lang_of(unitext)` — the decomposing operator ⊗.
+//! * `phoneme_of(unitext)` — the `transform` function of Figure 3.
+//! * `editdistance(text, text)` — Levenshtein distance; the building block
+//!   the outside-the-server PL implementations call per row (§5.3).
+
+use crate::types::{unitext_datum, unitext_of_datum};
+use mlql_kernel::catalog::FuncDef;
+use mlql_kernel::{DataType, Datum, Error, ExtTypeId};
+use mlql_phonetics::distance::edit_distance;
+use mlql_phonetics::ConverterRegistry;
+use mlql_unitext::{LanguageRegistry, UniText};
+use std::sync::Arc;
+
+/// Build all scalar functions for registration.
+pub fn mural_functions(
+    unitext_type: ExtTypeId,
+    langs: Arc<LanguageRegistry>,
+    converters: Arc<ConverterRegistry>,
+) -> Vec<FuncDef> {
+    let ctor_langs = Arc::clone(&langs);
+    let ctor_convs = Arc::clone(&converters);
+    let ph_convs = Arc::clone(&converters);
+    let lang_langs = Arc::clone(&langs);
+
+    vec![
+        FuncDef {
+            name: "unitext".into(),
+            arity: 2,
+            ret: Some(DataType::Ext(unitext_type)),
+            eval: Arc::new(move |args, _| {
+                let text = args[0]
+                    .as_text()
+                    .ok_or_else(|| Error::Execution("unitext: text expected".into()))?;
+                let lang_name = args[1]
+                    .as_text()
+                    .ok_or_else(|| Error::Execution("unitext: language name expected".into()))?;
+                let lang = ctor_langs
+                    .lookup(lang_name)
+                    .ok_or_else(|| Error::Execution(format!("unknown language {lang_name:?}")))?
+                    .id;
+                let mut v = UniText::compose(text, lang);
+                ctor_convs.materialize(&mut v);
+                Ok(unitext_datum(unitext_type, &v))
+            }),
+        },
+        FuncDef {
+            name: "text_of".into(),
+            arity: 1,
+            ret: Some(DataType::Text),
+            eval: Arc::new(|args, _| {
+                let v = unitext_of_datum(&args[0])?;
+                Ok(Datum::text(v.text()))
+            }),
+        },
+        FuncDef {
+            name: "lang_of".into(),
+            arity: 1,
+            ret: Some(DataType::Text),
+            eval: Arc::new(move |args, _| {
+                let v = unitext_of_datum(&args[0])?;
+                let name = lang_langs
+                    .get(v.lang())
+                    .map(|l| l.name.clone())
+                    .unwrap_or_else(|| v.lang().to_string());
+                Ok(Datum::text(name))
+            }),
+        },
+        FuncDef {
+            name: "phoneme_of".into(),
+            arity: 1,
+            ret: Some(DataType::Text),
+            eval: Arc::new(move |args, _| {
+                let v = unitext_of_datum(&args[0])?;
+                let ph = ph_convs.phonemes_of(&v);
+                // Phone bytes are ASCII by construction.
+                Ok(Datum::text(String::from_utf8_lossy(ph.as_bytes())))
+            }),
+        },
+        FuncDef {
+            name: "editdistance".into(),
+            arity: 2,
+            ret: Some(DataType::Int),
+            eval: Arc::new(|args, _| {
+                let a = args[0]
+                    .as_text()
+                    .ok_or_else(|| Error::Execution("editdistance: text expected".into()))?;
+                let b = args[1]
+                    .as_text()
+                    .ok_or_else(|| Error::Execution("editdistance: text expected".into()))?;
+                Ok(Datum::Int(edit_distance(a.as_bytes(), b.as_bytes()) as i64))
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlql_kernel::catalog::SessionVars;
+
+    fn setup() -> Vec<FuncDef> {
+        let langs = Arc::new(LanguageRegistry::new());
+        let convs = Arc::new(ConverterRegistry::with_builtins(&langs));
+        mural_functions(ExtTypeId(0), langs, convs)
+    }
+
+    fn call(funcs: &[FuncDef], name: &str, args: &[Datum]) -> mlql_kernel::Result<Datum> {
+        let f = funcs.iter().find(|f| f.name == name).unwrap();
+        (f.eval)(args, &SessionVars::new())
+    }
+
+    #[test]
+    fn constructor_materializes_phonemes() {
+        let funcs = setup();
+        let v = call(&funcs, "unitext", &[Datum::text("Nehru"), Datum::text("English")]).unwrap();
+        let ph = call(&funcs, "phoneme_of", std::slice::from_ref(&v)).unwrap();
+        assert_eq!(ph.as_text(), Some("nehru"));
+        let t = call(&funcs, "text_of", std::slice::from_ref(&v)).unwrap();
+        assert_eq!(t.as_text(), Some("Nehru"));
+        let l = call(&funcs, "lang_of", &[v]).unwrap();
+        assert_eq!(l.as_text(), Some("English"));
+    }
+
+    #[test]
+    fn constructor_rejects_unknown_language() {
+        let funcs = setup();
+        assert!(call(&funcs, "unitext", &[Datum::text("x"), Datum::text("Klingon")]).is_err());
+        assert!(call(&funcs, "unitext", &[Datum::Int(1), Datum::text("English")]).is_err());
+    }
+
+    #[test]
+    fn editdistance_function() {
+        let funcs = setup();
+        let d = call(
+            &funcs,
+            "editdistance",
+            &[Datum::text("kitten"), Datum::text("sitting")],
+        )
+        .unwrap();
+        assert!(d.eq_sql(&Datum::Int(3)));
+    }
+
+    #[test]
+    fn iso_codes_accepted_as_language() {
+        let funcs = setup();
+        let v = call(&funcs, "unitext", &[Datum::text("நேரு"), Datum::text("ta")]).unwrap();
+        let l = call(&funcs, "lang_of", &[v]).unwrap();
+        assert_eq!(l.as_text(), Some("Tamil"));
+    }
+}

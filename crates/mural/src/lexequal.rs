@@ -1,0 +1,268 @@
+//! The LexEQUAL operator ψ as a first-class engine operator.
+//!
+//! ψ is registered as a *binary* operator — PostgreSQL's operator extension
+//! facility "is restricted to binary operators, and therefore cannot be
+//! directly used to implement ψ, which is a tertiary operator.  Therefore,
+//! we used the workaround of implementing ψ as a binary operator, making
+//! the third input, the error threshold parameter, a user-settable value in
+//! a system table" (§4.2).  Our equivalent system table is the session-
+//! variable store: `SET lexequal.threshold = 3`.
+
+use crate::selectivity::{psi_default_selectivity, psi_join_selectivity, psi_scan_selectivity};
+use crate::types::unitext_of_datum;
+use mlql_kernel::catalog::{ExtOperator, OperatorKind, SessionVars};
+use mlql_kernel::{DataType, Datum, ExtTypeId};
+use mlql_phonetics::distance::DistanceBuffer;
+use mlql_phonetics::{ConverterRegistry, PhonemeString};
+use mlql_unitext::{LanguageRegistry, UniText};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Session variable holding ψ's error threshold.
+pub const THRESHOLD_VAR: &str = "lexequal.threshold";
+
+/// Default threshold when the session does not set one (the running
+/// example of the paper's Figure 2 uses 2).
+pub const DEFAULT_THRESHOLD: i64 = 2;
+
+thread_local! {
+    /// Reused DP rows for the banded edit distance — ψ joins evaluate
+    /// millions of pairs and must not allocate per pair.
+    static DP: RefCell<DistanceBuffer> = RefCell::new(DistanceBuffer::new());
+}
+
+/// Read the threshold from the session.
+pub fn threshold(session: &SessionVars) -> usize {
+    session.get_int(THRESHOLD_VAR, DEFAULT_THRESHOLD).max(0) as usize
+}
+
+/// Phoneme bytes of a value: the materialized cache when present,
+/// otherwise a fresh conversion (query constants constructed via
+/// `unitext(...)` are materialized by the constructor, so this path is
+/// warm in practice).
+pub fn phonemes_of(value: &UniText, converters: &ConverterRegistry) -> PhonemeString {
+    converters.phonemes_of(value)
+}
+
+/// The ψ predicate over two datums.
+///
+/// Fast path: both sides are UniText payloads with *materialized* phoneme
+/// strings — compare the cached byte slices directly, no decode, no
+/// allocation (this is what §4.2's insertion-time materialization buys).
+pub fn psi_matches(
+    l: &Datum,
+    r: &Datum,
+    k: usize,
+    converters: &ConverterRegistry,
+) -> mlql_kernel::Result<bool> {
+    if let (Datum::Ext { bytes: lb, .. }, Datum::Ext { bytes: rb, .. }) = (l, r) {
+        if let (Some(lp), Some(rp)) =
+            (crate::types::phoneme_slice(lb), crate::types::phoneme_slice(rb))
+        {
+            return Ok(DP.with(|dp| dp.borrow_mut().distance_within(lp, rp, k).is_some()));
+        }
+    }
+    // Slow path: decode and convert on demand.
+    let lv = unitext_of_datum(l)?;
+    let rv = unitext_of_datum(r)?;
+    let lp = phonemes_of(&lv, converters);
+    let rp = phonemes_of(&rv, converters);
+    if lp.is_empty() && rp.is_empty() {
+        // No phonemic information on either side: fall back to exact text
+        // equality so ψ degrades gracefully for unknown languages.
+        return Ok(lv.text() == rv.text());
+    }
+    Ok(DP.with(|dp| {
+        dp.borrow_mut()
+            .distance_within(lp.as_bytes(), rp.as_bytes(), k)
+            .is_some()
+    }))
+}
+
+/// Build the ψ [`ExtOperator`] for registration in the catalog.
+pub fn lexequal_operator(
+    unitext_type: ExtTypeId,
+    converters: Arc<ConverterRegistry>,
+    langs: Arc<LanguageRegistry>,
+) -> ExtOperator {
+    let eval_convs = Arc::clone(&converters);
+    let sel_convs = Arc::clone(&converters);
+    ExtOperator {
+        name: "lexequal".into(),
+        operand_type: DataType::Ext(unitext_type),
+        eval: Arc::new(move |l, r, session| {
+            let k = threshold(session);
+            Ok(Datum::Bool(psi_matches(l, r, k, &eval_convs)?))
+        }),
+        // Table 1: ψ commutes, associates, and distributes over ∪.
+        kind: OperatorKind { commutative: true, distributes_over_union: true },
+        // Table 3: the banded edit distance costs O(k·l) elementary
+        // comparisons per evaluated pair.
+        per_tuple_cost: Arc::new(|session, avg_width| {
+            let k = threshold(session) as f64;
+            (k + 1.0) * avg_width.max(4.0)
+        }),
+        // §3.4.1: probe the end-biased histogram's MCVs at the threshold,
+        // inflate the remainder by the threshold factor.
+        selectivity: Arc::new(move |input| {
+            let k = threshold(input.session);
+            match (input.column, input.constant) {
+                (Some(stats), Some(constant)) => {
+                    let query = match unitext_of_datum(constant) {
+                        Ok(v) => phonemes_of(&v, &sel_convs),
+                        Err(_) => return psi_default_selectivity(k),
+                    };
+                    let mcv_phonemes: Vec<(Vec<u8>, f64)> = stats
+                        .mcvs
+                        .iter()
+                        .filter_map(|(d, f)| {
+                            unitext_of_datum(d)
+                                .ok()
+                                .map(|v| (phonemes_of(&v, &sel_convs).as_bytes().to_vec(), *f))
+                        })
+                        .collect();
+                    psi_scan_selectivity(&mcv_phonemes, query.as_bytes(), k)
+                }
+                (left, None) => psi_join_selectivity(left, input.other_column, k),
+                (None, Some(_)) => psi_default_selectivity(k),
+            }
+        }),
+        // §4.2.1: the M-Tree serves ψ probes with its metric range search.
+        index_strategy: Some(("mtree".into(), "within".into())),
+        index_extra: Some(Arc::new(|session| Datum::Int(threshold(session) as i64))),
+        // `IN (English, Hindi, ...)`: the LHS row matches only when its
+        // language is in the list.
+        modifier_filter: Some(Arc::new(move |l, mods| {
+            let Ok(v) = unitext_of_datum(l) else { return false };
+            mods.iter().any(|m| {
+                langs
+                    .lookup(m)
+                    .map(|lang| lang.id == v.lang())
+                    .unwrap_or(false)
+            })
+        })),
+        // §3.3: approximate-index traversal is linear in the threshold.
+        index_scan_fraction: Some(Arc::new(|session| {
+            crate::cost::approx_index_fraction(threshold(session))
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{unitext_datum, unitext_to_bytes};
+
+    fn setup() -> (Arc<LanguageRegistry>, Arc<ConverterRegistry>, ExtOperator) {
+        let langs = Arc::new(LanguageRegistry::new());
+        let convs = Arc::new(ConverterRegistry::with_builtins(&langs));
+        let op = lexequal_operator(ExtTypeId(0), Arc::clone(&convs), Arc::clone(&langs));
+        (langs, convs, op)
+    }
+
+    fn ut(langs: &LanguageRegistry, text: &str, lang: &str) -> Datum {
+        unitext_datum(ExtTypeId(0), &UniText::compose(text, langs.id_of(lang)))
+    }
+
+    #[test]
+    fn cross_script_match_at_threshold() {
+        let (langs, _, op) = setup();
+        let mut session = SessionVars::new();
+        session.set(THRESHOLD_VAR, Datum::Int(2));
+        let en = ut(&langs, "Nehru", "English");
+        let ta = ut(&langs, "நேரு", "Tamil");
+        let hi = ut(&langs, "नेहरू", "Hindi");
+        assert!((op.eval)(&en, &ta, &session).unwrap().is_true());
+        assert!((op.eval)(&en, &hi, &session).unwrap().is_true());
+        let other = ut(&langs, "Gandhi", "English");
+        assert!(!(op.eval)(&en, &other, &session).unwrap().is_true());
+    }
+
+    #[test]
+    fn threshold_zero_is_exact_phonemic_equality() {
+        let (langs, _, op) = setup();
+        let mut session = SessionVars::new();
+        session.set(THRESHOLD_VAR, Datum::Int(0));
+        let a = ut(&langs, "Nehru", "English");
+        let b = ut(&langs, "Neru", "English"); // /neru/ vs /nehru/: d = 1
+        assert!(!(op.eval)(&a, &b, &session).unwrap().is_true());
+        session.set(THRESHOLD_VAR, Datum::Int(1));
+        assert!((op.eval)(&a, &b, &session).unwrap().is_true());
+    }
+
+    #[test]
+    fn materialized_phonemes_short_circuit_conversion() {
+        let (langs, convs, _) = setup();
+        let v = UniText::compose("whatever", langs.id_of("English")).with_phoneme("nehru");
+        let ph = phonemes_of(&v, &convs);
+        assert_eq!(ph.to_ipa(), "nehru", "cache wins over conversion");
+        let bytes = unitext_to_bytes(&v);
+        let back = crate::types::unitext_from_bytes(&bytes).unwrap();
+        assert_eq!(back.phoneme(), Some("nehru"));
+    }
+
+    #[test]
+    fn modifier_filter_restricts_languages() {
+        let (langs, _, op) = setup();
+        let filter = op.modifier_filter.as_ref().unwrap();
+        let ta = ut(&langs, "நேரு", "Tamil");
+        assert!(filter(&ta, &["Tamil".into(), "Hindi".into()]));
+        assert!(filter(&ta, &["tamil".into()]), "case-insensitive");
+        assert!(!filter(&ta, &["English".into()]));
+        assert!(!filter(&ta, &["Klingon".into()]), "unknown language never matches");
+    }
+
+    #[test]
+    fn selectivity_uses_constant_and_threshold() {
+        use mlql_kernel::catalog::{ColumnStats, SelectivityInput};
+        let (langs, _, op) = setup();
+        // Build a column whose MCV is ⟨Nehru⟩ at 40%.
+        let nehru = ut(&langs, "Nehru", "English");
+        let mut vals: Vec<Datum> = std::iter::repeat_n(nehru.clone(), 40).collect();
+        for i in 0..60 {
+            vals.push(ut(&langs, &format!("zzz{i}"), "English"));
+        }
+        let stats = ColumnStats::build(&vals);
+        let mut session = SessionVars::new();
+        session.set(THRESHOLD_VAR, Datum::Int(1));
+        let probe = ut(&langs, "Neru", "English");
+        let sel = (op.selectivity)(&SelectivityInput {
+            column: Some(&stats),
+            constant: Some(&probe),
+            other_column: None,
+            session: &session,
+        });
+        assert!(sel >= 0.4, "MCV mass must be captured: {sel}");
+        // An unrelated probe estimates only the tail.
+        let far = ut(&langs, "Ramanujan", "English");
+        let sel_far = (op.selectivity)(&SelectivityInput {
+            column: Some(&stats),
+            constant: Some(&far),
+            other_column: None,
+            session: &session,
+        });
+        assert!(sel_far < 0.05, "got {sel_far}");
+    }
+
+    #[test]
+    fn unknown_language_degrades_to_text_equality() {
+        let (_, convs, _) = setup();
+        let a = Datum::text("exact");
+        let b = Datum::text("exact");
+        assert!(psi_matches(&a, &b, 2, &convs).unwrap());
+        let c = Datum::text("other");
+        // Latin-script untagged text converts through no converter
+        // (LangId::UNKNOWN) — exact text equality decides.
+        assert!(!psi_matches(&a, &c, 2, &convs).unwrap());
+    }
+
+    #[test]
+    fn per_tuple_cost_scales_with_threshold() {
+        let (_, _, op) = setup();
+        let mut s0 = SessionVars::new();
+        s0.set(THRESHOLD_VAR, Datum::Int(0));
+        let mut s3 = SessionVars::new();
+        s3.set(THRESHOLD_VAR, Datum::Int(3));
+        assert!((op.per_tuple_cost)(&s3, 8.0) > (op.per_tuple_cost)(&s0, 8.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! The Metric-Distance-Index (MDI) of the outside-the-server baseline.
+//!
+//! Table 4's "Outside-Server / Index" row uses "the Metric-Distance-Index
+//! (MDI) which can be implemented using the standard B-tree index" \[15\]:
+//! every phoneme string is keyed by its edit distance to a fixed *anchor*
+//! string, stored in an ordinary integer column with a B-Tree on it.  A
+//! probe `q` at threshold `k` can, by the triangle inequality, only match
+//! rows whose key lies in `[d(q,anchor) − k, d(q,anchor) + k]`, so the
+//! outside-the-server code narrows its SQL with a B-Tree range predicate
+//! and verifies candidates with the (interpreted) edit distance.
+
+use mlql_phonetics::distance::edit_distance;
+
+/// The anchor used by the benchmarks: a mid-length phoneme string chosen
+/// from the data's alphabet.  Any fixed string works; pruning quality
+/// varies mildly with the choice.
+pub const DEFAULT_ANCHOR: &[u8] = b"nakara";
+
+/// MDI key of a phoneme string: its distance to the anchor.
+pub fn mdi_key(phoneme: &[u8], anchor: &[u8]) -> i64 {
+    edit_distance(phoneme, anchor) as i64
+}
+
+/// The B-Tree range a probe must scan: `[key(q) − k, key(q) + k]`.
+pub fn mdi_range(query_phoneme: &[u8], anchor: &[u8], k: usize) -> (i64, i64) {
+    let q = mdi_key(query_phoneme, anchor);
+    (q - k as i64, q + k as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlql_phonetics::distance::within_distance;
+
+    #[test]
+    fn range_never_prunes_true_matches() {
+        // Triangle inequality: if d(x,q) <= k then |key(x) - key(q)| <= k.
+        let strings: Vec<&[u8]> = vec![b"nehru", b"neru", b"nero", b"gandhi", b"patel", b""];
+        for &q in &strings {
+            for k in 0..4usize {
+                let (lo, hi) = mdi_range(q, DEFAULT_ANCHOR, k);
+                for &x in &strings {
+                    if within_distance(x, q, k) {
+                        let key = mdi_key(x, DEFAULT_ANCHOR);
+                        assert!(
+                            (lo..=hi).contains(&key),
+                            "pruned a true match: q={q:?} x={x:?} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_width_is_2k_plus_1() {
+        let (lo, hi) = mdi_range(b"nehru", DEFAULT_ANCHOR, 3);
+        assert_eq!(hi - lo, 6);
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        assert_eq!(mdi_key(b"nehru", DEFAULT_ANCHOR), mdi_key(b"nehru", DEFAULT_ANCHOR));
+        assert_eq!(mdi_key(DEFAULT_ANCHOR, DEFAULT_ANCHOR), 0);
+    }
+}

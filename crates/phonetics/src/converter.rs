@@ -1,0 +1,215 @@
+//! Language → phoneme-converter dispatch.
+//!
+//! The engine consults a [`ConverterRegistry`] at *insertion time* to
+//! materialize the phonemic string of every `UniText` value (§4.2: "the
+//! phonemic strings corresponding to the multilingual strings were
+//! materialized to avoid repeated conversions"), and at *query time* to
+//! convert query constants.
+
+use crate::english::english_rules;
+use crate::french::french_rules;
+use crate::german::german_rules;
+use crate::spanish::spanish_rules;
+use crate::indic::{self, IndicScript};
+use crate::ipa::PhonemeString;
+use crate::ruleset::RuleSet;
+use mlql_unitext::{LangId, LanguageRegistry, UniText};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A grapheme-to-phoneme converter for one language.
+pub trait PhonemeConverter: Send + Sync {
+    /// Convert a text string into its phonemic string.
+    fn to_phonemes(&self, text: &str) -> PhonemeString;
+
+    /// Human-readable name (shown by `EXPLAIN`-style output and tests).
+    fn name(&self) -> &str;
+}
+
+struct RuleConverter {
+    name: String,
+    rules: RuleSet,
+}
+
+impl PhonemeConverter for RuleConverter {
+    fn to_phonemes(&self, text: &str) -> PhonemeString {
+        self.rules.convert(text)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct IndicConverter {
+    name: String,
+    script: IndicScript,
+}
+
+impl PhonemeConverter for IndicConverter {
+    fn to_phonemes(&self, text: &str) -> PhonemeString {
+        indic::convert(self.script, text)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Registry of phoneme converters keyed by [`LangId`].
+///
+/// Cloning is cheap (converters are shared via `Arc`), so the engine can
+/// hand copies to executor nodes without locking.
+#[derive(Clone, Default)]
+pub struct ConverterRegistry {
+    converters: HashMap<LangId, Arc<dyn PhonemeConverter>>,
+}
+
+impl ConverterRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ConverterRegistry::default()
+    }
+
+    /// Registry with converters for all built-in languages of `langs`:
+    /// English, French, German, Spanish (rule engines), Hindi, Tamil,
+    /// Kannada (Indic tables).
+    pub fn with_builtins(langs: &LanguageRegistry) -> Self {
+        let mut reg = ConverterRegistry::new();
+        reg.register(
+            langs.id_of("English"),
+            Arc::new(RuleConverter { name: "english-nrl".into(), rules: english_rules() }),
+        );
+        reg.register(
+            langs.id_of("French"),
+            Arc::new(RuleConverter { name: "french-rules".into(), rules: french_rules() }),
+        );
+        reg.register(
+            langs.id_of("German"),
+            Arc::new(RuleConverter { name: "german-rules".into(), rules: german_rules() }),
+        );
+        reg.register(
+            langs.id_of("Spanish"),
+            Arc::new(RuleConverter { name: "spanish-rules".into(), rules: spanish_rules() }),
+        );
+        reg.register(
+            langs.id_of("Hindi"),
+            Arc::new(IndicConverter { name: "devanagari".into(), script: IndicScript::Devanagari }),
+        );
+        reg.register(
+            langs.id_of("Tamil"),
+            Arc::new(IndicConverter { name: "tamil".into(), script: IndicScript::Tamil }),
+        );
+        reg.register(
+            langs.id_of("Kannada"),
+            Arc::new(IndicConverter { name: "kannada".into(), script: IndicScript::Kannada }),
+        );
+        reg
+    }
+
+    /// Register (or replace) the converter for a language.
+    pub fn register(&mut self, lang: LangId, conv: Arc<dyn PhonemeConverter>) {
+        self.converters.insert(lang, conv);
+    }
+
+    /// The converter for `lang`, if one is registered.
+    pub fn get(&self, lang: LangId) -> Option<&Arc<dyn PhonemeConverter>> {
+        self.converters.get(&lang)
+    }
+
+    /// Convert the text of a `UniText` value.  Returns the *materialized*
+    /// phoneme string when present (never re-converts — exactly the paper's
+    /// caching behaviour), otherwise runs the converter for the value's
+    /// language; unknown languages yield an empty phoneme string, which
+    /// matches nothing at sane thresholds.
+    pub fn phonemes_of(&self, value: &UniText) -> PhonemeString {
+        if let Some(cached) = value.phoneme() {
+            return PhonemeString::from_bytes(cached.as_bytes());
+        }
+        match self.get(value.lang()) {
+            Some(conv) => conv.to_phonemes(value.text()),
+            None => PhonemeString::new(),
+        }
+    }
+
+    /// Materialize the phoneme string into the value (insertion-time hook).
+    pub fn materialize(&self, value: &mut UniText) {
+        if value.phoneme().is_some() {
+            return;
+        }
+        if let Some(conv) = self.get(value.lang()) {
+            let ps = conv.to_phonemes(value.text());
+            // Phone bytes are ASCII by construction, so this is a valid UTF-8 string.
+            value.set_phoneme(String::from_utf8_lossy(ps.as_bytes()).into_owned());
+        }
+    }
+
+    /// Number of registered converters.
+    pub fn len(&self) -> usize {
+        self.converters.len()
+    }
+
+    /// True when no converter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.converters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::edit_distance;
+
+    fn setup() -> (LanguageRegistry, ConverterRegistry) {
+        let langs = LanguageRegistry::new();
+        let convs = ConverterRegistry::with_builtins(&langs);
+        (langs, convs)
+    }
+
+    #[test]
+    fn builtin_coverage() {
+        let (langs, convs) = setup();
+        for name in ["English", "French", "Hindi", "Tamil", "Kannada"] {
+            assert!(convs.get(langs.id_of(name)).is_some(), "missing converter for {name}");
+        }
+        assert!(!convs.is_empty());
+    }
+
+    #[test]
+    fn nehru_across_languages_is_phonetically_close() {
+        let (langs, convs) = setup();
+        // The paper's Figure 2 query: 'Nehru' in English matches the Hindi
+        // and Tamil renderings at threshold 2.
+        let en = convs.phonemes_of(&UniText::compose("Nehru", langs.id_of("English")));
+        let hi = convs.phonemes_of(&UniText::compose("नेहरू", langs.id_of("Hindi")));
+        let ta = convs.phonemes_of(&UniText::compose("நேரு", langs.id_of("Tamil")));
+        assert!(edit_distance(en.as_bytes(), hi.as_bytes()) <= 2, "en={en} hi={hi}");
+        assert!(edit_distance(en.as_bytes(), ta.as_bytes()) <= 2, "en={en} ta={ta}");
+    }
+
+    #[test]
+    fn materialized_phoneme_is_used_verbatim() {
+        let (langs, convs) = setup();
+        let v = UniText::compose("Nehru", langs.id_of("English")).with_phoneme("xyz-not-phones");
+        // Invalid bytes are filtered; remaining valid phone bytes are taken
+        // as-is without re-conversion.
+        let ps = convs.phonemes_of(&v);
+        assert_ne!(ps.to_ipa(), "nehru");
+    }
+
+    #[test]
+    fn materialize_fills_cache_once() {
+        let (langs, convs) = setup();
+        let mut v = UniText::compose("Nehru", langs.id_of("English"));
+        convs.materialize(&mut v);
+        let first = v.phoneme().unwrap().to_owned();
+        convs.materialize(&mut v); // no-op
+        assert_eq!(v.phoneme().unwrap(), first);
+        assert_eq!(PhonemeString::from_bytes(first.as_bytes()).to_ipa(), "nehru");
+    }
+
+    #[test]
+    fn unknown_language_yields_empty() {
+        let (_, convs) = setup();
+        let v = UniText::compose("whatever", LangId(999));
+        assert!(convs.phonemes_of(&v).is_empty());
+    }
+}

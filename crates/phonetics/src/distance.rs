@@ -1,0 +1,274 @@
+//! Levenshtein edit distance over phoneme byte strings.
+//!
+//! Three entry points, matching how the paper's implementation uses edit
+//! distance (§3.3: "All edit-distance computations were implemented using
+//! the diagonal transition algorithm", citing Navarro's survey \[16\]):
+//!
+//! * [`edit_distance`] — the classic O(|a|·|b|) dynamic program with a
+//!   two-row rolling buffer.  Reference implementation; used by property
+//!   tests as the ground truth.
+//! * [`edit_distance_banded`] — threshold-bounded banded computation
+//!   (Ukkonen's cut-off, the practical form of diagonal transition):
+//!   O(k·min(|a|,|b|)) time.  Returns `None` when the distance exceeds `k`.
+//! * [`within_distance`] — the predicate the ψ operator actually evaluates;
+//!   adds the cheap length-difference pre-filter before the banded DP.
+//!
+//! [`DistanceBuffer`] lets hot loops (joins, index probes) reuse the DP rows
+//! across millions of calls without re-allocating — per the Rust Performance
+//! Book guidance on buffer reuse.
+
+/// Reusable dynamic-programming buffer.
+#[derive(Debug, Default)]
+pub struct DistanceBuffer {
+    prev: Vec<usize>,
+    curr: Vec<usize>,
+}
+
+impl DistanceBuffer {
+    /// A fresh buffer; rows grow on demand and are then reused.
+    pub fn new() -> Self {
+        DistanceBuffer::default()
+    }
+
+    /// Full Levenshtein distance between two byte strings.
+    pub fn distance(&mut self, a: &[u8], b: &[u8]) -> usize {
+        // Keep the inner loop over the shorter string: fewer cells per row.
+        let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+        if b.is_empty() {
+            return a.len();
+        }
+        let n = b.len();
+        self.prev.clear();
+        self.prev.extend(0..=n);
+        self.curr.resize(n + 1, 0);
+        for (i, &ca) in a.iter().enumerate() {
+            self.curr[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                self.curr[j + 1] = (self.prev[j] + cost)
+                    .min(self.prev[j + 1] + 1)
+                    .min(self.curr[j] + 1);
+            }
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+        self.prev[n]
+    }
+
+    /// Banded (Ukkonen cut-off) distance: compute only the diagonal band of
+    /// half-width `k`.  Returns `Some(d)` when `d <= k`, `None` otherwise.
+    ///
+    /// Complexity O(k·min(|a|,|b|)) — this is the `k·l` term in the paper's
+    /// Table 3 cost models.
+    pub fn distance_within(&mut self, a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+        let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+        // |a| >= |b|; deleting the length difference alone costs this much.
+        if a.len() - b.len() > k {
+            return None;
+        }
+        if b.is_empty() {
+            return if a.len() <= k { Some(a.len()) } else { None };
+        }
+        let n = b.len();
+        const INF: usize = usize::MAX / 2;
+        self.prev.clear();
+        self.prev.resize(n + 1, INF);
+        // Out-of-band cells must read as INF; a plain `resize` would keep
+        // stale values from a previous use of this buffer.
+        self.curr.clear();
+        self.curr.resize(n + 1, INF);
+        for (j, v) in self.prev.iter_mut().enumerate().take(k.min(n) + 1) {
+            *v = j;
+        }
+        for (i, &ca) in a.iter().enumerate() {
+            // Band for row i+1: columns j with |(i+1) - j| <= k.
+            let row = i + 1;
+            let lo = row.saturating_sub(k);
+            let hi = (row + k).min(n);
+            if lo > hi {
+                return None;
+            }
+            // Reset only the band (plus the cell left of it).
+            if lo > 0 {
+                self.curr[lo - 1] = INF;
+            }
+            for v in &mut self.curr[lo..=hi] {
+                *v = INF;
+            }
+            if lo == 0 {
+                self.curr[0] = row;
+            }
+            let mut best = INF;
+            let start = lo.max(1);
+            for j in start..=hi {
+                let cb = b[j - 1];
+                let cost = usize::from(ca != cb);
+                let diag = self.prev[j - 1] + cost;
+                let up = self.prev[j] + 1;
+                let left = self.curr[j - 1] + 1;
+                let v = diag.min(up).min(left);
+                self.curr[j] = v;
+                if v < best {
+                    best = v;
+                }
+            }
+            if lo == 0 && self.curr[0] < best {
+                best = self.curr[0];
+            }
+            if best > k {
+                return None; // every cell in the band already exceeds k
+            }
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+        let d = self.prev[n];
+        (d <= k).then_some(d)
+    }
+}
+
+/// One-shot full Levenshtein distance (allocates a fresh buffer).
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    DistanceBuffer::new().distance(a, b)
+}
+
+/// One-shot banded distance; `None` when the distance exceeds `k`.
+pub fn edit_distance_banded(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+    DistanceBuffer::new().distance_within(a, b, k)
+}
+
+/// The ψ predicate: are `a` and `b` within edit distance `k`?
+#[inline]
+pub fn within_distance(a: &[u8], b: &[u8], k: usize) -> bool {
+    if a.len().abs_diff(b.len()) > k {
+        return false;
+    }
+    edit_distance_banded(a, b, k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+        assert_eq!(edit_distance(b"", b"abc"), 3);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+    }
+
+    #[test]
+    fn banded_agrees_with_full_when_within() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"nehru", b"neru"),
+            (b"kitten", b"sitting"),
+            (b"abcdef", b"azced"),
+            (b"a", b"b"),
+        ];
+        for &(a, b) in pairs {
+            let d = edit_distance(a, b);
+            for k in d..d + 3 {
+                assert_eq!(edit_distance_banded(a, b, k), Some(d), "a={a:?} b={b:?} k={k}");
+            }
+            if d > 0 {
+                assert_eq!(edit_distance_banded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_length_prefilter() {
+        assert_eq!(edit_distance_banded(b"aaaaaaaaaa", b"a", 3), None);
+        assert_eq!(edit_distance_banded(b"aaaa", b"a", 3), Some(3));
+    }
+
+    #[test]
+    fn within_distance_predicate() {
+        assert!(within_distance(b"nehru", b"neru", 2));
+        assert!(!within_distance(b"nehru", b"gandhi", 2));
+        assert!(within_distance(b"", b"", 0));
+        assert!(!within_distance(b"ab", b"ba", 1)); // transposition costs 2
+        assert!(within_distance(b"ab", b"ba", 2));
+    }
+
+    #[test]
+    fn buffer_reuse_is_sound() {
+        let mut buf = DistanceBuffer::new();
+        // Interleave long and short computations to catch stale-row bugs.
+        assert_eq!(buf.distance(b"abcdefghij", b"jihgfedcba"), 10);
+        assert_eq!(buf.distance(b"a", b"a"), 0);
+        assert_eq!(buf.distance_within(b"abc", b"abd", 1), Some(1));
+        assert_eq!(buf.distance(b"abcdefghij", b"abcdefghij"), 0);
+        assert_eq!(buf.distance_within(b"abcdefghij", b"abc", 2), None);
+        assert_eq!(buf.distance_within(b"abcdefghij", b"abcdefghix", 5), Some(1));
+    }
+
+    #[test]
+    fn zero_threshold_is_equality() {
+        assert_eq!(edit_distance_banded(b"same", b"same", 0), Some(0));
+        assert_eq!(edit_distance_banded(b"same", b"sama", 0), None);
+    }
+
+    #[test]
+    fn distance_is_metric_on_samples() {
+        // Symmetry + triangle inequality on a small sample set — the M-Tree
+        // requires metric properties of the distance function.
+        let strs: &[&[u8]] = &[b"nehru", b"neru", b"nero", b"nehrul", b"gandhi", b""];
+        for &a in strs {
+            assert_eq!(edit_distance(a, a), 0);
+            for &b in strs {
+                assert_eq!(edit_distance(a, b), edit_distance(b, a));
+                for &c in strs {
+                    assert!(edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn banded_matches_full(a in proptest::collection::vec(0u8..8, 0..24),
+                               b in proptest::collection::vec(0u8..8, 0..24),
+                               k in 0usize..12) {
+            let full = edit_distance(&a, &b);
+            let banded = edit_distance_banded(&a, &b, k);
+            if full <= k {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        #[test]
+        fn triangle_inequality(a in proptest::collection::vec(0u8..6, 0..16),
+                               b in proptest::collection::vec(0u8..6, 0..16),
+                               c in proptest::collection::vec(0u8..6, 0..16)) {
+            let ab = edit_distance(&a, &b);
+            let bc = edit_distance(&b, &c);
+            let ac = edit_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn symmetry_and_identity(a in proptest::collection::vec(0u8..6, 0..20),
+                                 b in proptest::collection::vec(0u8..6, 0..20)) {
+            prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+            prop_assert_eq!(edit_distance(&a, &a), 0);
+            prop_assert!((edit_distance(&a, &b) == 0) == (a == b));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in proptest::collection::vec(0u8..6, 0..20),
+                                    b in proptest::collection::vec(0u8..6, 0..20)) {
+            let d = edit_distance(&a, &b);
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+            prop_assert!(d <= a.len().max(b.len()));
+        }
+    }
+}

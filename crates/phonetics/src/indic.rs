@@ -1,0 +1,401 @@
+//! Table-driven grapheme-to-phoneme conversion for Indic abugida scripts:
+//! Devanagari (Hindi), Tamil and Kannada.
+//!
+//! Abugidas attach an *inherent vowel* /a/ to every consonant letter; the
+//! vowel is overridden by a dependent vowel sign (matra) and suppressed by
+//! the virama.  The converter implements:
+//!
+//! * inherent-vowel insertion with virama/matra handling,
+//! * Hindi word-final schwa deletion (नेहरू-style names come out right),
+//! * Tamil positional voicing: the stop letters க ட த ப are voiced
+//!   between vowels and after nasals (Tamil script does not distinguish
+//!   voicing orthographically),
+//! * aspiration folding (ख → /k/), matching the canonical alphabet's design.
+//!
+//! This mirrors what the paper's Dhvani integration produced: IPA phonemic
+//! strings for Indic-language names (§4.2).
+
+use crate::ipa::{Phone, PhonemeString};
+
+/// Which abugida the converter handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndicScript {
+    Devanagari,
+    Tamil,
+    Kannada,
+}
+
+/// What a script character contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Glyph {
+    /// Independent vowel letter (word-initial vowels).
+    Vowel(Phone),
+    /// Diphthong independent vowel (two phones).
+    Vowel2(Phone, Phone),
+    /// Consonant letter with inherent /a/.
+    Consonant(Phone),
+    /// Dependent vowel sign (matra) replacing the inherent vowel.
+    Matra(Phone),
+    /// Diphthong matra.
+    Matra2(Phone, Phone),
+    /// Virama / pulli: kills the inherent vowel.
+    Virama,
+    /// Anusvara: homorganic nasal, approximated /n/.
+    Anusvara,
+    /// Visarga: /h/.
+    Visarga,
+    /// Nukta or other combining sign we ignore.
+    Ignore,
+}
+
+use Glyph::*;
+use Phone::*;
+
+fn devanagari(c: char) -> Option<Glyph> {
+    Some(match c {
+        '\u{0901}' | '\u{0902}' => Anusvara,
+        '\u{0903}' => Visarga,
+        'अ' => Vowel(A),
+        'आ' => Vowel(A),
+        'इ' => Vowel(I),
+        'ई' => Vowel(I),
+        'उ' => Vowel(U),
+        'ऊ' => Vowel(U),
+        'ऋ' => Vowel2(R, I),
+        'ए' => Vowel(E),
+        'ऐ' => Vowel2(A, I),
+        'ओ' => Vowel(O),
+        'औ' => Vowel2(A, U),
+        'क' | 'ख' => Consonant(K),
+        'ग' | 'घ' => Consonant(G),
+        'ङ' => Consonant(Ng),
+        'च' | 'छ' => Consonant(Ch),
+        'ज' | 'झ' => Consonant(J),
+        'ञ' => Consonant(Ny),
+        'ट' | 'ठ' => Consonant(Tt),
+        'ड' | 'ढ' => Consonant(Dd),
+        'ण' => Consonant(Nn),
+        'त' | 'थ' => Consonant(T),
+        'द' | 'ध' => Consonant(D),
+        'न' => Consonant(N),
+        'प' => Consonant(P),
+        'फ' => Consonant(F), // pʰ ≈ f in loanword-heavy name data
+        'ब' | 'भ' => Consonant(B),
+        'म' => Consonant(M),
+        'य' => Consonant(Yy),
+        'र' => Consonant(R),
+        'ल' => Consonant(L),
+        'ळ' => Consonant(Ll),
+        'व' => Consonant(Vv),
+        'श' | 'ष' => Consonant(Sh),
+        'स' => Consonant(S),
+        'ह' => Consonant(H),
+        '\u{093C}' => Ignore, // nukta
+        'ऽ' => Ignore,
+        '\u{093E}' => Matra(A),
+        '\u{093F}' | '\u{0940}' => Matra(I),
+        '\u{0941}' | '\u{0942}' => Matra(U),
+        '\u{0943}' => Matra2(R, I),
+        '\u{0947}' => Matra(E),
+        '\u{0948}' => Matra2(A, I),
+        '\u{094B}' => Matra(O),
+        '\u{094C}' => Matra2(A, U),
+        '\u{094D}' => Virama,
+        _ => return None,
+    })
+}
+
+fn tamil(c: char) -> Option<Glyph> {
+    Some(match c {
+        '\u{0B82}' => Anusvara,
+        'அ' => Vowel(A),
+        'ஆ' => Vowel(A),
+        'இ' => Vowel(I),
+        'ஈ' => Vowel(I),
+        'உ' => Vowel(U),
+        'ஊ' => Vowel(U),
+        'எ' | 'ஏ' => Vowel(E),
+        'ஐ' => Vowel2(A, I),
+        'ஒ' | 'ஓ' => Vowel(O),
+        'ஔ' => Vowel2(A, U),
+        'க' => Consonant(K), // voiced positionally
+        'ங' => Consonant(Ng),
+        'ச' => Consonant(Ch),
+        'ஜ' => Consonant(J),
+        'ஞ' => Consonant(Ny),
+        'ட' => Consonant(Tt),
+        'ண' => Consonant(Nn),
+        'த' => Consonant(T),
+        'ந' | 'ன' => Consonant(N),
+        'ப' => Consonant(P),
+        'ம' => Consonant(M),
+        'ய' => Consonant(Yy),
+        'ர' | 'ற' => Consonant(R),
+        'ல' => Consonant(L),
+        'ள' => Consonant(Ll),
+        'ழ' => Consonant(Rr),
+        'வ' => Consonant(Vv),
+        'ஶ' | 'ஷ' => Consonant(Sh),
+        'ஸ' => Consonant(S),
+        'ஹ' => Consonant(H),
+        '\u{0BBE}' => Matra(A),
+        '\u{0BBF}' | '\u{0BC0}' => Matra(I),
+        '\u{0BC1}' | '\u{0BC2}' => Matra(U),
+        '\u{0BC6}' | '\u{0BC7}' => Matra(E),
+        '\u{0BC8}' => Matra2(A, I),
+        '\u{0BCA}' | '\u{0BCB}' => Matra(O),
+        '\u{0BCC}' => Matra2(A, U),
+        '\u{0BCD}' => Virama,
+        _ => return None,
+    })
+}
+
+fn kannada(c: char) -> Option<Glyph> {
+    Some(match c {
+        '\u{0C82}' => Anusvara,
+        '\u{0C83}' => Visarga,
+        'ಅ' => Vowel(A),
+        'ಆ' => Vowel(A),
+        'ಇ' => Vowel(I),
+        'ಈ' => Vowel(I),
+        'ಉ' => Vowel(U),
+        'ಊ' => Vowel(U),
+        'ಋ' => Vowel2(R, I),
+        'ಎ' | 'ಏ' => Vowel(E),
+        'ಐ' => Vowel2(A, I),
+        'ಒ' | 'ಓ' => Vowel(O),
+        'ಔ' => Vowel2(A, U),
+        'ಕ' | 'ಖ' => Consonant(K),
+        'ಗ' | 'ಘ' => Consonant(G),
+        'ಙ' => Consonant(Ng),
+        'ಚ' | 'ಛ' => Consonant(Ch),
+        'ಜ' | 'ಝ' => Consonant(J),
+        'ಞ' => Consonant(Ny),
+        'ಟ' | 'ಠ' => Consonant(Tt),
+        'ಡ' | 'ಢ' => Consonant(Dd),
+        'ಣ' => Consonant(Nn),
+        'ತ' | 'ಥ' => Consonant(T),
+        'ದ' | 'ಧ' => Consonant(D),
+        'ನ' => Consonant(N),
+        'ಪ' => Consonant(P),
+        'ಫ' => Consonant(F),
+        'ಬ' | 'ಭ' => Consonant(B),
+        'ಮ' => Consonant(M),
+        'ಯ' => Consonant(Yy),
+        'ರ' => Consonant(R),
+        'ಲ' => Consonant(L),
+        'ಳ' => Consonant(Ll),
+        'ವ' => Consonant(Vv),
+        'ಶ' | 'ಷ' => Consonant(Sh),
+        'ಸ' => Consonant(S),
+        'ಹ' => Consonant(H),
+        '\u{0CBE}' => Matra(A),
+        '\u{0CBF}' | '\u{0CC0}' => Matra(I),
+        '\u{0CC1}' | '\u{0CC2}' => Matra(U),
+        '\u{0CC3}' => Matra2(R, I),
+        '\u{0CC6}' | '\u{0CC7}' => Matra(E),
+        '\u{0CC8}' => Matra2(A, I),
+        '\u{0CCA}' | '\u{0CCB}' => Matra(O),
+        '\u{0CCC}' => Matra2(A, U),
+        '\u{0CCD}' => Virama,
+        _ => return None,
+    })
+}
+
+/// Convert an Indic-script string to phones.
+pub fn convert(script: IndicScript, input: &str) -> PhonemeString {
+    let classify: fn(char) -> Option<Glyph> = match script {
+        IndicScript::Devanagari => devanagari,
+        IndicScript::Tamil => tamil,
+        IndicScript::Kannada => kannada,
+    };
+    let glyphs: Vec<Glyph> = input.chars().filter_map(classify).collect();
+    // (phone, came-from-inherent-vowel) — the flag drives Hindi schwa
+    // deletion, which applies only to inherent vowels, never to matras.
+    let mut phones: Vec<(Phone, bool)> = Vec::with_capacity(glyphs.len() + 4);
+    let mut pending_inherent = false;
+    let flush = |phones: &mut Vec<(Phone, bool)>, pending: &mut bool| {
+        if *pending {
+            phones.push((A, true));
+            *pending = false;
+        }
+    };
+
+    for &g in &glyphs {
+        match g {
+            Consonant(p) => {
+                flush(&mut phones, &mut pending_inherent);
+                phones.push((p, false));
+                pending_inherent = true;
+            }
+            Vowel(p) => {
+                flush(&mut phones, &mut pending_inherent);
+                phones.push((p, false));
+            }
+            Vowel2(p, q) => {
+                flush(&mut phones, &mut pending_inherent);
+                phones.push((p, false));
+                phones.push((q, false));
+            }
+            Matra(p) => {
+                pending_inherent = false;
+                phones.push((p, false));
+            }
+            Matra2(p, q) => {
+                pending_inherent = false;
+                phones.push((p, false));
+                phones.push((q, false));
+            }
+            Virama => {
+                pending_inherent = false;
+            }
+            Anusvara => {
+                flush(&mut phones, &mut pending_inherent);
+                phones.push((N, false));
+            }
+            Visarga => {
+                flush(&mut phones, &mut pending_inherent);
+                phones.push((H, false));
+            }
+            Ignore => {}
+        }
+    }
+    if pending_inherent {
+        // Word-final inherent vowel: Hindi deletes the final schwa; Tamil
+        // and Kannada pronounce it.
+        if script != IndicScript::Devanagari {
+            phones.push((A, false));
+        }
+    }
+
+    if script == IndicScript::Devanagari {
+        delete_medial_schwas(&mut phones);
+    }
+
+    let mut out: PhonemeString = phones.iter().map(|&(p, _)| p).collect();
+    if script == IndicScript::Tamil {
+        apply_tamil_voicing(&mut out);
+    }
+    out
+}
+
+/// Hindi medial schwa deletion: an *inherent* /a/ in the context V C _ C V
+/// is not pronounced (e.g. नेहरू → /nehru/, not /neharu/).
+fn delete_medial_schwas(phones: &mut Vec<(Phone, bool)>) {
+    let mut i = 0;
+    while i < phones.len() {
+        let (p, inherent) = phones[i];
+        let deletable = inherent
+            && p == A
+            && i >= 2
+            && i + 2 < phones.len()
+            && phones[i - 2].0.is_vowel()
+            && !phones[i - 1].0.is_vowel()
+            && !phones[i + 1].0.is_vowel()
+            && phones[i + 2].0.is_vowel();
+        if deletable {
+            phones.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Tamil positional voicing: the unvoiced stops /k ʈ t p tʃ/ become
+/// /ɡ ɖ d b dʒ~s/ between vowels and after nasals.
+fn apply_tamil_voicing(ps: &mut PhonemeString) {
+    let bytes: Vec<u8> = ps.as_bytes().to_vec();
+    let phones: Vec<Phone> = bytes.iter().filter_map(|&b| Phone::from_byte(b)).collect();
+    let mut voiced = PhonemeString::new();
+    for (i, &p) in phones.iter().enumerate() {
+        let prev = if i > 0 { Some(phones[i - 1]) } else { None };
+        let next = phones.get(i + 1).copied();
+        let after_voiced = prev.map(|q| q.is_vowel() || q.is_nasal()).unwrap_or(false);
+        let before_vowel = next.map(|q| q.is_vowel()).unwrap_or(false);
+        let after_nasal = prev.map(|q| q.is_nasal()).unwrap_or(false);
+        let intervocalic = prev.map(|q| q.is_vowel()).unwrap_or(false) && before_vowel;
+        let voice = after_nasal || intervocalic;
+        let out = if voice {
+            match p {
+                K => G,
+                Tt => Dd,
+                T => D,
+                P => B,
+                Ch => S, // Tamil ச is /s/ intervocalically
+                other => other,
+            }
+        } else {
+            p
+        };
+        let _ = after_voiced;
+        voiced.push(out);
+    }
+    *ps = voiced;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hindi_nehru() {
+        // नेहरू = n + e-matra, h, r + uu-matra
+        assert_eq!(convert(IndicScript::Devanagari, "नेहरू").to_ipa(), "nehru");
+    }
+
+    #[test]
+    fn hindi_final_schwa_deleted() {
+        // राम = r + aa-matra + m(+a deleted finally) -> /ram/
+        assert_eq!(convert(IndicScript::Devanagari, "राम").to_ipa(), "ram");
+    }
+
+    #[test]
+    fn hindi_conjunct_virama() {
+        // क्र = k + virama + r + (final schwa deleted) -> /kr/
+        assert_eq!(convert(IndicScript::Devanagari, "क्र").to_ipa(), "kr");
+    }
+
+    #[test]
+    fn tamil_neru() {
+        // நேரு = n + ee-matra + r + u-matra
+        assert_eq!(convert(IndicScript::Tamil, "நேரு").to_ipa(), "neru");
+    }
+
+    #[test]
+    fn tamil_voicing_after_nasal() {
+        // பாண்டி = p aa ɳ (virama) ʈ i -> ʈ voiced to ɖ after nasal
+        assert_eq!(convert(IndicScript::Tamil, "பாண்டி").to_ipa(), "paɳɖi");
+    }
+
+    #[test]
+    fn tamil_intervocalic_voicing() {
+        // மகன் = m a k a n -> k voiced intervocalically
+        assert_eq!(convert(IndicScript::Tamil, "மகன்").to_ipa(), "maɡan");
+    }
+
+    #[test]
+    fn kannada_nehru() {
+        // ನೆಹರು = n + e-matra, h, r + u-matra, final a pronounced?  No: ರು has u-matra.
+        assert_eq!(convert(IndicScript::Kannada, "ನೆಹರು").to_ipa(), "neharu");
+    }
+
+    #[test]
+    fn kannada_final_inherent_vowel_kept() {
+        // ರಾಮ -> /rama/ in Kannada (no schwa deletion)
+        assert_eq!(convert(IndicScript::Kannada, "ರಾಮ").to_ipa(), "rama");
+    }
+
+    #[test]
+    fn cross_script_names_are_close() {
+        use crate::distance::edit_distance;
+        let hi = convert(IndicScript::Devanagari, "नेहरू");
+        let ta = convert(IndicScript::Tamil, "நேரு");
+        let d = edit_distance(hi.as_bytes(), ta.as_bytes());
+        assert!(d <= 2, "hi={} ta={} d={}", hi.to_ipa(), ta.to_ipa(), d);
+    }
+
+    #[test]
+    fn non_script_chars_ignored() {
+        assert!(convert(IndicScript::Devanagari, "abc 123").is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # Phonetics — grapheme-to-phoneme conversion and approximate matching
+//!
+//! This crate is the stand-in for the *Dhvani* text-to-phoneme engine that
+//! the paper integrated into PostgreSQL (§4.2), plus the approximate string
+//! distance machinery used by the LexEQUAL (ψ) operator.
+//!
+//! * [`ipa`] defines the canonical phonemic alphabet: a compact subset of the
+//!   International Phonetic Alphabet where every phone is one byte, so that
+//!   phoneme strings are plain byte strings — cheap to store in tuples,
+//!   cheap to compare, and directly indexable.
+//! * [`ruleset`] is an NRL-style context-sensitive rewrite-rule engine used
+//!   by the Latin-script converters ([`english`], [`french`]).
+//! * [`indic`] is a table-driven converter for abugida scripts
+//!   (Devanagari/Hindi, Tamil, Kannada) with inherent-vowel, virama, and
+//!   positional-voicing handling.
+//! * [`translit`] transliterates romanized names into Indic scripts — used
+//!   by the data generator to fabricate the multilingual names dataset.
+//! * [`distance`] implements Levenshtein edit distance three ways: the full
+//!   dynamic program, the banded diagonal-transition variant the paper uses
+//!   (Navarro \[16\]), and a threshold-bounded early-exit predicate.
+//! * [`converter`] ties everything to `LangId`s: a [`ConverterRegistry`]
+//!   that the engine consults at insertion time to materialize phonemes.
+
+pub mod converter;
+pub mod distance;
+pub mod english;
+pub mod french;
+pub mod german;
+pub mod indic;
+pub mod ipa;
+pub mod ruleset;
+pub mod soundex;
+pub mod spanish;
+pub mod translit;
+
+pub use converter::{ConverterRegistry, PhonemeConverter};
+pub use distance::{edit_distance, edit_distance_banded, within_distance, DistanceBuffer};
+pub use ipa::{Phone, PhonemeString};

@@ -1,0 +1,269 @@
+//! NRL-style context-sensitive rewrite-rule engine for Latin-script
+//! grapheme-to-phoneme conversion.
+//!
+//! A rule has the classic shape `L [ P ] R → phones`: when grapheme pattern
+//! `P` occurs with left context `L` and right context `R`, emit `phones` and
+//! advance past `P`.  Contexts are sequences of [`Ctx`] atoms; patterns are
+//! literal lowercase grapheme strings.  Rules are tried in order; the first
+//! match wins, so specific rules must precede general ones (e.g. `ch` before
+//! `c`).  If no rule matches, the offending character is skipped — G2P is
+//! total.
+//!
+//! This architecture is the one used by the classic Navy Research Laboratory
+//! English text-to-phoneme rules, which is an adequate open substitute for
+//! the Dhvani engine the paper integrated (see DESIGN.md §2).
+
+use crate::ipa::{Phone, PhonemeString};
+
+/// One atom of a context pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctx {
+    /// Word boundary (start for left contexts, end for right contexts).
+    Boundary,
+    /// Any orthographic vowel (a e i o u y).
+    Vowel,
+    /// Any orthographic consonant.
+    Consonant,
+    /// A specific literal character.
+    Lit(char),
+    /// One or more orthographic vowels.
+    VowelPlus,
+}
+
+/// A single rewrite rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Left context, outermost atom first (i.e. `left[0]` is furthest from
+    /// the pattern).
+    pub left: &'static [Ctx],
+    /// The grapheme pattern (lowercase).
+    pub pattern: &'static str,
+    /// Right context, innermost atom first (i.e. `right[0]` is adjacent to
+    /// the pattern).
+    pub right: &'static [Ctx],
+    /// Phones emitted when the rule fires.
+    pub output: &'static [Phone],
+}
+
+/// An ordered collection of rules for one language.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+#[inline]
+fn is_orth_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y' | 'é' | 'è' | 'ê' | 'à' | 'â' | 'î' | 'ô' | 'û' | 'ë' | 'ï')
+}
+
+#[inline]
+fn is_orth_consonant(c: char) -> bool {
+    c.is_alphabetic() && !is_orth_vowel(c)
+}
+
+impl RuleSet {
+    /// Build a rule set.  Panics (in debug builds) if a rule has an empty
+    /// pattern, which would make conversion non-terminating.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        debug_assert!(rules.iter().all(|r| !r.pattern.is_empty()));
+        RuleSet { rules }
+    }
+
+    /// Number of rules (used by tests and the cost-model calibration bench).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the rule set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Convert a word to phones.  Input is lowercased and non-alphabetic
+    /// characters are treated as word boundaries (names like "De Souza"
+    /// convert as two words).
+    pub fn convert(&self, input: &str) -> PhonemeString {
+        let lower: Vec<char> = input.to_lowercase().chars().collect();
+        let mut out = PhonemeString::new();
+        // Split on non-alphabetic chars so each word sees proper boundaries.
+        let mut word: Vec<char> = Vec::with_capacity(lower.len());
+        for &c in lower.iter().chain(std::iter::once(&' ')) {
+            if c.is_alphabetic() {
+                word.push(c);
+            } else if !word.is_empty() {
+                self.convert_word(&word, &mut out);
+                word.clear();
+            }
+        }
+        out
+    }
+
+    fn convert_word(&self, word: &[char], out: &mut PhonemeString) {
+        let mut i = 0;
+        while i < word.len() {
+            let mut advanced = false;
+            for rule in &self.rules {
+                if let Some(step) = self.try_rule(rule, word, i) {
+                    for &p in rule.output {
+                        out.push(p);
+                    }
+                    i += step;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                i += 1; // unknown grapheme: skip (total function)
+            }
+        }
+    }
+
+    /// Check whether `rule` fires at position `i`; returns the number of
+    /// characters consumed.
+    fn try_rule(&self, rule: &Rule, word: &[char], i: usize) -> Option<usize> {
+        let pat: Vec<char> = rule.pattern.chars().collect();
+        if i + pat.len() > word.len() || word[i..i + pat.len()] != pat[..] {
+            return None;
+        }
+        // Left context: match atoms moving leftwards from position i.
+        // `rule.left` is outermost-first, so iterate it in reverse.
+        let mut pos = i; // exclusive upper bound of unmatched left region
+        for atom in rule.left.iter().rev() {
+            match atom {
+                Ctx::Boundary => {
+                    if pos != 0 {
+                        return None;
+                    }
+                }
+                Ctx::Vowel => {
+                    if pos == 0 || !is_orth_vowel(word[pos - 1]) {
+                        return None;
+                    }
+                    pos -= 1;
+                }
+                Ctx::Consonant => {
+                    if pos == 0 || !is_orth_consonant(word[pos - 1]) {
+                        return None;
+                    }
+                    pos -= 1;
+                }
+                Ctx::Lit(c) => {
+                    if pos == 0 || word[pos - 1] != *c {
+                        return None;
+                    }
+                    pos -= 1;
+                }
+                Ctx::VowelPlus => {
+                    if pos == 0 || !is_orth_vowel(word[pos - 1]) {
+                        return None;
+                    }
+                    while pos > 0 && is_orth_vowel(word[pos - 1]) {
+                        pos -= 1;
+                    }
+                }
+            }
+        }
+        // Right context: match atoms moving rightwards from the pattern end.
+        let mut pos = i + pat.len();
+        for atom in rule.right.iter() {
+            match atom {
+                Ctx::Boundary => {
+                    if pos != word.len() {
+                        return None;
+                    }
+                }
+                Ctx::Vowel => {
+                    if pos >= word.len() || !is_orth_vowel(word[pos]) {
+                        return None;
+                    }
+                    pos += 1;
+                }
+                Ctx::Consonant => {
+                    if pos >= word.len() || !is_orth_consonant(word[pos]) {
+                        return None;
+                    }
+                    pos += 1;
+                }
+                Ctx::Lit(c) => {
+                    if pos >= word.len() || word[pos] != *c {
+                        return None;
+                    }
+                    pos += 1;
+                }
+                Ctx::VowelPlus => {
+                    if pos >= word.len() || !is_orth_vowel(word[pos]) {
+                        return None;
+                    }
+                    while pos < word.len() && is_orth_vowel(word[pos]) {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        Some(pat.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipa::Phone;
+
+    fn tiny() -> RuleSet {
+        RuleSet::new(vec![
+            // "ch" -> tʃ, must precede plain "c"
+            Rule { left: &[], pattern: "ch", right: &[], output: &[Phone::Ch] },
+            // word-final "e" silent
+            Rule { left: &[], pattern: "e", right: &[Ctx::Boundary], output: &[] },
+            Rule { left: &[], pattern: "c", right: &[], output: &[Phone::K] },
+            Rule { left: &[], pattern: "a", right: &[], output: &[Phone::A] },
+            Rule { left: &[], pattern: "e", right: &[], output: &[Phone::E] },
+            Rule { left: &[], pattern: "t", right: &[], output: &[Phone::T] },
+            Rule { left: &[], pattern: "s", right: &[Ctx::Vowel], output: &[Phone::S] },
+            Rule { left: &[Ctx::Vowel], pattern: "s", right: &[], output: &[Phone::Z] },
+        ])
+    }
+
+    #[test]
+    fn ordered_first_match_wins() {
+        let rs = tiny();
+        assert_eq!(rs.convert("cha").to_ipa(), "tʃa");
+        assert_eq!(rs.convert("ca").to_ipa(), "ka");
+    }
+
+    #[test]
+    fn boundary_context() {
+        let rs = tiny();
+        // final e silent, medial e voiced
+        assert_eq!(rs.convert("tate").to_ipa(), "tat");
+        assert_eq!(rs.convert("teta").to_ipa(), "teta");
+    }
+
+    #[test]
+    fn left_right_contexts() {
+        let rs = tiny();
+        // s before vowel -> s ; s after vowel (not before vowel) -> z
+        assert_eq!(rs.convert("sa").to_ipa(), "sa");
+        assert_eq!(rs.convert("as").to_ipa(), "az");
+    }
+
+    #[test]
+    fn unknown_chars_are_skipped() {
+        let rs = tiny();
+        assert_eq!(rs.convert("q-a!").to_ipa(), "a");
+    }
+
+    #[test]
+    fn multiword_input_gets_boundaries_per_word() {
+        let rs = tiny();
+        // each word-final e is silent
+        assert_eq!(rs.convert("te te").to_ipa(), "tt");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let rs = tiny();
+        assert!(rs.convert("").is_empty());
+        assert!(rs.convert("   ").is_empty());
+    }
+}

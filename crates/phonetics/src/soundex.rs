@@ -1,0 +1,95 @@
+//! Soundex — the classic phonetic-code baseline.
+//!
+//! The paper's related work cites Zobel & Dart's phonetic-matching study
+//! \[20\]; Soundex is the canonical pre-edit-distance technique and serves
+//! as the matching-quality baseline for the `quality_lexequal` harness:
+//! unlike ψ it has no tunable threshold, collapses heavily, and only works
+//! on Latin-script input — which is precisely why a cross-lingual operator
+//! needs the phoneme + edit-distance design.
+
+/// Classic 4-character Soundex code (`W252`-style).  Non-ASCII and
+/// non-alphabetic characters are ignored; an empty input yields `"0000"`.
+pub fn soundex(name: &str) -> String {
+    let letters: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_string();
+    };
+    let code = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            _ => 0, // vowels + H/W/Y
+        }
+    };
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut prev = code(first);
+    for &c in &letters[1..] {
+        let d = code(c);
+        // H and W are transparent: they do not reset the previous code.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if d != 0 && d != prev {
+            out.push((b'0' + d) as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        prev = d;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// Soundex equality — the baseline "match" predicate.
+pub fn soundex_matches(a: &str, b: &str) -> bool {
+    soundex(a) == soundex(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Ashcroft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+    }
+
+    #[test]
+    fn known_name_pairs() {
+        assert!(soundex_matches("Smith", "Smyth"));
+        assert!(soundex_matches("Meyer", "Meier"));
+        assert!(!soundex_matches("Nehru", "Gandhi"));
+    }
+
+    #[test]
+    fn non_latin_input_degenerates() {
+        // Soundex cannot see non-ASCII scripts at all — the baseline's
+        // fundamental limitation for multilingual data.
+        assert_eq!(soundex("நேரு"), "0000");
+        assert_eq!(soundex("नेहरू"), "0000");
+        assert_eq!(soundex(""), "0000");
+    }
+
+    #[test]
+    fn padding_and_truncation() {
+        assert_eq!(soundex("A"), "A000");
+        assert_eq!(soundex("Abcdefghijklmnop").len(), 4);
+    }
+}

@@ -1,0 +1,232 @@
+//! Romanized-name → Indic-script transliteration.
+//!
+//! The paper's ψ experiments use a pre-tagged multilingual names dataset
+//! (§5.1) which we cannot obtain; the data generator fabricates one by
+//! transliterating romanized names into Devanagari, Tamil and Kannada.
+//! The transliterator is intentionally *phonetic*: it goes through the same
+//! romanization conventions people actually use, so the fabricated dataset
+//! has the same cross-script homophone structure as real tagged data.
+//!
+//! Transliteration is consonant-cluster aware: `ramesh` becomes र(a)मे(e)श
+//! with correct matras and viramas, such that converting the output back
+//! through [`crate::indic`] yields a phoneme string close to the English
+//! G2P of the input — that round-trip property is tested here and is what
+//! makes LexEQUAL behave on the generated data the way the paper reports.
+
+use crate::indic::IndicScript;
+
+/// A consonant's spelling in the three target scripts.
+struct Cons {
+    latin: &'static str,
+    deva: char,
+    tamil: char,
+    kannada: char,
+}
+
+/// A vowel's independent form and matra in the three target scripts.
+/// Empty char (`'\0'`) marks "inherent vowel — no matra".
+struct Vowel {
+    latin: &'static str,
+    deva: (char, char),
+    tamil: (char, char),
+    kannada: (char, char),
+}
+
+// Longest-match-first tables.
+const CONSONANTS: &[Cons] = &[
+    Cons { latin: "ch", deva: 'च', tamil: 'ச', kannada: 'ಚ' },
+    Cons { latin: "sh", deva: 'श', tamil: 'ஷ', kannada: 'ಶ' },
+    Cons { latin: "th", deva: 'त', tamil: 'த', kannada: 'ತ' },
+    Cons { latin: "dh", deva: 'द', tamil: 'த', kannada: 'ದ' },
+    Cons { latin: "bh", deva: 'भ', tamil: 'ப', kannada: 'ಭ' },
+    Cons { latin: "ph", deva: 'फ', tamil: 'ப', kannada: 'ಫ' },
+    Cons { latin: "kh", deva: 'ख', tamil: 'க', kannada: 'ಖ' },
+    Cons { latin: "gh", deva: 'घ', tamil: 'க', kannada: 'ಘ' },
+    Cons { latin: "jh", deva: 'झ', tamil: 'ஜ', kannada: 'ಝ' },
+    Cons { latin: "k", deva: 'क', tamil: 'க', kannada: 'ಕ' },
+    Cons { latin: "g", deva: 'ग', tamil: 'க', kannada: 'ಗ' },
+    Cons { latin: "c", deva: 'क', tamil: 'க', kannada: 'ಕ' },
+    Cons { latin: "j", deva: 'ज', tamil: 'ஜ', kannada: 'ಜ' },
+    Cons { latin: "t", deva: 'त', tamil: 'த', kannada: 'ತ' },
+    Cons { latin: "d", deva: 'द', tamil: 'த', kannada: 'ದ' },
+    Cons { latin: "n", deva: 'न', tamil: 'ந', kannada: 'ನ' },
+    Cons { latin: "p", deva: 'प', tamil: 'ப', kannada: 'ಪ' },
+    Cons { latin: "b", deva: 'ब', tamil: 'ப', kannada: 'ಬ' },
+    Cons { latin: "f", deva: 'फ', tamil: 'ப', kannada: 'ಫ' },
+    Cons { latin: "m", deva: 'म', tamil: 'ம', kannada: 'ಮ' },
+    Cons { latin: "y", deva: 'य', tamil: 'ய', kannada: 'ಯ' },
+    Cons { latin: "r", deva: 'र', tamil: 'ர', kannada: 'ರ' },
+    Cons { latin: "l", deva: 'ल', tamil: 'ல', kannada: 'ಲ' },
+    Cons { latin: "v", deva: 'व', tamil: 'வ', kannada: 'ವ' },
+    Cons { latin: "w", deva: 'व', tamil: 'வ', kannada: 'ವ' },
+    Cons { latin: "s", deva: 'स', tamil: 'ஸ', kannada: 'ಸ' },
+    Cons { latin: "z", deva: 'ज', tamil: 'ஜ', kannada: 'ಜ' },
+    Cons { latin: "h", deva: 'ह', tamil: 'ஹ', kannada: 'ಹ' },
+    Cons { latin: "x", deva: 'स', tamil: 'ஸ', kannada: 'ಸ' },
+    Cons { latin: "q", deva: 'क', tamil: 'க', kannada: 'ಕ' },
+];
+
+const VOWELS: &[Vowel] = &[
+    Vowel { latin: "aa", deva: ('आ', '\u{093E}'), tamil: ('ஆ', '\u{0BBE}'), kannada: ('ಆ', '\u{0CBE}') },
+    Vowel { latin: "ee", deva: ('ई', '\u{0940}'), tamil: ('ஈ', '\u{0BC0}'), kannada: ('ಈ', '\u{0CC0}') },
+    Vowel { latin: "ii", deva: ('ई', '\u{0940}'), tamil: ('ஈ', '\u{0BC0}'), kannada: ('ಈ', '\u{0CC0}') },
+    Vowel { latin: "oo", deva: ('ऊ', '\u{0942}'), tamil: ('ஊ', '\u{0BC2}'), kannada: ('ಊ', '\u{0CC2}') },
+    Vowel { latin: "uu", deva: ('ऊ', '\u{0942}'), tamil: ('ஊ', '\u{0BC2}'), kannada: ('ಊ', '\u{0CC2}') },
+    Vowel { latin: "ai", deva: ('ऐ', '\u{0948}'), tamil: ('ஐ', '\u{0BC8}'), kannada: ('ಐ', '\u{0CC8}') },
+    Vowel { latin: "au", deva: ('औ', '\u{094C}'), tamil: ('ஔ', '\u{0BCC}'), kannada: ('ಔ', '\u{0CCC}') },
+    Vowel { latin: "a", deva: ('अ', '\0'), tamil: ('அ', '\0'), kannada: ('ಅ', '\0') },
+    Vowel { latin: "e", deva: ('ए', '\u{0947}'), tamil: ('ஏ', '\u{0BC7}'), kannada: ('ಏ', '\u{0CC7}') },
+    Vowel { latin: "i", deva: ('इ', '\u{093F}'), tamil: ('இ', '\u{0BBF}'), kannada: ('ಇ', '\u{0CBF}') },
+    Vowel { latin: "o", deva: ('ओ', '\u{094B}'), tamil: ('ஓ', '\u{0BCB}'), kannada: ('ಓ', '\u{0CCB}') },
+    Vowel { latin: "u", deva: ('उ', '\u{0941}'), tamil: ('உ', '\u{0BC1}'), kannada: ('ಉ', '\u{0CC1}') },
+];
+
+fn virama(script: IndicScript) -> char {
+    match script {
+        IndicScript::Devanagari => '\u{094D}',
+        IndicScript::Tamil => '\u{0BCD}',
+        IndicScript::Kannada => '\u{0CCD}',
+    }
+}
+
+/// Transliterate a romanized name into the given Indic script.
+/// Unrecognized characters (spaces, hyphens) pass through unchanged.
+pub fn to_indic(script: IndicScript, romanized: &str) -> String {
+    let lower = romanized.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+    let mut out = String::with_capacity(romanized.len() * 3);
+    let mut i = 0;
+    // True when the previous emitted unit was a consonant whose inherent
+    // vowel is still "open" (a following vowel must use matra form).
+    let mut open_consonant = false;
+
+    while i < chars.len() {
+        if let Some((cons, len)) = match_table(&chars[i..], CONSONANTS) {
+            if open_consonant {
+                // Consonant cluster: previous consonant loses its vowel.
+                out.push(virama(script));
+            }
+            out.push(match script {
+                IndicScript::Devanagari => cons.deva,
+                IndicScript::Tamil => cons.tamil,
+                IndicScript::Kannada => cons.kannada,
+            });
+            open_consonant = true;
+            i += len;
+        } else if let Some((vow, len)) = match_vowel(&chars[i..]) {
+            let (indep, matra) = match script {
+                IndicScript::Devanagari => vow.deva,
+                IndicScript::Tamil => vow.tamil,
+                IndicScript::Kannada => vow.kannada,
+            };
+            if open_consonant {
+                if matra != '\0' {
+                    out.push(matra);
+                }
+                // 'a' after a consonant is the inherent vowel: emit nothing.
+            } else {
+                out.push(indep);
+            }
+            open_consonant = false;
+            i += len;
+        } else {
+            if open_consonant {
+                // Word-final consonant (or before punctuation): in Tamil the
+                // pulli is written; Devanagari/Kannada conventionally leave
+                // the inherent vowel letterform (schwa deletion is phonology,
+                // not orthography) — but for *final* consonants of romanized
+                // names a virama is standard in all three.
+                out.push(virama(script));
+                open_consonant = false;
+            }
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    if open_consonant {
+        match script {
+            // Tamil writes the pulli on a final bare consonant.
+            IndicScript::Tamil => out.push(virama(script)),
+            // Hindi relies on final schwa deletion; Kannada names usually
+            // end in a vowel anyway — leave the letter bare.
+            IndicScript::Devanagari | IndicScript::Kannada => {}
+        }
+    }
+    out
+}
+
+fn match_table<'t>(rest: &[char], table: &'t [Cons]) -> Option<(&'t Cons, usize)> {
+    for entry in table {
+        let pat: Vec<char> = entry.latin.chars().collect();
+        if rest.len() >= pat.len() && rest[..pat.len()] == pat[..] {
+            return Some((entry, pat.len()));
+        }
+    }
+    None
+}
+
+fn match_vowel(rest: &[char]) -> Option<(&'static Vowel, usize)> {
+    for entry in VOWELS {
+        let pat: Vec<char> = entry.latin.chars().collect();
+        if rest.len() >= pat.len() && rest[..pat.len()] == pat[..] {
+            return Some((entry, pat.len()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::edit_distance;
+    use crate::english::english_rules;
+    use crate::indic::convert;
+
+    #[test]
+    fn nehru_to_devanagari() {
+        assert_eq!(to_indic(IndicScript::Devanagari, "nehru"), "नेह्रु");
+    }
+
+    #[test]
+    fn rama_to_all_scripts() {
+        // r + aa-matra + m (final 'a' is the inherent vowel — no mark)
+        assert_eq!(to_indic(IndicScript::Devanagari, "raama"), "राम");
+        let t = to_indic(IndicScript::Tamil, "raama");
+        assert!(t.starts_with('ர'));
+        let k = to_indic(IndicScript::Kannada, "raama");
+        assert!(k.starts_with('ರ'));
+    }
+
+    #[test]
+    fn consonant_cluster_gets_virama() {
+        // "krishna" must contain viramas for kr and shn clusters.
+        let d = to_indic(IndicScript::Devanagari, "krishna");
+        assert!(d.contains('\u{094D}'), "got {d}");
+    }
+
+    #[test]
+    fn roundtrip_is_phonetically_close() {
+        // The key property: G2P(translit(name)) ≈ G2P_en(name).
+        let en = english_rules();
+        for name in ["nehru", "rama", "krishna", "lata", "meena", "kumar", "sita"] {
+            let en_ph = en.convert(name);
+            for script in [IndicScript::Devanagari, IndicScript::Tamil, IndicScript::Kannada] {
+                let indic_text = to_indic(script, name);
+                let indic_ph = convert(script, &indic_text);
+                let d = edit_distance(en_ph.as_bytes(), indic_ph.as_bytes());
+                assert!(
+                    d <= 3,
+                    "{name} via {script:?}: en=/{}/ indic=/{}/ d={d} text={indic_text}",
+                    en_ph.to_ipa(),
+                    indic_ph.to_ipa()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn passthrough_of_separators() {
+        let d = to_indic(IndicScript::Devanagari, "a b");
+        assert!(d.contains(' '));
+    }
+}

@@ -1,0 +1,190 @@
+//! Transitive-closure computation with hash-table memoization (§4.3).
+//!
+//! The paper's core Ω implementation:
+//!
+//! > "Every time a closure for a RHS attribute value is computed, it is
+//! > materialized as a hash table in the main memory ... the hash table is
+//! > checked for possible reuse for several RHS values."
+//!
+//! [`ClosureCache`] is exactly that: closure of a synset = the set of the
+//! synset itself, all its hyponym descendants, their cross-lingual
+//! equivalents, and the descendants of those equivalents — i.e. reachability
+//! over `children ∪ equivalents` edges.  Computed once per RHS synset, kept
+//! as an `Arc<HashSet>` so membership probes for a stream of LHS values are
+//! O(1) and allocation-free.
+
+use crate::hierarchy::{SynsetId, Taxonomy};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Memoized transitive closures over a pinned [`Taxonomy`].
+#[derive(Debug, Default)]
+pub struct ClosureCache {
+    cache: HashMap<SynsetId, Arc<HashSet<SynsetId>>>,
+    /// Cache hits (reused closures) — exposed for the §4.3 ablation bench.
+    hits: u64,
+    /// Cache misses (closures actually computed).
+    misses: u64,
+}
+
+impl ClosureCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        ClosureCache::default()
+    }
+
+    /// The transitive closure of `root`: all synsets reachable over hyponym
+    /// and equivalence edges, including `root` itself.  Memoized.
+    pub fn closure(&mut self, taxonomy: &Taxonomy, root: SynsetId) -> Arc<HashSet<SynsetId>> {
+        if let Some(c) = self.cache.get(&root) {
+            self.hits += 1;
+            return Arc::clone(c);
+        }
+        self.misses += 1;
+        let c = Arc::new(compute_closure(taxonomy, root));
+        self.cache.insert(root, Arc::clone(&c));
+        c
+    }
+
+    /// Does `candidate` lie in the transitive closure of `root`?
+    /// This is the Ω membership test of Figure 5.
+    pub fn contains(&mut self, taxonomy: &Taxonomy, root: SynsetId, candidate: SynsetId) -> bool {
+        self.closure(taxonomy, root).contains(&candidate)
+    }
+
+    /// Size of the closure of `root` (used by the selectivity estimator's
+    /// exact-closure variant, §3.4.2).
+    pub fn closure_size(&mut self, taxonomy: &Taxonomy, root: SynsetId) -> usize {
+        self.closure(taxonomy, root).len()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of memoized closures.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Drop all memoized closures (e.g. after taxonomy updates).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// Uncached closure computation: BFS over `children ∪ equivalents`.
+pub fn compute_closure(taxonomy: &Taxonomy, root: SynsetId) -> HashSet<SynsetId> {
+    let mut seen: HashSet<SynsetId> = HashSet::new();
+    let mut stack = vec![root];
+    seen.insert(root);
+    while let Some(id) = stack.pop() {
+        for &next in taxonomy.children(id).iter().chain(taxonomy.equivalents(id)) {
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlql_unitext::{LangId, LanguageRegistry};
+
+    fn en() -> LangId {
+        LanguageRegistry::new().id_of("English")
+    }
+
+    /// root -> {a, b}, a -> {c}
+    fn small() -> (Taxonomy, [SynsetId; 4]) {
+        let mut t = Taxonomy::new();
+        let r = t.add_synset(en(), &["root"]);
+        let a = t.add_synset(en(), &["a"]);
+        let b = t.add_synset(en(), &["b"]);
+        let c = t.add_synset(en(), &["c"]);
+        t.add_hyponym(r, a);
+        t.add_hyponym(r, b);
+        t.add_hyponym(a, c);
+        (t, [r, a, b, c])
+    }
+
+    #[test]
+    fn closure_includes_self_and_descendants() {
+        let (t, [r, a, b, c]) = small();
+        let mut cache = ClosureCache::new();
+        let cl = cache.closure(&t, r);
+        assert_eq!(cl.len(), 4);
+        for id in [r, a, b, c] {
+            assert!(cl.contains(&id));
+        }
+        let cl_a = cache.closure(&t, a);
+        assert_eq!(cl_a.len(), 2);
+        assert!(cl_a.contains(&c) && cl_a.contains(&a));
+        assert!(!cl_a.contains(&b));
+    }
+
+    #[test]
+    fn memoization_counts_hits() {
+        let (t, [r, ..]) = small();
+        let mut cache = ClosureCache::new();
+        cache.closure(&t, r);
+        cache.closure(&t, r);
+        cache.closure(&t, r);
+        assert_eq!(cache.stats(), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn equivalence_edges_extend_closures() {
+        let reg = LanguageRegistry::new();
+        let (mut t, [r, a, _b, _c]) = small();
+        t.replicate_linked(&[reg.id_of("French")], |w, _| format!("{w}_fr"));
+        let mut cache = ClosureCache::new();
+        // Closure of the English root now spans both language copies.
+        assert_eq!(cache.closure_size(&t, r), 8);
+        // Closure of a mid-level synset spans its subtree in both languages.
+        assert_eq!(cache.closure_size(&t, a), 4);
+    }
+
+    #[test]
+    fn contains_is_membership() {
+        let (t, [r, _a, b, c]) = small();
+        let mut cache = ClosureCache::new();
+        assert!(cache.contains(&t, r, c));
+        assert!(!cache.contains(&t, b, c));
+        assert!(cache.contains(&t, c, c), "closure is reflexive");
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let (t, [r, ..]) = small();
+        let mut cache = ClosureCache::new();
+        cache.closure(&t, r);
+        cache.invalidate();
+        assert!(cache.is_empty());
+        cache.closure(&t, r);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn closure_handles_dags_without_double_count() {
+        let mut t = Taxonomy::new();
+        let a = t.add_synset(en(), &["a"]);
+        let b = t.add_synset(en(), &["b"]);
+        let c = t.add_synset(en(), &["c"]);
+        let d = t.add_synset(en(), &["d"]);
+        t.add_hyponym(a, b);
+        t.add_hyponym(a, c);
+        t.add_hyponym(b, d);
+        t.add_hyponym(c, d); // diamond
+        assert_eq!(compute_closure(&t, a).len(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! WordNet-scale synthetic taxonomy generator.
+//!
+//! English WordNet (the version the paper used) has roughly 115 K noun
+//! synsets, 152 K word forms, and a hypernym hierarchy of maximum depth
+//! about 16 with a heavy-tailed fan-out (most synsets have few hyponyms, a
+//! few "hub" concepts have hundreds).  The generator reproduces those
+//! structural statistics with a preferential-attachment tree construction,
+//! which yields the heavy-tailed fan-out and log-depth shape, then clamps
+//! depth to the configured maximum.
+//!
+//! Generation is fully deterministic given the seed, so every experiment is
+//! reproducible bit-for-bit.
+
+use crate::hierarchy::{SynsetId, Taxonomy};
+use mlql_unitext::LangId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of synsets in the base-language hierarchy.
+    pub synsets: usize,
+    /// Average number of word forms per synset (WordNet ≈ 1.32).
+    pub words_per_synset: f64,
+    /// Maximum hierarchy depth (WordNet noun hierarchy ≈ 16).
+    pub max_depth: usize,
+    /// Preferential-attachment strength in [0, 1]: 0 = uniform parents
+    /// (bushy, shallow), 1 = strongly preferential (hubby, heavy-tailed).
+    pub preferential: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            synsets: 115_000,
+            words_per_synset: 1.32,
+            max_depth: 16,
+            preferential: 0.75,
+            seed: 0x0d1ce,
+        }
+    }
+}
+
+/// Deterministic pseudo-word from a synset ordinal: pronounceable CV
+/// syllables so word forms look like words, unique via the ordinal suffix.
+pub fn pseudo_word(ordinal: usize, variant: usize) -> String {
+    const C: [&str; 12] = ["k", "t", "n", "r", "s", "m", "d", "p", "l", "b", "g", "v"];
+    const V: [&str; 5] = ["a", "e", "i", "o", "u"];
+    let mut w = String::with_capacity(12);
+    let mut x = ordinal.wrapping_mul(2654435761).wrapping_add(variant * 97);
+    for _ in 0..3 {
+        w.push_str(C[x % C.len()]);
+        x /= C.len();
+        w.push_str(V[x % V.len()]);
+        x /= V.len();
+    }
+    // Ordinal suffix guarantees uniqueness across synsets.
+    w.push_str(&format!("{ordinal}"));
+    if variant > 0 {
+        w.push_str(&format!("x{variant}"));
+    }
+    w
+}
+
+/// Generate a single-language taxonomy per `config`.
+///
+/// The root synset is id 0 with word form `"entity0"` (WordNet's unique
+/// beginner for nouns is *entity*).
+pub fn generate(lang: LangId, config: &GeneratorConfig) -> Taxonomy {
+    assert!(config.synsets >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut taxonomy = Taxonomy::new();
+    let mut depth: Vec<usize> = Vec::with_capacity(config.synsets);
+
+    let root = taxonomy.add_synset(lang, &["entity0"]);
+    debug_assert_eq!(root, SynsetId(0));
+    depth.push(1);
+
+    for i in 1..config.synsets {
+        // Pick a parent: preferential attachment picks the parent of a
+        // random existing *edge endpoint* (i.e. proportional to degree);
+        // uniform picks any existing synset.  Mixing the two with the
+        // `preferential` knob controls tail heaviness.
+        let mut parent = if rng.gen_bool(config.preferential) && i > 1 {
+            // Degree-proportional: pick a random prior child and use its
+            // parent, which selects parents ∝ out-degree.
+            let j = rng.gen_range(1..i);
+            taxonomy.parents(SynsetId(j as u32))[0]
+        } else {
+            SynsetId(rng.gen_range(0..i) as u32)
+        };
+        // Clamp depth: walk up until the parent is shallow enough.
+        while depth[parent.0 as usize] >= config.max_depth {
+            parent = taxonomy.parents(parent)[0];
+        }
+
+        let word = pseudo_word(i, 0);
+        let id = taxonomy.add_synset(lang, &[word.as_str()]);
+        taxonomy.add_hyponym(parent, id);
+        depth.push(depth[parent.0 as usize] + 1);
+
+        // Extra word forms (synonymy).
+        let extra = (config.words_per_synset - 1.0).max(0.0);
+        if rng.gen_bool(extra.min(1.0)) {
+            taxonomy.add_word(id, &pseudo_word(i, 1));
+        }
+    }
+    taxonomy
+}
+
+/// Find synsets whose closure size (within a single-language hierarchy —
+/// i.e. subtree size) is close to each requested target.  Used by the
+/// Figure 8 harness, which profiles Ω on "queries that compute closures of
+/// varying sizes" (§5.1).
+///
+/// Returns `(target, synset, actual_subtree_size)` triples, choosing for
+/// each target the synset with the nearest subtree size.
+pub fn synsets_near_closure_sizes(
+    taxonomy: &Taxonomy,
+    targets: &[usize],
+) -> Vec<(usize, SynsetId, usize)> {
+    // Subtree sizes in one post-order pass (hierarchy is a tree by
+    // construction of `generate`; DAG inputs would over-count, acceptable
+    // for target *selection*).
+    let n = taxonomy.len();
+    let mut size = vec![1usize; n];
+    // Process ids in reverse creation order: parents always precede
+    // children in creation, so children have larger ids.
+    for i in (0..n).rev() {
+        let id = SynsetId(i as u32);
+        for &c in taxonomy.children(id) {
+            if c.0 as usize > i {
+                size[i] += size[c.0 as usize];
+            }
+        }
+    }
+    targets
+        .iter()
+        .map(|&t| {
+            let (best, &s) = size
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s.abs_diff(t))
+                .expect("non-empty taxonomy");
+            (t, SynsetId(best as u32), s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::compute_closure;
+    use mlql_unitext::LanguageRegistry;
+
+    fn small_config(n: usize) -> GeneratorConfig {
+        GeneratorConfig { synsets: n, ..GeneratorConfig::default() }
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let t = generate(lang, &small_config(5000));
+        let st = t.stats();
+        assert_eq!(st.synsets, 5000);
+        assert_eq!(st.relationships, 4999); // tree
+        assert!(st.word_forms >= 5000);
+        assert!(st.height <= 16 + 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let a = generate(lang, &small_config(1000)).stats();
+        let b = generate(lang, &small_config(1000)).stats();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_tailed_fanout() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let t = generate(lang, &small_config(20_000));
+        let max_children = t.ids().map(|id| t.children(id).len()).max().unwrap();
+        assert!(
+            max_children > 50,
+            "preferential attachment should create hubs, max fan-out {max_children}"
+        );
+    }
+
+    #[test]
+    fn wordnet_scale_statistics() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let cfg = GeneratorConfig { synsets: 30_000, ..GeneratorConfig::default() };
+        let t = generate(lang, &cfg);
+        let st = t.stats();
+        // Word forms per synset ratio near the configured 1.32.
+        let ratio = st.word_forms as f64 / st.synsets as f64;
+        assert!((1.15..1.5).contains(&ratio), "ratio {ratio}");
+        assert!(st.height >= 8, "tree should be reasonably deep, got {}", st.height);
+    }
+
+    #[test]
+    fn closure_size_targets_are_found() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let t = generate(lang, &small_config(20_000));
+        let picks = synsets_near_closure_sizes(&t, &[100, 1000, 5000]);
+        for (target, synset, approx) in picks {
+            let actual = compute_closure(&t, synset).len();
+            assert_eq!(actual, approx, "subtree-size bookkeeping must match BFS");
+            // Within a factor of 2 of target (heavy tails make exact rare).
+            assert!(
+                actual >= target / 2 && actual <= target * 2,
+                "target {target} got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn pseudo_words_are_unique_and_pronounceable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let w = pseudo_word(i, 0);
+            assert!(seen.insert(w.clone()), "duplicate {w}");
+            assert!(w.chars().next().unwrap().is_alphabetic());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Interval-labeling reachability index — the §4.3.1 "future work" item.
+//!
+//! The paper closes its Ω discussion wanting a connection index (it cites
+//! HOPI's 2-hop covers) to avoid materializing closures.  For the
+//! tree-dominant shape of WordNet hypernym hierarchies the classic
+//! *interval labeling* scheme answers reachability in O(1) with two
+//! integers per node: number the synsets by DFS entry/exit order, and
+//! `descendant ∈ TC(ancestor)` ⇔ the descendant's entry number falls inside
+//! the ancestor's `[entry, exit]` interval.  Cross-lingual equivalence
+//! edges are folded in by giving every replica group the label of its
+//! canonical member.
+//!
+//! Nodes reachable through non-tree (multi-parent) edges fall back to the
+//! hash-closure path: [`IntervalIndex::reachable_same_tree`] returns `None` when it
+//! cannot decide exactly, so callers compose it with [`super::ClosureCache`]
+//! without ever losing correctness.  The `omega_closure` criterion bench
+//! compares the two.
+
+use crate::hierarchy::{SynsetId, Taxonomy};
+
+/// Per-node DFS labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Label {
+    entry: u32,
+    exit: u32,
+}
+
+/// The reachability index.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    labels: Vec<Label>,
+    /// Representative of each node's equivalence group (union of
+    /// cross-lingual `equivalents` edges).
+    group: Vec<u32>,
+    /// True when the node has at most one parent everywhere below it —
+    /// i.e. interval containment is *exact* for queries rooted here.
+    exact: Vec<bool>,
+}
+
+impl IntervalIndex {
+    /// Build the index in O(|synsets| + |edges|).
+    pub fn build(taxonomy: &Taxonomy) -> IntervalIndex {
+        let n = taxonomy.len();
+        // Union equivalence groups with a small union-find.
+        let mut group: Vec<u32> = (0..n as u32).collect();
+        fn find(group: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while group[root as usize] != root {
+                root = group[root as usize];
+            }
+            let mut cur = x;
+            while group[cur as usize] != root {
+                let next = group[cur as usize];
+                group[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for id in taxonomy.ids() {
+            for &e in taxonomy.equivalents(id) {
+                let a = find(&mut group, id.raw());
+                let b = find(&mut group, e.raw());
+                if a != b {
+                    group[a as usize] = b;
+                }
+            }
+        }
+        for i in 0..n as u32 {
+            find(&mut group, i);
+        }
+
+        // DFS labels over hyponym edges, one tree per root, using the
+        // group representative's traversal position.  Multi-parent nodes
+        // get labeled under their first parent; the `exact` flag records
+        // whether a subtree is free of extra parents.
+        let mut labels = vec![Label { entry: 0, exit: 0 }; n];
+        let mut visited = vec![false; n];
+        let mut clock = 0u32;
+        let mut multi_parent_below = vec![false; n];
+        let mut order: Vec<SynsetId> = taxonomy.ids().collect();
+        order.retain(|&id| taxonomy.parents(id).is_empty());
+        for root in order {
+            dfs(taxonomy, root, &mut labels, &mut visited, &mut clock, &mut multi_parent_below);
+        }
+        // Any node never visited (cycle via equivalents only) gets a
+        // degenerate self-interval.
+        for i in 0..n {
+            if !visited[i] {
+                labels[i] = Label { entry: clock, exit: clock };
+                clock += 1;
+            }
+        }
+        IntervalIndex { labels, group: group.clone(), exact: multi_parent_below.iter().map(|&b| !b).collect() }
+    }
+
+    /// Does `candidate` lie in the transitive closure of `root`, counting
+    /// hyponym edges within `root`'s language tree only?  `Some(bool)` when
+    /// the labels decide exactly; `None` when the subtree contains
+    /// multi-parent nodes (caller must fall back to the hash closure).
+    pub fn reachable_same_tree(&self, root: SynsetId, candidate: SynsetId) -> Option<bool> {
+        if !self.exact[root.raw() as usize] {
+            return None;
+        }
+        let r = self.labels[root.raw() as usize];
+        let c = self.labels[candidate.raw() as usize];
+        Some(c.entry >= r.entry && c.entry <= r.exit)
+    }
+
+    /// Cross-lingual reachability: true when some member of `candidate`'s
+    /// equivalence group lies under some member of `root`'s group.
+    /// Group membership is resolved through the representative table; the
+    /// exactness caveat of [`Self::reachable_same_tree`] applies.
+    pub fn same_group(&self, a: SynsetId, b: SynsetId) -> bool {
+        self.group[a.raw() as usize] == self.group[b.raw() as usize]
+    }
+
+    /// Size of the subtree under `root` (exact trees only).
+    pub fn subtree_size(&self, root: SynsetId) -> Option<usize> {
+        if !self.exact[root.raw() as usize] {
+            return None;
+        }
+        let l = self.labels[root.raw() as usize];
+        Some(((l.exit - l.entry) / 2 + 1) as usize)
+    }
+}
+
+fn dfs(
+    taxonomy: &Taxonomy,
+    root: SynsetId,
+    labels: &mut [Label],
+    visited: &mut [bool],
+    clock: &mut u32,
+    multi_parent_below: &mut [bool],
+) {
+    // Iterative DFS to survive WordNet-depth recursion comfortably.
+    enum Step {
+        Enter(SynsetId),
+        Exit(SynsetId),
+    }
+    let mut stack = vec![Step::Enter(root)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Enter(id) => {
+                let i = id.raw() as usize;
+                if visited[i] {
+                    continue;
+                }
+                visited[i] = true;
+                labels[i].entry = *clock;
+                *clock += 1;
+                stack.push(Step::Exit(id));
+                for &c in taxonomy.children(id) {
+                    if taxonomy.parents(c).len() > 1 {
+                        multi_parent_below[i] = true;
+                    }
+                    stack.push(Step::Enter(c));
+                }
+            }
+            Step::Exit(id) => {
+                let i = id.raw() as usize;
+                labels[i].exit = *clock;
+                *clock += 1;
+                // Propagate the inexactness flag upward lazily: parents
+                // read it after children exit.
+                let dirty = multi_parent_below[i]
+                    || taxonomy.children(id).iter().any(|&c| {
+                        multi_parent_below[c.raw() as usize]
+                            || taxonomy.parents(c).len() > 1
+                    });
+                multi_parent_below[i] = dirty;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::compute_closure;
+    use crate::generator::{generate, GeneratorConfig};
+    use mlql_unitext::LanguageRegistry;
+
+    #[test]
+    fn interval_matches_hash_closure_on_generated_tree() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let t = generate(lang, &GeneratorConfig { synsets: 5000, ..Default::default() });
+        let idx = IntervalIndex::build(&t);
+        // The generator produces a pure tree: every query is exact.
+        for root in [0u32, 1, 17, 123, 999] {
+            let root = SynsetId(root);
+            let closure = compute_closure(&t, root);
+            let mut in_count = 0;
+            for cand in t.ids() {
+                let got = idx
+                    .reachable_same_tree(root, cand)
+                    .expect("tree hierarchy is exact");
+                assert_eq!(got, closure.contains(&cand), "root {root:?} cand {cand:?}");
+                if got {
+                    in_count += 1;
+                }
+            }
+            assert_eq!(in_count, closure.len());
+            assert_eq!(idx.subtree_size(root), Some(closure.len()));
+        }
+    }
+
+    #[test]
+    fn multi_parent_regions_refuse_instead_of_lying() {
+        let lang = LanguageRegistry::new().id_of("English");
+        let mut t = crate::hierarchy::Taxonomy::new();
+        let a = t.add_synset(lang, &["a"]);
+        let b = t.add_synset(lang, &["b"]);
+        let c = t.add_synset(lang, &["c"]);
+        let d = t.add_synset(lang, &["d"]);
+        t.add_hyponym(a, b);
+        t.add_hyponym(a, c);
+        t.add_hyponym(b, d);
+        t.add_hyponym(c, d); // diamond: d has two parents
+        let idx = IntervalIndex::build(&t);
+        // Queries rooted where the diamond lives must decline.
+        assert_eq!(idx.reachable_same_tree(a, d), None);
+        assert_eq!(idx.reachable_same_tree(c, d), None);
+        // d itself has no children: exact.
+        assert_eq!(idx.reachable_same_tree(d, d), Some(true));
+    }
+
+    #[test]
+    fn equivalence_groups_resolve() {
+        let reg = LanguageRegistry::new();
+        let lang = reg.id_of("English");
+        let mut t = crate::hierarchy::Taxonomy::new();
+        let a = t.add_synset(lang, &["a"]);
+        let b = t.add_synset(reg.id_of("French"), &["a_fr"]);
+        let c = t.add_synset(reg.id_of("Tamil"), &["a_ta"]);
+        t.add_equivalence(a, b);
+        t.add_equivalence(b, c);
+        let d = t.add_synset(lang, &["unrelated"]);
+        let idx = IntervalIndex::build(&t);
+        assert!(idx.same_group(a, c));
+        assert!(idx.same_group(b, c));
+        assert!(!idx.same_group(a, d));
+    }
+
+    #[test]
+    fn deep_hierarchy_does_not_overflow_stack() {
+        // A 50k-node path would blow a recursive DFS; ours is iterative.
+        let lang = LanguageRegistry::new().id_of("English");
+        let mut t = crate::hierarchy::Taxonomy::new();
+        let mut prev = t.add_synset(lang, &["n0"]);
+        for i in 1..50_000 {
+            let cur = t.add_synset(lang, &[format!("n{i}").as_str()]);
+            t.add_hyponym(prev, cur);
+            prev = cur;
+        }
+        let idx = IntervalIndex::build(&t);
+        assert_eq!(idx.reachable_same_tree(SynsetId(0), prev), Some(true));
+        assert_eq!(idx.reachable_same_tree(prev, SynsetId(0)), Some(false));
+        assert_eq!(idx.subtree_size(SynsetId(0)), Some(50_000));
+    }
+}

@@ -1,0 +1,202 @@
+//! Language identifiers and the language registry.
+//!
+//! `LangID` in the paper is an opaque identifier attached to every `UniText`
+//! value.  We model it as a small integer newtype ([`LangId`]) resolved
+//! through a [`LanguageRegistry`], mirroring how an engine catalog would map
+//! language names in SQL (`... IN English, Hindi, Tamil`) to internal ids.
+
+use crate::script::Script;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact identifier for a natural language.
+///
+/// `LangId(0)` is reserved for [`LangId::UNKNOWN`], used when a value was
+/// ingested without language tagging and the script detector could not
+/// disambiguate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LangId(pub u16);
+
+impl LangId {
+    /// The "unknown / untagged" language.
+    pub const UNKNOWN: LangId = LangId(0);
+
+    /// Raw integer value, as stored in on-disk tuples.
+    #[inline]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for LangId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lang#{}", self.0)
+    }
+}
+
+/// Static description of one language known to the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Language {
+    /// Internal identifier.
+    pub id: LangId,
+    /// Canonical English name, as used in SQL (`IN English, Hindi, Tamil`).
+    pub name: String,
+    /// ISO-639-1 style two letter code (lowercase).
+    pub iso: String,
+    /// The script the language is conventionally written in.
+    pub script: Script,
+}
+
+/// Registry mapping language names/codes to [`LangId`]s.
+///
+/// A fresh registry is pre-populated with the languages that appear in the
+/// paper's running examples and experiments: English, French, Hindi, Tamil,
+/// Kannada — plus German and Spanish to exercise shared-script ambiguity in
+/// tests.  Additional languages can be registered at run time (the engine's
+/// catalog does this when an administrator runs the equivalent of
+/// `CREATE LANGUAGE`).
+#[derive(Debug, Clone)]
+pub struct LanguageRegistry {
+    langs: Vec<Language>,
+}
+
+impl Default for LanguageRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LanguageRegistry {
+    /// Create a registry with the built-in languages.
+    pub fn new() -> Self {
+        let mut reg = LanguageRegistry {
+            langs: vec![Language {
+                id: LangId::UNKNOWN,
+                name: "Unknown".to_owned(),
+                iso: "xx".to_owned(),
+                script: Script::Unknown,
+            }],
+        };
+        for (name, iso, script) in [
+            ("English", "en", Script::Latin),
+            ("French", "fr", Script::Latin),
+            ("German", "de", Script::Latin),
+            ("Spanish", "es", Script::Latin),
+            ("Hindi", "hi", Script::Devanagari),
+            ("Tamil", "ta", Script::Tamil),
+            ("Kannada", "kn", Script::Kannada),
+        ] {
+            reg.register(name, iso, script);
+        }
+        reg
+    }
+
+    /// Register a new language and return its id.  Registering a name that
+    /// already exists returns the existing id (idempotent).
+    pub fn register(&mut self, name: &str, iso: &str, script: Script) -> LangId {
+        if let Some(l) = self.lookup(name) {
+            return l.id;
+        }
+        let id = LangId(self.langs.len() as u16);
+        self.langs.push(Language {
+            id,
+            name: name.to_owned(),
+            iso: iso.to_owned(),
+            script,
+        });
+        id
+    }
+
+    /// Look a language up by canonical name or ISO code (case-insensitive).
+    pub fn lookup(&self, name_or_iso: &str) -> Option<&Language> {
+        self.langs
+            .iter()
+            .find(|l| l.name.eq_ignore_ascii_case(name_or_iso) || l.iso.eq_ignore_ascii_case(name_or_iso))
+    }
+
+    /// Resolve an id back to its language description.
+    pub fn get(&self, id: LangId) -> Option<&Language> {
+        self.langs.get(id.0 as usize)
+    }
+
+    /// Id for a canonical name; panics with a clear message when absent.
+    /// Convenience for test and example code.
+    pub fn id_of(&self, name: &str) -> LangId {
+        self.lookup(name)
+            .unwrap_or_else(|| panic!("language {name:?} is not registered"))
+            .id
+    }
+
+    /// All registered languages, excluding the `Unknown` sentinel.
+    pub fn iter(&self) -> impl Iterator<Item = &Language> {
+        self.langs.iter().skip(1)
+    }
+
+    /// Number of registered languages, excluding the `Unknown` sentinel.
+    pub fn len(&self) -> usize {
+        self.langs.len() - 1
+    }
+
+    /// True when no real language is registered (never for `new()`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All languages written in `script` — used to disambiguate untagged
+    /// strings: if exactly one registered language uses the detected script,
+    /// tagging is unambiguous.
+    pub fn languages_of_script(&self, script: Script) -> Vec<&Language> {
+        self.iter().filter(|l| l.script == script).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_languages_resolve_by_name_and_iso() {
+        let reg = LanguageRegistry::new();
+        let en = reg.lookup("English").unwrap();
+        assert_eq!(reg.lookup("en").unwrap().id, en.id);
+        assert_eq!(reg.lookup("ENGLISH").unwrap().id, en.id);
+        assert_eq!(en.script, Script::Latin);
+        let ta = reg.lookup("Tamil").unwrap();
+        assert_eq!(ta.script, Script::Tamil);
+        assert_ne!(en.id, ta.id);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut reg = LanguageRegistry::new();
+        let a = reg.register("Telugu", "te", Script::Other);
+        let b = reg.register("Telugu", "te", Script::Other);
+        assert_eq!(a, b);
+        assert_eq!(reg.get(a).unwrap().name, "Telugu");
+    }
+
+    #[test]
+    fn shared_script_is_ambiguous() {
+        let reg = LanguageRegistry::new();
+        let latin = reg.languages_of_script(Script::Latin);
+        assert!(latin.len() >= 2, "Latin must be shared (English, French, ...)");
+        let kn = reg.languages_of_script(Script::Kannada);
+        assert_eq!(kn.len(), 1);
+    }
+
+    #[test]
+    fn unknown_sentinel_not_iterated() {
+        let reg = LanguageRegistry::new();
+        assert!(reg.iter().all(|l| l.id != LangId::UNKNOWN));
+        assert_eq!(reg.len(), 7);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let reg = LanguageRegistry::new();
+        for l in reg.iter() {
+            assert_eq!(reg.get(l.id).unwrap().name, l.name);
+        }
+    }
+}

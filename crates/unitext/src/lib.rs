@@ -1,0 +1,29 @@
+//! # UniText — the multilingual text datatype of the Mural algebra
+//!
+//! This crate implements the `UniText` datatype proposed in §3.1 of
+//! *On Pushing Multilingual Query Operators into Relational Engines*
+//! (Kumaran, Chowdary & Haritsa, ICDE 2006).
+//!
+//! A [`UniText`] value is a 2-tuple of a Unicode text string and an
+//! identifier of the natural language the string is written in.  The explicit
+//! language identifier is necessary because several languages share a script
+//! (e.g. Hindi and Marathi share Devanagari; English and French share Latin),
+//! and the same written string may have different pronunciations or meanings
+//! depending on its language.
+//!
+//! In addition, a `UniText` may *optionally* carry a materialized phonemic
+//! string (IPA) so that homophonic matching does not have to re-run the
+//! grapheme-to-phoneme conversion on every comparison — the paper
+//! materializes phoneme strings at insertion time (§4.2) and all reported
+//! experiments assume materialized phonemes (§5.3).
+//!
+//! The paper's *composing* operator (⊕) and *decomposing* operator (⊗) map to
+//! [`UniText::compose`] and [`UniText::decompose`].
+
+pub mod lang;
+pub mod script;
+pub mod text;
+
+pub use lang::{LangId, Language, LanguageRegistry};
+pub use script::{detect_script, Script};
+pub use text::UniText;

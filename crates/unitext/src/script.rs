@@ -1,0 +1,115 @@
+//! Unicode script detection.
+//!
+//! Several languages share a script, so a script alone does not identify a
+//! language (§3.1 of the paper) — but the reverse mapping is still useful:
+//! it lets the engine sanity-check language tags at insertion time and lets
+//! the data generator tag synthesized strings.
+
+use serde::{Deserialize, Serialize};
+
+/// Writing systems relevant to the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Script {
+    /// Basic Latin + Latin-1 supplement + Latin extended (English, French, ...).
+    Latin,
+    /// Devanagari (Hindi, Marathi, Sanskrit, ...). U+0900–U+097F.
+    Devanagari,
+    /// Tamil. U+0B80–U+0BFF.
+    Tamil,
+    /// Kannada. U+0C80–U+0CFF.
+    Kannada,
+    /// Any other identified script.
+    Other,
+    /// Empty strings / strings of only digits & punctuation.
+    Unknown,
+}
+
+/// Classify a single character.
+pub fn script_of_char(c: char) -> Script {
+    match c as u32 {
+        0x0041..=0x005A | 0x0061..=0x007A | 0x00C0..=0x024F => Script::Latin,
+        0x0900..=0x097F => Script::Devanagari,
+        0x0B80..=0x0BFF => Script::Tamil,
+        0x0C80..=0x0CFF => Script::Kannada,
+        u if u < 0x80 => Script::Unknown, // digits, punctuation, space
+        0x2000..=0x206F => Script::Unknown,   // general punctuation
+        _ => Script::Other,
+    }
+}
+
+/// Detect the dominant script of a string.
+///
+/// The dominant script is the one covering the most letters; characters with
+/// `Unknown` script (digits, punctuation, whitespace) are ignored.  A string
+/// with no scripted character at all yields [`Script::Unknown`].
+pub fn detect_script(s: &str) -> Script {
+    let mut counts = [0usize; 5]; // Latin, Devanagari, Tamil, Kannada, Other
+    for c in s.chars() {
+        match script_of_char(c) {
+            Script::Latin => counts[0] += 1,
+            Script::Devanagari => counts[1] += 1,
+            Script::Tamil => counts[2] += 1,
+            Script::Kannada => counts[3] += 1,
+            Script::Other => counts[4] += 1,
+            Script::Unknown => {}
+        }
+    }
+    let (best, &n) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &n)| n)
+        .expect("counts is non-empty");
+    if n == 0 {
+        return Script::Unknown;
+    }
+    match best {
+        0 => Script::Latin,
+        1 => Script::Devanagari,
+        2 => Script::Tamil,
+        3 => Script::Kannada,
+        _ => Script::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latin_detection() {
+        assert_eq!(detect_script("Nehru"), Script::Latin);
+        assert_eq!(detect_script("Témoin"), Script::Latin);
+    }
+
+    #[test]
+    fn devanagari_detection() {
+        assert_eq!(detect_script("नेहरू"), Script::Devanagari);
+    }
+
+    #[test]
+    fn tamil_detection() {
+        assert_eq!(detect_script("நேரு"), Script::Tamil);
+    }
+
+    #[test]
+    fn kannada_detection() {
+        assert_eq!(detect_script("ನೆಹರು"), Script::Kannada);
+    }
+
+    #[test]
+    fn punctuation_and_digits_are_unknown() {
+        assert_eq!(detect_script(""), Script::Unknown);
+        assert_eq!(detect_script("42 -- ?!"), Script::Unknown);
+    }
+
+    #[test]
+    fn dominant_script_wins_in_mixed_text() {
+        // Mostly Tamil with one Latin letter.
+        assert_eq!(detect_script("நேரு-a-நேரு"), Script::Tamil);
+    }
+
+    #[test]
+    fn cjk_maps_to_other() {
+        assert_eq!(detect_script("漢字"), Script::Other);
+    }
+}

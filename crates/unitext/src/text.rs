@@ -1,0 +1,251 @@
+//! The `UniText` value itself: compose (⊕), decompose (⊗), comparisons.
+
+use crate::lang::LangId;
+use crate::script::{detect_script, Script};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A multilingual text value: a Unicode string tagged with its language, and
+/// optionally carrying a materialized phonemic (IPA) string.
+///
+/// * Ordinary text comparison operators (`=`, `<`, `<=`, `>`, `>=` in SQL)
+///   operate **only on the text component** (§3.2.1), so that `UniText`
+///   behaves exactly like `Text` for the existing relational operators.
+///   `PartialOrd`/`Ord` here implement that text-only ordering.
+/// * The *UniText comparison* operator ≐ of the paper compares **both**
+///   components; it is [`UniText::identical`].
+/// * `PartialEq`/`Eq`/`Hash` follow ≐ (both components) because Rust
+///   collections need equality consistent with identity; SQL-level `=`
+///   dispatches to [`UniText::text_eq`] instead.
+///
+/// The materialized phoneme string is deliberately **excluded** from every
+/// comparison: it is a cache, not part of the value (§3.1: "UniText can be
+/// made to optionally store additional information, such as the materialized
+/// phoneme strings ... to improve the run-time performance").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UniText {
+    text: String,
+    lang: LangId,
+    /// Materialized phonemic string in the canonical IPA-subset alphabet,
+    /// filled in at insertion time by the engine when a phoneme converter is
+    /// registered for `lang`.
+    phoneme: Option<String>,
+}
+
+impl UniText {
+    /// The composing operator ⊕: build a `UniText` from a Unicode string and
+    /// its language identifier.
+    pub fn compose(text: impl Into<String>, lang: LangId) -> Self {
+        UniText {
+            text: text.into(),
+            lang,
+            phoneme: None,
+        }
+    }
+
+    /// Compose with an untagged string, inferring the language from its
+    /// script when the script is unique to one registered language.
+    /// Falls back to [`LangId::UNKNOWN`].
+    pub fn compose_untagged(text: impl Into<String>, registry: &crate::LanguageRegistry) -> Self {
+        let text = text.into();
+        let script = detect_script(&text);
+        let candidates = registry.languages_of_script(script);
+        let lang = if candidates.len() == 1 {
+            candidates[0].id
+        } else {
+            LangId::UNKNOWN
+        };
+        UniText::compose(text, lang)
+    }
+
+    /// The decomposing operator ⊗: recover the `(Text, LangID)` pair.
+    pub fn decompose(&self) -> (&str, LangId) {
+        (&self.text, self.lang)
+    }
+
+    /// The text component.
+    #[inline]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The language component.
+    #[inline]
+    pub fn lang(&self) -> LangId {
+        self.lang
+    }
+
+    /// The materialized phonemic string, if any.
+    #[inline]
+    pub fn phoneme(&self) -> Option<&str> {
+        self.phoneme.as_deref()
+    }
+
+    /// Attach a materialized phonemic string (builder style).
+    pub fn with_phoneme(mut self, phoneme: impl Into<String>) -> Self {
+        self.phoneme = Some(phoneme.into());
+        self
+    }
+
+    /// Attach or replace the materialized phonemic string in place.
+    pub fn set_phoneme(&mut self, phoneme: impl Into<String>) {
+        self.phoneme = Some(phoneme.into());
+    }
+
+    /// Drop the materialized phonemic string (e.g. after an `UPDATE` of the
+    /// text component invalidates the cache).
+    pub fn clear_phoneme(&mut self) {
+        self.phoneme = None;
+    }
+
+    /// Script of the text component.
+    pub fn script(&self) -> Script {
+        detect_script(&self.text)
+    }
+
+    /// SQL `=` on UniText: text component only (§3.2.1).
+    #[inline]
+    pub fn text_eq(&self, other: &UniText) -> bool {
+        self.text == other.text
+    }
+
+    /// SQL `<`/`>`/... on UniText: text component only.
+    #[inline]
+    pub fn text_cmp(&self, other: &UniText) -> Ordering {
+        self.text.cmp(&other.text)
+    }
+
+    /// The ≐ operator: both text and language components equal.
+    #[inline]
+    pub fn identical(&self, other: &UniText) -> bool {
+        self.text == other.text && self.lang == other.lang
+    }
+
+    /// Length of the text component in Unicode scalar values — the `l`
+    /// (average record length) parameter of the paper's cost models counts
+    /// characters, not bytes.
+    pub fn char_len(&self) -> usize {
+        self.text.chars().count()
+    }
+}
+
+impl PartialEq for UniText {
+    fn eq(&self, other: &Self) -> bool {
+        self.identical(other)
+    }
+}
+impl Eq for UniText {}
+
+impl std::hash::Hash for UniText {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+        self.lang.hash(state);
+    }
+}
+
+impl PartialOrd for UniText {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ordering is text-first (SQL semantics), language id as tie-break so that
+/// `Ord` stays consistent with `Eq`.
+impl Ord for UniText {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.text
+            .cmp(&other.text)
+            .then_with(|| self.lang.cmp(&other.lang))
+    }
+}
+
+impl fmt::Display for UniText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.text, self.lang)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LanguageRegistry;
+
+    fn reg() -> LanguageRegistry {
+        LanguageRegistry::new()
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let r = reg();
+        let u = UniText::compose("A Sample String", r.id_of("English"));
+        let (t, l) = u.decompose();
+        assert_eq!(t, "A Sample String");
+        assert_eq!(l, r.id_of("English"));
+    }
+
+    #[test]
+    fn text_eq_ignores_language() {
+        let r = reg();
+        let a = UniText::compose("Nehru", r.id_of("English"));
+        let b = UniText::compose("Nehru", r.id_of("French"));
+        assert!(a.text_eq(&b));
+        assert!(!a.identical(&b));
+        assert_ne!(a, b); // Eq follows ≐
+    }
+
+    #[test]
+    fn identical_requires_both_components() {
+        let r = reg();
+        let a = UniText::compose("Une Corde Témoin", r.id_of("French"));
+        let b = a.clone();
+        assert!(a.identical(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phoneme_cache_excluded_from_equality() {
+        let r = reg();
+        let a = UniText::compose("Nehru", r.id_of("English"));
+        let b = a.clone().with_phoneme("nehru");
+        assert_eq!(a, b);
+        assert!(a.identical(&b));
+        assert_eq!(b.phoneme(), Some("nehru"));
+        assert_eq!(a.phoneme(), None);
+    }
+
+    #[test]
+    fn untagged_composition_uses_unique_script() {
+        let r = reg();
+        let ta = UniText::compose_untagged("நேரு", &r);
+        assert_eq!(ta.lang(), r.id_of("Tamil"));
+        // Latin is shared between several registered languages → unknown.
+        let en = UniText::compose_untagged("Nehru", &r);
+        assert_eq!(en.lang(), LangId::UNKNOWN);
+    }
+
+    #[test]
+    fn ordering_is_text_first() {
+        let r = reg();
+        let a = UniText::compose("abc", r.id_of("French"));
+        let b = UniText::compose("abd", r.id_of("English"));
+        assert!(a < b);
+        assert_eq!(a.text_cmp(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn char_len_counts_scalars_not_bytes() {
+        let r = reg();
+        let u = UniText::compose("நேரு", r.id_of("Tamil"));
+        assert_eq!(u.char_len(), 4);
+        assert!(u.text().len() > 4);
+    }
+
+    #[test]
+    fn clear_phoneme_invalidates_cache() {
+        let r = reg();
+        let mut u = UniText::compose("Nehru", r.id_of("English")).with_phoneme("nehru");
+        u.clear_phoneme();
+        assert_eq!(u.phoneme(), None);
+    }
+}

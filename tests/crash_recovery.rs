@@ -1,0 +1,113 @@
+//! Durability tests: WAL replay recovers heaps; indexes — which, like
+//! PostgreSQL-7.4 GiST (paper §4.2.1), are *not* WAL-logged — are rebuilt
+//! from the recovered heaps and must serve queries correctly afterwards.
+
+use mlql::kernel::{db::rebuild_indexes, Database};
+use mlql::mural::install;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mlql-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn open_mural(dir: &PathBuf) -> (Database, mlql::mural::Mural) {
+    let mut slot = None;
+    let db = Database::open_with_extensions(dir, |db| {
+        slot = Some(install(db)?);
+        Ok(())
+    })
+    .unwrap();
+    (db, slot.unwrap())
+}
+
+#[test]
+fn multilingual_data_survives_crash() {
+    let dir = tmpdir("crash");
+    {
+        let (mut db, _mural) = open_mural(&dir);
+        db.execute("CREATE TABLE book (author UNITEXT, price FLOAT)").unwrap();
+        db.execute("CREATE INDEX book_mt ON book (author) USING mtree").unwrap();
+        for (n, l) in [("Nehru", "English"), ("नेहरू", "Hindi"), ("நேரு", "Tamil")] {
+            db.execute(&format!("INSERT INTO book VALUES (unitext('{n}','{l}'), 10.0)"))
+                .unwrap();
+        }
+        db.execute("DELETE FROM book WHERE price > 100.0").unwrap(); // no-op delete logged
+        // No clean shutdown: drop emulates a crash (the WAL has everything).
+    }
+    let (mut db, _mural) = open_mural(&dir);
+    db.execute("SET lexequal.threshold = 2").unwrap();
+    let n = db.query("SELECT count(*) FROM book").unwrap();
+    assert_eq!(n[0][0].as_int(), Some(3));
+    // The M-Tree was rebuilt during replay (CREATE INDEX re-ran, inserts
+    // re-applied); force the index path to prove it serves queries.
+    db.execute("SET enable_seqscan = 0").unwrap();
+    let r = db
+        .execute("SELECT count(*) FROM book WHERE author LEXEQUAL unitext('Nehru','English')")
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(3));
+    assert!(r.explain.unwrap().contains("Index Scan"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deletes_replay_correctly() {
+    let dir = tmpdir("deletes");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE t (id INT, tag TEXT)").unwrap();
+        for i in 0..20 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'keep')")).unwrap();
+        }
+        db.execute("DELETE FROM t WHERE id < 5").unwrap();
+        db.execute("INSERT INTO t VALUES (100, 'late')").unwrap();
+    }
+    let mut db = Database::open(&dir).unwrap();
+    let n = db.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(n[0][0].as_int(), Some(16));
+    let late = db.query("SELECT count(*) FROM t WHERE id = 100").unwrap();
+    assert_eq!(late[0][0].as_int(), Some(1));
+    let gone = db.query("SELECT count(*) FROM t WHERE id < 5").unwrap();
+    assert_eq!(gone[0][0].as_int(), Some(0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repeated_reopen_is_idempotent() {
+    let dir = tmpdir("reopen");
+    {
+        let mut db = Database::open(&dir).unwrap();
+        db.execute("CREATE TABLE t (id INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    }
+    for _ in 0..3 {
+        let mut db = Database::open(&dir).unwrap();
+        let n = db.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(n[0][0].as_int(), Some(2), "reopen must not duplicate rows");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn manual_index_rebuild_matches_fresh_build() {
+    // The recovery path for non-WAL-logged indexes, exercised directly.
+    let mut db = Database::new_in_memory();
+    install(&mut db).unwrap();
+    db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
+    db.execute("CREATE INDEX t_mt ON t (v) USING mtree").unwrap();
+    for i in 0..200 {
+        db.execute(&format!("INSERT INTO t VALUES (unitext('name{i}','English'))")).unwrap();
+    }
+    db.execute("SET lexequal.threshold = 1").unwrap();
+    db.execute("SET enable_seqscan = 0").unwrap();
+    let before = db
+        .query("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('name5','English')")
+        .unwrap();
+    rebuild_indexes(&mut db).unwrap();
+    let after = db
+        .query("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('name5','English')")
+        .unwrap();
+    assert!(before[0][0].eq_sql(&after[0][0]));
+    assert!(before[0][0].as_int().unwrap() >= 1);
+}
