@@ -9,6 +9,7 @@
 //! Run: `cargo run --release -p mlql-bench --bin fig6_cost_prediction`
 //! (set `MLQL_SCALE` to enlarge the grid's tables).
 
+use mlql_bench::report::{obj, Report, Value};
 use mlql_bench::{mural_db, pearson, scale, timed};
 use mlql_datagen::{fig6_workload, names_dataset, NamesConfig};
 use mlql_kernel::Datum;
@@ -25,6 +26,7 @@ fn main() {
 
     let mut costs = Vec::new();
     let mut times = Vec::new();
+    let mut points = Vec::new();
 
     for (qi, q) in grid.iter().enumerate() {
         let (mut db, mural) = mural_db();
@@ -76,6 +78,16 @@ fn main() {
         );
         costs.push(plan.est_cost.max(1.0).log10());
         times.push(ms.max(0.001).log10());
+        points.push(obj(vec![
+            ("op", Value::Str("psi".into())),
+            ("left_rows", Value::Int(q.left_rows as i64)),
+            ("right_rows", Value::Int(q.right_rows as i64)),
+            ("filler_cols", Value::Int(q.filler_cols as i64)),
+            ("filler_width", Value::Int(q.filler_width as i64)),
+            ("threshold", Value::Int(q.threshold as i64)),
+            ("pred_cost", Value::Num(plan.est_cost)),
+            ("runtime_ms", Value::Num(ms)),
+        ]));
     }
 
     // ---- Ω-join configurations (the paper's grid used "a multilingual
@@ -132,9 +144,20 @@ fn main() {
         );
         costs.push(plan.est_cost.max(1.0).log10());
         times.push(ms.max(0.001).log10());
+        points.push(obj(vec![
+            ("op", Value::Str("omega".into())),
+            ("left_rows", Value::Int((n_concepts * scale()) as i64)),
+            ("right_rows", Value::Int((n_docs * scale()) as i64)),
+            ("pred_cost", Value::Num(plan.est_cost)),
+            ("runtime_ms", Value::Num(ms)),
+        ]));
     }
 
     let r = pearson(&costs, &times);
     println!("\nlog-log Pearson correlation (predicted cost vs runtime): {r:.3}");
     println!("paper: \"computed correlation coefficient on the plot is well over 0.9\"");
+
+    let mut rep = Report::new("fig6_cost_prediction");
+    rep.set("points", Value::Arr(points)).num("loglog_pearson", r);
+    rep.write_and_note();
 }

@@ -16,6 +16,7 @@
 //!
 //! Run: `cargo run --release -p mlql-bench --bin fig7_plan_choice`
 
+use mlql_bench::report::Report;
 use mlql_bench::{mural_db, scale, timed};
 use mlql_datagen::{names_dataset, NamesConfig};
 use mlql_kernel::{Database, Datum};
@@ -110,6 +111,19 @@ fn main() {
     println!("optimizer prefers Plan 1 by cost: {cost_ok}");
     println!("Plan 1 faster in practice:        {time_ok}");
     println!("free choice matches best plan:    {choice_ok}");
+
+    let mut rep = Report::new("fig7_plan_choice");
+    rep.num("plan1_cost", c1)
+        .num("plan1_secs", t1)
+        .num("plan2_cost", c2)
+        .num("plan2_secs", t2)
+        .num("free_cost", cf)
+        .num("free_secs", tf)
+        .flag("cost_prefers_plan1", cost_ok)
+        .flag("plan1_faster", time_ok)
+        .flag("free_choice_matches", choice_ok);
+    rep.write_and_note();
+
     if !(cost_ok && time_ok && choice_ok) {
         std::process::exit(1);
     }

@@ -17,6 +17,7 @@
 //! closure target, default 1000 — the paper's 10⁴ point takes the outside
 //! no-index curve into paper-like thousands of seconds.)
 
+use mlql_bench::report::{obj, Report, Value};
 use mlql_bench::{core_closure_via_tables, mural_db, scale, timed};
 use mlql_kernel::pl::PlRuntime;
 use mlql_kernel::Datum;
@@ -98,6 +99,7 @@ fn main() {
         "{:>8} {:>8} | {:>15} {:>15} {:>15} {:>13} {:>13} {:>13}",
         "target", "actual", "outside_noidx", "outside_setsql", "outside_btree", "core_noidx", "core_btree", "pinned_memo"
     );
+    let mut curves = Vec::new();
     for (i, &(target, synset, actual)) in picks.iter().enumerate() {
         let root = synset.raw() as i64;
         db.execute("DELETE FROM scratch").unwrap();
@@ -119,9 +121,23 @@ fn main() {
             "{:>8} {:>8} | {:>13.4} s {:>13.4} s {:>13.4} s {:>11.4} s {:>11.4} s {:>11.5} s",
             target, actual, t_out_noidx, t_out_setsql, t_out_btree, t_core_noidx, t_core_btree, t_pinned
         );
+        curves.push(obj(vec![
+            ("target", Value::Int(target as i64)),
+            ("closure_size", Value::Int(actual as i64)),
+            ("outside_noidx_secs", Value::Num(t_out_noidx)),
+            ("outside_setsql_secs", Value::Num(t_out_setsql)),
+            ("outside_btree_secs", Value::Num(t_out_btree)),
+            ("core_noidx_secs", Value::Num(t_core_noidx)),
+            ("core_btree_secs", Value::Num(t_core_btree)),
+            ("pinned_memo_secs", Value::Num(t_pinned)),
+        ]));
     }
 
     println!();
     println!("# paper shape: core no-index ≈ 1 order faster than outside no-index;");
     println!("# core + B+Tree ≳ 2 orders faster than outside; tens of ms at typical sizes.");
+
+    let mut rep = Report::new("fig8_semequal");
+    rep.int("synsets", synsets as i64).set("points", Value::Arr(curves));
+    rep.write_and_note();
 }

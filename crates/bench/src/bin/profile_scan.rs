@@ -1,5 +1,6 @@
 //! Ad-hoc profiling helper: where does the core ψ scan spend its time?
 //! Not part of the experiment suite; kept for performance work.
+use mlql_bench::report::Report;
 use mlql_bench::{load_names_table, mural_db, timed};
 use mlql_phonetics::distance::DistanceBuffer;
 
@@ -59,4 +60,12 @@ fn main() {
         c
     });
     println!("banded only:     {secs3:.4}s  ({:.2} us/row) count={cnt2}", secs3 / n as f64 * 1e6);
+
+    let mut rep = Report::new("profile_scan");
+    rep.int("rows", n as i64)
+        .num("sql_scan_secs", secs)
+        .num("plain_count_secs", secs_plain)
+        .num("psi_matches_raw_secs", secs2)
+        .num("banded_only_secs", secs3);
+    rep.write_and_note();
 }

@@ -15,6 +15,7 @@
 //!
 //! Run: `cargo run --release -p mlql-bench --bin quality_lexequal`
 
+use mlql_bench::report::{obj, Report, Value};
 use mlql_bench::scale;
 use mlql_datagen::{names_dataset, NamesConfig};
 use mlql_phonetics::distance::within_distance;
@@ -42,7 +43,7 @@ fn main() {
         "matcher", "recall", "precision", "F1"
     );
 
-    let eval = |label: &str, accept: &mut dyn FnMut(usize, usize) -> bool| {
+    let eval = |label: &str, accept: &mut dyn FnMut(usize, usize) -> bool| -> (f64, f64, f64) {
         let mut tp = 0u64;
         let mut fp = 0u64;
         let mut fn_ = 0u64;
@@ -66,25 +67,43 @@ fn main() {
             0.0
         };
         println!("{label:<22} {recall:>10.3} {precision:>10.3} {f1:>8.3}");
+        (recall, precision, f1)
     };
 
+    let mut matchers = Vec::new();
+    let mut record = |label: &str, (recall, precision, f1): (f64, f64, f64)| {
+        matchers.push(obj(vec![
+            ("matcher", Value::Str(label.into())),
+            ("recall", Value::Num(recall)),
+            ("precision", Value::Num(precision)),
+            ("f1", Value::Num(f1)),
+        ]));
+    };
     for k in [0usize, 1, 2, 3, 4] {
-        eval(&format!("lexequal k={k}"), &mut |i, j| {
+        let label = format!("lexequal k={k}");
+        let r = eval(&label, &mut |i, j| {
             within_distance(&phonemes[i], &phonemes[j], k)
         });
+        record(&label, r);
     }
-    eval("soundex", &mut |i, j| {
+    let r = eval("soundex", &mut |i, j| {
         soundex_matches(data[i].name.text(), data[j].name.text())
     });
+    record("soundex", r);
     // Soundex restricted to Latin-script pairs only (its best case).
     let en = langs.id_of("English");
-    eval("soundex (latin-only)", &mut |i, j| {
+    let r = eval("soundex (latin-only)", &mut |i, j| {
         data[i].name.lang() == en
             && data[j].name.lang() == en
             && soundex_matches(data[i].name.text(), data[j].name.text())
     });
+    record("soundex (latin-only)", r);
 
     println!();
     println!("# expected shape: lexequal recall rises with k (precision falls);");
     println!("# soundex recall collapses on cross-script pairs (it reads only Latin).");
+
+    let mut rep = Report::new("quality_lexequal");
+    rep.int("records", records as i64).set("matchers", Value::Arr(matchers));
+    rep.write_and_note();
 }

@@ -7,7 +7,14 @@
 //! the results (must be identical) and the runtimes (must be within noise).
 //!
 //! Run: `cargo run --release -p mlql-bench --bin regression_check`
+//!
+//! Writes `BENCH_regression_check.json` (see `mlql_bench::report`).  With
+//! `--baseline <path>` the run also compares its normalized latency (the
+//! extended/plain wall-time ratio, which cancels out machine speed)
+//! against a committed baseline report and fails on a >20% regression —
+//! this is what `scripts/bench_check.sh` gates CI on.
 
+use mlql_bench::report::{json_num_field, Report};
 use mlql_bench::{scale, timed};
 use mlql_kernel::Database;
 use mlql_mural::install;
@@ -53,6 +60,20 @@ fn workload(db: &mut Database, rows: usize) -> Vec<String> {
 }
 
 fn main() {
+    let baseline_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--baseline" => path = args.next(),
+                other => {
+                    eprintln!("unknown argument {other:?} (expected --baseline <path>)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        path
+    };
     let rows = 5000 * scale();
     println!("# Regression check: standard workload with and without Mural installed");
     println!("# {rows} order rows, scale {}", scale());
@@ -85,9 +106,45 @@ fn main() {
     println!("overhead: {overhead:+.1}%  (paper: \"no statistically significant degradation\")");
     println!("identical results across {} checks: true", plain_out.len());
     let _ = ext_out;
+
+    let ratio = ea / pa;
+    let mut rep = Report::new("regression_check");
+    rep.int("rows", rows as i64)
+        .int("trials", trials as i64)
+        .num("plain_secs", pa)
+        .num("extended_secs", ea)
+        .num("overhead_ratio", ratio)
+        .num("overhead_pct", overhead)
+        .int("identical_checks", plain_out.len() as i64);
+    rep.write_and_note();
+
     // Allow generous noise; fail only on a gross regression.
     if overhead > 25.0 {
         eprintln!("FAIL: extension overhead exceeds 25%");
         std::process::exit(1);
+    }
+
+    // Baseline gate: compare the machine-independent extended/plain ratio
+    // against the committed report; >20% worse is a regression.
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(base_ratio) = json_num_field(&text, "overhead_ratio") else {
+            eprintln!("FAIL: baseline {path} has no overhead_ratio field");
+            std::process::exit(1);
+        };
+        let regression = (ratio / base_ratio - 1.0) * 100.0;
+        println!(
+            "baseline ratio {base_ratio:.4}, current {ratio:.4} ({regression:+.1}% vs baseline)"
+        );
+        if ratio > base_ratio * 1.20 {
+            eprintln!("FAIL: normalized latency regressed >20% vs baseline");
+            std::process::exit(1);
+        }
     }
 }

@@ -12,6 +12,7 @@
 //!
 //! Run: `cargo run --release -p mlql-bench --bin table3_cost_scaling`
 
+use mlql_bench::report::Report;
 use mlql_bench::{load_names_table, mural_db, scale, timed};
 use mlql_taxonomy::{generate, synsets_near_closure_sizes, GeneratorConfig};
 
@@ -100,6 +101,15 @@ fn main() {
         && (join_slope - 2.0).abs() < 0.5
         && (closure_slope - 1.0).abs() < 0.35;
     println!("shapes hold: {ok}");
+
+    let mut rep = Report::new("table3_cost_scaling");
+    rep.num("psi_scan_n_exponent", slope)
+        .num("psi_scan_k_exponent", k_slope)
+        .num("psi_join_exponent", join_slope)
+        .num("omega_closure_exponent", closure_slope)
+        .flag("shapes_hold", ok);
+    rep.write_and_note();
+
     if !ok {
         std::process::exit(1);
     }

@@ -19,6 +19,7 @@
 //! Scale with `MLQL_SCALE` (default keeps the outside-the-server runs in
 //! seconds; the paper's 50 K rows correspond to roughly MLQL_SCALE=12).
 
+use mlql_bench::report::Report;
 use mlql_bench::{load_names_outside, load_names_table, mural_db, scale, timed};
 use mlql_kernel::pl::PlRuntime;
 use mlql_kernel::{Database, Datum};
@@ -140,7 +141,7 @@ fn main() {
 
     // Pruning efficiency: fraction of stored keys the M-Tree compared per
     // probe (§5.3 attributes the marginal gains to poor pruning).
-    {
+    let pruning_frac = {
         let meta = db.catalog().table("names").unwrap();
         let idx = db
             .catalog()
@@ -163,5 +164,23 @@ fn main() {
             "M-Tree pruning: {:.0}% of keys distance-compared per probe at k=3",
             frac * 100.0
         );
-    }
+        frac
+    };
+
+    let mut rep = Report::new("table4_lexequal");
+    rep.int("names_rows", n_names as i64)
+        .int("probe_rows", n_probes as i64)
+        .num("core_scan_noidx_secs", core_scan_noidx)
+        .num("core_scan_mtree_secs", core_scan_mtree)
+        .num("core_join_noidx_secs", core_join_noidx)
+        .num("core_join_mtree_secs", core_join_mtree)
+        .num("outside_scan_noidx_secs", out_scan_noidx)
+        .num("outside_scan_mdi_secs", out_scan_mdi)
+        .num("outside_join_noidx_secs", out_join_noidx)
+        .num("outside_join_mdi_secs", out_join_mdi)
+        .num("scan_speedup", scan_speedup)
+        .num("join_speedup", join_speedup)
+        .num("mtree_gain", mtree_gain)
+        .num("mtree_pruning_fraction", pruning_frac);
+    rep.write_and_note();
 }

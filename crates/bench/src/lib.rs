@@ -1,6 +1,8 @@
 //! Shared helpers for the benchmark harnesses (see DESIGN.md's experiment
 //! index: one binary per table/figure of the paper's evaluation).
 
+pub mod report;
+
 use mlql_datagen::{names_dataset, NamesConfig};
 use mlql_kernel::{Database, Datum, Result};
 use mlql_mural::{install, mdi, Mural};

@@ -1,0 +1,283 @@
+//! Machine-readable benchmark output.
+//!
+//! Every harness binary emits a `BENCH_<name>.json` file alongside its
+//! human-readable text report, so CI (and later perf PRs) can diff runs
+//! mechanically instead of scraping stdout.  The JSON is hand-rolled —
+//! the harness must stay dependency-free — and every report embeds a
+//! snapshot of the engine metrics registry (`mlql_kernel::obs`) taken at
+//! write time, tying wall-clock numbers to the engine-internal counters
+//! (edit-distance calls, node visits, buffer-pool I/O) that explain them.
+//!
+//! Output directory: `$MLQL_BENCH_DIR`, defaulting to `benchmarks/`
+//! relative to the working directory.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A JSON value the report writer can render.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A finite float (non-finite renders as `null`).
+    Num(f64),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+    /// Pre-rendered JSON spliced in verbatim (e.g. the engine metrics
+    /// snapshot, which `mlql_kernel::obs` already renders).
+    Raw(String),
+}
+
+/// Build an object value from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Num(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Num(_) => out.push_str("null"),
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => escape_into(out, s),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+            Value::Raw(json) => out.push_str(json),
+        }
+    }
+}
+
+/// One benchmark report, written as `BENCH_<name>.json`.
+pub struct Report {
+    name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl Report {
+    /// Start a report; `name` becomes the file stem (`BENCH_<name>.json`).
+    pub fn new(name: &str) -> Report {
+        let mut r = Report { name: name.to_string(), fields: Vec::new() };
+        r.set("bench", Value::Str(name.to_string()));
+        r.set("scale", Value::Int(crate::scale() as i64));
+        r
+    }
+
+    /// Set a field (replaces an earlier value under the same key).
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Report {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Set a float field.
+    pub fn num(&mut self, key: &str, v: f64) -> &mut Report {
+        self.set(key, Value::Num(v))
+    }
+
+    /// Set an integer field.
+    pub fn int(&mut self, key: &str, v: i64) -> &mut Report {
+        self.set(key, Value::Int(v))
+    }
+
+    /// Set a boolean field.
+    pub fn flag(&mut self, key: &str, v: bool) -> &mut Report {
+        self.set(key, Value::Bool(v))
+    }
+
+    /// Render the report (with a fresh engine-metrics snapshot) as JSON.
+    pub fn render(&self) -> String {
+        let _ = mlql_kernel::obs::metrics();
+        let mut out = String::new();
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, k);
+            out.push(':');
+            v.render_into(&mut out);
+        }
+        if !self.fields.is_empty() {
+            out.push(',');
+        }
+        out.push_str("\"engine_metrics\":");
+        out.push_str(&mlql_kernel::obs::global().render_json());
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Write `BENCH_<name>.json` into `dir` (created if missing).
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Write into `$MLQL_BENCH_DIR` (default `benchmarks/`).
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("MLQL_BENCH_DIR").unwrap_or_else(|_| "benchmarks".into());
+        self.write_to(Path::new(&dir))
+    }
+
+    /// Write, reporting the path (or the failure) on the text channel the
+    /// harnesses already use.  Never aborts the run: the text report is
+    /// still the primary artifact when the filesystem is read-only.
+    pub fn write_and_note(&self) {
+        match self.write() {
+            Ok(path) => println!("# wrote {}", path.display()),
+            Err(e) => eprintln!("# could not write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
+/// Extract the first numeric value stored under `"key"` in a JSON text.
+///
+/// Purpose-built for reading the committed baseline reports back without a
+/// JSON parser dependency: the reports are machine-written flat objects,
+/// so a scan for `"key"` followed by `:` and a number is unambiguous.
+pub fn json_num_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let rest = &text[from + pos + needle.len()..];
+        let rest = rest.trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let rest = rest.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+                .unwrap_or(rest.len());
+            if let Ok(v) = rest[..end].parse() {
+                return Some(v);
+            }
+        }
+        from += pos + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_escaped_flat_object() {
+        let mut r = Report::new("unit");
+        r.num("pi", 3.25).int("n", -4).flag("ok", true).set(
+            "label",
+            Value::Str("he said \"hi\"\n".into()),
+        );
+        let json = r.render();
+        assert!(json.starts_with("{\"bench\":\"unit\""));
+        assert!(json.contains("\"pi\":3.25"));
+        assert!(json.contains("\"n\":-4"));
+        assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\\\"hi\\\"\\n"));
+        assert!(json.contains("\"engine_metrics\":{"), "metrics snapshot embedded");
+        // Balanced braces — the Raw splice must not break the object.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut r = Report::new("unit");
+        r.num("x", 1.0);
+        r.num("x", 2.0);
+        let json = r.render();
+        assert!(json.contains("\"x\":2"));
+        assert!(!json.contains("\"x\":1"));
+    }
+
+    #[test]
+    fn nested_rows_render() {
+        let mut r = Report::new("unit");
+        r.set(
+            "rows",
+            Value::Arr(vec![
+                obj(vec![("n", Value::Int(10)), ("secs", Value::Num(0.5))]),
+                obj(vec![("n", Value::Int(20)), ("secs", Value::Num(1.5))]),
+            ]),
+        );
+        let json = r.render();
+        assert!(json.contains("\"rows\":[{\"n\":10,\"secs\":0.5},{\"n\":20,\"secs\":1.5}]"));
+    }
+
+    #[test]
+    fn json_num_field_reads_written_report() {
+        let mut r = Report::new("unit");
+        r.num("overhead_ratio", 1.0625);
+        r.int("rows", 5000);
+        let json = r.render();
+        assert_eq!(json_num_field(&json, "overhead_ratio"), Some(1.0625));
+        assert_eq!(json_num_field(&json, "rows"), Some(5000.0));
+        assert_eq!(json_num_field(&json, "missing"), None);
+    }
+
+    #[test]
+    fn write_to_produces_file() {
+        let dir = std::env::temp_dir().join(format!("mlql-bench-report-{}", std::process::id()));
+        let mut r = Report::new("write_test");
+        r.num("v", 1.0);
+        let path = r.write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"write_test\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

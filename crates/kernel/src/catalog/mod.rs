@@ -76,11 +76,11 @@ impl Default for Catalog {
 }
 
 impl Catalog {
-    /// A catalog with the built-in access methods registered.
+    /// A catalog with the built-in access methods and functions registered.
     pub fn new() -> Self {
         let mut access_methods: HashMap<String, Arc<dyn AccessMethod>> = HashMap::new();
         access_methods.insert("btree".into(), Arc::new(BTreeAm));
-        Catalog {
+        let mut catalog = Catalog {
             tables: Vec::new(),
             by_name: HashMap::new(),
             indexes: Vec::new(),
@@ -88,7 +88,29 @@ impl Catalog {
             operators: registry::OperatorRegistry::new(),
             functions: registry::FunctionRegistry::new(),
             access_methods,
-        }
+        };
+        // Built-in observability functions: engine metrics as JSON /
+        // Prometheus text (`SELECT mlql_stats()`); the SQL analogue of
+        // pg_stat_* views without needing system tables.
+        catalog.register_function(FuncDef {
+            name: "mlql_stats".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| {
+                let _ = crate::obs::metrics();
+                Ok(crate::value::Datum::text(crate::obs::global().render_json()))
+            }),
+        });
+        catalog.register_function(FuncDef {
+            name: "mlql_stats_prometheus".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| {
+                let _ = crate::obs::metrics();
+                Ok(crate::value::Datum::text(crate::obs::global().render_prometheus()))
+            }),
+        });
+        catalog
     }
 
     // ---------------- tables ----------------

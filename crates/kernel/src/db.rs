@@ -2,10 +2,11 @@
 
 use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
 use crate::error::{Error, Result};
-use crate::exec::{run_to_vec, ExecCtx, ExecStats};
+use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats};
 use crate::expr::EvalCtx;
+use crate::obs::{self, QueryTrace};
 use crate::opt;
-use crate::plan::PhysNode;
+use crate::plan::{NodeActuals, PhysNode};
 use crate::schema::{Column, Row, Schema};
 use crate::sql::{self, Statement};
 use crate::storage::{
@@ -22,12 +23,16 @@ pub struct RunStats {
     pub io: IoStats,
     /// Index nodes visited.
     pub index_node_visits: u64,
+    /// Extension-operator (ψ/Ω) evaluations during the statement.
+    pub ext_op_calls: u64,
     /// Wall-clock execution time (excludes parse/plan).
     pub exec_time: Duration,
     /// Optimizer-predicted total cost of the executed plan (queries only).
     pub est_cost: Option<f64>,
     /// Optimizer-predicted output rows.
     pub est_rows: Option<f64>,
+    /// Stage spans (parse/bind/plan/execute) for queries.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Result of executing one statement.
@@ -158,7 +163,29 @@ impl Database {
 
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
+        let metrics = obs::metrics();
+        let total_start = Instant::now();
+        let parse_start = Instant::now();
         let stmt = sql::parse(sql_text)?;
+        let parse_time = parse_start.elapsed();
+        metrics.stage_parse_ns_total.add(parse_time.as_nanos() as u64);
+        let result = self.dispatch(stmt, sql_text);
+        metrics.queries_total.inc();
+        let mut result = result?;
+        metrics.query_rows_total.add(result.rows.len() as u64);
+        metrics.query_latency_seconds.observe_duration(total_start.elapsed());
+        match result.stats.trace.as_mut() {
+            Some(t) => t.prepend("parse", parse_time),
+            None => {
+                let mut t = QueryTrace::new();
+                t.record("parse", parse_time);
+                result.stats.trace = Some(t);
+            }
+        }
+        Ok(result)
+    }
+
+    fn dispatch(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = self.schema_from_ddl(&columns)?;
@@ -216,7 +243,7 @@ impl Database {
                     let mut row = Row::with_capacity(row_exprs.len());
                     for e in &row_exprs {
                         let bound = sql::bind_const_expr(e, &self.catalog)?;
-                        let ctx = EvalCtx { catalog: &self.catalog, session: &self.session };
+                        let ctx = EvalCtx::new(&self.catalog, &self.session);
                         row.push(bound.eval(&[], &ctx)?);
                     }
                     self.insert_row(&table, row)?;
@@ -265,19 +292,54 @@ impl Database {
             ),
             Statement::Set { name, value } => {
                 let bound = sql::bind_const_expr(&value, &self.catalog)?;
-                let ctx = EvalCtx { catalog: &self.catalog, session: &self.session };
+                let ctx = EvalCtx::new(&self.catalog, &self.session);
                 let v = bound.eval(&[], &ctx)?;
                 self.session.set(&name, v);
                 Ok(QueryResult::default())
             }
-            Statement::Show { name } => {
-                let v = self.session.get(&name).cloned().unwrap_or(Datum::Null);
-                Ok(QueryResult {
-                    schema: Schema::new(vec![Column::new(name, DataType::Text)]),
-                    rows: vec![vec![Datum::text(v.to_string())]],
-                    ..QueryResult::default()
-                })
-            }
+            Statement::Show { name } => match name.to_ascii_lowercase().as_str() {
+                // Engine metrics surfaces (the registry is process-wide).
+                "stats" => {
+                    let _ = obs::metrics(); // ensure engine metrics exist
+                    let rows = obs::global()
+                        .samples()
+                        .into_iter()
+                        .map(|(n, v)| vec![Datum::text(n), Datum::Float(v)])
+                        .collect();
+                    Ok(QueryResult {
+                        schema: Schema::new(vec![
+                            Column::new("metric", DataType::Text),
+                            Column::new("value", DataType::Float),
+                        ]),
+                        rows,
+                        ..QueryResult::default()
+                    })
+                }
+                "stats_json" => {
+                    let _ = obs::metrics();
+                    Ok(QueryResult {
+                        schema: Schema::new(vec![Column::new("stats_json", DataType::Text)]),
+                        rows: vec![vec![Datum::text(obs::global().render_json())]],
+                        ..QueryResult::default()
+                    })
+                }
+                "stats_prometheus" => {
+                    let _ = obs::metrics();
+                    Ok(QueryResult {
+                        schema: Schema::new(vec![Column::new("stats_prometheus", DataType::Text)]),
+                        rows: vec![vec![Datum::text(obs::global().render_prometheus())]],
+                        ..QueryResult::default()
+                    })
+                }
+                _ => {
+                    let v = self.session.get(&name).cloned().unwrap_or(Datum::Null);
+                    Ok(QueryResult {
+                        schema: Schema::new(vec![Column::new(name, DataType::Text)]),
+                        rows: vec![vec![Datum::text(v.to_string())]],
+                        ..QueryResult::default()
+                    })
+                }
+            },
             Statement::Analyze { table } => {
                 self.analyze(&table)?;
                 Ok(QueryResult::default())
@@ -339,6 +401,8 @@ impl Database {
     /// call from multiple threads concurrently (the buffer pool and index
     /// instances are internally synchronized); only `SELECT` is accepted.
     pub fn query_ref(&self, sql_text: &str) -> Result<Vec<Row>> {
+        let metrics = obs::metrics();
+        let start = Instant::now();
         let stmt = sql::parse(sql_text)?;
         let sel = match stmt {
             Statement::Select(s) => s,
@@ -353,7 +417,11 @@ impl Database {
             session: &self.session,
             stats: &stats,
         };
-        run_to_vec(&phys, &ctx)
+        let rows = run_to_vec(&phys, &ctx)?;
+        metrics.queries_total.inc();
+        metrics.query_rows_total.add(rows.len() as u64);
+        metrics.query_latency_seconds.observe_duration(start.elapsed());
+        Ok(rows)
     }
 
     /// Plan a SELECT without executing it (benches compare predicted cost
@@ -369,8 +437,18 @@ impl Database {
     }
 
     fn run_select(&mut self, sel: &sql::SelectStmt, mode: ExplainMode) -> Result<QueryResult> {
+        let metrics = obs::metrics();
+        let mut trace = QueryTrace::new();
+        let bind_start = Instant::now();
         let logical = sql::bind(sel, &self.catalog)?;
+        let bind_time = bind_start.elapsed();
+        trace.record("bind", bind_time);
+        metrics.stage_bind_ns_total.add(bind_time.as_nanos() as u64);
+        let plan_start = Instant::now();
         let phys = opt::plan(&logical, &self.catalog, &self.pool, &self.session)?;
+        let plan_time = plan_start.elapsed();
+        trace.record("plan", plan_time);
+        metrics.stage_plan_ns_total.add(plan_time.as_nanos() as u64);
         match mode {
             ExplainMode::PlanOnly => {
                 let text = phys.explain();
@@ -378,13 +456,15 @@ impl Database {
                     schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
                     rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
                     explain: Some(text),
+                    stats: RunStats { trace: Some(trace), ..RunStats::default() },
                     ..QueryResult::default()
                 });
             }
             ExplainMode::Analyze => {
-                // Execute, then annotate the plan with measured figures —
-                // exactly how the Figure 6 experiment gathers its
-                // (predicted cost, actual runtime) pairs.
+                // Execute through the instrumented tree, then annotate
+                // every plan node with its measured actuals — exactly how
+                // the Figure 6 experiment gathers its (predicted cost,
+                // actual runtime) pairs, now at per-operator granularity.
                 let stats = ExecStats::default();
                 let io_before = self.pool.stats();
                 let start = Instant::now();
@@ -394,22 +474,53 @@ impl Database {
                     session: &self.session,
                     stats: &stats,
                 };
-                let rows = run_to_vec(&phys, &ctx)?;
+                let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
+                let mut rows = Vec::new();
+                while let Some(row) = exec.next(&ctx)? {
+                    rows.push(row);
+                }
+                stats.rows_out.set(rows.len() as u64);
                 let elapsed = start.elapsed();
+                trace.record("execute", elapsed);
+                metrics.stage_execute_ns_total.add(elapsed.as_nanos() as u64);
                 let io = self.pool.stats().since(&io_before);
-                let mut text = phys.explain();
+                let actuals: Vec<NodeActuals> = instr
+                    .per_node
+                    .iter()
+                    .map(|s| NodeActuals {
+                        rows: s.rows.get(),
+                        loops: s.loops.get(),
+                        time: Duration::from_nanos(s.time_ns.get()),
+                        pages: s.logical_reads.get(),
+                        pages_read: s.physical_reads.get(),
+                        index_node_visits: s.index_node_visits.get(),
+                        ext_op_calls: s.ext_op_calls.get(),
+                    })
+                    .collect();
+                let mut text = phys.explain_with_actuals(&actuals);
                 text.push_str(&format!(
-                    "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={}\n",
+                    "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
                     rows.len(),
                     elapsed.as_secs_f64() * 1000.0,
                     io.logical_reads,
                     io.physical_reads,
                     stats.index_node_visits.get(),
+                    stats.ext_op_calls.get(),
                 ));
+                text.push_str(&format!("Stages: {}\n", trace.render()));
                 return Ok(QueryResult {
                     schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
                     rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
                     explain: Some(text),
+                    stats: RunStats {
+                        io,
+                        index_node_visits: stats.index_node_visits.get(),
+                        ext_op_calls: stats.ext_op_calls.get(),
+                        exec_time: elapsed,
+                        est_cost: Some(phys.est_cost),
+                        est_rows: Some(phys.est_rows),
+                        trace: Some(trace),
+                    },
                     ..QueryResult::default()
                 });
             }
@@ -426,6 +537,8 @@ impl Database {
         };
         let rows = run_to_vec(&phys, &ctx)?;
         let exec_time = start.elapsed();
+        trace.record("execute", exec_time);
+        metrics.stage_execute_ns_total.add(exec_time.as_nanos() as u64);
         let io = self.pool.stats().since(&io_before);
         Ok(QueryResult {
             schema: phys.schema.clone(),
@@ -435,9 +548,11 @@ impl Database {
             stats: RunStats {
                 io,
                 index_node_visits: stats.index_node_visits.get(),
+                ext_op_calls: stats.ext_op_calls.get(),
                 exec_time,
                 est_cost: Some(phys.est_cost),
                 est_rows: Some(phys.est_rows),
+                trace: Some(trace),
             },
         })
     }
@@ -512,7 +627,7 @@ impl Database {
     ) -> Result<u64> {
         let meta = self.catalog.table(table)?;
         let arity = meta.schema.len();
-        let ctx = EvalCtx { catalog: &self.catalog, session: &self.session };
+        let ctx = EvalCtx::new(&self.catalog, &self.session);
         let mut victims: Vec<(crate::storage::TupleId, Row, Vec<u8>, Row)> = Vec::new();
         let mut scan_err = None;
         meta.heap.scan(&self.pool, |tid, bytes| {
@@ -575,7 +690,7 @@ impl Database {
     fn delete_where(&mut self, table: &str, filter: Option<&crate::expr::Expr>) -> Result<u64> {
         let meta = self.catalog.table(table)?;
         let arity = meta.schema.len();
-        let ctx = EvalCtx { catalog: &self.catalog, session: &self.session };
+        let ctx = EvalCtx::new(&self.catalog, &self.session);
         let mut victims = Vec::new();
         let mut scan_err = None;
         meta.heap.scan(&self.pool, |tid, bytes| {

@@ -14,14 +14,19 @@ use crate::storage::{decode_row, BufferPool, HeapFile, TupleId};
 use crate::value::Datum;
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Runtime counters outside the buffer pool (index traffic, operator calls).
 #[derive(Debug, Default)]
 pub struct ExecStats {
     /// Index nodes visited (charged as page reads in reporting).
     pub index_node_visits: Cell<u64>,
-    /// Extension-operator invocations.
+    /// Extension-operator invocations, counted where they happen — in
+    /// `Expr::eval`'s ExtOp arm — so the total reconciles with the cost
+    /// model's per-tuple charge no matter which operator evaluates the
+    /// predicate.
     pub ext_op_calls: Cell<u64>,
     /// Rows produced by the plan root.
     pub rows_out: Cell<u64>,
@@ -41,7 +46,84 @@ pub struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     fn eval_ctx(&self) -> EvalCtx<'a> {
-        EvalCtx { catalog: self.catalog, session: self.session }
+        EvalCtx { catalog: self.catalog, session: self.session, stats: Some(self.stats) }
+    }
+}
+
+/// Per-operator runtime actuals, filled in by [`InstrumentedExec`].
+///
+/// All figures are **inclusive of children** (like PostgreSQL's
+/// `EXPLAIN (ANALYZE, BUFFERS)`): a node's time and page counts cover
+/// everything beneath it.  `Cell`s because executor trees are
+/// single-threaded pull iterators.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Rows this node produced (across all loops).
+    pub rows: Cell<u64>,
+    /// Times this node was started (1 + rescans that were actually pulled).
+    pub loops: Cell<u64>,
+    /// Wall-clock nanoseconds spent inside this node and its children.
+    pub time_ns: Cell<u64>,
+    /// Buffer-pool page requests attributed to this subtree.
+    pub logical_reads: Cell<u64>,
+    /// Buffer-pool misses attributed to this subtree.
+    pub physical_reads: Cell<u64>,
+    /// Index nodes visited in this subtree.
+    pub index_node_visits: Cell<u64>,
+    /// Extension-operator (ψ/Ω) evaluations in this subtree.
+    pub ext_op_calls: Cell<u64>,
+}
+
+/// Per-node stats for an instrumented executor tree, in the same
+/// pre-order as [`PhysNode::explain`] lines (node before children,
+/// outer/left child before inner/right).
+pub struct Instrumentation {
+    /// One entry per plan node, pre-order.
+    pub per_node: Vec<Rc<OpStats>>,
+}
+
+/// Wraps an executor, attributing per-`next` deltas of the shared
+/// query counters (pool I/O, index visits, ext-op calls) to this node.
+struct InstrumentedExec {
+    inner: Box<dyn Executor>,
+    stats: Rc<OpStats>,
+    /// True before the first `next` of each loop (start or post-rescan).
+    fresh: bool,
+}
+
+impl Executor for InstrumentedExec {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        if self.fresh {
+            self.fresh = false;
+            self.stats.loops.set(self.stats.loops.get() + 1);
+        }
+        let io_before = ctx.pool.stats();
+        let inv_before = ctx.stats.index_node_visits.get();
+        let ext_before = ctx.stats.ext_op_calls.get();
+        let start = Instant::now();
+        let out = self.inner.next(ctx);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let io = ctx.pool.stats().since(&io_before);
+        let s = &self.stats;
+        s.time_ns.set(s.time_ns.get() + elapsed);
+        s.logical_reads.set(s.logical_reads.get() + io.logical_reads);
+        s.physical_reads.set(s.physical_reads.get() + io.physical_reads);
+        s.index_node_visits
+            .set(s.index_node_visits.get() + (ctx.stats.index_node_visits.get() - inv_before));
+        s.ext_op_calls.set(s.ext_op_calls.get() + (ctx.stats.ext_op_calls.get() - ext_before));
+        if let Ok(Some(_)) = &out {
+            s.rows.set(s.rows.get() + 1);
+        }
+        out
+    }
+
+    fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        self.fresh = true;
+        self.inner.rescan(ctx)
     }
 }
 
@@ -57,10 +139,38 @@ pub trait Executor {
 
 /// Build an executor tree from a physical plan.
 pub fn build_executor(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Box<dyn Executor>> {
-    match &node.op {
+    build_executor_impl(node, ctx, None)
+}
+
+/// Build an executor tree where every node is wrapped for per-operator
+/// actuals (rows / loops / time / pages).  The returned
+/// [`Instrumentation`] holds one [`OpStats`] per plan node, in the same
+/// pre-order as `EXPLAIN` output lines.
+pub fn build_instrumented(
+    node: &PhysNode,
+    ctx: &ExecCtx<'_>,
+) -> Result<(Box<dyn Executor>, Instrumentation)> {
+    let mut instr = Instrumentation { per_node: Vec::new() };
+    let exec = build_executor_impl(node, ctx, Some(&mut instr))?;
+    Ok((exec, instr))
+}
+
+fn build_executor_impl(
+    node: &PhysNode,
+    ctx: &ExecCtx<'_>,
+    mut instr: Option<&mut Instrumentation>,
+) -> Result<Box<dyn Executor>> {
+    // Register this node BEFORE building children so `per_node` matches
+    // the pre-order of `explain` lines.
+    let op_stats = instr.as_deref_mut().map(|i| {
+        let s = Rc::new(OpStats::default());
+        i.per_node.push(Rc::clone(&s));
+        s
+    });
+    let exec: Box<dyn Executor> = match &node.op {
         PhysOp::SeqScan { table, filter } => {
             let meta = ctx.catalog.table(table)?;
-            Ok(Box::new(SeqScanExec::new(meta, filter.clone())))
+            Box::new(SeqScanExec::new(meta, filter.clone()))
         }
         PhysOp::IndexScan { table, index, strategy, probe, extra, residual } => {
             let meta = ctx.catalog.table(table)?;
@@ -70,41 +180,39 @@ pub fn build_executor(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Box<dyn Exec
                 .into_iter()
                 .find(|i| &i.name == index)
                 .ok_or_else(|| Error::Execution(format!("no index {index:?}")))?;
-            Ok(Box::new(IndexScanExec::new(
+            Box::new(IndexScanExec::new(
                 meta,
                 idx,
                 strategy.clone(),
                 probe.clone(),
                 extra.clone(),
                 residual.clone(),
-            )))
+            ))
         }
-        PhysOp::Filter { input, predicate } => Ok(Box::new(FilterExec {
-            input: build_executor(input, ctx)?,
+        PhysOp::Filter { input, predicate } => Box::new(FilterExec {
+            input: build_executor_impl(input, ctx, instr.as_deref_mut())?,
             predicate: predicate.clone(),
-        })),
-        PhysOp::Project { input, exprs } => Ok(Box::new(ProjectExec {
-            input: build_executor(input, ctx)?,
+        }),
+        PhysOp::Project { input, exprs } => Box::new(ProjectExec {
+            input: build_executor_impl(input, ctx, instr.as_deref_mut())?,
             exprs: exprs.clone(),
             schema: node.schema.clone(),
-        })),
-        PhysOp::NlJoin { outer, inner, predicate, materialize_inner } => {
-            Ok(Box::new(NlJoinExec {
-                outer: build_executor(outer, ctx)?,
-                inner: build_executor(inner, ctx)?,
-                predicate: predicate.clone(),
-                materialize: *materialize_inner,
-                schema: node.schema.clone(),
-                outer_row: None,
-                inner_buf: None,
-                inner_pos: 0,
-                started: false,
-            }))
-        }
+        }),
+        PhysOp::NlJoin { outer, inner, predicate, materialize_inner } => Box::new(NlJoinExec {
+            outer: build_executor_impl(outer, ctx, instr.as_deref_mut())?,
+            inner: build_executor_impl(inner, ctx, instr.as_deref_mut())?,
+            predicate: predicate.clone(),
+            materialize: *materialize_inner,
+            schema: node.schema.clone(),
+            outer_row: None,
+            inner_buf: None,
+            inner_pos: 0,
+            started: false,
+        }),
         PhysOp::HashJoin { left, right, left_key, right_key, residual } => {
-            Ok(Box::new(HashJoinExec {
-                left: build_executor(left, ctx)?,
-                right: build_executor(right, ctx)?,
+            Box::new(HashJoinExec {
+                left: build_executor_impl(left, ctx, instr.as_deref_mut())?,
+                right: build_executor_impl(right, ctx, instr.as_deref_mut())?,
                 left_key: left_key.clone(),
                 right_key: right_key.clone(),
                 residual: residual.clone(),
@@ -113,32 +221,36 @@ pub fn build_executor(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Box<dyn Exec
                 probe_row: None,
                 matches: Vec::new(),
                 match_pos: 0,
-            }))
+            })
         }
-        PhysOp::Aggregate { input, group_by, aggs } => Ok(Box::new(AggregateExec {
-            input: build_executor(input, ctx)?,
+        PhysOp::Aggregate { input, group_by, aggs } => Box::new(AggregateExec {
+            input: build_executor_impl(input, ctx, instr.as_deref_mut())?,
             group_by: group_by.clone(),
             aggs: aggs.clone(),
             schema: node.schema.clone(),
             output: None,
             pos: 0,
-        })),
-        PhysOp::Sort { input, keys } => Ok(Box::new(SortExec {
-            input: build_executor(input, ctx)?,
+        }),
+        PhysOp::Sort { input, keys } => Box::new(SortExec {
+            input: build_executor_impl(input, ctx, instr.as_deref_mut())?,
             keys: keys.clone(),
             buffered: None,
             pos: 0,
-        })),
-        PhysOp::Limit { input, n } => Ok(Box::new(LimitExec {
-            input: build_executor(input, ctx)?,
+        }),
+        PhysOp::Limit { input, n } => Box::new(LimitExec {
+            input: build_executor_impl(input, ctx, instr)?,
             remaining: *n,
-        })),
-        PhysOp::Values { rows } => Ok(Box::new(ValuesExec {
+        }),
+        PhysOp::Values { rows } => Box::new(ValuesExec {
             rows: rows.clone(),
             schema: node.schema.clone(),
             pos: 0,
-        })),
-    }
+        }),
+    };
+    Ok(match op_stats {
+        Some(stats) => Box::new(InstrumentedExec { inner: exec, stats, fresh: true }),
+        None => exec,
+    })
 }
 
 /// Run a plan to completion, collecting all rows.
@@ -207,7 +319,8 @@ impl Executor for SeqScanExec {
                 let row = std::mem::take(&mut self.page_rows[self.row_pos]);
                 self.row_pos += 1;
                 if let Some(f) = &self.filter {
-                    ctx.stats.ext_op_calls.set(ctx.stats.ext_op_calls.get() + 1);
+                    // ext_op_calls is counted inside `Expr::eval` (only
+                    // when the predicate actually contains an ExtOp).
                     if !f.eval(&row, &eval)?.is_true() {
                         continue;
                     }
@@ -266,6 +379,7 @@ impl Executor for IndexScanExec {
             ctx.stats
                 .index_node_visits
                 .set(ctx.stats.index_node_visits.get() + search.node_visits);
+            crate::obs::metrics().index_node_visits_total.add(search.node_visits);
             self.tids = Some(search.tids);
             self.pos = 0;
         }
@@ -437,7 +551,7 @@ impl Executor for NlJoinExec {
                     joined.extend(outer_row.iter().cloned());
                     joined.extend(inner_row);
                     if let Some(p) = &self.predicate {
-                        ctx.stats.ext_op_calls.set(ctx.stats.ext_op_calls.get() + 1);
+                        // ext_op_calls is counted inside `Expr::eval`.
                         if !p.eval(&joined, &eval)?.is_true() {
                             continue;
                         }

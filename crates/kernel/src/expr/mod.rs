@@ -239,6 +239,19 @@ pub struct EvalCtx<'a> {
     pub catalog: &'a Catalog,
     /// Session variables.
     pub session: &'a SessionVars,
+    /// Query runtime counters, when evaluating inside an executor.
+    /// Extension-operator invocations are counted HERE — the only place
+    /// that knows an ExtOp was actually dispatched — so the count
+    /// reconciles with the cost model's per-tuple charge regardless of
+    /// which plan operator owns the predicate.
+    pub stats: Option<&'a crate::exec::ExecStats>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// A context without runtime counters (DML paths, constant folding).
+    pub fn new(catalog: &'a Catalog, session: &'a SessionVars) -> EvalCtx<'a> {
+        EvalCtx { catalog, session, stats: None }
+    }
 }
 
 impl Expr {
@@ -343,6 +356,10 @@ impl Expr {
                 if l.is_null() || r.is_null() {
                     return Ok(Datum::Null);
                 }
+                if let Some(stats) = ctx.stats {
+                    stats.ext_op_calls.set(stats.ext_op_calls.get() + 1);
+                }
+                crate::obs::metrics().ext_op_calls_total.inc();
                 let verdict = (op.eval)(&l, &r, ctx.session)?;
                 // Language modifier (`IN English, Hindi`): a conjunct over
                 // the LEFT operand, delegated to the operator's filter.
@@ -464,7 +481,7 @@ mod tests {
     fn comparisons_and_null_propagation() {
         let cat = Catalog::new();
         let sess = SessionVars::new();
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let row = vec![Datum::Int(5), Datum::Null];
         let e = Expr::Cmp { op: CmpOp::Gt, left: Box::new(col(0)), right: Box::new(Expr::int(3)) };
         assert!(e.eval(&row, &c).unwrap().is_true());
@@ -478,7 +495,7 @@ mod tests {
     fn three_valued_logic() {
         let cat = Catalog::new();
         let sess = SessionVars::new();
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let row = vec![Datum::Null];
         let t = Expr::Literal(Datum::Bool(true));
         let fls = Expr::Literal(Datum::Bool(false));
@@ -497,7 +514,7 @@ mod tests {
     fn arithmetic_and_division_by_zero() {
         let cat = Catalog::new();
         let sess = SessionVars::new();
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let row = vec![];
         let add = Expr::Arith {
             op: ArithOp::Add,
@@ -540,7 +557,7 @@ mod tests {
         });
         let mut sess = SessionVars::new();
         sess.set("near.threshold", Datum::Int(2));
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let e = Expr::ExtOp {
             name: "near".into(),
             left: Box::new(Expr::int(10)),
@@ -550,7 +567,7 @@ mod tests {
         assert!(e.eval(&[], &c).unwrap().is_true());
         let mut sess2 = SessionVars::new();
         sess2.set("near.threshold", Datum::Int(1));
-        let c2 = EvalCtx { catalog: &cat, session: &sess2 };
+        let c2 = EvalCtx::new(&cat, &sess2);
         assert!(!e.eval(&[], &c2).unwrap().is_true());
     }
 
@@ -573,7 +590,7 @@ mod tests {
             index_scan_fraction: None,
         });
         let sess = SessionVars::new();
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let mk = |val: &str, mods: Vec<String>| Expr::ExtOp {
             name: "tagged".into(),
             left: Box::new(Expr::text(val)),
@@ -595,7 +612,7 @@ mod tests {
             eval: Arc::new(|args, _| Ok(Datum::Int(args[0].as_int().unwrap_or(0) + 1))),
         });
         let sess = SessionVars::new();
-        let c = EvalCtx { catalog: &cat, session: &sess };
+        let c = EvalCtx::new(&cat, &sess);
         let ok = Expr::Func { name: "plus1".into(), args: vec![Expr::int(41)] };
         assert!(ok.eval(&[], &c).unwrap().eq_sql(&Datum::Int(42)));
         let bad = Expr::Func { name: "plus1".into(), args: vec![] };

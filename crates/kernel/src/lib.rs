@@ -29,6 +29,9 @@
 //!   implement the paper's outside-the-server baselines honestly: its
 //!   slowness comes from interpretation, function-manager argument
 //!   marshalling and per-statement SQL processing, not from sleeps.
+//! * [`obs`] — observability: process-wide metrics registry with
+//!   Prometheus/JSON exposition, per-query trace spans, and the
+//!   per-operator instrumentation behind `EXPLAIN ANALYZE`.
 //! * [`db`] — the `Database` facade tying everything together.
 
 pub mod catalog;
@@ -37,6 +40,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod index;
+pub mod obs;
 pub mod opt;
 pub mod pl;
 pub mod plan;

@@ -1,0 +1,21 @@
+//! Engine observability: metrics registry, exposition, and query traces.
+//!
+//! Three layers, coarsest to finest:
+//!
+//! 1. **Process-wide metrics** ([`registry`]): named counters, gauges
+//!    and histograms accumulated across every query and session, with
+//!    Prometheus-text and JSON exposition (`SHOW STATS_PROMETHEUS`,
+//!    `SHOW STATS_JSON`, `mlql_stats()`).
+//! 2. **Per-query traces** ([`trace`]): stage spans
+//!    (parse/bind/plan/execute) attached to `RunStats`.
+//! 3. **Per-operator actuals**: `exec::build_instrumented` wraps each
+//!    plan node so EXPLAIN ANALYZE prints actual rows / loops / time /
+//!    pages per node (see `exec::OpStats`).
+//!
+//! Everything here is dependency-free (std atomics + `parking_lot`).
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{global, metrics, Counter, EngineMetrics, Gauge, Histogram, Registry};
+pub use trace::{QueryTrace, Span};

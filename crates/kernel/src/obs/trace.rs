@@ -1,0 +1,121 @@
+//! Per-query trace spans.
+//!
+//! A [`QueryTrace`] records the wall-clock duration of each pipeline
+//! stage (`parse`, `bind`, `plan`, `execute`) for one statement.  The
+//! trace rides on `RunStats` so callers — EXPLAIN ANALYZE, benches, the
+//! outside-the-server baseline — can attribute latency to stages, and
+//! each stage is also accumulated into the global registry counters.
+
+use std::time::{Duration, Instant};
+
+/// One timed stage of a statement's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name (`"parse"`, `"bind"`, `"plan"`, `"execute"`, ...).
+    pub name: &'static str,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+}
+
+/// Ordered stage timings for one statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    spans: Vec<Span>,
+}
+
+impl QueryTrace {
+    /// An empty trace.
+    pub fn new() -> QueryTrace {
+        QueryTrace::default()
+    }
+
+    /// Record a completed stage.
+    pub fn record(&mut self, name: &'static str, duration: Duration) {
+        self.spans.push(Span { name, duration });
+    }
+
+    /// Insert a stage before the existing ones (`parse` happens in
+    /// `Database::execute`, before `run_select` builds the trace).
+    pub fn prepend(&mut self, name: &'static str, duration: Duration) {
+        self.spans.insert(0, Span { name, duration });
+    }
+
+    /// Time `f`, record it under `name`, and return its result.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// The recorded spans, in execution order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Duration of the named stage, if recorded (sums repeats).
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut found = false;
+        for s in &self.spans {
+            if s.name == name {
+                total += s.duration;
+                found = true;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Sum of all recorded spans.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|s| s.duration).sum()
+    }
+
+    /// One-line rendering: `parse=0.012ms bind=0.034ms ...`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{}={:.3}ms", s.name, s.duration.as_secs_f64() * 1e3));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_stages() {
+        let mut t = QueryTrace::new();
+        t.record("parse", Duration::from_micros(120));
+        t.record("bind", Duration::from_micros(30));
+        t.record("execute", Duration::from_millis(2));
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.stage("parse"), Some(Duration::from_micros(120)));
+        assert_eq!(t.stage("plan"), None);
+        assert_eq!(t.total(), Duration::from_micros(2150));
+        let line = t.render();
+        assert!(line.contains("parse=0.120ms"), "{line}");
+        assert!(line.contains("execute=2.000ms"), "{line}");
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut t = QueryTrace::new();
+        let v = t.time("plan", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(t.spans()[0].name, "plan");
+    }
+
+    #[test]
+    fn repeated_stage_names_sum() {
+        let mut t = QueryTrace::new();
+        t.record("execute", Duration::from_micros(10));
+        t.record("execute", Duration::from_micros(5));
+        assert_eq!(t.stage("execute"), Some(Duration::from_micros(15)));
+    }
+}

@@ -750,7 +750,7 @@ impl Planner<'_> {
         if !e.is_const() {
             return None;
         }
-        let ctx = EvalCtx { catalog: self.catalog, session: self.session };
+        let ctx = EvalCtx::new(self.catalog, self.session);
         e.eval(&[], &ctx).ok()
     }
 

@@ -138,6 +138,28 @@ pub enum PhysOp {
     Values { rows: Vec<Vec<Expr>> },
 }
 
+/// Measured runtime actuals for one plan node (`EXPLAIN ANALYZE`).
+///
+/// Produced by `exec::build_instrumented`; figures are inclusive of the
+/// node's children (PostgreSQL `ANALYZE, BUFFERS` convention).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeActuals {
+    /// Rows the node produced across all loops.
+    pub rows: u64,
+    /// Times the node was started (1 + pulled rescans).
+    pub loops: u64,
+    /// Wall-clock time in the node's subtree.
+    pub time: std::time::Duration,
+    /// Buffer-pool page requests in the subtree.
+    pub pages: u64,
+    /// Buffer-pool misses in the subtree.
+    pub pages_read: u64,
+    /// Index nodes visited in the subtree.
+    pub index_node_visits: u64,
+    /// Extension-operator evaluations in the subtree.
+    pub ext_op_calls: u64,
+}
+
 impl PhysNode {
     /// Render an `EXPLAIN` tree.
     pub fn explain(&self) -> String {
@@ -146,9 +168,80 @@ impl PhysNode {
         out
     }
 
+    /// Render an `EXPLAIN ANALYZE` tree: each node line is followed by
+    /// its measured actuals.  `actuals` must be in the same pre-order as
+    /// `explain` lines (as produced by `exec::build_instrumented`).
+    pub fn explain_with_actuals(&self, actuals: &[NodeActuals]) -> String {
+        let mut out = String::new();
+        let mut idx = 0;
+        self.explain_actuals_into(&mut out, 0, actuals, &mut idx);
+        out
+    }
+
+    fn explain_actuals_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        actuals: &[NodeActuals],
+        idx: &mut usize,
+    ) {
+        let pad = "  ".repeat(depth);
+        let a = actuals.get(*idx).copied().unwrap_or_default();
+        *idx += 1;
+        let _ = writeln!(
+            out,
+            "{pad}{}  (cost={:.2} rows={:.0}) (actual rows={} loops={} time={:.3}ms pages={})",
+            self.op_line(),
+            self.est_cost,
+            self.est_rows,
+            a.rows,
+            a.loops,
+            a.time.as_secs_f64() * 1e3,
+            a.pages,
+        );
+        match &self.op {
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Aggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. } => input.explain_actuals_into(out, depth + 1, actuals, idx),
+            PhysOp::NlJoin { outer, inner, .. } => {
+                outer.explain_actuals_into(out, depth + 1, actuals, idx);
+                inner.explain_actuals_into(out, depth + 1, actuals, idx);
+            }
+            PhysOp::HashJoin { left, right, .. } => {
+                left.explain_actuals_into(out, depth + 1, actuals, idx);
+                right.explain_actuals_into(out, depth + 1, actuals, idx);
+            }
+            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
+        }
+    }
+
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
-        let line = match &self.op {
+        let line = self.op_line();
+        let _ = writeln!(out, "{pad}{line}  (cost={:.2} rows={:.0})", self.est_cost, self.est_rows);
+        match &self.op {
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Aggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. } => input.explain_into(out, depth + 1),
+            PhysOp::NlJoin { outer, inner, .. } => {
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            PhysOp::HashJoin { left, right, .. } => {
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
+        }
+    }
+
+    /// The operator description for one `EXPLAIN` line.
+    fn op_line(&self) -> String {
+        match &self.op {
             PhysOp::SeqScan { table, filter } => match filter {
                 Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
                 None => format!("Seq Scan on {table}"),
@@ -196,23 +289,6 @@ impl PhysNode {
             }
             PhysOp::Limit { n, .. } => format!("Limit: {n}"),
             PhysOp::Values { rows } => format!("Values: {} rows", rows.len()),
-        };
-        let _ = writeln!(out, "{pad}{line}  (cost={:.2} rows={:.0})", self.est_cost, self.est_rows);
-        match &self.op {
-            PhysOp::Filter { input, .. }
-            | PhysOp::Project { input, .. }
-            | PhysOp::Aggregate { input, .. }
-            | PhysOp::Sort { input, .. }
-            | PhysOp::Limit { input, .. } => input.explain_into(out, depth + 1),
-            PhysOp::NlJoin { outer, inner, .. } => {
-                outer.explain_into(out, depth + 1);
-                inner.explain_into(out, depth + 1);
-            }
-            PhysOp::HashJoin { left, right, .. } => {
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
         }
     }
 }

@@ -133,13 +133,14 @@ impl BufferPool {
     }
 
     /// Current I/O statistics.
+    ///
+    /// Counters are cumulative for the life of the pool and never reset;
+    /// per-query measurement takes a snapshot before and
+    /// [`IoStats::since`] after, so concurrent readers can each hold
+    /// their own baseline.  (A destructive `reset_stats` used to exist
+    /// and silently zeroed other readers' baselines.)
     pub fn stats(&self) -> IoStats {
         self.inner.lock().stats
-    }
-
-    /// Reset I/O statistics to zero (per-query measurement).
-    pub fn reset_stats(&self) {
-        self.inner.lock().stats = IoStats::default();
     }
 
     /// Drop every cached page (simulates a cold cache; used by benches to
@@ -160,11 +161,13 @@ impl BufferPool {
 impl Inner {
     fn fetch(&mut self, file: FileId, page: PageNo) -> Result<usize> {
         self.stats.logical_reads += 1;
+        crate::obs::metrics().bufferpool_logical_reads_total.inc();
         if let Some(&idx) = self.map.get(&(file, page)) {
             self.frames[idx].referenced = true;
             return Ok(idx);
         }
         self.stats.physical_reads += 1;
+        crate::obs::metrics().bufferpool_physical_reads_total.inc();
         let victim = self.find_victim()?;
         if self.frames[victim].occupied {
             if self.frames[victim].dirty {
@@ -212,6 +215,7 @@ impl Inner {
 
     fn writeback(&mut self, idx: usize) -> Result<()> {
         self.stats.physical_writes += 1;
+        crate::obs::metrics().bufferpool_physical_writes_total.inc();
         let (file, page) = (self.frames[idx].file, self.frames[idx].page);
         let buf = std::mem::take(&mut self.frames[idx].data);
         let res = self.backend.write_page(file, page, &buf);
@@ -304,13 +308,16 @@ mod tests {
     }
 
     #[test]
-    fn flush_all_then_reset() {
+    fn flush_all_counts_writes_via_snapshot_delta() {
         let (pool, f) = pool(4);
         let p = pool.allocate_page(f).unwrap();
         pool.with_page_mut(f, p, |buf| buf[0] = 1).unwrap();
+        let snap = pool.stats();
         pool.flush_all().unwrap();
-        assert_eq!(pool.stats().physical_writes, 1);
-        pool.reset_stats();
-        assert_eq!(pool.stats(), IoStats::default());
+        let d = pool.stats().since(&snap);
+        assert_eq!(d.physical_writes, 1);
+        assert_eq!(d.logical_reads, 0, "flush does not read pages");
+        // Counters are cumulative: the absolute value keeps history.
+        assert!(pool.stats().physical_writes >= 1);
     }
 }

@@ -94,6 +94,9 @@ impl Wal {
         self.writer.write_all(&buf)?;
         self.writer.flush()?;
         self.records_written += 1;
+        let m = crate::obs::metrics();
+        m.wal_records_total.inc();
+        m.wal_bytes_total.add(buf.len() as u64);
         Ok(())
     }
 

@@ -41,7 +41,12 @@ pub fn threshold(session: &SessionVars) -> usize {
 /// `unitext(...)` are materialized by the constructor, so this path is
 /// warm in practice).
 pub fn phonemes_of(value: &UniText, converters: &ConverterRegistry) -> PhonemeString {
-    converters.phonemes_of(value)
+    let m = mlql_kernel::obs::metrics();
+    let start = std::time::Instant::now();
+    let out = converters.phonemes_of(value);
+    m.phoneme_conversions_total.inc();
+    m.phoneme_conversion_ns_total.add(start.elapsed().as_nanos() as u64);
+    out
 }
 
 /// The ψ predicate over two datums.
@@ -59,6 +64,7 @@ pub fn psi_matches(
         if let (Some(lp), Some(rp)) =
             (crate::types::phoneme_slice(lb), crate::types::phoneme_slice(rb))
         {
+            mlql_kernel::obs::metrics().psi_distance_calls_total.inc();
             return Ok(DP.with(|dp| dp.borrow_mut().distance_within(lp, rp, k).is_some()));
         }
     }
@@ -72,6 +78,7 @@ pub fn psi_matches(
         // equality so ψ degrades gracefully for unknown languages.
         return Ok(lv.text() == rv.text());
     }
+    mlql_kernel::obs::metrics().psi_distance_calls_total.inc();
     Ok(DP.with(|dp| {
         dp.borrow_mut()
             .distance_within(lp.as_bytes(), rp.as_bytes(), k)

@@ -76,6 +76,9 @@ impl IndexInstance for MTreeIndex {
             "within" => {
                 let radius = extra.as_int().unwrap_or(0).max(0) as f64;
                 let (hits, stats) = self.tree.range(&key, radius);
+                let m = mlql_kernel::obs::metrics();
+                m.mtree_node_visits_total.add(stats.nodes_visited);
+                m.mtree_distance_computations_total.add(stats.dist_computations);
                 let tids = hits
                     .into_iter()
                     .filter(|(k, tid, _)| !self.deleted.contains(&(k.clone(), *tid)))
@@ -93,6 +96,9 @@ impl IndexInstance for MTreeIndex {
             "nearest" => {
                 let k = extra.as_int().unwrap_or(1).max(1) as usize;
                 let (hits, stats) = self.tree.nearest(&key, k + self.deleted.len());
+                let m = mlql_kernel::obs::metrics();
+                m.mtree_node_visits_total.add(stats.nodes_visited);
+                m.mtree_distance_computations_total.add(stats.dist_computations);
                 let tids: Vec<_> = hits
                     .into_iter()
                     .filter(|(kk, tid, _)| !self.deleted.contains(&(kk.clone(), *tid)))

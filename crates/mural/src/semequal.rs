@@ -55,10 +55,22 @@ impl SemState {
             return false;
         }
         let mut cache = self.cache.lock();
-        rhs.iter().any(|&root| {
+        let (hits_before, misses_before) = cache.stats();
+        let matched = rhs.iter().any(|&root| {
             let closure = cache.closure(&self.taxonomy, root);
             lhs.iter().any(|s| closure.contains(s))
-        })
+        });
+        Self::publish_cache_delta(&cache, hits_before, misses_before);
+        matched
+    }
+
+    /// Push the closure-cache hit/miss delta of one operation into the
+    /// engine metrics (the cache's own counters are cumulative).
+    fn publish_cache_delta(cache: &ClosureCache, hits_before: u64, misses_before: u64) {
+        let (hits, misses) = cache.stats();
+        let m = mlql_kernel::obs::metrics();
+        m.taxonomy_closure_cache_hits_total.add(hits - hits_before);
+        m.taxonomy_closure_cache_misses_total.add(misses - misses_before);
     }
 
     /// Exact closure size of the concept a constant names, if resolvable —

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI perf + hygiene gate.
+#
+#  1. Lint gate: no stray println!/print! in the kernel — all diagnostics
+#     must flow through the query log or the obs metrics layer.
+#  2. Perf gate: run the §5.1 regression_check harness with JSON output and
+#     compare its normalized latency (extended/plain ratio) against the
+#     committed baseline; >20% regression fails (the threshold lives in
+#     crates/bench/src/bin/regression_check.rs).
+#
+# Extra cargo flags (e.g. an offline [patch] config) can be injected via
+# MLQL_CARGO_FLAGS / MLQL_BUILD_FLAGS:
+#   MLQL_CARGO_FLAGS="--config /path/to/patch-config.toml" \
+#   MLQL_BUILD_FLAGS="--offline" scripts/bench_check.sh
+# Note: `cargo clippy` does not forward `--config` to its inner cargo
+# invocation — for patched/offline setups put the config in
+# $CARGO_HOME/config.toml instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO=${CARGO:-cargo}
+BASELINE=benchmarks/baseline/BENCH_regression_check.json
+
+echo "== clippy gate: deny println!/print! in mlql-kernel =="
+if $CARGO ${MLQL_CARGO_FLAGS:-} clippy --version >/dev/null 2>&1; then
+    $CARGO ${MLQL_CARGO_FLAGS:-} clippy -p mlql-kernel --lib ${MLQL_BUILD_FLAGS:-} -- \
+        -D clippy::print_stdout -D warnings
+else
+    echo "clippy unavailable in this toolchain; skipping lint gate"
+fi
+
+echo "== perf gate: regression_check vs $BASELINE =="
+if [ ! -f "$BASELINE" ]; then
+    echo "missing baseline $BASELINE — run:" >&2
+    echo "  MLQL_BENCH_DIR=benchmarks/baseline $CARGO run --release -p mlql-bench --bin regression_check" >&2
+    exit 1
+fi
+$CARGO ${MLQL_CARGO_FLAGS:-} run --release -p mlql-bench --bin regression_check \
+    ${MLQL_BUILD_FLAGS:-} -- --baseline "$BASELINE"
+
+echo "bench_check: OK"
