@@ -42,7 +42,9 @@ fn bench_g2p(c: &mut Criterion) {
         ("tamil", "சுப்பிரமணியம்", "Tamil"),
     ] {
         let v = UniText::compose(text, langs.id_of(lang));
-        group.bench_function(label, |bench| bench.iter(|| convs.phonemes_of(black_box(&v))));
+        group.bench_function(label, |bench| {
+            bench.iter(|| convs.phonemes_of(black_box(&v)))
+        });
     }
     group.finish();
 }
@@ -52,7 +54,12 @@ fn bench_mtree_split_policies(c: &mut Criterion) {
     let convs = ConverterRegistry::with_builtins(&langs);
     let data = mlql_datagen::names_dataset(
         &langs,
-        &mlql_datagen::NamesConfig { records: 2000, noise: 0.25, seed: 5, ..Default::default() },
+        &mlql_datagen::NamesConfig {
+            records: 2000,
+            noise: 0.25,
+            seed: 5,
+            ..Default::default()
+        },
     );
     let keys: Vec<Vec<u8>> = data
         .iter()
@@ -89,7 +96,11 @@ fn bench_mtree_split_policies(c: &mut Criterion) {
         }
         let probe = keys[0].clone();
         group.bench_function(label, |bench| {
-            bench.iter(|| black_box(t.range(black_box(&probe), 3.0)).1.dist_computations)
+            bench.iter(|| {
+                black_box(t.range(black_box(&probe), 3.0))
+                    .1
+                    .dist_computations
+            })
         });
     }
     group.finish();
@@ -99,7 +110,10 @@ fn bench_closure_memoization(c: &mut Criterion) {
     let langs = LanguageRegistry::new();
     let taxonomy = generate(
         langs.id_of("English"),
-        &GeneratorConfig { synsets: 20_000, ..GeneratorConfig::default() },
+        &GeneratorConfig {
+            synsets: 20_000,
+            ..GeneratorConfig::default()
+        },
     );
     let picks = mlql_taxonomy::generator::synsets_near_closure_sizes(&taxonomy, &[1000]);
     let (_, synset, _) = picks[0];

@@ -22,7 +22,10 @@ fn main() {
     let grid = fig6_workload(scale());
     println!("# Figure 6: optimizer predicted cost vs actual runtime");
     println!("# {} configurations, scale {}", grid.len(), scale());
-    println!("{:>10} {:>12} {:>12} {:>6} {:>14} {:>12}", "left_rows", "right_rows", "filler", "k", "pred_cost", "runtime_ms");
+    println!(
+        "{:>10} {:>12} {:>12} {:>6} {:>14} {:>12}",
+        "left_rows", "right_rows", "filler", "k", "pred_cost", "runtime_ms"
+    );
 
     let mut costs = Vec::new();
     let mut times = Vec::new();
@@ -34,13 +37,20 @@ fn main() {
         let filler_ddl: String = (0..q.filler_cols)
             .map(|i| format!(", pad{i} TEXT"))
             .collect();
-        db.execute(&format!("CREATE TABLE l (name UNITEXT{filler_ddl})")).unwrap();
-        db.execute(&format!("CREATE TABLE r (name UNITEXT{filler_ddl})")).unwrap();
+        db.execute(&format!("CREATE TABLE l (name UNITEXT{filler_ddl})"))
+            .unwrap();
+        db.execute(&format!("CREATE TABLE r (name UNITEXT{filler_ddl})"))
+            .unwrap();
         let pad = "x".repeat(q.filler_width);
         let load = |db: &mut mlql_kernel::Database, table: &str, rows: usize, seed: u64| {
             let data = names_dataset(
                 &mural.langs,
-                &NamesConfig { records: rows, noise: 0.25, seed, ..NamesConfig::default() },
+                &NamesConfig {
+                    records: rows,
+                    noise: 0.25,
+                    seed,
+                    ..NamesConfig::default()
+                },
             );
             for rec in data {
                 let mut row = vec![unitext_datum(mural.unitext_type, &rec.name)];
@@ -56,11 +66,17 @@ fn main() {
         // histograms (the paper's "duplicate records were introduced ...
         // and the histograms rebuilt").
         for d in 1..q.duplication {
-            load(&mut db, "r", q.right_rows, 200 + qi as u64 + d as u64 * 1000);
+            load(
+                &mut db,
+                "r",
+                q.right_rows,
+                200 + qi as u64 + d as u64 * 1000,
+            );
         }
         db.execute("ANALYZE l").unwrap();
         db.execute("ANALYZE r").unwrap();
-        db.execute(&format!("SET lexequal.threshold = {}", q.threshold)).unwrap();
+        db.execute(&format!("SET lexequal.threshold = {}", q.threshold))
+            .unwrap();
 
         let sql = "SELECT count(*) FROM l, r WHERE l.name LEXEQUAL r.name";
         let plan = db.plan_select(sql).unwrap();
@@ -84,7 +100,7 @@ fn main() {
             ("right_rows", Value::Int(q.right_rows as i64)),
             ("filler_cols", Value::Int(q.filler_cols as i64)),
             ("filler_width", Value::Int(q.filler_width as i64)),
-            ("threshold", Value::Int(q.threshold as i64)),
+            ("threshold", Value::Int(q.threshold)),
             ("pred_cost", Value::Num(plan.est_cost)),
             ("runtime_ms", Value::Num(ms)),
         ]));
@@ -101,7 +117,10 @@ fn main() {
         let langs = mlql_unitext::LanguageRegistry::new();
         let taxonomy = mlql_taxonomy::generate(
             langs.id_of("English"),
-            &mlql_taxonomy::GeneratorConfig { synsets, ..Default::default() },
+            &mlql_taxonomy::GeneratorConfig {
+                synsets,
+                ..Default::default()
+            },
         );
         let mural = mlql_mural::install_with_taxonomy(&mut db, taxonomy).unwrap();
         db.execute("CREATE TABLE docs (category UNITEXT)").unwrap();
@@ -114,7 +133,10 @@ fn main() {
             let word = taxonomy.words(sid)[0].clone();
             db.insert_row(
                 "docs",
-                vec![unitext_datum(mural.unitext_type, &UniText::compose(word, en))],
+                vec![unitext_datum(
+                    mural.unitext_type,
+                    &UniText::compose(word, en),
+                )],
             )
             .unwrap();
         }
@@ -123,7 +145,10 @@ fn main() {
             let word = taxonomy.words(sid)[0].clone();
             db.insert_row(
                 "concepts",
-                vec![unitext_datum(mural.unitext_type, &UniText::compose(word, en))],
+                vec![unitext_datum(
+                    mural.unitext_type,
+                    &UniText::compose(word, en),
+                )],
             )
             .unwrap();
         }
@@ -158,6 +183,7 @@ fn main() {
     println!("paper: \"computed correlation coefficient on the plot is well over 0.9\"");
 
     let mut rep = Report::new("fig6_cost_prediction");
-    rep.set("points", Value::Arr(points)).num("loglog_pearson", r);
+    rep.set("points", Value::Arr(points))
+        .num("loglog_pearson", r);
     rep.write_and_note();
 }

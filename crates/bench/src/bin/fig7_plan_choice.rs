@@ -29,22 +29,47 @@ fn load(db: &mut Database, mural: &Mural) {
     let n_auth = 1200 * scale();
     let n_pub = 300 * scale();
     let n_book = 3000 * scale();
-    db.execute("CREATE TABLE author (authorid INT, aname UNITEXT)").unwrap();
-    db.execute("CREATE TABLE publisher (pubid INT, pname UNITEXT)").unwrap();
-    db.execute("CREATE TABLE book (bookid INT, authorid INT, pubid INT)").unwrap();
-    let a = names_dataset(&mural.langs, &NamesConfig { records: n_auth, noise: 0.25, seed: 11, ..NamesConfig::default() });
+    db.execute("CREATE TABLE author (authorid INT, aname UNITEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE publisher (pubid INT, pname UNITEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE book (bookid INT, authorid INT, pubid INT)")
+        .unwrap();
+    let a = names_dataset(
+        &mural.langs,
+        &NamesConfig {
+            records: n_auth,
+            noise: 0.25,
+            seed: 11,
+            ..NamesConfig::default()
+        },
+    );
     for (i, rec) in a.iter().enumerate() {
         db.insert_row(
             "author",
-            vec![Datum::Int(i as i64), unitext_datum(mural.unitext_type, &rec.name)],
+            vec![
+                Datum::Int(i as i64),
+                unitext_datum(mural.unitext_type, &rec.name),
+            ],
         )
         .unwrap();
     }
-    let p = names_dataset(&mural.langs, &NamesConfig { records: n_pub, noise: 0.25, seed: 22, ..NamesConfig::default() });
+    let p = names_dataset(
+        &mural.langs,
+        &NamesConfig {
+            records: n_pub,
+            noise: 0.25,
+            seed: 22,
+            ..NamesConfig::default()
+        },
+    );
     for (i, rec) in p.iter().enumerate() {
         db.insert_row(
             "publisher",
-            vec![Datum::Int(i as i64), unitext_datum(mural.unitext_type, &rec.name)],
+            vec![
+                Datum::Int(i as i64),
+                unitext_datum(mural.unitext_type, &rec.name),
+            ],
         )
         .unwrap();
     }
@@ -67,13 +92,18 @@ fn load(db: &mut Database, mural: &Mural) {
 }
 
 fn run(db: &mut Database, label: &str, sql: &str, forced: bool) -> (f64, f64) {
-    db.execute(&format!("SET force_join_order = {}", if forced { 1 } else { 0 })).unwrap();
+    db.execute(&format!(
+        "SET force_join_order = {}",
+        if forced { 1 } else { 0 }
+    ))
+    .unwrap();
     let plan = db.plan_select(sql).unwrap();
     let (res, secs) = timed(|| db.execute(sql).unwrap());
     println!("--- {label} ---");
     println!("{}", plan.explain());
     println!("predicted cost: {:>14.0}", plan.est_cost);
-    println!("runtime:        {:>11.2} s   (result: {} rows -> count = {})",
+    println!(
+        "runtime:        {:>11.2} s   (result: {} rows -> count = {})",
         secs,
         res.rows.len(),
         res.rows[0][0]
@@ -100,7 +130,9 @@ fn main() {
     // Free choice: the optimizer must land on (approximately) Plan 1.
     let (cf, tf) = run(&mut db, "Optimizer free choice", plan1_sql, false);
 
-    println!("# Summary (paper: Plan 1 cost 2,439,370 / 82.15 s; Plan 2 cost 7,513,852 / 2338.31 s)");
+    println!(
+        "# Summary (paper: Plan 1 cost 2,439,370 / 82.15 s; Plan 2 cost 7,513,852 / 2338.31 s)"
+    );
     println!("plan1: cost {c1:>14.0}  runtime {t1:>9.2} s");
     println!("plan2: cost {c2:>14.0}  runtime {t2:>9.2} s");
     println!("free:  cost {cf:>14.0}  runtime {tf:>9.2} s");

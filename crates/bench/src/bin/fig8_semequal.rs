@@ -42,11 +42,18 @@ fn main() {
 
     let (mut db, mural) = mural_db();
     let lang = mural.langs.id_of("English");
-    let taxonomy = generate(lang, &GeneratorConfig { synsets, ..GeneratorConfig::default() });
+    let taxonomy = generate(
+        lang,
+        &GeneratorConfig {
+            synsets,
+            ..GeneratorConfig::default()
+        },
+    );
     let picks = synsets_near_closure_sizes(&taxonomy, &targets);
 
     // Store the hierarchy relationally: edges(child, parent).
-    db.execute("CREATE TABLE edges (child INT, parent INT)").unwrap();
+    db.execute("CREATE TABLE edges (child INT, parent INT)")
+        .unwrap();
     for id in taxonomy.ids() {
         for &c in taxonomy.children(id) {
             db.insert_row(
@@ -57,7 +64,8 @@ fn main() {
         }
     }
     db.execute("ANALYZE edges").unwrap();
-    db.execute("CREATE TABLE scratch (id INT, done INT)").unwrap();
+    db.execute("CREATE TABLE scratch (id INT, done INT)")
+        .unwrap();
     db.execute("CREATE TABLE cl (id INT)").unwrap();
     db.execute("CREATE TABLE fr (id INT)").unwrap();
     db.execute("CREATE TABLE fr2 (id INT)").unwrap();
@@ -91,13 +99,21 @@ fn main() {
     }
 
     // ---- Phase 2: build the B+Tree on parent, re-measure. ----
-    db.execute("CREATE INDEX edges_parent ON edges (parent) USING btree").unwrap();
+    db.execute("CREATE INDEX edges_parent ON edges (parent) USING btree")
+        .unwrap();
     db.execute("ANALYZE edges").unwrap();
 
     println!();
     println!(
         "{:>8} {:>8} | {:>15} {:>15} {:>15} {:>13} {:>13} {:>13}",
-        "target", "actual", "outside_noidx", "outside_setsql", "outside_btree", "core_noidx", "core_btree", "pinned_memo"
+        "target",
+        "actual",
+        "outside_noidx",
+        "outside_setsql",
+        "outside_btree",
+        "core_noidx",
+        "core_btree",
+        "pinned_memo"
     );
     let mut curves = Vec::new();
     for (i, &(target, synset, actual)) in picks.iter().enumerate() {
@@ -119,7 +135,14 @@ fn main() {
         let (_, _, t_out_noidx, t_out_setsql, t_core_noidx) = rows[i];
         println!(
             "{:>8} {:>8} | {:>13.4} s {:>13.4} s {:>13.4} s {:>11.4} s {:>11.4} s {:>11.5} s",
-            target, actual, t_out_noidx, t_out_setsql, t_out_btree, t_core_noidx, t_core_btree, t_pinned
+            target,
+            actual,
+            t_out_noidx,
+            t_out_setsql,
+            t_out_btree,
+            t_core_noidx,
+            t_core_btree,
+            t_pinned
         );
         curves.push(obj(vec![
             ("target", Value::Int(target as i64)),
@@ -138,6 +161,7 @@ fn main() {
     println!("# core + B+Tree ≳ 2 orders faster than outside; tens of ms at typical sizes.");
 
     let mut rep = Report::new("fig8_semequal");
-    rep.int("synsets", synsets as i64).set("points", Value::Arr(curves));
+    rep.int("synsets", synsets as i64)
+        .set("points", Value::Arr(curves));
     rep.write_and_note();
 }

@@ -15,11 +15,18 @@ fn main() {
         db.execute("SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')")
             .unwrap()
     });
-    println!("sql scan:        {secs:.4}s  ({:.2} us/row)  count={}", secs / n as f64 * 1e6, r.rows[0][0]);
+    println!(
+        "sql scan:        {secs:.4}s  ({:.2} us/row)  count={}",
+        secs / n as f64 * 1e6,
+        r.rows[0][0]
+    );
 
     // Plain count(*) (no predicate) — executor + decode baseline.
     let (_, secs_plain) = timed(|| db.execute("SELECT count(*) FROM names").unwrap());
-    println!("plain count(*):  {secs_plain:.4}s  ({:.2} us/row)", secs_plain / n as f64 * 1e6);
+    println!(
+        "plain count(*):  {secs_plain:.4}s  ({:.2} us/row)",
+        secs_plain / n as f64 * 1e6
+    );
 
     // Filter on a cheap predicate (text compare on a TEXT col absent; use name = name? skip).
 
@@ -35,7 +42,10 @@ fn main() {
         }
         c
     });
-    println!("psi_matches raw: {secs2:.4}s  ({:.2} us/row) count={cnt}", secs2 / n as f64 * 1e6);
+    println!(
+        "psi_matches raw: {secs2:.4}s  ({:.2} us/row) count={cnt}",
+        secs2 / n as f64 * 1e6
+    );
 
     // Pure banded distance on pre-extracted slices.
     let phs: Vec<Vec<u8>> = rows
@@ -59,7 +69,10 @@ fn main() {
         }
         c
     });
-    println!("banded only:     {secs3:.4}s  ({:.2} us/row) count={cnt2}", secs3 / n as f64 * 1e6);
+    println!(
+        "banded only:     {secs3:.4}s  ({:.2} us/row) count={cnt2}",
+        secs3 / n as f64 * 1e6
+    );
 
     let mut rep = Report::new("profile_scan");
     rep.int("rows", n as i64)

@@ -30,7 +30,12 @@ fn main() {
     // Few stems → plenty of true pairs per stem.
     let data = names_dataset(
         &langs,
-        &NamesConfig { records, noise: 0.3, seed: 31, distinct: 60 },
+        &NamesConfig {
+            records,
+            noise: 0.3,
+            seed: 31,
+            distinct: 60,
+        },
     );
     let phonemes: Vec<Vec<u8>> = data
         .iter()
@@ -104,6 +109,7 @@ fn main() {
     println!("# soundex recall collapses on cross-script pairs (it reads only Latin).");
 
     let mut rep = Report::new("quality_lexequal");
-    rep.int("records", records as i64).set("matchers", Value::Arr(matchers));
+    rep.int("records", records as i64)
+        .set("matchers", Value::Arr(matchers));
     rep.write_and_note();
 }

@@ -21,8 +21,10 @@ use mlql_mural::install;
 
 fn workload(db: &mut Database, rows: usize) -> Vec<String> {
     let mut outputs = Vec::new();
-    db.execute("CREATE TABLE orders (id INT, customer TEXT, amount FLOAT, region INT)").unwrap();
-    db.execute("CREATE TABLE customers (name TEXT, region INT)").unwrap();
+    db.execute("CREATE TABLE orders (id INT, customer TEXT, amount FLOAT, region INT)")
+        .unwrap();
+    db.execute("CREATE TABLE customers (name TEXT, region INT)")
+        .unwrap();
     for i in 0..rows {
         db.execute(&format!(
             "INSERT INTO orders VALUES ({i}, 'cust{}', {}.5, {})",
@@ -33,9 +35,14 @@ fn workload(db: &mut Database, rows: usize) -> Vec<String> {
         .unwrap();
     }
     for i in 0..97 {
-        db.execute(&format!("INSERT INTO customers VALUES ('cust{i}', {})", i % 12)).unwrap();
+        db.execute(&format!(
+            "INSERT INTO customers VALUES ('cust{i}', {})",
+            i % 12
+        ))
+        .unwrap();
     }
-    db.execute("CREATE INDEX orders_id ON orders (id) USING btree").unwrap();
+    db.execute("CREATE INDEX orders_id ON orders (id) USING btree")
+        .unwrap();
     db.execute("ANALYZE orders").unwrap();
     db.execute("ANALYZE customers").unwrap();
     let queries = [
@@ -50,7 +57,10 @@ fn workload(db: &mut Database, rows: usize) -> Vec<String> {
         let r = db.execute(q).unwrap();
         outputs.push(format!(
             "{q} => {:?}",
-            r.rows.iter().map(|row| row.iter().map(|d| d.to_string()).collect::<Vec<_>>()).collect::<Vec<_>>()
+            r.rows
+                .iter()
+                .map(|row| row.iter().map(|d| d.to_string()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
         ));
     }
     db.execute("DELETE FROM orders WHERE region = 11").unwrap();

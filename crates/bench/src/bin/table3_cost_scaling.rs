@@ -52,7 +52,8 @@ fn main() {
     load_names_table(&mut db, &mural, "names", 4000 * s, 7).unwrap();
     let mut k_times = Vec::new();
     for k in [1i64, 2, 4, 8] {
-        db.execute(&format!("SET lexequal.threshold = {k}")).unwrap();
+        db.execute(&format!("SET lexequal.threshold = {k}"))
+            .unwrap();
         let (_, secs) = timed(|| {
             db.execute("SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')")
                 .unwrap();
@@ -70,7 +71,8 @@ fn main() {
         load_names_table(&mut db, &mural, "b", n * s, 2).unwrap();
         db.execute("SET lexequal.threshold = 2").unwrap();
         let (_, secs) = timed(|| {
-            db.execute("SELECT count(*) FROM a, b WHERE a.name LEXEQUAL b.name").unwrap();
+            db.execute("SELECT count(*) FROM a, b WHERE a.name LEXEQUAL b.name")
+                .unwrap();
         });
         join_points.push((n as f64, secs));
     }
@@ -79,7 +81,13 @@ fn main() {
 
     // ---- Ω closure ∝ closure size (pinned) ----
     let lang = mlql_unitext::LanguageRegistry::new().id_of("English");
-    let taxonomy = generate(lang, &GeneratorConfig { synsets: 40_000 * s, ..Default::default() });
+    let taxonomy = generate(
+        lang,
+        &GeneratorConfig {
+            synsets: 40_000 * s,
+            ..Default::default()
+        },
+    );
     let picks = synsets_near_closure_sizes(&taxonomy, &[200, 800, 3200, 12_800]);
     let mut closure_points = Vec::new();
     for (_, synset, actual) in picks {

@@ -34,8 +34,16 @@ const PROBES: &[(&str, &str)] = &[
 ];
 
 fn core_scan(db: &mut Database, use_index: bool) -> f64 {
-    db.execute(&format!("SET enable_seqscan = {}", if use_index { 0 } else { 1 })).unwrap();
-    db.execute(&format!("SET enable_indexscan = {}", if use_index { 1 } else { 0 })).unwrap();
+    db.execute(&format!(
+        "SET enable_seqscan = {}",
+        if use_index { 0 } else { 1 }
+    ))
+    .unwrap();
+    db.execute(&format!(
+        "SET enable_indexscan = {}",
+        if use_index { 1 } else { 0 }
+    ))
+    .unwrap();
     let (_, secs) = timed(|| {
         for (name, lang) in PROBES {
             let sql = format!(
@@ -54,7 +62,11 @@ fn core_join(db: &mut Database, use_index: bool) -> f64 {
     // executor builds (index nested-loops over ext-ops); like the paper we
     // report the best core join the engine runs, with the index available
     // or not.
-    db.execute(&format!("SET enable_indexscan = {}", if use_index { 1 } else { 0 })).unwrap();
+    db.execute(&format!(
+        "SET enable_indexscan = {}",
+        if use_index { 1 } else { 0 }
+    ))
+    .unwrap();
     let sql = "SELECT count(*) FROM probes p, names n WHERE p.name LEXEQUAL n.name";
     let (_, secs) = timed(|| {
         db.execute(sql).unwrap();
@@ -75,10 +87,14 @@ fn outside_scan(db: &mut Database, with_mdi: bool, mural: &mlql_mural::Mural) ->
             rt.register_function(outside::editdistance_pl_fn());
             if with_mdi {
                 let key = mdi::mdi_key(ph.as_bytes(), mdi::DEFAULT_ANCHOR);
-                rt.call(&mdi_fn, &[Datum::text(&ph_text), Datum::Int(3), Datum::Int(key)])
-                    .unwrap();
+                rt.call(
+                    &mdi_fn,
+                    &[Datum::text(&ph_text), Datum::Int(3), Datum::Int(key)],
+                )
+                .unwrap();
             } else {
-                rt.call(&full, &[Datum::text(&ph_text), Datum::Int(3)]).unwrap();
+                rt.call(&full, &[Datum::text(&ph_text), Datum::Int(3)])
+                    .unwrap();
             }
         }
     });
@@ -88,7 +104,14 @@ fn outside_scan(db: &mut Database, with_mdi: bool, mural: &mlql_mural::Mural) ->
 fn outside_join(db: &mut Database, with_mdi: bool) -> f64 {
     let plain = outside::lexequal_join_fn("probes_out", "name", "ph", "names_out", "name", "ph");
     let with_idx = outside::lexequal_join_mdi_fn(
-        "probes_out", "name", "ph", "mdi", "names_out", "name", "ph", "mdi",
+        "probes_out",
+        "name",
+        "ph",
+        "mdi",
+        "names_out",
+        "name",
+        "ph",
+        "mdi",
     );
     let (_, secs) = timed(|| {
         let mut rt = PlRuntime::new(db);
@@ -103,16 +126,21 @@ fn main() {
     let n_names = 2000 * scale();
     let n_probes = 40 * scale();
     println!("# Table 4: LexEQUAL performance (threshold 3)");
-    println!("# names table: {n_names} rows; join probes: {n_probes} rows; scale {}", scale());
+    println!(
+        "# names table: {n_names} rows; join probes: {n_probes} rows; scale {}",
+        scale()
+    );
 
     let (mut db, mural) = mural_db();
     db.execute("SET lexequal.threshold = 3").unwrap();
     load_names_table(&mut db, &mural, "names", n_names, 1).unwrap();
     load_names_table(&mut db, &mural, "probes", n_probes, 2).unwrap();
-    db.execute("CREATE INDEX names_mt ON names (name) USING mtree").unwrap();
+    db.execute("CREATE INDEX names_mt ON names (name) USING mtree")
+        .unwrap();
     load_names_outside(&mut db, &mural, "names_out", n_names, 1).unwrap();
     load_names_outside(&mut db, &mural, "probes_out", n_probes, 2).unwrap();
-    db.execute("CREATE INDEX names_out_mdi ON names_out (mdi) USING btree").unwrap();
+    db.execute("CREATE INDEX names_out_mdi ON names_out (mdi) USING btree")
+        .unwrap();
 
     let core_scan_noidx = core_scan(&mut db, false);
     let core_scan_mtree = core_scan(&mut db, true);
@@ -154,7 +182,7 @@ fn main() {
             let probe = mural.unitext(name, lang).unwrap();
             let search = idx
                 .instance
-                .lock()
+                .read()
                 .search("within", &probe, &Datum::Int(3))
                 .unwrap();
             total_cmp += search.comparisons;

@@ -67,7 +67,15 @@ pub fn load_names_table(
     seed: u64,
 ) -> Result<()> {
     db.execute(&format!("CREATE TABLE {table} (name UNITEXT)"))?;
-    let data = names_dataset(&mural.langs, &NamesConfig { records, noise: 0.25, seed, ..NamesConfig::default() });
+    let data = names_dataset(
+        &mural.langs,
+        &NamesConfig {
+            records,
+            noise: 0.25,
+            seed,
+            ..NamesConfig::default()
+        },
+    );
     for rec in data {
         let d = mlql_mural::types::unitext_datum(mural.unitext_type, &rec.name);
         db.insert_row(table, vec![d])?;
@@ -88,8 +96,18 @@ pub fn load_names_outside(
     records: usize,
     seed: u64,
 ) -> Result<()> {
-    db.execute(&format!("CREATE TABLE {table} (name TEXT, ph TEXT, mdi INT)"))?;
-    let data = names_dataset(&mural.langs, &NamesConfig { records, noise: 0.25, seed, ..NamesConfig::default() });
+    db.execute(&format!(
+        "CREATE TABLE {table} (name TEXT, ph TEXT, mdi INT)"
+    ))?;
+    let data = names_dataset(
+        &mural.langs,
+        &NamesConfig {
+            records,
+            noise: 0.25,
+            seed,
+            ..NamesConfig::default()
+        },
+    );
     for rec in data {
         let ph = mural.converters.phonemes_of(&rec.name);
         let key = mdi::mdi_key(ph.as_bytes(), mdi::DEFAULT_ANCHOR);
@@ -137,7 +155,7 @@ pub fn core_closure_via_tables(
             Some(idx) => {
                 let hits = idx
                     .instance
-                    .lock()
+                    .read()
                     .search("eq", &Datum::Int(node), &Datum::Null)?;
                 for tid in hits.tids {
                     if let Some(bytes) = meta.heap.get(db.pool(), tid)? {
@@ -209,7 +227,9 @@ mod tests {
         let n = db.query("SELECT count(*) FROM names").unwrap();
         assert!(n[0][0].eq_sql(&Datum::Int(200)));
         load_names_outside(&mut db, &mural, "names_out", 200, 1).unwrap();
-        let m = db.query("SELECT count(*) FROM names_out WHERE mdi >= 0").unwrap();
+        let m = db
+            .query("SELECT count(*) FROM names_out WHERE mdi >= 0")
+            .unwrap();
         assert!(m[0][0].eq_sql(&Datum::Int(200)));
     }
 }

@@ -107,7 +107,10 @@ pub struct Report {
 impl Report {
     /// Start a report; `name` becomes the file stem (`BENCH_<name>.json`).
     pub fn new(name: &str) -> Report {
-        let mut r = Report { name: name.to_string(), fields: Vec::new() };
+        let mut r = Report {
+            name: name.to_string(),
+            fields: Vec::new(),
+        };
         r.set("bench", Value::Str(name.to_string()));
         r.set("scale", Value::Int(crate::scale() as i64));
         r
@@ -218,17 +221,20 @@ mod tests {
     #[test]
     fn renders_escaped_flat_object() {
         let mut r = Report::new("unit");
-        r.num("pi", 3.25).int("n", -4).flag("ok", true).set(
-            "label",
-            Value::Str("he said \"hi\"\n".into()),
-        );
+        r.num("pi", 3.25)
+            .int("n", -4)
+            .flag("ok", true)
+            .set("label", Value::Str("he said \"hi\"\n".into()));
         let json = r.render();
         assert!(json.starts_with("{\"bench\":\"unit\""));
         assert!(json.contains("\"pi\":3.25"));
         assert!(json.contains("\"n\":-4"));
         assert!(json.contains("\"ok\":true"));
         assert!(json.contains("\\\"hi\\\"\\n"));
-        assert!(json.contains("\"engine_metrics\":{"), "metrics snapshot embedded");
+        assert!(
+            json.contains("\"engine_metrics\":{"),
+            "metrics snapshot embedded"
+        );
         // Balanced braces — the Raw splice must not break the object.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

@@ -36,8 +36,21 @@ const CATEGORIES: &[(&str, &str)] = &[
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "glimpses", "history", "letters", "discovery", "freedom", "india", "world", "story",
-    "midnight", "truth", "experiments", "wings", "fire", "river", "song",
+    "glimpses",
+    "history",
+    "letters",
+    "discovery",
+    "freedom",
+    "india",
+    "world",
+    "story",
+    "midnight",
+    "truth",
+    "experiments",
+    "wings",
+    "fire",
+    "river",
+    "song",
 ];
 
 /// Generate `n` catalog rows (deterministic).
@@ -45,7 +58,12 @@ pub fn books_catalog(registry: &LanguageRegistry, n: usize, seed: u64) -> Vec<Bo
     let mut rng = StdRng::seed_from_u64(seed);
     let authors = names_dataset(
         registry,
-        &NamesConfig { records: n.max(1), noise: 0.2, seed: seed ^ 0xbeef, ..NamesConfig::default() },
+        &NamesConfig {
+            records: n.max(1),
+            noise: 0.2,
+            seed: seed ^ 0xbeef,
+            ..NamesConfig::default()
+        },
     );
     let mut out = Vec::with_capacity(n);
     for (i, author_rec) in authors.into_iter().enumerate().take(n) {

@@ -9,18 +9,112 @@ use rand::{Rng, SeedableRng};
 /// Seed list of romanized surnames (Indian + Western), the base homophone
 /// classes of the generated corpus.
 pub const SEED_NAMES: &[&str] = &[
-    "nehru", "gandhi", "patel", "bose", "naidu", "kumar", "sharma", "gupta", "reddy", "iyer",
-    "menon", "pillai", "rao", "verma", "mishra", "chopra", "kapoor", "malhotra", "banerjee",
-    "mukherjee", "chatterjee", "ghosh", "dutta", "sen", "das", "roy", "singh", "yadav", "joshi",
-    "desai", "mehta", "shah", "trivedi", "pandey", "tiwari", "dubey", "saxena", "srivastava",
-    "agarwal", "jain", "khanna", "bhatia", "arora", "sethi", "anand", "bhatt", "nair", "kurup",
-    "raman", "krishnan", "subramanian", "venkatesan", "natarajan", "sundaram", "rajan",
-    "chandran", "balan", "mohan", "prasad", "murthy", "hegde", "shetty", "kamath", "pai",
-    "bhandary", "gowda", "miller", "meyer", "smith", "johnson", "brown", "taylor", "walker",
-    "lewis", "clark", "hall", "allen", "young", "king", "wright", "scott", "green", "baker",
-    "adams", "nelson", "carter", "mitchell", "roberts", "turner", "phillips", "campbell",
-    "parker", "evans", "edwards", "collins", "stewart", "morris", "rogers", "reed", "cook",
-    "morgan", "bell", "murphy", "bailey", "rivera", "cooper",
+    "nehru",
+    "gandhi",
+    "patel",
+    "bose",
+    "naidu",
+    "kumar",
+    "sharma",
+    "gupta",
+    "reddy",
+    "iyer",
+    "menon",
+    "pillai",
+    "rao",
+    "verma",
+    "mishra",
+    "chopra",
+    "kapoor",
+    "malhotra",
+    "banerjee",
+    "mukherjee",
+    "chatterjee",
+    "ghosh",
+    "dutta",
+    "sen",
+    "das",
+    "roy",
+    "singh",
+    "yadav",
+    "joshi",
+    "desai",
+    "mehta",
+    "shah",
+    "trivedi",
+    "pandey",
+    "tiwari",
+    "dubey",
+    "saxena",
+    "srivastava",
+    "agarwal",
+    "jain",
+    "khanna",
+    "bhatia",
+    "arora",
+    "sethi",
+    "anand",
+    "bhatt",
+    "nair",
+    "kurup",
+    "raman",
+    "krishnan",
+    "subramanian",
+    "venkatesan",
+    "natarajan",
+    "sundaram",
+    "rajan",
+    "chandran",
+    "balan",
+    "mohan",
+    "prasad",
+    "murthy",
+    "hegde",
+    "shetty",
+    "kamath",
+    "pai",
+    "bhandary",
+    "gowda",
+    "miller",
+    "meyer",
+    "smith",
+    "johnson",
+    "brown",
+    "taylor",
+    "walker",
+    "lewis",
+    "clark",
+    "hall",
+    "allen",
+    "young",
+    "king",
+    "wright",
+    "scott",
+    "green",
+    "baker",
+    "adams",
+    "nelson",
+    "carter",
+    "mitchell",
+    "roberts",
+    "turner",
+    "phillips",
+    "campbell",
+    "parker",
+    "evans",
+    "edwards",
+    "collins",
+    "stewart",
+    "morris",
+    "rogers",
+    "reed",
+    "cook",
+    "morgan",
+    "bell",
+    "murphy",
+    "bailey",
+    "rivera",
+    "cooper",
 ];
 
 /// One generated record.
@@ -53,7 +147,12 @@ pub struct NamesConfig {
 
 impl Default for NamesConfig {
     fn default() -> Self {
-        NamesConfig { records: 50_000, noise: 0.25, seed: 0xa11ce, distinct: 8000 }
+        NamesConfig {
+            records: 50_000,
+            noise: 0.25,
+            seed: 0xa11ce,
+            distinct: 8000,
+        }
     }
 }
 
@@ -168,7 +267,10 @@ mod tests {
 
     fn small() -> (LanguageRegistry, Vec<NameRecord>) {
         let reg = LanguageRegistry::new();
-        let cfg = NamesConfig { records: 2000, ..NamesConfig::default() };
+        let cfg = NamesConfig {
+            records: 2000,
+            ..NamesConfig::default()
+        };
         let records = names_dataset(&reg, &cfg);
         (reg, records)
     }
@@ -176,7 +278,13 @@ mod tests {
     #[test]
     fn deterministic_and_sized() {
         let (reg, a) = small();
-        let b = names_dataset(&reg, &NamesConfig { records: 2000, ..NamesConfig::default() });
+        let b = names_dataset(
+            &reg,
+            &NamesConfig {
+                records: 2000,
+                ..NamesConfig::default()
+            },
+        );
         assert_eq!(a.len(), 2000);
         assert_eq!(a[17].name, b[17].name);
     }
@@ -199,7 +307,11 @@ mod tests {
         let reg = LanguageRegistry::new();
         let records = names_dataset(
             &reg,
-            &NamesConfig { records: 2000, distinct: 100, ..NamesConfig::default() },
+            &NamesConfig {
+                records: 2000,
+                distinct: 100,
+                ..NamesConfig::default()
+            },
         );
         let convs = ConverterRegistry::with_builtins(&reg);
         // For each seed, most same-seed cross-record pairs should fall
@@ -229,7 +341,11 @@ mod tests {
         let reg = LanguageRegistry::new();
         let records = names_dataset(
             &reg,
-            &NamesConfig { records: 2000, distinct: 100, ..NamesConfig::default() },
+            &NamesConfig {
+                records: 2000,
+                distinct: 100,
+                ..NamesConfig::default()
+            },
         );
         let convs = ConverterRegistry::with_builtins(&reg);
         let a = convs.phonemes_of(&records.iter().find(|r| r.seed == 0).unwrap().name);

@@ -11,9 +11,7 @@
 mod registry;
 mod stats;
 
-pub use registry::{
-    ExtOperator, ExtTypeDef, FuncDef, OperatorKind, SelectivityInput, SessionVars,
-};
+pub use registry::{ExtOperator, ExtTypeDef, FuncDef, OperatorKind, SelectivityInput, SessionVars};
 pub use stats::{ColumnStats, TableStats, MCV_TARGET};
 
 use crate::error::{Error, Result};
@@ -21,7 +19,7 @@ use crate::index::{AccessMethod, BTreeAm, IndexInstance};
 use crate::schema::Schema;
 use crate::storage::HeapFile;
 use crate::value::ExtTypeId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -39,9 +37,10 @@ pub struct IndexMeta {
     pub column: usize,
     /// Access-method name (`"btree"`, `"mtree"`, ...).
     pub am: String,
-    /// The live index structure.  Mutex because inserts mutate it while
-    /// queries share the catalog immutably.
-    pub instance: Mutex<Box<dyn IndexInstance>>,
+    /// The live index structure.  RwLock: searches (`&self`) from
+    /// concurrent sessions share a read guard; DML maintenance
+    /// (`&mut self` insert/delete) takes the write guard.
+    pub instance: RwLock<Box<dyn IndexInstance>>,
 }
 
 /// Metadata of one table.
@@ -98,7 +97,9 @@ impl Catalog {
             ret: Some(crate::value::DataType::Text),
             eval: Arc::new(|_, _| {
                 let _ = crate::obs::metrics();
-                Ok(crate::value::Datum::text(crate::obs::global().render_json()))
+                Ok(crate::value::Datum::text(
+                    crate::obs::global().render_json(),
+                ))
             }),
         });
         catalog.register_function(FuncDef {
@@ -107,7 +108,9 @@ impl Catalog {
             ret: Some(crate::value::DataType::Text),
             eval: Arc::new(|_, _| {
                 let _ = crate::obs::metrics();
-                Ok(crate::value::Datum::text(crate::obs::global().render_prometheus()))
+                Ok(crate::value::Datum::text(
+                    crate::obs::global().render_prometheus(),
+                ))
             }),
         });
         catalog
@@ -181,7 +184,9 @@ impl Catalog {
             .ok_or_else(|| Error::Catalog(format!("no access method {am_name:?}")))?;
         let meta = self.table(table)?;
         if self.indexes.iter().any(|i| i.name == index_name) {
-            return Err(Error::Catalog(format!("index {index_name:?} already exists")));
+            return Err(Error::Catalog(format!(
+                "index {index_name:?} already exists"
+            )));
         }
         if column >= meta.schema.len() {
             return Err(Error::Catalog(format!("column {column} out of range")));
@@ -191,7 +196,7 @@ impl Catalog {
             table: meta.id,
             column,
             am: am_name.to_string(),
-            instance: Mutex::new(am.create()?),
+            instance: RwLock::new(am.create()?),
         });
         self.indexes.push(Arc::clone(&idx));
         Ok(idx)
@@ -209,7 +214,11 @@ impl Catalog {
 
     /// Indexes of a table.
     pub fn indexes_of(&self, table: TableId) -> Vec<Arc<IndexMeta>> {
-        self.indexes.iter().filter(|i| i.table == table).cloned().collect()
+        self.indexes
+            .iter()
+            .filter(|i| i.table == table)
+            .cloned()
+            .collect()
     }
 
     /// All indexes (recovery rebuild walks this).
@@ -282,7 +291,10 @@ mod tests {
     }
 
     fn schema() -> Schema {
-        Schema::new(vec![Column::new("id", DataType::Int), Column::new("name", DataType::Text)])
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+        ])
     }
 
     #[test]
@@ -294,7 +306,10 @@ mod tests {
         let meta = cat.table("book").unwrap();
         assert_eq!(meta.id, id);
         assert_eq!(meta.schema.len(), 2);
-        assert!(cat.create_table("BOOK", schema(), heap).is_err(), "duplicate");
+        assert!(
+            cat.create_table("BOOK", schema(), heap).is_err(),
+            "duplicate"
+        );
         assert!(cat.table("missing").is_err());
     }
 
@@ -319,8 +334,14 @@ mod tests {
         let id = cat.create_table("t", schema(), heap).unwrap();
         cat.create_index("t", "t_id_idx", 0, "btree").unwrap();
         assert_eq!(cat.indexes_of(id).len(), 1);
-        assert!(cat.create_index("t", "t_id_idx", 0, "btree").is_err(), "dup index");
-        assert!(cat.create_index("t", "x", 9, "btree").is_err(), "bad column");
+        assert!(
+            cat.create_index("t", "t_id_idx", 0, "btree").is_err(),
+            "dup index"
+        );
+        assert!(
+            cat.create_index("t", "x", 9, "btree").is_err(),
+            "bad column"
+        );
         assert!(cat.create_index("t", "y", 0, "hash").is_err(), "unknown am");
     }
 

@@ -43,6 +43,25 @@ impl SessionVars {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Datum)> {
         self.vars.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Order-independent digest of all variables.
+    ///
+    /// Part of the plan-cache key: session variables steer the optimizer
+    /// (`enable_*` flags, operator thresholds like `lexequal.threshold`),
+    /// so two sessions with different settings must not share cached
+    /// plans.  XOR-combining per-entry hashes makes iteration order (and
+    /// thus `HashMap` internals) irrelevant.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut acc = 0u64;
+        for (k, v) in &self.vars {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            v.hash(&mut h);
+            acc ^= h.finish();
+        }
+        acc
+    }
 }
 
 /// Support functions of an extension type (PostgreSQL: `CREATE TYPE`).
@@ -67,7 +86,9 @@ pub struct ExtTypeDef {
 
 impl std::fmt::Debug for ExtTypeDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExtTypeDef").field("name", &self.name).finish()
+        f.debug_struct("ExtTypeDef")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -283,7 +304,10 @@ mod tests {
             name: "LexEQUAL".into(),
             operand_type: DataType::Text,
             eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
-            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            kind: OperatorKind {
+                commutative: true,
+                distributes_over_union: true,
+            },
             per_tuple_cost: Arc::new(|_, _| 1.0),
             selectivity: Arc::new(|_| 0.1),
             index_strategy: None,

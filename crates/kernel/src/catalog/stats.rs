@@ -58,7 +58,11 @@ impl ColumnStats {
         }
         let non_null = values.len() as u64 - nulls;
         if non_null == 0 {
-            return ColumnStats { n: 0, null_frac: 1.0, ..ColumnStats::default() };
+            return ColumnStats {
+                n: 0,
+                null_frac: 1.0,
+                ..ColumnStats::default()
+            };
         }
         let n_distinct = freq.len() as f64;
 

@@ -1,81 +1,31 @@
-//! The `Database` facade: DDL, DML, queries, ANALYZE, EXPLAIN, recovery.
+//! The `Database` facade — now a thin compatibility shim over
+//! [`Engine::connect`]: one embedded [`Session`] plus the recovery
+//! bootstrap.  New code should hold an [`Engine`] and open [`Session`]s;
+//! `Database` remains for single-connection callers and will eventually be
+//! reduced to a deprecated alias (see `docs/architecture.md`).
 
-use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
+use crate::catalog::{Catalog, SessionVars};
+use crate::engine::{Engine, Session};
+pub use crate::engine::{QueryResult, RunStats};
 use crate::error::{Error, Result};
-use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats};
-use crate::expr::EvalCtx;
-use crate::obs::{self, QueryTrace};
-use crate::opt;
-use crate::plan::{NodeActuals, PhysNode};
-use crate::schema::{Column, Row, Schema};
-use crate::sql::{self, Statement};
-use crate::storage::{
-    encode_row, decode_row, BufferPool, FileBackend, HeapFile, IoStats, MemBackend, Wal, WalRecord,
-};
-use crate::value::{DataType, Datum};
+use crate::plan::PhysNode;
+use crate::schema::Row;
+use crate::storage::{decode_row, BufferPool, FileBackend, Wal, WalRecord};
+use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-/// Per-statement runtime statistics.
-#[derive(Debug, Clone, Default)]
-pub struct RunStats {
-    /// Buffer-pool traffic during the statement.
-    pub io: IoStats,
-    /// Index nodes visited.
-    pub index_node_visits: u64,
-    /// Extension-operator (ψ/Ω) evaluations during the statement.
-    pub ext_op_calls: u64,
-    /// Wall-clock execution time (excludes parse/plan).
-    pub exec_time: Duration,
-    /// Optimizer-predicted total cost of the executed plan (queries only).
-    pub est_cost: Option<f64>,
-    /// Optimizer-predicted output rows.
-    pub est_rows: Option<f64>,
-    /// Stage spans (parse/bind/plan/execute) for queries.
-    pub trace: Option<QueryTrace>,
-}
-
-/// Result of executing one statement.
-#[derive(Debug, Clone, Default)]
-pub struct QueryResult {
-    /// Output schema (empty for DDL/DML).
-    pub schema: Schema,
-    /// Result rows (empty for DDL/DML).
-    pub rows: Vec<Row>,
-    /// `EXPLAIN` text, when requested.
-    pub explain: Option<String>,
-    /// Rows affected by DML.
-    pub affected: u64,
-    /// Runtime statistics.
-    pub stats: RunStats,
-}
-
-/// How `run_select` should report.
-enum ExplainMode {
-    Off,
-    PlanOnly,
-    Analyze,
-}
-
-/// A single-node database instance.
+/// A single-node database instance: a shared [`Engine`] plus one default
+/// [`Session`].  Open more sessions with [`Database::connect`].
 pub struct Database {
-    catalog: Catalog,
-    pool: BufferPool,
-    session: SessionVars,
-    wal: Option<Wal>,
-    /// Guard so WAL replay does not re-log records.
-    replaying: bool,
+    session: Session,
 }
 
 impl Database {
     /// A fresh in-memory database (no durability).
     pub fn new_in_memory() -> Database {
         Database {
-            catalog: Catalog::new(),
-            pool: BufferPool::new(Box::new(MemBackend::new()), 1024),
-            session: SessionVars::new(),
-            wal: None,
-            replaying: false,
+            session: Engine::in_memory().connect(),
         }
     }
 
@@ -102,12 +52,11 @@ impl Database {
         std::fs::create_dir_all(dir)?;
         let wal_path = dir.join("wal.log");
         let records = Wal::replay(&wal_path)?;
+        // The engine starts WAL-less, so nothing below re-logs; the WAL is
+        // attached once replay completes.
+        let engine = Engine::with_backend(Box::new(FileBackend::open(dir.join("data"))?));
         let mut db = Database {
-            catalog: Catalog::new(),
-            pool: BufferPool::new(Box::new(FileBackend::open(dir.join("data"))?), 1024),
-            session: SessionVars::new(),
-            wal: None,
-            replaying: true,
+            session: engine.connect(),
         };
         install(&mut db)?;
         // Replay: DDL records carry the original SQL; DML records carry
@@ -120,710 +69,115 @@ impl Database {
                     db.execute(&sql)?;
                 }
                 WalRecord::Insert { table_id, tuple } => {
-                    let meta = db.catalog.table_by_id(crate::catalog::TableId(table_id))?;
-                    let row = decode_row(&tuple, meta.schema.len())?;
-                    db.insert_row(&meta.name, row)?;
+                    let (name, arity) = {
+                        let catalog = db.catalog();
+                        let meta = catalog.table_by_id(crate::catalog::TableId(table_id))?;
+                        (meta.name.clone(), meta.schema.len())
+                    };
+                    let row = decode_row(&tuple, arity)?;
+                    db.insert_row(&name, row)?;
                 }
                 WalRecord::Delete { table_id, tuple } => {
-                    let meta = db.catalog.table_by_id(crate::catalog::TableId(table_id))?;
-                    db.delete_matching_tuple(&meta.name, &tuple)?;
+                    let name = db
+                        .catalog()
+                        .table_by_id(crate::catalog::TableId(table_id))?
+                        .name
+                        .clone();
+                    db.session.delete_matching_tuple(&name, &tuple)?;
                 }
             }
         }
-        db.replaying = false;
-        db.wal = Some(Wal::open(&wal_path)?);
+        engine.attach_wal(Wal::open(&wal_path)?);
         Ok(db)
     }
 
-    /// The catalog (extension registration goes through `catalog_mut`).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The shared engine behind this database.
+    pub fn engine(&self) -> &Arc<Engine> {
+        self.session.engine()
     }
 
-    /// Mutable catalog access for extension registration (types, operators,
-    /// functions, access methods) — the `CREATE EXTENSION` equivalent.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// Open another session against the same engine.  The new session
+    /// starts from a copy of this database's session variables, so
+    /// extension defaults (e.g. `lexequal.threshold`) carry over.
+    pub fn connect(&self) -> Session {
+        self.session
+            .engine()
+            .connect_with_vars(self.session.vars().clone())
+    }
+
+    /// Shared catalog access.  Returns a read guard: keep it short-lived —
+    /// DDL from any session blocks while it is held.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.session.engine().catalog()
+    }
+
+    /// Exclusive catalog access for extension registration (types,
+    /// operators, functions, access methods) — the `CREATE EXTENSION`
+    /// equivalent.  Flushes the plan cache.
+    pub fn catalog_mut(&mut self) -> RwLockWriteGuard<'_, Catalog> {
+        self.session.engine().catalog_mut()
     }
 
     /// The buffer pool (benches read I/O statistics from here).
     pub fn pool(&self) -> &BufferPool {
-        &self.pool
+        self.session.engine().pool()
     }
 
     /// Session variables.
     pub fn session(&self) -> &SessionVars {
-        &self.session
+        self.session.vars()
     }
 
     /// Mutable session variables.
     pub fn session_mut(&mut self) -> &mut SessionVars {
-        &mut self.session
+        self.session.vars_mut()
     }
 
     /// Execute one SQL statement.
     pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
-        let metrics = obs::metrics();
-        let total_start = Instant::now();
-        let parse_start = Instant::now();
-        let stmt = sql::parse(sql_text)?;
-        let parse_time = parse_start.elapsed();
-        metrics.stage_parse_ns_total.add(parse_time.as_nanos() as u64);
-        let result = self.dispatch(stmt, sql_text);
-        metrics.queries_total.inc();
-        let mut result = result?;
-        metrics.query_rows_total.add(result.rows.len() as u64);
-        metrics.query_latency_seconds.observe_duration(total_start.elapsed());
-        match result.stats.trace.as_mut() {
-            Some(t) => t.prepend("parse", parse_time),
-            None => {
-                let mut t = QueryTrace::new();
-                t.record("parse", parse_time);
-                result.stats.trace = Some(t);
-            }
-        }
-        Ok(result)
-    }
-
-    fn dispatch(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
-        match stmt {
-            Statement::CreateTable { name, columns } => {
-                let schema = self.schema_from_ddl(&columns)?;
-                let heap = HeapFile::create(&self.pool)?;
-                let id = self.catalog.create_table(&name, schema, heap)?;
-                self.log(WalRecord::CreateTable { table_id: id.0, ddl: sql_text.as_bytes().to_vec() })?;
-                Ok(QueryResult::default())
-            }
-            Statement::CreateIndex { name, table, column, using } => {
-                let meta = self.catalog.table(&table)?;
-                let col = meta.schema.index_of(&column).ok_or_else(|| {
-                    Error::Binder(format!("no column {column:?} in {table:?}"))
-                })?;
-                let idx = self.catalog.create_index(&table, &name, col, &using)?;
-                // Back-fill from the heap.
-                let arity = meta.schema.len();
-                let mut instance = idx.instance.lock();
-                let mut scan_err = None;
-                meta.heap.scan(&self.pool, |tid, bytes| {
-                    match decode_row(bytes, arity) {
-                        Ok(row) => {
-                            if let Err(e) = instance.insert(&row[col], tid) {
-                                scan_err = Some(e);
-                                return false;
-                            }
-                        }
-                        Err(e) => {
-                            scan_err = Some(e);
-                            return false;
-                        }
-                    }
-                    true
-                })?;
-                drop(instance);
-                if let Some(e) = scan_err {
-                    return Err(e);
-                }
-                self.log(WalRecord::CreateTable {
-                    table_id: meta.id.0,
-                    ddl: sql_text.as_bytes().to_vec(),
-                })?;
-                Ok(QueryResult::default())
-            }
-            Statement::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
-                Ok(QueryResult::default())
-            }
-            Statement::DropIndex { name } => {
-                self.catalog.drop_index(&name)?;
-                Ok(QueryResult::default())
-            }
-            Statement::Insert { table, rows } => {
-                let mut affected = 0u64;
-                for row_exprs in rows {
-                    let mut row = Row::with_capacity(row_exprs.len());
-                    for e in &row_exprs {
-                        let bound = sql::bind_const_expr(e, &self.catalog)?;
-                        let ctx = EvalCtx::new(&self.catalog, &self.session);
-                        row.push(bound.eval(&[], &ctx)?);
-                    }
-                    self.insert_row(&table, row)?;
-                    affected += 1;
-                }
-                Ok(QueryResult { affected, ..QueryResult::default() })
-            }
-            Statement::InsertSelect { table, select } => {
-                let result = self.run_select(&select, ExplainMode::Off)?;
-                let mut affected = 0u64;
-                for row in result.rows {
-                    self.insert_row(&table, row)?;
-                    affected += 1;
-                }
-                Ok(QueryResult { affected, ..QueryResult::default() })
-            }
-            Statement::Update { table, sets, filter } => {
-                let meta = self.catalog.table(&table)?;
-                let filter = filter
-                    .map(|f| sql::bind_single_table(&f, &meta.name, &meta.schema, &self.catalog))
-                    .transpose()?;
-                let mut bound_sets = Vec::with_capacity(sets.len());
-                for (col, e) in &sets {
-                    let idx = meta.schema.index_of(col).ok_or_else(|| {
-                        Error::Binder(format!("no column {col:?} in {table:?}"))
-                    })?;
-                    let bound =
-                        sql::bind_single_table(e, &meta.name, &meta.schema, &self.catalog)?;
-                    bound_sets.push((idx, bound));
-                }
-                let n = self.update_where(&table, &bound_sets, filter.as_ref())?;
-                Ok(QueryResult { affected: n, ..QueryResult::default() })
-            }
-            Statement::Delete { table, filter } => {
-                let meta = self.catalog.table(&table)?;
-                let filter = filter
-                    .map(|f| sql::bind_single_table(&f, &meta.name, &meta.schema, &self.catalog))
-                    .transpose()?;
-                let n = self.delete_where(&table, filter.as_ref())?;
-                Ok(QueryResult { affected: n, ..QueryResult::default() })
-            }
-            Statement::Select(sel) => self.run_select(&sel, ExplainMode::Off),
-            Statement::Explain { select, analyze } => self.run_select(
-                &select,
-                if analyze { ExplainMode::Analyze } else { ExplainMode::PlanOnly },
-            ),
-            Statement::Set { name, value } => {
-                let bound = sql::bind_const_expr(&value, &self.catalog)?;
-                let ctx = EvalCtx::new(&self.catalog, &self.session);
-                let v = bound.eval(&[], &ctx)?;
-                self.session.set(&name, v);
-                Ok(QueryResult::default())
-            }
-            Statement::Show { name } => match name.to_ascii_lowercase().as_str() {
-                // Engine metrics surfaces (the registry is process-wide).
-                "stats" => {
-                    let _ = obs::metrics(); // ensure engine metrics exist
-                    let rows = obs::global()
-                        .samples()
-                        .into_iter()
-                        .map(|(n, v)| vec![Datum::text(n), Datum::Float(v)])
-                        .collect();
-                    Ok(QueryResult {
-                        schema: Schema::new(vec![
-                            Column::new("metric", DataType::Text),
-                            Column::new("value", DataType::Float),
-                        ]),
-                        rows,
-                        ..QueryResult::default()
-                    })
-                }
-                "stats_json" => {
-                    let _ = obs::metrics();
-                    Ok(QueryResult {
-                        schema: Schema::new(vec![Column::new("stats_json", DataType::Text)]),
-                        rows: vec![vec![Datum::text(obs::global().render_json())]],
-                        ..QueryResult::default()
-                    })
-                }
-                "stats_prometheus" => {
-                    let _ = obs::metrics();
-                    Ok(QueryResult {
-                        schema: Schema::new(vec![Column::new("stats_prometheus", DataType::Text)]),
-                        rows: vec![vec![Datum::text(obs::global().render_prometheus())]],
-                        ..QueryResult::default()
-                    })
-                }
-                _ => {
-                    let v = self.session.get(&name).cloned().unwrap_or(Datum::Null);
-                    Ok(QueryResult {
-                        schema: Schema::new(vec![Column::new(name, DataType::Text)]),
-                        rows: vec![vec![Datum::text(v.to_string())]],
-                        ..QueryResult::default()
-                    })
-                }
-            },
-            Statement::Analyze { table } => {
-                self.analyze(&table)?;
-                Ok(QueryResult::default())
-            }
-        }
+        self.session.execute(sql_text)
     }
 
     /// Convenience: execute and return rows.
     pub fn query(&mut self, sql_text: &str) -> Result<Vec<Row>> {
-        Ok(self.execute(sql_text)?.rows)
+        self.session.query(sql_text)
     }
 
     /// Execute a semicolon-separated script; returns the result of the
-    /// last statement.  Quotes are respected when splitting.
+    /// last statement.  Quotes are respected when splitting; a failing
+    /// statement is reported with its ordinal and SQL snippet.
     pub fn execute_script(&mut self, script: &str) -> Result<QueryResult> {
-        let mut last = QueryResult::default();
-        let mut stmt = String::new();
-        let mut in_str = false;
-        let mut in_comment = false;
-        let mut prev = '\0';
-        for ch in script.chars() {
-            if in_comment {
-                if ch == '\n' {
-                    in_comment = false;
-                    stmt.push(ch);
-                }
-                prev = ch;
-                continue;
-            }
-            match ch {
-                '\'' => {
-                    in_str = !in_str;
-                    stmt.push(ch);
-                }
-                '-' if !in_str && prev == '-' => {
-                    // `--` line comment: drop it (and the `-` already
-                    // buffered) so a `;` inside the comment cannot split.
-                    stmt.pop();
-                    in_comment = true;
-                }
-                ';' if !in_str => {
-                    if !stmt.trim().is_empty() {
-                        last = self.execute(stmt.trim())?;
-                    }
-                    stmt.clear();
-                }
-                _ => stmt.push(ch),
-            }
-            prev = ch;
-        }
-        if !stmt.trim().is_empty() {
-            last = self.execute(stmt.trim())?;
-        }
-        Ok(last)
+        self.session.execute_script(script)
     }
 
-    /// Read-only query through a shared reference: parse → bind → plan →
-    /// execute without touching catalog, WAL or session state.  Safe to
-    /// call from multiple threads concurrently (the buffer pool and index
-    /// instances are internally synchronized); only `SELECT` is accepted.
+    /// Read-only query through a shared reference: safe to call from
+    /// multiple threads concurrently; only `SELECT` is accepted.
     pub fn query_ref(&self, sql_text: &str) -> Result<Vec<Row>> {
-        let metrics = obs::metrics();
-        let start = Instant::now();
-        let stmt = sql::parse(sql_text)?;
-        let sel = match stmt {
-            Statement::Select(s) => s,
-            _ => return Err(Error::Binder("query_ref only accepts SELECT".into())),
-        };
-        let logical = sql::bind(&sel, &self.catalog)?;
-        let phys = opt::plan(&logical, &self.catalog, &self.pool, &self.session)?;
-        let stats = ExecStats::default();
-        let ctx = ExecCtx {
-            catalog: &self.catalog,
-            pool: &self.pool,
-            session: &self.session,
-            stats: &stats,
-        };
-        let rows = run_to_vec(&phys, &ctx)?;
-        metrics.queries_total.inc();
-        metrics.query_rows_total.add(rows.len() as u64);
-        metrics.query_latency_seconds.observe_duration(start.elapsed());
-        Ok(rows)
+        self.session.query_ref(sql_text)
     }
 
     /// Plan a SELECT without executing it (benches compare predicted cost
     /// against measured runtime — Figure 6).
     pub fn plan_select(&self, sql_text: &str) -> Result<PhysNode> {
-        let stmt = sql::parse(sql_text)?;
-        let sel = match stmt {
-            Statement::Select(s) | Statement::Explain { select: s, .. } => s,
-            _ => return Err(Error::Binder("plan_select expects a SELECT".into())),
-        };
-        let logical = sql::bind(&sel, &self.catalog)?;
-        opt::plan(&logical, &self.catalog, &self.pool, &self.session)
-    }
-
-    fn run_select(&mut self, sel: &sql::SelectStmt, mode: ExplainMode) -> Result<QueryResult> {
-        let metrics = obs::metrics();
-        let mut trace = QueryTrace::new();
-        let bind_start = Instant::now();
-        let logical = sql::bind(sel, &self.catalog)?;
-        let bind_time = bind_start.elapsed();
-        trace.record("bind", bind_time);
-        metrics.stage_bind_ns_total.add(bind_time.as_nanos() as u64);
-        let plan_start = Instant::now();
-        let phys = opt::plan(&logical, &self.catalog, &self.pool, &self.session)?;
-        let plan_time = plan_start.elapsed();
-        trace.record("plan", plan_time);
-        metrics.stage_plan_ns_total.add(plan_time.as_nanos() as u64);
-        match mode {
-            ExplainMode::PlanOnly => {
-                let text = phys.explain();
-                return Ok(QueryResult {
-                    schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
-                    rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
-                    explain: Some(text),
-                    stats: RunStats { trace: Some(trace), ..RunStats::default() },
-                    ..QueryResult::default()
-                });
-            }
-            ExplainMode::Analyze => {
-                // Execute through the instrumented tree, then annotate
-                // every plan node with its measured actuals — exactly how
-                // the Figure 6 experiment gathers its (predicted cost,
-                // actual runtime) pairs, now at per-operator granularity.
-                let stats = ExecStats::default();
-                let io_before = self.pool.stats();
-                let start = Instant::now();
-                let ctx = ExecCtx {
-                    catalog: &self.catalog,
-                    pool: &self.pool,
-                    session: &self.session,
-                    stats: &stats,
-                };
-                let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
-                let mut rows = Vec::new();
-                while let Some(row) = exec.next(&ctx)? {
-                    rows.push(row);
-                }
-                stats.rows_out.set(rows.len() as u64);
-                let elapsed = start.elapsed();
-                trace.record("execute", elapsed);
-                metrics.stage_execute_ns_total.add(elapsed.as_nanos() as u64);
-                let io = self.pool.stats().since(&io_before);
-                let actuals: Vec<NodeActuals> = instr
-                    .per_node
-                    .iter()
-                    .map(|s| NodeActuals {
-                        rows: s.rows.get(),
-                        loops: s.loops.get(),
-                        time: Duration::from_nanos(s.time_ns.get()),
-                        pages: s.logical_reads.get(),
-                        pages_read: s.physical_reads.get(),
-                        index_node_visits: s.index_node_visits.get(),
-                        ext_op_calls: s.ext_op_calls.get(),
-                    })
-                    .collect();
-                let mut text = phys.explain_with_actuals(&actuals);
-                text.push_str(&format!(
-                    "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
-                    rows.len(),
-                    elapsed.as_secs_f64() * 1000.0,
-                    io.logical_reads,
-                    io.physical_reads,
-                    stats.index_node_visits.get(),
-                    stats.ext_op_calls.get(),
-                ));
-                text.push_str(&format!("Stages: {}\n", trace.render()));
-                return Ok(QueryResult {
-                    schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
-                    rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
-                    explain: Some(text),
-                    stats: RunStats {
-                        io,
-                        index_node_visits: stats.index_node_visits.get(),
-                        ext_op_calls: stats.ext_op_calls.get(),
-                        exec_time: elapsed,
-                        est_cost: Some(phys.est_cost),
-                        est_rows: Some(phys.est_rows),
-                        trace: Some(trace),
-                    },
-                    ..QueryResult::default()
-                });
-            }
-            ExplainMode::Off => {}
-        }
-        let stats = ExecStats::default();
-        let io_before = self.pool.stats();
-        let start = Instant::now();
-        let ctx = ExecCtx {
-            catalog: &self.catalog,
-            pool: &self.pool,
-            session: &self.session,
-            stats: &stats,
-        };
-        let rows = run_to_vec(&phys, &ctx)?;
-        let exec_time = start.elapsed();
-        trace.record("execute", exec_time);
-        metrics.stage_execute_ns_total.add(exec_time.as_nanos() as u64);
-        let io = self.pool.stats().since(&io_before);
-        Ok(QueryResult {
-            schema: phys.schema.clone(),
-            rows,
-            explain: Some(phys.explain()),
-            affected: 0,
-            stats: RunStats {
-                io,
-                index_node_visits: stats.index_node_visits.get(),
-                ext_op_calls: stats.ext_op_calls.get(),
-                exec_time,
-                est_cost: Some(phys.est_cost),
-                est_rows: Some(phys.est_rows),
-                trace: Some(trace),
-            },
-        })
+        self.session.plan_select(sql_text)
     }
 
     /// Insert a pre-evaluated row (used by SQL INSERT, recovery, and bulk
     /// loaders).  Applies type checks, extension `on_insert` transforms
     /// (phoneme materialization), index maintenance and WAL logging.
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<()> {
-        let meta = self.catalog.table(table)?;
-        let row = self.prepare_row(&meta, row)?;
-        let bytes = encode_row(&row);
-        let tid = meta.heap.insert(&self.pool, &bytes)?;
-        for idx in self.catalog.indexes_of(meta.id) {
-            idx.instance.lock().insert(&row[idx.column], tid)?;
-        }
-        self.log(WalRecord::Insert { table_id: meta.id.0, tuple: bytes })?;
-        Ok(())
-    }
-
-    /// Type-check, coerce, and run extension insertion hooks on a row
-    /// destined for `meta` (shared by INSERT and UPDATE).
-    fn prepare_row(&self, meta: &crate::catalog::TableMeta, mut row: Row) -> Result<Row> {
-        if row.len() != meta.schema.len() {
-            return Err(Error::Binder(format!(
-                "{} expects {} values, got {}",
-                meta.name,
-                meta.schema.len(),
-                row.len()
-            )));
-        }
-        for (i, col) in meta.schema.columns().iter().enumerate() {
-            // Numeric widening.
-            if col.ty == DataType::Float {
-                if let Datum::Int(v) = row[i] {
-                    row[i] = Datum::Float(v as f64);
-                }
-            }
-            match (&row[i], col.ty) {
-                (Datum::Null, _) => {}
-                (d, ty) => {
-                    if d.data_type() != Some(ty) {
-                        return Err(Error::Binder(format!(
-                            "column {} expects {}, got {}",
-                            col.name,
-                            ty,
-                            d.data_type().map(|t| t.to_string()).unwrap_or_default()
-                        )));
-                    }
-                }
-            }
-            // Extension insertion hook (e.g. UniText phoneme
-            // materialization, §4.2).
-            if let Datum::Ext { ty, bytes } = &row[i] {
-                if let Some(def) = self.catalog.type_by_id(*ty) {
-                    if let Some(hook) = &def.on_insert {
-                        let new_bytes = hook(bytes);
-                        row[i] = Datum::ext(*ty, new_bytes);
-                    }
-                }
-            }
-        }
-        Ok(row)
-    }
-
-    /// UPDATE = qualifying-row delete + prepared re-insert, which re-runs
-    /// the extension hooks (a changed UniText gets a fresh phoneme cache).
-    fn update_where(
-        &mut self,
-        table: &str,
-        sets: &[(usize, crate::expr::Expr)],
-        filter: Option<&crate::expr::Expr>,
-    ) -> Result<u64> {
-        let meta = self.catalog.table(table)?;
-        let arity = meta.schema.len();
-        let ctx = EvalCtx::new(&self.catalog, &self.session);
-        let mut victims: Vec<(crate::storage::TupleId, Row, Vec<u8>, Row)> = Vec::new();
-        let mut scan_err = None;
-        meta.heap.scan(&self.pool, |tid, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
-                    let hit = match filter {
-                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
-                        None => Ok(true),
-                    };
-                    match hit {
-                        Ok(true) => {
-                            let mut new_row = row.clone();
-                            for (idx, e) in sets {
-                                match e.eval(&row, &ctx) {
-                                    Ok(v) => new_row[*idx] = v,
-                                    Err(err) => {
-                                        scan_err = Some(err);
-                                        return false;
-                                    }
-                                }
-                            }
-                            victims.push((tid, row, bytes.to_vec(), new_row));
-                        }
-                        Ok(false) => {}
-                        Err(e) => {
-                            scan_err = Some(e);
-                            return false;
-                        }
-                    }
-                }
-                Err(e) => {
-                    scan_err = Some(e);
-                    return false;
-                }
-            }
-            true
-        })?;
-        if let Some(e) = scan_err {
-            return Err(e);
-        }
-        let n = victims.len() as u64;
-        for (tid, old_row, old_bytes, new_row) in victims {
-            // The new image must be valid before touching the old one.
-            let new_row = self.prepare_row(&meta, new_row)?;
-            meta.heap.delete(&self.pool, tid)?;
-            for idx in self.catalog.indexes_of(meta.id) {
-                idx.instance.lock().delete(&old_row[idx.column], tid)?;
-            }
-            self.log(WalRecord::Delete { table_id: meta.id.0, tuple: old_bytes })?;
-            let bytes = encode_row(&new_row);
-            let new_tid = meta.heap.insert(&self.pool, &bytes)?;
-            for idx in self.catalog.indexes_of(meta.id) {
-                idx.instance.lock().insert(&new_row[idx.column], new_tid)?;
-            }
-            self.log(WalRecord::Insert { table_id: meta.id.0, tuple: bytes })?;
-        }
-        Ok(n)
-    }
-
-    fn delete_where(&mut self, table: &str, filter: Option<&crate::expr::Expr>) -> Result<u64> {
-        let meta = self.catalog.table(table)?;
-        let arity = meta.schema.len();
-        let ctx = EvalCtx::new(&self.catalog, &self.session);
-        let mut victims = Vec::new();
-        let mut scan_err = None;
-        meta.heap.scan(&self.pool, |tid, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
-                    let keep = match filter {
-                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
-                        None => Ok(true),
-                    };
-                    match keep {
-                        Ok(true) => victims.push((tid, row, bytes.to_vec())),
-                        Ok(false) => {}
-                        Err(e) => {
-                            scan_err = Some(e);
-                            return false;
-                        }
-                    }
-                }
-                Err(e) => {
-                    scan_err = Some(e);
-                    return false;
-                }
-            }
-            true
-        })?;
-        if let Some(e) = scan_err {
-            return Err(e);
-        }
-        let n = victims.len() as u64;
-        for (tid, row, bytes) in victims {
-            meta.heap.delete(&self.pool, tid)?;
-            for idx in self.catalog.indexes_of(meta.id) {
-                idx.instance.lock().delete(&row[idx.column], tid)?;
-            }
-            self.log(WalRecord::Delete { table_id: meta.id.0, tuple: bytes })?;
-        }
-        Ok(n)
-    }
-
-    /// Recovery helper: delete one tuple whose bytes match exactly.
-    fn delete_matching_tuple(&mut self, table: &str, tuple: &[u8]) -> Result<()> {
-        let meta = self.catalog.table(table)?;
-        let mut victim = None;
-        meta.heap.scan(&self.pool, |tid, bytes| {
-            if bytes == tuple {
-                victim = Some(tid);
-                false
-            } else {
-                true
-            }
-        })?;
-        if let Some(tid) = victim {
-            meta.heap.delete(&self.pool, tid)?;
-            let row = decode_row(tuple, meta.schema.len())?;
-            for idx in self.catalog.indexes_of(meta.id) {
-                idx.instance.lock().delete(&row[idx.column], tid)?;
-            }
-        }
-        Ok(())
+        self.session.insert_row(table, row)
     }
 
     /// ANALYZE: rebuild table and per-column statistics from a full pass.
     pub fn analyze(&mut self, table: &str) -> Result<()> {
-        let meta = self.catalog.table(table)?;
-        let arity = meta.schema.len();
-        let mut columns: Vec<Vec<Datum>> = vec![Vec::new(); arity];
-        let mut rows = 0u64;
-        let mut scan_err = None;
-        meta.heap.scan(&self.pool, |_, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
-                    rows += 1;
-                    for (i, d) in row.into_iter().enumerate() {
-                        columns[i].push(d);
-                    }
-                }
-                Err(e) => {
-                    scan_err = Some(e);
-                    return false;
-                }
-            }
-            true
-        })?;
-        if let Some(e) = scan_err {
-            return Err(e);
-        }
-        let pages = meta.heap.pages(&self.pool)? as u64;
-        let stats = TableStats {
-            rows,
-            pages,
-            columns: columns.iter().map(|vals| Some(ColumnStats::build(vals))).collect(),
-        };
-        *meta.stats.lock() = stats;
-        Ok(())
+        self.session.analyze(table)
     }
 
     /// Flush heaps and truncate the WAL (checkpoint).  In-memory databases
     /// are a no-op.
     pub fn checkpoint(&mut self) -> Result<()> {
-        self.pool.flush_all()?;
-        // Heap pages are durable now, but the catalog (DDL) still lives
-        // only in the WAL — so a checkpoint only truncates when there is a
-        // separate catalog snapshot, which we do not implement.  Keep the
-        // full log instead: replay is idempotent from an empty data dir.
-        Ok(())
-    }
-
-    fn log(&mut self, rec: WalRecord) -> Result<()> {
-        if self.replaying {
-            return Ok(());
-        }
-        if let Some(wal) = &mut self.wal {
-            wal.append(&rec)?;
-        }
-        Ok(())
-    }
-
-    fn schema_from_ddl(&self, columns: &[(String, String)]) -> Result<Schema> {
-        let mut cols = Vec::with_capacity(columns.len());
-        for (name, ty) in columns {
-            let dt = match ty.to_lowercase().as_str() {
-                "int" | "integer" | "bigint" => DataType::Int,
-                "float" | "double" | "real" => DataType::Float,
-                "text" | "varchar" | "string" => DataType::Text,
-                "bool" | "boolean" => DataType::Bool,
-                other => match self.catalog.type_by_name(other) {
-                    Some((id, _)) => DataType::Ext(id),
-                    None => return Err(Error::Binder(format!("unknown type {ty:?}"))),
-                },
-            };
-            cols.push(Column::new(name.clone(), dt));
-        }
-        Ok(Schema::new(cols))
+        self.session.engine().checkpoint()
     }
 }
 
@@ -831,18 +185,18 @@ impl Database {
 /// non-WAL-logged index layer; also used by tests to verify index
 /// consistency).
 pub fn rebuild_indexes(db: &mut Database) -> Result<()> {
-    let tables: Vec<String> = db.catalog.tables().map(|t| t.name.clone()).collect();
-    for t in tables {
-        let meta = db.catalog.table(&t)?;
+    let engine = Arc::clone(db.engine());
+    let catalog = engine.catalog();
+    let pool = engine.pool();
+    for meta in catalog.tables() {
         let arity = meta.schema.len();
-        for idx in db.catalog.indexes_of(meta.id) {
-            let am = db
-                .catalog
+        for idx in catalog.indexes_of(meta.id) {
+            let am = catalog
                 .access_method(&idx.am)
                 .ok_or_else(|| Error::Catalog(format!("no access method {:?}", idx.am)))?;
             let mut fresh = am.create()?;
             let mut scan_err = None;
-            meta.heap.scan(&db.pool, |tid, bytes| {
+            meta.heap.scan(pool, |tid, bytes| {
                 match decode_row(bytes, arity) {
                     Ok(row) => {
                         if let Err(e) = fresh.insert(&row[idx.column], tid) {
@@ -860,7 +214,7 @@ pub fn rebuild_indexes(db: &mut Database) -> Result<()> {
             if let Some(e) = scan_err {
                 return Err(e);
             }
-            *idx.instance.lock() = fresh;
+            *idx.instance.write() = fresh;
         }
     }
     Ok(())
@@ -869,6 +223,7 @@ pub fn rebuild_indexes(db: &mut Database) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Datum;
 
     fn db() -> Database {
         Database::new_in_memory()
@@ -877,8 +232,10 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut db = db();
-        db.execute("CREATE TABLE t (id INT, name TEXT, price FLOAT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5)").unwrap();
+        db.execute("CREATE TABLE t (id INT, name TEXT, price FLOAT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'one', 1.5), (2, 'two', 2.5)")
+            .unwrap();
         let r = db.execute("SELECT name FROM t WHERE id = 2").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].as_text(), Some("two"));
@@ -900,9 +257,13 @@ mod tests {
         let mut db = db();
         db.execute("CREATE TABLE a (id INT, x TEXT)").unwrap();
         db.execute("CREATE TABLE b (id INT, y TEXT)").unwrap();
-        db.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2')").unwrap();
-        db.execute("INSERT INTO b VALUES (2, 'b2'), (3, 'b3')").unwrap();
-        let r = db.execute("SELECT a.x, b.y FROM a, b WHERE a.id = b.id").unwrap();
+        db.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2')")
+            .unwrap();
+        db.execute("INSERT INTO b VALUES (2, 'b2'), (3, 'b3')")
+            .unwrap();
+        let r = db
+            .execute("SELECT a.x, b.y FROM a, b WHERE a.id = b.id")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].as_text(), Some("a2"));
         assert_eq!(r.rows[0][1].as_text(), Some("b2"));
@@ -915,7 +276,9 @@ mod tests {
         db.execute("CREATE TABLE b (id INT)").unwrap();
         db.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
         db.execute("INSERT INTO b VALUES (2), (3), (4)").unwrap();
-        let r = db.execute("SELECT count(*) FROM a JOIN b ON a.id = b.id").unwrap();
+        let r = db
+            .execute("SELECT count(*) FROM a JOIN b ON a.id = b.id")
+            .unwrap();
         assert!(r.rows[0][0].eq_sql(&Datum::Int(2)));
     }
 
@@ -923,12 +286,15 @@ mod tests {
     fn group_by_and_order_by() {
         let mut db = db();
         db.execute("CREATE TABLE t (k TEXT, v INT)").unwrap();
-        db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)").unwrap();
+        db.execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 5)")
+            .unwrap();
         let r = db
             .execute("SELECT k, count(*), sum(v) FROM t GROUP BY k")
             .unwrap();
         assert_eq!(r.rows.len(), 2);
-        let r2 = db.execute("SELECT v FROM t ORDER BY v DESC LIMIT 2").unwrap();
+        let r2 = db
+            .execute("SELECT v FROM t ORDER BY v DESC LIMIT 2")
+            .unwrap();
         assert!(r2.rows[0][0].eq_sql(&Datum::Int(5)));
         assert_eq!(r2.rows.len(), 2);
     }
@@ -949,9 +315,11 @@ mod tests {
         let mut db = db();
         db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
         for i in 0..2000 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                .unwrap();
         }
-        db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id) USING btree")
+            .unwrap();
         db.execute("ANALYZE t").unwrap();
         let plan = db.execute("EXPLAIN SELECT v FROM t WHERE id = 77").unwrap();
         let text = plan.explain.unwrap();
@@ -974,10 +342,12 @@ mod tests {
         let mut db = db();
         db.execute("CREATE TABLE t (id INT)").unwrap();
         for i in 0..500 {
-            db.execute(&format!("INSERT INTO t VALUES ({})", i % 50)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({})", i % 50))
+                .unwrap();
         }
         db.execute("ANALYZE t").unwrap();
-        let meta = db.catalog().table("t").unwrap();
+        let catalog = db.catalog();
+        let meta = catalog.table("t").unwrap();
         let stats = meta.stats.lock().clone();
         assert_eq!(stats.rows, 500);
         assert!(stats.pages >= 1);
@@ -989,7 +359,9 @@ mod tests {
     fn explain_returns_plan_text() {
         let mut db = db();
         db.execute("CREATE TABLE t (id INT)").unwrap();
-        let r = db.execute("EXPLAIN SELECT count(*) FROM t WHERE id = 1").unwrap();
+        let r = db
+            .execute("EXPLAIN SELECT count(*) FROM t WHERE id = 1")
+            .unwrap();
         let text = r.explain.unwrap();
         assert!(text.contains("Aggregate"));
         assert!(text.contains("Seq Scan"));
@@ -1002,8 +374,10 @@ mod tests {
         {
             let mut db = Database::open(&dir).unwrap();
             db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
-            db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
-            db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+            db.execute("CREATE INDEX t_id ON t (id) USING btree")
+                .unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+                .unwrap();
             db.execute("DELETE FROM t WHERE id = 1").unwrap();
         } // crash (no clean shutdown needed)
         let mut db = Database::open(&dir).unwrap();
@@ -1043,11 +417,28 @@ mod tests {
     fn index_rebuild_helper() {
         let mut db = db();
         db.execute("CREATE TABLE t (id INT)").unwrap();
-        db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id) USING btree")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
         rebuild_indexes(&mut db).unwrap();
         let r = db.execute("SELECT count(*) FROM t WHERE id = 1").unwrap();
         assert!(r.rows[0][0].eq_sql(&Datum::Int(1)));
+    }
+
+    #[test]
+    fn connect_opens_independent_sessions() {
+        let mut db = db();
+        db.execute("CREATE TABLE t (id INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        db.execute("SET max_rows = 99").unwrap();
+        let mut other = db.connect();
+        // Vars are copied at connect time, then diverge.
+        assert_eq!(other.vars().get_int("max_rows", 0), 99);
+        other.execute("SET max_rows = 1").unwrap();
+        assert_eq!(db.session().get_int("max_rows", 0), 99);
+        // Both see the shared data.
+        let n = other.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(n[0][0].as_int(), Some(2));
     }
 }
 
@@ -1059,7 +450,8 @@ mod dml_tests {
     fn update_basic_and_filtered() {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c')").unwrap();
+        db.execute("INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c')")
+            .unwrap();
         let r = db.execute("UPDATE t SET v = 'X' WHERE id >= 2").unwrap();
         assert_eq!(r.affected, 2);
         let rows = db.query("SELECT v FROM t ORDER BY id").unwrap();
@@ -1075,7 +467,8 @@ mod dml_tests {
     fn update_maintains_indexes() {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (id INT)").unwrap();
-        db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+        db.execute("CREATE INDEX t_id ON t (id) USING btree")
+            .unwrap();
         for i in 0..500 {
             db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
         }
@@ -1104,8 +497,11 @@ mod dml_tests {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE src (id INT, v TEXT)").unwrap();
         db.execute("CREATE TABLE dst (id INT, v TEXT)").unwrap();
-        db.execute("INSERT INTO src VALUES (1,'a'), (2,'b'), (3,'c')").unwrap();
-        let r = db.execute("INSERT INTO dst SELECT id + 100, v FROM src WHERE id < 3").unwrap();
+        db.execute("INSERT INTO src VALUES (1,'a'), (2,'b'), (3,'c')")
+            .unwrap();
+        let r = db
+            .execute("INSERT INTO dst SELECT id + 100, v FROM src WHERE id < 3")
+            .unwrap();
         assert_eq!(r.affected, 2);
         let rows = db.query("SELECT id FROM dst ORDER BY id").unwrap();
         assert_eq!(rows[0][0].as_int(), Some(101));
@@ -1133,7 +529,8 @@ mod distinct_tests {
     fn select_distinct_deduplicates() {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (v TEXT, n INT)").unwrap();
-        db.execute("INSERT INTO t VALUES ('a',1), ('a',1), ('a',2), ('b',1)").unwrap();
+        db.execute("INSERT INTO t VALUES ('a',1), ('a',1), ('a',2), ('b',1)")
+            .unwrap();
         let r = db.query("SELECT DISTINCT v FROM t").unwrap();
         assert_eq!(r.len(), 2);
         let r = db.query("SELECT DISTINCT v, n FROM t").unwrap();
@@ -1150,7 +547,8 @@ mod distinct_tests {
     fn distinct_star_and_limit() {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (v INT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1), (1), (2), (2), (3)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (1), (2), (2), (3)")
+            .unwrap();
         let r = db.query("SELECT DISTINCT * FROM t").unwrap();
         assert_eq!(r.len(), 3);
         let r = db.query("SELECT DISTINCT v FROM t LIMIT 2").unwrap();
@@ -1169,7 +567,9 @@ mod explain_analyze_tests {
         for i in 0..500 {
             db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
         }
-        let r = db.execute("EXPLAIN ANALYZE SELECT count(*) FROM t WHERE id < 100").unwrap();
+        let r = db
+            .execute("EXPLAIN ANALYZE SELECT count(*) FROM t WHERE id < 100")
+            .unwrap();
         let text = r.explain.unwrap();
         assert!(text.contains("Seq Scan"), "{text}");
         assert!(text.contains("Actual: rows=1"), "{text}");
@@ -1196,6 +596,7 @@ mod explain_analyze_tests {
 #[cfg(test)]
 mod join_strategy_tests {
     use super::*;
+    use crate::value::Datum;
 
     /// All join strategies (hash, NL materialized, NL rescanning) must
     /// return identical results; force each with the enable flags.
@@ -1205,10 +606,12 @@ mod join_strategy_tests {
         db.execute("CREATE TABLE a (id INT, v TEXT)").unwrap();
         db.execute("CREATE TABLE b (id INT, w TEXT)").unwrap();
         for i in 0..200 {
-            db.execute(&format!("INSERT INTO a VALUES ({}, 'a{i}')", i % 50)).unwrap();
+            db.execute(&format!("INSERT INTO a VALUES ({}, 'a{i}')", i % 50))
+                .unwrap();
         }
         for i in 0..80 {
-            db.execute(&format!("INSERT INTO b VALUES ({}, 'b{i}')", i % 50)).unwrap();
+            db.execute(&format!("INSERT INTO b VALUES ({}, 'b{i}')", i % 50))
+                .unwrap();
         }
         db.execute("ANALYZE a").unwrap();
         db.execute("ANALYZE b").unwrap();
@@ -1236,8 +639,10 @@ mod join_strategy_tests {
         db.execute("CREATE TABLE a (id INT, x INT)").unwrap();
         db.execute("CREATE TABLE b (id INT, y INT)").unwrap();
         for i in 0..100 {
-            db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i * 2)).unwrap();
-            db.execute(&format!("INSERT INTO b VALUES ({i}, {})", i * 3)).unwrap();
+            db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i * 2))
+                .unwrap();
+            db.execute(&format!("INSERT INTO b VALUES ({i}, {})", i * 3))
+                .unwrap();
         }
         db.execute("ANALYZE a").unwrap();
         db.execute("ANALYZE b").unwrap();

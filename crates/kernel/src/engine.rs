@@ -1,0 +1,1401 @@
+//! The shared engine and its per-connection sessions.
+//!
+//! The paper's argument is that multilingual operators belong *inside* the
+//! engine so they run at relational speeds; an engine that serves one
+//! client at a time undercuts that claim.  This module splits the old
+//! `Database` monolith in two:
+//!
+//! * [`Engine`] — everything shared between connections: the catalog
+//!   (behind an `RwLock` so DDL excludes readers but readers run in
+//!   parallel), the buffer pool, the WAL, the plan cache, and the schema
+//!   epoch.  `Engine` is `Send + Sync` and lives behind an `Arc`.
+//! * [`Session`] — one connection's state: its [`SessionVars`], statement
+//!   execution, and trace spans.  Sessions are cheap (`Engine::connect`)
+//!   and `Send`, so `N` threads each own one and query concurrently.
+//!
+//! ## Lock hierarchy
+//!
+//! Locks are always taken in this order (any prefix may be skipped, never
+//! reordered), which makes deadlock impossible by construction:
+//!
+//! 1. `Engine::catalog` (`RwLock`) — DDL/ANALYZE vs. everything else.
+//! 2. `Engine::dml_lock` (`Mutex`) — serializes writers (single-writer,
+//!    many-reader model; readers never touch it).
+//! 3. Buffer-pool mutex (inside [`BufferPool`]).
+//! 4. Per-index instance `RwLock` (inside `IndexMeta`) — searches share
+//!    the read guard, DML maintenance takes the write guard.
+//! 5. `Engine::wal` mutex.
+//!
+//! The catalog read guard is passed *down* into helpers (`&Catalog`), never
+//! re-acquired — parking_lot read locks are not reentrant once a writer is
+//! queued.
+//!
+//! ## Plan cache
+//!
+//! Hot multilingual lookups are short point queries (ψ/Ω probes against a
+//! names table), so parse/bind/plan overhead is a real fraction of their
+//! latency.  The engine keeps a bounded map from *(normalized SQL, session
+//! fingerprint)* to `Arc<PhysNode>`.  Normalization lowercases and
+//! collapses whitespace outside string literals; the fingerprint hashes all
+//! session variables because they steer planning (`enable_*`,
+//! `lexequal.threshold`, ...).  Every entry records the schema epoch it was
+//! planned under; DDL and ANALYZE bump the epoch and flush the cache, so a
+//! stale plan can never be served (entries inserted by an in-flight query
+//! that raced a DDL carry the old epoch and are rejected on lookup).
+
+use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
+use crate::error::{Error, Result};
+use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats};
+use crate::expr::EvalCtx;
+use crate::obs::{self, QueryTrace};
+use crate::opt;
+use crate::plan::{NodeActuals, PhysNode};
+use crate::schema::{Column, Row, Schema};
+use crate::sql::{self, Statement};
+use crate::storage::{
+    decode_row, encode_row, BufferPool, HeapFile, IoStats, MemBackend, StorageBackend, Wal,
+    WalRecord,
+};
+use crate::value::{DataType, Datum};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-statement runtime statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Buffer-pool traffic during the statement.
+    pub io: IoStats,
+    /// Index nodes visited.
+    pub index_node_visits: u64,
+    /// Extension-operator (ψ/Ω) evaluations during the statement.
+    pub ext_op_calls: u64,
+    /// Wall-clock execution time (excludes parse/plan).
+    pub exec_time: Duration,
+    /// Optimizer-predicted total cost of the executed plan (queries only).
+    pub est_cost: Option<f64>,
+    /// Optimizer-predicted output rows.
+    pub est_rows: Option<f64>,
+    /// Stage spans (parse/bind/plan/execute) for queries.
+    pub trace: Option<QueryTrace>,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output schema (empty for DDL/DML).
+    pub schema: Schema,
+    /// Result rows (empty for DDL/DML).
+    pub rows: Vec<Row>,
+    /// `EXPLAIN` text, when requested.
+    pub explain: Option<String>,
+    /// Rows affected by DML.
+    pub affected: u64,
+    /// Runtime statistics.
+    pub stats: RunStats,
+}
+
+/// How `run_select` should report.
+enum ExplainMode {
+    Off,
+    PlanOnly,
+    Analyze,
+}
+
+// ------------------------------------------------------------- plan cache
+
+/// Normalize SQL text for plan-cache keying: lowercase and collapse runs
+/// of whitespace outside single-quoted literals.
+pub fn normalize_sql(sql_text: &str) -> String {
+    let mut out = String::with_capacity(sql_text.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for ch in sql_text.chars() {
+        if in_str {
+            out.push(ch);
+            if ch == '\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        if ch == '\'' {
+            in_str = true;
+            out.push(ch);
+        } else {
+            out.extend(ch.to_lowercase());
+        }
+    }
+    out
+}
+
+/// One cached physical plan.
+struct CachedPlan {
+    plan: Arc<PhysNode>,
+    /// Schema epoch the plan was produced under.
+    epoch: u64,
+}
+
+/// Bounded map from (normalized SQL, session fingerprint) to physical
+/// plans.  Epoch-checked on lookup; flushed wholesale on invalidation.
+struct PlanCache {
+    entries: Mutex<HashMap<(String, u64), CachedPlan>>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity,
+        }
+    }
+
+    /// A cached plan for `key`, if one exists and matches `epoch`.
+    fn lookup(&self, key: &(String, u64), epoch: u64) -> Option<Arc<PhysNode>> {
+        let mut map = self.entries.lock();
+        match map.get(key) {
+            Some(e) if e.epoch == epoch => Some(Arc::clone(&e.plan)),
+            Some(_) => {
+                // Planned under an older schema: drop it.
+                map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&self, key: (String, u64), plan: Arc<PhysNode>, epoch: u64) {
+        let mut map = self.entries.lock();
+        // Wholesale flush at capacity: the cache targets a small working
+        // set of hot lookups, so an LRU chain is not worth its overhead.
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, CachedPlan { plan, epoch });
+    }
+
+    fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+}
+
+// ------------------------------------------------------------------ engine
+
+/// Shared, thread-safe core of a database instance: catalog, buffer pool,
+/// WAL, plan cache.  Connections are opened with [`Engine::connect`].
+pub struct Engine {
+    catalog: RwLock<Catalog>,
+    pool: BufferPool,
+    wal: Mutex<Option<Wal>>,
+    /// Serializes DML statements (single-writer / many-reader model).
+    dml_lock: Mutex<()>,
+    /// Bumped by DDL and ANALYZE; plan-cache entries from older epochs
+    /// are never served.
+    schema_epoch: AtomicU64,
+    plan_cache: PlanCache,
+}
+
+/// `Engine` must stay shareable across session threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<QueryResult>();
+};
+
+impl Engine {
+    /// A fresh in-memory engine (no durability).
+    pub fn in_memory() -> Arc<Engine> {
+        Engine::with_backend(Box::new(MemBackend::new()))
+    }
+
+    /// An engine over an arbitrary storage backend, WAL-less until
+    /// [`Engine::attach_wal`].
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Arc<Engine> {
+        Arc::new(Engine {
+            catalog: RwLock::new(Catalog::new()),
+            pool: BufferPool::new(backend, 1024),
+            wal: Mutex::new(None),
+            dml_lock: Mutex::new(()),
+            schema_epoch: AtomicU64::new(0),
+            plan_cache: PlanCache::new(256),
+        })
+    }
+
+    /// Open a new session against this engine.  `vars` seeds the session's
+    /// variables (extensions may have installed defaults on a template
+    /// session).
+    pub fn connect_with_vars(self: &Arc<Self>, vars: SessionVars) -> Session {
+        obs::metrics().sessions_opened_total.inc();
+        Session {
+            engine: Arc::clone(self),
+            vars,
+        }
+    }
+
+    /// Open a new session with empty session variables.
+    pub fn connect(self: &Arc<Self>) -> Session {
+        self.connect_with_vars(SessionVars::new())
+    }
+
+    /// Shared catalog access.
+    pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
+    }
+
+    /// Exclusive catalog access (extension registration, DDL).  Any write
+    /// access may change planning inputs, so the schema epoch is bumped —
+    /// cached plans from before the call are discarded.
+    pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
+        let guard = self.catalog.write();
+        self.bump_schema_epoch();
+        guard
+    }
+
+    /// The buffer pool (benches read I/O statistics from here).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Current schema epoch (bumped by DDL/ANALYZE).
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::Acquire)
+    }
+
+    /// Invalidate all cached plans and advance the schema epoch.
+    pub fn bump_schema_epoch(&self) {
+        self.schema_epoch.fetch_add(1, Ordering::AcqRel);
+        self.plan_cache.clear();
+        obs::metrics().plan_cache_invalidations_total.inc();
+    }
+
+    /// Number of currently cached plans (for tests/diagnostics).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Drop every cached plan without bumping the schema epoch (benches
+    /// use this to measure cold-plan throughput).
+    pub fn flush_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    /// Attach a WAL; subsequent DDL/DML is logged.  Recovery opens the
+    /// engine without a WAL, replays, then attaches — so replayed
+    /// statements are not re-logged.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.lock() = Some(wal);
+    }
+
+    fn log(&self, rec: WalRecord) -> Result<()> {
+        if let Some(wal) = self.wal.lock().as_mut() {
+            wal.append(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Flush heaps (checkpoint).  In-memory engines are a no-op.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.pool.flush_all()?;
+        // Heap pages are durable now, but the catalog (DDL) still lives
+        // only in the WAL — so a checkpoint only truncates when there is a
+        // separate catalog snapshot, which we do not implement.  Keep the
+        // full log instead: replay is idempotent from an empty data dir.
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- session
+
+/// One connection to an [`Engine`]: owns the session variables and runs
+/// statements.  `Send` (not `Sync`) — a session belongs to one thread at a
+/// time; open more sessions for more threads.
+pub struct Session {
+    engine: Arc<Engine>,
+    vars: SessionVars,
+}
+
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+impl Session {
+    /// The engine this session is connected to.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Session variables.
+    pub fn vars(&self) -> &SessionVars {
+        &self.vars
+    }
+
+    /// Mutable session variables.
+    pub fn vars_mut(&mut self) -> &mut SessionVars {
+        &mut self.vars
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
+        let metrics = obs::metrics();
+        let total_start = Instant::now();
+        // Plan-cache fast path: a hit skips parse/bind/plan entirely.
+        if let Some(mut result) = self.run_cached_select(sql_text)? {
+            metrics.queries_total.inc();
+            metrics.query_rows_total.add(result.rows.len() as u64);
+            metrics
+                .query_latency_seconds
+                .observe_duration(total_start.elapsed());
+            let mut t = QueryTrace::new();
+            t.record("execute", result.stats.exec_time);
+            result.stats.trace = Some(t);
+            return Ok(result);
+        }
+        let parse_start = Instant::now();
+        let stmt = sql::parse(sql_text)?;
+        let parse_time = parse_start.elapsed();
+        metrics
+            .stage_parse_ns_total
+            .add(parse_time.as_nanos() as u64);
+        let result = self.dispatch(stmt, sql_text);
+        metrics.queries_total.inc();
+        let mut result = result?;
+        metrics.query_rows_total.add(result.rows.len() as u64);
+        metrics
+            .query_latency_seconds
+            .observe_duration(total_start.elapsed());
+        match result.stats.trace.as_mut() {
+            Some(t) => t.prepend("parse", parse_time),
+            None => {
+                let mut t = QueryTrace::new();
+                t.record("parse", parse_time);
+                result.stats.trace = Some(t);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Convenience: execute and return rows.
+    pub fn query(&mut self, sql_text: &str) -> Result<Vec<Row>> {
+        Ok(self.execute(sql_text)?.rows)
+    }
+
+    /// Read-only query through a shared reference: safe to call while the
+    /// same session object is shared immutably across threads.  Only
+    /// `SELECT` is accepted; uses (and fills) the plan cache.
+    pub fn query_ref(&self, sql_text: &str) -> Result<Vec<Row>> {
+        let metrics = obs::metrics();
+        let start = Instant::now();
+        if let Some(result) = self.run_cached_select(sql_text)? {
+            metrics.queries_total.inc();
+            metrics.query_rows_total.add(result.rows.len() as u64);
+            metrics
+                .query_latency_seconds
+                .observe_duration(start.elapsed());
+            return Ok(result.rows);
+        }
+        let stmt = sql::parse(sql_text)?;
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            _ => return Err(Error::Binder("query_ref only accepts SELECT".into())),
+        };
+        let catalog = self.engine.catalog();
+        let epoch = self.engine.schema_epoch();
+        let logical = sql::bind(&sel, &catalog)?;
+        let phys = Arc::new(opt::plan(
+            &logical,
+            &catalog,
+            &self.engine.pool,
+            &self.vars,
+        )?);
+        self.cache_plan(sql_text, Arc::clone(&phys), epoch);
+        let stats = ExecStats::default();
+        let ctx = ExecCtx {
+            catalog: &catalog,
+            pool: &self.engine.pool,
+            session: &self.vars,
+            stats: &stats,
+        };
+        let rows = run_to_vec(&phys, &ctx)?;
+        metrics.queries_total.inc();
+        metrics.query_rows_total.add(rows.len() as u64);
+        metrics
+            .query_latency_seconds
+            .observe_duration(start.elapsed());
+        Ok(rows)
+    }
+
+    /// Plan a SELECT without executing it (benches compare predicted cost
+    /// against measured runtime — Figure 6).
+    pub fn plan_select(&self, sql_text: &str) -> Result<PhysNode> {
+        let stmt = sql::parse(sql_text)?;
+        let sel = match stmt {
+            Statement::Select(s) | Statement::Explain { select: s, .. } => s,
+            _ => return Err(Error::Binder("plan_select expects a SELECT".into())),
+        };
+        let catalog = self.engine.catalog();
+        let logical = sql::bind(&sel, &catalog)?;
+        opt::plan(&logical, &catalog, &self.engine.pool, &self.vars)
+    }
+
+    /// Execute a semicolon-separated script; returns the result of the
+    /// last statement.  Quotes are respected when splitting.  A failure is
+    /// wrapped in [`Error::Script`] carrying the 1-based ordinal and a
+    /// snippet of the failing statement.
+    pub fn execute_script(&mut self, script: &str) -> Result<QueryResult> {
+        let mut last = QueryResult::default();
+        let mut ordinal = 0usize;
+        let mut run = |this: &mut Self, text: &str, last: &mut QueryResult| -> Result<()> {
+            ordinal += 1;
+            match this.execute(text) {
+                Ok(r) => {
+                    *last = r;
+                    Ok(())
+                }
+                Err(e) => Err(Error::Script {
+                    ordinal,
+                    snippet: snippet_of(text),
+                    source: Box::new(e),
+                }),
+            }
+        };
+        let mut stmt = String::new();
+        let mut in_str = false;
+        let mut in_comment = false;
+        let mut prev = '\0';
+        for ch in script.chars() {
+            if in_comment {
+                if ch == '\n' {
+                    in_comment = false;
+                    stmt.push(ch);
+                }
+                prev = ch;
+                continue;
+            }
+            match ch {
+                '\'' => {
+                    in_str = !in_str;
+                    stmt.push(ch);
+                }
+                '-' if !in_str && prev == '-' => {
+                    // `--` line comment: drop it (and the `-` already
+                    // buffered) so a `;` inside the comment cannot split.
+                    stmt.pop();
+                    in_comment = true;
+                }
+                ';' if !in_str => {
+                    if !stmt.trim().is_empty() {
+                        run(self, stmt.trim(), &mut last)?;
+                    }
+                    stmt.clear();
+                }
+                _ => stmt.push(ch),
+            }
+            prev = ch;
+        }
+        if !stmt.trim().is_empty() {
+            run(self, stmt.trim(), &mut last)?;
+        }
+        Ok(last)
+    }
+
+    // ------------------------------------------------------- dispatching
+
+    fn dispatch(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let mut catalog = self.engine.catalog_mut();
+                let schema = schema_from_ddl(&catalog, &columns)?;
+                let heap = HeapFile::create(&self.engine.pool)?;
+                let id = catalog.create_table(&name, schema, heap)?;
+                drop(catalog);
+                self.engine.log(WalRecord::CreateTable {
+                    table_id: id.0,
+                    ddl: sql_text.as_bytes().to_vec(),
+                })?;
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                using,
+            } => {
+                let mut catalog = self.engine.catalog_mut();
+                let meta = catalog.table(&table)?;
+                let col = meta
+                    .schema
+                    .index_of(&column)
+                    .ok_or_else(|| Error::Binder(format!("no column {column:?} in {table:?}")))?;
+                let idx = catalog.create_index(&table, &name, col, &using)?;
+                // Back-fill from the heap (still under the write guard, so
+                // no insert can slip between scan and index visibility).
+                let arity = meta.schema.len();
+                let mut instance = idx.instance.write();
+                let mut scan_err = None;
+                meta.heap.scan(&self.engine.pool, |tid, bytes| {
+                    match decode_row(bytes, arity) {
+                        Ok(row) => {
+                            if let Err(e) = instance.insert(&row[col], tid) {
+                                scan_err = Some(e);
+                                return false;
+                            }
+                        }
+                        Err(e) => {
+                            scan_err = Some(e);
+                            return false;
+                        }
+                    }
+                    true
+                })?;
+                drop(instance);
+                drop(catalog);
+                if let Some(e) = scan_err {
+                    return Err(e);
+                }
+                self.engine.log(WalRecord::CreateTable {
+                    table_id: meta.id.0,
+                    ddl: sql_text.as_bytes().to_vec(),
+                })?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name } => {
+                self.engine.catalog_mut().drop_table(&name)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropIndex { name } => {
+                self.engine.catalog_mut().drop_index(&name)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Insert { table, rows } => {
+                let _writer = self.engine.dml_lock.lock();
+                let catalog = self.engine.catalog();
+                let mut affected = 0u64;
+                for row_exprs in rows {
+                    let mut row = Row::with_capacity(row_exprs.len());
+                    for e in &row_exprs {
+                        let bound = sql::bind_const_expr(e, &catalog)?;
+                        let ctx = EvalCtx::new(&catalog, &self.vars);
+                        row.push(bound.eval(&[], &ctx)?);
+                    }
+                    self.insert_row_in(&catalog, &table, row)?;
+                    affected += 1;
+                }
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::InsertSelect { table, select } => {
+                let _writer = self.engine.dml_lock.lock();
+                let catalog = self.engine.catalog();
+                let result = self.run_select_in(&catalog, &select, ExplainMode::Off, None)?;
+                let mut affected = 0u64;
+                for row in result.rows {
+                    self.insert_row_in(&catalog, &table, row)?;
+                    affected += 1;
+                }
+                Ok(QueryResult {
+                    affected,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let _writer = self.engine.dml_lock.lock();
+                let catalog = self.engine.catalog();
+                let meta = catalog.table(&table)?;
+                let filter = filter
+                    .map(|f| sql::bind_single_table(&f, &meta.name, &meta.schema, &catalog))
+                    .transpose()?;
+                let mut bound_sets = Vec::with_capacity(sets.len());
+                for (col, e) in &sets {
+                    let idx = meta
+                        .schema
+                        .index_of(col)
+                        .ok_or_else(|| Error::Binder(format!("no column {col:?} in {table:?}")))?;
+                    let bound = sql::bind_single_table(e, &meta.name, &meta.schema, &catalog)?;
+                    bound_sets.push((idx, bound));
+                }
+                let n = self.update_where(&catalog, &table, &bound_sets, filter.as_ref())?;
+                Ok(QueryResult {
+                    affected: n,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Delete { table, filter } => {
+                let _writer = self.engine.dml_lock.lock();
+                let catalog = self.engine.catalog();
+                let meta = catalog.table(&table)?;
+                let filter = filter
+                    .map(|f| sql::bind_single_table(&f, &meta.name, &meta.schema, &catalog))
+                    .transpose()?;
+                let n = self.delete_where(&catalog, &table, filter.as_ref())?;
+                Ok(QueryResult {
+                    affected: n,
+                    ..QueryResult::default()
+                })
+            }
+            Statement::Select(sel) => {
+                let catalog = self.engine.catalog();
+                self.run_select_in(&catalog, &sel, ExplainMode::Off, Some(sql_text))
+            }
+            Statement::Explain { select, analyze } => {
+                let catalog = self.engine.catalog();
+                self.run_select_in(
+                    &catalog,
+                    &select,
+                    if analyze {
+                        ExplainMode::Analyze
+                    } else {
+                        ExplainMode::PlanOnly
+                    },
+                    None,
+                )
+            }
+            Statement::Set { name, value } => {
+                let catalog = self.engine.catalog();
+                let bound = sql::bind_const_expr(&value, &catalog)?;
+                let ctx = EvalCtx::new(&catalog, &self.vars);
+                let v = bound.eval(&[], &ctx)?;
+                drop(catalog);
+                // No cache invalidation needed: the session fingerprint is
+                // part of the plan-cache key, so a changed variable simply
+                // keys to different entries.
+                self.vars.set(&name, v);
+                Ok(QueryResult::default())
+            }
+            Statement::Show { name } => self.show(&name),
+            Statement::Analyze { table } => {
+                self.analyze(&table)?;
+                Ok(QueryResult::default())
+            }
+        }
+    }
+
+    fn show(&self, name: &str) -> Result<QueryResult> {
+        match name.to_ascii_lowercase().as_str() {
+            // Engine metrics surfaces (the registry is process-wide).
+            "stats" => {
+                let _ = obs::metrics(); // ensure engine metrics exist
+                let rows = obs::global()
+                    .samples()
+                    .into_iter()
+                    .map(|(n, v)| vec![Datum::text(n), Datum::Float(v)])
+                    .collect();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![
+                        Column::new("metric", DataType::Text),
+                        Column::new("value", DataType::Float),
+                    ]),
+                    rows,
+                    ..QueryResult::default()
+                })
+            }
+            "stats_json" => {
+                let _ = obs::metrics();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new("stats_json", DataType::Text)]),
+                    rows: vec![vec![Datum::text(obs::global().render_json())]],
+                    ..QueryResult::default()
+                })
+            }
+            "stats_prometheus" => {
+                let _ = obs::metrics();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new("stats_prometheus", DataType::Text)]),
+                    rows: vec![vec![Datum::text(obs::global().render_prometheus())]],
+                    ..QueryResult::default()
+                })
+            }
+            _ => {
+                let v = self.vars.get(name).cloned().unwrap_or(Datum::Null);
+                Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new(name, DataType::Text)]),
+                    rows: vec![vec![Datum::text(v.to_string())]],
+                    ..QueryResult::default()
+                })
+            }
+        }
+    }
+
+    // -------------------------------------------------------- plan cache
+
+    /// Cache key for a SELECT's text, or `None` for non-SELECT statements.
+    fn cache_key(&self, sql_text: &str) -> Option<(String, u64)> {
+        let norm = normalize_sql(sql_text);
+        if norm.starts_with("select ") {
+            let fp = self.vars.fingerprint();
+            Some((norm, fp))
+        } else {
+            None
+        }
+    }
+
+    /// Execute `sql_text` through a cached plan, if one is present.
+    fn run_cached_select(&self, sql_text: &str) -> Result<Option<QueryResult>> {
+        let Some(key) = self.cache_key(sql_text) else {
+            return Ok(None);
+        };
+        let metrics = obs::metrics();
+        // The catalog read guard is held across lookup *and* execution so
+        // the epoch cannot move under a running plan.
+        let catalog = self.engine.catalog();
+        let epoch = self.engine.schema_epoch();
+        let Some(plan) = self.engine.plan_cache.lookup(&key, epoch) else {
+            metrics.plan_cache_misses_total.inc();
+            return Ok(None);
+        };
+        metrics.plan_cache_hits_total.inc();
+        let stats = ExecStats::default();
+        let io_before = self.engine.pool.stats();
+        let start = Instant::now();
+        let ctx = ExecCtx {
+            catalog: &catalog,
+            pool: &self.engine.pool,
+            session: &self.vars,
+            stats: &stats,
+        };
+        let rows = run_to_vec(&plan, &ctx)?;
+        let exec_time = start.elapsed();
+        metrics
+            .stage_execute_ns_total
+            .add(exec_time.as_nanos() as u64);
+        let io = self.engine.pool.stats().since(&io_before);
+        Ok(Some(QueryResult {
+            schema: plan.schema.clone(),
+            rows,
+            explain: Some(plan.explain()),
+            affected: 0,
+            stats: RunStats {
+                io,
+                index_node_visits: stats.index_node_visits.get(),
+                ext_op_calls: stats.ext_op_calls.get(),
+                exec_time,
+                est_cost: Some(plan.est_cost),
+                est_rows: Some(plan.est_rows),
+                trace: None,
+            },
+        }))
+    }
+
+    fn cache_plan(&self, sql_text: &str, plan: Arc<PhysNode>, epoch: u64) {
+        if let Some(key) = self.cache_key(sql_text) {
+            self.engine.plan_cache.insert(key, plan, epoch);
+        }
+    }
+
+    // ---------------------------------------------------------- selects
+
+    fn run_select_in(
+        &self,
+        catalog: &Catalog,
+        sel: &sql::SelectStmt,
+        mode: ExplainMode,
+        cache_sql: Option<&str>,
+    ) -> Result<QueryResult> {
+        let metrics = obs::metrics();
+        let mut trace = QueryTrace::new();
+        // Epoch is read under the caller's catalog guard, *before*
+        // planning: if a DDL bumps it after we release, the entry we
+        // insert carries the stale epoch and is rejected on lookup.
+        let epoch = self.engine.schema_epoch();
+        let bind_start = Instant::now();
+        let logical = sql::bind(sel, catalog)?;
+        let bind_time = bind_start.elapsed();
+        trace.record("bind", bind_time);
+        metrics.stage_bind_ns_total.add(bind_time.as_nanos() as u64);
+        let plan_start = Instant::now();
+        let phys = Arc::new(opt::plan(&logical, catalog, &self.engine.pool, &self.vars)?);
+        let plan_time = plan_start.elapsed();
+        trace.record("plan", plan_time);
+        metrics.stage_plan_ns_total.add(plan_time.as_nanos() as u64);
+        match mode {
+            ExplainMode::PlanOnly => {
+                let text = phys.explain();
+                return Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
+                    rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
+                    explain: Some(text),
+                    stats: RunStats {
+                        trace: Some(trace),
+                        ..RunStats::default()
+                    },
+                    ..QueryResult::default()
+                });
+            }
+            ExplainMode::Analyze => {
+                // Execute through the instrumented tree, then annotate
+                // every plan node with its measured actuals — exactly how
+                // the Figure 6 experiment gathers its (predicted cost,
+                // actual runtime) pairs, now at per-operator granularity.
+                let stats = ExecStats::default();
+                let io_before = self.engine.pool.stats();
+                let start = Instant::now();
+                let ctx = ExecCtx {
+                    catalog,
+                    pool: &self.engine.pool,
+                    session: &self.vars,
+                    stats: &stats,
+                };
+                let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
+                let mut rows = Vec::new();
+                while let Some(row) = exec.next(&ctx)? {
+                    rows.push(row);
+                }
+                stats.rows_out.set(rows.len() as u64);
+                let elapsed = start.elapsed();
+                trace.record("execute", elapsed);
+                metrics
+                    .stage_execute_ns_total
+                    .add(elapsed.as_nanos() as u64);
+                let io = self.engine.pool.stats().since(&io_before);
+                let actuals: Vec<NodeActuals> = instr
+                    .per_node
+                    .iter()
+                    .map(|s| NodeActuals {
+                        rows: s.rows.get(),
+                        loops: s.loops.get(),
+                        time: Duration::from_nanos(s.time_ns.get()),
+                        pages: s.logical_reads.get(),
+                        pages_read: s.physical_reads.get(),
+                        index_node_visits: s.index_node_visits.get(),
+                        ext_op_calls: s.ext_op_calls.get(),
+                    })
+                    .collect();
+                let mut text = phys.explain_with_actuals(&actuals);
+                text.push_str(&format!(
+                    "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
+                    rows.len(),
+                    elapsed.as_secs_f64() * 1000.0,
+                    io.logical_reads,
+                    io.physical_reads,
+                    stats.index_node_visits.get(),
+                    stats.ext_op_calls.get(),
+                ));
+                text.push_str(&format!("Stages: {}\n", trace.render()));
+                return Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
+                    rows: text.lines().map(|l| vec![Datum::text(l)]).collect(),
+                    explain: Some(text),
+                    stats: RunStats {
+                        io,
+                        index_node_visits: stats.index_node_visits.get(),
+                        ext_op_calls: stats.ext_op_calls.get(),
+                        exec_time: elapsed,
+                        est_cost: Some(phys.est_cost),
+                        est_rows: Some(phys.est_rows),
+                        trace: Some(trace),
+                    },
+                    ..QueryResult::default()
+                });
+            }
+            ExplainMode::Off => {}
+        }
+        if let Some(sql_text) = cache_sql {
+            self.cache_plan(sql_text, Arc::clone(&phys), epoch);
+        }
+        let stats = ExecStats::default();
+        let io_before = self.engine.pool.stats();
+        let start = Instant::now();
+        let ctx = ExecCtx {
+            catalog,
+            pool: &self.engine.pool,
+            session: &self.vars,
+            stats: &stats,
+        };
+        let rows = run_to_vec(&phys, &ctx)?;
+        let exec_time = start.elapsed();
+        trace.record("execute", exec_time);
+        metrics
+            .stage_execute_ns_total
+            .add(exec_time.as_nanos() as u64);
+        let io = self.engine.pool.stats().since(&io_before);
+        Ok(QueryResult {
+            schema: phys.schema.clone(),
+            rows,
+            explain: Some(phys.explain()),
+            affected: 0,
+            stats: RunStats {
+                io,
+                index_node_visits: stats.index_node_visits.get(),
+                ext_op_calls: stats.ext_op_calls.get(),
+                exec_time,
+                est_cost: Some(phys.est_cost),
+                est_rows: Some(phys.est_rows),
+                trace: Some(trace),
+            },
+        })
+    }
+
+    // --------------------------------------------------------------- DML
+
+    /// Insert a pre-evaluated row (used by SQL INSERT, recovery, and bulk
+    /// loaders).  Applies type checks, extension `on_insert` transforms
+    /// (phoneme materialization), index maintenance and WAL logging.
+    pub fn insert_row(&mut self, table: &str, row: Row) -> Result<()> {
+        let _writer = self.engine.dml_lock.lock();
+        let catalog = self.engine.catalog();
+        self.insert_row_in(&catalog, table, row)
+    }
+
+    /// Insert under an already-held catalog guard (and DML lock).
+    fn insert_row_in(&self, catalog: &Catalog, table: &str, row: Row) -> Result<()> {
+        let meta = catalog.table(table)?;
+        let row = prepare_row(catalog, &meta, row)?;
+        let bytes = encode_row(&row);
+        let tid = meta.heap.insert(&self.engine.pool, &bytes)?;
+        for idx in catalog.indexes_of(meta.id) {
+            idx.instance.write().insert(&row[idx.column], tid)?;
+        }
+        self.engine.log(WalRecord::Insert {
+            table_id: meta.id.0,
+            tuple: bytes,
+        })?;
+        Ok(())
+    }
+
+    /// UPDATE = qualifying-row delete + prepared re-insert, which re-runs
+    /// the extension hooks (a changed UniText gets a fresh phoneme cache).
+    fn update_where(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        sets: &[(usize, crate::expr::Expr)],
+        filter: Option<&crate::expr::Expr>,
+    ) -> Result<u64> {
+        let meta = catalog.table(table)?;
+        let arity = meta.schema.len();
+        let ctx = EvalCtx::new(catalog, &self.vars);
+        let mut victims: Vec<(crate::storage::TupleId, Row, Vec<u8>, Row)> = Vec::new();
+        let mut scan_err = None;
+        meta.heap.scan(&self.engine.pool, |tid, bytes| {
+            match decode_row(bytes, arity) {
+                Ok(row) => {
+                    let hit = match filter {
+                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
+                        None => Ok(true),
+                    };
+                    match hit {
+                        Ok(true) => {
+                            let mut new_row = row.clone();
+                            for (idx, e) in sets {
+                                match e.eval(&row, &ctx) {
+                                    Ok(v) => new_row[*idx] = v,
+                                    Err(err) => {
+                                        scan_err = Some(err);
+                                        return false;
+                                    }
+                                }
+                            }
+                            victims.push((tid, row, bytes.to_vec(), new_row));
+                        }
+                        Ok(false) => {}
+                        Err(e) => {
+                            scan_err = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    scan_err = Some(e);
+                    return false;
+                }
+            }
+            true
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let n = victims.len() as u64;
+        for (tid, old_row, old_bytes, new_row) in victims {
+            // The new image must be valid before touching the old one.
+            let new_row = prepare_row(catalog, &meta, new_row)?;
+            meta.heap.delete(&self.engine.pool, tid)?;
+            for idx in catalog.indexes_of(meta.id) {
+                idx.instance.write().delete(&old_row[idx.column], tid)?;
+            }
+            self.engine.log(WalRecord::Delete {
+                table_id: meta.id.0,
+                tuple: old_bytes,
+            })?;
+            let bytes = encode_row(&new_row);
+            let new_tid = meta.heap.insert(&self.engine.pool, &bytes)?;
+            for idx in catalog.indexes_of(meta.id) {
+                idx.instance.write().insert(&new_row[idx.column], new_tid)?;
+            }
+            self.engine.log(WalRecord::Insert {
+                table_id: meta.id.0,
+                tuple: bytes,
+            })?;
+        }
+        Ok(n)
+    }
+
+    fn delete_where(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        filter: Option<&crate::expr::Expr>,
+    ) -> Result<u64> {
+        let meta = catalog.table(table)?;
+        let arity = meta.schema.len();
+        let ctx = EvalCtx::new(catalog, &self.vars);
+        let mut victims = Vec::new();
+        let mut scan_err = None;
+        meta.heap.scan(&self.engine.pool, |tid, bytes| {
+            match decode_row(bytes, arity) {
+                Ok(row) => {
+                    let keep = match filter {
+                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
+                        None => Ok(true),
+                    };
+                    match keep {
+                        Ok(true) => victims.push((tid, row, bytes.to_vec())),
+                        Ok(false) => {}
+                        Err(e) => {
+                            scan_err = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    scan_err = Some(e);
+                    return false;
+                }
+            }
+            true
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let n = victims.len() as u64;
+        for (tid, row, bytes) in victims {
+            meta.heap.delete(&self.engine.pool, tid)?;
+            for idx in catalog.indexes_of(meta.id) {
+                idx.instance.write().delete(&row[idx.column], tid)?;
+            }
+            self.engine.log(WalRecord::Delete {
+                table_id: meta.id.0,
+                tuple: bytes,
+            })?;
+        }
+        Ok(n)
+    }
+
+    /// Recovery helper: delete one tuple whose bytes match exactly.
+    pub(crate) fn delete_matching_tuple(&mut self, table: &str, tuple: &[u8]) -> Result<()> {
+        let _writer = self.engine.dml_lock.lock();
+        let catalog = self.engine.catalog();
+        let meta = catalog.table(table)?;
+        let mut victim = None;
+        meta.heap.scan(&self.engine.pool, |tid, bytes| {
+            if bytes == tuple {
+                victim = Some(tid);
+                false
+            } else {
+                true
+            }
+        })?;
+        if let Some(tid) = victim {
+            meta.heap.delete(&self.engine.pool, tid)?;
+            let row = decode_row(tuple, meta.schema.len())?;
+            for idx in catalog.indexes_of(meta.id) {
+                idx.instance.write().delete(&row[idx.column], tid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// ANALYZE: rebuild table and per-column statistics from a full pass.
+    /// Bumps the schema epoch — fresh statistics can change plan choices,
+    /// so cached plans are flushed.
+    pub fn analyze(&mut self, table: &str) -> Result<()> {
+        let catalog = self.engine.catalog();
+        let meta = catalog.table(table)?;
+        let arity = meta.schema.len();
+        let mut columns: Vec<Vec<Datum>> = vec![Vec::new(); arity];
+        let mut rows = 0u64;
+        let mut scan_err = None;
+        meta.heap.scan(&self.engine.pool, |_, bytes| {
+            match decode_row(bytes, arity) {
+                Ok(row) => {
+                    rows += 1;
+                    for (i, d) in row.into_iter().enumerate() {
+                        columns[i].push(d);
+                    }
+                }
+                Err(e) => {
+                    scan_err = Some(e);
+                    return false;
+                }
+            }
+            true
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let pages = meta.heap.pages(&self.engine.pool)? as u64;
+        let stats = TableStats {
+            rows,
+            pages,
+            columns: columns
+                .iter()
+                .map(|vals| Some(ColumnStats::build(vals)))
+                .collect(),
+        };
+        *meta.stats.lock() = stats;
+        drop(catalog);
+        self.engine.bump_schema_epoch();
+        Ok(())
+    }
+}
+
+/// First ~80 characters of a statement, for script error reporting.
+fn snippet_of(text: &str) -> String {
+    const MAX: usize = 80;
+    let trimmed = text.trim();
+    if trimmed.chars().count() <= MAX {
+        trimmed.to_string()
+    } else {
+        let cut: String = trimmed.chars().take(MAX).collect();
+        format!("{cut}…")
+    }
+}
+
+/// Resolve DDL column types against the catalog's type registry.
+pub(crate) fn schema_from_ddl(catalog: &Catalog, columns: &[(String, String)]) -> Result<Schema> {
+    let mut cols = Vec::with_capacity(columns.len());
+    for (name, ty) in columns {
+        let dt = match ty.to_lowercase().as_str() {
+            "int" | "integer" | "bigint" => DataType::Int,
+            "float" | "double" | "real" => DataType::Float,
+            "text" | "varchar" | "string" => DataType::Text,
+            "bool" | "boolean" => DataType::Bool,
+            other => match catalog.type_by_name(other) {
+                Some((id, _)) => DataType::Ext(id),
+                None => return Err(Error::Binder(format!("unknown type {ty:?}"))),
+            },
+        };
+        cols.push(Column::new(name.clone(), dt));
+    }
+    Ok(Schema::new(cols))
+}
+
+/// Type-check, coerce, and run extension insertion hooks on a row
+/// destined for `meta` (shared by INSERT and UPDATE).
+fn prepare_row(catalog: &Catalog, meta: &crate::catalog::TableMeta, mut row: Row) -> Result<Row> {
+    if row.len() != meta.schema.len() {
+        return Err(Error::Binder(format!(
+            "{} expects {} values, got {}",
+            meta.name,
+            meta.schema.len(),
+            row.len()
+        )));
+    }
+    for (i, col) in meta.schema.columns().iter().enumerate() {
+        // Numeric widening.
+        if col.ty == DataType::Float {
+            if let Datum::Int(v) = row[i] {
+                row[i] = Datum::Float(v as f64);
+            }
+        }
+        match (&row[i], col.ty) {
+            (Datum::Null, _) => {}
+            (d, ty) => {
+                if d.data_type() != Some(ty) {
+                    return Err(Error::Binder(format!(
+                        "column {} expects {}, got {}",
+                        col.name,
+                        ty,
+                        d.data_type().map(|t| t.to_string()).unwrap_or_default()
+                    )));
+                }
+            }
+        }
+        // Extension insertion hook (e.g. UniText phoneme
+        // materialization, §4.2).
+        if let Datum::Ext { ty, bytes } = &row[i] {
+            if let Some(def) = catalog.type_by_id(*ty) {
+                if let Some(hook) = &def.on_insert {
+                    let new_bytes = hook(bytes);
+                    row[i] = Datum::ext(*ty, new_bytes);
+                }
+            }
+        }
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_and_lowercases_outside_strings() {
+        assert_eq!(
+            normalize_sql("SELECT  *\n FROM   T  WHERE v = 'Ab  C'"),
+            "select * from t where v = 'Ab  C'"
+        );
+        assert_eq!(normalize_sql("  select 1  "), "select 1");
+    }
+
+    #[test]
+    fn sessions_share_one_engine() {
+        let engine = Engine::in_memory();
+        let mut s1 = engine.connect();
+        let mut s2 = engine.connect();
+        s1.execute("CREATE TABLE t (id INT)").unwrap();
+        s1.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        let n = s2.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(n[0][0].as_int(), Some(3));
+    }
+
+    #[test]
+    fn session_vars_are_private_to_each_session() {
+        let engine = Engine::in_memory();
+        let mut s1 = engine.connect();
+        let mut s2 = engine.connect();
+        s1.execute("SET max_rows = 5").unwrap();
+        assert_eq!(s1.vars().get_int("max_rows", 0), 5);
+        assert_eq!(s2.vars().get_int("max_rows", 0), 0);
+        let r = s2.execute("SHOW max_rows").unwrap();
+        assert_eq!(r.rows[0][0].as_text(), Some("NULL"));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_flushes_on_ddl() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let hits0 = obs::metrics().plan_cache_hits_total.get();
+        s.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(engine.cached_plan_count(), 1);
+        s.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(obs::metrics().plan_cache_hits_total.get(), hits0 + 1);
+        // Whitespace/case differences hit the same entry.
+        s.execute("select   COUNT(*)  from T").unwrap();
+        assert_eq!(obs::metrics().plan_cache_hits_total.get(), hits0 + 2);
+        // DDL flushes.
+        s.execute("CREATE TABLE u (id INT)").unwrap();
+        assert_eq!(engine.cached_plan_count(), 0);
+        // And the re-planned query is correct.
+        let n = s.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(n[0][0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn plan_cache_respects_session_vars() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        for i in 0..2000 {
+            s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        s.execute("CREATE INDEX t_id ON t (id) USING btree")
+            .unwrap();
+        s.execute("ANALYZE t").unwrap();
+        let q = "SELECT count(*) FROM t WHERE id = 7";
+        let r1 = s.execute(q).unwrap();
+        assert!(r1.explain.unwrap().contains("Index Scan"));
+        // Same SQL, different vars → different key → different plan.
+        s.execute("SET enable_indexscan = 0").unwrap();
+        let r2 = s.execute(q).unwrap();
+        assert!(r2.explain.unwrap().contains("Seq Scan"));
+        // Flipping back re-uses the still-cached first entry.
+        s.execute("SET enable_indexscan = 1").unwrap();
+        let r3 = s.execute(q).unwrap();
+        assert!(r3.explain.unwrap().contains("Index Scan"));
+        assert_eq!(r3.rows[0][0].as_int(), Some(1));
+    }
+
+    #[test]
+    fn analyze_invalidates_cached_plans() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("SELECT count(*) FROM t").unwrap();
+        assert_eq!(engine.cached_plan_count(), 1);
+        s.execute("ANALYZE t").unwrap();
+        assert_eq!(engine.cached_plan_count(), 0);
+    }
+
+    #[test]
+    fn insert_visible_to_cached_plan() {
+        // DML does not invalidate plans (the plan, not the data, is
+        // cached) — a cached plan must still see fresh rows.
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(
+            s.query("SELECT count(*) FROM t").unwrap()[0][0].as_int(),
+            Some(1)
+        );
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        assert_eq!(
+            s.query("SELECT count(*) FROM t").unwrap()[0][0].as_int(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn max_rows_guard_trips_and_clears() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        for i in 0..10 {
+            s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        s.execute("SET max_rows = 5").unwrap();
+        let err = s.query("SELECT id FROM t").unwrap_err();
+        assert!(matches!(err, Error::MaxRows { limit: 5 }), "{err}");
+        // Under the limit passes.
+        assert_eq!(s.query("SELECT id FROM t LIMIT 5").unwrap().len(), 5);
+        // 0 disables the guard.
+        s.execute("SET max_rows = 0").unwrap();
+        assert_eq!(s.query("SELECT id FROM t").unwrap().len(), 10);
+    }
+
+    #[test]
+    fn script_errors_carry_ordinal_and_snippet() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        let err = s
+            .execute_script("CREATE TABLE t (id INT); INSERT INTO t VALUES (1); SELECT nope FROM t")
+            .unwrap_err();
+        match err {
+            Error::Script {
+                ordinal,
+                ref snippet,
+                ..
+            } => {
+                assert_eq!(ordinal, 3);
+                assert!(snippet.contains("SELECT nope"), "{snippet}");
+            }
+            other => panic!("expected Error::Script, got {other}"),
+        }
+        assert!(err.to_string().contains("statement 3"), "{err}");
+    }
+}

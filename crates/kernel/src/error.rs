@@ -18,6 +18,22 @@ pub enum Error {
     Execution(String),
     /// Procedural-language runtime failure.
     Pl(String),
+    /// A statement materialized more rows than the `max_rows` session
+    /// variable allows.
+    MaxRows {
+        /// The configured row limit that was exceeded.
+        limit: u64,
+    },
+    /// A statement inside an `execute_script` batch failed; wraps the
+    /// inner error with the statement's position and text.
+    Script {
+        /// 1-based position of the failing statement in the script.
+        ordinal: usize,
+        /// A (possibly truncated) snippet of the failing statement.
+        snippet: String,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
     /// Underlying OS I/O error.
     Io(std::io::Error),
 }
@@ -31,12 +47,36 @@ impl fmt::Display for Error {
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::Pl(m) => write!(f, "PL error: {m}"),
+            Error::MaxRows { limit } => {
+                write!(
+                    f,
+                    "statement exceeded max_rows = {limit} (raise or unset SET max_rows)"
+                )
+            }
+            Error::Script {
+                ordinal,
+                snippet,
+                source,
+            } => {
+                write!(
+                    f,
+                    "script statement {ordinal} ({snippet:?}) failed: {source}"
+                )
+            }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Script { source, .. } => Some(source.as_ref()),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {

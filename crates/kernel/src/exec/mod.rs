@@ -12,24 +12,47 @@ use crate::plan::{AggFunc, PhysNode, PhysOp};
 use crate::schema::{Row, Schema};
 use crate::storage::{decode_row, BufferPool, HeapFile, TupleId};
 use crate::value::Datum;
-use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A relaxed atomic counter: the statistics cells are written from
+/// whichever thread runs the executor tree, so plans stay `Send` and many
+/// sessions can execute concurrently.  Relaxed ordering suffices — the
+/// values are monotone tallies read after the query completes.
+#[derive(Debug, Default)]
+pub struct StatCell(AtomicU64);
+
+impl StatCell {
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed)
+    }
+
+    /// Add to the value.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+}
 
 /// Runtime counters outside the buffer pool (index traffic, operator calls).
 #[derive(Debug, Default)]
 pub struct ExecStats {
     /// Index nodes visited (charged as page reads in reporting).
-    pub index_node_visits: Cell<u64>,
+    pub index_node_visits: StatCell,
     /// Extension-operator invocations, counted where they happen — in
     /// `Expr::eval`'s ExtOp arm — so the total reconciles with the cost
     /// model's per-tuple charge no matter which operator evaluates the
     /// predicate.
-    pub ext_op_calls: Cell<u64>,
+    pub ext_op_calls: StatCell,
     /// Rows produced by the plan root.
-    pub rows_out: Cell<u64>,
+    pub rows_out: StatCell,
 }
 
 /// Execution context shared by all executors of one query.
@@ -46,7 +69,11 @@ pub struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     fn eval_ctx(&self) -> EvalCtx<'a> {
-        EvalCtx { catalog: self.catalog, session: self.session, stats: Some(self.stats) }
+        EvalCtx {
+            catalog: self.catalog,
+            session: self.session,
+            stats: Some(self.stats),
+        }
     }
 }
 
@@ -54,24 +81,24 @@ impl<'a> ExecCtx<'a> {
 ///
 /// All figures are **inclusive of children** (like PostgreSQL's
 /// `EXPLAIN (ANALYZE, BUFFERS)`): a node's time and page counts cover
-/// everything beneath it.  `Cell`s because executor trees are
-/// single-threaded pull iterators.
+/// everything beneath it.  Atomic cells so instrumented trees stay
+/// `Send` like their uninstrumented counterparts.
 #[derive(Debug, Default)]
 pub struct OpStats {
     /// Rows this node produced (across all loops).
-    pub rows: Cell<u64>,
+    pub rows: StatCell,
     /// Times this node was started (1 + rescans that were actually pulled).
-    pub loops: Cell<u64>,
+    pub loops: StatCell,
     /// Wall-clock nanoseconds spent inside this node and its children.
-    pub time_ns: Cell<u64>,
+    pub time_ns: StatCell,
     /// Buffer-pool page requests attributed to this subtree.
-    pub logical_reads: Cell<u64>,
+    pub logical_reads: StatCell,
     /// Buffer-pool misses attributed to this subtree.
-    pub physical_reads: Cell<u64>,
+    pub physical_reads: StatCell,
     /// Index nodes visited in this subtree.
-    pub index_node_visits: Cell<u64>,
+    pub index_node_visits: StatCell,
     /// Extension-operator (ψ/Ω) evaluations in this subtree.
-    pub ext_op_calls: Cell<u64>,
+    pub ext_op_calls: StatCell,
 }
 
 /// Per-node stats for an instrumented executor tree, in the same
@@ -79,14 +106,14 @@ pub struct OpStats {
 /// outer/left child before inner/right).
 pub struct Instrumentation {
     /// One entry per plan node, pre-order.
-    pub per_node: Vec<Rc<OpStats>>,
+    pub per_node: Vec<Arc<OpStats>>,
 }
 
 /// Wraps an executor, attributing per-`next` deltas of the shared
 /// query counters (pool I/O, index visits, ext-op calls) to this node.
 struct InstrumentedExec {
     inner: Box<dyn Executor>,
-    stats: Rc<OpStats>,
+    stats: Arc<OpStats>,
     /// True before the first `next` of each loop (start or post-rescan).
     fresh: bool,
 }
@@ -99,7 +126,7 @@ impl Executor for InstrumentedExec {
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
         if self.fresh {
             self.fresh = false;
-            self.stats.loops.set(self.stats.loops.get() + 1);
+            self.stats.loops.add(1);
         }
         let io_before = ctx.pool.stats();
         let inv_before = ctx.stats.index_node_visits.get();
@@ -109,14 +136,15 @@ impl Executor for InstrumentedExec {
         let elapsed = start.elapsed().as_nanos() as u64;
         let io = ctx.pool.stats().since(&io_before);
         let s = &self.stats;
-        s.time_ns.set(s.time_ns.get() + elapsed);
-        s.logical_reads.set(s.logical_reads.get() + io.logical_reads);
-        s.physical_reads.set(s.physical_reads.get() + io.physical_reads);
+        s.time_ns.add(elapsed);
+        s.logical_reads.add(io.logical_reads);
+        s.physical_reads.add(io.physical_reads);
         s.index_node_visits
-            .set(s.index_node_visits.get() + (ctx.stats.index_node_visits.get() - inv_before));
-        s.ext_op_calls.set(s.ext_op_calls.get() + (ctx.stats.ext_op_calls.get() - ext_before));
+            .add(ctx.stats.index_node_visits.get() - inv_before);
+        s.ext_op_calls
+            .add(ctx.stats.ext_op_calls.get() - ext_before);
         if let Ok(Some(_)) = &out {
-            s.rows.set(s.rows.get() + 1);
+            s.rows.add(1);
         }
         out
     }
@@ -128,7 +156,10 @@ impl Executor for InstrumentedExec {
 }
 
 /// A pull-based operator.
-pub trait Executor {
+///
+/// `Send` so a built executor tree can run on whichever thread owns the
+/// session — the cached-plan execution path hands trees across threads.
+pub trait Executor: Send {
     /// Output schema.
     fn schema(&self) -> &Schema;
     /// Produce the next row, or `None` at end of stream.
@@ -150,7 +181,9 @@ pub fn build_instrumented(
     node: &PhysNode,
     ctx: &ExecCtx<'_>,
 ) -> Result<(Box<dyn Executor>, Instrumentation)> {
-    let mut instr = Instrumentation { per_node: Vec::new() };
+    let mut instr = Instrumentation {
+        per_node: Vec::new(),
+    };
     let exec = build_executor_impl(node, ctx, Some(&mut instr))?;
     Ok((exec, instr))
 }
@@ -163,8 +196,8 @@ fn build_executor_impl(
     // Register this node BEFORE building children so `per_node` matches
     // the pre-order of `explain` lines.
     let op_stats = instr.as_deref_mut().map(|i| {
-        let s = Rc::new(OpStats::default());
-        i.per_node.push(Rc::clone(&s));
+        let s = Arc::new(OpStats::default());
+        i.per_node.push(Arc::clone(&s));
         s
     });
     let exec: Box<dyn Executor> = match &node.op {
@@ -172,7 +205,14 @@ fn build_executor_impl(
             let meta = ctx.catalog.table(table)?;
             Box::new(SeqScanExec::new(meta, filter.clone()))
         }
-        PhysOp::IndexScan { table, index, strategy, probe, extra, residual } => {
+        PhysOp::IndexScan {
+            table,
+            index,
+            strategy,
+            probe,
+            extra,
+            residual,
+        } => {
             let meta = ctx.catalog.table(table)?;
             let idx = ctx
                 .catalog
@@ -198,7 +238,12 @@ fn build_executor_impl(
             exprs: exprs.clone(),
             schema: node.schema.clone(),
         }),
-        PhysOp::NlJoin { outer, inner, predicate, materialize_inner } => Box::new(NlJoinExec {
+        PhysOp::NlJoin {
+            outer,
+            inner,
+            predicate,
+            materialize_inner,
+        } => Box::new(NlJoinExec {
             outer: build_executor_impl(outer, ctx, instr.as_deref_mut())?,
             inner: build_executor_impl(inner, ctx, instr.as_deref_mut())?,
             predicate: predicate.clone(),
@@ -209,21 +254,29 @@ fn build_executor_impl(
             inner_pos: 0,
             started: false,
         }),
-        PhysOp::HashJoin { left, right, left_key, right_key, residual } => {
-            Box::new(HashJoinExec {
-                left: build_executor_impl(left, ctx, instr.as_deref_mut())?,
-                right: build_executor_impl(right, ctx, instr.as_deref_mut())?,
-                left_key: left_key.clone(),
-                right_key: right_key.clone(),
-                residual: residual.clone(),
-                schema: node.schema.clone(),
-                table: None,
-                probe_row: None,
-                matches: Vec::new(),
-                match_pos: 0,
-            })
-        }
-        PhysOp::Aggregate { input, group_by, aggs } => Box::new(AggregateExec {
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => Box::new(HashJoinExec {
+            left: build_executor_impl(left, ctx, instr.as_deref_mut())?,
+            right: build_executor_impl(right, ctx, instr.as_deref_mut())?,
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+            residual: residual.clone(),
+            schema: node.schema.clone(),
+            table: None,
+            probe_row: None,
+            matches: Vec::new(),
+            match_pos: 0,
+        }),
+        PhysOp::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Box::new(AggregateExec {
             input: build_executor_impl(input, ctx, instr.as_deref_mut())?,
             group_by: group_by.clone(),
             aggs: aggs.clone(),
@@ -248,16 +301,31 @@ fn build_executor_impl(
         }),
     };
     Ok(match op_stats {
-        Some(stats) => Box::new(InstrumentedExec { inner: exec, stats, fresh: true }),
+        Some(stats) => Box::new(InstrumentedExec {
+            inner: exec,
+            stats,
+            fresh: true,
+        }),
         None => exec,
     })
 }
 
+/// Session variable bounding how many rows a statement may materialize.
+pub const MAX_ROWS_VAR: &str = "max_rows";
+
 /// Run a plan to completion, collecting all rows.
+///
+/// Honors the `max_rows` session variable (0 or unset = unlimited): a
+/// runaway SELECT fails with [`Error::MaxRows`] instead of materializing
+/// an unbounded `Vec<Row>`.
 pub fn run_to_vec(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
+    let max_rows = ctx.session.get_int(MAX_ROWS_VAR, 0).max(0) as u64;
     let mut exec = build_executor(node, ctx)?;
     let mut out = Vec::new();
     while let Some(row) = exec.next(ctx)? {
+        if max_rows > 0 && out.len() as u64 >= max_rows {
+            return Err(Error::MaxRows { limit: max_rows });
+        }
         out.push(row);
     }
     ctx.stats.rows_out.set(out.len() as u64);
@@ -277,7 +345,14 @@ struct SeqScanExec {
 
 impl SeqScanExec {
     fn new(meta: Arc<TableMeta>, filter: Option<Expr>) -> Self {
-        SeqScanExec { meta, filter, page: 0, page_rows: Vec::new(), row_pos: 0, n_pages: None }
+        SeqScanExec {
+            meta,
+            filter,
+            page: 0,
+            page_rows: Vec::new(),
+            row_pos: 0,
+            n_pages: None,
+        }
     }
 
     fn load_page(&mut self, ctx: &ExecCtx<'_>) -> Result<bool> {
@@ -295,11 +370,13 @@ impl SeqScanExec {
         let arity = self.meta.schema.len();
         let file = self.meta.heap.file_id();
         self.page_rows.clear();
-        let rows: Result<Vec<Row>> = ctx.pool.with_page(file, self.page, |buf| {
-            HeapFile::page_tuples(buf)
-                .map(|(_, t)| decode_row(t, arity))
-                .collect()
-        })?;
+        // Copy the page image out under the pool mutex and decode outside
+        // it: row decoding is the CPU-heavy part of a scan, and holding the
+        // (pool-wide) lock through it would serialize concurrent sessions.
+        let img: Vec<u8> = ctx.pool.with_page(file, self.page, |buf| buf.to_vec())?;
+        let rows: Result<Vec<Row>> = HeapFile::page_tuples(&img)
+            .map(|(_, t)| decode_row(t, arity))
+            .collect();
         self.page_rows = rows?;
         self.page += 1;
         self.row_pos = 0;
@@ -364,7 +441,16 @@ impl IndexScanExec {
         extra: Datum,
         residual: Option<Expr>,
     ) -> Self {
-        IndexScanExec { meta, index, strategy, probe, extra, residual, tids: None, pos: 0 }
+        IndexScanExec {
+            meta,
+            index,
+            strategy,
+            probe,
+            extra,
+            residual,
+            tids: None,
+            pos: 0,
+        }
     }
 }
 
@@ -375,11 +461,17 @@ impl Executor for IndexScanExec {
 
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
         if self.tids.is_none() {
-            let search = self.index.instance.lock().search(&self.strategy, &self.probe, &self.extra)?;
+            let search =
+                self.index
+                    .instance
+                    .read()
+                    .search(&self.strategy, &self.probe, &self.extra)?;
             ctx.stats
                 .index_node_visits
                 .set(ctx.stats.index_node_visits.get() + search.node_visits);
-            crate::obs::metrics().index_node_visits_total.add(search.node_visits);
+            crate::obs::metrics()
+                .index_node_visits_total
+                .add(search.node_visits);
             self.tids = Some(search.tids);
             self.pos = 0;
         }
@@ -681,7 +773,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        AggState { count: 0, sum: 0.0, min: None, max: None }
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, v: &Datum) {
@@ -692,11 +789,19 @@ impl AggState {
         if let Some(f) = v.as_float() {
             self.sum += f;
         }
-        let better_min = self.min.as_ref().map(|m| v.cmp_sql(m).is_lt()).unwrap_or(true);
+        let better_min = self
+            .min
+            .as_ref()
+            .map(|m| v.cmp_sql(m).is_lt())
+            .unwrap_or(true);
         if better_min {
             self.min = Some(v.clone());
         }
-        let better_max = self.max.as_ref().map(|m| v.cmp_sql(m).is_gt()).unwrap_or(true);
+        let better_max = self
+            .max
+            .as_ref()
+            .map(|m| v.cmp_sql(m).is_gt())
+            .unwrap_or(true);
         if better_max {
             self.max = Some(v.clone());
         }

@@ -84,14 +84,26 @@ pub enum ArithOp {
 #[derive(Debug, Clone)]
 pub enum Expr {
     /// Column reference (index into the input schema).
-    ColRef { index: usize, ty: DataType, name: String },
+    ColRef {
+        index: usize,
+        ty: DataType,
+        name: String,
+    },
     /// Literal constant.
     Literal(Datum),
     /// Comparison; extension operands compare through their registered
     /// support function (text-component semantics for UniText, §3.2.1).
-    Cmp { op: CmpOp, left: Box<Expr>, right: Box<Expr> },
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Arithmetic.
-    Arith { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Boolean AND.
     And(Box<Expr>, Box<Expr>),
     /// Boolean OR.
@@ -200,7 +212,12 @@ impl Expr {
             Expr::Or(l, r) => Expr::Or(Box::new(map(l)), Box::new(map(r))),
             Expr::Not(e) => Expr::Not(Box::new(map(e))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(map(e))),
-            Expr::ExtOp { name, left, right, modifiers } => Expr::ExtOp {
+            Expr::ExtOp {
+                name,
+                left,
+                right,
+                modifiers,
+            } => Expr::ExtOp {
                 name: name.clone(),
                 left: Box::new(map(left)),
                 right: Box::new(map(right)),
@@ -250,7 +267,11 @@ pub struct EvalCtx<'a> {
 impl<'a> EvalCtx<'a> {
     /// A context without runtime counters (DML paths, constant folding).
     pub fn new(catalog: &'a Catalog, session: &'a SessionVars) -> EvalCtx<'a> {
-        EvalCtx { catalog, session, stats: None }
+        EvalCtx {
+            catalog,
+            session,
+            stats: None,
+        }
     }
 }
 
@@ -281,7 +302,11 @@ impl Expr {
                     // Mixed ext-vs-text goes through the type's text
                     // comparator (UniText: its text component).
                     (Datum::Ext { ty, bytes }, Datum::Text(s)) => {
-                        match ctx.catalog.type_by_id(*ty).and_then(|d| d.compare_text.clone()) {
+                        match ctx
+                            .catalog
+                            .type_by_id(*ty)
+                            .and_then(|d| d.compare_text.clone())
+                        {
                             Some(cmp) => cmp(bytes, s),
                             None => {
                                 return Err(Error::Execution(format!(
@@ -292,7 +317,11 @@ impl Expr {
                         }
                     }
                     (Datum::Text(s), Datum::Ext { ty, bytes }) => {
-                        match ctx.catalog.type_by_id(*ty).and_then(|d| d.compare_text.clone()) {
+                        match ctx
+                            .catalog
+                            .type_by_id(*ty)
+                            .and_then(|d| d.compare_text.clone())
+                        {
                             Some(cmp) => cmp(bytes, s).reverse(),
                             None => {
                                 return Err(Error::Execution(format!(
@@ -346,7 +375,12 @@ impl Expr {
                 }
             }),
             Expr::IsNull(e) => Ok(Datum::Bool(e.eval(row, ctx)?.is_null())),
-            Expr::ExtOp { name, left, right, modifiers } => {
+            Expr::ExtOp {
+                name,
+                left,
+                right,
+                modifiers,
+            } => {
                 let op = ctx
                     .catalog
                     .operator(name)
@@ -357,7 +391,7 @@ impl Expr {
                     return Ok(Datum::Null);
                 }
                 if let Some(stats) = ctx.stats {
-                    stats.ext_op_calls.set(stats.ext_op_calls.get() + 1);
+                    stats.ext_op_calls.add(1);
                 }
                 crate::obs::metrics().ext_op_calls_total.inc();
                 let verdict = (op.eval)(&l, &r, ctx.session)?;
@@ -407,8 +441,12 @@ fn eval_arith(op: ArithOp, l: &Datum, r: &Datum) -> Result<Datum> {
             }
         }),
         _ => {
-            let a = l.as_float().ok_or_else(|| Error::Execution(format!("non-numeric {l}")))?;
-            let b = r.as_float().ok_or_else(|| Error::Execution(format!("non-numeric {r}")))?;
+            let a = l
+                .as_float()
+                .ok_or_else(|| Error::Execution(format!("non-numeric {l}")))?;
+            let b = r
+                .as_float()
+                .ok_or_else(|| Error::Execution(format!("non-numeric {r}")))?;
             Ok(match op {
                 ArithOp::Add => Float(a + b),
                 ArithOp::Sub => Float(a - b),
@@ -446,7 +484,12 @@ impl fmt::Display for Expr {
             Expr::Or(l, r) => write!(f, "({l} OR {r})"),
             Expr::Not(e) => write!(f, "(NOT {e})"),
             Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
-            Expr::ExtOp { name, left, right, modifiers } => {
+            Expr::ExtOp {
+                name,
+                left,
+                right,
+                modifiers,
+            } => {
                 write!(f, "({left} {} {right}", name.to_uppercase())?;
                 if !modifiers.is_empty() {
                     write!(f, " IN ({})", modifiers.join(", "))?;
@@ -474,7 +517,11 @@ mod tests {
     use std::sync::Arc;
 
     fn col(i: usize) -> Expr {
-        Expr::ColRef { index: i, ty: DataType::Int, name: format!("c{i}") }
+        Expr::ColRef {
+            index: i,
+            ty: DataType::Int,
+            name: format!("c{i}"),
+        }
     }
 
     #[test]
@@ -483,9 +530,17 @@ mod tests {
         let sess = SessionVars::new();
         let c = EvalCtx::new(&cat, &sess);
         let row = vec![Datum::Int(5), Datum::Null];
-        let e = Expr::Cmp { op: CmpOp::Gt, left: Box::new(col(0)), right: Box::new(Expr::int(3)) };
+        let e = Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(col(0)),
+            right: Box::new(Expr::int(3)),
+        };
         assert!(e.eval(&row, &c).unwrap().is_true());
-        let n = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(1)), right: Box::new(Expr::int(3)) };
+        let n = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(1)),
+            right: Box::new(Expr::int(3)),
+        };
         assert!(n.eval(&row, &c).unwrap().is_null());
         let isn = Expr::IsNull(Box::new(col(1)));
         assert!(isn.eval(&row, &c).unwrap().is_true());
@@ -499,11 +554,17 @@ mod tests {
         let row = vec![Datum::Null];
         let t = Expr::Literal(Datum::Bool(true));
         let fls = Expr::Literal(Datum::Bool(false));
-        let null_cmp =
-            Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(1)) };
+        let null_cmp = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(0)),
+            right: Box::new(Expr::int(1)),
+        };
         // NULL AND false = false ; NULL AND true = NULL ; NULL OR true = true
         let and_false = Expr::And(Box::new(null_cmp.clone()), Box::new(fls));
-        assert!(matches!(and_false.eval(&row, &c).unwrap(), Datum::Bool(false)));
+        assert!(matches!(
+            and_false.eval(&row, &c).unwrap(),
+            Datum::Bool(false)
+        ));
         let and_true = Expr::And(Box::new(null_cmp.clone()), Box::new(t.clone()));
         assert!(and_true.eval(&row, &c).unwrap().is_null());
         let or_true = Expr::Or(Box::new(null_cmp), Box::new(t));
@@ -545,9 +606,14 @@ mod tests {
             operand_type: DataType::Int,
             eval: Arc::new(|l, r, s| {
                 let k = s.get_int("near.threshold", 0);
-                Ok(Datum::Bool((l.as_int().unwrap_or(0) - r.as_int().unwrap_or(0)).abs() <= k))
+                Ok(Datum::Bool(
+                    (l.as_int().unwrap_or(0) - r.as_int().unwrap_or(0)).abs() <= k,
+                ))
             }),
-            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            kind: OperatorKind {
+                commutative: true,
+                distributes_over_union: true,
+            },
             per_tuple_cost: Arc::new(|_, _| 1.0),
             selectivity: Arc::new(|_| 0.1),
             index_strategy: None,
@@ -578,14 +644,19 @@ mod tests {
             name: "tagged".into(),
             operand_type: DataType::Text,
             eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
-            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            kind: OperatorKind {
+                commutative: true,
+                distributes_over_union: true,
+            },
             per_tuple_cost: Arc::new(|_, _| 1.0),
             selectivity: Arc::new(|_| 1.0),
             index_strategy: None,
             index_extra: None,
             // Left operand "passes" only if its text appears in the list.
             modifier_filter: Some(Arc::new(|l, mods| {
-                l.as_text().map(|t| mods.iter().any(|m| m == t)).unwrap_or(false)
+                l.as_text()
+                    .map(|t| mods.iter().any(|m| m == t))
+                    .unwrap_or(false)
             })),
             index_scan_fraction: None,
         });
@@ -597,9 +668,15 @@ mod tests {
             right: Box::new(Expr::text("x")),
             modifiers: mods,
         };
-        assert!(mk("en", vec!["en".into(), "fr".into()]).eval(&[], &c).unwrap().is_true());
+        assert!(mk("en", vec!["en".into(), "fr".into()])
+            .eval(&[], &c)
+            .unwrap()
+            .is_true());
         assert!(!mk("ta", vec!["en".into()]).eval(&[], &c).unwrap().is_true());
-        assert!(mk("ta", vec![]).eval(&[], &c).unwrap().is_true(), "no modifiers = no filter");
+        assert!(
+            mk("ta", vec![]).eval(&[], &c).unwrap().is_true(),
+            "no modifiers = no filter"
+        );
     }
 
     #[test]
@@ -613,18 +690,31 @@ mod tests {
         });
         let sess = SessionVars::new();
         let c = EvalCtx::new(&cat, &sess);
-        let ok = Expr::Func { name: "plus1".into(), args: vec![Expr::int(41)] };
+        let ok = Expr::Func {
+            name: "plus1".into(),
+            args: vec![Expr::int(41)],
+        };
         assert!(ok.eval(&[], &c).unwrap().eq_sql(&Datum::Int(42)));
-        let bad = Expr::Func { name: "plus1".into(), args: vec![] };
+        let bad = Expr::Func {
+            name: "plus1".into(),
+            args: vec![],
+        };
         assert!(bad.eval(&[], &c).is_err());
-        let missing = Expr::Func { name: "nope".into(), args: vec![] };
+        let missing = Expr::Func {
+            name: "nope".into(),
+            args: vec![],
+        };
         assert!(missing.eval(&[], &c).is_err());
     }
 
     #[test]
     fn column_collection_and_shift() {
         let e = Expr::And(
-            Box::new(Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(2)), right: Box::new(col(0)) }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                left: Box::new(col(2)),
+                right: Box::new(col(0)),
+            }),
             Box::new(Expr::Cmp {
                 op: CmpOp::Lt,
                 left: Box::new(col(2)),
@@ -651,7 +741,14 @@ mod tests {
 
     #[test]
     fn cmp_flip_is_involutive_mirror() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
         assert!(CmpOp::Lt.flip().matches(Ordering::Greater));

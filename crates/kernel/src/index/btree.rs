@@ -52,7 +52,11 @@ impl BTreeIndex {
     /// Empty tree.
     pub fn new() -> Self {
         BTreeIndex {
-            arena: vec![Node::Leaf(Leaf { keys: Vec::new(), tids: Vec::new(), next: None })],
+            arena: vec![Node::Leaf(Leaf {
+                keys: Vec::new(),
+                tids: Vec::new(),
+                next: None,
+            })],
             root: 0,
             len: 0,
             height: 1,
@@ -80,7 +84,9 @@ impl BTreeIndex {
                     // Leftmost child whose range can contain the key
                     // (invariant: children[i] ≤ keys[i] ≤ children[i+1],
                     // non-strict on both sides because of duplicates).
-                    let pos = int.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                    let pos = int
+                        .keys
+                        .partition_point(|k| k.cmp_sql(key) == Ordering::Less);
                     idx = int.children[pos];
                 }
             }
@@ -102,7 +108,9 @@ impl BTreeIndex {
     fn insert_rec(&mut self, node: usize, key: &Datum, tid: TupleId) -> Option<(Datum, usize)> {
         match &mut self.arena[node] {
             Node::Leaf(leaf) => {
-                let pos = leaf.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                let pos = leaf
+                    .keys
+                    .partition_point(|k| k.cmp_sql(key) == Ordering::Less);
                 leaf.keys.insert(pos, key.clone());
                 leaf.tids.insert(pos, tid);
                 if leaf.keys.len() <= FANOUT {
@@ -118,11 +126,17 @@ impl BTreeIndex {
                 if let Node::Leaf(leaf) = &mut self.arena[node] {
                     leaf.next = Some(right_idx);
                 }
-                self.arena.push(Node::Leaf(Leaf { keys: right_keys, tids: right_tids, next: old_next }));
+                self.arena.push(Node::Leaf(Leaf {
+                    keys: right_keys,
+                    tids: right_tids,
+                    next: old_next,
+                }));
                 Some((sep, right_idx))
             }
             Node::Internal(int) => {
-                let pos = int.keys.partition_point(|k| k.cmp_sql(key) == Ordering::Less);
+                let pos = int
+                    .keys
+                    .partition_point(|k| k.cmp_sql(key) == Ordering::Less);
                 let child = int.children[pos];
                 if let Some((sep, new_child)) = self.insert_rec(child, key, tid) {
                     if let Node::Internal(int) = &mut self.arena[node] {
@@ -186,7 +200,10 @@ impl BTreeIndex {
 impl IndexInstance for BTreeIndex {
     fn insert(&mut self, key: &Datum, tid: TupleId) -> Result<()> {
         if let Some((sep, right)) = self.insert_rec(self.root, key, tid) {
-            let new_root = Internal { keys: vec![sep], children: vec![self.root, right] };
+            let new_root = Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
             self.arena.push(Node::Internal(new_root));
             self.root = self.arena.len() - 1;
             self.height += 1;
@@ -202,7 +219,9 @@ impl IndexInstance for BTreeIndex {
         let mut visits = 0u64;
         let mut leaf_idx = Some(self.find_leaf(key, &mut visits));
         while let Some(li) = leaf_idx {
-            let Node::Leaf(leaf) = &mut self.arena[li] else { unreachable!() };
+            let Node::Leaf(leaf) = &mut self.arena[li] else {
+                unreachable!()
+            };
             let mut found = None;
             for (i, (k, t)) in leaf.keys.iter().zip(&leaf.tids).enumerate() {
                 match k.cmp_sql(key) {
@@ -393,7 +412,11 @@ mod tests {
             t.insert(&Datum::Int(k as i64), tid(i)).unwrap();
             expected[k as usize] += 1;
         }
-        assert!(t.height() >= 3, "must split internal nodes, height {}", t.height());
+        assert!(
+            t.height() >= 3,
+            "must split internal nodes, height {}",
+            t.height()
+        );
         for k in 0..50i64 {
             let r = t.search("eq", &Datum::Int(k), &Datum::Null).unwrap();
             assert_eq!(r.tids.len(), expected[k as usize], "key {k}");

@@ -34,7 +34,11 @@ pub struct IndexSearch {
 }
 
 /// A live index over one column of one table.
-pub trait IndexInstance: Send {
+///
+/// `Sync` is required so a built instance can sit behind a `RwLock` in the
+/// catalog: searches (`&self`) from concurrent sessions share a read
+/// guard, while maintenance (`&mut self`) takes the write guard.
+pub trait IndexInstance: Send + Sync {
     /// Insert a key → tuple-id entry.
     fn insert(&mut self, key: &Datum, tid: TupleId) -> Result<()>;
 

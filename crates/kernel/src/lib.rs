@@ -32,10 +32,16 @@
 //! * [`obs`] — observability: process-wide metrics registry with
 //!   Prometheus/JSON exposition, per-query trace spans, and the
 //!   per-operator instrumentation behind `EXPLAIN ANALYZE`.
-//! * [`db`] — the `Database` facade tying everything together.
+//! * [`engine`] — the shared, thread-safe [`engine::Engine`] (catalog +
+//!   buffer pool + WAL + plan cache) and per-connection
+//!   [`engine::Session`]s; SELECTs from different sessions run in
+//!   parallel, writers are serialized.
+//! * [`db`] — the single-connection `Database` facade, now a thin shim
+//!   over `Engine::connect()`.
 
 pub mod catalog;
 pub mod db;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -50,6 +56,7 @@ pub mod storage;
 pub mod value;
 
 pub use db::{Database, QueryResult};
+pub use engine::{Engine, Session};
 pub use error::{Error, Result};
 pub use schema::{Column, Schema};
 pub use value::{DataType, Datum, ExtTypeId};

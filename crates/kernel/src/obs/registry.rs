@@ -79,15 +79,23 @@ impl Histogram {
 
     /// Record one observation.
     pub fn observe(&self, v: f64) {
-        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // CAS loop: atomics have no native f64 add.
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
@@ -153,7 +161,9 @@ impl Default for Registry {
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
-        Registry { entries: Mutex::new(Vec::new()) }
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
     }
 
     fn position(entries: &[Entry], name: &str) -> Option<usize> {
@@ -217,12 +227,21 @@ impl Registry {
 
     /// Register a gauge whose value is computed by `f` at render time
     /// (derived metrics such as hit ratios).
-    pub fn derived_gauge(&self, name: &str, help: &str, f: impl Fn() -> f64 + Send + Sync + 'static) {
+    pub fn derived_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
         let mut entries = self.entries.lock();
         if Self::position(&entries, name).is_some() {
             return;
         }
-        entries.push(Entry { name: name.into(), help: help.into(), handle: Handle::Derived(Arc::new(f)) });
+        entries.push(Entry {
+            name: name.into(),
+            help: help.into(),
+            handle: Handle::Derived(Arc::new(f)),
+        });
     }
 
     /// Flat `(name, value)` snapshot.  Histograms contribute
@@ -267,7 +286,11 @@ impl Registry {
                 Handle::Histogram(h) => {
                     let _ = writeln!(out, "# TYPE {} histogram", e.name);
                     for (bound, cum) in h.cumulative_buckets() {
-                        let le = if bound.is_infinite() { "+Inf".to_string() } else { fmt_f64(bound) };
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            fmt_f64(bound)
+                        };
                         let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", e.name, le, cum);
                     }
                     let _ = writeln!(out, "{}_sum {}", e.name, fmt_f64(h.sum()));
@@ -289,13 +312,28 @@ impl Registry {
             }
             match &e.handle {
                 Handle::Counter(c) => {
-                    let _ = write!(out, "\"{}\":{{\"type\":\"counter\",\"value\":{}}}", e.name, c.get());
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"type\":\"counter\",\"value\":{}}}",
+                        e.name,
+                        c.get()
+                    );
                 }
                 Handle::Gauge(g) => {
-                    let _ = write!(out, "\"{}\":{{\"type\":\"gauge\",\"value\":{}}}", e.name, fmt_f64(g.get()));
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"type\":\"gauge\",\"value\":{}}}",
+                        e.name,
+                        fmt_f64(g.get())
+                    );
                 }
                 Handle::Derived(f) => {
-                    let _ = write!(out, "\"{}\":{{\"type\":\"gauge\",\"value\":{}}}", e.name, fmt_f64(f()));
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"type\":\"gauge\",\"value\":{}}}",
+                        e.name,
+                        fmt_f64(f())
+                    );
                 }
                 Handle::Histogram(h) => {
                     let _ = write!(
@@ -309,7 +347,11 @@ impl Registry {
                         if j > 0 {
                             out.push(',');
                         }
-                        let le = if bound.is_infinite() { "\"+Inf\"".to_string() } else { fmt_f64(bound) };
+                        let le = if bound.is_infinite() {
+                            "\"+Inf\"".to_string()
+                        } else {
+                            fmt_f64(bound)
+                        };
                         let _ = write!(out, "{{\"le\":{le},\"count\":{cum}}}");
                     }
                     out.push_str("]}");
@@ -386,6 +428,14 @@ pub struct EngineMetrics {
     pub pl_spi_statements_total: Arc<Counter>,
     /// PL rows fetched through SPI cursors.
     pub pl_rows_fetched_total: Arc<Counter>,
+    /// Plan-cache lookups that reused a cached physical plan.
+    pub plan_cache_hits_total: Arc<Counter>,
+    /// Plan-cache lookups that fell through to the planner.
+    pub plan_cache_misses_total: Arc<Counter>,
+    /// Plan-cache flushes caused by DDL / ANALYZE epoch bumps.
+    pub plan_cache_invalidations_total: Arc<Counter>,
+    /// Sessions opened against an engine.
+    pub sessions_opened_total: Arc<Counter>,
 }
 
 /// The engine's metric handles (registered in [`global`] on first use).
@@ -395,8 +445,8 @@ pub fn metrics() -> &'static EngineMetrics {
         let r = global();
         // Query latencies from microseconds to tens of seconds.
         let latency_bounds = [
-            50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
-            250e-3, 500e-3, 1.0, 2.5, 5.0, 10.0,
+            50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3,
+            500e-3, 1.0, 2.5, 5.0, 10.0,
         ];
         let m = EngineMetrics {
             queries_total: r.counter("mlql_queries_total", "Statements executed"),
@@ -406,45 +456,70 @@ pub fn metrics() -> &'static EngineMetrics {
                 &latency_bounds,
             ),
             query_rows_total: r.counter("mlql_query_rows_total", "Rows produced by query roots"),
-            stage_parse_ns_total: r.counter("mlql_stage_parse_ns_total", "Time in parse stage (ns)"),
+            stage_parse_ns_total: r
+                .counter("mlql_stage_parse_ns_total", "Time in parse stage (ns)"),
             stage_bind_ns_total: r.counter("mlql_stage_bind_ns_total", "Time in bind stage (ns)"),
             stage_plan_ns_total: r.counter("mlql_stage_plan_ns_total", "Time in plan stage (ns)"),
             stage_execute_ns_total: r
                 .counter("mlql_stage_execute_ns_total", "Time in execute stage (ns)"),
-            bufferpool_logical_reads_total: r
-                .counter("mlql_bufferpool_logical_reads_total", "Buffer-pool page requests"),
+            bufferpool_logical_reads_total: r.counter(
+                "mlql_bufferpool_logical_reads_total",
+                "Buffer-pool page requests",
+            ),
             bufferpool_physical_reads_total: r
                 .counter("mlql_bufferpool_physical_reads_total", "Buffer-pool misses"),
-            bufferpool_physical_writes_total: r
-                .counter("mlql_bufferpool_physical_writes_total", "Dirty page writebacks"),
+            bufferpool_physical_writes_total: r.counter(
+                "mlql_bufferpool_physical_writes_total",
+                "Dirty page writebacks",
+            ),
             wal_records_total: r.counter("mlql_wal_records_total", "WAL records appended"),
             wal_bytes_total: r.counter("mlql_wal_bytes_total", "WAL bytes appended"),
             index_node_visits_total: r
                 .counter("mlql_index_node_visits_total", "Index nodes visited"),
             ext_op_calls_total: r
                 .counter("mlql_ext_op_calls_total", "Extension-operator evaluations"),
-            psi_distance_calls_total: r
-                .counter("mlql_psi_distance_calls_total", "Psi edit-distance computations"),
-            phoneme_conversions_total: r
-                .counter("mlql_phoneme_conversions_total", "Grapheme-to-phoneme conversions"),
-            phoneme_conversion_ns_total: r
-                .counter("mlql_phoneme_conversion_ns_total", "Time converting phonemes (ns)"),
+            psi_distance_calls_total: r.counter(
+                "mlql_psi_distance_calls_total",
+                "Psi edit-distance computations",
+            ),
+            phoneme_conversions_total: r.counter(
+                "mlql_phoneme_conversions_total",
+                "Grapheme-to-phoneme conversions",
+            ),
+            phoneme_conversion_ns_total: r.counter(
+                "mlql_phoneme_conversion_ns_total",
+                "Time converting phonemes (ns)",
+            ),
             mtree_node_visits_total: r
                 .counter("mlql_mtree_node_visits_total", "M-Tree nodes visited"),
             mtree_distance_computations_total: r.counter(
                 "mlql_mtree_distance_computations_total",
                 "M-Tree metric-distance computations",
             ),
-            taxonomy_closure_cache_hits_total: r
-                .counter("mlql_taxonomy_closure_cache_hits_total", "Omega closure-cache hits"),
-            taxonomy_closure_cache_misses_total: r
-                .counter("mlql_taxonomy_closure_cache_misses_total", "Omega closure-cache misses"),
+            taxonomy_closure_cache_hits_total: r.counter(
+                "mlql_taxonomy_closure_cache_hits_total",
+                "Omega closure-cache hits",
+            ),
+            taxonomy_closure_cache_misses_total: r.counter(
+                "mlql_taxonomy_closure_cache_misses_total",
+                "Omega closure-cache misses",
+            ),
             pl_udf_calls_total: r
                 .counter("mlql_pl_udf_calls_total", "PL function-manager crossings"),
             pl_spi_statements_total: r
                 .counter("mlql_pl_spi_statements_total", "PL SPI statements executed"),
             pl_rows_fetched_total: r
                 .counter("mlql_pl_rows_fetched_total", "PL rows fetched through SPI"),
+            plan_cache_hits_total: r.counter("mlql_plan_cache_hits_total", "Plan-cache hits"),
+            plan_cache_misses_total: r.counter("mlql_plan_cache_misses_total", "Plan-cache misses"),
+            plan_cache_invalidations_total: r.counter(
+                "mlql_plan_cache_invalidations_total",
+                "Plan-cache flushes from DDL/ANALYZE",
+            ),
+            sessions_opened_total: r.counter(
+                "mlql_sessions_opened_total",
+                "Sessions opened against an engine",
+            ),
         };
         // Derived at render time so the fetch path pays nothing.
         let logical = Arc::clone(&m.bufferpool_logical_reads_total);
@@ -527,9 +602,18 @@ mod tests {
         h.observe(1.0);
         let json = r.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
-        assert!(json.contains("\"a_total\":{\"type\":\"counter\",\"value\":3}"), "{json}");
-        assert!(json.contains("\"b\":{\"type\":\"gauge\",\"value\":1.5}"), "{json}");
-        assert!(json.contains("\"buckets\":[{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":1}]"), "{json}");
+        assert!(
+            json.contains("\"a_total\":{\"type\":\"counter\",\"value\":3}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"b\":{\"type\":\"gauge\",\"value\":1.5}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"buckets\":[{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":1}]"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl QueryTrace {
             if i > 0 {
                 out.push(' ');
             }
-            out.push_str(&format!("{}={:.3}ms", s.name, s.duration.as_secs_f64() * 1e3));
+            out.push_str(&format!(
+                "{}={:.3}ms",
+                s.name,
+                s.duration.as_secs_f64() * 1e3
+            ));
         }
         out
     }

@@ -41,7 +41,9 @@ impl CostParams {
         avg_width: f64,
     ) -> f64 {
         match expr {
-            Expr::ExtOp { name, left, right, .. } => {
+            Expr::ExtOp {
+                name, left, right, ..
+            } => {
                 let base = catalog
                     .operator(name)
                     .map(|op| (op.per_tuple_cost)(session, avg_width))
@@ -194,7 +196,10 @@ mod tests {
             name: "pricey".into(),
             operand_type: DataType::Text,
             eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
-            kind: OperatorKind { commutative: true, distributes_over_union: true },
+            kind: OperatorKind {
+                commutative: true,
+                distributes_over_union: true,
+            },
             per_tuple_cost: Arc::new(|_, w| 50.0 * w),
             selectivity: Arc::new(|_| 0.1),
             index_strategy: None,

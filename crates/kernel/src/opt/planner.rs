@@ -50,7 +50,12 @@ pub fn plan(
     session: &SessionVars,
 ) -> Result<PhysNode> {
     let params = CostParams::default();
-    let p = Planner { catalog, pool, session, params };
+    let p = Planner {
+        catalog,
+        pool,
+        session,
+        params,
+    };
     p.plan_node(logical)
 }
 
@@ -99,27 +104,41 @@ impl Planner<'_> {
                     other => Err(Error::Binder(format!("cannot plan {other:?}"))),
                 }
             }
-            LogicalPlan::Project { input, exprs, schema } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let child = self.plan_node(input)?;
                 let cost = child.est_cost
                     + child.est_rows * self.params.cpu_tuple_cost * exprs.len().max(1) as f64;
                 let rows = child.est_rows;
                 let exprs: Vec<Expr> = exprs.iter().map(|e| self.fold_constants(e)).collect();
                 Ok(PhysNode {
-                    op: PhysOp::Project { input: Box::new(child), exprs },
+                    op: PhysOp::Project {
+                        input: Box::new(child),
+                        exprs,
+                    },
                     est_rows: rows,
                     est_cost: cost,
                     schema: schema.clone(),
                 })
             }
-            LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                schema,
+            } => {
                 let child = self.plan_node(input)?;
                 let rows = if group_by.is_empty() {
                     1.0
                 } else {
                     (child.est_rows * 0.1).max(1.0)
                 };
-                let cost = self.params.aggregate(child.est_cost, child.est_rows, aggs.len());
+                let cost = self
+                    .params
+                    .aggregate(child.est_cost, child.est_rows, aggs.len());
                 Ok(PhysNode {
                     op: PhysOp::Aggregate {
                         input: Box::new(child),
@@ -137,7 +156,10 @@ impl Planner<'_> {
                 let rows = child.est_rows;
                 let schema = child.schema.clone();
                 Ok(PhysNode {
-                    op: PhysOp::Sort { input: Box::new(child), keys: keys.clone() },
+                    op: PhysOp::Sort {
+                        input: Box::new(child),
+                        keys: keys.clone(),
+                    },
                     est_rows: rows,
                     est_cost: cost,
                     schema,
@@ -149,7 +171,10 @@ impl Planner<'_> {
                 let cost = child.est_cost;
                 let schema = child.schema.clone();
                 Ok(PhysNode {
-                    op: PhysOp::Limit { input: Box::new(child), n: *n },
+                    op: PhysOp::Limit {
+                        input: Box::new(child),
+                        n: *n,
+                    },
                     est_rows: rows,
                     est_cost: cost,
                     schema,
@@ -196,7 +221,13 @@ impl Planner<'_> {
                     (pages * 70.0).max(1.0)
                 };
                 let width = meta.schema.len();
-                rels.push(Rel { meta, offset, stats, rows, pages: pages.max(1.0) });
+                rels.push(Rel {
+                    meta,
+                    offset,
+                    stats,
+                    rows,
+                    pages: pages.max(1.0),
+                });
                 Ok(Some(width))
             }
             LogicalPlan::Filter { input, predicate } => {
@@ -209,7 +240,11 @@ impl Planner<'_> {
                 }
                 Ok(Some(width))
             }
-            LogicalPlan::Join { left, right, predicate } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+            } => {
                 let lw = match self.walk(left, offset, rels, conjuncts)? {
                     Some(w) => w,
                     None => return Ok(None),
@@ -255,8 +290,7 @@ impl Planner<'_> {
         // the FROM-clause order — how the Figure 7 experiment forces the
         // paper's Plan 1 vs. Plan 2 comparison.
         let n = rels.len();
-        let orders: Vec<Vec<usize>> = if self.session.get_int("force_join_order", 0) != 0 || n > 5
-        {
+        let orders: Vec<Vec<usize>> = if self.session.get_int("force_join_order", 0) != 0 || n > 5 {
             vec![(0..n).collect()]
         } else {
             permutations(n)
@@ -264,7 +298,11 @@ impl Planner<'_> {
         let mut best: Option<PhysNode> = None;
         for order in orders {
             let candidate = self.build_order(&rels, &conjuncts, &origins, &order)?;
-            if best.as_ref().map(|b| candidate.est_cost < b.est_cost).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| candidate.est_cost < b.est_cost)
+                .unwrap_or(true)
+            {
                 best = Some(candidate);
             }
         }
@@ -299,7 +337,9 @@ impl Planner<'_> {
             let (local, rest): (Vec<Expr>, Vec<Expr>) = remaining.into_iter().partition(|c| {
                 let cols = c.columns();
                 !cols.is_empty()
-                    && cols.iter().all(|&c| c >= rel.offset && c < rel.offset + rel.width())
+                    && cols
+                        .iter()
+                        .all(|&c| c >= rel.offset && c < rel.offset + rel.width())
             });
             remaining = rest;
             let local_rebased: Vec<Expr> = local
@@ -323,10 +363,9 @@ impl Planner<'_> {
                     }
                     let new_width = placed_width + rel.width();
                     // Conjuncts now fully available join left ⋈ rel.
-                    let (applicable, rest): (Vec<Expr>, Vec<Expr>) =
-                        remaining.into_iter().partition(|c| {
-                            c.columns().iter().all(|&c| position[c] != usize::MAX)
-                        });
+                    let (applicable, rest): (Vec<Expr>, Vec<Expr>) = remaining
+                        .into_iter()
+                        .partition(|c| c.columns().iter().all(|&c| position[c] != usize::MAX));
                     remaining = rest;
                     let joined = self.best_join(
                         left,
@@ -352,7 +391,10 @@ impl Planner<'_> {
             let cost = node.est_cost;
             let schema = node.schema.clone();
             node = PhysNode {
-                op: PhysOp::Filter { input: Box::new(node), predicate: pred },
+                op: PhysOp::Filter {
+                    input: Box::new(node),
+                    predicate: pred,
+                },
                 est_rows: rows,
                 est_cost: cost,
                 schema,
@@ -376,7 +418,10 @@ impl Planner<'_> {
             let rows = node.est_rows;
             let cost = node.est_cost + rows * self.params.cpu_tuple_cost;
             node = PhysNode {
-                op: PhysOp::Project { input: Box::new(node), exprs },
+                op: PhysOp::Project {
+                    input: Box::new(node),
+                    exprs,
+                },
                 est_rows: rows,
                 est_cost: cost,
                 schema: Schema::new(cols),
@@ -419,7 +464,9 @@ impl Planner<'_> {
         let remapped: Vec<Expr> = applicable.iter().map(remap).collect();
         let per_pair: f64 = remapped
             .iter()
-            .map(|c| params.predicate_cost(c, self.catalog, self.session, avg_pred_width(right_rel)))
+            .map(|c| {
+                params.predicate_cost(c, self.catalog, self.session, avg_pred_width(right_rel))
+            })
             .sum();
 
         // Hash-join candidate: find an equi-conjunct split across sides.
@@ -429,14 +476,20 @@ impl Planner<'_> {
         // cardinality would make residual-ψ plans look spuriously cheap.
         let mut hash_keys: Option<(Expr, Expr, Vec<Expr>, f64)> = None;
         for (i, c) in remapped.iter().enumerate() {
-            if let Expr::Cmp { op: CmpOp::Eq, left: l, right: r } = c {
+            if let Expr::Cmp {
+                op: CmpOp::Eq,
+                left: l,
+                right: r,
+            } = c
+            {
                 // Extension types define equality through their registered
                 // comparator (UniText: text component only), which raw
                 // Datum hashing cannot honour — hash-joining such keys
                 // would silently drop cross-language matches.  Leave those
                 // conjuncts to the nested-loops path, which evaluates the
                 // comparison through the type's support function.
-                let is_ext = |e: &Expr| matches!(e.data_type(), Some(crate::value::DataType::Ext(_)));
+                let is_ext =
+                    |e: &Expr| matches!(e.data_type(), Some(crate::value::DataType::Ext(_)));
                 if is_ext(l) || is_ext(r) {
                     continue;
                 }
@@ -466,7 +519,11 @@ impl Planner<'_> {
 
         let mut best: Option<PhysNode> = None;
         let mut consider = |node: PhysNode| {
-            if best.as_ref().map(|b| node.est_cost < b.est_cost).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| node.est_cost < b.est_cost)
+                .unwrap_or(true)
+            {
                 best = Some(node);
             }
         };
@@ -497,7 +554,11 @@ impl Planner<'_> {
                     right: Box::new(right.clone()),
                     left_key: lk,
                     right_key: rk,
-                    residual: if residual.is_empty() { None } else { Some(and_all(residual)) },
+                    residual: if residual.is_empty() {
+                        None
+                    } else {
+                        Some(and_all(residual))
+                    },
                 },
                 est_rows: out_rows,
                 est_cost: cost,
@@ -553,7 +614,11 @@ impl Planner<'_> {
                 op: PhysOp::NlJoin {
                     outer: Box::new(left),
                     inner: Box::new(right),
-                    predicate: if remapped.is_empty() { None } else { Some(and_all(remapped)) },
+                    predicate: if remapped.is_empty() {
+                        None
+                    } else {
+                        Some(and_all(remapped))
+                    },
                     materialize_inner: false,
                 },
                 est_rows: out_rows,
@@ -590,7 +655,11 @@ impl Planner<'_> {
 
         let mut best: Option<PhysNode> = None;
         let mut consider = |node: PhysNode| {
-            if best.as_ref().map(|b| node.est_cost < b.est_cost).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| node.est_cost < b.est_cost)
+                .unwrap_or(true)
+            {
                 best = Some(node);
             }
         };
@@ -604,7 +673,11 @@ impl Planner<'_> {
             consider(PhysNode {
                 op: PhysOp::SeqScan {
                     table: rel.meta.name.clone(),
-                    filter: if local.is_empty() { None } else { Some(and_all(local.to_vec())) },
+                    filter: if local.is_empty() {
+                        None
+                    } else {
+                        Some(and_all(local.to_vec()))
+                    },
                 },
                 est_rows: out_rows,
                 est_cost: cost,
@@ -614,7 +687,7 @@ impl Planner<'_> {
 
         // Index scans: one candidate per (conjunct, matching index).
         for idx in self.catalog.indexes_of(rel.meta.id) {
-            let idx_pages = idx.instance.lock().pages() as f64;
+            let idx_pages = idx.instance.read().pages() as f64;
             for (ci, c) in local.iter().enumerate() {
                 let candidate = self.index_candidate(c, rel, &idx, idx_pages, sel_of(c), avg_w);
                 if let Some((strategy, probe, extra, probe_pages, matched, traversal_cpu)) =
@@ -699,11 +772,19 @@ impl Planner<'_> {
                 // Pages: tree height + leaf pages holding the matches.
                 let height = (idx_pages.max(2.0)).log2().ceil().max(1.0);
                 let leaf = (matched / 128.0).ceil();
-                let traversal_cpu =
-                    (height * 7.0 + matched) * self.params.cpu_operator_cost;
-                Some((strategy.to_string(), probe, Datum::Null, height + leaf, matched, traversal_cpu))
+                let traversal_cpu = (height * 7.0 + matched) * self.params.cpu_operator_cost;
+                Some((
+                    strategy.to_string(),
+                    probe,
+                    Datum::Null,
+                    height + leaf,
+                    matched,
+                    traversal_cpu,
+                ))
             }
-            Expr::ExtOp { name, left, right, .. } => {
+            Expr::ExtOp {
+                name, left, right, ..
+            } => {
                 let op = self.catalog.operator(name)?;
                 let (am, strategy) = op.index_strategy.as_ref()?;
                 if &idx.am != am {
@@ -739,7 +820,14 @@ impl Planner<'_> {
                     * frac
                     * (op.per_tuple_cost)(self.session, avg_width)
                     * self.params.cpu_operator_cost;
-                Some((strategy.clone(), probe, extra, (idx_pages * frac).max(1.0), matched, traversal_cpu))
+                Some((
+                    strategy.clone(),
+                    probe,
+                    extra,
+                    (idx_pages * frac).max(1.0),
+                    matched,
+                    traversal_cpu,
+                ))
             }
             _ => None,
         }
@@ -778,7 +866,12 @@ impl Planner<'_> {
             Expr::Or(l, r) => Expr::Or(Box::new(map(l)), Box::new(map(r))),
             Expr::Not(x) => Expr::Not(Box::new(map(x))),
             Expr::IsNull(x) => Expr::IsNull(Box::new(map(x))),
-            Expr::ExtOp { name, left, right, modifiers } => Expr::ExtOp {
+            Expr::ExtOp {
+                name,
+                left,
+                right,
+                modifiers,
+            } => Expr::ExtOp {
                 name: name.clone(),
                 left: Box::new(map(left)),
                 right: Box::new(map(right)),
@@ -873,10 +966,7 @@ mod tests {
         let a = Expr::int(1);
         let b = Expr::int(2);
         let c = Expr::int(3);
-        let e = Expr::And(
-            Box::new(Expr::And(Box::new(a), Box::new(b))),
-            Box::new(c),
-        );
+        let e = Expr::And(Box::new(Expr::And(Box::new(a), Box::new(b))), Box::new(c));
         assert_eq!(split_conjuncts(&e).len(), 3);
         let back = and_all(split_conjuncts(&e));
         assert_eq!(split_conjuncts(&back).len(), 3);

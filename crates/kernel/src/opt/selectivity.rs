@@ -43,7 +43,9 @@ pub fn estimate(
             None => DEFAULT_EQ_SEL,
         },
         Expr::Cmp { op, left, right } => estimate_cmp(*op, left, right, origins),
-        Expr::ExtOp { name, left, right, .. } => {
+        Expr::ExtOp {
+            name, left, right, ..
+        } => {
             let op = match catalog.operator(name) {
                 Some(op) => op,
                 None => return DEFAULT_MISC_SEL,
@@ -60,7 +62,10 @@ pub fn estimate(
             let col_stats = column_of(col_side).and_then(|c| origins.get(c).copied().flatten());
             let (constant, other_stats) = match other_side.as_ref() {
                 Expr::Literal(d) => (Some(d), None),
-                e => (None, column_of(e).and_then(|c| origins.get(c).copied().flatten())),
+                e => (
+                    None,
+                    column_of(e).and_then(|c| origins.get(c).copied().flatten()),
+                ),
             };
             (op.selectivity)(&SelectivityInput {
                 column: col_stats,
@@ -129,7 +134,11 @@ mod tests {
     use crate::value::DataType;
 
     fn col(i: usize) -> Expr {
-        Expr::ColRef { index: i, ty: DataType::Int, name: format!("c{i}") }
+        Expr::ColRef {
+            index: i,
+            ty: DataType::Int,
+            name: format!("c{i}"),
+        }
     }
 
     fn stats_0_to_999() -> ColumnStats {
@@ -143,7 +152,11 @@ mod tests {
         let sess = SessionVars::new();
         let stats = stats_0_to_999();
         let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats)];
-        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(5)) };
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(0)),
+            right: Box::new(Expr::int(5)),
+        };
         let s = estimate(&e, &origins, &cat, &sess);
         assert!((s - 0.001).abs() < 0.0005, "got {s}");
     }
@@ -189,7 +202,11 @@ mod tests {
         let cat = Catalog::new();
         let sess = SessionVars::new();
         let origins: Vec<Option<&ColumnStats>> = vec![None];
-        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(Expr::int(5)) };
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(0)),
+            right: Box::new(Expr::int(5)),
+        };
         assert_eq!(estimate(&e, &origins, &cat, &sess), DEFAULT_EQ_SEL);
     }
 
@@ -199,7 +216,11 @@ mod tests {
         let sess = SessionVars::new();
         let stats = stats_0_to_999();
         let origins: Vec<Option<&ColumnStats>> = vec![Some(&stats), Some(&stats)];
-        let e = Expr::Cmp { op: CmpOp::Eq, left: Box::new(col(0)), right: Box::new(col(1)) };
+        let e = Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(col(0)),
+            right: Box::new(col(1)),
+        };
         let s = estimate(&e, &origins, &cat, &sess);
         assert!((s - 0.001).abs() < 1e-6);
     }

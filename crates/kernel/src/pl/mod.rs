@@ -76,12 +76,20 @@ pub enum PlStmt {
     /// `var := expr`.
     Assign(String, PlExpr),
     /// `IF cond THEN ... [ELSE ...] END IF`.
-    If { cond: PlExpr, then_branch: Vec<PlStmt>, else_branch: Vec<PlStmt> },
+    If {
+        cond: PlExpr,
+        then_branch: Vec<PlStmt>,
+        else_branch: Vec<PlStmt>,
+    },
     /// `WHILE cond LOOP ... END LOOP`.
     While { cond: PlExpr, body: Vec<PlStmt> },
     /// `FOR rowvar IN EXECUTE sql LOOP ... END LOOP` — dynamic SQL through
     /// the SPI; the row variable exposes result columns as fields.
-    ForQuery { var: String, sql: PlExpr, body: Vec<PlStmt> },
+    ForQuery {
+        var: String,
+        sql: PlExpr,
+        body: Vec<PlStmt>,
+    },
     /// `RETURN NEXT (exprs...)` — append a row to the function's result set.
     ReturnNext(Vec<PlExpr>),
     /// `RETURN` — finish.
@@ -138,7 +146,11 @@ pub struct PlRuntime<'a> {
 impl<'a> PlRuntime<'a> {
     /// New runtime over a database.
     pub fn new(db: &'a mut Database) -> Self {
-        PlRuntime { db, stats: PlStats::default(), functions: HashMap::new() }
+        PlRuntime {
+            db,
+            stats: PlStats::default(),
+            functions: HashMap::new(),
+        }
     }
 
     /// Register a PL function; `Call(name, ...)` resolves local functions
@@ -196,7 +208,11 @@ impl<'a> PlRuntime<'a> {
                     let v = self.eval(expr, env)?;
                     env.insert(name.clone(), PlValue::Scalar(v));
                 }
-                PlStmt::If { cond, then_branch, else_branch } => {
+                PlStmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let branch = if self.eval(cond, env)?.is_true() {
                         then_branch
                     } else {
@@ -221,8 +237,12 @@ impl<'a> PlRuntime<'a> {
                     self.stats.spi_statements += 1;
                     crate::obs::metrics().pl_spi_statements_total.inc();
                     let result = self.db.execute(&sql_text)?;
-                    let names: Vec<String> =
-                        result.schema.columns().iter().map(|c| c.name.clone()).collect();
+                    let names: Vec<String> = result
+                        .schema
+                        .columns()
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect();
                     for row in result.rows {
                         self.stats.rows_fetched += 1;
                         crate::obs::metrics().pl_rows_fetched_total.inc();
@@ -301,9 +321,9 @@ impl<'a> PlRuntime<'a> {
             PlExpr::Const(d) => Ok(d.clone()),
             PlExpr::Var(name) => match env.get(name) {
                 Some(PlValue::Scalar(d)) => Ok(d.clone()),
-                Some(PlValue::Row(_)) | Some(PlValue::List(_)) => {
-                    Err(Error::Pl(format!("{name} is not a scalar; use a field or index access")))
-                }
+                Some(PlValue::Row(_)) | Some(PlValue::List(_)) => Err(Error::Pl(format!(
+                    "{name} is not a scalar; use a field or index access"
+                ))),
                 None => Err(Error::Pl(format!("undefined variable {name:?}"))),
             },
             PlExpr::Field(var, field) => match env.get(var) {
@@ -366,8 +386,10 @@ impl<'a> PlRuntime<'a> {
                 let lv = self.eval(l, env)?;
                 let rv = self.eval(r, env)?;
                 let (a, b) = (
-                    lv.as_float().ok_or_else(|| Error::Pl(format!("non-numeric {lv}")))?,
-                    rv.as_float().ok_or_else(|| Error::Pl(format!("non-numeric {rv}")))?,
+                    lv.as_float()
+                        .ok_or_else(|| Error::Pl(format!("non-numeric {lv}")))?,
+                    rv.as_float()
+                        .ok_or_else(|| Error::Pl(format!("non-numeric {rv}")))?,
                 );
                 let result = match op {
                     ArithOp::Add => a + b,
@@ -513,13 +535,16 @@ mod tests {
     fn setup() -> Database {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+            .unwrap();
         db.catalog_mut().register_function(FuncDef {
             name: "strlen".into(),
             arity: 1,
             ret: Some(crate::value::DataType::Int),
             eval: Arc::new(|args, _| {
-                Ok(Datum::Int(args[0].as_text().map(|s| s.len() as i64).unwrap_or(0)))
+                Ok(Datum::Int(
+                    args[0].as_text().map(|s| s.len() as i64).unwrap_or(0),
+                ))
             }),
         });
         db
@@ -608,10 +633,7 @@ mod tests {
                 PlStmt::ForQuery {
                     var: "r".into(),
                     sql: text("SELECT id FROM t ORDER BY id"),
-                    body: vec![
-                        PlStmt::ReturnNext(vec![field("r", "id")]),
-                        PlStmt::Return,
-                    ],
+                    body: vec![PlStmt::ReturnNext(vec![field("r", "id")]), PlStmt::Return],
                 },
                 PlStmt::ReturnNext(vec![int(-1)]),
             ],
@@ -646,7 +668,11 @@ mod tests {
             body: vec![PlStmt::ReturnNext(vec![var("nope")])],
         };
         assert!(rt.call(&bad_var, &[]).is_err());
-        let bad_arity = PlFunction { name: "f".into(), params: vec!["x".into()], body: vec![] };
+        let bad_arity = PlFunction {
+            name: "f".into(),
+            params: vec!["x".into()],
+            body: vec![],
+        };
         assert!(rt.call(&bad_arity, &[]).is_err());
     }
 }

@@ -49,7 +49,10 @@ pub fn parse_function(source: &str) -> Result<PlFunction> {
     p.expect_kw("end")?;
     p.eat_sym(";");
     if p.pos < p.tokens.len() {
-        return Err(Error::Parse(format!("trailing tokens: {:?}", p.tokens[p.pos])));
+        return Err(Error::Parse(format!(
+            "trailing tokens: {:?}",
+            p.tokens[p.pos]
+        )));
     }
     Ok(PlFunction { name, params, body })
 }
@@ -94,7 +97,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("PL: expected {kw:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "PL: expected {kw:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -102,7 +108,10 @@ impl Parser {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("PL: expected {s:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "PL: expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -113,7 +122,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(Error::Parse(format!("PL: expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "PL: expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -136,11 +147,19 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_kw("then")?;
             let then_branch = self.block(&["else", "end"])?;
-            let else_branch = if self.eat_kw("else") { self.block(&["end"])? } else { vec![] };
+            let else_branch = if self.eat_kw("else") {
+                self.block(&["end"])?
+            } else {
+                vec![]
+            };
             self.expect_kw("end")?;
             self.expect_kw("if")?;
             self.expect_sym(";")?;
-            return Ok(PlStmt::If { cond, then_branch, else_branch });
+            return Ok(PlStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.eat_kw("while") {
             let cond = self.expr()?;
@@ -356,9 +375,9 @@ impl Parser {
                     }
                     self.expect_sym(")")?;
                     return match (name.as_str(), args.len()) {
-                        ("length", 1) => {
-                            Ok(PlExpr::StrLen(Box::new(args.into_iter().next().expect("1 arg"))))
-                        }
+                        ("length", 1) => Ok(PlExpr::StrLen(Box::new(
+                            args.into_iter().next().expect("1 arg"),
+                        ))),
                         ("charat", 2) => {
                             let mut it = args.into_iter();
                             let s = it.next().expect("2 args");
@@ -407,7 +426,8 @@ mod tests {
     fn db_with_strlen() -> Database {
         let mut db = Database::new_in_memory();
         db.execute("CREATE TABLE t (id INT, name TEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (1,'one'), (2,'two'), (3,'three')").unwrap();
+        db.execute("INSERT INTO t VALUES (1,'one'), (2,'two'), (3,'three')")
+            .unwrap();
         db.catalog_mut().register_function(FuncDef {
             name: "editdistance".into(),
             arity: 2,
@@ -514,8 +534,10 @@ mod tests {
     fn parsed_equals_builder_for_scan() {
         // The text form of lexequal_scan must behave like the builder AST.
         let mut db = db_with_strlen();
-        db.execute("CREATE TABLE names2 (name TEXT, ph TEXT)").unwrap();
-        db.execute("INSERT INTO names2 VALUES ('a','aa'), ('b','bbbb')").unwrap();
+        db.execute("CREATE TABLE names2 (name TEXT, ph TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO names2 VALUES ('a','aa'), ('b','bbbb')")
+            .unwrap();
         let f = parse_function(
             "FUNCTION scan2(q, k) BEGIN \
                FOR r IN EXECUTE 'SELECT name, ph FROM names2' LOOP \

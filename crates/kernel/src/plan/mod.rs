@@ -51,19 +51,41 @@ pub enum LogicalPlan {
     /// Full-table scan producing all columns.
     Scan { table: String, schema: Schema },
     /// σ.
-    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
     /// π (generalized: arbitrary expressions).
-    Project { input: Box<LogicalPlan>, exprs: Vec<Expr>, schema: Schema },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<Expr>,
+        schema: Schema,
+    },
     /// Inner join; predicate over the concatenated schema (left then right).
-    Join { left: Box<LogicalPlan>, right: Box<LogicalPlan>, predicate: Option<Expr> },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        predicate: Option<Expr>,
+    },
     /// γ.
-    Aggregate { input: Box<LogicalPlan>, group_by: Vec<Expr>, aggs: Vec<AggExpr>, schema: Schema },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+        schema: Schema,
+    },
     /// ORDER BY.
-    Sort { input: Box<LogicalPlan>, keys: Vec<(Expr, bool)> },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<(Expr, bool)>,
+    },
     /// LIMIT.
     Limit { input: Box<LogicalPlan>, n: u64 },
     /// Literal rows.
-    Values { rows: Vec<Vec<Expr>>, schema: Schema },
+    Values {
+        rows: Vec<Vec<Expr>>,
+        schema: Schema,
+    },
 }
 
 impl LogicalPlan {
@@ -110,9 +132,15 @@ pub enum PhysOp {
         residual: Option<Expr>,
     },
     /// σ.
-    Filter { input: Box<PhysNode>, predicate: Expr },
+    Filter {
+        input: Box<PhysNode>,
+        predicate: Expr,
+    },
     /// π.
-    Project { input: Box<PhysNode>, exprs: Vec<Expr> },
+    Project {
+        input: Box<PhysNode>,
+        exprs: Vec<Expr>,
+    },
     /// Nested-loops join (inner side optionally materialized).
     NlJoin {
         outer: Box<PhysNode>,
@@ -129,9 +157,16 @@ pub enum PhysOp {
         residual: Option<Expr>,
     },
     /// γ.
-    Aggregate { input: Box<PhysNode>, group_by: Vec<Expr>, aggs: Vec<AggExpr> },
+    Aggregate {
+        input: Box<PhysNode>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+    },
     /// ORDER BY.
-    Sort { input: Box<PhysNode>, keys: Vec<(Expr, bool)> },
+    Sort {
+        input: Box<PhysNode>,
+        keys: Vec<(Expr, bool)>,
+    },
     /// LIMIT.
     Limit { input: Box<PhysNode>, n: u64 },
     /// VALUES.
@@ -204,7 +239,9 @@ impl PhysNode {
             | PhysOp::Project { input, .. }
             | PhysOp::Aggregate { input, .. }
             | PhysOp::Sort { input, .. }
-            | PhysOp::Limit { input, .. } => input.explain_actuals_into(out, depth + 1, actuals, idx),
+            | PhysOp::Limit { input, .. } => {
+                input.explain_actuals_into(out, depth + 1, actuals, idx)
+            }
             PhysOp::NlJoin { outer, inner, .. } => {
                 outer.explain_actuals_into(out, depth + 1, actuals, idx);
                 inner.explain_actuals_into(out, depth + 1, actuals, idx);
@@ -220,7 +257,11 @@ impl PhysNode {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         let line = self.op_line();
-        let _ = writeln!(out, "{pad}{line}  (cost={:.2} rows={:.0})", self.est_cost, self.est_rows);
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (cost={:.2} rows={:.0})",
+            self.est_cost, self.est_rows
+        );
         match &self.op {
             PhysOp::Filter { input, .. }
             | PhysOp::Project { input, .. }
@@ -246,7 +287,13 @@ impl PhysNode {
                 Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
                 None => format!("Seq Scan on {table}"),
             },
-            PhysOp::IndexScan { table, index, strategy, residual, .. } => {
+            PhysOp::IndexScan {
+                table,
+                index,
+                strategy,
+                residual,
+                ..
+            } => {
                 let mut s = format!("Index Scan using {index} on {table}  Strategy: {strategy}");
                 if let Some(r) = residual {
                     let _ = write!(s, "  Recheck: {r}");
@@ -258,14 +305,27 @@ impl PhysNode {
                 let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
                 format!("Project: {}", cols.join(", "))
             }
-            PhysOp::NlJoin { predicate, materialize_inner, .. } => {
-                let mat = if *materialize_inner { " (materialized inner)" } else { "" };
+            PhysOp::NlJoin {
+                predicate,
+                materialize_inner,
+                ..
+            } => {
+                let mat = if *materialize_inner {
+                    " (materialized inner)"
+                } else {
+                    ""
+                };
                 match predicate {
                     Some(p) => format!("Nested Loop{mat}  Join Filter: {p}"),
                     None => format!("Nested Loop{mat}"),
                 }
             }
-            PhysOp::HashJoin { left_key, right_key, residual, .. } => {
+            PhysOp::HashJoin {
+                left_key,
+                right_key,
+                residual,
+                ..
+            } => {
                 let mut s = format!("Hash Join  Cond: ({left_key} = {right_key})");
                 if let Some(r) = residual {
                     let _ = write!(s, "  Filter: {r}");
@@ -305,7 +365,10 @@ mod tests {
 
     #[test]
     fn logical_schema_propagation() {
-        let scan = LogicalPlan::Scan { table: "t".into(), schema: scan_schema() };
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: scan_schema(),
+        };
         let join = LogicalPlan::Join {
             left: Box::new(scan.clone()),
             right: Box::new(scan.clone()),
@@ -322,7 +385,10 @@ mod tests {
     #[test]
     fn explain_renders_tree() {
         let leaf = PhysNode {
-            op: PhysOp::SeqScan { table: "book".into(), filter: None },
+            op: PhysOp::SeqScan {
+                table: "book".into(),
+                filter: None,
+            },
             est_rows: 100.0,
             est_cost: 12.5,
             schema: scan_schema(),
@@ -331,7 +397,10 @@ mod tests {
             op: PhysOp::Aggregate {
                 input: Box::new(leaf),
                 group_by: vec![],
-                aggs: vec![AggExpr { func: AggFunc::CountStar, input: None }],
+                aggs: vec![AggExpr {
+                    func: AggFunc::CountStar,
+                    input: None,
+                }],
             },
             est_rows: 1.0,
             est_cost: 13.0,

@@ -15,7 +15,10 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Column { name: name.into().to_lowercase(), ty }
+        Column {
+            name: name.into().to_lowercase(),
+            ty,
+        }
     }
 }
 

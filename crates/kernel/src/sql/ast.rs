@@ -4,21 +4,39 @@
 #[derive(Debug, Clone)]
 pub enum Statement {
     /// `CREATE TABLE name (col type, ...)`
-    CreateTable { name: String, columns: Vec<(String, String)> },
+    CreateTable {
+        name: String,
+        columns: Vec<(String, String)>,
+    },
     /// `CREATE INDEX name ON table (column) USING am`
-    CreateIndex { name: String, table: String, column: String, using: String },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        using: String,
+    },
     /// `DROP TABLE name`
     DropTable { name: String },
     /// `DROP INDEX name`
     DropIndex { name: String },
     /// `INSERT INTO table VALUES (...), (...)`
-    Insert { table: String, rows: Vec<Vec<AstExpr>> },
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
     /// `INSERT INTO table SELECT ...`
     InsertSelect { table: String, select: SelectStmt },
     /// `UPDATE table SET col = expr [, ...] [WHERE expr]`
-    Update { table: String, sets: Vec<(String, AstExpr)>, filter: Option<AstExpr> },
+    Update {
+        table: String,
+        sets: Vec<(String, AstExpr)>,
+        filter: Option<AstExpr>,
+    },
     /// `DELETE FROM table [WHERE expr]`
-    Delete { table: String, filter: Option<AstExpr> },
+    Delete {
+        table: String,
+        filter: Option<AstExpr>,
+    },
     /// `SELECT ...`
     Select(SelectStmt),
     /// `EXPLAIN [ANALYZE] SELECT ...`
@@ -57,7 +75,10 @@ pub enum SelectItem {
     /// `*`
     Wildcard,
     /// Expression with optional alias.
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 /// A FROM item.
@@ -73,7 +94,10 @@ pub struct TableRef {
 #[derive(Debug, Clone)]
 pub enum AstExpr {
     /// Column reference `name` or `qualifier.name`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// String literal.
     Str(String),
     /// Integer literal.
@@ -85,12 +109,21 @@ pub enum AstExpr {
     /// NULL literal.
     Null,
     /// Binary operation (symbols and extension operator names).
-    Binary { op: String, left: Box<AstExpr>, right: Box<AstExpr>, modifiers: Vec<String> },
+    Binary {
+        op: String,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+        modifiers: Vec<String>,
+    },
     /// Unary NOT.
     Not(Box<AstExpr>),
     /// `expr IS [NOT] NULL`.
     IsNull { expr: Box<AstExpr>, negated: bool },
     /// Function call, including aggregates; `count(*)` becomes
     /// `Func { name: "count", star: true, .. }`.
-    Func { name: String, args: Vec<AstExpr>, star: bool },
+    Func {
+        name: String,
+        args: Vec<AstExpr>,
+        star: bool,
+    },
 }

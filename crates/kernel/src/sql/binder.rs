@@ -22,7 +22,10 @@ impl Scope {
             .iter()
             .enumerate()
             .filter(|(_, (alias, col, _))| {
-                col == &lower && qualifier.map(|q| q.eq_ignore_ascii_case(alias)).unwrap_or(true)
+                col == &lower
+                    && qualifier
+                        .map(|q| q.eq_ignore_ascii_case(alias))
+                        .unwrap_or(true)
             })
             .map(|(i, (_, _, ty))| (i, *ty))
             .collect();
@@ -48,14 +51,20 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
     let mut seen_aliases: Vec<String> = Vec::new();
     for tr in &stmt.from {
         if seen_aliases.contains(&tr.alias) {
-            return Err(Error::Binder(format!("duplicate table alias {:?}", tr.alias)));
+            return Err(Error::Binder(format!(
+                "duplicate table alias {:?}",
+                tr.alias
+            )));
         }
         seen_aliases.push(tr.alias.clone());
         let meta = catalog.table(&tr.table)?;
         for c in meta.schema.columns() {
             scope.cols.push((tr.alias.clone(), c.name.clone(), c.ty));
         }
-        let scan = LogicalPlan::Scan { table: meta.name.clone(), schema: meta.schema.clone() };
+        let scan = LogicalPlan::Scan {
+            table: meta.name.clone(),
+            schema: meta.schema.clone(),
+        };
         plan = Some(match plan {
             None => scan,
             Some(prev) => LogicalPlan::Join {
@@ -71,7 +80,10 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
     if let Some(w) = &stmt.where_clause {
         let predicate = bind_expr(w, &scope, catalog)?;
         expect_boolean(&predicate, "WHERE")?;
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate,
+        };
     }
 
     // Select list: aggregates vs. plain expressions.
@@ -147,7 +159,12 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
             }
         }
         let schema = Schema::new(out_cols);
-        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggs, schema: schema.clone() };
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by,
+            aggs,
+            schema: schema.clone(),
+        };
         // ORDER BY over an aggregate binds against the aggregate's output
         // columns (group keys and aggregate aliases).
         if !stmt.order_by.is_empty() {
@@ -164,7 +181,9 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
                 .map(|(e, asc)| {
                     let bound = match e {
                         // `ORDER BY count(*)` refers to the output column.
-                        AstExpr::Func { name, star: true, .. } if name == "count" => {
+                        AstExpr::Func {
+                            name, star: true, ..
+                        } if name == "count" => {
                             let idx = schema.index_of("count(*)").ok_or_else(|| {
                                 Error::Binder("count(*) not in select list".into())
                             })?;
@@ -179,7 +198,10 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
                     Ok((bound, *asc))
                 })
                 .collect::<Result<_>>()?;
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
     } else {
         // Plain projection.
@@ -189,7 +211,11 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
             match item {
                 SelectItem::Wildcard => {
                     for (i, (_, name, ty)) in scope.cols.iter().enumerate() {
-                        exprs.push(Expr::ColRef { index: i, ty: *ty, name: name.clone() });
+                        exprs.push(Expr::ColRef {
+                            index: i,
+                            ty: *ty,
+                            name: name.clone(),
+                        });
                         cols.push(Column::new(name.clone(), *ty));
                     }
                 }
@@ -209,7 +235,10 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
                 .iter()
                 .map(|(e, asc)| Ok((bind_expr(e, &scope, catalog)?, *asc)))
                 .collect::<Result<_>>()?;
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
         let out_schema = Schema::new(cols);
         plan = LogicalPlan::Project {
@@ -223,7 +252,11 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
                 .columns()
                 .iter()
                 .enumerate()
-                .map(|(i, c)| Expr::ColRef { index: i, ty: c.ty, name: c.name.clone() })
+                .map(|(i, c)| Expr::ColRef {
+                    index: i,
+                    ty: c.ty,
+                    name: c.name.clone(),
+                })
                 .collect();
             plan = LogicalPlan::Aggregate {
                 input: Box::new(plan),
@@ -235,7 +268,10 @@ pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<LogicalPlan> {
     }
 
     if let Some(n) = stmt.limit {
-        plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
     }
     Ok(plan)
 }
@@ -245,7 +281,11 @@ fn bind_expr(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
     match e {
         AstExpr::Column { qualifier, name } => {
             let (index, ty) = scope.resolve(qualifier.as_deref(), name)?;
-            Ok(Expr::ColRef { index, ty, name: name.clone() })
+            Ok(Expr::ColRef {
+                index,
+                ty,
+                name: name.clone(),
+            })
         }
         AstExpr::Str(s) => Ok(Expr::text(s)),
         AstExpr::Int(n) => Ok(Expr::int(*n)),
@@ -255,9 +295,18 @@ fn bind_expr(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
         AstExpr::Not(inner) => Ok(Expr::Not(Box::new(bind_expr(inner, scope, catalog)?))),
         AstExpr::IsNull { expr, negated } => {
             let inner = Expr::IsNull(Box::new(bind_expr(expr, scope, catalog)?));
-            Ok(if *negated { Expr::Not(Box::new(inner)) } else { inner })
+            Ok(if *negated {
+                Expr::Not(Box::new(inner))
+            } else {
+                inner
+            })
         }
-        AstExpr::Binary { op, left, right, modifiers } => {
+        AstExpr::Binary {
+            op,
+            left,
+            right,
+            modifiers,
+        } => {
             let l = bind_expr(left, scope, catalog)?;
             let r = bind_expr(right, scope, catalog)?;
             match op.as_str() {
@@ -320,9 +369,14 @@ fn bind_expr(e: &AstExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
                     args.len()
                 )));
             }
-            let bound: Vec<Expr> =
-                args.iter().map(|a| bind_expr(a, scope, catalog)).collect::<Result<_>>()?;
-            Ok(Expr::Func { name: name.clone(), args: bound })
+            let bound: Vec<Expr> = args
+                .iter()
+                .map(|a| bind_expr(a, scope, catalog))
+                .collect::<Result<_>>()?;
+            Ok(Expr::Func {
+                name: name.clone(),
+                args: bound,
+            })
         }
     }
 }
@@ -351,7 +405,11 @@ pub fn bind_single_table(
 
 fn cmp(op: CmpOp, l: Expr, r: Expr) -> Result<Expr> {
     check_comparable(&l, &r)?;
-    Ok(Expr::Cmp { op, left: Box::new(l), right: Box::new(r) })
+    Ok(Expr::Cmp {
+        op,
+        left: Box::new(l),
+        right: Box::new(r),
+    })
 }
 
 fn arith(op: ArithOp, l: Expr, r: Expr) -> Result<Expr> {
@@ -362,7 +420,11 @@ fn arith(op: ArithOp, l: Expr, r: Expr) -> Result<Expr> {
             }
         }
     }
-    Ok(Expr::Arith { op, left: Box::new(l), right: Box::new(r) })
+    Ok(Expr::Arith {
+        op,
+        left: Box::new(l),
+        right: Box::new(r),
+    })
 }
 
 fn check_comparable(l: &Expr, r: &Expr) -> Result<()> {
@@ -388,7 +450,9 @@ fn check_comparable(l: &Expr, r: &Expr) -> Result<()> {
 fn expect_boolean(e: &Expr, clause: &str) -> Result<()> {
     match e.data_type() {
         Some(DataType::Bool) | None => Ok(()),
-        Some(other) => Err(Error::Binder(format!("{clause} must be boolean, got {other}"))),
+        Some(other) => Err(Error::Binder(format!(
+            "{clause} must be boolean, got {other}"
+        ))),
     }
 }
 
@@ -411,7 +475,9 @@ fn agg_func(name: &str, star: bool) -> Result<AggFunc> {
 fn contains_aggregate(e: &AstExpr) -> bool {
     match e {
         AstExpr::Func { name, .. } => is_aggregate(name),
-        AstExpr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        AstExpr::Binary { left, right, .. } => {
+            contains_aggregate(left) || contains_aggregate(right)
+        }
         AstExpr::Not(inner) => contains_aggregate(inner),
         AstExpr::IsNull { expr, .. } => contains_aggregate(expr),
         _ => false,
@@ -460,7 +526,9 @@ mod tests {
     }
 
     fn bind_sql(sql: &str, cat: &Catalog) -> Result<LogicalPlan> {
-        let Statement::Select(sel) = parse(sql)? else { panic!("not a select") };
+        let Statement::Select(sel) = parse(sql)? else {
+            panic!("not a select")
+        };
         bind(&sel, cat)
     }
 
@@ -502,7 +570,9 @@ mod tests {
     fn count_star_aggregate() {
         let (cat, _) = setup();
         let plan = bind_sql("SELECT count(*) FROM book", &cat).unwrap();
-        let LogicalPlan::Aggregate { aggs, schema, .. } = &plan else { panic!() };
+        let LogicalPlan::Aggregate { aggs, schema, .. } = &plan else {
+            panic!()
+        };
         assert_eq!(aggs.len(), 1);
         assert!(matches!(aggs[0].func, AggFunc::CountStar));
         assert_eq!(schema.column(0).ty, DataType::Int);
@@ -511,9 +581,13 @@ mod tests {
     #[test]
     fn group_by_with_key_in_select() {
         let (cat, _) = setup();
-        let plan =
-            bind_sql("SELECT title, count(*) FROM book GROUP BY title", &cat).unwrap();
-        let LogicalPlan::Aggregate { group_by, schema, .. } = &plan else { panic!() };
+        let plan = bind_sql("SELECT title, count(*) FROM book GROUP BY title", &cat).unwrap();
+        let LogicalPlan::Aggregate {
+            group_by, schema, ..
+        } = &plan
+        else {
+            panic!()
+        };
         assert_eq!(group_by.len(), 1);
         assert_eq!(schema.len(), 2);
     }
@@ -529,7 +603,10 @@ mod tests {
         let (cat, _) = setup();
         assert!(bind_sql("SELECT * FROM book WHERE title > 3", &cat).is_err());
         assert!(bind_sql("SELECT title + 1 FROM book", &cat).is_err());
-        assert!(bind_sql("SELECT * FROM book WHERE id + 1", &cat).is_err(), "WHERE not boolean");
+        assert!(
+            bind_sql("SELECT * FROM book WHERE id + 1", &cat).is_err(),
+            "WHERE not boolean"
+        );
     }
 
     #[test]
@@ -550,7 +627,9 @@ mod tests {
         let (cat, _) = setup();
         let plan = bind_sql("SELECT title FROM book ORDER BY price DESC", &cat).unwrap();
         // Sort sits below the projection.
-        let LogicalPlan::Project { input, .. } = &plan else { panic!() };
+        let LogicalPlan::Project { input, .. } = &plan else {
+            panic!()
+        };
         assert!(matches!(input.as_ref(), LogicalPlan::Sort { .. }));
     }
 }

@@ -87,9 +87,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 out.push(Token::Ident(chars[start..i].iter().collect()));

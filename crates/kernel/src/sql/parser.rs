@@ -22,7 +22,10 @@ pub fn parse(sql: &str) -> Result<Statement> {
         p.pos += 1;
     }
     if p.pos < p.tokens.len() {
-        return Err(Error::Parse(format!("trailing tokens at {:?}", p.tokens[p.pos])));
+        return Err(Error::Parse(format!(
+            "trailing tokens at {:?}",
+            p.tokens[p.pos]
+        )));
     }
     Ok(stmt)
 }
@@ -67,7 +70,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {kw:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {kw:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -75,7 +81,10 @@ impl Parser {
         if self.eat_sym(sym) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {sym:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {sym:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -86,7 +95,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(s)
             }
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -102,10 +113,14 @@ impl Parser {
         }
         if self.eat_kw("drop") {
             if self.eat_kw("table") {
-                return Ok(Statement::DropTable { name: self.ident()? });
+                return Ok(Statement::DropTable {
+                    name: self.ident()?,
+                });
             }
             if self.eat_kw("index") {
-                return Ok(Statement::DropIndex { name: self.ident()? });
+                return Ok(Statement::DropIndex {
+                    name: self.ident()?,
+                });
             }
             return Err(Error::Parse("expected TABLE or INDEX after DROP".into()));
         }
@@ -124,13 +139,25 @@ impl Parser {
                     break;
                 }
             }
-            let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-            return Ok(Statement::Update { table, sets, filter });
+            let filter = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                filter,
+            });
         }
         if self.eat_kw("delete") {
             self.expect_kw("from")?;
             let table = self.ident()?;
-            let filter = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            let filter = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             return Ok(Statement::Delete { table, filter });
         }
         if self.peek_kw("select") {
@@ -138,7 +165,10 @@ impl Parser {
         }
         if self.eat_kw("explain") {
             let analyze = self.eat_kw("analyze");
-            return Ok(Statement::Explain { select: self.select()?, analyze });
+            return Ok(Statement::Explain {
+                select: self.select()?,
+                analyze,
+            });
         }
         if self.eat_kw("set") {
             // SET a.b.c = literal  (dotted names allowed)
@@ -160,9 +190,14 @@ impl Parser {
             return Ok(Statement::Show { name });
         }
         if self.eat_kw("analyze") {
-            return Ok(Statement::Analyze { table: self.ident()? });
+            return Ok(Statement::Analyze {
+                table: self.ident()?,
+            });
         }
-        Err(Error::Parse(format!("unrecognized statement start: {:?}", self.peek())))
+        Err(Error::Parse(format!(
+            "unrecognized statement start: {:?}",
+            self.peek()
+        )))
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -188,8 +223,17 @@ impl Parser {
         self.expect_sym("(")?;
         let column = self.ident()?;
         self.expect_sym(")")?;
-        let using = if self.eat_kw("using") { self.ident()? } else { "btree".into() };
-        Ok(Statement::CreateIndex { name, table, column, using })
+        let using = if self.eat_kw("using") {
+            self.ident()?
+        } else {
+            "btree".into()
+        };
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            using,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement> {
@@ -228,7 +272,11 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("as") { Some(self.ident()?) } else { None };
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat_sym(",") {
@@ -258,7 +306,11 @@ impl Parser {
                 break;
             }
         }
-        let mut where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         for p in join_preds {
             where_clause = Some(match where_clause {
                 Some(w) => AstExpr::Binary {
@@ -309,13 +361,23 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { distinct, items, from, where_clause, group_by, order_by, limit })
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let table = self.ident()?;
         if RESERVED.contains(&table.to_lowercase().as_str()) {
-            return Err(Error::Parse(format!("unexpected keyword {table:?} in FROM")));
+            return Err(Error::Parse(format!(
+                "unexpected keyword {table:?} in FROM"
+            )));
         }
         let alias = if self.eat_kw("as") {
             self.ident()?
@@ -330,7 +392,10 @@ impl Parser {
         } else {
             table.clone()
         };
-        Ok(TableRef { table, alias: alias.to_lowercase() })
+        Ok(TableRef {
+            table,
+            alias: alias.to_lowercase(),
+        })
     }
 
     // Precedence: OR < AND < NOT < comparison/ext-op < add/sub < mul/div < unary < primary
@@ -380,7 +445,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(AstExpr::IsNull { expr: Box::new(left), negated });
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         // Symbolic comparison.
         for sym in ["<=", ">=", "<>", "=", "<", ">"] {
@@ -535,7 +603,11 @@ impl Parser {
                     self.pos += 1;
                     if self.eat_sym("*") {
                         self.expect_sym(")")?;
-                        return Ok(AstExpr::Func { name: lower, args: vec![], star: true });
+                        return Ok(AstExpr::Func {
+                            name: lower,
+                            args: vec![],
+                            star: true,
+                        });
                     }
                     let mut args = Vec::new();
                     if !self.peek_sym(")") {
@@ -547,7 +619,11 @@ impl Parser {
                         }
                     }
                     self.expect_sym(")")?;
-                    return Ok(AstExpr::Func { name: lower, args, star: false });
+                    return Ok(AstExpr::Func {
+                        name: lower,
+                        args,
+                        star: false,
+                    });
                 }
                 // Qualified column?
                 if self.eat_sym(".") {
@@ -557,7 +633,10 @@ impl Parser {
                         name: col.to_lowercase(),
                     });
                 }
-                Ok(AstExpr::Column { qualifier: None, name: lower })
+                Ok(AstExpr::Column {
+                    qualifier: None,
+                    name: lower,
+                })
             }
             other => Err(Error::Parse(format!("unexpected token {other:?}"))),
         }
@@ -606,18 +685,21 @@ mod tests {
         .unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.items.len(), 2);
-        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else { panic!() };
+        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else {
+            panic!()
+        };
         assert_eq!(op, "lexequal");
         assert_eq!(modifiers, vec!["English", "Hindi", "Tamil"]);
     }
 
     #[test]
     fn in_list_without_parens() {
-        let s =
-            parse("SELECT * FROM book WHERE category SEMEQUAL 'History' IN English, French")
-                .unwrap();
+        let s = parse("SELECT * FROM book WHERE category SEMEQUAL 'History' IN English, French")
+            .unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else { panic!() };
+        let Some(AstExpr::Binary { op, modifiers, .. }) = sel.where_clause else {
+            panic!()
+        };
         assert_eq!(op, "semequal");
         assert_eq!(modifiers.len(), 2);
     }
@@ -629,7 +711,9 @@ mod tests {
         assert_eq!(sel.from.len(), 2);
         // WHERE contains both the filter and the join predicate.
         let w = sel.where_clause.unwrap();
-        let AstExpr::Binary { op, .. } = &w else { panic!() };
+        let AstExpr::Binary { op, .. } = &w else {
+            panic!()
+        };
         assert_eq!(op, "and");
     }
 
@@ -660,8 +744,14 @@ mod tests {
             parse("SET lexequal.threshold = 3").unwrap(),
             Statement::Set { name, .. } if name == "lexequal.threshold"
         ));
-        assert!(matches!(parse("SHOW lexequal.threshold").unwrap(), Statement::Show { .. }));
-        assert!(matches!(parse("ANALYZE book").unwrap(), Statement::Analyze { .. }));
+        assert!(matches!(
+            parse("SHOW lexequal.threshold").unwrap(),
+            Statement::Show { .. }
+        ));
+        assert!(matches!(
+            parse("ANALYZE book").unwrap(),
+            Statement::Analyze { .. }
+        ));
         assert!(matches!(
             parse("EXPLAIN SELECT * FROM t").unwrap(),
             Statement::Explain { analyze: false, .. }
@@ -682,9 +772,13 @@ mod tests {
     fn arithmetic_precedence() {
         let s = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
         // Must parse as 1 + (2 * 3).
-        let AstExpr::Binary { op, right, .. } = expr else { panic!() };
+        let AstExpr::Binary { op, right, .. } = expr else {
+            panic!()
+        };
         assert_eq!(op, "+");
         assert!(matches!(right.as_ref(), AstExpr::Binary { op, .. } if op == "*"));
     }
@@ -695,14 +789,23 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         assert!(matches!(
             &sel.items[0],
-            SelectItem::Expr { expr: AstExpr::Int(-5), .. }
+            SelectItem::Expr {
+                expr: AstExpr::Int(-5),
+                ..
+            }
         ));
     }
 
     #[test]
     fn delete_with_filter() {
         let s = parse("DELETE FROM t WHERE id = 3").unwrap();
-        assert!(matches!(s, Statement::Delete { filter: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 }
 

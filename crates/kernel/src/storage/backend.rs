@@ -115,7 +115,11 @@ impl FileBackend {
                 }
             }
         }
-        Ok(FileBackend { dir, handles: Mutex::new(HashMap::new()), next_id: max_id })
+        Ok(FileBackend {
+            dir,
+            handles: Mutex::new(HashMap::new()),
+            next_id: max_id,
+        })
     }
 
     fn path(&self, file: FileId) -> PathBuf {

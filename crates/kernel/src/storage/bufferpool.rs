@@ -97,7 +97,12 @@ impl BufferPool {
     }
 
     /// Read access to a page.
-    pub fn with_page<T>(&self, file: FileId, page: PageNo, f: impl FnOnce(&[u8]) -> T) -> Result<T> {
+    pub fn with_page<T>(
+        &self,
+        file: FileId,
+        page: PageNo,
+        f: impl FnOnce(&[u8]) -> T,
+    ) -> Result<T> {
         let mut inner = self.inner.lock();
         let idx = inner.fetch(file, page)?;
         Ok(f(&inner.frames[idx].data))

@@ -58,7 +58,10 @@ impl HeapFile {
                 }
             })?;
             if let Some(slot) = slot {
-                return Ok(TupleId { page: page_no, slot: slot? });
+                return Ok(TupleId {
+                    page: page_no,
+                    slot: slot?,
+                });
             }
         }
         // Need a fresh page.
@@ -68,7 +71,10 @@ impl HeapFile {
             page.init();
             page.insert(tuple)
         })??;
-        Ok(TupleId { page: page_no, slot })
+        Ok(TupleId {
+            page: page_no,
+            slot,
+        })
     }
 
     /// Fetch a tuple by id; `None` when deleted.
@@ -101,7 +107,13 @@ impl HeapFile {
                 let mut copy = buf.to_vec();
                 let page = Page::new(&mut copy);
                 for (slot, tuple) in page.iter() {
-                    if !visit(TupleId { page: page_no, slot }, tuple) {
+                    if !visit(
+                        TupleId {
+                            page: page_no,
+                            slot,
+                        },
+                        tuple,
+                    ) {
                         return false;
                     }
                 }

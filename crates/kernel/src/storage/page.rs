@@ -76,7 +76,10 @@ impl<'a> Page<'a> {
             return Err(Error::Storage("empty tuple".into()));
         }
         if tuple.len() > u16::MAX as usize {
-            return Err(Error::Storage(format!("tuple of {} bytes exceeds page", tuple.len())));
+            return Err(Error::Storage(format!(
+                "tuple of {} bytes exceeds page",
+                tuple.len()
+            )));
         }
         if !self.fits(tuple.len()) {
             return Err(Error::Storage("page full".into()));

@@ -76,7 +76,9 @@ pub fn decode_row(mut bytes: &[u8], arity: usize) -> Result<Row> {
                 }
                 let (v, rest) = bytes.split_at(8);
                 bytes = rest;
-                Datum::Float(f64::from_bits(u64::from_le_bytes(v.try_into().expect("8 bytes"))))
+                Datum::Float(f64::from_bits(u64::from_le_bytes(
+                    v.try_into().expect("8 bytes"),
+                )))
             }
             0x04 => {
                 if bytes.len() < 4 {

@@ -63,9 +63,18 @@ impl WalRecord {
         }
         let payload = bytes[9..9 + len].to_vec();
         let rec = match tag {
-            1 => WalRecord::Insert { table_id, tuple: payload },
-            2 => WalRecord::Delete { table_id, tuple: payload },
-            3 => WalRecord::CreateTable { table_id, ddl: payload },
+            1 => WalRecord::Insert {
+                table_id,
+                tuple: payload,
+            },
+            2 => WalRecord::Delete {
+                table_id,
+                tuple: payload,
+            },
+            3 => WalRecord::CreateTable {
+                table_id,
+                ddl: payload,
+            },
             _ => return Err(corrupt()),
         };
         Ok((rec, 9 + len))
@@ -84,7 +93,11 @@ impl Wal {
     pub fn open(path: impl AsRef<Path>) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { path, writer: BufWriter::new(file), records_written: 0 })
+        Ok(Wal {
+            path,
+            writer: BufWriter::new(file),
+            records_written: 0,
+        })
     }
 
     /// Append a record and flush it (commit durability).
@@ -133,7 +146,10 @@ impl Wal {
     /// Truncate the log (after a checkpoint that persisted all heaps).
     pub fn truncate(&mut self) -> Result<()> {
         self.writer.flush()?;
-        let file = OpenOptions::new().write(true).truncate(true).open(&self.path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
         self.writer = BufWriter::new(file);
         Ok(())
     }
@@ -153,9 +169,18 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
         let records = vec![
-            WalRecord::CreateTable { table_id: 1, ddl: b"book".to_vec() },
-            WalRecord::Insert { table_id: 1, tuple: vec![1, 2, 3] },
-            WalRecord::Delete { table_id: 1, tuple: vec![1, 2, 3] },
+            WalRecord::CreateTable {
+                table_id: 1,
+                ddl: b"book".to_vec(),
+            },
+            WalRecord::Insert {
+                table_id: 1,
+                tuple: vec![1, 2, 3],
+            },
+            WalRecord::Delete {
+                table_id: 1,
+                tuple: vec![1, 2, 3],
+            },
         ];
         for r in &records {
             wal.append(r).unwrap();
@@ -176,7 +201,11 @@ mod tests {
         let path = temp_wal("torn");
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
-        wal.append(&WalRecord::Insert { table_id: 9, tuple: vec![7; 100] }).unwrap();
+        wal.append(&WalRecord::Insert {
+            table_id: 9,
+            tuple: vec![7; 100],
+        })
+        .unwrap();
         drop(wal);
         // Simulate a torn write: append garbage prefix of a record.
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
@@ -192,13 +221,27 @@ mod tests {
         let path = temp_wal("trunc");
         let _ = std::fs::remove_file(&path);
         let mut wal = Wal::open(&path).unwrap();
-        wal.append(&WalRecord::Insert { table_id: 1, tuple: vec![1] }).unwrap();
+        wal.append(&WalRecord::Insert {
+            table_id: 1,
+            tuple: vec![1],
+        })
+        .unwrap();
         wal.truncate().unwrap();
-        wal.append(&WalRecord::Insert { table_id: 2, tuple: vec![2] }).unwrap();
+        wal.append(&WalRecord::Insert {
+            table_id: 2,
+            tuple: vec![2],
+        })
+        .unwrap();
         drop(wal);
         let recs = Wal::replay(&path).unwrap();
         assert_eq!(recs.len(), 1);
-        assert_eq!(recs[0], WalRecord::Insert { table_id: 2, tuple: vec![2] });
+        assert_eq!(
+            recs[0],
+            WalRecord::Insert {
+                table_id: 2,
+                tuple: vec![2]
+            }
+        );
         std::fs::remove_file(&path).unwrap();
     }
 }

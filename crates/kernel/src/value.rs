@@ -51,7 +51,10 @@ pub enum Datum {
     Float(f64),
     Text(Arc<str>),
     /// Extension value: opaque bytes + type tag.
-    Ext { ty: ExtTypeId, bytes: Arc<[u8]> },
+    Ext {
+        ty: ExtTypeId,
+        bytes: Arc<[u8]>,
+    },
 }
 
 impl Datum {
@@ -62,7 +65,10 @@ impl Datum {
 
     /// Extension helper.
     pub fn ext(ty: ExtTypeId, bytes: impl Into<Arc<[u8]>>) -> Datum {
-        Datum::Ext { ty, bytes: bytes.into() }
+        Datum::Ext {
+            ty,
+            bytes: bytes.into(),
+        }
     }
 
     /// The value's runtime type; `None` for SQL NULL (untyped).
@@ -237,8 +243,15 @@ mod tests {
     #[test]
     fn null_semantics() {
         assert!(!Datum::Null.is_true());
-        assert!(!Datum::Null.eq_sql(&Datum::Null), "NULL = NULL is not true in SQL");
-        assert_eq!(Datum::Null, Datum::Null, "but Rust Eq treats them equal for grouping");
+        assert!(
+            !Datum::Null.eq_sql(&Datum::Null),
+            "NULL = NULL is not true in SQL"
+        );
+        assert_eq!(
+            Datum::Null,
+            Datum::Null,
+            "but Rust Eq treats them equal for grouping"
+        );
     }
 
     #[test]

@@ -9,9 +9,11 @@ fn parallel_selects_are_consistent() {
     let mut db = Database::new_in_memory();
     db.execute("CREATE TABLE t (id INT, grp INT)").unwrap();
     for i in 0..5000 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7)).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i % 7))
+            .unwrap();
     }
-    db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+    db.execute("CREATE INDEX t_id ON t (id) USING btree")
+        .unwrap();
     db.execute("ANALYZE t").unwrap();
     let db = &db;
 
@@ -26,7 +28,9 @@ fn parallel_selects_are_consistent() {
                         .unwrap();
                     assert_eq!(point.len(), 1);
                     assert_eq!(point[0][0].as_int(), Some((probe % 7) as i64));
-                    let agg = db.query_ref("SELECT count(*) FROM t WHERE grp = 3").unwrap();
+                    let agg = db
+                        .query_ref("SELECT count(*) FROM t WHERE grp = 3")
+                        .unwrap();
                     assert_eq!(agg[0][0].as_int(), Some(714));
                 }
             }));
@@ -83,7 +87,11 @@ fn metrics_registry_survives_concurrent_hammering() {
     })
     .unwrap();
 
-    assert_eq!(counter.get(), base + THREADS * ROUNDS, "no lost counter updates");
+    assert_eq!(
+        counter.get(),
+        base + THREADS * ROUNDS,
+        "no lost counter updates"
+    );
     assert_eq!(histo.count(), THREADS * ROUNDS, "no lost observations");
     // Bucket counts are exact: per thread, values 0..200 cycle — 2 of
     // every 200 land ≤1, 11 ≤10, 101 ≤100.

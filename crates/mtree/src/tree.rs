@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A distance function making the key type a metric space.
 ///
@@ -87,14 +87,21 @@ pub struct MTree<K, V, M: Metric<K>> {
     policy: SplitPolicy,
     len: usize,
     rng: StdRng,
-    /// Distance computations spent on inserts (build cost; ablation bench).
-    build_distances: Cell<u64>,
+    /// Distance computations spent on inserts (build cost; ablation
+    /// bench).  Atomic (not `Cell`) so a built tree is `Sync` and
+    /// concurrent searches can share it behind a read lock.
+    build_distances: AtomicU64,
 }
 
 impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
     /// Create an empty tree with the default capacity and random split.
     pub fn new(metric: M) -> Self {
-        Self::with_options(metric, crate::DEFAULT_NODE_CAPACITY, SplitPolicy::Random, 0x5eed)
+        Self::with_options(
+            metric,
+            crate::DEFAULT_NODE_CAPACITY,
+            SplitPolicy::Random,
+            0x5eed,
+        )
     }
 
     /// Create an empty tree with explicit node capacity, split policy and
@@ -108,7 +115,7 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
             policy,
             len: 0,
             rng: StdRng::seed_from_u64(seed),
-            build_distances: Cell::new(0),
+            build_distances: AtomicU64::new(0),
         }
     }
 
@@ -124,7 +131,7 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
 
     /// Total distance computations spent building the tree so far.
     pub fn build_distance_computations(&self) -> u64 {
-        self.build_distances.get()
+        self.build_distances.load(Ordering::Relaxed)
     }
 
     /// Height of the tree (leaf = 1).
@@ -151,7 +158,7 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
 
     #[inline]
     fn dist(&self, a: &K, b: &K) -> f64 {
-        self.build_distances.set(self.build_distances.get() + 1);
+        self.build_distances.fetch_add(1, Ordering::Relaxed);
         self.metric.distance(a, b)
     }
 
@@ -208,9 +215,15 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
                 d1 < d2
             };
             if go_left {
-                left.push(LeafEntry { dist_to_parent: d1, ..e });
+                left.push(LeafEntry {
+                    dist_to_parent: d1,
+                    ..e
+                });
             } else {
-                right.push(LeafEntry { dist_to_parent: d2, ..e });
+                right.push(LeafEntry {
+                    dist_to_parent: d2,
+                    ..e
+                });
             }
         }
         // Never produce an empty node: a node with zero entries breaks the
@@ -225,10 +238,23 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
             right.push(e);
         }
         let r1 = left.iter().map(|e| e.dist_to_parent).fold(0.0f64, f64::max);
-        let r2 = right.iter().map(|e| e.dist_to_parent).fold(0.0f64, f64::max);
+        let r2 = right
+            .iter()
+            .map(|e| e.dist_to_parent)
+            .fold(0.0f64, f64::max);
         (
-            RoutingEntry { key: k1.clone(), radius: r1, dist_to_parent: 0.0, child: Box::new(Node::Leaf(left)) },
-            RoutingEntry { key: k2.clone(), radius: r2, dist_to_parent: 0.0, child: Box::new(Node::Leaf(right)) },
+            RoutingEntry {
+                key: k1.clone(),
+                radius: r1,
+                dist_to_parent: 0.0,
+                child: Box::new(Node::Leaf(left)),
+            },
+            RoutingEntry {
+                key: k2.clone(),
+                radius: r2,
+                dist_to_parent: 0.0,
+                child: Box::new(Node::Leaf(right)),
+            },
         )
     }
 
@@ -251,9 +277,15 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
                 d1 < d2
             };
             if go_left {
-                left.push(RoutingEntry { dist_to_parent: d1, ..e });
+                left.push(RoutingEntry {
+                    dist_to_parent: d1,
+                    ..e
+                });
             } else {
-                right.push(RoutingEntry { dist_to_parent: d2, ..e });
+                right.push(RoutingEntry {
+                    dist_to_parent: d2,
+                    ..e
+                });
             }
         }
         if left.is_empty() {
@@ -265,11 +297,27 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
             e.dist_to_parent = self.dist(&e.key, k2);
             right.push(e);
         }
-        let r1 = left.iter().map(|e| e.dist_to_parent + e.radius).fold(0.0f64, f64::max);
-        let r2 = right.iter().map(|e| e.dist_to_parent + e.radius).fold(0.0f64, f64::max);
+        let r1 = left
+            .iter()
+            .map(|e| e.dist_to_parent + e.radius)
+            .fold(0.0f64, f64::max);
+        let r2 = right
+            .iter()
+            .map(|e| e.dist_to_parent + e.radius)
+            .fold(0.0f64, f64::max);
         (
-            RoutingEntry { key: k1.clone(), radius: r1, dist_to_parent: 0.0, child: Box::new(Node::Internal(left)) },
-            RoutingEntry { key: k2.clone(), radius: r2, dist_to_parent: 0.0, child: Box::new(Node::Internal(right)) },
+            RoutingEntry {
+                key: k1.clone(),
+                radius: r1,
+                dist_to_parent: 0.0,
+                child: Box::new(Node::Internal(left)),
+            },
+            RoutingEntry {
+                key: k2.clone(),
+                radius: r2,
+                dist_to_parent: 0.0,
+                child: Box::new(Node::Internal(right)),
+            },
         )
     }
 
@@ -359,7 +407,9 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
         }
         impl Ord for Ord64 {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
 
@@ -417,10 +467,7 @@ impl<K: Clone, V: Clone, M: Metric<K>> MTree<K, V, M> {
         // Materialize the best k in ascending order.
         let mut picked: Vec<usize> = best.into_sorted_vec().into_iter().map(|(_, i)| i).collect();
         picked.dedup();
-        let mut out: Vec<(K, V, f64)> = picked
-            .into_iter()
-            .map(|i| found[i].clone())
-            .collect();
+        let mut out: Vec<(K, V, f64)> = picked.into_iter().map(|i| found[i].clone()).collect();
         out.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
         out.truncate(k);
         (out, stats)
@@ -487,7 +534,11 @@ fn insert_rec<K: Clone, V: Clone, M: Metric<K>>(
             // dist_to_parent enables the search-time pre-filter; for root
             // leaves there is no parent and the value is never read.
             let dtp = _parent.map(|p| tree.dist(&key, p)).unwrap_or(0.0);
-            entries.push(LeafEntry { key, value, dist_to_parent: dtp });
+            entries.push(LeafEntry {
+                key,
+                value,
+                dist_to_parent: dtp,
+            });
             if entries.len() > tree.node_capacity {
                 let (k1, k2) = promote(tree, entries.iter().map(|e| &e.key));
                 Overflow::SplitRoot(k1, k2)
@@ -579,7 +630,7 @@ fn promote<'a, K: Clone + 'a, V, M: Metric<K>>(
                 for k in &keys {
                     let d1 = tree.metric.distance(k, keys[i]);
                     let d2 = tree.metric.distance(k, keys[j]);
-                    tree.build_distances.set(tree.build_distances.get() + 2);
+                    tree.build_distances.fetch_add(2, Ordering::Relaxed);
                     if d1 <= d2 {
                         r1 = r1.max(d1);
                     } else {
@@ -705,12 +756,21 @@ mod tests {
         assert_eq!(hits.len(), 5);
         // Closest multiples of 3 to 500: 501(d=1), 498(d=2), 504(d=4), 495(d=5), 507(d=7)
         assert_eq!(hits[0].0, 501);
-        assert!(hits.windows(2).all(|w| w[0].2 <= w[1].2), "ascending distances");
+        assert!(
+            hits.windows(2).all(|w| w[0].2 <= w[1].2),
+            "ascending distances"
+        );
         let max_d = hits.last().unwrap().2;
         // Exhaustive check: nothing closer was missed.
-        let better = values.iter().filter(|&&v| abs_metric(&v, &500) < max_d).count();
+        let better = values
+            .iter()
+            .filter(|&&v| abs_metric(&v, &500) < max_d)
+            .count();
         assert!(better <= 5);
-        assert!(stats.dist_computations < 1100, "branch-and-bound should prune: {stats:?}");
+        assert!(
+            stats.dist_computations < 1100,
+            "branch-and-bound should prune: {stats:?}"
+        );
     }
 
     #[test]

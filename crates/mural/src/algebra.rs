@@ -21,8 +21,14 @@ pub fn psi(
     b: &[UniText],
     converters: &ConverterRegistry,
 ) -> Vec<(UniText, UniText, usize)> {
-    let pa: Vec<Vec<u8>> = a.iter().map(|v| converters.phonemes_of(v).as_bytes().to_vec()).collect();
-    let pb: Vec<Vec<u8>> = b.iter().map(|v| converters.phonemes_of(v).as_bytes().to_vec()).collect();
+    let pa: Vec<Vec<u8>> = a
+        .iter()
+        .map(|v| converters.phonemes_of(v).as_bytes().to_vec())
+        .collect();
+    let pb: Vec<Vec<u8>> = b
+        .iter()
+        .map(|v| converters.phonemes_of(v).as_bytes().to_vec())
+        .collect();
     let mut out = Vec::with_capacity(a.len() * b.len());
     for (x, px) in a.iter().zip(&pa) {
         for (y, py) in b.iter().zip(&pb) {
@@ -40,7 +46,10 @@ pub fn psi_select(
     k: usize,
     converters: &ConverterRegistry,
 ) -> Vec<(UniText, UniText, usize)> {
-    psi(a, b, converters).into_iter().filter(|(_, _, d)| *d <= k).collect()
+    psi(a, b, converters)
+        .into_iter()
+        .filter(|(_, _, d)| *d <= k)
+        .collect()
 }
 
 /// Ω: Set〈UniText〉 × Set〈UniText〉 → Set〈UniText, UniText, bool〉, the
@@ -94,7 +103,9 @@ mod tests {
     }
 
     fn names(reg: &LanguageRegistry, list: &[(&str, &str)]) -> Vec<UniText> {
-        list.iter().map(|(t, l)| UniText::compose(*t, reg.id_of(l))).collect()
+        list.iter()
+            .map(|(t, l)| UniText::compose(*t, reg.id_of(l)))
+            .collect()
     }
 
     #[test]
@@ -128,7 +139,10 @@ mod tests {
         let convs = ConverterRegistry::with_builtins(&reg);
         let a = names(&reg, &[("Nehru", "English"), ("Patel", "English")]);
         let b = names(&reg, &[("நேரு", "Tamil"), ("Meyer", "German")]);
-        assert_eq!(canon_psi(psi(&a, &b, &convs)), canon_psi_swapped(psi(&b, &a, &convs)));
+        assert_eq!(
+            canon_psi(psi(&a, &b, &convs)),
+            canon_psi_swapped(psi(&b, &a, &convs))
+        );
     }
 
     #[test]

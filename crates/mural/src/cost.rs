@@ -22,7 +22,10 @@ pub struct OpCost {
 impl OpCost {
     /// Combine with another estimate.
     pub fn plus(self, other: OpCost) -> OpCost {
-        OpCost { cpu: self.cpu + other.cpu, pages: self.pages + other.pages }
+        OpCost {
+            cpu: self.cpu + other.cpu,
+            pages: self.pages + other.pages,
+        }
     }
 }
 
@@ -38,20 +41,29 @@ pub fn approx_index_fraction(k: usize) -> f64 {
 /// ψ scan, no index: every record's phoneme string is compared with the
 /// banded edit distance — `O(n · k · l)` CPU over `p` sequential pages.
 pub fn psi_scan_no_index(n: f64, l: f64, k: usize, p: f64) -> OpCost {
-    OpCost { cpu: n * (k as f64 + 1.0) * l, pages: p }
+    OpCost {
+        cpu: n * (k as f64 + 1.0) * l,
+        pages: p,
+    }
 }
 
 /// ψ scan with an approximate index: a threshold-dependent fraction of the
 /// index is traversed, each visited entry paying the banded distance.
 pub fn psi_scan_approx_index(n: f64, l: f64, k: usize, p_idx: f64) -> OpCost {
     let frac = approx_index_fraction(k);
-    OpCost { cpu: n * frac * (k as f64 + 1.0) * l, pages: p_idx * frac }
+    OpCost {
+        cpu: n * frac * (k as f64 + 1.0) * l,
+        pages: p_idx * frac,
+    }
 }
 
 /// ψ join, no index: `O(n_l · n_r · k · l)` CPU; the inner relation is
 /// materialized once (`p_l + p_r` sequential I/O).
 pub fn psi_join_no_index(n_l: f64, n_r: f64, l: f64, k: usize, p_l: f64, p_r: f64) -> OpCost {
-    OpCost { cpu: n_l * n_r * (k as f64 + 1.0) * l, pages: p_l + p_r }
+    OpCost {
+        cpu: n_l * n_r * (k as f64 + 1.0) * l,
+        pages: p_l + p_r,
+    }
 }
 
 /// ψ join probing an approximate index on the RHS for each LHS row.
@@ -75,7 +87,10 @@ pub fn expected_closure(f: f64, h: usize) -> f64 {
 /// (`O(f^h)`-bounded, here the expected closure size) plus one hash
 /// membership probe per record; taxonomy pages read once.
 pub fn omega_scan_pinned(n: f64, f: f64, h: usize, p: f64, p_t: f64) -> OpCost {
-    OpCost { cpu: expected_closure(f, h) + n, pages: p + p_t }
+    OpCost {
+        cpu: expected_closure(f, h) + n,
+        pages: p + p_t,
+    }
 }
 
 /// Ω scan where the closure is expanded through SQL per frontier node
@@ -84,13 +99,27 @@ pub fn omega_scan_pinned(n: f64, f: f64, h: usize, p: f64, p_t: f64) -> OpCost {
 /// `closure · log(n_t)` with a B+Tree on the parent attribute.
 pub fn omega_scan_sql(n: f64, f: f64, h: usize, p: f64, p_t: f64, btree: bool, n_t: f64) -> OpCost {
     let closure = expected_closure(f, h);
-    let per_node_pages = if btree { n_t.max(2.0).log2() / 128.0 + 1.0 } else { p_t };
-    OpCost { cpu: closure * n_t.max(2.0).log2() + n, pages: p + closure * per_node_pages }
+    let per_node_pages = if btree {
+        n_t.max(2.0).log2() / 128.0 + 1.0
+    } else {
+        p_t
+    };
+    OpCost {
+        cpu: closure * n_t.max(2.0).log2() + n,
+        pages: p + closure * per_node_pages,
+    }
 }
 
 /// Ω join with closure memoization: one closure per *distinct* RHS value
 /// (`r_distinct`), membership probes for all pairs.
-pub fn omega_join_pinned(n_l: f64, r_distinct: f64, f: f64, h: usize, p_l: f64, p_r: f64) -> OpCost {
+pub fn omega_join_pinned(
+    n_l: f64,
+    r_distinct: f64,
+    f: f64,
+    h: usize,
+    p_l: f64,
+    p_r: f64,
+) -> OpCost {
     OpCost {
         cpu: r_distinct * expected_closure(f, h) + n_l * r_distinct,
         pages: p_l + p_r,

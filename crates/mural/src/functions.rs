@@ -117,7 +117,12 @@ mod tests {
     #[test]
     fn constructor_materializes_phonemes() {
         let funcs = setup();
-        let v = call(&funcs, "unitext", &[Datum::text("Nehru"), Datum::text("English")]).unwrap();
+        let v = call(
+            &funcs,
+            "unitext",
+            &[Datum::text("Nehru"), Datum::text("English")],
+        )
+        .unwrap();
         let ph = call(&funcs, "phoneme_of", std::slice::from_ref(&v)).unwrap();
         assert_eq!(ph.as_text(), Some("nehru"));
         let t = call(&funcs, "text_of", std::slice::from_ref(&v)).unwrap();
@@ -129,7 +134,12 @@ mod tests {
     #[test]
     fn constructor_rejects_unknown_language() {
         let funcs = setup();
-        assert!(call(&funcs, "unitext", &[Datum::text("x"), Datum::text("Klingon")]).is_err());
+        assert!(call(
+            &funcs,
+            "unitext",
+            &[Datum::text("x"), Datum::text("Klingon")]
+        )
+        .is_err());
         assert!(call(&funcs, "unitext", &[Datum::Int(1), Datum::text("English")]).is_err());
     }
 

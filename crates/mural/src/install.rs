@@ -50,7 +50,10 @@ impl Mural {
             .into_iter()
             .find(|i| i.name == index)
             .ok_or_else(|| mlql_kernel::Error::Catalog(format!("no index {index:?}")))?;
-        let search = idx.instance.lock().search("nearest", probe, &Datum::Int(k as i64))?;
+        let search = idx
+            .instance
+            .read()
+            .search("nearest", probe, &Datum::Int(k as i64))?;
         let mut out = Vec::with_capacity(search.tids.len());
         for tid in search.tids {
             if let Some(bytes) = meta.heap.get(db.pool(), tid)? {
@@ -94,7 +97,7 @@ fn install_inner(
     taxonomy: Taxonomy,
 ) -> Result<Mural> {
     let converters = Arc::new(ConverterRegistry::with_builtins(&langs));
-    let catalog = db.catalog_mut();
+    let mut catalog = db.catalog_mut();
 
     // 1. The UniText datatype (§3.1) with insertion-time phoneme
     //    materialization (§4.2).
@@ -130,7 +133,10 @@ fn install_inner(
             );
             Ok(Datum::Bool(lv.identical(&rv)))
         }),
-        kind: mlql_kernel::catalog::OperatorKind { commutative: true, distributes_over_union: true },
+        kind: mlql_kernel::catalog::OperatorKind {
+            commutative: true,
+            distributes_over_union: true,
+        },
         per_tuple_cost: Arc::new(|_, _| 1.0),
         selectivity: Arc::new(|input| match (input.column, input.constant) {
             (Some(stats), Some(c)) => stats.eq_selectivity(c),
@@ -148,9 +154,16 @@ fn install_inner(
     }
 
     // 6. Session defaults (the paper's system-table threshold, §4.2).
-    db.session_mut().set(THRESHOLD_VAR, Datum::Int(DEFAULT_THRESHOLD));
+    drop(catalog); // release the catalog write lock before touching session state
+    db.session_mut()
+        .set(THRESHOLD_VAR, Datum::Int(DEFAULT_THRESHOLD));
 
-    Ok(Mural { langs, converters, unitext_type, sem })
+    Ok(Mural {
+        langs,
+        converters,
+        unitext_type,
+        sem,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +179,8 @@ mod tests {
     #[test]
     fn figure2_lexequal_query() {
         let (mut db, _) = setup();
-        db.execute("CREATE TABLE book (author UNITEXT, title UNITEXT, language TEXT)").unwrap();
+        db.execute("CREATE TABLE book (author UNITEXT, title UNITEXT, language TEXT)")
+            .unwrap();
         for (author, title, lang) in [
             ("Nehru", "Glimpses of World History", "English"),
             ("नेहरू", "हिंदुस्तान की कहानी", "Hindi"),
@@ -185,8 +199,10 @@ mod tests {
                 "SELECT language FROM book WHERE author LEXEQUAL unitext('Nehru','English') IN (English, Hindi, Tamil)",
             )
             .unwrap();
-        let mut langs: Vec<String> =
-            rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+        let mut langs: Vec<String> = rows
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect();
         langs.sort();
         assert_eq!(langs, vec!["English", "Hindi", "Tamil"]);
     }
@@ -194,10 +210,15 @@ mod tests {
     #[test]
     fn figure4_semequal_query() {
         let (mut db, _) = setup();
-        db.execute("CREATE TABLE book (title TEXT, category UNITEXT)").unwrap();
+        db.execute("CREATE TABLE book (title TEXT, category UNITEXT)")
+            .unwrap();
         for (title, cat, lang) in [
             ("Discovery of India", "History", "English"),
-            ("The Debate on the English Revolution", "Historiography", "English"),
+            (
+                "The Debate on the English Revolution",
+                "Historiography",
+                "English",
+            ),
             ("Wings of Fire", "Autobiography", "English"),
             ("Histoire de France", "Histoire", "French"),
             ("வரலாறு நூல்", "சரித்திரம்", "Tamil"),
@@ -214,7 +235,11 @@ mod tests {
                 "SELECT title FROM book WHERE category SEMEQUAL unitext('History','English') IN (English, French, Tamil)",
             )
             .unwrap();
-        assert_eq!(rows.len(), 5, "everything under History in the three languages");
+        assert_eq!(
+            rows.len(),
+            5,
+            "everything under History in the three languages"
+        );
         assert!(!rows.iter().any(|r| r[0].as_text() == Some("A Novel")));
     }
 
@@ -222,9 +247,12 @@ mod tests {
     fn language_modifier_restricts_output_languages() {
         let (mut db, _) = setup();
         db.execute("CREATE TABLE book (author UNITEXT)").unwrap();
-        for (author, lang) in [("Nehru", "English"), ("नेहरू", "Hindi"), ("நேரு", "Tamil")] {
-            db.execute(&format!("INSERT INTO book VALUES (unitext('{author}', '{lang}'))"))
-                .unwrap();
+        for (author, lang) in [("Nehru", "English"), ("नेहरू", "Hindi"), ("நேரு", "Tamil")]
+        {
+            db.execute(&format!(
+                "INSERT INTO book VALUES (unitext('{author}', '{lang}'))"
+            ))
+            .unwrap();
         }
         db.execute("SET lexequal.threshold = 2").unwrap();
         let only_tamil = db
@@ -242,15 +270,20 @@ mod tests {
     fn unitext_ordinary_text_operators() {
         let (mut db, _) = setup();
         db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (unitext('banana', 'English'))").unwrap();
-        db.execute("INSERT INTO t VALUES (unitext('apple', 'French'))").unwrap();
+        db.execute("INSERT INTO t VALUES (unitext('banana', 'English'))")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (unitext('apple', 'French'))")
+            .unwrap();
         // §3.2.1: ordinary comparisons see only the text component.
         let rows = db.query("SELECT text_of(v) FROM t ORDER BY v").unwrap();
         assert_eq!(rows[0][0].as_text(), Some("apple"));
         let eq = db
             .query("SELECT count(*) FROM t WHERE v = unitext('apple', 'Tamil')")
             .unwrap();
-        assert!(eq[0][0].eq_sql(&Datum::Int(1)), "text-only equality crosses languages");
+        assert!(
+            eq[0][0].eq_sql(&Datum::Int(1)),
+            "text-only equality crosses languages"
+        );
     }
 
     #[test]
@@ -258,11 +291,15 @@ mod tests {
         let (mut db, _) = setup();
         db.execute("CREATE TABLE names (n UNITEXT)").unwrap();
         for i in 0..300 {
-            db.execute(&format!("INSERT INTO names VALUES (unitext('person{i}', 'English'))"))
-                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO names VALUES (unitext('person{i}', 'English'))"
+            ))
+            .unwrap();
         }
-        db.execute("INSERT INTO names VALUES (unitext('Nehru', 'English'))").unwrap();
-        db.execute("CREATE INDEX names_mt ON names (n) USING mtree").unwrap();
+        db.execute("INSERT INTO names VALUES (unitext('Nehru', 'English'))")
+            .unwrap();
+        db.execute("CREATE INDEX names_mt ON names (n) USING mtree")
+            .unwrap();
         db.execute("ANALYZE names").unwrap();
         db.execute("SET lexequal.threshold = 1").unwrap();
         // Force the index path to prove it works end to end.
@@ -280,17 +317,23 @@ mod tests {
         let (mut db, mural) = setup();
         db.execute("CREATE TABLE names (n UNITEXT)").unwrap();
         for name in ["Nehru", "Neru", "Nero", "Gandhi", "Patel", "Bose"] {
-            db.execute(&format!("INSERT INTO names VALUES (unitext('{name}','English'))"))
-                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO names VALUES (unitext('{name}','English'))"
+            ))
+            .unwrap();
         }
-        db.execute("CREATE INDEX names_mt ON names (n) USING mtree").unwrap();
+        db.execute("CREATE INDEX names_mt ON names (n) USING mtree")
+            .unwrap();
         let probe = mural.unitext("Nehru", "English").unwrap();
         let rows = mural.nearest(&db, "names", "names_mt", &probe, 3).unwrap();
         assert_eq!(rows.len(), 3);
         let texts: Vec<String> = rows
             .iter()
             .map(|r| {
-                crate::types::unitext_of_datum(&r[0]).unwrap().text().to_string()
+                crate::types::unitext_of_datum(&r[0])
+                    .unwrap()
+                    .text()
+                    .to_string()
             })
             .collect();
         assert_eq!(texts[0], "Nehru");
@@ -301,7 +344,8 @@ mod tests {
     fn phoneme_materialized_on_insert() {
         let (mut db, mural) = setup();
         db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
-        db.execute("INSERT INTO t VALUES (unitext('Nehru', 'English'))").unwrap();
+        db.execute("INSERT INTO t VALUES (unitext('Nehru', 'English'))")
+            .unwrap();
         let rows = db.query("SELECT phoneme_of(v) FROM t").unwrap();
         assert_eq!(rows[0][0].as_text(), Some("nehru"));
         let _ = mural;
@@ -328,11 +372,14 @@ mod tests {
         for db in [&mut plain, &mut extended] {
             db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
             for i in 0..50 {
-                db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+                db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
+                    .unwrap();
             }
         }
         let a = plain.query("SELECT count(*) FROM t WHERE id < 25").unwrap();
-        let b = extended.query("SELECT count(*) FROM t WHERE id < 25").unwrap();
+        let b = extended
+            .query("SELECT count(*) FROM t WHERE id < 25")
+            .unwrap();
         assert!(a[0][0].eq_sql(&b[0][0]));
     }
 }

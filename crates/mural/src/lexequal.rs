@@ -45,7 +45,8 @@ pub fn phonemes_of(value: &UniText, converters: &ConverterRegistry) -> PhonemeSt
     let start = std::time::Instant::now();
     let out = converters.phonemes_of(value);
     m.phoneme_conversions_total.inc();
-    m.phoneme_conversion_ns_total.add(start.elapsed().as_nanos() as u64);
+    m.phoneme_conversion_ns_total
+        .add(start.elapsed().as_nanos() as u64);
     out
 }
 
@@ -61,9 +62,10 @@ pub fn psi_matches(
     converters: &ConverterRegistry,
 ) -> mlql_kernel::Result<bool> {
     if let (Datum::Ext { bytes: lb, .. }, Datum::Ext { bytes: rb, .. }) = (l, r) {
-        if let (Some(lp), Some(rp)) =
-            (crate::types::phoneme_slice(lb), crate::types::phoneme_slice(rb))
-        {
+        if let (Some(lp), Some(rp)) = (
+            crate::types::phoneme_slice(lb),
+            crate::types::phoneme_slice(rb),
+        ) {
             mlql_kernel::obs::metrics().psi_distance_calls_total.inc();
             return Ok(DP.with(|dp| dp.borrow_mut().distance_within(lp, rp, k).is_some()));
         }
@@ -102,7 +104,10 @@ pub fn lexequal_operator(
             Ok(Datum::Bool(psi_matches(l, r, k, &eval_convs)?))
         }),
         // Table 1: ψ commutes, associates, and distributes over ∪.
-        kind: OperatorKind { commutative: true, distributes_over_union: true },
+        kind: OperatorKind {
+            commutative: true,
+            distributes_over_union: true,
+        },
         // Table 3: the banded edit distance costs O(k·l) elementary
         // comparisons per evaluated pair.
         per_tuple_cost: Arc::new(|session, avg_width| {
@@ -140,7 +145,9 @@ pub fn lexequal_operator(
         // `IN (English, Hindi, ...)`: the LHS row matches only when its
         // language is in the list.
         modifier_filter: Some(Arc::new(move |l, mods| {
-            let Ok(v) = unitext_of_datum(l) else { return false };
+            let Ok(v) = unitext_of_datum(l) else {
+                return false;
+            };
             mods.iter().any(|m| {
                 langs
                     .lookup(m)
@@ -216,7 +223,10 @@ mod tests {
         assert!(filter(&ta, &["Tamil".into(), "Hindi".into()]));
         assert!(filter(&ta, &["tamil".into()]), "case-insensitive");
         assert!(!filter(&ta, &["English".into()]));
-        assert!(!filter(&ta, &["Klingon".into()]), "unknown language never matches");
+        assert!(
+            !filter(&ta, &["Klingon".into()]),
+            "unknown language never matches"
+        );
     }
 
     #[test]

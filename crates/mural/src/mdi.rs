@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn keys_are_stable() {
-        assert_eq!(mdi_key(b"nehru", DEFAULT_ANCHOR), mdi_key(b"nehru", DEFAULT_ANCHOR));
+        assert_eq!(
+            mdi_key(b"nehru", DEFAULT_ANCHOR),
+            mdi_key(b"nehru", DEFAULT_ANCHOR)
+        );
         assert_eq!(mdi_key(DEFAULT_ANCHOR, DEFAULT_ANCHOR), 0);
     }
 }

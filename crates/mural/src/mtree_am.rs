@@ -35,7 +35,12 @@ pub struct MTreeIndex {
 impl MTreeIndex {
     fn new(converters: Arc<ConverterRegistry>, policy: SplitPolicy) -> Self {
         MTreeIndex {
-            tree: MTree::with_options(phoneme_metric as Metric, mlql_mtree::DEFAULT_NODE_CAPACITY, policy, 0x3713),
+            tree: MTree::with_options(
+                phoneme_metric as Metric,
+                mlql_mtree::DEFAULT_NODE_CAPACITY,
+                policy,
+                0x3713,
+            ),
             deleted: HashSet::new(),
             converters,
             live: 0,
@@ -78,7 +83,8 @@ impl IndexInstance for MTreeIndex {
                 let (hits, stats) = self.tree.range(&key, radius);
                 let m = mlql_kernel::obs::metrics();
                 m.mtree_node_visits_total.add(stats.nodes_visited);
-                m.mtree_distance_computations_total.add(stats.dist_computations);
+                m.mtree_distance_computations_total
+                    .add(stats.dist_computations);
                 let tids = hits
                     .into_iter()
                     .filter(|(k, tid, _)| !self.deleted.contains(&(k.clone(), *tid)))
@@ -98,7 +104,8 @@ impl IndexInstance for MTreeIndex {
                 let (hits, stats) = self.tree.nearest(&key, k + self.deleted.len());
                 let m = mlql_kernel::obs::metrics();
                 m.mtree_node_visits_total.add(stats.nodes_visited);
-                m.mtree_distance_computations_total.add(stats.dist_computations);
+                m.mtree_distance_computations_total
+                    .add(stats.dist_computations);
                 let tids: Vec<_> = hits
                     .into_iter()
                     .filter(|(kk, tid, _)| !self.deleted.contains(&(kk.clone(), *tid)))
@@ -136,7 +143,10 @@ pub struct MTreeAm {
 impl MTreeAm {
     /// Random split — the paper's choice ("best index modification time").
     pub fn new(converters: Arc<ConverterRegistry>) -> Self {
-        MTreeAm { converters, policy: SplitPolicy::Random }
+        MTreeAm {
+            converters,
+            policy: SplitPolicy::Random,
+        }
     }
 
     /// Alternative split policy (the mM_RAD ablation).
@@ -155,7 +165,10 @@ impl AccessMethod for MTreeAm {
     }
 
     fn create(&self) -> Result<Box<dyn IndexInstance>> {
-        Ok(Box::new(MTreeIndex::new(Arc::clone(&self.converters), self.policy)))
+        Ok(Box::new(MTreeIndex::new(
+            Arc::clone(&self.converters),
+            self.policy,
+        )))
     }
 }
 
@@ -187,7 +200,8 @@ mod tests {
         idx.insert(&ut(&langs, "Nehru", "English"), tid(1)).unwrap();
         idx.insert(&ut(&langs, "நேரு", "Tamil"), tid(2)).unwrap();
         idx.insert(&ut(&langs, "नेहरू", "Hindi"), tid(3)).unwrap();
-        idx.insert(&ut(&langs, "Gandhi", "English"), tid(4)).unwrap();
+        idx.insert(&ut(&langs, "Gandhi", "English"), tid(4))
+            .unwrap();
         let probe = ut(&langs, "Nehru", "English");
         let r = idx.search("within", &probe, &Datum::Int(2)).unwrap();
         let mut pages: Vec<u32> = r.tids.iter().map(|t| t.page).collect();
@@ -214,15 +228,22 @@ mod tests {
     #[test]
     fn nearest_strategy_returns_k_best() {
         let (langs, mut idx) = setup();
-        for (i, n) in ["Nehru", "Neru", "Nero", "Gandhi", "Patel"].iter().enumerate() {
-            idx.insert(&ut(&langs, n, "English"), tid(i as u32)).unwrap();
+        for (i, n) in ["Nehru", "Neru", "Nero", "Gandhi", "Patel"]
+            .iter()
+            .enumerate()
+        {
+            idx.insert(&ut(&langs, n, "English"), tid(i as u32))
+                .unwrap();
         }
         let probe = ut(&langs, "Nehru", "English");
         let r = idx.search("nearest", &probe, &Datum::Int(3)).unwrap();
         let pages: Vec<u32> = r.tids.iter().map(|t| t.page).collect();
         assert_eq!(pages.len(), 3);
         assert_eq!(pages[0], 0, "exact match first");
-        assert!(pages.contains(&1) && pages.contains(&2), "homophones next: {pages:?}");
+        assert!(
+            pages.contains(&1) && pages.contains(&2),
+            "homophones next: {pages:?}"
+        );
         // Tombstoned entries are skipped without shrinking the result.
         idx.delete(&ut(&langs, "Neru", "English"), tid(1)).unwrap();
         let r2 = idx.search("nearest", &probe, &Datum::Int(3)).unwrap();
@@ -241,9 +262,12 @@ mod tests {
     fn search_reports_node_visits() {
         let (langs, mut idx) = setup();
         for i in 0..500 {
-            idx.insert(&ut(&langs, &format!("name{i}"), "English"), tid(i)).unwrap();
+            idx.insert(&ut(&langs, &format!("name{i}"), "English"), tid(i))
+                .unwrap();
         }
-        let r = idx.search("within", &ut(&langs, "name250", "English"), &Datum::Int(1)).unwrap();
+        let r = idx
+            .search("within", &ut(&langs, "name250", "English"), &Datum::Int(1))
+            .unwrap();
         assert!(r.node_visits >= 1);
         assert!(r.comparisons > 0);
         assert!(idx.pages() > 1);

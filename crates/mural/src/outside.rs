@@ -45,19 +45,18 @@ pub fn lexequal_scan_fn(table: &str, text_col: &str, phoneme_col: &str) -> PlFun
 ///
 /// Parameters: `q` (query phoneme), `k` (threshold), `qmdi` (the query's
 /// MDI key, precomputed by the caller with [`crate::mdi::mdi_key`]).
-pub fn lexequal_scan_mdi_fn(table: &str, text_col: &str, phoneme_col: &str, mdi_col: &str) -> PlFunction {
+pub fn lexequal_scan_mdi_fn(
+    table: &str,
+    text_col: &str,
+    phoneme_col: &str,
+    mdi_col: &str,
+) -> PlFunction {
     PlFunction {
         name: format!("lexequal_scan_mdi_{table}"),
         params: vec!["q".into(), "k".into(), "qmdi".into()],
         body: vec![
-            PlStmt::Assign(
-                "lo".into(),
-                PlExprSub(var("qmdi"), var("k")),
-            ),
-            PlStmt::Assign(
-                "hi".into(),
-                PlExprAdd(var("qmdi"), var("k")),
-            ),
+            PlStmt::Assign("lo".into(), PlExprSub(var("qmdi"), var("k"))),
+            PlStmt::Assign("hi".into(), PlExprAdd(var("qmdi"), var("k"))),
             PlStmt::ForQuery {
                 var: "r".into(),
                 sql: concat(vec![
@@ -98,14 +97,21 @@ pub fn lexequal_join_fn(
         params: vec!["k".into()],
         body: vec![PlStmt::ForQuery {
             var: "o".into(),
-            sql: text(&format!("SELECT {outer_text}, {outer_ph} FROM {outer_table}")),
+            sql: text(&format!(
+                "SELECT {outer_text}, {outer_ph} FROM {outer_table}"
+            )),
             body: vec![PlStmt::ForQuery {
                 var: "i".into(),
-                sql: text(&format!("SELECT {inner_text}, {inner_ph} FROM {inner_table}")),
+                sql: text(&format!(
+                    "SELECT {inner_text}, {inner_ph} FROM {inner_table}"
+                )),
                 body: vec![PlStmt::If {
                     cond: cmp(
                         CmpOp::Le,
-                        call("editdistance", vec![field("o", outer_ph), field("i", inner_ph)]),
+                        call(
+                            "editdistance",
+                            vec![field("o", outer_ph), field("i", inner_ph)],
+                        ),
                         var("k"),
                     ),
                     then_branch: vec![PlStmt::ReturnNext(vec![
@@ -395,7 +401,10 @@ pub fn editdistance_pl_fn() -> PlFunction {
                                 else_branch: vec![PlStmt::Assign("cost".into(), int(1))],
                             },
                             PlStmt::Assign("best".into(), add(get("prev", var("j")), var("cost"))),
-                            PlStmt::Assign("up".into(), add(get("prev", add(var("j"), int(1))), int(1))),
+                            PlStmt::Assign(
+                                "up".into(),
+                                add(get("prev", add(var("j"), int(1))), int(1)),
+                            ),
                             PlStmt::If {
                                 cond: cmp(CmpOp::Lt, var("up"), var("best")),
                                 then_branch: vec![PlStmt::Assign("best".into(), var("up"))],
@@ -444,12 +453,14 @@ mod tests {
     fn names_db() -> Database {
         let mut db = Database::new_in_memory();
         let _ = install(&mut db).unwrap();
-        db.execute("CREATE TABLE names (name TEXT, ph TEXT, mdi INT)").unwrap();
+        db.execute("CREATE TABLE names (name TEXT, ph TEXT, mdi INT)")
+            .unwrap();
         for n in ["nehru", "neru", "nero", "gandhi", "patel", "bose", "naidu"] {
             let mdi = crate::mdi::mdi_key(n.as_bytes(), crate::mdi::DEFAULT_ANCHOR);
             // Phoneme string == romanized name here: these are already
             // phonemic spellings, which keeps expectations obvious.
-            db.execute(&format!("INSERT INTO names VALUES ('{n}', '{n}', {mdi})")).unwrap();
+            db.execute(&format!("INSERT INTO names VALUES ('{n}', '{n}', {mdi})"))
+                .unwrap();
         }
         db
     }
@@ -470,7 +481,8 @@ mod tests {
     #[test]
     fn outside_scan_mdi_agrees_with_full_scan() {
         let mut db = names_db();
-        db.execute("CREATE INDEX names_mdi ON names (mdi) USING btree").unwrap();
+        db.execute("CREATE INDEX names_mdi ON names (mdi) USING btree")
+            .unwrap();
         let full = lexequal_scan_fn("names", "name", "ph");
         let mdi = lexequal_scan_mdi_fn("names", "name", "ph", "mdi");
         for (q, k) in [("nehru", 1i64), ("nero", 2), ("bose", 0), ("xyz", 1)] {
@@ -481,8 +493,10 @@ mod tests {
                 .call(&mdi, &[Datum::text(q), Datum::Int(k), Datum::Int(qmdi)])
                 .unwrap();
             let norm = |rows: Vec<Vec<Datum>>| {
-                let mut v: Vec<String> =
-                    rows.iter().map(|r| r[0].as_text().unwrap().to_string()).collect();
+                let mut v: Vec<String> = rows
+                    .iter()
+                    .map(|r| r[0].as_text().unwrap().to_string())
+                    .collect();
                 v.sort();
                 v
             };
@@ -493,10 +507,12 @@ mod tests {
     #[test]
     fn outside_join_small() {
         let mut db = names_db();
-        db.execute("CREATE TABLE pubs (name TEXT, ph TEXT, mdi INT)").unwrap();
+        db.execute("CREATE TABLE pubs (name TEXT, ph TEXT, mdi INT)")
+            .unwrap();
         for n in ["neru", "bose"] {
             let mdi = crate::mdi::mdi_key(n.as_bytes(), crate::mdi::DEFAULT_ANCHOR);
-            db.execute(&format!("INSERT INTO pubs VALUES ('{n}', '{n}', {mdi})")).unwrap();
+            db.execute(&format!("INSERT INTO pubs VALUES ('{n}', '{n}', {mdi})"))
+                .unwrap();
         }
         let join = lexequal_join_fn("pubs", "name", "ph", "names", "name", "ph");
         let mut rt = PlRuntime::new(&mut db);
@@ -506,9 +522,8 @@ mod tests {
         // Inner SPI statement re-issued per outer row.
         assert!(rt.stats().spi_statements >= 3);
 
-        let join_mdi = lexequal_join_mdi_fn(
-            "pubs", "name", "ph", "mdi", "names", "name", "ph", "mdi",
-        );
+        let join_mdi =
+            lexequal_join_mdi_fn("pubs", "name", "ph", "mdi", "names", "name", "ph", "mdi");
         let mut rt2 = PlRuntime::new(&mut db);
         let rows2 = rt2.call(&join_mdi, &[Datum::Int(1)]).unwrap();
         assert_eq!(rows2.len(), 4, "MDI join agrees");
@@ -518,12 +533,17 @@ mod tests {
     fn setsql_closure_matches_per_node_closure() {
         let mut db = Database::new_in_memory();
         let mural = install(&mut db).unwrap();
-        db.execute("CREATE TABLE edges (child INT, parent INT)").unwrap();
+        db.execute("CREATE TABLE edges (child INT, parent INT)")
+            .unwrap();
         let taxonomy = &mural.sem.taxonomy;
         for id in taxonomy.ids() {
             for &c in taxonomy.children(id) {
-                db.execute(&format!("INSERT INTO edges VALUES ({}, {})", c.raw(), id.raw()))
-                    .unwrap();
+                db.execute(&format!(
+                    "INSERT INTO edges VALUES ({}, {})",
+                    c.raw(),
+                    id.raw()
+                ))
+                .unwrap();
             }
         }
         db.execute("CREATE TABLE cl (id INT)").unwrap();
@@ -573,7 +593,11 @@ mod tests {
         let rows = rt.call(&f, &[Datum::text("nehru"), Datum::Int(1)]).unwrap();
         let mut got: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
         got.sort_unstable();
-        assert_eq!(got, vec!["nehru", "neru"], "interpreted UDF gives identical results");
+        assert_eq!(
+            got,
+            vec!["nehru", "neru"],
+            "interpreted UDF gives identical results"
+        );
     }
 
     #[test]
@@ -581,20 +605,30 @@ mod tests {
         let mut db = Database::new_in_memory();
         let mural = install(&mut db).unwrap();
         // Store the taxonomy's edges relationally.
-        db.execute("CREATE TABLE edges (child INT, parent INT)").unwrap();
+        db.execute("CREATE TABLE edges (child INT, parent INT)")
+            .unwrap();
         let taxonomy = &mural.sem.taxonomy;
         for id in taxonomy.ids() {
             for &c in taxonomy.children(id) {
-                db.execute(&format!("INSERT INTO edges VALUES ({}, {})", c.raw(), id.raw()))
-                    .unwrap();
+                db.execute(&format!(
+                    "INSERT INTO edges VALUES ({}, {})",
+                    c.raw(),
+                    id.raw()
+                ))
+                .unwrap();
             }
             for &e in taxonomy.equivalents(id) {
                 // Equivalence edges are traversed like child edges.
-                db.execute(&format!("INSERT INTO edges VALUES ({}, {})", e.raw(), id.raw()))
-                    .unwrap();
+                db.execute(&format!(
+                    "INSERT INTO edges VALUES ({}, {})",
+                    e.raw(),
+                    id.raw()
+                ))
+                .unwrap();
             }
         }
-        db.execute("CREATE TABLE scratch (id INT, done INT)").unwrap();
+        db.execute("CREATE TABLE scratch (id INT, done INT)")
+            .unwrap();
         let langs = &mural.langs;
         let history = mlql_unitext::UniText::compose("History", langs.id_of("English"));
         let root = mural.sem.synsets_of(&history)[0];

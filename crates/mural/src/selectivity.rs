@@ -15,11 +15,7 @@ pub const PSI_TAIL_MATCH_PER_K: f64 = 0.012;
 ///
 /// `mcv_phonemes` pairs each MCV's *phoneme bytes* with its frequency
 /// fraction; `query` is the probe's phoneme bytes.
-pub fn psi_scan_selectivity(
-    mcv_phonemes: &[(Vec<u8>, f64)],
-    query: &[u8],
-    k: usize,
-) -> f64 {
+pub fn psi_scan_selectivity(mcv_phonemes: &[(Vec<u8>, f64)], query: &[u8], k: usize) -> f64 {
     let matched_mass: f64 = mcv_phonemes
         .iter()
         .filter(|(ph, _)| within_distance(ph, query, k))
@@ -39,7 +35,11 @@ pub fn psi_default_selectivity(k: usize) -> f64 {
 /// `1/max(nd_l, nd_r)` inflated by the threshold factor — each extra unit
 /// of threshold admits roughly a band of near-misses around each exact
 /// match.
-pub fn psi_join_selectivity(left: Option<&ColumnStats>, right: Option<&ColumnStats>, k: usize) -> f64 {
+pub fn psi_join_selectivity(
+    left: Option<&ColumnStats>,
+    right: Option<&ColumnStats>,
+    k: usize,
+) -> f64 {
     let nd = match (left, right) {
         (Some(l), Some(r)) => l.n_distinct.max(r.n_distinct).max(1.0),
         (Some(s), None) | (None, Some(s)) => s.n_distinct.max(1.0),

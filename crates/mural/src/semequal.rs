@@ -31,7 +31,11 @@ impl SemState {
     /// Wrap a taxonomy.
     pub fn new(taxonomy: Arc<Taxonomy>) -> Arc<SemState> {
         let stats = taxonomy.stats();
-        Arc::new(SemState { taxonomy, cache: Mutex::new(ClosureCache::new()), stats })
+        Arc::new(SemState {
+            taxonomy,
+            cache: Mutex::new(ClosureCache::new()),
+            stats,
+        })
     }
 
     /// Synsets a UniText value names: exact (word, lang) entries, falling
@@ -70,7 +74,8 @@ impl SemState {
         let (hits, misses) = cache.stats();
         let m = mlql_kernel::obs::metrics();
         m.taxonomy_closure_cache_hits_total.add(hits - hits_before);
-        m.taxonomy_closure_cache_misses_total.add(misses - misses_before);
+        m.taxonomy_closure_cache_misses_total
+            .add(misses - misses_before);
     }
 
     /// Exact closure size of the concept a constant names, if resolvable —
@@ -109,7 +114,10 @@ pub fn semequal_operator(
         }),
         // Table 1: Ω does NOT commute (subsumption is directional) but
         // distributes over ∪.
-        kind: OperatorKind { commutative: false, distributes_over_union: true },
+        kind: OperatorKind {
+            commutative: false,
+            distributes_over_union: true,
+        },
         // Per evaluated pair: UniText decode, two word-index probes, a
         // cache-mutex acquisition and a hash-set membership test.
         // Calibrated against measurement (the Figure 6 Ω points sit on the
@@ -135,7 +143,9 @@ pub fn semequal_operator(
         index_strategy: None,
         index_extra: None,
         modifier_filter: Some(Arc::new(move |l, mods| {
-            let Ok(v) = unitext_of_datum(l) else { return false };
+            let Ok(v) = unitext_of_datum(l) else {
+                return false;
+            };
             mods.iter().any(|m| {
                 langs
                     .lookup(m)
@@ -240,10 +250,14 @@ mod tests {
             session: &session,
         });
         // History's closure covers 7 of the 12 synsets.
-        let expected = state.closure_size_of(&UniText::compose("History", langs.id_of("English"))).unwrap()
-            as f64
+        let expected = state
+            .closure_size_of(&UniText::compose("History", langs.id_of("English")))
+            .unwrap() as f64
             / state.stats.synsets as f64;
-        assert!((sel - expected).abs() < 1e-9, "sel {sel} expected {expected}");
+        assert!(
+            (sel - expected).abs() < 1e-9,
+            "sel {sel} expected {expected}"
+        );
     }
 
     #[test]

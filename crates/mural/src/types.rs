@@ -126,14 +126,12 @@ pub fn unitext_type_def(converters: Arc<ConverterRegistry>) -> ExtTypeDef {
             Ok(v) => v.text().cmp(text),
             Err(_) => std::cmp::Ordering::Greater,
         })),
-        on_insert: Some(Arc::new(move |bytes| {
-            match unitext_from_bytes(bytes) {
-                Ok(mut v) => {
-                    converters.materialize(&mut v);
-                    unitext_to_bytes(&v)
-                }
-                Err(_) => bytes.to_vec(),
+        on_insert: Some(Arc::new(move |bytes| match unitext_from_bytes(bytes) {
+            Ok(mut v) => {
+                converters.materialize(&mut v);
+                unitext_to_bytes(&v)
             }
+            Err(_) => bytes.to_vec(),
         })),
     }
 }
@@ -150,7 +148,8 @@ mod tests {
     #[test]
     fn codec_roundtrip() {
         let r = reg();
-        let v = UniText::compose("Une Corde Témoin", r.id_of("French")).with_phoneme("ynkordtemwen");
+        let v =
+            UniText::compose("Une Corde Témoin", r.id_of("French")).with_phoneme("ynkordtemwen");
         let bytes = unitext_to_bytes(&v);
         let back = unitext_from_bytes(&bytes).unwrap();
         assert_eq!(back.text(), "Une Corde Témoin");

@@ -9,10 +9,10 @@
 use crate::english::english_rules;
 use crate::french::french_rules;
 use crate::german::german_rules;
-use crate::spanish::spanish_rules;
 use crate::indic::{self, IndicScript};
 use crate::ipa::PhonemeString;
 use crate::ruleset::RuleSet;
+use crate::spanish::spanish_rules;
 use mlql_unitext::{LangId, LanguageRegistry, UniText};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -76,31 +76,52 @@ impl ConverterRegistry {
         let mut reg = ConverterRegistry::new();
         reg.register(
             langs.id_of("English"),
-            Arc::new(RuleConverter { name: "english-nrl".into(), rules: english_rules() }),
+            Arc::new(RuleConverter {
+                name: "english-nrl".into(),
+                rules: english_rules(),
+            }),
         );
         reg.register(
             langs.id_of("French"),
-            Arc::new(RuleConverter { name: "french-rules".into(), rules: french_rules() }),
+            Arc::new(RuleConverter {
+                name: "french-rules".into(),
+                rules: french_rules(),
+            }),
         );
         reg.register(
             langs.id_of("German"),
-            Arc::new(RuleConverter { name: "german-rules".into(), rules: german_rules() }),
+            Arc::new(RuleConverter {
+                name: "german-rules".into(),
+                rules: german_rules(),
+            }),
         );
         reg.register(
             langs.id_of("Spanish"),
-            Arc::new(RuleConverter { name: "spanish-rules".into(), rules: spanish_rules() }),
+            Arc::new(RuleConverter {
+                name: "spanish-rules".into(),
+                rules: spanish_rules(),
+            }),
         );
         reg.register(
             langs.id_of("Hindi"),
-            Arc::new(IndicConverter { name: "devanagari".into(), script: IndicScript::Devanagari }),
+            Arc::new(IndicConverter {
+                name: "devanagari".into(),
+                script: IndicScript::Devanagari,
+            }),
         );
         reg.register(
             langs.id_of("Tamil"),
-            Arc::new(IndicConverter { name: "tamil".into(), script: IndicScript::Tamil }),
+            Arc::new(IndicConverter {
+                name: "tamil".into(),
+                script: IndicScript::Tamil,
+            }),
         );
         reg.register(
             langs.id_of("Kannada"),
-            Arc::new(IndicConverter { name: "kannada".into(), script: IndicScript::Kannada }),
+            Arc::new(IndicConverter {
+                name: "kannada".into(),
+                script: IndicScript::Kannada,
+            }),
         );
         reg
     }
@@ -168,7 +189,10 @@ mod tests {
     fn builtin_coverage() {
         let (langs, convs) = setup();
         for name in ["English", "French", "Hindi", "Tamil", "Kannada"] {
-            assert!(convs.get(langs.id_of(name)).is_some(), "missing converter for {name}");
+            assert!(
+                convs.get(langs.id_of(name)).is_some(),
+                "missing converter for {name}"
+            );
         }
         assert!(!convs.is_empty());
     }
@@ -181,8 +205,14 @@ mod tests {
         let en = convs.phonemes_of(&UniText::compose("Nehru", langs.id_of("English")));
         let hi = convs.phonemes_of(&UniText::compose("नेहरू", langs.id_of("Hindi")));
         let ta = convs.phonemes_of(&UniText::compose("நேரு", langs.id_of("Tamil")));
-        assert!(edit_distance(en.as_bytes(), hi.as_bytes()) <= 2, "en={en} hi={hi}");
-        assert!(edit_distance(en.as_bytes(), ta.as_bytes()) <= 2, "en={en} ta={ta}");
+        assert!(
+            edit_distance(en.as_bytes(), hi.as_bytes()) <= 2,
+            "en={en} hi={hi}"
+        );
+        assert!(
+            edit_distance(en.as_bytes(), ta.as_bytes()) <= 2,
+            "en={en} ta={ta}"
+        );
     }
 
     #[test]
@@ -203,7 +233,10 @@ mod tests {
         let first = v.phoneme().unwrap().to_owned();
         convs.materialize(&mut v); // no-op
         assert_eq!(v.phoneme().unwrap(), first);
-        assert_eq!(PhonemeString::from_bytes(first.as_bytes()).to_ipa(), "nehru");
+        assert_eq!(
+            PhonemeString::from_bytes(first.as_bytes()).to_ipa(),
+            "nehru"
+        );
     }
 
     #[test]

@@ -168,7 +168,11 @@ mod tests {
         for &(a, b) in pairs {
             let d = edit_distance(a, b);
             for k in d..d + 3 {
-                assert_eq!(edit_distance_banded(a, b, k), Some(d), "a={a:?} b={b:?} k={k}");
+                assert_eq!(
+                    edit_distance_banded(a, b, k),
+                    Some(d),
+                    "a={a:?} b={b:?} k={k}"
+                );
             }
             if d > 0 {
                 assert_eq!(edit_distance_banded(a, b, d - 1), None);
@@ -200,7 +204,10 @@ mod tests {
         assert_eq!(buf.distance_within(b"abc", b"abd", 1), Some(1));
         assert_eq!(buf.distance(b"abcdefghij", b"abcdefghij"), 0);
         assert_eq!(buf.distance_within(b"abcdefghij", b"abc", 2), None);
-        assert_eq!(buf.distance_within(b"abcdefghij", b"abcdefghix", 5), Some(1));
+        assert_eq!(
+            buf.distance_within(b"abcdefghij", b"abcdefghix", 5),
+            Some(1)
+        );
     }
 
     #[test]

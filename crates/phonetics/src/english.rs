@@ -15,110 +15,610 @@ use Phone::*;
 pub fn english_rules() -> RuleSet {
     RuleSet::new(vec![
         // ---------- multi-letter graphemes (must precede single letters) ----------
-        Rule { left: &[], pattern: "tion", right: &[], output: &[Sh, Schwa, N] },
-        Rule { left: &[], pattern: "sion", right: &[V], output: &[Zh, Schwa, N] },
-        Rule { left: &[], pattern: "sion", right: &[], output: &[Sh, Schwa, N] },
-        Rule { left: &[], pattern: "ough", right: &[B], output: &[O] },
-        Rule { left: &[], pattern: "augh", right: &[], output: &[Oo] },
-        Rule { left: &[], pattern: "igh", right: &[], output: &[A, I] },
-        Rule { left: &[], pattern: "eigh", right: &[], output: &[E, I] },
-        Rule { left: &[], pattern: "sch", right: &[], output: &[Sh] },
-        Rule { left: &[], pattern: "tch", right: &[], output: &[Ch] },
-        Rule { left: &[], pattern: "ch", right: &[], output: &[Ch] },
-        Rule { left: &[], pattern: "sh", right: &[], output: &[Sh] },
-        Rule { left: &[], pattern: "ph", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "th", right: &[], output: &[Th] },
-        Rule { left: &[], pattern: "gh", right: &[V], output: &[G] },
-        Rule { left: &[], pattern: "gh", right: &[], output: &[] }, // silent (night handled above)
-        Rule { left: &[], pattern: "wh", right: &[], output: &[W] },
-        Rule { left: &[B], pattern: "kn", right: &[], output: &[N] },
-        Rule { left: &[B], pattern: "gn", right: &[], output: &[N] },
-        Rule { left: &[B], pattern: "ps", right: &[], output: &[S] },
-        Rule { left: &[B], pattern: "wr", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "ck", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "dge", right: &[], output: &[J] },
-        Rule { left: &[], pattern: "ng", right: &[B], output: &[Ng] },
-        Rule { left: &[], pattern: "ng", right: &[], output: &[Ng, G] },
-        Rule { left: &[], pattern: "qu", right: &[], output: &[K, W] },
-        Rule { left: &[], pattern: "sc", right: &[Lit('e')], output: &[S] },
-        Rule { left: &[], pattern: "sc", right: &[Lit('i')], output: &[S] },
+        Rule {
+            left: &[],
+            pattern: "tion",
+            right: &[],
+            output: &[Sh, Schwa, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "sion",
+            right: &[V],
+            output: &[Zh, Schwa, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "sion",
+            right: &[],
+            output: &[Sh, Schwa, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "ough",
+            right: &[B],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "augh",
+            right: &[],
+            output: &[Oo],
+        },
+        Rule {
+            left: &[],
+            pattern: "igh",
+            right: &[],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "eigh",
+            right: &[],
+            output: &[E, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "sch",
+            right: &[],
+            output: &[Sh],
+        },
+        Rule {
+            left: &[],
+            pattern: "tch",
+            right: &[],
+            output: &[Ch],
+        },
+        Rule {
+            left: &[],
+            pattern: "ch",
+            right: &[],
+            output: &[Ch],
+        },
+        Rule {
+            left: &[],
+            pattern: "sh",
+            right: &[],
+            output: &[Sh],
+        },
+        Rule {
+            left: &[],
+            pattern: "ph",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "th",
+            right: &[],
+            output: &[Th],
+        },
+        Rule {
+            left: &[],
+            pattern: "gh",
+            right: &[V],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "gh",
+            right: &[],
+            output: &[],
+        }, // silent (night handled above)
+        Rule {
+            left: &[],
+            pattern: "wh",
+            right: &[],
+            output: &[W],
+        },
+        Rule {
+            left: &[B],
+            pattern: "kn",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[B],
+            pattern: "gn",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[B],
+            pattern: "ps",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[B],
+            pattern: "wr",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "ck",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "dge",
+            right: &[],
+            output: &[J],
+        },
+        Rule {
+            left: &[],
+            pattern: "ng",
+            right: &[B],
+            output: &[Ng],
+        },
+        Rule {
+            left: &[],
+            pattern: "ng",
+            right: &[],
+            output: &[Ng, G],
+        },
+        Rule {
+            left: &[],
+            pattern: "qu",
+            right: &[],
+            output: &[K, W],
+        },
+        Rule {
+            left: &[],
+            pattern: "sc",
+            right: &[Lit('e')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "sc",
+            right: &[Lit('i')],
+            output: &[S],
+        },
         // ---------- vowel digraphs ----------
-        Rule { left: &[], pattern: "ee", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ea", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "oo", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "ou", right: &[], output: &[A, U] },
-        Rule { left: &[], pattern: "ow", right: &[B], output: &[O] },
-        Rule { left: &[], pattern: "ow", right: &[], output: &[A, U] },
-        Rule { left: &[], pattern: "oa", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "oi", right: &[], output: &[Oo, I] },
-        Rule { left: &[], pattern: "oy", right: &[], output: &[Oo, I] },
-        Rule { left: &[], pattern: "ai", right: &[], output: &[E, I] },
-        Rule { left: &[], pattern: "ay", right: &[], output: &[E, I] },
-        Rule { left: &[], pattern: "au", right: &[], output: &[Oo] },
-        Rule { left: &[], pattern: "aw", right: &[], output: &[Oo] },
-        Rule { left: &[], pattern: "ie", right: &[B], output: &[A, I] },
-        Rule { left: &[], pattern: "ie", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ei", right: &[], output: &[E, I] },
-        Rule { left: &[], pattern: "ey", right: &[B], output: &[I] },
-        Rule { left: &[], pattern: "eu", right: &[], output: &[Yy, U] },
-        Rule { left: &[], pattern: "ew", right: &[], output: &[Yy, U] },
-        Rule { left: &[], pattern: "ue", right: &[B], output: &[U] },
+        Rule {
+            left: &[],
+            pattern: "ee",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ea",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "oo",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ou",
+            right: &[],
+            output: &[A, U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ow",
+            right: &[B],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "ow",
+            right: &[],
+            output: &[A, U],
+        },
+        Rule {
+            left: &[],
+            pattern: "oa",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "oi",
+            right: &[],
+            output: &[Oo, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "oy",
+            right: &[],
+            output: &[Oo, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ai",
+            right: &[],
+            output: &[E, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ay",
+            right: &[],
+            output: &[E, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "au",
+            right: &[],
+            output: &[Oo],
+        },
+        Rule {
+            left: &[],
+            pattern: "aw",
+            right: &[],
+            output: &[Oo],
+        },
+        Rule {
+            left: &[],
+            pattern: "ie",
+            right: &[B],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ie",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ei",
+            right: &[],
+            output: &[E, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ey",
+            right: &[B],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "eu",
+            right: &[],
+            output: &[Yy, U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ew",
+            right: &[],
+            output: &[Yy, U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ue",
+            right: &[B],
+            output: &[U],
+        },
         // ---------- consonants ----------
-        Rule { left: &[], pattern: "b", right: &[Lit('b')], output: &[] }, // geminate
-        Rule { left: &[], pattern: "b", right: &[], output: &[Phone::B] },
-        Rule { left: &[], pattern: "c", right: &[Lit('c')], output: &[] },
-        Rule { left: &[], pattern: "c", right: &[Lit('e')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('i')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('y')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "d", right: &[Lit('d')], output: &[] },
-        Rule { left: &[], pattern: "d", right: &[], output: &[D] },
-        Rule { left: &[], pattern: "f", right: &[Lit('f')], output: &[] },
-        Rule { left: &[], pattern: "f", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "g", right: &[Lit('g')], output: &[] },
-        Rule { left: &[], pattern: "g", right: &[Lit('e')], output: &[J] },
-        Rule { left: &[], pattern: "g", right: &[Lit('i')], output: &[J] },
-        Rule { left: &[], pattern: "g", right: &[], output: &[G] },
-        Rule { left: &[], pattern: "h", right: &[], output: &[H] },
-        Rule { left: &[], pattern: "j", right: &[], output: &[J] },
-        Rule { left: &[], pattern: "k", right: &[Lit('k')], output: &[] },
-        Rule { left: &[], pattern: "k", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "l", right: &[Lit('l')], output: &[] },
-        Rule { left: &[], pattern: "l", right: &[], output: &[L] },
-        Rule { left: &[], pattern: "m", right: &[Lit('m')], output: &[] },
-        Rule { left: &[], pattern: "m", right: &[], output: &[M] },
-        Rule { left: &[], pattern: "n", right: &[Lit('n')], output: &[] },
-        Rule { left: &[], pattern: "n", right: &[], output: &[N] },
-        Rule { left: &[], pattern: "p", right: &[Lit('p')], output: &[] },
-        Rule { left: &[], pattern: "p", right: &[], output: &[P] },
-        Rule { left: &[], pattern: "r", right: &[Lit('r')], output: &[] },
-        Rule { left: &[], pattern: "r", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "s", right: &[Lit('s')], output: &[] },
-        Rule { left: &[V], pattern: "s", right: &[V], output: &[Z] },
-        Rule { left: &[], pattern: "s", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "t", right: &[Lit('t')], output: &[] },
-        Rule { left: &[], pattern: "t", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "v", right: &[], output: &[Phone::V] },
-        Rule { left: &[], pattern: "w", right: &[], output: &[W] },
-        Rule { left: &[], pattern: "x", right: &[], output: &[K, S] },
-        Rule { left: &[B], pattern: "y", right: &[V], output: &[Yy] },
-        Rule { left: &[], pattern: "y", right: &[B], output: &[I] },
-        Rule { left: &[], pattern: "y", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "z", right: &[Lit('z')], output: &[] },
-        Rule { left: &[], pattern: "z", right: &[], output: &[Z] },
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[Lit('b')],
+            output: &[],
+        }, // geminate
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[],
+            output: &[Phone::B],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('c')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('e')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('i')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('y')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[Lit('d')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[],
+            output: &[D],
+        },
+        Rule {
+            left: &[],
+            pattern: "f",
+            right: &[Lit('f')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "f",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('g')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('e')],
+            output: &[J],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('i')],
+            output: &[J],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "h",
+            right: &[],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "j",
+            right: &[],
+            output: &[J],
+        },
+        Rule {
+            left: &[],
+            pattern: "k",
+            right: &[Lit('k')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "k",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[Lit('l')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[],
+            output: &[L],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[Lit('m')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[],
+            output: &[M],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[Lit('n')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[Lit('p')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[],
+            output: &[P],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[Lit('r')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[Lit('s')],
+            output: &[],
+        },
+        Rule {
+            left: &[V],
+            pattern: "s",
+            right: &[V],
+            output: &[Z],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[Lit('t')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "v",
+            right: &[],
+            output: &[Phone::V],
+        },
+        Rule {
+            left: &[],
+            pattern: "w",
+            right: &[],
+            output: &[W],
+        },
+        Rule {
+            left: &[],
+            pattern: "x",
+            right: &[],
+            output: &[K, S],
+        },
+        Rule {
+            left: &[B],
+            pattern: "y",
+            right: &[V],
+            output: &[Yy],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[B],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[Lit('z')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[],
+            output: &[Z],
+        },
         // ---------- single vowels ----------
         // magic-e lengthening: a_e -> eɪ (approximated e i)
-        Rule { left: &[], pattern: "a", right: &[C, Lit('e'), B], output: &[E, I] },
-        Rule { left: &[], pattern: "i", right: &[C, Lit('e'), B], output: &[A, I] },
-        Rule { left: &[], pattern: "o", right: &[C, Lit('e'), B], output: &[O] },
-        Rule { left: &[], pattern: "u", right: &[C, Lit('e'), B], output: &[U] },
-        Rule { left: &[], pattern: "e", right: &[B], output: &[] }, // final silent e
-        Rule { left: &[], pattern: "a", right: &[B], output: &[A] },
-        Rule { left: &[], pattern: "a", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "e", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "i", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "o", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "u", right: &[], output: &[U] },
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[C, Lit('e'), B],
+            output: &[E, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "i",
+            right: &[C, Lit('e'), B],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "o",
+            right: &[C, Lit('e'), B],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "u",
+            right: &[C, Lit('e'), B],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[B],
+            output: &[],
+        }, // final silent e
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[B],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "i",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "o",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "u",
+            right: &[],
+            output: &[U],
+        },
     ])
 }
 
@@ -176,7 +676,11 @@ mod tests {
     #[test]
     fn names_are_stable() {
         // Homophone pairs should convert to nearby strings.
-        for (a, b) in [("Geoffrey", "Jeffrey"), ("Catherine", "Katherine"), ("Meier", "Meyer")] {
+        for (a, b) in [
+            ("Geoffrey", "Jeffrey"),
+            ("Catherine", "Katherine"),
+            ("Meier", "Meyer"),
+        ] {
             let (pa, pb) = (ipa(a), ipa(b));
             assert!(
                 crate::distance::edit_distance(pa.as_bytes(), pb.as_bytes()) <= 2,

@@ -14,91 +14,501 @@ use Phone::*;
 pub fn french_rules() -> RuleSet {
     RuleSet::new(vec![
         // ---------- multigraphs ----------
-        Rule { left: &[], pattern: "eau", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "eaux", right: &[B], output: &[O] },
-        Rule { left: &[], pattern: "ain", right: &[B], output: &[E, N] },
-        Rule { left: &[], pattern: "aim", right: &[B], output: &[E, N] },
-        Rule { left: &[], pattern: "oin", right: &[], output: &[W, E, N] },
-        Rule { left: &[], pattern: "ien", right: &[B], output: &[Yy, E, N] },
-        Rule { left: &[], pattern: "tion", right: &[B], output: &[S, Yy, O, N] },
-        Rule { left: &[], pattern: "eux", right: &[B], output: &[U] },
-        Rule { left: &[], pattern: "eu", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "oeu", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "ou", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "oi", right: &[], output: &[W, A] },
-        Rule { left: &[], pattern: "oy", right: &[V], output: &[W, A, Yy] },
-        Rule { left: &[], pattern: "ai", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "ei", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "au", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "an", right: &[B], output: &[A, N] },
-        Rule { left: &[], pattern: "en", right: &[B], output: &[A, N] },
-        Rule { left: &[], pattern: "on", right: &[B], output: &[O, N] },
-        Rule { left: &[], pattern: "un", right: &[B], output: &[Schwa, N] },
-        Rule { left: &[], pattern: "in", right: &[B], output: &[E, N] },
-        Rule { left: &[], pattern: "ch", right: &[], output: &[Sh] },
-        Rule { left: &[], pattern: "ph", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "th", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "gn", right: &[], output: &[Ny] },
-        Rule { left: &[], pattern: "qu", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "gu", right: &[Lit('e')], output: &[G] },
-        Rule { left: &[], pattern: "gu", right: &[Lit('i')], output: &[G] },
-        Rule { left: &[], pattern: "ill", right: &[V], output: &[I, Yy] },
-        Rule { left: &[], pattern: "ll", right: &[], output: &[L] },
+        Rule {
+            left: &[],
+            pattern: "eau",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "eaux",
+            right: &[B],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "ain",
+            right: &[B],
+            output: &[E, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "aim",
+            right: &[B],
+            output: &[E, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "oin",
+            right: &[],
+            output: &[W, E, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "ien",
+            right: &[B],
+            output: &[Yy, E, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "tion",
+            right: &[B],
+            output: &[S, Yy, O, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "eux",
+            right: &[B],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "eu",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "oeu",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ou",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "oi",
+            right: &[],
+            output: &[W, A],
+        },
+        Rule {
+            left: &[],
+            pattern: "oy",
+            right: &[V],
+            output: &[W, A, Yy],
+        },
+        Rule {
+            left: &[],
+            pattern: "ai",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "ei",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "au",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "an",
+            right: &[B],
+            output: &[A, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "en",
+            right: &[B],
+            output: &[A, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "on",
+            right: &[B],
+            output: &[O, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "un",
+            right: &[B],
+            output: &[Schwa, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "in",
+            right: &[B],
+            output: &[E, N],
+        },
+        Rule {
+            left: &[],
+            pattern: "ch",
+            right: &[],
+            output: &[Sh],
+        },
+        Rule {
+            left: &[],
+            pattern: "ph",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "th",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "gn",
+            right: &[],
+            output: &[Ny],
+        },
+        Rule {
+            left: &[],
+            pattern: "qu",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "gu",
+            right: &[Lit('e')],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "gu",
+            right: &[Lit('i')],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "ill",
+            right: &[V],
+            output: &[I, Yy],
+        },
+        Rule {
+            left: &[],
+            pattern: "ll",
+            right: &[],
+            output: &[L],
+        },
         // ---------- silent finals ----------
-        Rule { left: &[], pattern: "es", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "e", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "s", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "t", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "d", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "x", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "z", right: &[B], output: &[] },
-        Rule { left: &[], pattern: "p", right: &[B], output: &[] },
+        Rule {
+            left: &[],
+            pattern: "es",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "x",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[B],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[B],
+            output: &[],
+        },
         // ---------- consonants ----------
-        Rule { left: &[], pattern: "c", right: &[Lit('e')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('i')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('y')], output: &[S] },
-        Rule { left: &[], pattern: "ç", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "cc", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "c", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "g", right: &[Lit('e')], output: &[Zh] },
-        Rule { left: &[], pattern: "g", right: &[Lit('i')], output: &[Zh] },
-        Rule { left: &[], pattern: "g", right: &[], output: &[G] },
-        Rule { left: &[], pattern: "j", right: &[], output: &[Zh] },
-        Rule { left: &[], pattern: "h", right: &[], output: &[] }, // h is silent
-        Rule { left: &[V], pattern: "s", right: &[V], output: &[Z] },
-        Rule { left: &[], pattern: "ss", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "s", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "w", right: &[], output: &[Phone::V] },
-        Rule { left: &[], pattern: "b", right: &[], output: &[Phone::B] },
-        Rule { left: &[], pattern: "d", right: &[], output: &[D] },
-        Rule { left: &[], pattern: "f", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "k", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "l", right: &[], output: &[L] },
-        Rule { left: &[], pattern: "m", right: &[], output: &[M] },
-        Rule { left: &[], pattern: "n", right: &[], output: &[N] },
-        Rule { left: &[], pattern: "p", right: &[], output: &[P] },
-        Rule { left: &[], pattern: "r", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "t", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "v", right: &[], output: &[Phone::V] },
-        Rule { left: &[], pattern: "x", right: &[], output: &[K, S] },
-        Rule { left: &[], pattern: "z", right: &[], output: &[Z] },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('e')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('i')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('y')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "ç",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "cc",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('e')],
+            output: &[Zh],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('i')],
+            output: &[Zh],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "j",
+            right: &[],
+            output: &[Zh],
+        },
+        Rule {
+            left: &[],
+            pattern: "h",
+            right: &[],
+            output: &[],
+        }, // h is silent
+        Rule {
+            left: &[V],
+            pattern: "s",
+            right: &[V],
+            output: &[Z],
+        },
+        Rule {
+            left: &[],
+            pattern: "ss",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "w",
+            right: &[],
+            output: &[Phone::V],
+        },
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[],
+            output: &[Phone::B],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[],
+            output: &[D],
+        },
+        Rule {
+            left: &[],
+            pattern: "f",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "k",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[],
+            output: &[L],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[],
+            output: &[M],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[],
+            output: &[P],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "v",
+            right: &[],
+            output: &[Phone::V],
+        },
+        Rule {
+            left: &[],
+            pattern: "x",
+            right: &[],
+            output: &[K, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[],
+            output: &[Z],
+        },
         // ---------- vowels (accented first) ----------
-        Rule { left: &[], pattern: "é", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "è", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "ê", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "ë", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "à", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "â", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "î", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ï", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ô", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "û", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "a", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "e", right: &[], output: &[Schwa] },
-        Rule { left: &[], pattern: "i", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "o", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "u", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "y", right: &[], output: &[I] },
+        Rule {
+            left: &[],
+            pattern: "é",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "è",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "ê",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "ë",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "à",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "â",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "î",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ï",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ô",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "û",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[],
+            output: &[Schwa],
+        },
+        Rule {
+            left: &[],
+            pattern: "i",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "o",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "u",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[],
+            output: &[I],
+        },
     ])
 }
 

@@ -14,89 +14,479 @@ use Phone::*;
 pub fn german_rules() -> RuleSet {
     RuleSet::new(vec![
         // ---------- multigraphs ----------
-        Rule { left: &[], pattern: "sch", right: &[], output: &[Sh] },
-        Rule { left: &[], pattern: "tsch", right: &[], output: &[Ch] },
-        Rule { left: &[], pattern: "chs", right: &[], output: &[K, S] },
-        Rule { left: &[Lit('a')], pattern: "ch", right: &[], output: &[H] }, // ach-Laut ≈ /x/→h
-        Rule { left: &[Lit('o')], pattern: "ch", right: &[], output: &[H] },
-        Rule { left: &[Lit('u')], pattern: "ch", right: &[], output: &[H] },
-        Rule { left: &[], pattern: "ch", right: &[], output: &[H] }, // ich-Laut ≈ ç→h
-        Rule { left: &[], pattern: "ck", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "dt", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "er", right: &[B], output: &[Schwa, R] },
-        Rule { left: &[], pattern: "tz", right: &[], output: &[T, S] },
-        Rule { left: &[], pattern: "pf", right: &[], output: &[P, F] },
-        Rule { left: &[], pattern: "ph", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "th", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "qu", right: &[], output: &[K, Phone::V] },
-        Rule { left: &[B], pattern: "sp", right: &[], output: &[Sh, P] },
-        Rule { left: &[B], pattern: "st", right: &[], output: &[Sh, T] },
-        Rule { left: &[], pattern: "ss", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "ß", right: &[], output: &[S] },
+        Rule {
+            left: &[],
+            pattern: "sch",
+            right: &[],
+            output: &[Sh],
+        },
+        Rule {
+            left: &[],
+            pattern: "tsch",
+            right: &[],
+            output: &[Ch],
+        },
+        Rule {
+            left: &[],
+            pattern: "chs",
+            right: &[],
+            output: &[K, S],
+        },
+        Rule {
+            left: &[Lit('a')],
+            pattern: "ch",
+            right: &[],
+            output: &[H],
+        }, // ach-Laut ≈ /x/→h
+        Rule {
+            left: &[Lit('o')],
+            pattern: "ch",
+            right: &[],
+            output: &[H],
+        },
+        Rule {
+            left: &[Lit('u')],
+            pattern: "ch",
+            right: &[],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "ch",
+            right: &[],
+            output: &[H],
+        }, // ich-Laut ≈ ç→h
+        Rule {
+            left: &[],
+            pattern: "ck",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "dt",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "er",
+            right: &[B],
+            output: &[Schwa, R],
+        },
+        Rule {
+            left: &[],
+            pattern: "tz",
+            right: &[],
+            output: &[T, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "pf",
+            right: &[],
+            output: &[P, F],
+        },
+        Rule {
+            left: &[],
+            pattern: "ph",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "th",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "qu",
+            right: &[],
+            output: &[K, Phone::V],
+        },
+        Rule {
+            left: &[B],
+            pattern: "sp",
+            right: &[],
+            output: &[Sh, P],
+        },
+        Rule {
+            left: &[B],
+            pattern: "st",
+            right: &[],
+            output: &[Sh, T],
+        },
+        Rule {
+            left: &[],
+            pattern: "ss",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "ß",
+            right: &[],
+            output: &[S],
+        },
         // ---------- vowel digraphs ----------
-        Rule { left: &[], pattern: "sche", right: &[B], output: &[Sh, Schwa] },
-        Rule { left: &[], pattern: "ei", right: &[], output: &[A, I] },
-        Rule { left: &[], pattern: "ey", right: &[], output: &[A, I] },
-        Rule { left: &[], pattern: "ai", right: &[], output: &[A, I] },
-        Rule { left: &[], pattern: "ay", right: &[], output: &[A, I] },
-        Rule { left: &[], pattern: "au", right: &[], output: &[A, U] },
-        Rule { left: &[], pattern: "eu", right: &[], output: &[Oo, I] },
-        Rule { left: &[], pattern: "äu", right: &[], output: &[Oo, I] },
-        Rule { left: &[], pattern: "ie", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ee", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "aa", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "oo", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "eh", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "ah", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "oh", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "uh", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "ih", right: &[], output: &[I] },
+        Rule {
+            left: &[],
+            pattern: "sche",
+            right: &[B],
+            output: &[Sh, Schwa],
+        },
+        Rule {
+            left: &[],
+            pattern: "ei",
+            right: &[],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ey",
+            right: &[],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ai",
+            right: &[],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ay",
+            right: &[],
+            output: &[A, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "au",
+            right: &[],
+            output: &[A, U],
+        },
+        Rule {
+            left: &[],
+            pattern: "eu",
+            right: &[],
+            output: &[Oo, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "äu",
+            right: &[],
+            output: &[Oo, I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ie",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ee",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "aa",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "oo",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "eh",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "ah",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "oh",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "uh",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "ih",
+            right: &[],
+            output: &[I],
+        },
         // ---------- umlauts ----------
-        Rule { left: &[], pattern: "ä", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "ö", right: &[], output: &[U] }, // ø ≈ u-ish fold
-        Rule { left: &[], pattern: "ü", right: &[], output: &[U] },
+        Rule {
+            left: &[],
+            pattern: "ä",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "ö",
+            right: &[],
+            output: &[U],
+        }, // ø ≈ u-ish fold
+        Rule {
+            left: &[],
+            pattern: "ü",
+            right: &[],
+            output: &[U],
+        },
         // ---------- consonants ----------
         // Final devoicing: b/d/g at word end → p/t/k.
-        Rule { left: &[], pattern: "b", right: &[B], output: &[P] },
-        Rule { left: &[], pattern: "d", right: &[B], output: &[T] },
-        Rule { left: &[], pattern: "g", right: &[B], output: &[K] },
-        Rule { left: &[], pattern: "b", right: &[], output: &[Phone::B] },
-        Rule { left: &[], pattern: "d", right: &[], output: &[D] },
-        Rule { left: &[], pattern: "g", right: &[], output: &[G] },
-        Rule { left: &[], pattern: "w", right: &[], output: &[Phone::V] },
-        Rule { left: &[B], pattern: "v", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "v", right: &[], output: &[Phone::V] },
-        Rule { left: &[B], pattern: "s", right: &[V], output: &[Z] }, // initial s+vowel voiced
-        Rule { left: &[V], pattern: "s", right: &[V], output: &[Z] },
-        Rule { left: &[], pattern: "s", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "z", right: &[], output: &[T, S] },
-        Rule { left: &[], pattern: "j", right: &[], output: &[Yy] },
-        Rule { left: &[], pattern: "c", right: &[Lit('e')], output: &[T, S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('i')], output: &[T, S] },
-        Rule { left: &[], pattern: "c", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "f", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "h", right: &[], output: &[H] },
-        Rule { left: &[], pattern: "k", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "l", right: &[Lit('l')], output: &[] },
-        Rule { left: &[], pattern: "l", right: &[], output: &[L] },
-        Rule { left: &[], pattern: "m", right: &[Lit('m')], output: &[] },
-        Rule { left: &[], pattern: "m", right: &[], output: &[M] },
-        Rule { left: &[], pattern: "n", right: &[Lit('n')], output: &[] },
-        Rule { left: &[], pattern: "n", right: &[], output: &[N] },
-        Rule { left: &[], pattern: "p", right: &[], output: &[P] },
-        Rule { left: &[], pattern: "r", right: &[Lit('r')], output: &[] },
-        Rule { left: &[], pattern: "r", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "t", right: &[Lit('t')], output: &[] },
-        Rule { left: &[], pattern: "t", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "x", right: &[], output: &[K, S] },
-        Rule { left: &[], pattern: "y", right: &[], output: &[I] },
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[B],
+            output: &[P],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[B],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[B],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[],
+            output: &[Phone::B],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[],
+            output: &[D],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "w",
+            right: &[],
+            output: &[Phone::V],
+        },
+        Rule {
+            left: &[B],
+            pattern: "v",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "v",
+            right: &[],
+            output: &[Phone::V],
+        },
+        Rule {
+            left: &[B],
+            pattern: "s",
+            right: &[V],
+            output: &[Z],
+        }, // initial s+vowel voiced
+        Rule {
+            left: &[V],
+            pattern: "s",
+            right: &[V],
+            output: &[Z],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[],
+            output: &[T, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "j",
+            right: &[],
+            output: &[Yy],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('e')],
+            output: &[T, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('i')],
+            output: &[T, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "f",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "h",
+            right: &[],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "k",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[Lit('l')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[],
+            output: &[L],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[Lit('m')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[],
+            output: &[M],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[Lit('n')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[],
+            output: &[P],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[Lit('r')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[Lit('t')],
+            output: &[],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "x",
+            right: &[],
+            output: &[K, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[],
+            output: &[I],
+        },
         // ---------- single vowels ----------
-        Rule { left: &[], pattern: "a", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "e", right: &[B], output: &[Schwa] },
-        Rule { left: &[], pattern: "e", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "i", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "o", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "u", right: &[], output: &[U] },
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[B],
+            output: &[Schwa],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "i",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "o",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "u",
+            right: &[],
+            output: &[U],
+        },
     ])
 }
 

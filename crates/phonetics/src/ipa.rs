@@ -108,13 +108,23 @@ impl Phone {
     pub fn is_vowel(self) -> bool {
         matches!(
             self,
-            Phone::A | Phone::E | Phone::I | Phone::O | Phone::U | Phone::Ae | Phone::Schwa | Phone::Oo
+            Phone::A
+                | Phone::E
+                | Phone::I
+                | Phone::O
+                | Phone::U
+                | Phone::Ae
+                | Phone::Schwa
+                | Phone::Oo
         )
     }
 
     /// True for nasal consonants.
     pub fn is_nasal(self) -> bool {
-        matches!(self, Phone::M | Phone::N | Phone::Nn | Phone::Ng | Phone::Ny)
+        matches!(
+            self,
+            Phone::M | Phone::N | Phone::Nn | Phone::Ng | Phone::Ny
+        )
     }
 
     /// IPA glyph(s) for display.

@@ -53,7 +53,24 @@ pub struct RuleSet {
 
 #[inline]
 fn is_orth_vowel(c: char) -> bool {
-    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'y' | 'é' | 'è' | 'ê' | 'à' | 'â' | 'î' | 'ô' | 'û' | 'ë' | 'ï')
+    matches!(
+        c,
+        'a' | 'e'
+            | 'i'
+            | 'o'
+            | 'u'
+            | 'y'
+            | 'é'
+            | 'è'
+            | 'ê'
+            | 'à'
+            | 'â'
+            | 'î'
+            | 'ô'
+            | 'û'
+            | 'ë'
+            | 'ï'
+    )
 }
 
 #[inline]
@@ -212,15 +229,55 @@ mod tests {
     fn tiny() -> RuleSet {
         RuleSet::new(vec![
             // "ch" -> tʃ, must precede plain "c"
-            Rule { left: &[], pattern: "ch", right: &[], output: &[Phone::Ch] },
+            Rule {
+                left: &[],
+                pattern: "ch",
+                right: &[],
+                output: &[Phone::Ch],
+            },
             // word-final "e" silent
-            Rule { left: &[], pattern: "e", right: &[Ctx::Boundary], output: &[] },
-            Rule { left: &[], pattern: "c", right: &[], output: &[Phone::K] },
-            Rule { left: &[], pattern: "a", right: &[], output: &[Phone::A] },
-            Rule { left: &[], pattern: "e", right: &[], output: &[Phone::E] },
-            Rule { left: &[], pattern: "t", right: &[], output: &[Phone::T] },
-            Rule { left: &[], pattern: "s", right: &[Ctx::Vowel], output: &[Phone::S] },
-            Rule { left: &[Ctx::Vowel], pattern: "s", right: &[], output: &[Phone::Z] },
+            Rule {
+                left: &[],
+                pattern: "e",
+                right: &[Ctx::Boundary],
+                output: &[],
+            },
+            Rule {
+                left: &[],
+                pattern: "c",
+                right: &[],
+                output: &[Phone::K],
+            },
+            Rule {
+                left: &[],
+                pattern: "a",
+                right: &[],
+                output: &[Phone::A],
+            },
+            Rule {
+                left: &[],
+                pattern: "e",
+                right: &[],
+                output: &[Phone::E],
+            },
+            Rule {
+                left: &[],
+                pattern: "t",
+                right: &[],
+                output: &[Phone::T],
+            },
+            Rule {
+                left: &[],
+                pattern: "s",
+                right: &[Ctx::Vowel],
+                output: &[Phone::S],
+            },
+            Rule {
+                left: &[Ctx::Vowel],
+                pattern: "s",
+                right: &[],
+                output: &[Phone::Z],
+            },
         ])
     }
 

@@ -14,55 +14,290 @@ use Phone::*;
 pub fn spanish_rules() -> RuleSet {
     RuleSet::new(vec![
         // ---------- digraphs ----------
-        Rule { left: &[], pattern: "ch", right: &[], output: &[Ch] },
-        Rule { left: &[], pattern: "ll", right: &[], output: &[Yy] }, // yeísmo
-        Rule { left: &[], pattern: "rr", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "qu", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "gu", right: &[Lit('e')], output: &[G] },
-        Rule { left: &[], pattern: "gu", right: &[Lit('i')], output: &[G] },
-        Rule { left: &[], pattern: "gü", right: &[], output: &[G, W] },
+        Rule {
+            left: &[],
+            pattern: "ch",
+            right: &[],
+            output: &[Ch],
+        },
+        Rule {
+            left: &[],
+            pattern: "ll",
+            right: &[],
+            output: &[Yy],
+        }, // yeísmo
+        Rule {
+            left: &[],
+            pattern: "rr",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "qu",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "gu",
+            right: &[Lit('e')],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "gu",
+            right: &[Lit('i')],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "gü",
+            right: &[],
+            output: &[G, W],
+        },
         // ---------- consonants ----------
-        Rule { left: &[], pattern: "ñ", right: &[], output: &[Ny] },
-        Rule { left: &[], pattern: "h", right: &[], output: &[] }, // silent
-        Rule { left: &[], pattern: "j", right: &[], output: &[H] }, // /x/ ≈ h
-        Rule { left: &[], pattern: "g", right: &[Lit('e')], output: &[H] },
-        Rule { left: &[], pattern: "g", right: &[Lit('i')], output: &[H] },
-        Rule { left: &[], pattern: "g", right: &[Lit('é')], output: &[H] },
-        Rule { left: &[], pattern: "g", right: &[Lit('í')], output: &[H] },
-        Rule { left: &[], pattern: "g", right: &[], output: &[G] },
-        Rule { left: &[], pattern: "c", right: &[Lit('e')], output: &[S] }, // seseo
-        Rule { left: &[], pattern: "c", right: &[Lit('i')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('é')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[Lit('í')], output: &[S] },
-        Rule { left: &[], pattern: "c", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "z", right: &[], output: &[S] }, // seseo
-        Rule { left: &[], pattern: "v", right: &[], output: &[B] }, // betacismo
-        Rule { left: &[], pattern: "b", right: &[], output: &[B] },
-        Rule { left: &[], pattern: "x", right: &[], output: &[K, S] },
-        Rule { left: &[], pattern: "y", right: &[Ctx::Boundary], output: &[I] },
-        Rule { left: &[], pattern: "y", right: &[], output: &[Yy] },
-        Rule { left: &[], pattern: "d", right: &[], output: &[D] },
-        Rule { left: &[], pattern: "f", right: &[], output: &[F] },
-        Rule { left: &[], pattern: "k", right: &[], output: &[K] },
-        Rule { left: &[], pattern: "l", right: &[], output: &[L] },
-        Rule { left: &[], pattern: "m", right: &[], output: &[M] },
-        Rule { left: &[], pattern: "n", right: &[], output: &[N] },
-        Rule { left: &[], pattern: "p", right: &[], output: &[P] },
-        Rule { left: &[], pattern: "r", right: &[], output: &[R] },
-        Rule { left: &[], pattern: "s", right: &[], output: &[S] },
-        Rule { left: &[], pattern: "t", right: &[], output: &[T] },
-        Rule { left: &[], pattern: "w", right: &[], output: &[W] },
+        Rule {
+            left: &[],
+            pattern: "ñ",
+            right: &[],
+            output: &[Ny],
+        },
+        Rule {
+            left: &[],
+            pattern: "h",
+            right: &[],
+            output: &[],
+        }, // silent
+        Rule {
+            left: &[],
+            pattern: "j",
+            right: &[],
+            output: &[H],
+        }, // /x/ ≈ h
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('e')],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('i')],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('é')],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[Lit('í')],
+            output: &[H],
+        },
+        Rule {
+            left: &[],
+            pattern: "g",
+            right: &[],
+            output: &[G],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('e')],
+            output: &[S],
+        }, // seseo
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('i')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('é')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[Lit('í')],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "c",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "z",
+            right: &[],
+            output: &[S],
+        }, // seseo
+        Rule {
+            left: &[],
+            pattern: "v",
+            right: &[],
+            output: &[B],
+        }, // betacismo
+        Rule {
+            left: &[],
+            pattern: "b",
+            right: &[],
+            output: &[B],
+        },
+        Rule {
+            left: &[],
+            pattern: "x",
+            right: &[],
+            output: &[K, S],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[Ctx::Boundary],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "y",
+            right: &[],
+            output: &[Yy],
+        },
+        Rule {
+            left: &[],
+            pattern: "d",
+            right: &[],
+            output: &[D],
+        },
+        Rule {
+            left: &[],
+            pattern: "f",
+            right: &[],
+            output: &[F],
+        },
+        Rule {
+            left: &[],
+            pattern: "k",
+            right: &[],
+            output: &[K],
+        },
+        Rule {
+            left: &[],
+            pattern: "l",
+            right: &[],
+            output: &[L],
+        },
+        Rule {
+            left: &[],
+            pattern: "m",
+            right: &[],
+            output: &[M],
+        },
+        Rule {
+            left: &[],
+            pattern: "n",
+            right: &[],
+            output: &[N],
+        },
+        Rule {
+            left: &[],
+            pattern: "p",
+            right: &[],
+            output: &[P],
+        },
+        Rule {
+            left: &[],
+            pattern: "r",
+            right: &[],
+            output: &[R],
+        },
+        Rule {
+            left: &[],
+            pattern: "s",
+            right: &[],
+            output: &[S],
+        },
+        Rule {
+            left: &[],
+            pattern: "t",
+            right: &[],
+            output: &[T],
+        },
+        Rule {
+            left: &[],
+            pattern: "w",
+            right: &[],
+            output: &[W],
+        },
         // ---------- vowels (accents fold) ----------
-        Rule { left: &[], pattern: "á", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "é", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "í", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "ó", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "ú", right: &[], output: &[U] },
-        Rule { left: &[], pattern: "a", right: &[], output: &[A] },
-        Rule { left: &[], pattern: "e", right: &[], output: &[E] },
-        Rule { left: &[], pattern: "i", right: &[], output: &[I] },
-        Rule { left: &[], pattern: "o", right: &[], output: &[O] },
-        Rule { left: &[], pattern: "u", right: &[], output: &[U] },
+        Rule {
+            left: &[],
+            pattern: "á",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "é",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "í",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "ó",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "ú",
+            right: &[],
+            output: &[U],
+        },
+        Rule {
+            left: &[],
+            pattern: "a",
+            right: &[],
+            output: &[A],
+        },
+        Rule {
+            left: &[],
+            pattern: "e",
+            right: &[],
+            output: &[E],
+        },
+        Rule {
+            left: &[],
+            pattern: "i",
+            right: &[],
+            output: &[I],
+        },
+        Rule {
+            left: &[],
+            pattern: "o",
+            right: &[],
+            output: &[O],
+        },
+        Rule {
+            left: &[],
+            pattern: "u",
+            right: &[],
+            output: &[U],
+        },
     ])
 }
 

@@ -34,51 +34,261 @@ struct Vowel {
 
 // Longest-match-first tables.
 const CONSONANTS: &[Cons] = &[
-    Cons { latin: "ch", deva: 'च', tamil: 'ச', kannada: 'ಚ' },
-    Cons { latin: "sh", deva: 'श', tamil: 'ஷ', kannada: 'ಶ' },
-    Cons { latin: "th", deva: 'त', tamil: 'த', kannada: 'ತ' },
-    Cons { latin: "dh", deva: 'द', tamil: 'த', kannada: 'ದ' },
-    Cons { latin: "bh", deva: 'भ', tamil: 'ப', kannada: 'ಭ' },
-    Cons { latin: "ph", deva: 'फ', tamil: 'ப', kannada: 'ಫ' },
-    Cons { latin: "kh", deva: 'ख', tamil: 'க', kannada: 'ಖ' },
-    Cons { latin: "gh", deva: 'घ', tamil: 'க', kannada: 'ಘ' },
-    Cons { latin: "jh", deva: 'झ', tamil: 'ஜ', kannada: 'ಝ' },
-    Cons { latin: "k", deva: 'क', tamil: 'க', kannada: 'ಕ' },
-    Cons { latin: "g", deva: 'ग', tamil: 'க', kannada: 'ಗ' },
-    Cons { latin: "c", deva: 'क', tamil: 'க', kannada: 'ಕ' },
-    Cons { latin: "j", deva: 'ज', tamil: 'ஜ', kannada: 'ಜ' },
-    Cons { latin: "t", deva: 'त', tamil: 'த', kannada: 'ತ' },
-    Cons { latin: "d", deva: 'द', tamil: 'த', kannada: 'ದ' },
-    Cons { latin: "n", deva: 'न', tamil: 'ந', kannada: 'ನ' },
-    Cons { latin: "p", deva: 'प', tamil: 'ப', kannada: 'ಪ' },
-    Cons { latin: "b", deva: 'ब', tamil: 'ப', kannada: 'ಬ' },
-    Cons { latin: "f", deva: 'फ', tamil: 'ப', kannada: 'ಫ' },
-    Cons { latin: "m", deva: 'म', tamil: 'ம', kannada: 'ಮ' },
-    Cons { latin: "y", deva: 'य', tamil: 'ய', kannada: 'ಯ' },
-    Cons { latin: "r", deva: 'र', tamil: 'ர', kannada: 'ರ' },
-    Cons { latin: "l", deva: 'ल', tamil: 'ல', kannada: 'ಲ' },
-    Cons { latin: "v", deva: 'व', tamil: 'வ', kannada: 'ವ' },
-    Cons { latin: "w", deva: 'व', tamil: 'வ', kannada: 'ವ' },
-    Cons { latin: "s", deva: 'स', tamil: 'ஸ', kannada: 'ಸ' },
-    Cons { latin: "z", deva: 'ज', tamil: 'ஜ', kannada: 'ಜ' },
-    Cons { latin: "h", deva: 'ह', tamil: 'ஹ', kannada: 'ಹ' },
-    Cons { latin: "x", deva: 'स', tamil: 'ஸ', kannada: 'ಸ' },
-    Cons { latin: "q", deva: 'क', tamil: 'க', kannada: 'ಕ' },
+    Cons {
+        latin: "ch",
+        deva: 'च',
+        tamil: 'ச',
+        kannada: 'ಚ',
+    },
+    Cons {
+        latin: "sh",
+        deva: 'श',
+        tamil: 'ஷ',
+        kannada: 'ಶ',
+    },
+    Cons {
+        latin: "th",
+        deva: 'त',
+        tamil: 'த',
+        kannada: 'ತ',
+    },
+    Cons {
+        latin: "dh",
+        deva: 'द',
+        tamil: 'த',
+        kannada: 'ದ',
+    },
+    Cons {
+        latin: "bh",
+        deva: 'भ',
+        tamil: 'ப',
+        kannada: 'ಭ',
+    },
+    Cons {
+        latin: "ph",
+        deva: 'फ',
+        tamil: 'ப',
+        kannada: 'ಫ',
+    },
+    Cons {
+        latin: "kh",
+        deva: 'ख',
+        tamil: 'க',
+        kannada: 'ಖ',
+    },
+    Cons {
+        latin: "gh",
+        deva: 'घ',
+        tamil: 'க',
+        kannada: 'ಘ',
+    },
+    Cons {
+        latin: "jh",
+        deva: 'झ',
+        tamil: 'ஜ',
+        kannada: 'ಝ',
+    },
+    Cons {
+        latin: "k",
+        deva: 'क',
+        tamil: 'க',
+        kannada: 'ಕ',
+    },
+    Cons {
+        latin: "g",
+        deva: 'ग',
+        tamil: 'க',
+        kannada: 'ಗ',
+    },
+    Cons {
+        latin: "c",
+        deva: 'क',
+        tamil: 'க',
+        kannada: 'ಕ',
+    },
+    Cons {
+        latin: "j",
+        deva: 'ज',
+        tamil: 'ஜ',
+        kannada: 'ಜ',
+    },
+    Cons {
+        latin: "t",
+        deva: 'त',
+        tamil: 'த',
+        kannada: 'ತ',
+    },
+    Cons {
+        latin: "d",
+        deva: 'द',
+        tamil: 'த',
+        kannada: 'ದ',
+    },
+    Cons {
+        latin: "n",
+        deva: 'न',
+        tamil: 'ந',
+        kannada: 'ನ',
+    },
+    Cons {
+        latin: "p",
+        deva: 'प',
+        tamil: 'ப',
+        kannada: 'ಪ',
+    },
+    Cons {
+        latin: "b",
+        deva: 'ब',
+        tamil: 'ப',
+        kannada: 'ಬ',
+    },
+    Cons {
+        latin: "f",
+        deva: 'फ',
+        tamil: 'ப',
+        kannada: 'ಫ',
+    },
+    Cons {
+        latin: "m",
+        deva: 'म',
+        tamil: 'ம',
+        kannada: 'ಮ',
+    },
+    Cons {
+        latin: "y",
+        deva: 'य',
+        tamil: 'ய',
+        kannada: 'ಯ',
+    },
+    Cons {
+        latin: "r",
+        deva: 'र',
+        tamil: 'ர',
+        kannada: 'ರ',
+    },
+    Cons {
+        latin: "l",
+        deva: 'ल',
+        tamil: 'ல',
+        kannada: 'ಲ',
+    },
+    Cons {
+        latin: "v",
+        deva: 'व',
+        tamil: 'வ',
+        kannada: 'ವ',
+    },
+    Cons {
+        latin: "w",
+        deva: 'व',
+        tamil: 'வ',
+        kannada: 'ವ',
+    },
+    Cons {
+        latin: "s",
+        deva: 'स',
+        tamil: 'ஸ',
+        kannada: 'ಸ',
+    },
+    Cons {
+        latin: "z",
+        deva: 'ज',
+        tamil: 'ஜ',
+        kannada: 'ಜ',
+    },
+    Cons {
+        latin: "h",
+        deva: 'ह',
+        tamil: 'ஹ',
+        kannada: 'ಹ',
+    },
+    Cons {
+        latin: "x",
+        deva: 'स',
+        tamil: 'ஸ',
+        kannada: 'ಸ',
+    },
+    Cons {
+        latin: "q",
+        deva: 'क',
+        tamil: 'க',
+        kannada: 'ಕ',
+    },
 ];
 
 const VOWELS: &[Vowel] = &[
-    Vowel { latin: "aa", deva: ('आ', '\u{093E}'), tamil: ('ஆ', '\u{0BBE}'), kannada: ('ಆ', '\u{0CBE}') },
-    Vowel { latin: "ee", deva: ('ई', '\u{0940}'), tamil: ('ஈ', '\u{0BC0}'), kannada: ('ಈ', '\u{0CC0}') },
-    Vowel { latin: "ii", deva: ('ई', '\u{0940}'), tamil: ('ஈ', '\u{0BC0}'), kannada: ('ಈ', '\u{0CC0}') },
-    Vowel { latin: "oo", deva: ('ऊ', '\u{0942}'), tamil: ('ஊ', '\u{0BC2}'), kannada: ('ಊ', '\u{0CC2}') },
-    Vowel { latin: "uu", deva: ('ऊ', '\u{0942}'), tamil: ('ஊ', '\u{0BC2}'), kannada: ('ಊ', '\u{0CC2}') },
-    Vowel { latin: "ai", deva: ('ऐ', '\u{0948}'), tamil: ('ஐ', '\u{0BC8}'), kannada: ('ಐ', '\u{0CC8}') },
-    Vowel { latin: "au", deva: ('औ', '\u{094C}'), tamil: ('ஔ', '\u{0BCC}'), kannada: ('ಔ', '\u{0CCC}') },
-    Vowel { latin: "a", deva: ('अ', '\0'), tamil: ('அ', '\0'), kannada: ('ಅ', '\0') },
-    Vowel { latin: "e", deva: ('ए', '\u{0947}'), tamil: ('ஏ', '\u{0BC7}'), kannada: ('ಏ', '\u{0CC7}') },
-    Vowel { latin: "i", deva: ('इ', '\u{093F}'), tamil: ('இ', '\u{0BBF}'), kannada: ('ಇ', '\u{0CBF}') },
-    Vowel { latin: "o", deva: ('ओ', '\u{094B}'), tamil: ('ஓ', '\u{0BCB}'), kannada: ('ಓ', '\u{0CCB}') },
-    Vowel { latin: "u", deva: ('उ', '\u{0941}'), tamil: ('உ', '\u{0BC1}'), kannada: ('ಉ', '\u{0CC1}') },
+    Vowel {
+        latin: "aa",
+        deva: ('आ', '\u{093E}'),
+        tamil: ('ஆ', '\u{0BBE}'),
+        kannada: ('ಆ', '\u{0CBE}'),
+    },
+    Vowel {
+        latin: "ee",
+        deva: ('ई', '\u{0940}'),
+        tamil: ('ஈ', '\u{0BC0}'),
+        kannada: ('ಈ', '\u{0CC0}'),
+    },
+    Vowel {
+        latin: "ii",
+        deva: ('ई', '\u{0940}'),
+        tamil: ('ஈ', '\u{0BC0}'),
+        kannada: ('ಈ', '\u{0CC0}'),
+    },
+    Vowel {
+        latin: "oo",
+        deva: ('ऊ', '\u{0942}'),
+        tamil: ('ஊ', '\u{0BC2}'),
+        kannada: ('ಊ', '\u{0CC2}'),
+    },
+    Vowel {
+        latin: "uu",
+        deva: ('ऊ', '\u{0942}'),
+        tamil: ('ஊ', '\u{0BC2}'),
+        kannada: ('ಊ', '\u{0CC2}'),
+    },
+    Vowel {
+        latin: "ai",
+        deva: ('ऐ', '\u{0948}'),
+        tamil: ('ஐ', '\u{0BC8}'),
+        kannada: ('ಐ', '\u{0CC8}'),
+    },
+    Vowel {
+        latin: "au",
+        deva: ('औ', '\u{094C}'),
+        tamil: ('ஔ', '\u{0BCC}'),
+        kannada: ('ಔ', '\u{0CCC}'),
+    },
+    Vowel {
+        latin: "a",
+        deva: ('अ', '\0'),
+        tamil: ('அ', '\0'),
+        kannada: ('ಅ', '\0'),
+    },
+    Vowel {
+        latin: "e",
+        deva: ('ए', '\u{0947}'),
+        tamil: ('ஏ', '\u{0BC7}'),
+        kannada: ('ಏ', '\u{0CC7}'),
+    },
+    Vowel {
+        latin: "i",
+        deva: ('इ', '\u{093F}'),
+        tamil: ('இ', '\u{0BBF}'),
+        kannada: ('ಇ', '\u{0CBF}'),
+    },
+    Vowel {
+        latin: "o",
+        deva: ('ओ', '\u{094B}'),
+        tamil: ('ஓ', '\u{0BCB}'),
+        kannada: ('ಓ', '\u{0CCB}'),
+    },
+    Vowel {
+        latin: "u",
+        deva: ('उ', '\u{0941}'),
+        tamil: ('உ', '\u{0BC1}'),
+        kannada: ('ಉ', '\u{0CC1}'),
+    },
 ];
 
 fn virama(script: IndicScript) -> char {
@@ -210,7 +420,11 @@ mod tests {
         let en = english_rules();
         for name in ["nehru", "rama", "krishna", "lata", "meena", "kumar", "sita"] {
             let en_ph = en.convert(name);
-            for script in [IndicScript::Devanagari, IndicScript::Tamil, IndicScript::Kannada] {
+            for script in [
+                IndicScript::Devanagari,
+                IndicScript::Tamil,
+                IndicScript::Kannada,
+            ] {
                 let indic_text = to_indic(script, name);
                 let indic_ph = convert(script, &indic_text);
                 let d = edit_distance(en_ph.as_bytes(), indic_ph.as_bytes());

@@ -157,7 +157,10 @@ mod tests {
     use mlql_unitext::LanguageRegistry;
 
     fn small_config(n: usize) -> GeneratorConfig {
-        GeneratorConfig { synsets: n, ..GeneratorConfig::default() }
+        GeneratorConfig {
+            synsets: n,
+            ..GeneratorConfig::default()
+        }
     }
 
     #[test]
@@ -193,13 +196,20 @@ mod tests {
     #[test]
     fn wordnet_scale_statistics() {
         let lang = LanguageRegistry::new().id_of("English");
-        let cfg = GeneratorConfig { synsets: 30_000, ..GeneratorConfig::default() };
+        let cfg = GeneratorConfig {
+            synsets: 30_000,
+            ..GeneratorConfig::default()
+        };
         let t = generate(lang, &cfg);
         let st = t.stats();
         // Word forms per synset ratio near the configured 1.32.
         let ratio = st.word_forms as f64 / st.synsets as f64;
         assert!((1.15..1.5).contains(&ratio), "ratio {ratio}");
-        assert!(st.height >= 8, "tree should be reasonably deep, got {}", st.height);
+        assert!(
+            st.height >= 8,
+            "tree should be reasonably deep, got {}",
+            st.height
+        );
     }
 
     #[test]

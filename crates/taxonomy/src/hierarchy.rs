@@ -184,7 +184,11 @@ impl Taxonomy {
         let synsets = self.synsets.len();
         let word_forms: usize = self.synsets.iter().map(|s| s.words.len()).sum();
         let relationships: usize = self.synsets.iter().map(|s| s.parents.len()).sum();
-        let non_leaf = self.synsets.iter().filter(|s| !s.children.is_empty()).count();
+        let non_leaf = self
+            .synsets
+            .iter()
+            .filter(|s| !s.children.is_empty())
+            .count();
         let child_edges: usize = self.synsets.iter().map(|s| s.children.len()).sum();
         let avg_fanout = if non_leaf > 0 {
             child_edges as f64 / non_leaf as f64
@@ -212,7 +216,13 @@ impl Taxonomy {
                 }
             }
         }
-        TaxonomyStats { synsets, word_forms, relationships, height: height + 1, avg_fanout }
+        TaxonomyStats {
+            synsets,
+            word_forms,
+            relationships,
+            height: height + 1,
+            avg_fanout,
+        }
     }
 
     /// Replicate this (single-language) taxonomy into `langs`, linking each
@@ -374,7 +384,12 @@ mod tests {
         // root: 1 row (None parent); child: 2 words × 1 parent = 2 rows.
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().any(|r| r.parent.is_none()));
-        assert!(rows.iter().filter(|r| r.word == "child" || r.word == "kid").count() == 2);
+        assert!(
+            rows.iter()
+                .filter(|r| r.word == "child" || r.word == "kid")
+                .count()
+                == 2
+        );
     }
 
     #[test]

@@ -80,17 +80,31 @@ impl IntervalIndex {
         let mut order: Vec<SynsetId> = taxonomy.ids().collect();
         order.retain(|&id| taxonomy.parents(id).is_empty());
         for root in order {
-            dfs(taxonomy, root, &mut labels, &mut visited, &mut clock, &mut multi_parent_below);
+            dfs(
+                taxonomy,
+                root,
+                &mut labels,
+                &mut visited,
+                &mut clock,
+                &mut multi_parent_below,
+            );
         }
         // Any node never visited (cycle via equivalents only) gets a
         // degenerate self-interval.
         for i in 0..n {
             if !visited[i] {
-                labels[i] = Label { entry: clock, exit: clock };
+                labels[i] = Label {
+                    entry: clock,
+                    exit: clock,
+                };
                 clock += 1;
             }
         }
-        IntervalIndex { labels, group: group.clone(), exact: multi_parent_below.iter().map(|&b| !b).collect() }
+        IntervalIndex {
+            labels,
+            group: group.clone(),
+            exact: multi_parent_below.iter().map(|&b| !b).collect(),
+        }
     }
 
     /// Does `candidate` lie in the transitive closure of `root`, counting
@@ -164,8 +178,7 @@ fn dfs(
                 // read it after children exit.
                 let dirty = multi_parent_below[i]
                     || taxonomy.children(id).iter().any(|&c| {
-                        multi_parent_below[c.raw() as usize]
-                            || taxonomy.parents(c).len() > 1
+                        multi_parent_below[c.raw() as usize] || taxonomy.parents(c).len() > 1
                     });
                 multi_parent_below[i] = dirty;
             }
@@ -183,7 +196,13 @@ mod tests {
     #[test]
     fn interval_matches_hash_closure_on_generated_tree() {
         let lang = LanguageRegistry::new().id_of("English");
-        let t = generate(lang, &GeneratorConfig { synsets: 5000, ..Default::default() });
+        let t = generate(
+            lang,
+            &GeneratorConfig {
+                synsets: 5000,
+                ..Default::default()
+            },
+        );
         let idx = IntervalIndex::build(&t);
         // The generator produces a pure tree: every query is exact.
         for root in [0u32, 1, 17, 123, 999] {

@@ -109,9 +109,9 @@ impl LanguageRegistry {
 
     /// Look a language up by canonical name or ISO code (case-insensitive).
     pub fn lookup(&self, name_or_iso: &str) -> Option<&Language> {
-        self.langs
-            .iter()
-            .find(|l| l.name.eq_ignore_ascii_case(name_or_iso) || l.iso.eq_ignore_ascii_case(name_or_iso))
+        self.langs.iter().find(|l| {
+            l.name.eq_ignore_ascii_case(name_or_iso) || l.iso.eq_ignore_ascii_case(name_or_iso)
+        })
     }
 
     /// Resolve an id back to its language description.
@@ -179,7 +179,10 @@ mod tests {
     fn shared_script_is_ambiguous() {
         let reg = LanguageRegistry::new();
         let latin = reg.languages_of_script(Script::Latin);
-        assert!(latin.len() >= 2, "Latin must be shared (English, French, ...)");
+        assert!(
+            latin.len() >= 2,
+            "Latin must be shared (English, French, ...)"
+        );
         let kn = reg.languages_of_script(Script::Kannada);
         assert_eq!(kn.len(), 1);
     }

@@ -32,7 +32,7 @@ pub fn script_of_char(c: char) -> Script {
         0x0B80..=0x0BFF => Script::Tamil,
         0x0C80..=0x0CFF => Script::Kannada,
         u if u < 0x80 => Script::Unknown, // digits, punctuation, space
-        0x2000..=0x206F => Script::Unknown,   // general punctuation
+        0x2000..=0x206F => Script::Unknown, // general punctuation
         _ => Script::Other,
     }
 }

@@ -10,12 +10,15 @@
 
 use mlql::datagen::{books_catalog, names_dataset, NamesConfig};
 use mlql::kernel::{Database, Datum};
-use mlql::mural::types::unitext_datum;
 use mlql::mural::install;
+use mlql::mural::types::unitext_datum;
 use std::time::Instant;
 
 fn main() {
-    let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5000);
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5000);
     let mut db = Database::new_in_memory();
     let mural = install(&mut db).expect("install mural");
 
@@ -36,17 +39,26 @@ fn main() {
         )
         .unwrap();
     }
-    db.execute("CREATE TABLE publisher (pubid INT, pname UNITEXT)").unwrap();
+    db.execute("CREATE TABLE publisher (pubid INT, pname UNITEXT)")
+        .unwrap();
     for (i, rec) in names_dataset(
         &mural.langs,
-        &NamesConfig { records: rows / 20 + 10, noise: 0.2, seed: 7, ..Default::default() },
+        &NamesConfig {
+            records: rows / 20 + 10,
+            noise: 0.2,
+            seed: 7,
+            ..Default::default()
+        },
     )
     .iter()
     .enumerate()
     {
         db.insert_row(
             "publisher",
-            vec![Datum::Int(i as i64), unitext_datum(mural.unitext_type, &rec.name)],
+            vec![
+                Datum::Int(i as i64),
+                unitext_datum(mural.unitext_type, &rec.name),
+            ],
         )
         .unwrap();
     }
@@ -59,20 +71,26 @@ fn main() {
     let t = Instant::now();
     let n = db.query(search).unwrap();
     let seq = t.elapsed();
-    println!("\nauthor ~ 'Nehru' (seq scan): {} matches in {seq:?}", n[0][0]);
+    println!(
+        "\nauthor ~ 'Nehru' (seq scan): {} matches in {seq:?}",
+        n[0][0]
+    );
 
-    db.execute("CREATE INDEX book_author_mt ON book (author) USING mtree").unwrap();
+    db.execute("CREATE INDEX book_author_mt ON book (author) USING mtree")
+        .unwrap();
     db.execute("SET enable_seqscan = 0").unwrap();
     let t = Instant::now();
     let n2 = db.query(search).unwrap();
     let idx = t.elapsed();
     db.execute("SET enable_seqscan = 1").unwrap();
-    println!("author ~ 'Nehru' (M-Tree):   {} matches in {idx:?}", n2[0][0]);
+    println!(
+        "author ~ 'Nehru' (M-Tree):   {} matches in {idx:?}",
+        n2[0][0]
+    );
     assert!(n[0][0].eq_sql(&n2[0][0]), "index and scan must agree");
 
     // --- Category rollup through SemEQUAL. ---
-    let rollup =
-        "SELECT count(*) FROM book WHERE category SEMEQUAL unitext('History','English')";
+    let rollup = "SELECT count(*) FROM book WHERE category SEMEQUAL unitext('History','English')";
     let t = Instant::now();
     let hist = db.query(rollup).unwrap();
     println!(
@@ -89,5 +107,9 @@ fn main() {
     println!("{}", plan.explain());
     let t = Instant::now();
     let join = db.query(ex5).unwrap();
-    println!("matching (book, publisher) pairs: {} in {:?}", join[0][0], t.elapsed());
+    println!(
+        "matching (book, publisher) pairs: {} in {:?}",
+        join[0][0],
+        t.elapsed()
+    );
 }

@@ -14,7 +14,10 @@ use mlql::mural::{install, unitext_from_bytes};
 use std::time::Instant;
 
 fn main() {
-    let rows: usize = std::env::var("ROWS").ok().and_then(|r| r.parse().ok()).unwrap_or(20_000);
+    let rows: usize = std::env::var("ROWS")
+        .ok()
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(20_000);
     let probes: Vec<String> = {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.is_empty() {
@@ -30,19 +33,26 @@ fn main() {
     db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
     let data = mlql::datagen::names_dataset(
         &mural.langs,
-        &mlql::datagen::NamesConfig { records: rows, noise: 0.25, seed: 99, ..Default::default() },
+        &mlql::datagen::NamesConfig {
+            records: rows,
+            noise: 0.25,
+            seed: 99,
+            ..Default::default()
+        },
     );
     for rec in data {
         let d = mlql::mural::types::unitext_datum(mural.unitext_type, &rec.name);
         db.insert_row("names", vec![d]).unwrap();
     }
     db.execute("ANALYZE names").unwrap();
-    db.execute("CREATE INDEX names_mt ON names (name) USING mtree").unwrap();
+    db.execute("CREATE INDEX names_mt ON names (name) USING mtree")
+        .unwrap();
 
     for probe in &probes {
         println!("\n=== {probe} ===");
         for k in [1i64, 2] {
-            db.execute(&format!("SET lexequal.threshold = {k}")).unwrap();
+            db.execute(&format!("SET lexequal.threshold = {k}"))
+                .unwrap();
             let sql = format!(
                 "SELECT name, lang_of(name) FROM names WHERE name LEXEQUAL unitext('{probe}','English')"
             );
@@ -67,7 +77,10 @@ fn main() {
     }
 
     // "Best match": k-nearest phonemic neighbours through the M-Tree.
-    println!("\n=== nearest neighbours of '{}' (kNN through the M-Tree) ===", probes[0]);
+    println!(
+        "\n=== nearest neighbours of '{}' (kNN through the M-Tree) ===",
+        probes[0]
+    );
     let probe = mural.unitext(&probes[0], "English").unwrap();
     for row in mural.nearest(&db, "names", "names_mt", &probe, 5).unwrap() {
         if let Some((_, bytes)) = row[0].as_ext() {

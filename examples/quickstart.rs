@@ -20,8 +20,12 @@ fn show(db: &mut Database, sql: &str) {
                     return;
                 }
             }
-            let names: Vec<&str> =
-                result.schema.columns().iter().map(|c| c.name.as_str()).collect();
+            let names: Vec<&str> = result
+                .schema
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect();
             if !names.is_empty() {
                 println!("  {}", names.join(" | "));
             }
@@ -53,13 +57,55 @@ fn main() {
     println!("=== The Books.com catalog (paper, Figure 1) ===\n");
     show(&mut db, "CREATE TABLE book (author UNITEXT, title UNITEXT, category UNITEXT, language TEXT, price FLOAT)");
     for (author, title, cat, cat_lang, lang, price) in [
-        ("Nehru", "Glimpses of World History", "History", "English", "English", 15.95),
-        ("Nehru", "Letters from a Father", "Autobiography", "English", "English", 12.50),
-        ("नेहरू", "हिंदुस्तान की कहानी", "History", "English", "Hindi", 9.75),
+        (
+            "Nehru",
+            "Glimpses of World History",
+            "History",
+            "English",
+            "English",
+            15.95,
+        ),
+        (
+            "Nehru",
+            "Letters from a Father",
+            "Autobiography",
+            "English",
+            "English",
+            12.50,
+        ),
+        (
+            "नेहरू",
+            "हिंदुस्तान की कहानी",
+            "History",
+            "English",
+            "Hindi",
+            9.75,
+        ),
         ("நேரு", "கடிதங்கள்", "சரித்திரம்", "Tamil", "Tamil", 8.20),
-        ("Gandhi", "The Story of My Experiments with Truth", "Autobiography", "English", "English", 14.00),
-        ("Michelet", "Histoire de France", "Histoire", "French", "French", 22.40),
-        ("Tolkien", "The Fellowship of the Ring", "Novel", "English", "English", 18.00),
+        (
+            "Gandhi",
+            "The Story of My Experiments with Truth",
+            "Autobiography",
+            "English",
+            "English",
+            14.00,
+        ),
+        (
+            "Michelet",
+            "Histoire de France",
+            "Histoire",
+            "French",
+            "French",
+            22.40,
+        ),
+        (
+            "Tolkien",
+            "The Fellowship of the Ring",
+            "Novel",
+            "English",
+            "English",
+            18.00,
+        ),
     ] {
         show(
             &mut db,
@@ -88,6 +134,12 @@ fn main() {
     );
 
     println!("=== UniText behaves like Text for ordinary operators (§3.2.1) ===\n");
-    show(&mut db, "SELECT title FROM book WHERE price < 10.0 ORDER BY author");
-    show(&mut db, "SELECT language, count(*) FROM book GROUP BY language ORDER BY language");
+    show(
+        &mut db,
+        "SELECT title FROM book WHERE price < 10.0 ORDER BY author",
+    );
+    show(
+        &mut db,
+        "SELECT language, count(*) FROM book GROUP BY language ORDER BY language",
+    );
 }

@@ -29,12 +29,25 @@ fn main() {
     let mut db = Database::new_in_memory();
     let _mural = install(&mut db).expect("install mural");
     // Demo data so SELECTs work immediately.
-    db.execute("CREATE TABLE book (author UNITEXT, title TEXT, category UNITEXT)").unwrap();
+    db.execute("CREATE TABLE book (author UNITEXT, title TEXT, category UNITEXT)")
+        .unwrap();
     for (a, al, t, c, cl) in [
-        ("Nehru", "English", "Glimpses of World History", "History", "English"),
+        (
+            "Nehru",
+            "English",
+            "Glimpses of World History",
+            "History",
+            "English",
+        ),
         ("नेहरू", "Hindi", "Hindustan ki Kahani", "History", "English"),
         ("நேரு", "Tamil", "Kadithangal", "சரித்திரம்", "Tamil"),
-        ("Gandhi", "English", "My Experiments with Truth", "Autobiography", "English"),
+        (
+            "Gandhi",
+            "English",
+            "My Experiments with Truth",
+            "Autobiography",
+            "English",
+        ),
     ] {
         db.execute(&format!(
             "INSERT INTO book VALUES (unitext('{a}','{al}'), '{t}', unitext('{c}','{cl}'))"
@@ -79,8 +92,12 @@ fn main() {
         match db.execute(line) {
             Ok(result) => {
                 if !result.schema.is_empty() {
-                    let header: Vec<&str> =
-                        result.schema.columns().iter().map(|c| c.name.as_str()).collect();
+                    let header: Vec<&str> = result
+                        .schema
+                        .columns()
+                        .iter()
+                        .map(|c| c.name.as_str())
+                        .collect();
                     println!("{}", header.join(" | "));
                 }
                 for row in &result.rows {

@@ -17,12 +17,21 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() {
-    let synsets: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let synsets: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
     let langs = LanguageRegistry::new();
     let en = langs.id_of("English");
 
     println!("generating a {synsets}-synset hierarchy and linking a French copy ...");
-    let mut taxonomy = generate(en, &GeneratorConfig { synsets, ..GeneratorConfig::default() });
+    let mut taxonomy = generate(
+        en,
+        &GeneratorConfig {
+            synsets,
+            ..GeneratorConfig::default()
+        },
+    );
     let fr = langs.id_of("French");
     taxonomy.replicate_linked(&[fr], |w, _| format!("{w}_fr"));
     let stats = taxonomy.stats();
@@ -43,7 +52,8 @@ fn main() {
 
     // A documents table categorized by random synset word forms.
     println!("\nloading 20000 documents with random categories ...");
-    db.execute("CREATE TABLE docs (id INT, category UNITEXT)").unwrap();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let taxonomy = &mural.sem.taxonomy;
     for i in 0..20_000 {

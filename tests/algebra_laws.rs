@@ -114,7 +114,10 @@ fn omega_is_not_commutative_witness() {
     let hist = vec![UniText::compose("History", reg.id_of("English"))];
     let fwd = omega(&bio, &hist, &state);
     let bwd = omega(&hist, &bio, &state);
-    assert!(fwd[0].2 && !bwd[0].2, "Biography ⊑ History but not conversely");
+    assert!(
+        fwd[0].2 && !bwd[0].2,
+        "Biography ⊑ History but not conversely"
+    );
 }
 
 #[test]
@@ -127,7 +130,8 @@ fn sql_respects_psi_commutativity() {
     install(&mut db).unwrap();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
     for n in ["Nehru", "Neru", "Gandhi"] {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('{n}','English'))")).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES (unitext('{n}','English'))"))
+            .unwrap();
     }
     db.execute("SET lexequal.threshold = 1").unwrap();
     let a = db

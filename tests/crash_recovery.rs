@@ -27,14 +27,19 @@ fn multilingual_data_survives_crash() {
     let dir = tmpdir("crash");
     {
         let (mut db, _mural) = open_mural(&dir);
-        db.execute("CREATE TABLE book (author UNITEXT, price FLOAT)").unwrap();
-        db.execute("CREATE INDEX book_mt ON book (author) USING mtree").unwrap();
-        for (n, l) in [("Nehru", "English"), ("नेहरू", "Hindi"), ("நேரு", "Tamil")] {
-            db.execute(&format!("INSERT INTO book VALUES (unitext('{n}','{l}'), 10.0)"))
-                .unwrap();
+        db.execute("CREATE TABLE book (author UNITEXT, price FLOAT)")
+            .unwrap();
+        db.execute("CREATE INDEX book_mt ON book (author) USING mtree")
+            .unwrap();
+        for (n, l) in [("Nehru", "English"), ("नेहरू", "Hindi"), ("நேரு", "Tamil")]
+        {
+            db.execute(&format!(
+                "INSERT INTO book VALUES (unitext('{n}','{l}'), 10.0)"
+            ))
+            .unwrap();
         }
         db.execute("DELETE FROM book WHERE price > 100.0").unwrap(); // no-op delete logged
-        // No clean shutdown: drop emulates a crash (the WAL has everything).
+                                                                     // No clean shutdown: drop emulates a crash (the WAL has everything).
     }
     let (mut db, _mural) = open_mural(&dir);
     db.execute("SET lexequal.threshold = 2").unwrap();
@@ -58,7 +63,8 @@ fn deletes_replay_correctly() {
         let mut db = Database::open(&dir).unwrap();
         db.execute("CREATE TABLE t (id INT, tag TEXT)").unwrap();
         for i in 0..20 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'keep')")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'keep')"))
+                .unwrap();
         }
         db.execute("DELETE FROM t WHERE id < 5").unwrap();
         db.execute("INSERT INTO t VALUES (100, 'late')").unwrap();
@@ -95,9 +101,13 @@ fn manual_index_rebuild_matches_fresh_build() {
     let mut db = Database::new_in_memory();
     install(&mut db).unwrap();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
-    db.execute("CREATE INDEX t_mt ON t (v) USING mtree").unwrap();
+    db.execute("CREATE INDEX t_mt ON t (v) USING mtree")
+        .unwrap();
     for i in 0..200 {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('name{i}','English'))")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO t VALUES (unitext('name{i}','English'))"
+        ))
+        .unwrap();
     }
     db.execute("SET lexequal.threshold = 1").unwrap();
     db.execute("SET enable_seqscan = 0").unwrap();

@@ -64,10 +64,14 @@ fn operator_is_first_class_in_joins() {
         .unwrap();
     db.execute("SET lexequal.threshold = 2").unwrap();
     // ψ as a join predicate (Example 3 of the paper).
-    let r = db.query("SELECT count(*) FROM a, b WHERE a.n LEXEQUAL b.n").unwrap();
+    let r = db
+        .query("SELECT count(*) FROM a, b WHERE a.n LEXEQUAL b.n")
+        .unwrap();
     assert_eq!(r[0][0].as_int(), Some(1));
     // Commutativity (Table 1): swapping operand sides gives the same count.
-    let r2 = db.query("SELECT count(*) FROM a, b WHERE b.n LEXEQUAL a.n").unwrap();
+    let r2 = db
+        .query("SELECT count(*) FROM a, b WHERE b.n LEXEQUAL a.n")
+        .unwrap();
     assert_eq!(r2[0][0].as_int(), Some(1));
 }
 
@@ -75,10 +79,12 @@ fn operator_is_first_class_in_joins() {
 fn threshold_is_session_scoped() {
     let mut db = db();
     db.execute("CREATE TABLE t (n UNITEXT)").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('Miller','English'))").unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('Miller','English'))")
+        .unwrap();
     // d(/miler/, /mila/) = 2: visible at threshold 2, not at 1.
     for (k, expect) in [(1i64, 0i64), (2, 1)] {
-        db.execute(&format!("SET lexequal.threshold = {k}")).unwrap();
+        db.execute(&format!("SET lexequal.threshold = {k}"))
+            .unwrap();
         let r = db
             .query("SELECT count(*) FROM t WHERE n LEXEQUAL unitext('Mila','English')")
             .unwrap();
@@ -90,14 +96,19 @@ fn threshold_is_session_scoped() {
 fn uniteq_identity_vs_text_equality() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('History','English'))").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('History','French'))").unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('History','English'))")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('History','French'))")
+        .unwrap();
     // Text `=` sees only the text component (§3.2.1): both rows.
-    let eq = db.query("SELECT count(*) FROM t WHERE v = unitext('History','English')").unwrap();
+    let eq = db
+        .query("SELECT count(*) FROM t WHERE v = unitext('History','English')")
+        .unwrap();
     assert_eq!(eq[0][0].as_int(), Some(2));
     // ≐ compares both components: one row.
-    let ident =
-        db.query("SELECT count(*) FROM t WHERE v UNITEQ unitext('History','English')").unwrap();
+    let ident = db
+        .query("SELECT count(*) FROM t WHERE v UNITEQ unitext('History','English')")
+        .unwrap();
     assert_eq!(ident[0][0].as_int(), Some(1));
 }
 
@@ -105,17 +116,24 @@ fn uniteq_identity_vs_text_equality() {
 fn nulls_and_errors() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT, n INT)").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('x','English'), NULL)").unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('x','English'), NULL)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES (NULL, 1)").unwrap();
     // NULL never matches ψ.
-    let r = db.query("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('x','English')").unwrap();
+    let r = db
+        .query("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('x','English')")
+        .unwrap();
     assert_eq!(r[0][0].as_int(), Some(1));
     let r = db.query("SELECT count(*) FROM t WHERE v IS NULL").unwrap();
     assert_eq!(r[0][0].as_int(), Some(1));
     // Unknown language in the constructor is an execution error.
-    assert!(db.execute("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('x','Qqq')").is_err());
+    assert!(db
+        .execute("SELECT count(*) FROM t WHERE v LEXEQUAL unitext('x','Qqq')")
+        .is_err());
     // Unknown operator is a binder error.
-    assert!(db.execute("SELECT * FROM t WHERE v FOO unitext('x','English')").is_err());
+    assert!(db
+        .execute("SELECT * FROM t WHERE v FOO unitext('x','English')")
+        .is_err());
 }
 
 #[test]
@@ -123,7 +141,10 @@ fn explain_shows_extension_operator_and_costs() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
     for i in 0..100 {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('name{i}','English'))")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO t VALUES (unitext('name{i}','English'))"
+        ))
+        .unwrap();
     }
     db.execute("ANALYZE t").unwrap();
     let r = db
@@ -141,7 +162,10 @@ fn aggregates_group_by_language() {
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
     for (name, lang, copies) in [("a", "English", 3), ("b", "Tamil", 2), ("c", "Hindi", 1)] {
         for _ in 0..copies {
-            db.execute(&format!("INSERT INTO t VALUES (unitext('{name}','{lang}'))")).unwrap();
+            db.execute(&format!(
+                "INSERT INTO t VALUES (unitext('{name}','{lang}'))"
+            ))
+            .unwrap();
         }
     }
     let r = db
@@ -156,10 +180,14 @@ fn aggregates_group_by_language() {
 fn delete_respects_psi_predicate() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('Nehru','English'))").unwrap();
-    db.execute("INSERT INTO t VALUES (unitext('Gandhi','English'))").unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('Nehru','English'))")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('Gandhi','English'))")
+        .unwrap();
     db.execute("SET lexequal.threshold = 1").unwrap();
-    let r = db.execute("DELETE FROM t WHERE v LEXEQUAL unitext('Neru','English')").unwrap();
+    let r = db
+        .execute("DELETE FROM t WHERE v LEXEQUAL unitext('Neru','English')")
+        .unwrap();
     assert_eq!(r.affected, 1);
     let left = db.query("SELECT text_of(v) FROM t").unwrap();
     assert_eq!(left[0][0].as_text(), Some("Gandhi"));
@@ -171,7 +199,10 @@ fn multi_statement_session_flow() {
     db.execute("CREATE TABLE t (v UNITEXT, k INT)").unwrap();
     // Large enough that a point probe beats the sequential scan.
     for i in 0..2000 {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('w{i}','English'), {i})")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO t VALUES (unitext('w{i}','English'), {i})"
+        ))
+        .unwrap();
     }
     db.execute("CREATE INDEX t_k ON t (k) USING btree").unwrap();
     db.execute("ANALYZE t").unwrap();
@@ -190,10 +221,14 @@ fn limit_and_order_interact() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT, p FLOAT)").unwrap();
     for (i, name) in ["zeta", "alpha", "mid"].iter().enumerate() {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('{name}','English'), {i}.5)"))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO t VALUES (unitext('{name}','English'), {i}.5)"
+        ))
+        .unwrap();
     }
-    let r = db.query("SELECT text_of(v) FROM t ORDER BY v LIMIT 2").unwrap();
+    let r = db
+        .query("SELECT text_of(v) FROM t ORDER BY v LIMIT 2")
+        .unwrap();
     assert_eq!(r.len(), 2);
     assert_eq!(r[0][0].as_text(), Some("alpha"));
     assert_eq!(r[1][0].as_text(), Some("mid"));
@@ -204,9 +239,13 @@ fn insert_rejects_wrong_types() {
     let mut db = db();
     db.execute("CREATE TABLE t (v UNITEXT)").unwrap();
     assert!(db.execute("INSERT INTO t VALUES (42)").is_err());
-    assert!(db.execute("INSERT INTO t VALUES ('bare text')").is_err(), "text is not unitext");
+    assert!(
+        db.execute("INSERT INTO t VALUES ('bare text')").is_err(),
+        "text is not unitext"
+    );
     // And the right way works.
-    db.execute("INSERT INTO t VALUES (unitext('ok','English'))").unwrap();
+    db.execute("INSERT INTO t VALUES (unitext('ok','English'))")
+        .unwrap();
     let n = db.query("SELECT count(*) FROM t").unwrap();
     assert!(n[0][0].eq_sql(&Datum::Int(1)));
 }
@@ -220,20 +259,30 @@ fn unitext_equality_consistent_across_join_strategies_and_indexes() {
     db.execute("CREATE TABLE a (u UNITEXT, pad INT)").unwrap();
     db.execute("CREATE TABLE b (u UNITEXT, pad INT)").unwrap();
     for i in 0..300 {
-        db.execute(&format!("INSERT INTO a VALUES (unitext('w{i}','English'), {i})")).unwrap();
-        db.execute(&format!("INSERT INTO b VALUES (unitext('w{i}','French'), {i})")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO a VALUES (unitext('w{i}','English'), {i})"
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO b VALUES (unitext('w{i}','French'), {i})"
+        ))
+        .unwrap();
     }
     db.execute("ANALYZE a").unwrap();
     db.execute("ANALYZE b").unwrap();
     // Same texts, different language tags: all 300 must join.
-    let n = db.query("SELECT count(*) FROM a, b WHERE a.u = b.u").unwrap();
+    let n = db
+        .query("SELECT count(*) FROM a, b WHERE a.u = b.u")
+        .unwrap();
     assert_eq!(n[0][0].as_int(), Some(300));
     // A B-Tree on the UniText column must not hijack the probe (raw-byte
     // order disagrees with text-only equality) — even when the seq scan is
     // penalized off.
     db.execute("CREATE INDEX a_u ON a (u) USING btree").unwrap();
     db.execute("SET enable_seqscan = 0").unwrap();
-    let r = db.execute("SELECT count(*) FROM a WHERE u = unitext('w5','Tamil')").unwrap();
+    let r = db
+        .execute("SELECT count(*) FROM a WHERE u = unitext('w5','Tamil')")
+        .unwrap();
     assert_eq!(r.rows[0][0].as_int(), Some(1), "{}", r.explain.unwrap());
     db.execute("SET enable_seqscan = 1").unwrap();
 }
@@ -245,13 +294,22 @@ fn unitext_compares_with_text_literals() {
     // of falling back to cross-type discriminant ordering.
     let mut db = db();
     db.execute("CREATE TABLE t (u UNITEXT)").unwrap();
-    for (w, l) in [("apple", "English"), ("banana", "Tamil"), ("cherry", "French")] {
-        db.execute(&format!("INSERT INTO t VALUES (unitext('{w}','{l}'))")).unwrap();
+    for (w, l) in [
+        ("apple", "English"),
+        ("banana", "Tamil"),
+        ("cherry", "French"),
+    ] {
+        db.execute(&format!("INSERT INTO t VALUES (unitext('{w}','{l}'))"))
+            .unwrap();
     }
-    let eq = db.query("SELECT count(*) FROM t WHERE u = 'banana'").unwrap();
+    let eq = db
+        .query("SELECT count(*) FROM t WHERE u = 'banana'")
+        .unwrap();
     assert_eq!(eq[0][0].as_int(), Some(1));
     let lt = db.query("SELECT count(*) FROM t WHERE u < 'b'").unwrap();
     assert_eq!(lt[0][0].as_int(), Some(1)); // apple
-    let ge = db.query("SELECT count(*) FROM t WHERE 'banana' <= u").unwrap();
+    let ge = db
+        .query("SELECT count(*) FROM t WHERE 'banana' <= u")
+        .unwrap();
     assert_eq!(ge[0][0].as_int(), Some(2)); // banana, cherry
 }

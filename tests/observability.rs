@@ -44,9 +44,13 @@ fn explain_analyze_lexequal_index_scan_actuals() {
         ("Gandhi", "English"),
         ("Patel", "English"),
     ] {
-        db.execute(&format!("INSERT INTO names VALUES (unitext('{n}','{lang}'))")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('{n}','{lang}'))"
+        ))
+        .unwrap();
     }
-    db.execute("CREATE INDEX names_mt ON names (name) USING mtree").unwrap();
+    db.execute("CREATE INDEX names_mt ON names (name) USING mtree")
+        .unwrap();
     db.execute("ANALYZE names").unwrap();
     db.execute("SET lexequal.threshold = 2").unwrap();
     db.execute("SET enable_seqscan = 0").unwrap();
@@ -69,7 +73,10 @@ fn explain_analyze_lexequal_index_scan_actuals() {
     }
     // Pre-order: the root aggregate emits exactly one row...
     let (agg_rows, agg_line) = &nodes[0];
-    assert!(agg_line.contains("Aggregate"), "root is the count(*):\n{text}");
+    assert!(
+        agg_line.contains("Aggregate"),
+        "root is the count(*):\n{text}"
+    );
     assert_eq!(*agg_rows, 1, "{text}");
     assert!(agg_line.contains("loops=1"), "{agg_line}");
     // ...and the index scan leaf yields the three cross-script homophones.
@@ -91,7 +98,8 @@ fn explain_analyze_lexequal_index_scan_actuals() {
 #[test]
 fn explain_analyze_semequal_closure_actuals() {
     let mut db = db();
-    db.execute("CREATE TABLE book (id INT, category UNITEXT)").unwrap();
+    db.execute("CREATE TABLE book (id INT, category UNITEXT)")
+        .unwrap();
     // Four of five categories sit in History's closure (the fixture
     // taxonomy of Figure 4); Novel does not.
     for (id, cat, lang) in [
@@ -101,8 +109,10 @@ fn explain_analyze_semequal_closure_actuals() {
         (4, "சரித்திரம்", "Tamil"),
         (5, "Novel", "English"),
     ] {
-        db.execute(&format!("INSERT INTO book VALUES ({id}, unitext('{cat}','{lang}'))"))
-            .unwrap();
+        db.execute(&format!(
+            "INSERT INTO book VALUES ({id}, unitext('{cat}','{lang}'))"
+        ))
+        .unwrap();
     }
     db.execute("ANALYZE book").unwrap();
 
@@ -124,7 +134,10 @@ fn explain_analyze_semequal_closure_actuals() {
     assert!(text.contains("ext_op_calls=5"), "{text}");
     // Repeated RHS roots hit the memoized closure.
     let hits_after = obs::metrics().taxonomy_closure_cache_hits_total.get();
-    assert!(hits_after > hits_before, "closure cache hits must be counted");
+    assert!(
+        hits_after > hits_before,
+        "closure cache hits must be counted"
+    );
 }
 
 /// Acceptance: a three-operator plan (aggregate over join over scans)
@@ -155,7 +168,10 @@ fn explain_analyze_annotates_every_node_of_a_join_plan() {
         .collect();
     assert!(plan_lines.len() >= 3, "3-operator plan:\n{text}");
     for line in &plan_lines {
-        assert!(line.contains("(actual rows="), "unannotated node {line:?}:\n{text}");
+        assert!(
+            line.contains("(actual rows="),
+            "unannotated node {line:?}:\n{text}"
+        );
         assert!(line.contains("loops="), "{line}");
         assert!(line.contains("time="), "{line}");
         assert!(line.contains("pages="), "{line}");
@@ -204,13 +220,21 @@ fn show_stats_exposes_at_least_ten_metrics_in_both_formats() {
     assert!(via_fn.matches("\"type\":").count() >= 10);
 
     // Prometheus text form.
-    let prom = db.query("SELECT mlql_stats_prometheus() FROM dual").unwrap()[0][0]
+    let prom = db
+        .query("SELECT mlql_stats_prometheus() FROM dual")
+        .unwrap()[0][0]
         .as_text()
         .unwrap()
         .to_string();
     assert!(prom.matches("# TYPE mlql_").count() >= 10, "{prom}");
-    assert!(prom.contains("# TYPE mlql_query_latency_seconds histogram"), "{prom}");
-    assert!(prom.contains("mlql_query_latency_seconds_bucket{le=\"+Inf\"}"), "{prom}");
+    assert!(
+        prom.contains("# TYPE mlql_query_latency_seconds histogram"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("mlql_query_latency_seconds_bucket{le=\"+Inf\"}"),
+        "{prom}"
+    );
     let show_prom = db.query("SHOW STATS_PROMETHEUS").unwrap()[0][0]
         .as_text()
         .unwrap()
@@ -225,7 +249,10 @@ fn psi_counters_track_distance_calls() {
     let mut db = db();
     db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
     for n in ["Nehru", "Gandhi", "Patel", "Bose"] {
-        db.execute(&format!("INSERT INTO names VALUES (unitext('{n}','English'))")).unwrap();
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('{n}','English'))"
+        ))
+        .unwrap();
     }
     db.execute("SET lexequal.threshold = 2").unwrap();
 

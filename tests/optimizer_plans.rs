@@ -13,15 +13,24 @@ fn db() -> (Database, mlql::mural::Mural) {
 }
 
 fn load_names(db: &mut Database, m: &mlql::mural::Mural, table: &str, n: usize, seed: u64) {
-    db.execute(&format!("CREATE TABLE {table} (name UNITEXT, id INT)")).unwrap();
+    db.execute(&format!("CREATE TABLE {table} (name UNITEXT, id INT)"))
+        .unwrap();
     let data = mlql::datagen::names_dataset(
         &m.langs,
-        &mlql::datagen::NamesConfig { records: n, noise: 0.25, seed, ..Default::default() },
+        &mlql::datagen::NamesConfig {
+            records: n,
+            noise: 0.25,
+            seed,
+            ..Default::default()
+        },
     );
     for (i, rec) in data.iter().enumerate() {
         db.insert_row(
             table,
-            vec![unitext_datum(m.unitext_type, &rec.name), Datum::Int(i as i64)],
+            vec![
+                unitext_datum(m.unitext_type, &rec.name),
+                Datum::Int(i as i64),
+            ],
         )
         .unwrap();
     }
@@ -32,11 +41,20 @@ fn load_names(db: &mut Database, m: &mlql::mural::Mural, table: &str, n: usize, 
 fn selective_btree_probe_beats_seq_scan() {
     let (mut db, m) = db();
     load_names(&mut db, &m, "t", 3000, 1);
-    db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
-    let plan = db.plan_select("SELECT count(*) FROM t WHERE id = 1234").unwrap();
-    assert!(plan.explain().contains("Index Scan using t_id"), "{}", plan.explain());
+    db.execute("CREATE INDEX t_id ON t (id) USING btree")
+        .unwrap();
+    let plan = db
+        .plan_select("SELECT count(*) FROM t WHERE id = 1234")
+        .unwrap();
+    assert!(
+        plan.explain().contains("Index Scan using t_id"),
+        "{}",
+        plan.explain()
+    );
     // A non-selective range stays sequential.
-    let plan = db.plan_select("SELECT count(*) FROM t WHERE id >= 0").unwrap();
+    let plan = db
+        .plan_select("SELECT count(*) FROM t WHERE id >= 0")
+        .unwrap();
     assert!(plan.explain().contains("Seq Scan"), "{}", plan.explain());
 }
 
@@ -44,14 +62,19 @@ fn selective_btree_probe_beats_seq_scan() {
 fn mtree_chosen_only_when_it_wins() {
     let (mut db, m) = db();
     load_names(&mut db, &m, "t", 3000, 2);
-    db.execute("CREATE INDEX t_mt ON t (name) USING mtree").unwrap();
+    db.execute("CREATE INDEX t_mt ON t (name) USING mtree")
+        .unwrap();
     // Low threshold: the approximate index's traversal fraction is small →
     // the optimizer should pick it.
     db.execute("SET lexequal.threshold = 1").unwrap();
     let plan = db
         .plan_select("SELECT count(*) FROM t WHERE name LEXEQUAL unitext('Nehru','English')")
         .unwrap();
-    assert!(plan.explain().contains("Index Scan using t_mt"), "{}", plan.explain());
+    assert!(
+        plan.explain().contains("Index Scan using t_mt"),
+        "{}",
+        plan.explain()
+    );
     // Very high threshold: traversal fraction saturates → seq scan wins
     // (the paper's "marginal effectiveness" regime).
     db.execute("SET lexequal.threshold = 8").unwrap();
@@ -65,13 +88,18 @@ fn mtree_chosen_only_when_it_wins() {
 fn enable_flags_force_paths() {
     let (mut db, m) = db();
     load_names(&mut db, &m, "t", 1000, 3);
-    db.execute("CREATE INDEX t_id ON t (id) USING btree").unwrap();
+    db.execute("CREATE INDEX t_id ON t (id) USING btree")
+        .unwrap();
     db.execute("SET enable_indexscan = 0").unwrap();
-    let plan = db.plan_select("SELECT count(*) FROM t WHERE id = 5").unwrap();
+    let plan = db
+        .plan_select("SELECT count(*) FROM t WHERE id = 5")
+        .unwrap();
     assert!(plan.explain().contains("Seq Scan"));
     db.execute("SET enable_indexscan = 1").unwrap();
     db.execute("SET enable_seqscan = 0").unwrap();
-    let plan = db.plan_select("SELECT count(*) FROM t WHERE id = 5").unwrap();
+    let plan = db
+        .plan_select("SELECT count(*) FROM t WHERE id = 5")
+        .unwrap();
     assert!(plan.explain().contains("Index Scan"));
     db.execute("SET enable_seqscan = 1").unwrap();
 }
@@ -83,9 +111,11 @@ fn psi_applied_early_in_free_join_order() {
     let (mut db, m) = db();
     load_names(&mut db, &m, "author", 400, 4);
     load_names(&mut db, &m, "publisher", 100, 5);
-    db.execute("CREATE TABLE book (bookid INT, authorid INT)").unwrap();
+    db.execute("CREATE TABLE book (bookid INT, authorid INT)")
+        .unwrap();
     for i in 0..800 {
-        db.insert_row("book", vec![Datum::Int(i), Datum::Int(i % 400)]).unwrap();
+        db.insert_row("book", vec![Datum::Int(i), Datum::Int(i % 400)])
+            .unwrap();
     }
     db.execute("ANALYZE book").unwrap();
     db.execute("SET lexequal.threshold = 3").unwrap();
@@ -101,7 +131,10 @@ fn psi_applied_early_in_free_join_order() {
     db.execute("SET force_join_order = 0").unwrap();
     let free = db.plan_select(q_psi_early).unwrap().est_cost;
     assert!(c1 < c2, "psi-early must cost less: {c1} vs {c2}");
-    assert!(free <= c1 * 1.001, "free choice ({free}) must match the best ({c1})");
+    assert!(
+        free <= c1 * 1.001,
+        "free choice ({free}) must match the best ({c1})"
+    );
 
     // And the two forced plans agree on results.
     db.execute("SET force_join_order = 1").unwrap();
@@ -141,17 +174,29 @@ fn hash_join_for_equi_nl_for_theta() {
     let (mut db, m) = db();
     load_names(&mut db, &m, "a", 500, 7);
     load_names(&mut db, &m, "b", 500, 8);
-    let equi = db.plan_select("SELECT count(*) FROM a, b WHERE a.id = b.id").unwrap();
+    let equi = db
+        .plan_select("SELECT count(*) FROM a, b WHERE a.id = b.id")
+        .unwrap();
     assert!(equi.explain().contains("Hash Join"), "{}", equi.explain());
     db.execute("SET lexequal.threshold = 2").unwrap();
     let theta = db
         .plan_select("SELECT count(*) FROM a, b WHERE a.name LEXEQUAL b.name")
         .unwrap();
-    assert!(theta.explain().contains("Nested Loop"), "{}", theta.explain());
+    assert!(
+        theta.explain().contains("Nested Loop"),
+        "{}",
+        theta.explain()
+    );
     // Force the hash join off; the equi query still plans (penalized path).
     db.execute("SET enable_hashjoin = 0").unwrap();
-    let forced = db.plan_select("SELECT count(*) FROM a, b WHERE a.id = b.id").unwrap();
-    assert!(!forced.explain().contains("Hash Join"), "{}", forced.explain());
+    let forced = db
+        .plan_select("SELECT count(*) FROM a, b WHERE a.id = b.id")
+        .unwrap();
+    assert!(
+        !forced.explain().contains("Hash Join"),
+        "{}",
+        forced.explain()
+    );
     db.execute("SET enable_hashjoin = 1").unwrap();
 }
 
@@ -177,6 +222,9 @@ fn fig6_style_correlation_holds_at_test_scale() {
     }
     // Costs must be strictly increasing across the three query classes,
     // and so must runtimes.
-    assert!(measured[0].0 < measured[1].0 && measured[1].0 < measured[2].0, "{measured:?}");
+    assert!(
+        measured[0].0 < measured[1].0 && measured[1].0 < measured[2].0,
+        "{measured:?}"
+    );
     assert!(measured[0].1 < measured[2].1, "{measured:?}");
 }

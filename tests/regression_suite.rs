@@ -97,7 +97,8 @@ fn optimizer_costs_of_plain_queries_unchanged() {
     let setup = |db: &mut Database| {
         db.execute("CREATE TABLE t (id INT, v TEXT)").unwrap();
         for i in 0..500 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{}')", i % 10)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{}')", i % 10))
+                .unwrap();
         }
         db.execute("ANALYZE t").unwrap();
     };
