@@ -45,7 +45,7 @@
 
 use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
 use crate::error::{Error, Result};
-use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats};
+use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats, MAX_ROWS_VAR};
 use crate::expr::EvalCtx;
 use crate::obs::{self, QueryTrace};
 use crate::opt;
@@ -178,10 +178,14 @@ impl PlanCache {
 
     fn insert(&self, key: (String, u64), plan: Arc<PhysNode>, epoch: u64) {
         let mut map = self.entries.lock();
-        // Wholesale flush at capacity: the cache targets a small working
-        // set of hot lookups, so an LRU chain is not worth its overhead.
+        // Evict one arbitrary entry at capacity: random-ish eviction keeps
+        // most of the hot working set resident (a wholesale flush would
+        // thrash under >capacity distinct keys) without the overhead of an
+        // LRU chain.
         if map.len() >= self.capacity && !map.contains_key(&key) {
-            map.clear();
+            if let Some(victim) = map.keys().next().cloned() {
+                map.remove(&victim);
+            }
         }
         map.insert(key, CachedPlan { plan, epoch });
     }
@@ -524,7 +528,12 @@ impl Session {
                 let schema = schema_from_ddl(&catalog, &columns)?;
                 let heap = HeapFile::create(&self.engine.pool)?;
                 let id = catalog.create_table(&name, schema, heap)?;
-                drop(catalog);
+                // Log while still holding the catalog write guard (WAL is
+                // rank 5, catalog rank 1 — hierarchy-safe): once the guard
+                // drops the table is visible, and a concurrent insert could
+                // otherwise win the WAL mutex and log before our
+                // CreateTable record.  Replay assigns table ids by record
+                // order, so that reordering corrupts recovery.
                 self.engine.log(WalRecord::CreateTable {
                     table_id: id.0,
                     ddl: sql_text.as_bytes().to_vec(),
@@ -549,7 +558,7 @@ impl Session {
                 let arity = meta.schema.len();
                 let mut instance = idx.instance.write();
                 let mut scan_err = None;
-                meta.heap.scan(&self.engine.pool, |tid, bytes| {
+                let scan_result = meta.heap.scan(&self.engine.pool, |tid, bytes| {
                     match decode_row(bytes, arity) {
                         Ok(row) => {
                             if let Err(e) = instance.insert(&row[col], tid) {
@@ -563,12 +572,18 @@ impl Session {
                         }
                     }
                     true
-                })?;
+                });
                 drop(instance);
-                drop(catalog);
-                if let Some(e) = scan_err {
+                // A failed back-fill must unregister the index before the
+                // guard drops, or later queries would use a partial index
+                // and silently miss rows.
+                if let Some(e) = scan_result.err().or(scan_err) {
+                    let _ = catalog.drop_index(&name);
                     return Err(e);
                 }
+                // Log under the catalog write guard (WAL rank 5 > catalog
+                // rank 1) so concurrent DDL/DML cannot log ahead of this
+                // record — replay depends on record order.
                 self.engine.log(WalRecord::CreateTable {
                     table_id: meta.id.0,
                     ddl: sql_text.as_bytes().to_vec(),
@@ -858,8 +873,14 @@ impl Session {
                     stats: &stats,
                 };
                 let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
+                // Same guard as `run_to_vec`: EXPLAIN ANALYZE executes the
+                // query for real, so it must honor `max_rows` too.
+                let max_rows = self.vars.get_int(MAX_ROWS_VAR, 0).max(0) as u64;
                 let mut rows = Vec::new();
                 while let Some(row) = exec.next(&ctx)? {
+                    if max_rows > 0 && rows.len() as u64 >= max_rows {
+                        return Err(Error::MaxRows { limit: max_rows });
+                    }
                     rows.push(row);
                 }
                 stats.rows_out.set(rows.len() as u64);
@@ -1370,6 +1391,9 @@ mod tests {
         }
         s.execute("SET max_rows = 5").unwrap();
         let err = s.query("SELECT id FROM t").unwrap_err();
+        assert!(matches!(err, Error::MaxRows { limit: 5 }), "{err}");
+        // EXPLAIN ANALYZE executes the query for real, so it trips too.
+        let err = s.execute("EXPLAIN ANALYZE SELECT id FROM t").unwrap_err();
         assert!(matches!(err, Error::MaxRows { limit: 5 }), "{err}");
         // Under the limit passes.
         assert_eq!(s.query("SELECT id FROM t LIMIT 5").unwrap().len(), 5);

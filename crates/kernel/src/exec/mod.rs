@@ -466,9 +466,7 @@ impl Executor for IndexScanExec {
                     .instance
                     .read()
                     .search(&self.strategy, &self.probe, &self.extra)?;
-            ctx.stats
-                .index_node_visits
-                .set(ctx.stats.index_node_visits.get() + search.node_visits);
+            ctx.stats.index_node_visits.add(search.node_visits);
             crate::obs::metrics()
                 .index_node_visits_total
                 .add(search.node_visits);

@@ -221,3 +221,38 @@ fn script_errors_locate_the_failing_statement() {
         Some(1)
     );
 }
+
+/// A CREATE INDEX whose heap back-fill fails must not leave a partially
+/// built index registered — a later query would pick it and silently
+/// miss rows.
+#[test]
+fn failed_index_backfill_unregisters_index() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (id INT, name UNITEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, unitext('Nehru','English'))")
+        .unwrap();
+    // mtree keys must be unitext, so back-filling from the INT column
+    // fails after the index is registered in the catalog.
+    assert!(db
+        .execute("CREATE INDEX t_bad ON t (id) USING mtree")
+        .is_err());
+    {
+        let catalog = db.catalog();
+        let meta = catalog.table("t").unwrap();
+        assert!(
+            catalog.indexes_of(meta.id).is_empty(),
+            "failed back-fill left a partial index registered"
+        );
+    }
+    // The name is free again: a valid definition succeeds, and queries
+    // through it see every row.
+    db.execute("CREATE INDEX t_bad ON t (name) USING mtree")
+        .unwrap();
+    db.execute("SET lexequal.threshold = 2").unwrap();
+    assert_eq!(
+        db.query("SELECT count(*) FROM t WHERE name LEXEQUAL unitext('Nehru','English')")
+            .unwrap()[0][0]
+            .as_int(),
+        Some(1)
+    );
+}
