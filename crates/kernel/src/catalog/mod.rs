@@ -170,6 +170,58 @@ impl Catalog {
         self.by_name.values().map(|&id| &self.tables[id.0 as usize])
     }
 
+    /// Whether a table name is live (cheap existence probe).
+    pub fn has_table(&self, name: &str) -> bool {
+        self.by_name.contains_key(&name.to_lowercase())
+    }
+
+    /// Every table slot in id order, including dropped ones.  Checkpoint
+    /// snapshots persist dead slots too, because table ids are vec
+    /// positions: replaying a post-snapshot `CREATE TABLE` must assign the
+    /// same id it originally got, which requires the dropped slots to keep
+    /// occupying their positions.
+    pub fn table_slots(&self) -> &[Arc<TableMeta>] {
+        &self.tables
+    }
+
+    /// Whether a slot is live (dropped tables stay in `table_slots` but
+    /// leave the name map).
+    pub fn is_live(&self, id: TableId) -> bool {
+        self.tables
+            .get(id.0 as usize)
+            .is_some_and(|t| self.by_name.get(&t.name) == Some(&id))
+    }
+
+    /// Re-create a table slot from a checkpoint snapshot.  Slots must be
+    /// restored in id order; `live` distinguishes dropped tables (which
+    /// occupy their slot but are not name-resolvable).
+    pub fn restore_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        heap: HeapFile,
+        live: bool,
+    ) -> Result<TableId> {
+        let lower = name.to_lowercase();
+        if live && self.by_name.contains_key(&lower) {
+            return Err(Error::Catalog(format!(
+                "snapshot restore: table {lower:?} already exists"
+            )));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Arc::new(TableMeta {
+            id,
+            name: lower.clone(),
+            schema,
+            heap,
+            stats: Mutex::new(TableStats::default()),
+        }));
+        if live {
+            self.by_name.insert(lower, id);
+        }
+        Ok(id)
+    }
+
     /// Create an (empty) index on a table; the DDL executor back-fills it.
     pub fn create_index(
         &mut self,

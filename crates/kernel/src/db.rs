@@ -4,13 +4,17 @@
 //! `Database` remains for single-connection callers and will eventually be
 //! reduced to a deprecated alias (see `docs/architecture.md`).
 
-use crate::catalog::{Catalog, SessionVars};
+use crate::catalog::{Catalog, SessionVars, TableId};
 use crate::engine::{Engine, Session};
 pub use crate::engine::{QueryResult, RunStats};
 use crate::error::{Error, Result};
 use crate::plan::PhysNode;
 use crate::schema::Row;
-use crate::storage::{decode_row, BufferPool, FileBackend, Wal, WalRecord};
+use crate::snapshot::{self, Snapshot};
+use crate::storage::{
+    decode_row, BufferPool, FileBackend, FileId, HeapFile, SharedWal, StorageBackend, SyncMode,
+    Wal, WalReader, WalRecord,
+};
 use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 use std::path::Path;
 use std::sync::Arc;
@@ -48,47 +52,127 @@ impl Database {
         dir: impl AsRef<Path>,
         install: impl FnOnce(&mut Database) -> Result<()>,
     ) -> Result<Database> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let wal_path = dir.join("wal.log");
-        let records = Wal::replay(&wal_path)?;
+        Self::open_with_extensions_and_backend(dir, install, |b| b)
+    }
+
+    /// Like [`Database::open_with_extensions`], with a hook that may wrap
+    /// the storage backend (the fault-injection harness interposes a
+    /// `FaultyBackend` here).
+    ///
+    /// Recovery sequence:
+    /// 1. If a `CHECKPOINT` pointer exists, verify and load its snapshot,
+    ///    and replace the data directory with the checkpoint's heap copies
+    ///    (the live heaps may contain post-snapshot effects — the buffer
+    ///    pool steals — so they are never trusted).  Otherwise clear the
+    ///    heaps: full replay starts from empty.
+    /// 2. Install extensions, then restore the catalog from the snapshot
+    ///    (all table slots in id order, dead ones included, so replayed
+    ///    DDL re-assigns identical table ids).
+    /// 3. Stream the WAL tail, applying records with LSN beyond the
+    ///    snapshot.  A torn tail ends replay silently; mid-log corruption
+    ///    or a record that fails to apply aborts with the LSN/offset.
+    /// 4. Rebuild indexes from the heaps (not WAL-logged — §4.2.1).
+    /// 5. Attach the WAL for logging (group-commit `fsync` mode).
+    pub fn open_with_extensions_and_backend(
+        dir: impl AsRef<Path>,
+        install: impl FnOnce(&mut Database) -> Result<()>,
+        wrap: impl FnOnce(Box<dyn StorageBackend>) -> Box<dyn StorageBackend>,
+    ) -> Result<Database> {
+        let root = dir.as_ref();
+        std::fs::create_dir_all(root)?;
+        let wal_path = snapshot::wal_path(root);
+        let data = snapshot::data_dir(root);
+        let checkpoint = snapshot::read_pointer(root)?;
+        let snap = match &checkpoint {
+            Some(chk) => {
+                let s = snapshot::load_snapshot(chk)?;
+                snapshot::restore_data_dir(root, chk)?;
+                crate::obs::metrics().recovery_snapshot_restores_total.inc();
+                Some(s)
+            }
+            None => {
+                snapshot::clear_data_dir(&data)?;
+                None
+            }
+        };
+        let base_lsn = snap.as_ref().map_or(0, |s| s.lsn);
         // The engine starts WAL-less, so nothing below re-logs; the WAL is
         // attached once replay completes.
-        let engine = Engine::with_backend(Box::new(FileBackend::open(dir.join("data"))?));
+        let backend = wrap(Box::new(FileBackend::open(&data)?));
+        let engine = Engine::with_backend(backend);
         let mut db = Database {
             session: engine.connect(),
         };
         install(&mut db)?;
-        // Replay: DDL records carry the original SQL; DML records carry
-        // tuple bytes addressed by table id (creation order = id order).
-        for rec in records {
-            match rec {
-                WalRecord::CreateTable { ddl, .. } => {
-                    let sql = String::from_utf8(ddl)
-                        .map_err(|_| Error::Storage("corrupt DDL record".into()))?;
-                    db.execute(&sql)?;
-                }
-                WalRecord::Insert { table_id, tuple } => {
-                    let (name, arity) = {
-                        let catalog = db.catalog();
-                        let meta = catalog.table_by_id(crate::catalog::TableId(table_id))?;
-                        (meta.name.clone(), meta.schema.len())
-                    };
-                    let row = decode_row(&tuple, arity)?;
-                    db.insert_row(&name, row)?;
-                }
-                WalRecord::Delete { table_id, tuple } => {
-                    let name = db
-                        .catalog()
-                        .table_by_id(crate::catalog::TableId(table_id))?
-                        .name
-                        .clone();
-                    db.session.delete_matching_tuple(&name, &tuple)?;
-                }
+        if let Some(s) = &snap {
+            let mut catalog = engine.catalog_mut();
+            for t in &s.tables {
+                let schema = Snapshot::resolve_schema(&catalog, &t.columns)?;
+                let heap = HeapFile::attach(FileId(t.heap_file));
+                catalog.restore_table(&t.name, schema, heap, t.live)?;
+            }
+            for i in &s.indexes {
+                let table_name = catalog.table_by_id(TableId(i.table_id))?.name.clone();
+                catalog.create_index(&table_name, &i.name, i.column as usize, &i.am)?;
             }
         }
-        engine.attach_wal(Wal::open(&wal_path)?);
+        // Replay the tail: DDL records carry the original SQL; DML records
+        // carry tuple bytes addressed by table id (creation order = id
+        // order, which the snapshot's dead slots preserve).
+        if let Some(mut reader) = WalReader::open(&wal_path)? {
+            loop {
+                let offset = reader.offset();
+                let Some((lsn, rec)) = reader.next_record()? else {
+                    break;
+                };
+                if lsn <= base_lsn {
+                    // Already covered by the snapshot (a crash between
+                    // checkpoint-pointer commit and WAL truncation leaves
+                    // these behind).
+                    continue;
+                }
+                Self::apply_record(&mut db, rec).map_err(|e| Error::Replay {
+                    lsn,
+                    offset,
+                    source: Box::new(e),
+                })?;
+                crate::obs::metrics().recovery_replayed_records_total.inc();
+            }
+        }
+        if snap.is_some() {
+            // Snapshot restore registered the index *definitions* only;
+            // build the structures from the recovered heaps.  (The full-
+            // replay path rebuilt them naturally by re-running DDL + DML.)
+            rebuild_indexes(&mut db)?;
+        }
+        let wal = Wal::open(&wal_path, base_lsn)?;
+        engine.attach_durability(
+            Arc::new(SharedWal::new(wal, SyncMode::Fsync)),
+            Some(root.to_path_buf()),
+        );
         Ok(db)
+    }
+
+    fn apply_record(db: &mut Database, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Ddl { sql } => {
+                db.execute(&sql)?;
+            }
+            WalRecord::Insert { table_id, tuple } => {
+                let (name, arity) = {
+                    let catalog = db.catalog();
+                    let meta = catalog.table_by_id(TableId(table_id))?;
+                    (meta.name.clone(), meta.schema.len())
+                };
+                let row = decode_row(&tuple, arity)?;
+                db.insert_row(&name, row)?;
+            }
+            WalRecord::Delete { table_id, tuple } => {
+                let name = db.catalog().table_by_id(TableId(table_id))?.name.clone();
+                db.session.delete_matching_tuple(&name, &tuple)?;
+            }
+        }
+        Ok(())
     }
 
     /// The shared engine behind this database.
@@ -174,8 +258,10 @@ impl Database {
         self.session.analyze(table)
     }
 
-    /// Flush heaps and truncate the WAL (checkpoint).  In-memory databases
-    /// are a no-op.
+    /// Checkpoint: flush heaps, persist a catalog snapshot + heap copies
+    /// under the database root, and truncate the WAL.  Reopen cost after a
+    /// checkpoint is bounded by post-checkpoint activity, not total
+    /// history.  In-memory databases just flush.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.session.engine().checkpoint()
     }

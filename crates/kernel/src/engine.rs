@@ -24,7 +24,10 @@
 //! 3. Buffer-pool mutex (inside [`BufferPool`]).
 //! 4. Per-index instance `RwLock` (inside `IndexMeta`) — searches share
 //!    the read guard, DML maintenance takes the write guard.
-//! 5. `Engine::wal` mutex.
+//! 5. WAL append mutex (inside [`SharedWal`]) — appends only; the group-
+//!    commit fsync happens *after* a statement has released every lock
+//!    above, on a rendezvous that is outside this hierarchy (see
+//!    `SharedWal::commit`).
 //!
 //! The catalog read guard is passed *down* into helpers (`&Catalog`), never
 //! re-acquired — parking_lot read locks are not reentrant once a writer is
@@ -51,16 +54,18 @@ use crate::obs::{self, QueryTrace};
 use crate::opt;
 use crate::plan::{NodeActuals, PhysNode};
 use crate::schema::{Column, Row, Schema};
+use crate::snapshot::{self, Snapshot};
 use crate::sql::{self, Statement};
 use crate::storage::{
-    decode_row, encode_row, BufferPool, HeapFile, IoStats, MemBackend, StorageBackend, Wal,
-    WalRecord,
+    decode_row, encode_row, BufferPool, HeapFile, IoStats, MemBackend, SharedWal, StorageBackend,
+    SyncMode, WalRecord,
 };
 use crate::value::{DataType, Datum};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Per-statement runtime statistics.
@@ -206,7 +211,7 @@ impl PlanCache {
 pub struct Engine {
     catalog: RwLock<Catalog>,
     pool: BufferPool,
-    wal: Mutex<Option<Wal>>,
+    durability: OnceLock<Durability>,
     /// Serializes DML statements (single-writer / many-reader model).
     dml_lock: Mutex<()>,
     /// Bumped by DDL and ANALYZE; plan-cache entries from older epochs
@@ -229,12 +234,12 @@ impl Engine {
     }
 
     /// An engine over an arbitrary storage backend, WAL-less until
-    /// [`Engine::attach_wal`].
+    /// [`Engine::attach_durability`].
     pub fn with_backend(backend: Box<dyn StorageBackend>) -> Arc<Engine> {
         Arc::new(Engine {
             catalog: RwLock::new(Catalog::new()),
             pool: BufferPool::new(backend, 1024),
-            wal: Mutex::new(None),
+            durability: OnceLock::new(),
             dml_lock: Mutex::new(()),
             schema_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(256),
@@ -299,29 +304,95 @@ impl Engine {
         self.plan_cache.clear();
     }
 
-    /// Attach a WAL; subsequent DDL/DML is logged.  Recovery opens the
-    /// engine without a WAL, replays, then attaches — so replayed
-    /// statements are not re-logged.
-    pub fn attach_wal(&self, wal: Wal) {
-        *self.wal.lock() = Some(wal);
+    /// Attach durability; subsequent DDL/DML is logged through `wal`.
+    /// Recovery opens the engine without durability, replays, then
+    /// attaches — so replayed statements are not re-logged.  `root` is the
+    /// database directory (checkpoints write their snapshots there; `None`
+    /// for WAL-only setups such as unit tests).
+    pub fn attach_durability(&self, wal: Arc<SharedWal>, root: Option<PathBuf>) {
+        if self.durability.set(Durability { wal, root }).is_err() {
+            panic!("durability already attached to this engine");
+        }
+    }
+
+    /// The attached WAL, if any (benches and tests inspect sync state).
+    pub fn wal(&self) -> Option<&Arc<SharedWal>> {
+        self.durability.get().map(|d| &d.wal)
+    }
+
+    /// Current WAL durability mode (`None` for in-memory engines).
+    pub fn wal_sync_mode(&self) -> Option<SyncMode> {
+        self.durability.get().map(|d| d.wal.mode())
+    }
+
+    /// Change the WAL durability mode (the `SET wal_sync_mode` knob).
+    /// Engine-wide: the WAL is one shared stream, so the knob cannot be
+    /// per-session.  No-op for in-memory engines.
+    pub fn set_wal_sync_mode(&self, mode: SyncMode) {
+        if let Some(d) = self.durability.get() {
+            d.wal.set_mode(mode);
+        }
     }
 
     fn log(&self, rec: WalRecord) -> Result<()> {
-        if let Some(wal) = self.wal.lock().as_mut() {
-            wal.append(&rec)?;
+        if let Some(d) = self.durability.get() {
+            d.wal.append(&rec)?;
         }
         Ok(())
     }
 
-    /// Flush heaps (checkpoint).  In-memory engines are a no-op.
-    pub fn checkpoint(&self) -> Result<()> {
-        self.pool.flush_all()?;
-        // Heap pages are durable now, but the catalog (DDL) still lives
-        // only in the WAL — so a checkpoint only truncates when there is a
-        // separate catalog snapshot, which we do not implement.  Keep the
-        // full log instead: replay is idempotent from an empty data dir.
+    /// Group-commit rendezvous: make everything logged so far durable.
+    /// Called *after* a statement has released its catalog/DML locks, so
+    /// concurrent sessions' appends batch behind one fsync.
+    pub(crate) fn wal_commit(&self) -> Result<()> {
+        if let Some(d) = self.durability.get() {
+            d.wal.commit()?;
+        }
         Ok(())
     }
+
+    /// Checkpoint: flush dirty heap pages, persist a catalog snapshot plus
+    /// copies of the heap files under the database root, then truncate the
+    /// WAL.  Recovery restores from the snapshot and replays only the WAL
+    /// tail, so reopen cost is bounded by post-checkpoint activity.
+    ///
+    /// In-memory engines (and WAL-only setups without a root) just flush.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(d) = self.durability.get() else {
+            self.pool.flush_all()?;
+            return Ok(());
+        };
+        let Some(root) = &d.root else {
+            self.pool.flush_all()?;
+            return Ok(());
+        };
+        // Quiesce writers: DML lock first, then the catalog read guard —
+        // the same order every DML statement uses.  DDL (which takes the
+        // catalog *write* lock without the DML lock) blocks on the read
+        // guard below, so nothing can append to the WAL between the
+        // `sync_now` that fixes the snapshot LSN and the truncation.
+        let _writer = self.dml_lock.lock();
+        let catalog = self.catalog.read();
+        let flushed = self.pool.flush_all()?;
+        let lsn = d.wal.sync_now()?;
+        let snap = Snapshot::capture(&catalog, lsn)?;
+        snapshot::write_checkpoint(root, &snap)?;
+        // The pointer is durable: every record ≤ lsn is covered by the
+        // snapshot and the log can be emptied.  (A crash right here leaves
+        // the old log in place; recovery skips records ≤ the snapshot LSN.)
+        d.wal.truncate()?;
+        let m = obs::metrics();
+        m.checkpoints_total.inc();
+        m.checkpoint_pages_flushed_total.add(flushed);
+        Ok(())
+    }
+}
+
+/// Durability attachments of an engine (absent for in-memory engines).
+struct Durability {
+    wal: Arc<SharedWal>,
+    /// Database root directory for checkpoints (`None` = WAL-only).
+    root: Option<PathBuf>,
 }
 
 // ----------------------------------------------------------------- session
@@ -522,21 +593,53 @@ impl Session {
     // ------------------------------------------------------- dispatching
 
     fn dispatch(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
+        // Statements that appended WAL records finish with a group-commit
+        // rendezvous — decided up front because the match consumes `stmt`.
+        // The commit must happen *after* `dispatch_stmt` returns (locks
+        // released), or concurrent writers would fsync one at a time under
+        // the DML lock and group commit would never batch.
+        let needs_commit = matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::DropTable { .. }
+                | Statement::DropIndex { .. }
+                | Statement::Insert { .. }
+                | Statement::InsertSelect { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+        );
+        let result = self.dispatch_stmt(stmt, sql_text)?;
+        if needs_commit {
+            self.engine.wal_commit()?;
+        }
+        Ok(result)
+    }
+
+    fn dispatch_stmt(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let mut catalog = self.engine.catalog_mut();
+                // Check the name *before* creating the heap: the heap file
+                // is allocated from the backend, and a duplicate-name error
+                // after allocation would leak the file id.
+                if catalog.has_table(&name) {
+                    return Err(Error::Catalog(format!(
+                        "table {:?} already exists",
+                        name.to_lowercase()
+                    )));
+                }
                 let schema = schema_from_ddl(&catalog, &columns)?;
                 let heap = HeapFile::create(&self.engine.pool)?;
-                let id = catalog.create_table(&name, schema, heap)?;
+                catalog.create_table(&name, schema, heap)?;
                 // Log while still holding the catalog write guard (WAL is
                 // rank 5, catalog rank 1 — hierarchy-safe): once the guard
                 // drops the table is visible, and a concurrent insert could
-                // otherwise win the WAL mutex and log before our
-                // CreateTable record.  Replay assigns table ids by record
-                // order, so that reordering corrupts recovery.
-                self.engine.log(WalRecord::CreateTable {
-                    table_id: id.0,
-                    ddl: sql_text.as_bytes().to_vec(),
+                // otherwise win the WAL mutex and log before our Ddl
+                // record.  Replay assigns table ids by record order, so
+                // that reordering corrupts recovery.
+                self.engine.log(WalRecord::Ddl {
+                    sql: sql_text.to_string(),
                 })?;
                 Ok(QueryResult::default())
             }
@@ -584,18 +687,28 @@ impl Session {
                 // Log under the catalog write guard (WAL rank 5 > catalog
                 // rank 1) so concurrent DDL/DML cannot log ahead of this
                 // record — replay depends on record order.
-                self.engine.log(WalRecord::CreateTable {
-                    table_id: meta.id.0,
-                    ddl: sql_text.as_bytes().to_vec(),
+                self.engine.log(WalRecord::Ddl {
+                    sql: sql_text.to_string(),
                 })?;
                 Ok(QueryResult::default())
             }
             Statement::DropTable { name } => {
-                self.engine.catalog_mut().drop_table(&name)?;
+                let mut catalog = self.engine.catalog_mut();
+                catalog.drop_table(&name)?;
+                // Logged like every other DDL (an unlogged DROP would
+                // resurrect the table on replay); the guard is still held
+                // so no concurrent record can order ahead of this one.
+                self.engine.log(WalRecord::Ddl {
+                    sql: sql_text.to_string(),
+                })?;
                 Ok(QueryResult::default())
             }
             Statement::DropIndex { name } => {
-                self.engine.catalog_mut().drop_index(&name)?;
+                let mut catalog = self.engine.catalog_mut();
+                catalog.drop_index(&name)?;
+                self.engine.log(WalRecord::Ddl {
+                    sql: sql_text.to_string(),
+                })?;
                 Ok(QueryResult::default())
             }
             Statement::Insert { table, rows } => {
@@ -693,6 +806,19 @@ impl Session {
                 let ctx = EvalCtx::new(&catalog, &self.vars);
                 let v = bound.eval(&[], &ctx)?;
                 drop(catalog);
+                // `wal_sync_mode` steers the engine-shared WAL, not the
+                // session: validate and forward before recording the text
+                // in the session vars (so SHOW still works).
+                if name.eq_ignore_ascii_case("wal_sync_mode") {
+                    let mode = v.as_text().and_then(SyncMode::parse).ok_or_else(|| {
+                        Error::Binder(
+                            "wal_sync_mode must be 'off', 'flush', 'fsync' or \
+                             'fsync_per_record'"
+                                .into(),
+                        )
+                    })?;
+                    self.engine.set_wal_sync_mode(mode);
+                }
                 // No cache invalidation needed: the session fingerprint is
                 // part of the plan-cache key, so a changed variable simply
                 // keys to different entries.
@@ -974,9 +1100,13 @@ impl Session {
     /// loaders).  Applies type checks, extension `on_insert` transforms
     /// (phoneme materialization), index maintenance and WAL logging.
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<()> {
-        let _writer = self.engine.dml_lock.lock();
-        let catalog = self.engine.catalog();
-        self.insert_row_in(&catalog, table, row)
+        {
+            let _writer = self.engine.dml_lock.lock();
+            let catalog = self.engine.catalog();
+            self.insert_row_in(&catalog, table, row)?;
+        }
+        // Durability rendezvous after the locks drop (group commit).
+        self.engine.wal_commit()
     }
 
     /// Insert under an already-held catalog guard (and DML lock).

@@ -34,6 +34,35 @@ pub enum Error {
         /// The underlying failure.
         source: Box<Error>,
     },
+    /// A complete WAL frame failed validation (CRC mismatch, broken LSN
+    /// sequence, undecodable payload).  Unlike a torn tail this means
+    /// committed records may follow the damage, so replay refuses to
+    /// continue and reports where it stopped.
+    WalCorrupt {
+        /// LSN of the frame that failed (the expected LSN at that point).
+        lsn: u64,
+        /// Byte offset of the frame within the log file.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A WAL record was read back intact but could not be re-applied
+    /// during recovery (e.g. its DDL no longer executes).
+    Replay {
+        /// LSN of the record that failed to apply.
+        lsn: u64,
+        /// Byte offset of the record within the log file.
+        offset: u64,
+        /// The underlying failure.
+        source: Box<Error>,
+    },
+    /// A checkpoint snapshot failed validation on load.
+    SnapshotCorrupt {
+        /// Path of the snapshot file.
+        path: String,
+        /// What exactly failed.
+        detail: String,
+    },
     /// Underlying OS I/O error.
     Io(std::io::Error),
 }
@@ -63,6 +92,31 @@ impl fmt::Display for Error {
                     "script statement {ordinal} ({snippet:?}) failed: {source}"
                 )
             }
+            Error::WalCorrupt {
+                lsn,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "WAL corrupt at LSN {lsn} (byte offset {offset}): {detail}; \
+                     records after this point cannot be trusted — inspect the log \
+                     and truncate deliberately to recover"
+                )
+            }
+            Error::Replay {
+                lsn,
+                offset,
+                source,
+            } => {
+                write!(
+                    f,
+                    "WAL replay failed at LSN {lsn} (byte offset {offset}): {source}"
+                )
+            }
+            Error::SnapshotCorrupt { path, detail } => {
+                write!(f, "checkpoint snapshot {path} corrupt: {detail}")
+            }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -72,6 +126,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Script { source, .. } => Some(source.as_ref()),
+            Error::Replay { source, .. } => Some(source.as_ref()),
             Error::Io(e) => Some(e),
             _ => None,
         }

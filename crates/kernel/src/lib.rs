@@ -51,6 +51,7 @@ pub mod opt;
 pub mod pl;
 pub mod plan;
 pub mod schema;
+pub mod snapshot;
 pub mod sql;
 pub mod storage;
 pub mod value;

@@ -404,6 +404,18 @@ pub struct EngineMetrics {
     pub wal_records_total: Arc<Counter>,
     /// WAL bytes appended.
     pub wal_bytes_total: Arc<Counter>,
+    /// `sync_data` calls issued against the WAL file.
+    pub wal_fsyncs_total: Arc<Counter>,
+    /// Records made durable per group-commit fsync (batch size).
+    pub wal_group_commit_batch: Arc<Histogram>,
+    /// Checkpoints completed.
+    pub checkpoints_total: Arc<Counter>,
+    /// Dirty pages flushed by checkpoints.
+    pub checkpoint_pages_flushed_total: Arc<Counter>,
+    /// WAL records re-applied during recovery.
+    pub recovery_replayed_records_total: Arc<Counter>,
+    /// Recoveries that restored from a checkpoint snapshot (vs. full replay).
+    pub recovery_snapshot_restores_total: Arc<Counter>,
     /// Index nodes visited by index scans.
     pub index_node_visits_total: Arc<Counter>,
     /// Extension-operator (ψ/Ω) evaluations.
@@ -474,6 +486,25 @@ pub fn metrics() -> &'static EngineMetrics {
             ),
             wal_records_total: r.counter("mlql_wal_records_total", "WAL records appended"),
             wal_bytes_total: r.counter("mlql_wal_bytes_total", "WAL bytes appended"),
+            wal_fsyncs_total: r.counter("mlql_wal_fsyncs_total", "WAL sync_data calls"),
+            wal_group_commit_batch: r.histogram(
+                "mlql_wal_group_commit_batch",
+                "Records made durable per group-commit fsync",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            checkpoints_total: r.counter("mlql_checkpoints_total", "Checkpoints completed"),
+            checkpoint_pages_flushed_total: r.counter(
+                "mlql_checkpoint_pages_flushed_total",
+                "Dirty pages flushed by checkpoints",
+            ),
+            recovery_replayed_records_total: r.counter(
+                "mlql_recovery_replayed_records_total",
+                "WAL records re-applied during recovery",
+            ),
+            recovery_snapshot_restores_total: r.counter(
+                "mlql_recovery_snapshot_restores_total",
+                "Recoveries restored from a checkpoint snapshot",
+            ),
             index_node_visits_total: r
                 .counter("mlql_index_node_visits_total", "Index nodes visited"),
             ext_op_calls_total: r

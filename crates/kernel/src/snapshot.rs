@@ -1,0 +1,568 @@
+//! Checkpoint snapshots: the durable catalog + heap image that bounds
+//! recovery time.
+//!
+//! A checkpoint writes a *versioned* directory `chk-<lsn>/` containing a
+//! copy of every heap file plus `snapshot.cat` (the encoded catalog), then
+//! atomically repoints the `CHECKPOINT` pointer file and truncates the
+//! WAL.  Recovery restores the data directory from the checkpoint copy and
+//! replays only the WAL tail (records with LSN > the snapshot LSN).
+//!
+//! Copies — not the live heap files — are what recovery trusts.  The
+//! buffer pool steals (dirty evictions mutate heap files between
+//! checkpoints), so the live files can contain the effects of records
+//! *after* the snapshot LSN; replaying the tail against them would apply
+//! those records twice.  The `chk-` copy is immutable once the pointer is
+//! durable, so snapshot + tail replay is exact.
+//!
+//! `snapshot.cat` layout (all integers little-endian, strings are
+//! `u32 len ‖ UTF-8 bytes`):
+//!
+//! ```text
+//! magic:"MLQLSNP2"  lsn:u64
+//! n_tables:u32  { live:u8  name:str  heap_file:u32
+//!                 n_cols:u32 { name:str  tag:u8 [ext_type_name:str] } }
+//! n_indexes:u32 { name:str  table_id:u32  column:u32  am:str }
+//! crc:u32   (over every preceding byte)
+//! ```
+//!
+//! Dead (dropped) table slots are included with `live = 0`: table ids are
+//! positions in the catalog's slot vector, so a post-snapshot `CREATE
+//! TABLE` replayed from the tail must find the dropped slots still
+//! occupying their positions to be assigned the id it originally got.
+
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::schema::{Column, Schema};
+use crate::storage::crc32::Crc32;
+use crate::storage::sync_parent_dir;
+use crate::value::DataType;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes identifying a v2 snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MLQLSNP2";
+
+/// Column type as persisted: extension types are recorded by *name* and
+/// re-resolved after extension installation, because [`crate::value::ExtTypeId`]s are
+/// assigned in registration order and are not stable across processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapType {
+    /// Built-in BOOL.
+    Bool,
+    /// Built-in INT.
+    Int,
+    /// Built-in FLOAT.
+    Float,
+    /// Built-in TEXT.
+    Text,
+    /// Extension type, by registered name (e.g. `"unitext"`).
+    Ext(String),
+}
+
+/// One table slot in the snapshot (dead slots included — see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapTable {
+    /// Lower-cased table name.
+    pub name: String,
+    /// False for dropped tables that still occupy their id slot.
+    pub live: bool,
+    /// Backing heap file id.
+    pub heap_file: u32,
+    /// Column names and types.
+    pub columns: Vec<(String, SnapType)>,
+}
+
+/// One index definition in the snapshot (the structure itself is rebuilt
+/// from the heap — indexes are not WAL-logged, paper §4.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapIndex {
+    /// Index name.
+    pub name: String,
+    /// Owning table id (slot position).
+    pub table_id: u32,
+    /// Indexed column position.
+    pub column: u32,
+    /// Access-method name.
+    pub am: String,
+}
+
+/// A decoded catalog snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// WAL LSN the snapshot covers: recovery replays only records with a
+    /// larger LSN.
+    pub lsn: u64,
+    /// Table slots in id order.
+    pub tables: Vec<SnapTable>,
+    /// Index definitions.
+    pub indexes: Vec<SnapIndex>,
+}
+
+impl Snapshot {
+    /// Capture the current catalog state at `lsn`.
+    pub fn capture(catalog: &Catalog, lsn: u64) -> Result<Snapshot> {
+        let mut tables = Vec::new();
+        for meta in catalog.table_slots() {
+            let mut columns = Vec::with_capacity(meta.schema.len());
+            for col in meta.schema.columns() {
+                let ty = match col.ty {
+                    DataType::Bool => SnapType::Bool,
+                    DataType::Int => SnapType::Int,
+                    DataType::Float => SnapType::Float,
+                    DataType::Text => SnapType::Text,
+                    DataType::Ext(id) => {
+                        let def = catalog.type_by_id(id).ok_or_else(|| {
+                            Error::Catalog(format!(
+                                "snapshot: column {:?} has unregistered extension type {id:?}",
+                                col.name
+                            ))
+                        })?;
+                        SnapType::Ext(def.name.clone())
+                    }
+                };
+                columns.push((col.name.clone(), ty));
+            }
+            tables.push(SnapTable {
+                name: meta.name.clone(),
+                live: catalog.is_live(meta.id),
+                heap_file: meta.heap.file_id().0,
+                columns,
+            });
+        }
+        let indexes = catalog
+            .all_indexes()
+            .iter()
+            .map(|idx| SnapIndex {
+                name: idx.name.clone(),
+                table_id: idx.table.0,
+                column: idx.column as u32,
+                am: idx.am.clone(),
+            })
+            .collect();
+        Ok(Snapshot {
+            lsn,
+            tables,
+            indexes,
+        })
+    }
+
+    /// Serialize (with trailing CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for t in &self.tables {
+            out.push(t.live as u8);
+            put_str(&mut out, &t.name);
+            out.extend_from_slice(&t.heap_file.to_le_bytes());
+            out.extend_from_slice(&(t.columns.len() as u32).to_le_bytes());
+            for (name, ty) in &t.columns {
+                put_str(&mut out, name);
+                match ty {
+                    SnapType::Bool => out.push(0),
+                    SnapType::Int => out.push(1),
+                    SnapType::Float => out.push(2),
+                    SnapType::Text => out.push(3),
+                    SnapType::Ext(type_name) => {
+                        out.push(4);
+                        put_str(&mut out, type_name);
+                    }
+                }
+            }
+        }
+        out.extend_from_slice(&(self.indexes.len() as u32).to_le_bytes());
+        for i in &self.indexes {
+            put_str(&mut out, &i.name);
+            out.extend_from_slice(&i.table_id.to_le_bytes());
+            out.extend_from_slice(&i.column.to_le_bytes());
+            put_str(&mut out, &i.am);
+        }
+        let mut hasher = Crc32::new();
+        hasher.update(&out);
+        out.extend_from_slice(&hasher.finish().to_le_bytes());
+        out
+    }
+
+    /// Parse and CRC-verify; `path` is only used in error messages.
+    pub fn decode(bytes: &[u8], path: &Path) -> Result<Snapshot> {
+        let corrupt = |detail: String| Error::SnapshotCorrupt {
+            path: path.display().to_string(),
+            detail,
+        };
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 8 + 4 {
+            return Err(corrupt(format!("truncated: {} bytes", bytes.len())));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let mut hasher = Crc32::new();
+        hasher.update(body);
+        if hasher.finish() != stored {
+            return Err(corrupt("CRC mismatch".into()));
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let end = pos.checked_add(n).filter(|&e| e <= body.len());
+            match end {
+                Some(end) => {
+                    let s = &body[*pos..end];
+                    *pos = end;
+                    Ok(s)
+                }
+                None => Err(Error::SnapshotCorrupt {
+                    path: path.display().to_string(),
+                    detail: format!("truncated body at offset {pos}", pos = *pos),
+                }),
+            }
+        };
+        let get_u32 = |pos: &mut usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("4")))
+        };
+        let get_str = |pos: &mut usize| -> Result<String> {
+            let len = get_u32(pos)? as usize;
+            let raw = take(pos, len)?;
+            String::from_utf8(raw.to_vec()).map_err(|_| Error::SnapshotCorrupt {
+                path: path.display().to_string(),
+                detail: "non-UTF-8 string".into(),
+            })
+        };
+        if take(&mut pos, 8)? != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        let lsn = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let n_tables = get_u32(&mut pos)?;
+        let mut tables = Vec::with_capacity(n_tables as usize);
+        for _ in 0..n_tables {
+            let live = take(&mut pos, 1)?[0] != 0;
+            let name = get_str(&mut pos)?;
+            let heap_file = get_u32(&mut pos)?;
+            let n_cols = get_u32(&mut pos)?;
+            let mut columns = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let col_name = get_str(&mut pos)?;
+                let tag = take(&mut pos, 1)?[0];
+                let ty = match tag {
+                    0 => SnapType::Bool,
+                    1 => SnapType::Int,
+                    2 => SnapType::Float,
+                    3 => SnapType::Text,
+                    4 => SnapType::Ext(get_str(&mut pos)?),
+                    other => return Err(corrupt(format!("unknown type tag {other}"))),
+                };
+                columns.push((col_name, ty));
+            }
+            tables.push(SnapTable {
+                name,
+                live,
+                heap_file,
+                columns,
+            });
+        }
+        let n_indexes = get_u32(&mut pos)?;
+        let mut indexes = Vec::with_capacity(n_indexes as usize);
+        for _ in 0..n_indexes {
+            indexes.push(SnapIndex {
+                name: get_str(&mut pos)?,
+                table_id: get_u32(&mut pos)?,
+                column: get_u32(&mut pos)?,
+                am: get_str(&mut pos)?,
+            });
+        }
+        if pos != body.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after index section",
+                body.len() - pos
+            )));
+        }
+        Ok(Snapshot {
+            lsn,
+            tables,
+            indexes,
+        })
+    }
+
+    /// Resolve a snapshot column list into a [`Schema`], looking extension
+    /// types up by name (extensions must be installed first).
+    pub fn resolve_schema(catalog: &Catalog, columns: &[(String, SnapType)]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(columns.len());
+        for (name, ty) in columns {
+            let dt = match ty {
+                SnapType::Bool => DataType::Bool,
+                SnapType::Int => DataType::Int,
+                SnapType::Float => DataType::Float,
+                SnapType::Text => DataType::Text,
+                SnapType::Ext(type_name) => {
+                    let (id, _) = catalog.type_by_name(type_name).ok_or_else(|| {
+                        Error::Catalog(format!(
+                            "snapshot references extension type {type_name:?}, which is not \
+                             installed — open the database with its extensions"
+                        ))
+                    })?;
+                    DataType::Ext(id)
+                }
+            };
+            cols.push(Column::new(name.clone(), dt));
+        }
+        Ok(Schema::new(cols))
+    }
+}
+
+// ------------------------------------------------------------------ layout
+
+/// The WAL file under a database root.
+pub fn wal_path(root: &Path) -> PathBuf {
+    root.join("wal.log")
+}
+
+/// The live heap-file directory under a database root.
+pub fn data_dir(root: &Path) -> PathBuf {
+    root.join("data")
+}
+
+/// The checkpoint pointer file (names the current `chk-` directory).
+pub fn pointer_path(root: &Path) -> PathBuf {
+    root.join("CHECKPOINT")
+}
+
+/// The checkpoint directory for a given LSN.
+pub fn chk_dir(root: &Path, lsn: u64) -> PathBuf {
+    root.join(format!("chk-{lsn:016x}"))
+}
+
+/// Read the checkpoint pointer: the current checkpoint directory, or
+/// `None` when no checkpoint has completed.  A pointer naming a missing
+/// directory is corruption (the directory is made durable *before* the
+/// pointer).
+pub fn read_pointer(root: &Path) -> Result<Option<PathBuf>> {
+    let p = pointer_path(root);
+    let name = match std::fs::read_to_string(&p) {
+        Ok(s) => s.trim().to_string(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if name.is_empty() || name.contains('/') || name.contains("..") {
+        return Err(Error::SnapshotCorrupt {
+            path: p.display().to_string(),
+            detail: format!("pointer names invalid directory {name:?}"),
+        });
+    }
+    let dir = root.join(&name);
+    if !dir.is_dir() {
+        return Err(Error::SnapshotCorrupt {
+            path: p.display().to_string(),
+            detail: format!("pointer names missing directory {name:?}"),
+        });
+    }
+    Ok(Some(dir))
+}
+
+/// Write a complete checkpoint under `root`:
+///
+/// 1. create `chk-<lsn>/` and copy every `data/*.tbl` into it;
+/// 2. write `snapshot.cat` (fsynced) and fsync the directory;
+/// 3. atomically repoint `CHECKPOINT` (temp + rename + dir fsync);
+/// 4. garbage-collect older `chk-` directories.
+///
+/// A crash at any step leaves either the old checkpoint or the new one
+/// fully in force — never a half state (step 3 is the commit point).
+/// WAL truncation is the *caller's* next step, after this returns.
+pub fn write_checkpoint(root: &Path, snapshot: &Snapshot) -> Result<PathBuf> {
+    let dir = chk_dir(root, snapshot.lsn);
+    // A leftover directory from a crashed attempt at the same LSN is
+    // incomplete (its pointer never committed): start over.
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    let data = data_dir(root);
+    for t in &snapshot.tables {
+        let file_name = format!("{}.tbl", t.heap_file);
+        let src = data.join(&file_name);
+        let dst = dir.join(&file_name);
+        if src.exists() {
+            std::fs::copy(&src, &dst)?;
+        } else {
+            // Zero-page heaps may never have been written; recovery still
+            // needs the file present for file-id continuity.
+            std::fs::File::create(&dst)?;
+        }
+        // fsync the copy — fs::copy goes through the page cache.
+        std::fs::OpenOptions::new()
+            .read(true)
+            .open(&dst)?
+            .sync_all()?;
+    }
+    let cat = dir.join("snapshot.cat");
+    {
+        let mut f = std::fs::File::create(&cat)?;
+        f.write_all(&snapshot.encode())?;
+        f.sync_all()?;
+    }
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    // Commit point: repoint atomically.
+    let pointer = pointer_path(root);
+    let tmp = root.join("CHECKPOINT.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(
+            dir.file_name()
+                .expect("chk dir has a name")
+                .to_string_lossy()
+                .as_bytes(),
+        )?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &pointer)?;
+    sync_parent_dir(&pointer);
+    // GC: every other chk- directory is now unreachable.
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("chk-") && entry.path() != dir {
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+    }
+    Ok(dir)
+}
+
+/// Load and verify the snapshot inside a checkpoint directory.
+pub fn load_snapshot(dir: &Path) -> Result<Snapshot> {
+    let cat = dir.join("snapshot.cat");
+    let bytes = std::fs::read(&cat).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            Error::SnapshotCorrupt {
+                path: cat.display().to_string(),
+                detail: "snapshot.cat missing from checkpoint directory".into(),
+            }
+        } else {
+            e.into()
+        }
+    })?;
+    Snapshot::decode(&bytes, &cat)
+}
+
+/// Reset the data directory to the checkpoint's heap image: delete every
+/// live `*.tbl` and copy the checkpoint's files in.  Called with the
+/// engine not yet constructed, so no pages are cached.
+pub fn restore_data_dir(root: &Path, checkpoint: &Path) -> Result<()> {
+    let data = data_dir(root);
+    std::fs::create_dir_all(&data)?;
+    clear_data_dir(&data)?;
+    for entry in std::fs::read_dir(checkpoint)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name_str) = name.to_str() else {
+            continue;
+        };
+        if name_str.ends_with(".tbl") {
+            std::fs::copy(entry.path(), data.join(&name))?;
+        }
+    }
+    Ok(())
+}
+
+/// Delete every heap file in a data directory (full-replay recovery starts
+/// from empty heaps; snapshot recovery replaces them with checkpoint
+/// copies).
+pub fn clear_data_dir(data: &Path) -> Result<()> {
+    if !data.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(data)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".tbl"))
+        {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            lsn: 42,
+            tables: vec![
+                SnapTable {
+                    name: "book".into(),
+                    live: true,
+                    heap_file: 0,
+                    columns: vec![
+                        ("author".into(), SnapType::Ext("unitext".into())),
+                        ("price".into(), SnapType::Float),
+                    ],
+                },
+                SnapTable {
+                    name: "dropped".into(),
+                    live: false,
+                    heap_file: 1,
+                    columns: vec![("id".into(), SnapType::Int)],
+                },
+            ],
+            indexes: vec![SnapIndex {
+                name: "book_mt".into(),
+                table_id: 0,
+                column: 0,
+                am: "mtree".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let bytes = s.encode();
+        let back = Snapshot::decode(&bytes, Path::new("test.cat")).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn decode_rejects_bit_flip() {
+        let mut bytes = sample().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = Snapshot::decode(&bytes, Path::new("t.cat")).unwrap_err();
+        assert!(matches!(err, Error::SnapshotCorrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample().encode();
+        for cut in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let err = Snapshot::decode(&bytes[..cut], Path::new("t.cat")).unwrap_err();
+            assert!(matches!(err, Error::SnapshotCorrupt { .. }), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn pointer_roundtrip_and_missing_dir() {
+        let root = std::env::temp_dir().join(format!("mlql-snapptr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(read_pointer(&root).unwrap().is_none());
+        let dir = chk_dir(&root, 7);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(pointer_path(&root), "chk-0000000000000007").unwrap();
+        assert_eq!(read_pointer(&root).unwrap(), Some(dir.clone()));
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(
+            read_pointer(&root).is_err(),
+            "dangling pointer is corruption"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

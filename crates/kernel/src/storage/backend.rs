@@ -179,6 +179,100 @@ impl StorageBackend for FileBackend {
     }
 }
 
+/// Shared switchboard controlling a [`FaultyBackend`]; tests keep a clone
+/// and flip faults on while the engine keeps using the wrapped backend.
+#[derive(Default)]
+pub struct FaultInjector {
+    state: Mutex<InjectorState>,
+}
+
+#[derive(Default)]
+struct InjectorState {
+    /// `Some(n)`: the next `n` page writes succeed, then every write fails
+    /// until [`FaultInjector::heal`].
+    write_budget: Option<u64>,
+    writes_failed: u64,
+}
+
+impl FaultInjector {
+    /// A healthy injector (all operations pass through).
+    pub fn new() -> std::sync::Arc<FaultInjector> {
+        std::sync::Arc::new(FaultInjector::default())
+    }
+
+    /// Let `n` more page writes through, then fail all subsequent writes.
+    pub fn fail_page_writes_after(&self, n: u64) {
+        let mut s = self.state.lock();
+        s.write_budget = Some(n);
+    }
+
+    /// Clear all faults.
+    pub fn heal(&self) {
+        let mut s = self.state.lock();
+        s.write_budget = None;
+    }
+
+    /// Page writes rejected so far.
+    pub fn writes_failed(&self) -> u64 {
+        self.state.lock().writes_failed
+    }
+
+    fn check_write(&self) -> Result<()> {
+        let mut s = self.state.lock();
+        match &mut s.write_budget {
+            None => Ok(()),
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                Ok(())
+            }
+            Some(_) => {
+                s.writes_failed += 1;
+                Err(Error::Storage(
+                    "injected fault: page write failed".to_string(),
+                ))
+            }
+        }
+    }
+}
+
+/// A [`StorageBackend`] decorator that injects failures on command — the
+/// test-only stand-in for a dying disk, used by the fault-injection
+/// harness to prove failed checkpoints leave the WAL intact.
+pub struct FaultyBackend {
+    inner: Box<dyn StorageBackend>,
+    injector: std::sync::Arc<FaultInjector>,
+}
+
+impl FaultyBackend {
+    /// Wrap `inner`, controlled by `injector`.
+    pub fn new(inner: Box<dyn StorageBackend>, injector: std::sync::Arc<FaultInjector>) -> Self {
+        FaultyBackend { inner, injector }
+    }
+}
+
+impl StorageBackend for FaultyBackend {
+    fn create_file(&mut self) -> Result<FileId> {
+        self.inner.create_file()
+    }
+
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.inner.page_count(file)
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> Result<PageNo> {
+        self.inner.allocate_page(file)
+    }
+
+    fn read_page(&mut self, file: FileId, page: PageNo, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(file, page, buf)
+    }
+
+    fn write_page(&mut self, file: FileId, page: PageNo, buf: &[u8]) -> Result<()> {
+        self.injector.check_write()?;
+        self.inner.write_page(file, page, buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +324,27 @@ mod tests {
         let f2 = b2.create_file().unwrap();
         assert_ne!(f, f2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulty_backend_fails_writes_on_command() {
+        let injector = FaultInjector::new();
+        let mut b = FaultyBackend::new(
+            Box::new(MemBackend::new()),
+            std::sync::Arc::clone(&injector),
+        );
+        let f = b.create_file().unwrap();
+        b.allocate_page(f).unwrap();
+        let page = vec![1u8; PAGE_SIZE];
+        injector.fail_page_writes_after(1);
+        b.write_page(f, 0, &page).unwrap();
+        assert!(b.write_page(f, 0, &page).is_err());
+        assert_eq!(injector.writes_failed(), 1);
+        // Reads still work through the fault.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        b.read_page(f, 0, &mut buf).unwrap();
+        injector.heal();
+        b.write_page(f, 0, &page).unwrap();
     }
 
     #[test]

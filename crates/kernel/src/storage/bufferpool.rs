@@ -121,8 +121,8 @@ impl BufferPool {
         Ok(f(&mut inner.frames[idx].data))
     }
 
-    /// Flush all dirty pages to the backend.
-    pub fn flush_all(&self) -> Result<()> {
+    /// Flush all dirty pages to the backend; returns how many were written.
+    pub fn flush_all(&self) -> Result<u64> {
         let mut inner = self.inner.lock();
         let dirty: Vec<usize> = inner
             .frames
@@ -131,10 +131,11 @@ impl BufferPool {
             .filter(|(_, fr)| fr.occupied && fr.dirty)
             .map(|(i, _)| i)
             .collect();
+        let flushed = dirty.len() as u64;
         for i in dirty {
             inner.writeback(i)?;
         }
-        Ok(())
+        Ok(flushed)
     }
 
     /// Current I/O statistics.
@@ -318,7 +319,7 @@ mod tests {
         let p = pool.allocate_page(f).unwrap();
         pool.with_page_mut(f, p, |buf| buf[0] = 1).unwrap();
         let snap = pool.stats();
-        pool.flush_all().unwrap();
+        assert_eq!(pool.flush_all().unwrap(), 1);
         let d = pool.stats().since(&snap);
         assert_eq!(d.physical_writes, 1);
         assert_eq!(d.logical_reads, 0, "flush does not read pages");

@@ -8,17 +8,20 @@
 
 mod backend;
 mod bufferpool;
+pub mod crc32;
 mod heapfile;
 mod page;
 mod tuple;
 mod wal;
 
-pub use backend::{FileBackend, MemBackend, StorageBackend};
+pub use backend::{FaultInjector, FaultyBackend, FileBackend, MemBackend, StorageBackend};
 pub use bufferpool::{BufferPool, IoStats};
 pub use heapfile::{HeapFile, TupleId};
 pub use page::{Page, PAGE_SIZE};
 pub use tuple::{decode_row, encode_row};
-pub use wal::{Wal, WalRecord};
+pub use wal::{SharedWal, SyncMode, Wal, WalReader, WalRecord, WAL_HEADER_LEN};
+
+pub(crate) use wal::sync_parent_dir;
 
 /// Identifier of a storage file (one per table heap / index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -6,7 +6,6 @@
 //! language names in SQL (`... IN English, Hindi, Tamil`) to internal ids.
 
 use crate::script::Script;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A compact identifier for a natural language.
@@ -14,7 +13,7 @@ use std::fmt;
 /// `LangId(0)` is reserved for [`LangId::UNKNOWN`], used when a value was
 /// ingested without language tagging and the script detector could not
 /// disambiguate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LangId(pub u16);
 
 impl LangId {
@@ -35,7 +34,7 @@ impl fmt::Display for LangId {
 }
 
 /// Static description of one language known to the registry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Language {
     /// Internal identifier.
     pub id: LangId,

@@ -5,10 +5,8 @@
 //! it lets the engine sanity-check language tags at insertion time and lets
 //! the data generator tag synthesized strings.
 
-use serde::{Deserialize, Serialize};
-
 /// Writing systems relevant to the paper's experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Script {
     /// Basic Latin + Latin-1 supplement + Latin extended (English, French, ...).
     Latin,

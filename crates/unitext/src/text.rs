@@ -2,7 +2,6 @@
 
 use crate::lang::LangId;
 use crate::script::{detect_script, Script};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -23,7 +22,7 @@ use std::fmt;
 /// comparison: it is a cache, not part of the value (§3.1: "UniText can be
 /// made to optionally store additional information, such as the materialized
 /// phoneme strings ... to improve the run-time performance").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UniText {
     text: String,
     lang: LangId,

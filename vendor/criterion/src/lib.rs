@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate covering the API surface of
+//! `crates/bench/benches/micro.rs` (see `vendor/README.md` for why the
+//! workspace vendors shims).
+//!
+//! It really runs the benchmark closures — a short warm-up, then timed
+//! iterations — and prints `name ... mean <time> (<iters> iters)` per
+//! benchmark, but does none of criterion's statistics, outlier analysis, or
+//! HTML reporting.  Numbers from this shim are indicative only; the paper's
+//! figures come from the `crates/bench` bins, not from `cargo bench`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink, re-exported from std.
+pub use std::hint::black_box;
+
+/// Stand-in for `criterion::Criterion`; the tuning setters are accepted and
+/// honored where they matter (measurement time, sample size).
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.label, self.warm_up, self.measurement, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(
+            &label,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    deadline: Instant,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut warm = Bencher {
+        deadline: Instant::now() + warm_up,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        deadline: Instant::now() + measurement,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{label:<48} mean {:>12} ({} iters)",
+        format_ns(b.mean_ns),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors criterion's config-carrying macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point expanding to `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_groups_run() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+        c.bench_with_input(BenchmarkId::new("with_input", 3), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+    }
+}

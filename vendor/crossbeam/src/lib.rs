@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate, covering the one API this
+//! workspace uses: `crossbeam::scope` / `Scope::spawn` scoped threads.  It
+//! is a thin wrapper over `std::thread::scope` (see `vendor/README.md` for
+//! why the workspace vendors shims).
+//!
+//! Behavioral difference from the real crate: if a spawned thread panics
+//! and its handle was never joined, `std::thread::scope` propagates the
+//! panic when the scope closes instead of returning `Err` — either way the
+//! enclosing test fails with the child's panic payload.
+
+use std::thread;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.  The spawn
+/// closure receives a `&Scope` so children can spawn grandchildren, exactly
+/// like the real crate.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope whose spawned threads may borrow from the caller's
+/// stack; every thread is joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let total = crate::scope(|scope| {
+            let mut handles = Vec::new();
+            for &v in data.iter() {
+                handles.push(scope.spawn(move |_| v * 10));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

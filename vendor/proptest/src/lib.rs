@@ -1,0 +1,565 @@
+//! Offline property-testing stand-in for the `proptest` crate, implementing
+//! the subset of its API this workspace uses (see `vendor/README.md` for
+//! why the workspace vendors shims).
+//!
+//! What works: the `proptest!` macro (with `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, `prop_oneof!`,
+//! `Just`, `any::<T>()`, integer-range strategies, tuple strategies,
+//! `Strategy::prop_map`, `proptest::collection::vec`, and regex-like
+//! `&str` strategies covering literals, `.`, `[..]` classes, and the
+//! `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+//!
+//! What is intentionally missing: shrinking (a failing case reports the
+//! exact generated inputs but is not minimized), persisted failure seeds,
+//! and `prop_filter`/`prop_flat_map`.  Generation is deterministic — every
+//! test function derives its RNG seed from its own name, so a failure
+//! reproduces on the next run.
+
+/// Runtime pieces: config and the deterministic generation RNG.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config` for the fields used here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps single-core CI rounds
+            // quick while still exercising each property meaningfully.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generation source.  Seeded per test function from the
+    /// function's name so runs are reproducible and distinct tests see
+    /// distinct streams.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[lo, hi)` as usize; panics if empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen_fn: Box::new(move |rng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy, the currency of `prop_oneof!`.
+    pub struct BoxedStrategy<V> {
+        gen_fn: Box<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.usize_in(0, self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot sample empty range {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// `&str` patterns act as regex-like string strategies, as in the real
+    /// crate.  Supported: literal chars, `.`, `[abc]` / `[a-z]` classes,
+    /// `\x` escapes, and the `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers
+    /// (`*`/`+` are capped at 8 repetitions).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_like_regex(self, rng)
+        }
+    }
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Lit(char),
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '\\' => Atom::Lit(chars.next().unwrap_or('\\')),
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for m in chars.by_ref() {
+                        match m {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // Expanded on the next char as a range.
+                                class.push('-');
+                            }
+                            m => {
+                                if let (Some(&'-'), Some(lo)) = (class.last(), prev) {
+                                    class.pop();
+                                    for r in (lo as u32 + 1)..=(m as u32) {
+                                        if let Some(ch) = char::from_u32(r) {
+                                            class.push(ch);
+                                        }
+                                    }
+                                } else {
+                                    class.push(m);
+                                }
+                                prev = Some(m);
+                            }
+                        }
+                    }
+                    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(class)
+                }
+                c => Atom::Lit(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} quantifier"),
+                            hi.trim().parse().expect("bad {m,n} quantifier"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    /// Characters `.` draws from: mostly printable ASCII, with a slice of
+    /// multi-byte and control characters so parser fuzzing sees real UTF-8.
+    const EXOTIC: &[char] = &[
+        '\n', '\t', '\r', '\0', 'é', 'ß', 'न', 'த', '中', '🦀', '\u{200d}', '\'', '"', '\\',
+    ];
+
+    fn generate_like_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(pattern) {
+            let n = if max > min {
+                min + rng.below(u64::from(max - min + 1)) as u32
+            } else {
+                min
+            };
+            for _ in 0..n {
+                match &atom {
+                    Atom::Any => {
+                        if rng.below(8) == 0 {
+                            out.push(EXOTIC[rng.usize_in(0, EXOTIC.len())]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5F) as u8) as char);
+                        }
+                    }
+                    Atom::Class(class) => out.push(class[rng.usize_in(0, class.len())]),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` — uniform "arbitrary" values for primitive types.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    pub fn any<T: ArbPrimitive>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    /// Primitive types `any::<T>()` supports.
+    pub trait ArbPrimitive {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbPrimitive> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbPrimitive for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl ArbPrimitive for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbPrimitive for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // 1-in-8 cases draw from the awkward corners (NaN, infinities,
+            // signed zero); the rest are raw bit patterns, which already
+            // include denormals and more NaNs.
+            match rng.below(8) {
+                0 => match rng.below(5) {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.0,
+                    _ => -0.0,
+                },
+                _ => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+}
+
+/// `proptest::collection` — sized containers of sub-strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "cannot sample empty size range");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.start, self.size.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*` caller expects in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-defining macro.  Each `fn name(arg in strategy, ..) { body }`
+/// becomes a plain test running `body` against `config.cases` generated
+/// inputs; on failure the panic message includes the offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Boolean property assertion; panics (fails the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_like_generation_matches_shape() {
+        let mut rng = TestRng::from_name("shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[nrtk][aeu]{1,3}[nrs]?", &mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "bad length for {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!("nrtk".contains(first));
+        }
+        for _ in 0..50 {
+            let s = Strategy::generate(&".{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+        assert_eq!(Strategy::generate(&"ab{2}c", &mut rng), "abbc");
+    }
+
+    #[test]
+    fn ranges_tuples_and_vec_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let strat = crate::collection::vec((0u8..4, 10usize..20), 1..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((1..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!((10..20).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_reach_every_arm() {
+        let strat = prop_oneof![
+            Just(0u8),
+            (1u8..2).prop_map(|x| x),
+            any::<bool>().prop_map(u8::from),
+        ];
+        let mut rng = TestRng::from_name("arms");
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v <= 1);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, trailing comma, config block.
+        #[test]
+        fn macro_wires_args(a in 0i64..10, b in crate::collection::vec(any::<u8>(), 0..4),) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(b.len() < 4);
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_defaults_apply(s in ".{0,10}") {
+            prop_assert!(s.chars().count() <= 10);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand` crate, implementing the subset of its 0.8
+//! API this workspace uses: `Rng::gen_range` / `Rng::gen_bool`,
+//! `SeedableRng::seed_from_u64`, and the `StdRng` / `SmallRng` generator
+//! types.  See `vendor/README.md` for why the workspace vendors shims.
+//!
+//! Both generators are SplitMix64 — statistically fine for data generation
+//! and randomized testing, **not** cryptographic, and producing different
+//! streams than the real crate's ChaCha/Xoshiro for the same seed.  Nothing
+//! in this workspace asserts on exact generated values, only on
+//! reproducibility for a fixed seed, which SplitMix64 provides.
+
+use std::ops::Range;
+
+/// Core of every generator: a 64-bit output step.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics on an empty range,
+    /// like the real crate.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` of returning `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0, 1]");
+        // 53 uniform mantissa bits, the standard float-from-u64 recipe.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Element types uniform ranges can be sampled over.  The single blanket
+/// `SampleRange` impl below keeps type inference working exactly like the
+/// real crate's (`arr[rng.gen_range(0..2)]` must infer `usize` from the
+/// indexing context, not fall back to `i32`).
+pub trait SampleUniform: Copy + PartialOrd + std::fmt::Display {
+    fn sample_between<G: RngCore>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {}..{}",
+            self.start,
+            self.end
+        );
+        T::sample_between(self.start, self.end, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore>(lo: $t, hi: $t, rng: &mut G) -> $t {
+                // Wrapping arithmetic handles signed ranges: the two's
+                // complement difference is the span as an unsigned value.
+                let span = hi.wrapping_sub(lo) as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_between<G: RngCore>(lo: f64, hi: f64, rng: &mut G) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng` (SplitMix64 here, not ChaCha12).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Offset so Std and Small streams differ for the same seed.
+            SmallRng {
+                state: state ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&v));
+            let u = rng.gen_range(0u32..2);
+            assert!(u < 2);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&rate), "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}
