@@ -125,7 +125,7 @@ fn main() {
         let mural = mlql_mural::install_with_taxonomy(&mut db, taxonomy).unwrap();
         db.execute("CREATE TABLE docs (category UNITEXT)").unwrap();
         db.execute("CREATE TABLE concepts (name UNITEXT)").unwrap();
-        let taxonomy = &mural.sem.taxonomy;
+        let taxonomy = mural.sem.taxonomy();
         let en = mural.langs.id_of("English");
         let mut rng = StdRng::seed_from_u64(900 + di as u64);
         for _ in 0..(n_docs * scale()) {

@@ -48,7 +48,7 @@
 
 use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
 use crate::error::{Error, Result};
-use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecStats, MAX_ROWS_VAR};
+use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecPool, ExecStats, MAX_ROWS_VAR};
 use crate::expr::EvalCtx;
 use crate::obs::{self, QueryTrace};
 use crate::opt;
@@ -218,6 +218,14 @@ pub struct Engine {
     /// are never served.
     schema_epoch: AtomicU64,
     plan_cache: PlanCache,
+    /// Shared worker pool for morsel-driven parallel scans (threads are
+    /// spawned lazily on the first parallel plan).
+    exec_pool: ExecPool,
+    /// `SET wal_sync_mode` issued before durability is attached (e.g.
+    /// during extension install or WAL replay, when the engine is still
+    /// WAL-less); applied by [`Engine::attach_durability`] so the setting
+    /// is not silently lost.
+    pending_wal_mode: Mutex<Option<SyncMode>>,
 }
 
 /// `Engine` must stay shareable across session threads.
@@ -243,6 +251,8 @@ impl Engine {
             dml_lock: Mutex::new(()),
             schema_epoch: AtomicU64::new(0),
             plan_cache: PlanCache::new(256),
+            exec_pool: ExecPool::new(),
+            pending_wal_mode: Mutex::new(None),
         })
     }
 
@@ -281,6 +291,11 @@ impl Engine {
         &self.pool
     }
 
+    /// The shared executor worker pool (parallel scans dispatch here).
+    pub fn exec_pool(&self) -> &ExecPool {
+        &self.exec_pool
+    }
+
     /// Current schema epoch (bumped by DDL/ANALYZE).
     pub fn schema_epoch(&self) -> u64 {
         self.schema_epoch.load(Ordering::Acquire)
@@ -310,6 +325,12 @@ impl Engine {
     /// database directory (checkpoints write their snapshots there; `None`
     /// for WAL-only setups such as unit tests).
     pub fn attach_durability(&self, wal: Arc<SharedWal>, root: Option<PathBuf>) {
+        // A `SET wal_sync_mode` that ran while the engine was still
+        // WAL-less (extension install scripts, statements replayed before
+        // attach) wins over the opener's default mode.
+        if let Some(mode) = self.pending_wal_mode.lock().take() {
+            wal.set_mode(mode);
+        }
         if self.durability.set(Durability { wal, root }).is_err() {
             panic!("durability already attached to this engine");
         }
@@ -327,10 +348,14 @@ impl Engine {
 
     /// Change the WAL durability mode (the `SET wal_sync_mode` knob).
     /// Engine-wide: the WAL is one shared stream, so the knob cannot be
-    /// per-session.  No-op for in-memory engines.
+    /// per-session.  Before durability is attached the mode is parked and
+    /// applied by [`Engine::attach_durability`] — a `SET` issued during
+    /// bootstrap must not be silently dropped (engines that stay
+    /// in-memory simply never consume it).
     pub fn set_wal_sync_mode(&self, mode: SyncMode) {
-        if let Some(d) = self.durability.get() {
-            d.wal.set_mode(mode);
+        match self.durability.get() {
+            Some(d) => d.wal.set_mode(mode),
+            None => *self.pending_wal_mode.lock() = Some(mode),
         }
     }
 
@@ -506,6 +531,7 @@ impl Session {
             pool: &self.engine.pool,
             session: &self.vars,
             stats: &stats,
+            exec_pool: Some(&self.engine.exec_pool),
         };
         let rows = run_to_vec(&phys, &ctx)?;
         metrics.queries_total.inc();
@@ -915,6 +941,7 @@ impl Session {
             pool: &self.engine.pool,
             session: &self.vars,
             stats: &stats,
+            exec_pool: Some(&self.engine.exec_pool),
         };
         let rows = run_to_vec(&plan, &ctx)?;
         let exec_time = start.elapsed();
@@ -997,6 +1024,7 @@ impl Session {
                     pool: &self.engine.pool,
                     session: &self.vars,
                     stats: &stats,
+                    exec_pool: Some(&self.engine.exec_pool),
                 };
                 let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
                 // Same guard as `run_to_vec`: EXPLAIN ANALYZE executes the
@@ -1039,6 +1067,26 @@ impl Session {
                     stats.index_node_visits.get(),
                     stats.ext_op_calls.get(),
                 ));
+                // Per-worker actuals of each parallel scan ride along as
+                // trailer lines (keeping the one-entry-per-node pre-order
+                // of `explain_with_actuals` undisturbed).
+                for p in &instr.parallel {
+                    text.push_str(&format!(
+                        "Parallel: workers={} morsels={} gather_wait={:.3}ms\n",
+                        p.workers,
+                        p.morsels.get(),
+                        p.gather_wait_ns.get() as f64 / 1e6,
+                    ));
+                    for (i, (rows_c, busy_c)) in
+                        p.worker_rows.iter().zip(&p.worker_busy_ns).enumerate()
+                    {
+                        text.push_str(&format!(
+                            "  Worker {i}: rows={} time={:.3}ms\n",
+                            rows_c.get(),
+                            busy_c.get() as f64 / 1e6,
+                        ));
+                    }
+                }
                 text.push_str(&format!("Stages: {}\n", trace.render()));
                 return Ok(QueryResult {
                     schema: Schema::new(vec![Column::new("query plan", DataType::Text)]),
@@ -1069,6 +1117,7 @@ impl Session {
             pool: &self.engine.pool,
             session: &self.vars,
             stats: &stats,
+            exec_pool: Some(&self.engine.exec_pool),
         };
         let rows = run_to_vec(&phys, &ctx)?;
         let exec_time = start.elapsed();
@@ -1408,6 +1457,45 @@ mod tests {
             "select * from t where v = 'Ab  C'"
         );
         assert_eq!(normalize_sql("  select 1  "), "select 1");
+    }
+
+    /// `SET wal_sync_mode` issued while the engine is still WAL-less
+    /// (recovery replay, pre-open configuration) must not be silently
+    /// dropped: attach applies the pending mode over its own default.
+    #[test]
+    fn wal_sync_mode_set_before_attach_is_applied_at_attach() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        assert_eq!(engine.wal_sync_mode(), None, "starts WAL-less");
+        s.execute("SET wal_sync_mode = 'off'").unwrap();
+        let path =
+            std::env::temp_dir().join(format!("mlql-wal-pending-mode-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let wal = crate::storage::Wal::open(&path, 0).unwrap();
+        // Database::open attaches with its Fsync default; the earlier SET
+        // must win.
+        engine.attach_durability(Arc::new(SharedWal::new(wal, SyncMode::Fsync)), None);
+        assert_eq!(engine.wal_sync_mode(), Some(SyncMode::Off));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Vars set before the first query survive it — the session is not
+    /// re-created (and its vars not reset) by lazy machinery downstream.
+    #[test]
+    fn vars_set_before_first_query_stick() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("SET parallel_workers = 3").unwrap();
+        s.execute("SET max_rows = 500").unwrap();
+        s.execute("CREATE TABLE t (id INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!(
+            s.query("SELECT count(*) FROM t").unwrap()[0][0].as_int(),
+            Some(1)
+        );
+        assert_eq!(s.vars().get_int("parallel_workers", 0), 3);
+        assert_eq!(s.vars().get_int("max_rows", 0), 500);
+        assert_eq!(crate::exec::effective_workers(s.vars()), 3);
     }
 
     #[test]

@@ -10,12 +10,17 @@ use crate::error::{Error, Result};
 use crate::expr::{EvalCtx, Expr};
 use crate::plan::{AggFunc, PhysNode, PhysOp};
 use crate::schema::{Row, Schema};
-use crate::storage::{decode_row, BufferPool, HeapFile, TupleId};
+use crate::storage::{decode_row, BufferPool, FileId, HeapFile, TupleId};
 use crate::value::Datum;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+pub mod pool;
+
+pub use pool::ExecPool;
 
 /// A relaxed atomic counter: the statistics cells are written from
 /// whichever thread runs the executor tree, so plans stay `Send` and many
@@ -65,6 +70,9 @@ pub struct ExecCtx<'a> {
     pub session: &'a SessionVars,
     /// Runtime counters.
     pub stats: &'a ExecStats,
+    /// The engine's worker pool for parallel operators (`None` in
+    /// contexts that must stay serial, e.g. recovery replay).
+    pub exec_pool: Option<&'a ExecPool>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -107,6 +115,38 @@ pub struct OpStats {
 pub struct Instrumentation {
     /// One entry per plan node, pre-order.
     pub per_node: Vec<Arc<OpStats>>,
+    /// Per-worker actuals of each parallel scan in the tree, in the
+    /// pre-order the scans appear in the plan.
+    pub parallel: Vec<Arc<ParallelScanActuals>>,
+}
+
+/// Runtime actuals of one morsel-driven parallel scan, split per worker
+/// (`EXPLAIN ANALYZE` renders them as extra trailer lines so the
+/// one-entry-per-node pre-order of [`NodeActuals`] is undisturbed).
+#[derive(Debug)]
+pub struct ParallelScanActuals {
+    /// Worker count the scan was planned with.
+    pub workers: usize,
+    /// Morsels (fixed-size page ranges) claimed across all workers.
+    pub morsels: StatCell,
+    /// Nanoseconds the gather node spent blocked waiting on batches.
+    pub gather_wait_ns: StatCell,
+    /// Rows each worker emitted (post-filter).
+    pub worker_rows: Vec<StatCell>,
+    /// Busy nanoseconds per worker.
+    pub worker_busy_ns: Vec<StatCell>,
+}
+
+impl ParallelScanActuals {
+    fn new(workers: usize) -> Self {
+        ParallelScanActuals {
+            workers,
+            morsels: StatCell::default(),
+            gather_wait_ns: StatCell::default(),
+            worker_rows: (0..workers).map(|_| StatCell::default()).collect(),
+            worker_busy_ns: (0..workers).map(|_| StatCell::default()).collect(),
+        }
+    }
 }
 
 /// Wraps an executor, attributing per-`next` deltas of the shared
@@ -183,6 +223,7 @@ pub fn build_instrumented(
 ) -> Result<(Box<dyn Executor>, Instrumentation)> {
     let mut instr = Instrumentation {
         per_node: Vec::new(),
+        parallel: Vec::new(),
     };
     let exec = build_executor_impl(node, ctx, Some(&mut instr))?;
     Ok((exec, instr))
@@ -204,6 +245,24 @@ fn build_executor_impl(
         PhysOp::SeqScan { table, filter } => {
             let meta = ctx.catalog.table(table)?;
             Box::new(SeqScanExec::new(meta, filter.clone()))
+        }
+        PhysOp::ParallelSeqScan {
+            table,
+            filter,
+            workers,
+        } => {
+            let meta = ctx.catalog.table(table)?;
+            let actuals = instr.as_deref_mut().map(|i| {
+                let a = Arc::new(ParallelScanActuals::new(*workers));
+                i.parallel.push(Arc::clone(&a));
+                a
+            });
+            Box::new(ParallelSeqScanExec::new(
+                meta,
+                filter.clone(),
+                *workers,
+                actuals,
+            ))
         }
         PhysOp::IndexScan {
             table,
@@ -418,6 +477,327 @@ impl Executor for SeqScanExec {
     }
 }
 
+// ------------------------------------------------------- ParallelSeqScan
+
+/// Session variable naming the worker count for parallel plans.
+pub const PARALLEL_WORKERS_VAR: &str = "parallel_workers";
+
+/// Pages per morsel.  Small enough that a 4-worker scan of a few dozen
+/// pages still load-balances, large enough that the per-morsel channel
+/// round-trip is amortized over hundreds of rows.
+const MORSEL_PAGES: u32 = 4;
+
+/// The worker count a session's parallel plans run with: the
+/// `parallel_workers` variable if set, else [`ExecPool::default_workers`],
+/// clamped to `[1, ExecPool::MAX_WORKERS]`.
+pub fn effective_workers(session: &SessionVars) -> usize {
+    let dflt = ExecPool::default_workers();
+    let n = session.get_int(PARALLEL_WORKERS_VAR, dflt as i64).max(1) as usize;
+    n.min(ExecPool::MAX_WORKERS)
+}
+
+/// State shared between the gather node and its scan workers.
+struct ScanShared {
+    /// Next unclaimed page; workers `fetch_add` [`MORSEL_PAGES`] to claim
+    /// a morsel, so distribution is dynamic (fast workers take more).
+    cursor: AtomicU32,
+    n_pages: u32,
+    /// Set by the gather node to stop workers early (LIMIT, drop, error).
+    cancelled: AtomicBool,
+    /// Dispatched-but-unfinished worker tasks; the gather node blocks on
+    /// this reaching zero before its borrowed context goes away.
+    outstanding: Mutex<usize>,
+    done: Condvar,
+}
+
+impl ScanShared {
+    fn task_finished(&self) {
+        let mut left = self.outstanding.lock();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all_finished(&self) {
+        let mut left = self.outstanding.lock();
+        while *left > 0 {
+            self.done.wait(&mut left);
+        }
+    }
+}
+
+/// The query context, lifetime-erased so worker tasks (which must be
+/// `'static` for the shared pool) can borrow it.
+///
+/// # Safety
+/// Sound only under the gather node's protocol: the pointers come from an
+/// `ExecCtx` that the query thread keeps alive for the whole execution
+/// (the catalog read guard is held across it), and the gather node never
+/// lets its own lifetime end — `next`/`rescan`/`Drop` all funnel through
+/// [`ParallelSeqScanExec::shutdown`], which blocks until every dispatched
+/// task has finished — while workers could still dereference them.
+struct ErasedCtx {
+    catalog: *const Catalog,
+    pool: *const BufferPool,
+    session: *const SessionVars,
+    stats: *const ExecStats,
+}
+
+unsafe impl Send for ErasedCtx {}
+unsafe impl Sync for ErasedCtx {}
+
+/// Morsel-driven parallel heap scan plus its gather node.
+///
+/// Workers claim page-range morsels off a shared cursor, evaluate the
+/// pushed-down filter independently (ψ phoneme conversion + edit
+/// distance run fully inside the worker), and send row *batches* over an
+/// mpmc channel.  The gather node re-serializes them — batch order is
+/// whatever the scheduler produced, which is why parallel plans are only
+/// equivalent to serial ones up to row order.  LIMIT / `max_rows` keep
+/// their semantics because they apply above the gather node, which
+/// cancels and joins outstanding workers when dropped early.
+struct ParallelSeqScanExec {
+    meta: Arc<TableMeta>,
+    filter: Option<Expr>,
+    workers: usize,
+    actuals: Option<Arc<ParallelScanActuals>>,
+    running: Option<RunningScan>,
+    buffer: VecDeque<Row>,
+    done: bool,
+}
+
+struct RunningScan {
+    rx: crossbeam::channel::Receiver<Result<Vec<Row>>>,
+    shared: Arc<ScanShared>,
+}
+
+impl ParallelSeqScanExec {
+    fn new(
+        meta: Arc<TableMeta>,
+        filter: Option<Expr>,
+        workers: usize,
+        actuals: Option<Arc<ParallelScanActuals>>,
+    ) -> Self {
+        ParallelSeqScanExec {
+            meta,
+            filter,
+            workers: workers.max(1),
+            actuals,
+            running: None,
+            buffer: VecDeque::new(),
+            done: false,
+        }
+    }
+
+    /// Dispatch one task per worker.  Every task holds a `Sender` clone;
+    /// end-of-scan is the channel disconnecting once all of them finish.
+    fn start(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        let pool = ctx.exec_pool.ok_or_else(|| {
+            Error::Execution("parallel plan executed without a worker pool".into())
+        })?;
+        let n_pages = self.meta.heap.pages(ctx.pool)?;
+        pool.ensure_workers(self.workers);
+        let shared = Arc::new(ScanShared {
+            cursor: AtomicU32::new(0),
+            n_pages,
+            cancelled: AtomicBool::new(false),
+            outstanding: Mutex::new(self.workers),
+            done: Condvar::new(),
+        });
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let erased = Arc::new(ErasedCtx {
+            catalog: ctx.catalog,
+            pool: ctx.pool,
+            session: ctx.session,
+            stats: ctx.stats,
+        });
+        for worker_idx in 0..self.workers {
+            let erased = Arc::clone(&erased);
+            let meta = Arc::clone(&self.meta);
+            let filter = self.filter.clone();
+            let shared_w = Arc::clone(&shared);
+            let tx = tx.clone();
+            let actuals = self.actuals.clone();
+            pool.submit(Box::new(move || {
+                scan_worker(erased, meta, filter, shared_w, tx, actuals, worker_idx)
+            }));
+        }
+        // Workers own the remaining Sender clones.
+        drop(tx);
+        self.running = Some(RunningScan { rx, shared });
+        Ok(())
+    }
+
+    /// Cancel outstanding work and block until every dispatched task has
+    /// finished — after this returns no worker holds the erased context.
+    fn shutdown(&mut self) {
+        if let Some(run) = self.running.take() {
+            run.shared.cancelled.store(true, Ordering::Release);
+            run.shared.wait_all_finished();
+        }
+    }
+}
+
+impl Drop for ParallelSeqScanExec {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Executor for ParallelSeqScanExec {
+    fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        loop {
+            if let Some(row) = self.buffer.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if self.running.is_none() {
+                self.start(ctx)?;
+            }
+            let rx = &self.running.as_ref().expect("started above").rx;
+            let wait = Instant::now();
+            let received = rx.recv();
+            let waited = wait.elapsed().as_nanos() as u64;
+            crate::obs::metrics()
+                .parallel_gather_wait_ns_total
+                .add(waited);
+            if let Some(a) = &self.actuals {
+                a.gather_wait_ns.add(waited);
+            }
+            match received {
+                Ok(Ok(batch)) => self.buffer.extend(batch),
+                Ok(Err(e)) => {
+                    self.shutdown();
+                    self.done = true;
+                    return Err(e);
+                }
+                // All senders dropped: every worker ran out of morsels.
+                Err(_) => {
+                    self.shutdown();
+                    self.done = true;
+                }
+            }
+        }
+    }
+
+    fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
+        self.shutdown();
+        self.buffer.clear();
+        self.done = false;
+        Ok(())
+    }
+}
+
+/// One worker's share of a parallel scan (runs on an [`ExecPool`] thread).
+fn scan_worker(
+    erased: Arc<ErasedCtx>,
+    meta: Arc<TableMeta>,
+    filter: Option<Expr>,
+    shared: Arc<ScanShared>,
+    tx: crossbeam::channel::Sender<Result<Vec<Row>>>,
+    actuals: Option<Arc<ParallelScanActuals>>,
+    worker_idx: usize,
+) {
+    // Completion accounting must survive panics in predicate evaluation
+    // (the pool catches the unwind; this guard runs during it) — the
+    // gather node's shutdown would otherwise wait forever.
+    struct FinishGuard(Arc<ScanShared>);
+    impl Drop for FinishGuard {
+        fn drop(&mut self) {
+            self.0.task_finished();
+        }
+    }
+    let _finish = FinishGuard(Arc::clone(&shared));
+
+    // SAFETY: see `ErasedCtx` — the gather node keeps these alive until
+    // after `task_finished` runs.
+    let (catalog, pool, session, stats) = unsafe {
+        (
+            &*erased.catalog,
+            &*erased.pool,
+            &*erased.session,
+            &*erased.stats,
+        )
+    };
+    let eval = EvalCtx {
+        catalog,
+        session,
+        stats: Some(stats),
+    };
+    let metrics = crate::obs::metrics();
+    let arity = meta.schema.len();
+    let file = meta.heap.file_id();
+    let start = Instant::now();
+    let mut rows_emitted = 0u64;
+    loop {
+        if shared.cancelled.load(Ordering::Acquire) {
+            break;
+        }
+        let first = shared.cursor.fetch_add(MORSEL_PAGES, Ordering::AcqRel);
+        if first >= shared.n_pages {
+            break;
+        }
+        let last = first.saturating_add(MORSEL_PAGES).min(shared.n_pages);
+        metrics.parallel_morsels_dispatched_total.inc();
+        if let Some(a) = &actuals {
+            a.morsels.add(1);
+        }
+        let mut batch = Vec::new();
+        let mut err = None;
+        for page in first..last {
+            if let Err(e) = scan_page_into(pool, file, page, arity, &filter, &eval, &mut batch) {
+                err = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = err {
+            let _ = tx.send(Err(e));
+            break;
+        }
+        rows_emitted += batch.len() as u64;
+        if tx.send(Ok(batch)).is_err() {
+            break; // gather node gone
+        }
+    }
+    let busy = start.elapsed().as_nanos() as u64;
+    metrics.parallel_worker_busy_ns_total.add(busy);
+    if let Some(a) = &actuals {
+        a.worker_rows[worker_idx].add(rows_emitted);
+        a.worker_busy_ns[worker_idx].add(busy);
+    }
+}
+
+/// Decode one heap page and append the rows passing `filter` to `out`
+/// (the same copy-out-then-decode pattern as [`SeqScanExec::load_page`]).
+fn scan_page_into(
+    pool: &BufferPool,
+    file: FileId,
+    page: u32,
+    arity: usize,
+    filter: &Option<Expr>,
+    eval: &EvalCtx<'_>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let img: Vec<u8> = pool.with_page(file, page, |buf| buf.to_vec())?;
+    for (_, tuple) in HeapFile::page_tuples(&img) {
+        let row = decode_row(tuple, arity)?;
+        if let Some(f) = filter {
+            if !f.eval(&row, eval)?.is_true() {
+                continue;
+            }
+        }
+        out.push(row);
+    }
+    Ok(())
+}
+
 // -------------------------------------------------------------- IndexScan
 
 struct IndexScanExec {
@@ -461,11 +841,23 @@ impl Executor for IndexScanExec {
 
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
         if self.tids.is_none() {
-            let search =
-                self.index
-                    .instance
-                    .read()
-                    .search(&self.strategy, &self.probe, &self.extra)?;
+            // Partitionable access methods (the M-tree) fan subtree probes
+            // across the worker pool when the session allows ≥ 2 workers;
+            // the per-index read guard is held across the whole parallel
+            // search, exactly as in the serial path.
+            let search = {
+                let guard = self.index.instance.read();
+                match ctx.exec_pool {
+                    Some(pool)
+                        if effective_workers(ctx.session) >= 2
+                            && ctx.session.get_int("enable_parallel", 1) != 0 =>
+                    {
+                        pool.ensure_workers(effective_workers(ctx.session));
+                        guard.search_parallel(&self.strategy, &self.probe, &self.extra, pool)?
+                    }
+                    _ => guard.search(&self.strategy, &self.probe, &self.extra)?,
+                }
+            };
             ctx.stats.index_node_visits.add(search.node_visits);
             crate::obs::metrics()
                 .index_node_visits_total

@@ -1,0 +1,276 @@
+//! The engine-wide worker pool behind morsel-driven parallel scans.
+//!
+//! One [`ExecPool`] lives inside each `Engine` and is shared by every
+//! session.  Workers are plain OS threads blocked on an mpmc channel of
+//! erased tasks; they are spawned lazily (the first parallel plan pays
+//! the spawn cost, serial workloads never start a thread) and grow up to
+//! the largest `parallel_workers` value any session has requested, capped
+//! at [`ExecPool::MAX_WORKERS`].
+//!
+//! ## Safety contract
+//!
+//! Tasks are `'static`, but parallel scans hand workers references into
+//! the running query (catalog guard, session vars, buffer pool) through a
+//! lifetime-erased wrapper.  That is sound because every dispatching
+//! executor *blocks until its outstanding task count reaches zero* before
+//! its borrows expire (see `ParallelSeqScanExec::shutdown` in
+//! `exec/mod.rs`) — the pool itself only guarantees that a submitted task
+//! runs exactly once and that worker panics are contained to the task
+//! (`catch_unwind`), never taking a worker thread down.
+//!
+//! ## Lock-hierarchy position
+//!
+//! Pool internals (the channel mutex/condvar and the spawn mutex) sit
+//! *below* the five engine lock levels: workers never take the catalog
+//! guard, the DML lock, or any index guard — everything they need is
+//! passed in by the dispatching query thread, which already holds the
+//! right guards.  A worker that re-acquired `Engine::catalog` could
+//! deadlock behind a queued DDL writer while the query thread waits on
+//! the worker, so the rule is absolute.
+
+use parking_lot::Mutex;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool of executor worker threads (see module docs).
+pub struct ExecPool {
+    tx: crossbeam::channel::Sender<Task>,
+    /// Kept only so workers can block on `recv`; the pool never receives.
+    rx: crossbeam::channel::Receiver<Task>,
+    /// Worker threads spawned so far (detached; they exit on disconnect).
+    spawned: AtomicUsize,
+    /// Serializes spawning so `ensure_workers` can't over-spawn.
+    spawn_lock: Mutex<()>,
+}
+
+impl ExecPool {
+    /// Hard ceiling on pool size, independent of `parallel_workers`.
+    pub const MAX_WORKERS: usize = 64;
+
+    pub fn new() -> ExecPool {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        ExecPool {
+            tx,
+            rx,
+            spawned: AtomicUsize::new(0),
+            spawn_lock: Mutex::new(()),
+        }
+    }
+
+    /// Default worker count for sessions that never `SET parallel_workers`:
+    /// the `MLQL_PARALLEL_WORKERS` environment variable if set (CI pins it
+    /// to surface scheduling-dependent flakes), else the machine's CPU
+    /// parallelism.
+    pub fn default_workers() -> usize {
+        if let Ok(v) = std::env::var("MLQL_PARALLEL_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.clamp(1, Self::MAX_WORKERS);
+            }
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(Self::MAX_WORKERS)
+    }
+
+    /// Make sure at least `n` workers exist (lazy spawn, capped).
+    pub fn ensure_workers(&self, n: usize) {
+        let n = n.min(Self::MAX_WORKERS);
+        if self.spawned.load(Ordering::Acquire) >= n {
+            return;
+        }
+        let _guard = self.spawn_lock.lock();
+        let have = self.spawned.load(Ordering::Acquire);
+        for i in have..n {
+            let rx = self.rx.clone();
+            thread::Builder::new()
+                .name(format!("mlql-exec-{i}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        // A panicking task must not kill the worker: the
+                        // dispatcher observes the failure through its own
+                        // completion accounting, and the thread lives on
+                        // to serve other queries.
+                        let _ = panic::catch_unwind(AssertUnwindSafe(task));
+                    }
+                })
+                .expect("spawn executor worker");
+        }
+        self.spawned.store(n.max(have), Ordering::Release);
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn workers(&self) -> usize {
+        self.spawned.load(Ordering::Acquire)
+    }
+
+    /// Submit a task; it runs exactly once on some worker.  The caller is
+    /// responsible for its own completion accounting (the pool does not
+    /// join individual tasks).
+    pub fn submit(&self, task: Task) {
+        // Unbounded channel: never blocks.  Send can only fail if every
+        // receiver is gone, which cannot happen while `self.rx` is alive.
+        let _ = self.tx.send(task);
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        ExecPool::new()
+    }
+}
+
+/// Scoped batch execution for access methods (M-tree subtree probes): run
+/// every borrowed task on the pool and block until all finish, which is
+/// what makes the borrows sound — no task can outlive this call.
+impl crate::index::TaskRunner for ExecPool {
+    fn run_all(&self, tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        // At least one worker must exist or the blocking wait below never
+        // ends; dispatchers normally size the pool beforehand.
+        self.ensure_workers(1);
+        let done = std::sync::Arc::new((
+            std::sync::Mutex::new(tasks.len()),
+            std::sync::Condvar::new(),
+        ));
+        for task in tasks {
+            // SAFETY: the non-'static borrow is erased so the task fits
+            // the pool's channel.  Sound because this function does not
+            // return until the completion counter hits zero, and the
+            // decrement lives in a drop guard that fires even if the task
+            // panics (the worker `catch_unwind`s it) — so every borrow is
+            // dead before the caller's frame can unwind.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            let done = std::sync::Arc::clone(&done);
+            self.submit(Box::new(move || {
+                struct Finish(std::sync::Arc<(std::sync::Mutex<usize>, std::sync::Condvar)>);
+                impl Drop for Finish {
+                    fn drop(&mut self) {
+                        let mut left = match self.0 .0.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        *left -= 1;
+                        if *left == 0 {
+                            self.0 .1.notify_all();
+                        }
+                    }
+                }
+                let _finish = Finish(done);
+                task();
+            }));
+        }
+        let (lock, cvar) = &*done;
+        let mut left = lock.lock().unwrap_or_else(|p| p.into_inner());
+        while *left > 0 {
+            left = cvar.wait(left).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+    /// Block until `remaining` dispatched tasks have finished.
+    fn wait_done(done: &(StdMutex<usize>, Condvar)) {
+        let mut left = done.0.lock().unwrap();
+        while *left > 0 {
+            left = done.1.wait(left).unwrap();
+        }
+    }
+
+    #[test]
+    fn tasks_run_exactly_once_each() {
+        let pool = ExecPool::new();
+        pool.ensure_workers(3);
+        let count = Arc::new(AtomicU64::new(0));
+        let done = Arc::new((StdMutex::new(100usize), Condvar::new()));
+        for _ in 0..100 {
+            let count = Arc::clone(&count);
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+                *done.0.lock().unwrap() -= 1;
+                done.1.notify_all();
+            }));
+        }
+        wait_done(&done);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_worker() {
+        let pool = ExecPool::new();
+        pool.ensure_workers(1);
+        let done = Arc::new((StdMutex::new(1usize), Condvar::new()));
+        pool.submit(Box::new(|| panic!("task panic must be contained")));
+        let done2 = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            *done2.0.lock().unwrap() -= 1;
+            done2.1.notify_all();
+        }));
+        // The second task only runs if the single worker survived the
+        // first task's panic.
+        wait_done(&done);
+    }
+
+    #[test]
+    fn run_all_joins_borrowed_tasks_before_returning() {
+        use crate::index::TaskRunner;
+        let pool = ExecPool::new();
+        pool.ensure_workers(4);
+        let results = StdMutex::new(Vec::new());
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..32)
+            .map(|i| {
+                let results = &results;
+                Box::new(move || results.lock().unwrap().push(i)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_all(tasks);
+        // run_all has returned, so every borrow of `results` is dead and
+        // all 32 pushes must be visible.
+        let mut got = results.into_inner().unwrap();
+        got.sort();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_all_survives_a_panicking_task() {
+        use crate::index::TaskRunner;
+        let pool = ExecPool::new();
+        pool.ensure_workers(2);
+        let count = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let count = &count;
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("contained");
+                    }
+                    count.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_all(tasks); // must not hang or propagate the panic
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn ensure_workers_is_monotonic_and_capped() {
+        let pool = ExecPool::new();
+        pool.ensure_workers(2);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(1);
+        assert_eq!(pool.workers(), 2, "never shrinks");
+        pool.ensure_workers(ExecPool::MAX_WORKERS + 10);
+        assert_eq!(pool.workers(), ExecPool::MAX_WORKERS);
+    }
+}

@@ -448,6 +448,12 @@ pub struct EngineMetrics {
     pub plan_cache_invalidations_total: Arc<Counter>,
     /// Sessions opened against an engine.
     pub sessions_opened_total: Arc<Counter>,
+    /// Morsels (page ranges) claimed by parallel-scan workers.
+    pub parallel_morsels_dispatched_total: Arc<Counter>,
+    /// Nanoseconds parallel-scan workers spent executing morsels.
+    pub parallel_worker_busy_ns_total: Arc<Counter>,
+    /// Nanoseconds gather nodes spent blocked waiting for worker batches.
+    pub parallel_gather_wait_ns_total: Arc<Counter>,
 }
 
 /// The engine's metric handles (registered in [`global`] on first use).
@@ -550,6 +556,18 @@ pub fn metrics() -> &'static EngineMetrics {
             sessions_opened_total: r.counter(
                 "mlql_sessions_opened_total",
                 "Sessions opened against an engine",
+            ),
+            parallel_morsels_dispatched_total: r.counter(
+                "mlql_parallel_morsels_dispatched_total",
+                "Morsels claimed by parallel-scan workers",
+            ),
+            parallel_worker_busy_ns_total: r.counter(
+                "mlql_parallel_worker_busy_ns_total",
+                "Parallel-scan worker busy time (ns)",
+            ),
+            parallel_gather_wait_ns_total: r.counter(
+                "mlql_parallel_gather_wait_ns_total",
+                "Gather-node wait on worker batches (ns)",
             ),
         };
         // Derived at render time so the fetch path pays nothing.

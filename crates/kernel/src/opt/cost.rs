@@ -81,6 +81,34 @@ impl CostParams {
         pages * self.seq_page_cost + rows * (self.cpu_tuple_cost + per_row_pred)
     }
 
+    /// Startup charge of a parallel scan (worker dispatch + gather), in
+    /// cost units.  Roughly a thousand tuples' worth of CPU — enough that
+    /// point lookups never go parallel on cost grounds alone.
+    pub const PARALLEL_STARTUP_COST: f64 = 10.0;
+
+    /// Fraction of linear speedup a worker actually delivers (channel
+    /// traffic, morsel-claim contention, skewed tails).
+    pub const PARALLEL_EFFICIENCY: f64 = 0.85;
+
+    /// Morsel-driven parallel scan: the I/O term is unchanged (one buffer
+    /// pool), the CPU term divides across `workers` at
+    /// [`Self::PARALLEL_EFFICIENCY`], and a flat startup charge covers
+    /// dispatch + gather.  With the ψ predicate's large `per_row_pred`
+    /// (Table 3's edit-distance work) the CPU term dominates, which is
+    /// exactly when parallelism wins.
+    pub fn parallel_seq_scan(
+        &self,
+        pages: f64,
+        rows: f64,
+        per_row_pred: f64,
+        workers: usize,
+    ) -> f64 {
+        let effective = (workers.max(1) as f64) * Self::PARALLEL_EFFICIENCY;
+        pages * self.seq_page_cost
+            + rows * (self.cpu_tuple_cost + per_row_pred) / effective
+            + Self::PARALLEL_STARTUP_COST
+    }
+
     /// Index scan: descend + traverse `index_pages` randomly (paying
     /// `traversal_cpu` for the key/distance comparisons along the way —
     /// for an approximate index at a saturating threshold this approaches

@@ -19,6 +19,11 @@ use std::sync::Arc;
 
 const DISABLED_COST: f64 = 1.0e10;
 
+/// Minimum estimated row count before a parallel scan is considered:
+/// below this, worker startup and gather overhead swamp the CPU savings
+/// (and small-table EXPLAIN output stays stable).
+const PARALLEL_MIN_ROWS: f64 = 1024.0;
+
 /// Penalized-cost flag reader: `enable_* = 0` disables a path.
 fn flag(session: &SessionVars, name: &str) -> bool {
     session.get_int(name, 1) != 0
@@ -683,6 +688,37 @@ impl Planner<'_> {
                 est_cost: cost,
                 schema: rel.meta.schema.clone(),
             });
+        }
+
+        // Morsel-driven parallel scan: same I/O, CPU divided across
+        // workers.  Only worthwhile when the table is large enough that
+        // per-tuple work dominates worker startup — small tables (and
+        // therefore the pre-existing EXPLAIN goldens) keep serial plans.
+        {
+            let workers = crate::exec::effective_workers(self.session);
+            if flag(self.session, "enable_parallel")
+                && workers >= 2
+                && rel.rows >= PARALLEL_MIN_ROWS
+            {
+                let mut cost = params.parallel_seq_scan(rel.pages, rel.rows, per_row, workers);
+                if !flag(self.session, "enable_seqscan") {
+                    cost += DISABLED_COST;
+                }
+                consider(PhysNode {
+                    op: PhysOp::ParallelSeqScan {
+                        table: rel.meta.name.clone(),
+                        filter: if local.is_empty() {
+                            None
+                        } else {
+                            Some(and_all(local.to_vec()))
+                        },
+                        workers,
+                    },
+                    est_rows: out_rows,
+                    est_cost: cost,
+                    schema: rel.meta.schema.clone(),
+                });
+            }
         }
 
         // Index scans: one candidate per (conjunct, matching index).

@@ -122,6 +122,14 @@ pub struct PhysNode {
 pub enum PhysOp {
     /// Sequential heap scan with optional pushed-down filter.
     SeqScan { table: String, filter: Option<Expr> },
+    /// Morsel-driven parallel heap scan: `workers` threads claim
+    /// fixed-size page ranges, evaluate `filter` independently, and a
+    /// gather node merges their batches (order-insensitive).
+    ParallelSeqScan {
+        table: String,
+        filter: Option<Expr>,
+        workers: usize,
+    },
     /// Index scan: probe `index` with `strategy`, re-check `residual`.
     IndexScan {
         table: String,
@@ -250,7 +258,10 @@ impl PhysNode {
                 left.explain_actuals_into(out, depth + 1, actuals, idx);
                 right.explain_actuals_into(out, depth + 1, actuals, idx);
             }
-            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
+            PhysOp::SeqScan { .. }
+            | PhysOp::ParallelSeqScan { .. }
+            | PhysOp::IndexScan { .. }
+            | PhysOp::Values { .. } => {}
         }
     }
 
@@ -276,7 +287,10 @@ impl PhysNode {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => {}
+            PhysOp::SeqScan { .. }
+            | PhysOp::ParallelSeqScan { .. }
+            | PhysOp::IndexScan { .. }
+            | PhysOp::Values { .. } => {}
         }
     }
 
@@ -286,6 +300,16 @@ impl PhysNode {
             PhysOp::SeqScan { table, filter } => match filter {
                 Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
                 None => format!("Seq Scan on {table}"),
+            },
+            PhysOp::ParallelSeqScan {
+                table,
+                filter,
+                workers,
+            } => match filter {
+                Some(f) => {
+                    format!("Parallel Seq Scan on {table}  (workers={workers})  Filter: {f}")
+                }
+                None => format!("Parallel Seq Scan on {table}  (workers={workers})"),
             },
             PhysOp::IndexScan {
                 table,

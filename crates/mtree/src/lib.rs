@@ -24,7 +24,7 @@
 
 mod tree;
 
-pub use tree::{MTree, Metric, QueryStats, SplitPolicy};
+pub use tree::{MTree, Metric, PartitionedRange, QueryStats, RangeSubtree, SplitPolicy};
 
 /// Default maximum number of entries per node.  Chosen so a node of phoneme
 /// strings (~16 bytes each plus radii) is roughly one 8 KiB disk page — the

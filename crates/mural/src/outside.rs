@@ -535,7 +535,7 @@ mod tests {
         let mural = install(&mut db).unwrap();
         db.execute("CREATE TABLE edges (child INT, parent INT)")
             .unwrap();
-        let taxonomy = &mural.sem.taxonomy;
+        let taxonomy = mural.sem.taxonomy();
         for id in taxonomy.ids() {
             for &c in taxonomy.children(id) {
                 db.execute(&format!(
@@ -607,7 +607,7 @@ mod tests {
         // Store the taxonomy's edges relationally.
         db.execute("CREATE TABLE edges (child INT, parent INT)")
             .unwrap();
-        let taxonomy = &mural.sem.taxonomy;
+        let taxonomy = mural.sem.taxonomy();
         for id in taxonomy.ids() {
             for &c in taxonomy.children(id) {
                 db.execute(&format!(

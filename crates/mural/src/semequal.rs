@@ -12,18 +12,31 @@ use crate::selectivity::{omega_join_selectivity, omega_scan_selectivity};
 use crate::types::unitext_of_datum;
 use mlql_kernel::catalog::{ExtOperator, OperatorKind};
 use mlql_kernel::{DataType, Datum, ExtTypeId};
-use mlql_taxonomy::{ClosureCache, SynsetId, Taxonomy};
+use mlql_taxonomy::{SharedClosureCache, SynsetId, Taxonomy};
 use mlql_unitext::{LangId, LanguageRegistry, UniText};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Shared Ω state: the pinned taxonomy and its closure cache.
+///
+/// The cache is *sharded* ([`SharedClosureCache`]) so parallel scan
+/// workers evaluating Ω concurrently share transitive-closure work without
+/// serializing on one mutex.  The taxonomy itself is clone-on-write: the
+/// mutation API swaps in a modified copy under the write lock and
+/// invalidates every memoized closure before any reader can see the new
+/// hierarchy — a query never observes a closure computed against a
+/// different taxonomy than the one it reads.
 pub struct SemState {
-    /// The interlinked multilingual hierarchy (immutable once installed).
-    pub taxonomy: Arc<Taxonomy>,
-    /// Memoized closures (§4.3).
-    pub cache: Mutex<ClosureCache>,
+    /// The interlinked multilingual hierarchy.  Readers hold the guard
+    /// across closure computation + memoization, which is what makes
+    /// invalidation race-free (see `add_hyponym`).
+    taxonomy: RwLock<Arc<Taxonomy>>,
+    /// Memoized closures (§4.3), shared by all sessions and workers.
+    pub cache: SharedClosureCache,
     /// Structural statistics captured at install time (drive §3.4.2).
+    /// Deliberately *not* refreshed by the mutation API: cost-model
+    /// parameters stay stable across small taxonomy edits, like ANALYZE
+    /// statistics in a conventional engine.
     pub stats: mlql_taxonomy::TaxonomyStats,
 }
 
@@ -32,64 +45,98 @@ impl SemState {
     pub fn new(taxonomy: Arc<Taxonomy>) -> Arc<SemState> {
         let stats = taxonomy.stats();
         Arc::new(SemState {
-            taxonomy,
-            cache: Mutex::new(ClosureCache::new()),
+            taxonomy: RwLock::new(taxonomy),
+            cache: SharedClosureCache::new(),
             stats,
         })
     }
 
-    /// Synsets a UniText value names: exact (word, lang) entries, falling
-    /// back to any-language lookup for untagged values.
-    pub fn synsets_of(&self, v: &UniText) -> Vec<SynsetId> {
+    /// Current taxonomy snapshot (an `Arc` clone; cheap).
+    pub fn taxonomy(&self) -> Arc<Taxonomy> {
+        Arc::clone(&self.taxonomy.read())
+    }
+
+    /// Add a hyponym edge (clone-on-write) and invalidate all memoized
+    /// closures.  The cache is cleared while the write guard is held, so
+    /// no in-flight query can re-memoize a closure of the old hierarchy
+    /// after the clear (readers hold the read guard across memoization).
+    pub fn add_hyponym(&self, parent: SynsetId, child: SynsetId) {
+        let mut guard = self.taxonomy.write();
+        let mut t = Taxonomy::clone(&guard);
+        t.add_hyponym(parent, child);
+        *guard = Arc::new(t);
+        self.cache.invalidate();
+    }
+
+    /// Remove a hyponym edge (clone-on-write) and invalidate all memoized
+    /// closures; returns whether the edge existed.
+    pub fn remove_hyponym(&self, parent: SynsetId, child: SynsetId) -> bool {
+        let mut guard = self.taxonomy.write();
+        let mut t = Taxonomy::clone(&guard);
+        let removed = t.remove_hyponym(parent, child);
+        *guard = Arc::new(t);
+        self.cache.invalidate();
+        removed
+    }
+
+    /// Synsets a UniText value names within `taxonomy`: exact (word, lang)
+    /// entries, falling back to any-language lookup for untagged values.
+    fn synsets_in(taxonomy: &Taxonomy, v: &UniText) -> Vec<SynsetId> {
         if v.lang() == LangId::UNKNOWN {
-            self.taxonomy.lookup_any_lang(v.text())
+            taxonomy.lookup_any_lang(v.text())
         } else {
-            self.taxonomy.lookup_unitext(v).to_vec()
+            taxonomy.lookup_unitext(v).to_vec()
         }
+    }
+
+    /// Synsets a UniText value names in the current taxonomy.
+    pub fn synsets_of(&self, v: &UniText) -> Vec<SynsetId> {
+        Self::synsets_in(&self.taxonomy.read(), v)
     }
 
     /// The Ω membership test of Figure 5.
     pub fn omega_matches(&self, l: &UniText, r: &UniText) -> bool {
-        let rhs = self.synsets_of(r);
+        let taxonomy = self.taxonomy.read();
+        let rhs = Self::synsets_in(&taxonomy, r);
         if rhs.is_empty() {
             return false;
         }
-        let lhs = self.synsets_of(l);
+        let lhs = Self::synsets_in(&taxonomy, l);
         if lhs.is_empty() {
             return false;
         }
-        let mut cache = self.cache.lock();
-        let (hits_before, misses_before) = cache.stats();
+        let (hits_before, misses_before) = self.cache.stats();
         let matched = rhs.iter().any(|&root| {
-            let closure = cache.closure(&self.taxonomy, root);
+            let closure = self.cache.closure(&taxonomy, root);
             lhs.iter().any(|s| closure.contains(s))
         });
-        Self::publish_cache_delta(&cache, hits_before, misses_before);
+        self.publish_cache_delta(hits_before, misses_before);
         matched
     }
 
     /// Push the closure-cache hit/miss delta of one operation into the
     /// engine metrics (the cache's own counters are cumulative).
-    fn publish_cache_delta(cache: &ClosureCache, hits_before: u64, misses_before: u64) {
-        let (hits, misses) = cache.stats();
+    fn publish_cache_delta(&self, hits_before: u64, misses_before: u64) {
+        let (hits, misses) = self.cache.stats();
         let m = mlql_kernel::obs::metrics();
-        m.taxonomy_closure_cache_hits_total.add(hits - hits_before);
+        m.taxonomy_closure_cache_hits_total
+            .add(hits.saturating_sub(hits_before));
         m.taxonomy_closure_cache_misses_total
-            .add(misses - misses_before);
+            .add(misses.saturating_sub(misses_before));
     }
 
     /// Exact closure size of the concept a constant names, if resolvable —
     /// the §3.4.2 "closures pre-computed and stored" selectivity variant.
     pub fn closure_size_of(&self, v: &UniText) -> Option<usize> {
-        let roots = self.synsets_of(v);
+        let taxonomy = self.taxonomy.read();
+        let roots = Self::synsets_in(&taxonomy, v);
         if roots.is_empty() {
             return None;
         }
-        let mut cache = self.cache.lock();
         Some(
             roots
                 .iter()
-                .map(|&r| cache.closure_size(&self.taxonomy, r))
+                .map(|&r| self.cache.closure_size(&taxonomy, r))
                 .max()
                 .expect("non-empty roots"),
         )
@@ -232,9 +279,32 @@ mod tests {
             let lhs = ut(&langs, cat, "English");
             let _ = (op.eval)(&lhs, &history, &session).unwrap();
         }
-        let (hits, misses) = state.cache.lock().stats();
+        let (hits, misses) = state.cache.stats();
         assert_eq!(misses, 1, "one closure for the repeated RHS");
         assert!(hits >= 3);
+    }
+
+    #[test]
+    fn taxonomy_mutation_invalidates_memoized_closures() {
+        let (langs, state, op) = setup();
+        let session = SessionVars::new();
+        let history = ut(&langs, "History", "English");
+        let fiction = ut(&langs, "Fiction", "English");
+        // Fiction is not under History; the probe memoizes History's closure.
+        assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
+        assert!(!state.cache.is_empty());
+        // Graft Fiction under History — the memoized closure is now wrong.
+        let h = state.synsets_of(&UniText::compose("History", langs.id_of("English")))[0];
+        let f = state.synsets_of(&UniText::compose("Fiction", langs.id_of("English")))[0];
+        state.add_hyponym(h, f);
+        assert!(state.cache.is_empty(), "mutation must clear the cache");
+        assert!(
+            (op.eval)(&fiction, &history, &session).unwrap().is_true(),
+            "fresh closure must see the new edge"
+        );
+        // Prune it again: the match disappears just as promptly.
+        assert!(state.remove_hyponym(h, f));
+        assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
     }
 
     #[test]

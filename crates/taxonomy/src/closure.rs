@@ -79,6 +79,93 @@ impl ClosureCache {
     }
 }
 
+/// Thread-safe, sharded wrapper around [`ClosureCache`] so parallel scan
+/// workers share memoized closures instead of each paying the BFS.
+///
+/// Closures are keyed by the RHS synset; sharding by synset id means
+/// workers probing *different* RHS concepts never contend, and workers
+/// probing the *same* concept serialize only on its shard (the second
+/// arrival gets the memoized `Arc` immediately).  A single global mutex —
+/// the previous design — made the cache the serialization point of every
+/// parallel Ω scan.
+#[derive(Debug)]
+pub struct SharedClosureCache {
+    shards: Vec<std::sync::Mutex<ClosureCache>>,
+}
+
+impl Default for SharedClosureCache {
+    fn default() -> Self {
+        SharedClosureCache::new()
+    }
+}
+
+impl SharedClosureCache {
+    /// Shard count: enough to make same-shard collisions rare at the
+    /// engine's worker-count ceiling, small enough that `invalidate` and
+    /// `stats` stay trivial.
+    pub const SHARDS: usize = 16;
+
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        SharedClosureCache {
+            shards: (0..Self::SHARDS)
+                .map(|_| std::sync::Mutex::new(ClosureCache::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, root: SynsetId) -> std::sync::MutexGuard<'_, ClosureCache> {
+        let idx = root.0 as usize % self.shards.len();
+        // Closure computation never panics while holding the guard; treat
+        // a poisoned shard as usable rather than propagating the panic.
+        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Memoized transitive closure of `root` (see [`ClosureCache::closure`]).
+    pub fn closure(&self, taxonomy: &Taxonomy, root: SynsetId) -> Arc<HashSet<SynsetId>> {
+        self.shard(root).closure(taxonomy, root)
+    }
+
+    /// Ω membership test (see [`ClosureCache::contains`]).
+    pub fn contains(&self, taxonomy: &Taxonomy, root: SynsetId, candidate: SynsetId) -> bool {
+        self.shard(root).contains(taxonomy, root, candidate)
+    }
+
+    /// Closure cardinality (see [`ClosureCache::closure_size`]).
+    pub fn closure_size(&self, taxonomy: &Taxonomy, root: SynsetId) -> usize {
+        self.shard(root).closure_size(taxonomy, root)
+    }
+
+    /// (hits, misses), summed across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.lock().unwrap_or_else(|p| p.into_inner()).stats();
+            (h + sh, m + sm)
+        })
+    }
+
+    /// Number of memoized closures across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoized closure — required after any taxonomy change,
+    /// or closures computed against the old hierarchy would keep matching.
+    pub fn invalidate(&self) {
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|p| p.into_inner()).invalidate();
+        }
+    }
+}
+
 /// Uncached closure computation: BFS over `children ∪ equivalents`.
 pub fn compute_closure(taxonomy: &Taxonomy, root: SynsetId) -> HashSet<SynsetId> {
     let mut seen: HashSet<SynsetId> = HashSet::new();
@@ -172,6 +259,55 @@ mod tests {
         assert!(cache.is_empty());
         cache.closure(&t, r);
         assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn sharded_cache_matches_plain_cache() {
+        let (t, ids) = small();
+        let shared = SharedClosureCache::new();
+        let mut plain = ClosureCache::new();
+        for &root in &ids {
+            assert_eq!(
+                *shared.closure(&t, root),
+                *plain.closure(&t, root),
+                "root {root:?}"
+            );
+        }
+        // Second pass is all hits; miss count equals distinct roots.
+        for &root in &ids {
+            shared.closure(&t, root);
+        }
+        assert_eq!(shared.stats(), (4, 4));
+        assert_eq!(shared.len(), 4);
+    }
+
+    #[test]
+    fn sharded_cache_is_shared_across_threads() {
+        let (t, [r, ..]) = small();
+        let shared = SharedClosureCache::new();
+        shared.closure(&t, r); // warm: 1 miss
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    assert!(shared.contains(&t, r, r));
+                });
+            }
+        });
+        let (hits, misses) = shared.stats();
+        assert_eq!(misses, 1, "threads must reuse the memoized closure");
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn sharded_invalidate_clears_every_shard() {
+        let (t, ids) = small();
+        let shared = SharedClosureCache::new();
+        for &root in &ids {
+            shared.closure(&t, root);
+        }
+        assert!(!shared.is_empty());
+        shared.invalidate();
+        assert!(shared.is_empty());
     }
 
     #[test]

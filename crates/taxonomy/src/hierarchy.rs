@@ -97,6 +97,22 @@ impl Taxonomy {
         self.synsets[child.0 as usize].parents.push(parent);
     }
 
+    /// Remove the hyponym edge `parent → child` if present (the inverse of
+    /// [`Taxonomy::add_hyponym`]).  Returns whether an edge was removed.
+    /// Callers holding memoized closures must invalidate them.
+    pub fn remove_hyponym(&mut self, parent: SynsetId, child: SynsetId) -> bool {
+        let children = &mut self.synsets[parent.0 as usize].children;
+        let before = children.len();
+        children.retain(|&c| c != child);
+        let removed = children.len() < before;
+        if removed {
+            self.synsets[child.0 as usize]
+                .parents
+                .retain(|&p| p != parent);
+        }
+        removed
+    }
+
     /// Record a cross-lingual equivalence between two synsets (both
     /// directions).
     pub fn add_equivalence(&mut self, a: SynsetId, b: SynsetId) {
@@ -333,6 +349,18 @@ mod tests {
         assert_eq!(t.children(a), &[b]);
         assert_eq!(t.parents(b), &[a]);
         assert_eq!(t.roots(en()), vec![a]);
+    }
+
+    #[test]
+    fn remove_hyponym_unlinks_both_directions() {
+        let mut t = Taxonomy::new();
+        let a = t.add_synset(en(), &["a"]);
+        let b = t.add_synset(en(), &["b"]);
+        t.add_hyponym(a, b);
+        assert!(t.remove_hyponym(a, b));
+        assert!(t.children(a).is_empty());
+        assert!(t.parents(b).is_empty());
+        assert!(!t.remove_hyponym(a, b), "already gone");
     }
 
     #[test]

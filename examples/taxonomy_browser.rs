@@ -55,7 +55,7 @@ fn main() {
     db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
         .unwrap();
     let mut rng = StdRng::seed_from_u64(4);
-    let taxonomy = &mural.sem.taxonomy;
+    let taxonomy = mural.sem.taxonomy();
     for i in 0..20_000 {
         let sid = mlql::taxonomy::SynsetId(rng.gen_range(0..synsets as u32));
         let word = &taxonomy.words(sid)[0];
@@ -87,7 +87,7 @@ fn main() {
         );
     }
 
-    let (hits, misses) = mural.sem.cache.lock().stats();
+    let (hits, misses) = mural.sem.cache.stats();
     println!("\nclosure cache: {misses} computed, {hits} reused");
     println!(
         "selectivity of the largest concept: {:.4} (exact-closure estimator, §3.4.2)",

@@ -266,3 +266,126 @@ fn psi_counters_track_distance_calls() {
     assert!(m.psi_distance_calls_total.get() >= dist_before + 4);
     assert!(m.ext_op_calls_total.get() >= ext_before + 4);
 }
+
+/// Golden test for EXPLAIN ANALYZE under parallelism: the plan renders a
+/// `Parallel:` summary plus one `Worker i:` line per worker, the
+/// per-worker row actuals sum exactly to the scan node's actual rows, and
+/// that total matches the serial (workers=1) run of the same query.
+#[test]
+fn explain_analyze_parallel_worker_actuals_reconcile() {
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    // A table big enough to cross the planner's parallel gate.
+    for i in 0..1200 {
+        let n = match i % 4 {
+            0 => "Nehru",
+            1 => "Gandhi",
+            2 => "Miller",
+            _ => "Krishnan",
+        };
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('{n}{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE names").unwrap();
+    db.execute("SET lexequal.threshold = 1").unwrap();
+    let sql = "EXPLAIN ANALYZE SELECT count(*) FROM names \
+               WHERE name LEXEQUAL unitext('Nehru1','English')";
+
+    // Serial reference.
+    db.execute("SET parallel_workers = 1").unwrap();
+    let serial = db.execute(sql).unwrap().explain.expect("explain text");
+    assert!(
+        serial.contains("Seq Scan on names") && !serial.contains("Parallel Seq Scan"),
+        "serial plan expected:\n{serial}"
+    );
+    let serial_scan_rows = node_actuals(&serial)
+        .into_iter()
+        .find(|(_, l)| l.contains("Seq Scan on names"))
+        .expect("scan node")
+        .0;
+
+    // Parallel run of the identical query.
+    db.execute("SET parallel_workers = 4").unwrap();
+    let text = db.execute(sql).unwrap().explain.expect("explain text");
+    assert!(
+        text.contains("Parallel Seq Scan on names  (workers=4)"),
+        "parallel plan expected:\n{text}"
+    );
+    let par_scan_rows = node_actuals(&text)
+        .into_iter()
+        .find(|(_, l)| l.contains("Parallel Seq Scan on names"))
+        .expect("parallel scan node")
+        .0;
+    assert_eq!(par_scan_rows, serial_scan_rows, "{text}");
+
+    // The Parallel: summary line.
+    let summary = text
+        .lines()
+        .find(|l| l.starts_with("Parallel: "))
+        .unwrap_or_else(|| panic!("missing Parallel: line:\n{text}"));
+    assert!(summary.contains("workers=4"), "{summary}");
+    assert!(summary.contains("gather_wait="), "{summary}");
+    let morsels: u64 = summary
+        .split("morsels=")
+        .nth(1)
+        .unwrap()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(morsels >= 1, "{summary}");
+
+    // Per-worker actuals: one line each, rows summing to the scan total.
+    let workers: Vec<(u64, f64)> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Worker "))
+        .map(|l| {
+            let rows: u64 = l
+                .split("rows=")
+                .nth(1)
+                .unwrap()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            let time: f64 = l
+                .split("time=")
+                .nth(1)
+                .unwrap()
+                .trim_end_matches("ms")
+                .parse()
+                .unwrap();
+            (rows, time)
+        })
+        .collect();
+    assert_eq!(workers.len(), 4, "one actuals line per worker:\n{text}");
+    let worker_row_sum: u64 = workers.iter().map(|(r, _)| r).sum();
+    assert_eq!(
+        worker_row_sum, serial_scan_rows,
+        "per-worker rows must sum to the serial scan total:\n{text}"
+    );
+    assert!(
+        workers.iter().all(|(_, t)| *t >= 0.0),
+        "worker times must parse:\n{text}"
+    );
+
+    // The parallel counters are visible through SHOW STATS.
+    let shown = db.execute("SHOW stats").unwrap();
+    let stats_text: Vec<String> = shown
+        .rows
+        .iter()
+        .map(|r| format!("{} {}", r[0], r[1]))
+        .collect();
+    let stats_text = stats_text.join("\n");
+    for metric in [
+        "mlql_parallel_morsels_dispatched_total",
+        "mlql_parallel_worker_busy_ns_total",
+        "mlql_parallel_gather_wait_ns_total",
+    ] {
+        assert!(stats_text.contains(metric), "SHOW STATS missing {metric}");
+    }
+}

@@ -1,0 +1,311 @@
+//! Serial-equivalence suite for morsel-driven parallel execution: every
+//! query shape the engine parallelizes (ψ threshold scans, Ω closure
+//! probes, index vs sequential plans, LIMIT / max_rows, scans racing DDL)
+//! must return the *identical* result set at `parallel_workers = 1` and
+//! `parallel_workers = N` — the gather node merges worker batches in
+//! nondeterministic order, so comparisons are over sorted row sets.  A
+//! property test then fuzzes random multilingual tables and thresholds
+//! across the serial/parallel planner boundary (the ≥ 1024-row gate).
+
+use mlql::kernel::{Database, Error};
+use mlql::mural::install;
+use mlql::mural::types::unitext_datum;
+use mlql::unitext::UniText;
+use proptest::prelude::*;
+
+/// Worker counts every query shape is checked at.  1 is the serial
+/// reference; 2 and 4 exercise real fan-out.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn db() -> (Database, mlql::mural::Mural) {
+    let mut db = Database::new_in_memory();
+    let mural = install(&mut db).unwrap();
+    (db, mural)
+}
+
+/// Load `n` multilingual name rows (the Table 4 generator: cross-script
+/// homophones plus noise) into `table`, then ANALYZE so the planner sees
+/// the real row count.
+fn load_names(db: &mut Database, mural: &mlql::mural::Mural, table: &str, n: usize, seed: u64) {
+    db.execute(&format!("CREATE TABLE {table} (name UNITEXT)"))
+        .unwrap();
+    let data = mlql::datagen::names_dataset(
+        &mural.langs,
+        &mlql::datagen::NamesConfig {
+            records: n,
+            noise: 0.25,
+            seed,
+            ..Default::default()
+        },
+    );
+    for rec in data {
+        db.insert_row(table, vec![unitext_datum(mural.unitext_type, &rec.name)])
+            .unwrap();
+    }
+    db.execute(&format!("ANALYZE {table}")).unwrap();
+}
+
+/// Run `sql` in a fresh session pinned to `workers`, returning the result
+/// rows stringified and sorted (parallel row order is nondeterministic).
+fn sorted_rows(db: &Database, workers: usize, setup: &[&str], sql: &str) -> Vec<String> {
+    let mut s = db.connect();
+    s.execute(&format!("SET parallel_workers = {workers}"))
+        .unwrap();
+    for stmt in setup {
+        s.execute(stmt).unwrap();
+    }
+    let mut out: Vec<String> = s
+        .query(sql)
+        .unwrap()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Assert `sql` yields identical sorted results at every worker count.
+fn assert_equivalent(db: &Database, setup: &[&str], sql: &str) {
+    let reference = sorted_rows(db, 1, setup, sql);
+    for &w in &WORKER_COUNTS[1..] {
+        let got = sorted_rows(db, w, setup, sql);
+        assert_eq!(got, reference, "workers={w} diverged from serial on: {sql}");
+    }
+}
+
+/// The big-table ψ plans under test must actually *be* parallel at
+/// workers ≥ 2, or the suite silently degenerates to serial-vs-serial.
+#[test]
+fn planner_picks_parallel_scan_above_the_row_threshold() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 1);
+    db.execute("SET parallel_workers = 4").unwrap();
+    db.execute("SET lexequal.threshold = 2").unwrap();
+    let r = db
+        .execute(
+            "EXPLAIN SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')",
+        )
+        .unwrap();
+    let text = r.explain.expect("explain text");
+    assert!(
+        text.contains("Parallel Seq Scan on names"),
+        "expected a parallel plan:\n{text}"
+    );
+    assert!(text.contains("workers=4"), "{text}");
+
+    // Below the gate (or at one worker) the plan stays serial.
+    db.execute("SET parallel_workers = 1").unwrap();
+    let r = db
+        .execute(
+            "EXPLAIN SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')",
+        )
+        .unwrap();
+    let text = r.explain.expect("explain text");
+    assert!(
+        !text.contains("Parallel Seq Scan"),
+        "one worker must not parallelize:\n{text}"
+    );
+}
+
+#[test]
+fn psi_threshold_scans_equivalent() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 1);
+    for threshold in [0, 1, 2, 3] {
+        let setup = format!("SET lexequal.threshold = {threshold}");
+        for probe in ["Nehru", "Gandhi", "Miller", "Krishnan"] {
+            assert_equivalent(
+                &db,
+                &[&setup],
+                &format!("SELECT name FROM names WHERE name LEXEQUAL unitext('{probe}','English')"),
+            );
+        }
+    }
+    // Aggregates over the parallel scan too.
+    assert_equivalent(
+        &db,
+        &["SET lexequal.threshold = 3"],
+        "SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')",
+    );
+}
+
+#[test]
+fn omega_closure_probes_equivalent() {
+    let (mut db, mural) = db();
+    // A docs table big enough to cross the parallel gate, categorized by
+    // words drawn from the installed Books taxonomy.
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    let cats = [
+        ("History", "English"),
+        ("Biography", "English"),
+        ("Fiction", "English"),
+        ("Novel", "English"),
+        ("Histoire", "French"),
+        ("சரித்திரம்", "Tamil"),
+    ];
+    for i in 0..1400i64 {
+        let (w, l) = cats[i as usize % cats.len()];
+        let v = UniText::compose(w, mural.langs.id_of(l));
+        db.insert_row(
+            "docs",
+            vec![
+                mlql::kernel::Datum::Int(i),
+                unitext_datum(mural.unitext_type, &v),
+            ],
+        )
+        .unwrap();
+    }
+    db.execute("ANALYZE docs").unwrap();
+    for rhs in ["History", "Biography", "Fiction"] {
+        assert_equivalent(
+            &db,
+            &[],
+            &format!("SELECT id FROM docs WHERE category SEMEQUAL unitext('{rhs}','English')"),
+        );
+    }
+}
+
+/// Forced index plans and forced (parallel) sequential plans agree with
+/// each other at every worker count — the M-tree's fanned-out subtree
+/// probes included.
+#[test]
+fn index_and_seq_plans_equivalent() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1200, 3);
+    db.execute("CREATE INDEX names_mt ON names (name) USING mtree")
+        .unwrap();
+    db.execute("ANALYZE names").unwrap();
+    let sql = "SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru','English')";
+    let threshold = "SET lexequal.threshold = 2";
+    let via_index = sorted_rows(&db, 1, &[threshold, "SET enable_seqscan = 0"], sql);
+    for &w in &WORKER_COUNTS {
+        let idx = sorted_rows(&db, w, &[threshold, "SET enable_seqscan = 0"], sql);
+        let seq = sorted_rows(&db, w, &[threshold, "SET enable_indexscan = 0"], sql);
+        assert_eq!(idx, via_index, "index plan diverged at workers={w}");
+        assert_eq!(seq, via_index, "seq plan diverged at workers={w}");
+    }
+}
+
+#[test]
+fn limit_and_max_rows_semantics_preserved() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 5);
+    // LIMIT under a parallel scan: which rows arrive first is
+    // nondeterministic, but the count is exact and every row is a real
+    // table row.
+    let all: std::collections::HashSet<String> = sorted_rows(&db, 1, &[], "SELECT name FROM names")
+        .into_iter()
+        .collect();
+    for &w in &WORKER_COUNTS {
+        let limited = sorted_rows(&db, w, &[], "SELECT name FROM names LIMIT 37");
+        assert_eq!(limited.len(), 37, "workers={w}");
+        for row in &limited {
+            assert!(all.contains(row), "workers={w} invented row {row}");
+        }
+    }
+    // max_rows raises the same typed error serial and parallel.
+    for &w in &WORKER_COUNTS {
+        let mut s = db.connect();
+        s.execute(&format!("SET parallel_workers = {w}")).unwrap();
+        s.execute("SET max_rows = 10").unwrap();
+        let err = s.query("SELECT name FROM names").unwrap_err();
+        assert!(
+            matches!(err, Error::MaxRows { limit: 10 }),
+            "workers={w}: unexpected error {err}"
+        );
+        // Aggregates under the cap still succeed.
+        assert_eq!(
+            s.query("SELECT count(*) FROM names").unwrap()[0][0].as_int(),
+            Some(1500)
+        );
+    }
+}
+
+/// Parallel readers race concurrent DDL and inserts: counts stay in the
+/// valid monotone window and nothing panics or deadlocks — the workers
+/// never touch the catalog, so queued DDL cannot deadlock a scan.
+#[test]
+fn parallel_scans_race_concurrent_ddl() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1200, 7);
+    let stop = AtomicBool::new(false);
+    let readers: Vec<_> = (0..3).map(|_| db.connect()).collect();
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let mut handles = Vec::new();
+        for mut session in readers {
+            handles.push(scope.spawn(move || {
+                session.execute("SET parallel_workers = 4").unwrap();
+                session.execute("SET lexequal.threshold = 2").unwrap();
+                let mut iters = 0u64;
+                let mut last = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let n = session
+                        .query(
+                            "SELECT count(*) FROM names \
+                             WHERE name LEXEQUAL unitext('Nehru','English')",
+                        )
+                        .unwrap()[0][0]
+                        .as_int()
+                        .unwrap();
+                    assert!(n >= last, "count went backwards: {last} -> {n}");
+                    last = n;
+                    iters += 1;
+                }
+                iters
+            }));
+        }
+        // Writer: inserts + DDL from the owning session.
+        for i in 0..20 {
+            db.execute("INSERT INTO names VALUES (unitext('Nehru','English'))")
+                .unwrap();
+            match i {
+                5 => {
+                    db.execute("CREATE TABLE scratch (id INT)").unwrap();
+                }
+                10 => {
+                    db.execute("CREATE INDEX names_mt ON names (name) USING mtree")
+                        .unwrap();
+                }
+                15 => {
+                    db.execute("ANALYZE names").unwrap();
+                }
+                _ => {}
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "readers never completed an iteration");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random multilingual tables straddling the 1024-row parallel gate,
+    /// random probe and threshold: serial and 4-worker execution must
+    /// agree exactly, whichever side of the boundary the planner lands on.
+    #[test]
+    fn fuzz_serial_parallel_boundary(
+        n in 960usize..1300,
+        seed in 0u64..1000,
+        threshold in 0i64..4,
+        probe in "[a-z]{3,8}",
+    ) {
+        let (mut db, mural) = db();
+        load_names(&mut db, &mural, "names", n, seed);
+        let setup = format!("SET lexequal.threshold = {threshold}");
+        let sql = format!("SELECT name FROM names WHERE name LEXEQUAL unitext('{probe}','English')");
+        let serial = sorted_rows(&db, 1, &[&setup], &sql);
+        let parallel = sorted_rows(&db, 4, &[&setup], &sql);
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -256,3 +256,89 @@ fn failed_index_backfill_unregisters_index() {
         Some(1)
     );
 }
+
+/// Ω closure-cache invalidation is engine-wide: a taxonomy edit made
+/// through one session's view of the shared [`SemState`] must be visible
+/// to every other session immediately — no session may keep matching
+/// against a memoized closure of the old hierarchy.
+#[test]
+fn omega_cache_invalidation_crosses_sessions() {
+    let mut db = Database::new_in_memory();
+    let mural = install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    db.execute("INSERT INTO docs VALUES (1, unitext('Fiction','English'))")
+        .unwrap();
+    db.execute("INSERT INTO docs VALUES (2, unitext('Biography','English'))")
+        .unwrap();
+
+    let omega = "SELECT count(*) FROM docs WHERE category SEMEQUAL unitext('History','English')";
+    let mut s1 = db.connect();
+    let mut s2 = db.connect();
+    // Both sessions warm the shared cache: only Biography is under History.
+    assert_eq!(s1.query(omega).unwrap()[0][0].as_int(), Some(1));
+    assert_eq!(s2.query(omega).unwrap()[0][0].as_int(), Some(1));
+    assert!(!mural.sem.cache.is_empty(), "closure memoized");
+
+    // Taxonomy INSERT (graft Fiction under History), conceptually issued
+    // by session 1: the shared cache is invalidated...
+    let en = mural.langs.id_of("English");
+    let history = mural
+        .sem
+        .synsets_of(&mlql::unitext::UniText::compose("History", en))[0];
+    let fiction = mural
+        .sem
+        .synsets_of(&mlql::unitext::UniText::compose("Fiction", en))[0];
+    mural.sem.add_hyponym(history, fiction);
+    assert!(mural.sem.cache.is_empty(), "mutation must clear the cache");
+    // ...and *both* sessions see the new edge at once.
+    assert_eq!(s1.query(omega).unwrap()[0][0].as_int(), Some(2));
+    assert_eq!(s2.query(omega).unwrap()[0][0].as_int(), Some(2));
+
+    // Taxonomy DELETE: the edge goes away for everyone, again at once.
+    assert!(mural.sem.remove_hyponym(history, fiction));
+    assert_eq!(s2.query(omega).unwrap()[0][0].as_int(), Some(1));
+    assert_eq!(s1.query(omega).unwrap()[0][0].as_int(), Some(1));
+}
+
+/// Regression: DDL between taxonomy edits must not resurrect a stale
+/// closure.  The failure mode guarded against: DDL flushes the *plan*
+/// cache, a replanned query re-runs, and an unvalidated *closure* cache
+/// would happily serve the pre-edit closure to the fresh plan.
+#[test]
+fn omega_cache_never_serves_stale_closure_after_ddl() {
+    let mut db = Database::new_in_memory();
+    let mural = install(&mut db).unwrap();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    db.execute("INSERT INTO docs VALUES (1, unitext('Fiction','English'))")
+        .unwrap();
+    let omega = "SELECT count(*) FROM docs WHERE category SEMEQUAL unitext('History','English')";
+    let mut s = db.connect();
+    assert_eq!(s.query(omega).unwrap()[0][0].as_int(), Some(0));
+
+    let en = mural.langs.id_of("English");
+    let history = mural
+        .sem
+        .synsets_of(&mlql::unitext::UniText::compose("History", en))[0];
+    let fiction = mural
+        .sem
+        .synsets_of(&mlql::unitext::UniText::compose("Fiction", en))[0];
+    mural.sem.add_hyponym(history, fiction);
+    // DDL from another session: flushes plans, replans everything.
+    db.execute("CREATE TABLE scratch (id INT)").unwrap();
+    db.execute("ANALYZE docs").unwrap();
+    // The replanned query must see the post-edit taxonomy...
+    assert_eq!(s.query(omega).unwrap()[0][0].as_int(), Some(1));
+    // ...and after the edge is dropped plus more DDL, the match must not
+    // come back from any cached closure.
+    mural.sem.remove_hyponym(history, fiction);
+    db.execute("CREATE INDEX docs_cat ON docs (category) USING mtree")
+        .unwrap();
+    assert_eq!(s.query(omega).unwrap()[0][0].as_int(), Some(0));
+    let (hits, misses) = mural.sem.cache.stats();
+    assert!(
+        misses >= 3,
+        "each taxonomy version computed afresh: {hits}/{misses}"
+    );
+}

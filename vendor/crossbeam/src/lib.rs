@@ -1,7 +1,7 @@
-//! Offline stand-in for the `crossbeam` crate, covering the one API this
-//! workspace uses: `crossbeam::scope` / `Scope::spawn` scoped threads.  It
-//! is a thin wrapper over `std::thread::scope` (see `vendor/README.md` for
-//! why the workspace vendors shims).
+//! Offline stand-in for the `crossbeam` crate, covering the two APIs this
+//! workspace uses: `crossbeam::scope` / `Scope::spawn` scoped threads and
+//! `crossbeam::channel` mpmc channels (see `vendor/README.md` for why the
+//! workspace vendors shims).
 //!
 //! Behavioral difference from the real crate: if a spawned thread panics
 //! and its handle was never joined, `std::thread::scope` propagates the
@@ -9,6 +9,8 @@
 //! enclosing test fails with the child's panic payload.
 
 use std::thread;
+
+pub mod channel;
 
 /// Scoped-thread handle mirroring `crossbeam::thread::Scope`.  The spawn
 /// closure receives a `&Scope` so children can spawn grandchildren, exactly
