@@ -113,6 +113,13 @@ impl Report {
         };
         r.set("bench", Value::Str(name.to_string()));
         r.set("scale", Value::Int(crate::scale() as i64));
+        // Core count of the machine that produced the numbers: parallel
+        // results are meaningless to compare across different widths, and
+        // `bench_check.sh` warns when a baseline was recorded elsewhere.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get() as i64)
+            .unwrap_or(0);
+        r.set("cpu_parallelism", Value::Int(cores));
         r
     }
 
@@ -227,6 +234,11 @@ mod tests {
             .set("label", Value::Str("he said \"hi\"\n".into()));
         let json = r.render();
         assert!(json.starts_with("{\"bench\":\"unit\""));
+        assert!(json.contains("\"cpu_parallelism\":"), "{json}");
+        assert!(
+            json_num_field(&json, "cpu_parallelism").unwrap_or(-1.0) >= 1.0,
+            "core count recorded: {json}"
+        );
         assert!(json.contains("\"pi\":3.25"));
         assert!(json.contains("\"n\":-4"));
         assert!(json.contains("\"ok\":true"));

@@ -113,6 +113,26 @@ impl Catalog {
                 ))
             }),
         });
+        // Live activity across every session in the process, as a JSON
+        // array (the function analogue of `SHOW ACTIVITY`, which filters
+        // to the issuing engine).
+        catalog.register_function(FuncDef {
+            name: "mlql_activity".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| {
+                Ok(crate::value::Datum::text(
+                    crate::obs::activity::render_json(),
+                ))
+            }),
+        });
+        // The completed-query flight recorder, as a JSON array.
+        catalog.register_function(FuncDef {
+            name: "mlql_flight_recorder".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| Ok(crate::value::Datum::text(crate::obs::flight::render_json()))),
+        });
         catalog
     }
 

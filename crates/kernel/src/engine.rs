@@ -50,7 +50,7 @@ use crate::catalog::{Catalog, ColumnStats, SessionVars, TableStats};
 use crate::error::{Error, Result};
 use crate::exec::{build_instrumented, run_to_vec, ExecCtx, ExecPool, ExecStats, MAX_ROWS_VAR};
 use crate::expr::EvalCtx;
-use crate::obs::{self, QueryTrace};
+use crate::obs::{self, QueryTrace, Stage, WaitClass, WaitProfile};
 use crate::opt;
 use crate::plan::{NodeActuals, PhysNode};
 use crate::schema::{Column, Row, Schema};
@@ -83,8 +83,17 @@ pub struct RunStats {
     pub est_cost: Option<f64>,
     /// Optimizer-predicted output rows.
     pub est_rows: Option<f64>,
-    /// Stage spans (parse/bind/plan/execute) for queries.
+    /// Stage span tree (parse/bind/plan/execute) for queries.
     pub trace: Option<QueryTrace>,
+    /// Engine-wide statement id (0 for statements run outside
+    /// `Session::execute`, e.g. `query_ref`).
+    pub query_id: u64,
+    /// FNV-1a digest of the executed physical plan (queries only, and
+    /// only while observability is enabled).
+    pub plan_digest: Option<u64>,
+    /// Waits suffered by the statement across every thread that worked
+    /// on it (session thread, scan workers, WAL rendezvous).
+    pub waits: Option<Arc<WaitProfile>>,
 }
 
 /// Result of executing one statement.
@@ -101,6 +110,11 @@ pub struct QueryResult {
     /// Runtime statistics.
     pub stats: RunStats,
 }
+
+/// Session variable gating the flight recorder (`SET slow_query_ms`):
+/// `0` records every statement, `n > 0` only statements ≥ `n` ms,
+/// negative disables recording.
+pub const SLOW_QUERY_MS_VAR: &str = "slow_query_ms";
 
 /// How `run_select` should report.
 enum ExplainMode {
@@ -226,6 +240,12 @@ pub struct Engine {
     /// WAL-less); applied by [`Engine::attach_durability`] so the setting
     /// is not silently lost.
     pending_wal_mode: Mutex<Option<SyncMode>>,
+    /// Process-unique id: activity rows and flight records are tagged
+    /// with it so the process-wide views can be filtered per engine
+    /// (the test suite runs many engines in one process).
+    engine_id: u64,
+    /// Allocator for per-engine session ids.
+    next_session_id: AtomicU64,
 }
 
 /// `Engine` must stay shareable across session threads.
@@ -244,6 +264,7 @@ impl Engine {
     /// An engine over an arbitrary storage backend, WAL-less until
     /// [`Engine::attach_durability`].
     pub fn with_backend(backend: Box<dyn StorageBackend>) -> Arc<Engine> {
+        static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
         Arc::new(Engine {
             catalog: RwLock::new(Catalog::new()),
             pool: BufferPool::new(backend, 1024),
@@ -253,7 +274,14 @@ impl Engine {
             plan_cache: PlanCache::new(256),
             exec_pool: ExecPool::new(),
             pending_wal_mode: Mutex::new(None),
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            next_session_id: AtomicU64::new(1),
         })
+    }
+
+    /// Process-unique engine id (tags activity rows and flight records).
+    pub fn engine_id(&self) -> u64 {
+        self.engine_id
     }
 
     /// Open a new session against this engine.  `vars` seeds the session's
@@ -261,9 +289,14 @@ impl Engine {
     /// session).
     pub fn connect_with_vars(self: &Arc<Self>, vars: SessionVars) -> Session {
         obs::metrics().sessions_opened_total.inc();
+        let session_id = self.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(obs::ActivitySlot::new(self.engine_id, session_id));
+        obs::activity::register(&slot);
         Session {
             engine: Arc::clone(self),
             vars,
+            session_id,
+            slot,
         }
     }
 
@@ -272,16 +305,25 @@ impl Engine {
         self.connect_with_vars(SessionVars::new())
     }
 
-    /// Shared catalog access.
+    /// Shared catalog access.  Uncontended reads take the try-lock fast
+    /// path; contended ones are timed as [`WaitClass::Catalog`] waits and
+    /// charged to the query installed on this thread.
     pub fn catalog(&self) -> RwLockReadGuard<'_, Catalog> {
-        self.catalog.read()
+        if let Some(guard) = self.catalog.try_read() {
+            return guard;
+        }
+        obs::waits::time_wait(WaitClass::Catalog, || self.catalog.read())
     }
 
     /// Exclusive catalog access (extension registration, DDL).  Any write
     /// access may change planning inputs, so the schema epoch is bumped —
-    /// cached plans from before the call are discarded.
+    /// cached plans from before the call are discarded.  Contended
+    /// acquisitions are timed as [`WaitClass::Catalog`] waits.
     pub fn catalog_mut(&self) -> RwLockWriteGuard<'_, Catalog> {
-        let guard = self.catalog.write();
+        let guard = match self.catalog.try_write() {
+            Some(guard) => guard,
+            None => obs::waits::time_wait(WaitClass::Catalog, || self.catalog.write()),
+        };
         self.bump_schema_epoch();
         guard
     }
@@ -428,6 +470,10 @@ struct Durability {
 pub struct Session {
     engine: Arc<Engine>,
     vars: SessionVars,
+    /// Engine-assigned connection id (monotonic per engine).
+    session_id: u64,
+    /// This session's live-activity slot (registered process-wide).
+    slot: Arc<obs::ActivitySlot>,
 }
 
 const _: fn() = || {
@@ -451,8 +497,100 @@ impl Session {
         &mut self.vars
     }
 
+    /// Engine-assigned id of this connection.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Advance this statement's activity stage — but only when a tracked
+    /// statement is installed on this thread (`query_ref` runs without a
+    /// slot because one session object may serve many threads at once).
+    fn set_stage(&self, stage: Stage) {
+        if let Some(ctx) = obs::current() {
+            if let Some(slot) = &ctx.slot {
+                slot.set_stage(stage);
+            }
+        }
+    }
+
     /// Execute one SQL statement.
+    ///
+    /// Wraps [`Session::execute_tracked`] with the query lifecycle: a
+    /// fresh query id, the activity-slot begin/finish, a [`QueryContext`]
+    /// installed on this thread (and propagated into scan workers and
+    /// the WAL rendezvous) so waits land on this statement, and — when
+    /// the statement meets `SET slow_query_ms` — a flight-recorder entry.
+    ///
+    /// [`QueryContext`]: obs::QueryContext
     pub fn execute(&mut self, sql_text: &str) -> Result<QueryResult> {
+        let query_id = obs::next_query_id();
+        let tracking = obs::enabled();
+        if tracking {
+            self.slot.begin(query_id, sql_text);
+        }
+        let qctx = Arc::new(obs::QueryContext::new(
+            query_id,
+            tracking.then(|| Arc::clone(&self.slot)),
+        ));
+        let _guard = obs::enter_query(Arc::clone(&qctx));
+        let io_before = self.engine.pool.stats();
+        let start = Instant::now();
+        let result = self.execute_tracked(sql_text);
+        if tracking {
+            self.slot.finish();
+        }
+        let mut result = result?;
+        result.stats.query_id = query_id;
+        result.stats.waits = Some(Arc::clone(&qctx.waits));
+        if let Some(t) = result.stats.trace.as_mut() {
+            t.set_query_id(query_id);
+        }
+        if tracking {
+            self.record_flight(
+                query_id,
+                sql_text,
+                &result,
+                start.elapsed(),
+                &qctx,
+                &io_before,
+            );
+        }
+        Ok(result)
+    }
+
+    /// Deposit a flight-recorder entry if the statement meets the
+    /// session's `slow_query_ms` threshold (0 = everything, <0 = never).
+    fn record_flight(
+        &self,
+        query_id: u64,
+        sql_text: &str,
+        result: &QueryResult,
+        elapsed: Duration,
+        qctx: &Arc<obs::QueryContext>,
+        io_before: &IoStats,
+    ) {
+        let threshold = self.vars.get_int(SLOW_QUERY_MS_VAR, 0);
+        if threshold < 0 || (threshold > 0 && (elapsed.as_millis() as i64) < threshold) {
+            return;
+        }
+        let io = self.engine.pool.stats().since(io_before);
+        obs::flight::record(obs::FlightRecord {
+            engine_id: self.engine.engine_id,
+            session_id: self.session_id,
+            query_id,
+            sql: obs::activity::snippet(sql_text).to_string(),
+            plan_digest: result.stats.plan_digest.unwrap_or(0),
+            elapsed,
+            rows: result.rows.len() as u64 + result.affected,
+            trace: result.stats.trace.clone().unwrap_or_default(),
+            waits: Arc::clone(&qctx.waits),
+            io_reads: (io.logical_reads, io.physical_reads),
+        });
+    }
+
+    /// Statement pipeline behind [`Session::execute`] (plan-cache fast
+    /// path, parse, dispatch), with the per-statement metrics.
+    fn execute_tracked(&mut self, sql_text: &str) -> Result<QueryResult> {
         let metrics = obs::metrics();
         let total_start = Instant::now();
         // Plan-cache fast path: a hit skips parse/bind/plan entirely.
@@ -637,6 +775,9 @@ impl Session {
         );
         let result = self.dispatch_stmt(stmt, sql_text)?;
         if needs_commit {
+            // The group-commit rendezvous can park behind another leader's
+            // fsync: surface it as its own stage and wait class.
+            self.set_stage(Stage::Commit);
             self.engine.wal_commit()?;
         }
         Ok(result)
@@ -894,6 +1035,52 @@ impl Session {
                     ..QueryResult::default()
                 })
             }
+            // Live activity of every session on *this* engine.  Reads only
+            // atomics on the observed slots, so it never blocks the queries
+            // it observes.
+            "activity" => {
+                let rows = obs::activity::snapshot()
+                    .into_iter()
+                    .filter(|r| r.engine_id == self.engine.engine_id)
+                    .map(|r| {
+                        vec![
+                            Datum::Int(r.session_id as i64),
+                            Datum::Int(r.query_id as i64),
+                            Datum::text(r.stage.name()),
+                            Datum::Int(r.rows as i64),
+                            Datum::Int(r.workers as i64),
+                            Datum::Float(r.elapsed_ms),
+                            Datum::text(&r.sql),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![
+                        Column::new("session_id", DataType::Int),
+                        Column::new("query_id", DataType::Int),
+                        Column::new("stage", DataType::Text),
+                        Column::new("rows", DataType::Int),
+                        Column::new("workers", DataType::Int),
+                        Column::new("elapsed_ms", DataType::Float),
+                        Column::new("sql", DataType::Text),
+                    ]),
+                    rows,
+                    ..QueryResult::default()
+                })
+            }
+            // Completed-query ring for this engine, one JSON object per row.
+            "flight_recorder" => {
+                let rows = obs::flight::snapshot()
+                    .into_iter()
+                    .filter(|r| r.engine_id == self.engine.engine_id)
+                    .map(|r| vec![Datum::text(r.to_json())])
+                    .collect();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![Column::new("flight_record", DataType::Text)]),
+                    rows,
+                    ..QueryResult::default()
+                })
+            }
             _ => {
                 let v = self.vars.get(name).cloned().unwrap_or(Datum::Null);
                 Ok(QueryResult {
@@ -933,6 +1120,7 @@ impl Session {
             return Ok(None);
         };
         metrics.plan_cache_hits_total.inc();
+        self.set_stage(Stage::Execute);
         let stats = ExecStats::default();
         let io_before = self.engine.pool.stats();
         let start = Instant::now();
@@ -962,6 +1150,8 @@ impl Session {
                 est_cost: Some(plan.est_cost),
                 est_rows: Some(plan.est_rows),
                 trace: None,
+                plan_digest: obs::enabled().then(|| plan.digest()),
+                ..RunStats::default()
             },
         }))
     }
@@ -987,16 +1177,19 @@ impl Session {
         // planning: if a DDL bumps it after we release, the entry we
         // insert carries the stale epoch and is rejected on lookup.
         let epoch = self.engine.schema_epoch();
+        self.set_stage(Stage::Bind);
         let bind_start = Instant::now();
         let logical = sql::bind(sel, catalog)?;
         let bind_time = bind_start.elapsed();
         trace.record("bind", bind_time);
         metrics.stage_bind_ns_total.add(bind_time.as_nanos() as u64);
+        self.set_stage(Stage::Plan);
         let plan_start = Instant::now();
         let phys = Arc::new(opt::plan(&logical, catalog, &self.engine.pool, &self.vars)?);
         let plan_time = plan_start.elapsed();
         trace.record("plan", plan_time);
         metrics.stage_plan_ns_total.add(plan_time.as_nanos() as u64);
+        let plan_digest = obs::enabled().then(|| phys.digest());
         match mode {
             ExplainMode::PlanOnly => {
                 let text = phys.explain();
@@ -1006,6 +1199,7 @@ impl Session {
                     explain: Some(text),
                     stats: RunStats {
                         trace: Some(trace),
+                        plan_digest,
                         ..RunStats::default()
                     },
                     ..QueryResult::default()
@@ -1016,6 +1210,7 @@ impl Session {
                 // every plan node with its measured actuals — exactly how
                 // the Figure 6 experiment gathers its (predicted cost,
                 // actual runtime) pairs, now at per-operator granularity.
+                self.set_stage(Stage::Execute);
                 let stats = ExecStats::default();
                 let io_before = self.engine.pool.stats();
                 let start = Instant::now();
@@ -1039,7 +1234,6 @@ impl Session {
                 }
                 stats.rows_out.set(rows.len() as u64);
                 let elapsed = start.elapsed();
-                trace.record("execute", elapsed);
                 metrics
                     .stage_execute_ns_total
                     .add(elapsed.as_nanos() as u64);
@@ -1057,6 +1251,28 @@ impl Session {
                         ext_op_calls: s.ext_op_calls.get(),
                     })
                     .collect();
+                // The `execute` stage becomes a span *tree*: one child per
+                // plan operator (mirroring the plan pre-order, inclusive
+                // times) plus one subtree per parallel scan with a span per
+                // worker, so the trace reconciles with the printed actuals.
+                let mut exec_children = vec![phys.span_tree(&actuals)];
+                for (pi, p) in instr.parallel.iter().enumerate() {
+                    let worker_spans: Vec<obs::Span> = p
+                        .worker_busy_ns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, busy)| {
+                            obs::Span::new(format!("worker {i}"), Duration::from_nanos(busy.get()))
+                        })
+                        .collect();
+                    let busy_total: u64 = p.worker_busy_ns.iter().map(|c| c.get()).sum();
+                    exec_children.push(obs::Span::with_children(
+                        format!("parallel scan {pi} (workers={})", p.workers),
+                        Duration::from_nanos(busy_total),
+                        worker_spans,
+                    ));
+                }
+                trace.record_span(obs::Span::with_children("execute", elapsed, exec_children));
                 let mut text = phys.explain_with_actuals(&actuals);
                 text.push_str(&format!(
                     "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
@@ -1100,6 +1316,8 @@ impl Session {
                         est_cost: Some(phys.est_cost),
                         est_rows: Some(phys.est_rows),
                         trace: Some(trace),
+                        plan_digest,
+                        ..RunStats::default()
                     },
                     ..QueryResult::default()
                 });
@@ -1109,6 +1327,7 @@ impl Session {
         if let Some(sql_text) = cache_sql {
             self.cache_plan(sql_text, Arc::clone(&phys), epoch);
         }
+        self.set_stage(Stage::Execute);
         let stats = ExecStats::default();
         let io_before = self.engine.pool.stats();
         let start = Instant::now();
@@ -1139,6 +1358,8 @@ impl Session {
                 est_cost: Some(phys.est_cost),
                 est_rows: Some(phys.est_rows),
                 trace: Some(trace),
+                plan_digest,
+                ..RunStats::default()
             },
         })
     }

@@ -379,6 +379,9 @@ pub const MAX_ROWS_VAR: &str = "max_rows";
 /// an unbounded `Vec<Row>`.
 pub fn run_to_vec(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
     let max_rows = ctx.session.get_int(MAX_ROWS_VAR, 0).max(0) as u64;
+    // Resolve the activity slot once; the per-row cost is then a single
+    // relaxed fetch_add on the owning session's slot.
+    let slot = crate::obs::current().and_then(|c| c.slot.clone());
     let mut exec = build_executor(node, ctx)?;
     let mut out = Vec::new();
     while let Some(row) = exec.next(ctx)? {
@@ -386,6 +389,9 @@ pub fn run_to_vec(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
             return Err(Error::MaxRows { limit: max_rows });
         }
         out.push(row);
+        if let Some(slot) = &slot {
+            slot.add_rows(1);
+        }
     }
     ctx.stats.rows_out.set(out.len() as u64);
     Ok(out)
@@ -612,6 +618,12 @@ impl ParallelSeqScanExec {
             session: ctx.session,
             stats: ctx.stats,
         });
+        // Propagate the session's query context into every worker task so
+        // waits and progress charged on pool threads land on this query.
+        let qctx = crate::obs::current();
+        if let Some(slot) = qctx.as_ref().and_then(|c| c.slot.as_ref()) {
+            slot.set_workers(self.workers as u64);
+        }
         for worker_idx in 0..self.workers {
             let erased = Arc::clone(&erased);
             let meta = Arc::clone(&self.meta);
@@ -619,7 +631,9 @@ impl ParallelSeqScanExec {
             let shared_w = Arc::clone(&shared);
             let tx = tx.clone();
             let actuals = self.actuals.clone();
+            let qctx_w = qctx.clone();
             pool.submit(Box::new(move || {
+                let _guard = qctx_w.map(crate::obs::enter_query);
                 scan_worker(erased, meta, filter, shared_w, tx, actuals, worker_idx)
             }));
         }
@@ -846,7 +860,15 @@ impl Executor for IndexScanExec {
             // the per-index read guard is held across the whole parallel
             // search, exactly as in the serial path.
             let search = {
-                let guard = self.index.instance.read();
+                // Uncontended case: one failed try_read branch.  Contended
+                // (a writer holds the index): time the block as an
+                // IndexRead wait charged to this query.
+                let guard = match self.index.instance.try_read() {
+                    Some(g) => g,
+                    None => crate::obs::waits::time_wait(crate::obs::WaitClass::IndexRead, || {
+                        self.index.instance.read()
+                    }),
+                };
                 match ctx.exec_pool {
                     Some(pool)
                         if effective_workers(ctx.session) >= 2

@@ -269,7 +269,7 @@ impl Registry {
         let entries = self.entries.lock();
         let mut out = String::new();
         for e in entries.iter() {
-            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
             match &e.handle {
                 Handle::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {} counter", e.name);
@@ -291,7 +291,13 @@ impl Registry {
                         } else {
                             fmt_f64(bound)
                         };
-                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", e.name, le, cum);
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            e.name,
+                            escape_label_value(&le),
+                            cum
+                        );
                     }
                     let _ = writeln!(out, "{}_sum {}", e.name, fmt_f64(h.sum()));
                     let _ = writeln!(out, "{}_count {}", e.name, h.count());
@@ -361,6 +367,41 @@ impl Registry {
         out.push('}');
         out
     }
+}
+
+/// Escape a HELP string per the Prometheus text exposition format:
+/// backslash and line feed become `\\` and `\n`.
+fn escape_help(s: &str) -> String {
+    if !s.contains(['\\', '\n']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote and line feed become `\\`, `\"` and `\n`.
+fn escape_label_value(s: &str) -> String {
+    if !s.contains(['\\', '"', '\n']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// `f64` formatting that stays valid JSON (no NaN/inf literals).
@@ -461,6 +502,10 @@ pub fn metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = global();
+        // The per-class wait histograms register alongside the engine
+        // metrics so the exposition surfaces always list every class,
+        // contended yet or not.
+        super::waits::ensure_registered();
         // Query latencies from microseconds to tens of seconds.
         let latency_bounds = [
             50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3,
@@ -640,6 +685,73 @@ mod tests {
         assert!(text.contains("y_seconds_bucket{le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("y_seconds_count 1"), "{text}");
         assert!(text.contains("z_ratio 0.5"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_escapes_help_and_label_values() {
+        let r = Registry::new();
+        r.counter("esc_total", "path C:\\tmp\nsecond line").add(1);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP esc_total path C:\\\\tmp\\nsecond line"),
+            "HELP must escape backslash and newline: {text}"
+        );
+        // The escaped HELP stays on one physical line.
+        let help_line = text
+            .lines()
+            .find(|l| l.starts_with("# HELP esc_total"))
+            .unwrap();
+        assert_eq!(help_line, "# HELP esc_total path C:\\\\tmp\\nsecond line");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_help("plain"), "plain");
+    }
+
+    #[test]
+    fn histogram_observe_is_consistent_under_concurrency() {
+        // Satellite: hammer one histogram from many threads and check the
+        // cumulative view adds up exactly — counts are per-bucket atomics,
+        // the sum is a CAS loop, and neither may lose updates.
+        let r = Registry::new();
+        let h = r.histogram("conc", "concurrent", &[1.0, 10.0, 100.0]);
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Cycle through every bucket incl. +Inf.
+                        let v = match (t + i) % 4 {
+                            0 => 0.5,
+                            1 => 5.0,
+                            2 => 50.0,
+                            _ => 500.0,
+                        };
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        let total = (THREADS * PER_THREAD) as u64;
+        assert_eq!(h.count(), total);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        // Cumulative counts must ascend and end at the grand total.
+        for w in buckets.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cumulative counts must ascend");
+        }
+        assert_eq!(buckets[3].1, total);
+        assert_eq!(buckets[0].1, total / 4, "quarter of observations per bin");
+        assert_eq!(buckets[1].1, total / 2);
+        assert_eq!(buckets[2].1, 3 * total / 4);
+        let expected_sum = (total / 4) as f64 * (0.5 + 5.0 + 50.0 + 500.0);
+        assert!(
+            (h.sum() - expected_sum).abs() < 1e-6,
+            "CAS sum lost updates: {} vs {}",
+            h.sum(),
+            expected_sum
+        );
     }
 
     #[test]

@@ -294,6 +294,91 @@ impl PhysNode {
         }
     }
 
+    /// The node's direct children, in the same order `explain` and
+    /// `exec::build_instrumented` visit them (pre-order).
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match &self.op {
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Aggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. } => vec![input],
+            PhysOp::NlJoin { outer, inner, .. } => vec![outer, inner],
+            PhysOp::HashJoin { left, right, .. } => vec![left, right],
+            PhysOp::SeqScan { .. }
+            | PhysOp::ParallelSeqScan { .. }
+            | PhysOp::IndexScan { .. }
+            | PhysOp::Values { .. } => vec![],
+        }
+    }
+
+    /// Short operator name for span trees and digests — the `EXPLAIN`
+    /// line head without predicates or cost annotations.
+    pub fn op_name(&self) -> String {
+        match &self.op {
+            PhysOp::SeqScan { table, .. } => format!("Seq Scan on {table}"),
+            PhysOp::ParallelSeqScan { table, workers, .. } => {
+                format!("Parallel Seq Scan on {table} (workers={workers})")
+            }
+            PhysOp::IndexScan { table, index, .. } => {
+                format!("Index Scan using {index} on {table}")
+            }
+            PhysOp::Filter { .. } => "Filter".to_string(),
+            PhysOp::Project { .. } => "Project".to_string(),
+            PhysOp::NlJoin { .. } => "Nested Loop".to_string(),
+            PhysOp::HashJoin { .. } => "Hash Join".to_string(),
+            PhysOp::Aggregate { group_by, .. } => {
+                if group_by.is_empty() {
+                    "Aggregate".to_string()
+                } else {
+                    "GroupAggregate".to_string()
+                }
+            }
+            PhysOp::Sort { .. } => "Sort".to_string(),
+            PhysOp::Limit { .. } => "Limit".to_string(),
+            PhysOp::Values { .. } => "Values".to_string(),
+        }
+    }
+
+    /// Stable FNV-1a digest of the physical plan: operator lines
+    /// (including tables, predicates, worker counts) folded in pre-order
+    /// with explicit subtree delimiters, so two plans collide only if
+    /// they render identically.  Cost/row estimates are excluded — the
+    /// digest identifies a plan *shape* across runs and `ANALYZE`s.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        self.digest_into(&mut h);
+        h
+    }
+
+    fn digest_into(&self, h: &mut u64) {
+        fnv1a(h, self.op_line().as_bytes());
+        fnv1a(h, b"(");
+        for c in self.children() {
+            c.digest_into(h);
+        }
+        fnv1a(h, b")");
+    }
+
+    /// Build a trace span tree mirroring the plan shape from the
+    /// pre-order `actuals` produced by `exec::build_instrumented`
+    /// (node times are inclusive of children, like the printed tree).
+    pub fn span_tree(&self, actuals: &[NodeActuals]) -> crate::obs::Span {
+        let mut idx = 0;
+        self.span_tree_inner(actuals, &mut idx)
+    }
+
+    fn span_tree_inner(&self, actuals: &[NodeActuals], idx: &mut usize) -> crate::obs::Span {
+        let a = actuals.get(*idx).copied().unwrap_or_default();
+        *idx += 1;
+        let children = self
+            .children()
+            .into_iter()
+            .map(|c| c.span_tree_inner(actuals, idx))
+            .collect();
+        crate::obs::Span::with_children(self.op_name(), a.time, children)
+    }
+
     /// The operator description for one `EXPLAIN` line.
     fn op_line(&self) -> String {
         match &self.op {
@@ -377,6 +462,14 @@ impl PhysNode {
     }
 }
 
+/// Fold `bytes` into the running FNV-1a hash `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +530,85 @@ mod tests {
         // Child is indented deeper than parent.
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[1].starts_with("  "));
+    }
+
+    fn seq_scan(table: &str, filter: Option<Expr>) -> PhysNode {
+        PhysNode {
+            op: PhysOp::SeqScan {
+                table: table.into(),
+                filter,
+            },
+            est_rows: 100.0,
+            est_cost: 12.5,
+            schema: scan_schema(),
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_shape_sensitive() {
+        let a = seq_scan("book", None);
+        assert_eq!(a.digest(), seq_scan("book", None).digest(), "deterministic");
+        assert_ne!(a.digest(), seq_scan("author", None).digest(), "table name");
+        assert_ne!(
+            a.digest(),
+            seq_scan("book", Some(Expr::Literal(Datum::Bool(true)))).digest(),
+            "predicate"
+        );
+        // Estimates do not change the digest.
+        let mut b = seq_scan("book", None);
+        b.est_rows = 9.0;
+        b.est_cost = 1.0;
+        assert_eq!(a.digest(), b.digest());
+        // A wrapping operator changes it.
+        let limited = PhysNode {
+            op: PhysOp::Limit {
+                input: Box::new(a.clone()),
+                n: 5,
+            },
+            est_rows: 5.0,
+            est_cost: 13.0,
+            schema: scan_schema(),
+        };
+        assert_ne!(a.digest(), limited.digest());
+    }
+
+    #[test]
+    fn span_tree_mirrors_plan_preorder() {
+        let join = PhysNode {
+            op: PhysOp::NlJoin {
+                outer: Box::new(seq_scan("a", None)),
+                inner: Box::new(seq_scan("b", None)),
+                predicate: None,
+                materialize_inner: false,
+            },
+            est_rows: 10.0,
+            est_cost: 50.0,
+            schema: scan_schema().join(&scan_schema()),
+        };
+        let actuals = [
+            NodeActuals {
+                rows: 10,
+                loops: 1,
+                time: std::time::Duration::from_micros(300),
+                ..Default::default()
+            },
+            NodeActuals {
+                time: std::time::Duration::from_micros(100),
+                ..Default::default()
+            },
+            NodeActuals {
+                time: std::time::Duration::from_micros(150),
+                ..Default::default()
+            },
+        ];
+        let span = join.span_tree(&actuals);
+        assert_eq!(span.name, "Nested Loop");
+        assert_eq!(span.duration, std::time::Duration::from_micros(300));
+        assert_eq!(span.children.len(), 2);
+        assert_eq!(span.children[0].name, "Seq Scan on a");
+        assert_eq!(
+            span.children[1].duration,
+            std::time::Duration::from_micros(150)
+        );
     }
 }

@@ -187,6 +187,12 @@ impl Parser {
                 name.push('.');
                 name.push_str(&self.ident()?);
             }
+            // Multi-word surface names (`SHOW FLIGHT RECORDER`) join with
+            // `_` into the canonical form (`flight_recorder`).
+            while matches!(self.peek(), Some(Token::Ident(_))) {
+                name.push('_');
+                name.push_str(&self.ident()?);
+            }
             return Ok(Statement::Show { name });
         }
         if self.eat_kw("analyze") {
@@ -759,6 +765,25 @@ mod tests {
         assert!(matches!(
             parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
             Statement::Explain { analyze: true, .. }
+        ));
+    }
+
+    #[test]
+    fn show_joins_multi_word_names() {
+        // Identifiers are kept verbatim by the lexer; `Session::show`
+        // lowercases, so only the shape matters here.
+        assert!(matches!(
+            parse("SHOW FLIGHT RECORDER").unwrap(),
+            Statement::Show { name } if name.eq_ignore_ascii_case("flight_recorder")
+        ));
+        assert!(matches!(
+            parse("SHOW ACTIVITY").unwrap(),
+            Statement::Show { name } if name.eq_ignore_ascii_case("activity")
+        ));
+        // Dotted and multi-word forms compose left to right.
+        assert!(matches!(
+            parse("SHOW a.b c").unwrap(),
+            Statement::Show { name } if name == "a.b_c"
         ));
     }
 

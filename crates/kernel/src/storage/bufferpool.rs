@@ -56,6 +56,16 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
+    /// Acquire the pool mutex, charging contended acquisitions to the
+    /// current query as a `buffer_pool` wait.  The uncontended fast path
+    /// is one failed `try_lock` branch.
+    fn lock_inner(&self) -> parking_lot::MutexGuard<'_, Inner> {
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        crate::obs::waits::time_wait(crate::obs::WaitClass::BufferPool, || self.inner.lock())
+    }
+
     /// Pool with `capacity` frames over `backend`.
     pub fn new(backend: Box<dyn StorageBackend>, capacity: usize) -> Self {
         assert!(capacity >= 1);
@@ -82,18 +92,18 @@ impl BufferPool {
 
     /// Create a new storage file.
     pub fn create_file(&self) -> Result<FileId> {
-        self.inner.lock().backend.create_file()
+        self.lock_inner().backend.create_file()
     }
 
     /// Number of pages in a file (buffered allocations are flushed through
     /// `allocate_page` immediately, so the backend count is authoritative).
     pub fn page_count(&self, file: FileId) -> Result<u32> {
-        self.inner.lock().backend.page_count(file)
+        self.lock_inner().backend.page_count(file)
     }
 
     /// Allocate a fresh page in `file`.
     pub fn allocate_page(&self, file: FileId) -> Result<PageNo> {
-        self.inner.lock().backend.allocate_page(file)
+        self.lock_inner().backend.allocate_page(file)
     }
 
     /// Read access to a page.
@@ -103,7 +113,7 @@ impl BufferPool {
         page: PageNo,
         f: impl FnOnce(&[u8]) -> T,
     ) -> Result<T> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let idx = inner.fetch(file, page)?;
         Ok(f(&inner.frames[idx].data))
     }
@@ -115,7 +125,7 @@ impl BufferPool {
         page: PageNo,
         f: impl FnOnce(&mut [u8]) -> T,
     ) -> Result<T> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let idx = inner.fetch(file, page)?;
         inner.frames[idx].dirty = true;
         Ok(f(&mut inner.frames[idx].data))
@@ -123,7 +133,7 @@ impl BufferPool {
 
     /// Flush all dirty pages to the backend; returns how many were written.
     pub fn flush_all(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         let dirty: Vec<usize> = inner
             .frames
             .iter()
@@ -146,14 +156,14 @@ impl BufferPool {
     /// their own baseline.  (A destructive `reset_stats` used to exist
     /// and silently zeroed other readers' baselines.)
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats
+        self.lock_inner().stats
     }
 
     /// Drop every cached page (simulates a cold cache; used by benches to
     /// measure physical-I/O-bound behaviour).
     pub fn clear_cache(&self) -> Result<()> {
         self.flush_all()?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         inner.map.clear();
         for fr in &mut inner.frames {
             fr.occupied = false;

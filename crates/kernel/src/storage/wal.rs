@@ -608,6 +608,13 @@ impl SharedWal {
         if self.mode() != SyncMode::Fsync {
             return Ok(());
         }
+        // The whole rendezvous — leading the fsync or waiting for the
+        // leader's — is durability-blocked time; charge it to the
+        // committing query as a `wal_commit` wait.
+        crate::obs::waits::time_wait(crate::obs::WaitClass::WalCommit, || self.commit_inner())
+    }
+
+    fn commit_inner(&self) -> Result<()> {
         let target = self.written_lsn.load(Ordering::Acquire);
         let mut s = self.sync.lock();
         while s.synced_lsn < target {

@@ -43,6 +43,12 @@ pub struct SemState {
 impl SemState {
     /// Wrap a taxonomy.
     pub fn new(taxonomy: Arc<Taxonomy>) -> Arc<SemState> {
+        // Contended closure-cache shard acquisitions count as
+        // `omega_cache` waits on whichever query is running on the
+        // blocked thread (idempotent; first install wins).
+        mlql_taxonomy::set_shard_wait_observer(|d| {
+            mlql_kernel::obs::waits::observe(mlql_kernel::obs::WaitClass::OmegaCache, d)
+        });
         let stats = taxonomy.stats();
         Arc::new(SemState {
             taxonomy: RwLock::new(taxonomy),

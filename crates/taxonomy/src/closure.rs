@@ -79,6 +79,19 @@ impl ClosureCache {
     }
 }
 
+/// Hook for reporting contended shard acquisitions to an embedding
+/// engine's wait-event instrumentation.  The taxonomy crate has no
+/// dependency on the kernel, so the kernel injects a callback instead.
+static SHARD_WAIT_OBSERVER: std::sync::OnceLock<fn(std::time::Duration)> =
+    std::sync::OnceLock::new();
+
+/// Install the process-wide shard-wait observer.  First caller wins;
+/// later calls are no-ops (the callback is a plain `fn`, so there is
+/// nothing to tear down).
+pub fn set_shard_wait_observer(f: fn(std::time::Duration)) {
+    let _ = SHARD_WAIT_OBSERVER.set(f);
+}
+
 /// Thread-safe, sharded wrapper around [`ClosureCache`] so parallel scan
 /// workers share memoized closures instead of each paying the BFS.
 ///
@@ -118,7 +131,22 @@ impl SharedClosureCache {
         let idx = root.0 as usize % self.shards.len();
         // Closure computation never panics while holding the guard; treat
         // a poisoned shard as usable rather than propagating the panic.
-        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+        // Uncontended probes take the try_lock fast path; contended ones
+        // time the block and report it to the registered wait observer
+        // (the kernel charges it to the running query as an
+        // `omega_cache` wait).
+        match self.shards[idx].try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                let start = std::time::Instant::now();
+                let g = self.shards[idx].lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(observer) = SHARD_WAIT_OBSERVER.get() {
+                    observer(start.elapsed());
+                }
+                g
+            }
+        }
     }
 
     /// Memoized transitive closure of `root` (see [`ClosureCache::closure`]).

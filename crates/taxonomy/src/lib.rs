@@ -23,7 +23,7 @@ pub mod generator;
 pub mod hierarchy;
 pub mod intervals;
 
-pub use closure::{ClosureCache, SharedClosureCache};
+pub use closure::{set_shard_wait_observer, ClosureCache, SharedClosureCache};
 pub use fragment::books_fragment;
 pub use generator::{generate, synsets_near_closure_sizes, GeneratorConfig};
 pub use hierarchy::{SynsetId, Taxonomy, TaxonomyStats};

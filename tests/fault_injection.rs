@@ -489,13 +489,19 @@ fn random_kill_crash_torture_recovers_committed_prefix() {
         got.sort_unstable();
         let mut want = expected;
         want.sort_unstable();
-        assert_eq!(
-            got,
-            want,
-            "iteration {iteration}: cut at byte {cut} of {} must recover the \
-             committed prefix",
-            full.len()
-        );
+        if got != want {
+            // Post-mortem: dump the flight recorder + metrics so the CI
+            // failure artifact shows what the engine was doing (workload
+            // statements, span trees, waits) leading up to the bad cut.
+            if let Ok(dump) = mlql::kernel::obs::flight::dump_default() {
+                eprintln!("obs dump written to {}", dump.display());
+            }
+            panic!(
+                "iteration {iteration}: cut at byte {cut} of {} must recover the \
+                 committed prefix (got {got:?}, want {want:?})",
+                full.len()
+            );
+        }
         drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -389,3 +389,295 @@ fn explain_analyze_parallel_worker_actuals_reconcile() {
         assert!(stats_text.contains(metric), "SHOW STATS missing {metric}");
     }
 }
+
+/// Golden test for the live activity view: while one session loops a
+/// parallel ψ scan, a second session polls `SHOW ACTIVITY` and must
+/// observe the statement mid-execution — stage `execute`, the parallel
+/// workers it claimed, and rows accumulating — without ever blocking it.
+#[test]
+fn show_activity_observes_live_parallel_scan_from_second_session() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    for i in 0..1500 {
+        let n = match i % 4 {
+            0 => "Nehru",
+            1 => "Gandhi",
+            2 => "Miller",
+            _ => "Krishnan",
+        };
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('{n}{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE names").unwrap();
+    db.execute("SET lexequal.threshold = 2").unwrap();
+    db.execute("SET parallel_workers = 4").unwrap();
+    // Returning rows (not an aggregate) so the activity row counter moves
+    // while the gather drains worker batches.
+    let sql = "SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru1','English')";
+
+    // The observer is a *different* session on the same engine.
+    let mut observer = db.connect();
+    let stop = AtomicBool::new(false);
+    let (mut saw_execute, mut saw_workers, mut saw_rows) = (false, false, false);
+    let mut saw_sql = false;
+
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let worker = scope.spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let rows = db.query(sql).unwrap();
+                assert!(!rows.is_empty(), "Nehru1 matches itself at k=2");
+                n += 1;
+            }
+            n
+        });
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && !(saw_execute && saw_workers && saw_rows) {
+            let shown = observer.execute("SHOW ACTIVITY").unwrap();
+            // Columns: session_id, query_id, stage, rows, workers,
+            // elapsed_ms, sql.
+            for row in &shown.rows {
+                let stage = row[2].as_text().unwrap();
+                let rows_so_far = row[3].as_int().unwrap();
+                let workers = row[4].as_int().unwrap();
+                let snippet = row[6].as_text().unwrap();
+                if !snippet.contains("LEXEQUAL") {
+                    continue; // the observer's own SHOW ACTIVITY row
+                }
+                saw_sql = true;
+                if stage == "execute" {
+                    saw_execute = true;
+                    assert!(
+                        row[5].as_float().unwrap() >= 0.0,
+                        "elapsed must be non-negative"
+                    );
+                    assert!(row[1].as_int().unwrap() > 0, "query id assigned");
+                }
+                if workers >= 2 {
+                    saw_workers = true;
+                }
+                if rows_so_far > 0 {
+                    saw_rows = true;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let iterations = worker.join().unwrap();
+        assert!(iterations > 0, "the observed session made progress");
+    });
+
+    assert!(saw_sql, "observer never saw the ψ statement at all");
+    assert!(saw_execute, "never observed stage=execute");
+    assert!(saw_workers, "never observed the claimed parallel workers");
+    assert!(saw_rows, "never observed rows-so-far > 0");
+}
+
+/// EXPLAIN ANALYZE's span tree reconciles with its printed actuals: the
+/// `execute` stage carries one child per plan operator (inclusive times
+/// bounded by the stage) plus a per-worker subtree whose spans mirror the
+/// `Worker i:` trailer lines.
+#[test]
+fn explain_analyze_span_tree_reconciles_with_worker_actuals() {
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    for i in 0..1200 {
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('Nehru{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE names").unwrap();
+    db.execute("SET lexequal.threshold = 1").unwrap();
+    db.execute("SET parallel_workers = 4").unwrap();
+
+    let r = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM names \
+             WHERE name LEXEQUAL unitext('Nehru1','English')",
+        )
+        .unwrap();
+    let text = r.explain.expect("explain text");
+    assert!(text.contains("Parallel Seq Scan"), "{text}");
+    let trace = r.stats.trace.expect("trace rides on RunStats");
+    assert!(trace.query_id() > 0, "trace tagged with its query id");
+    assert!(
+        r.stats.plan_digest.unwrap_or(0) != 0,
+        "plan digest recorded"
+    );
+
+    let execute = trace
+        .spans()
+        .iter()
+        .find(|s| s.name == "execute")
+        .expect("execute stage span");
+    assert!(
+        !execute.children.is_empty(),
+        "execute span must carry the operator tree:\n{}",
+        trace.render_tree()
+    );
+
+    // Child 0 is the plan's span tree, pre-order, inclusive times.
+    let op_root = &execute.children[0];
+    assert!(
+        op_root.name.starts_with("Aggregate"),
+        "plan root is the count(*): {}",
+        trace.render_tree()
+    );
+    assert_eq!(op_root.children.len(), 1, "aggregate has one input");
+    // Inclusive times nest all the way down to the scan leaf.
+    assert!(
+        op_root.duration <= execute.duration,
+        "operator time is contained in the stage time"
+    );
+    let mut node = op_root;
+    loop {
+        for c in &node.children {
+            assert!(c.duration <= node.duration, "inclusive times nest");
+        }
+        if node.name.starts_with("Parallel Seq Scan") {
+            break;
+        }
+        node = node
+            .children
+            .first()
+            .unwrap_or_else(|| panic!("no scan leaf in:\n{}", trace.render_tree()));
+    }
+
+    // The per-worker subtree mirrors the printed `Worker i:` lines.
+    let scan_spans: Vec<_> = execute
+        .children
+        .iter()
+        .filter(|s| s.name.starts_with("parallel scan"))
+        .collect();
+    assert_eq!(scan_spans.len(), 1, "{}", trace.render_tree());
+    let workers = &scan_spans[0].children;
+    assert_eq!(workers.len(), 4, "one span per worker");
+    let span_sum: std::time::Duration = workers.iter().map(|w| w.duration).sum();
+    assert_eq!(
+        span_sum, scan_spans[0].duration,
+        "worker spans sum to the scan subtree total"
+    );
+    let printed: Vec<f64> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Worker "))
+        .map(|l| {
+            l.split("time=")
+                .nth(1)
+                .unwrap()
+                .trim_end_matches("ms")
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(printed.len(), workers.len(), "{text}");
+    for (w, p) in workers.iter().zip(&printed) {
+        let span_ms = w.duration.as_secs_f64() * 1e3;
+        assert!(
+            (span_ms - p).abs() < 0.002,
+            "span {span_ms:.3}ms vs printed {p:.3}ms:\n{text}"
+        );
+    }
+}
+
+/// The flight recorder captures completed statements according to
+/// `slow_query_ms`, and both SQL surfaces (`SHOW FLIGHT_RECORDER` /
+/// `mlql_flight_recorder()`) expose them.
+#[test]
+fn flight_recorder_respects_slow_query_ms_threshold() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+
+    // Default (0): everything is recorded.
+    db.query("SELECT a FROM t WHERE a = 2").unwrap();
+    let shown = db.execute("SHOW FLIGHT RECORDER").unwrap();
+    assert_eq!(shown.schema.columns()[0].name, "flight_record");
+    let records: Vec<String> = shown
+        .rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect();
+    assert!(
+        records.iter().any(|r| r.contains("WHERE a = 2")),
+        "recorded statement visible: {records:?}"
+    );
+    let with_digest = records.iter().find(|r| r.contains("WHERE a = 2")).unwrap();
+    assert!(with_digest.contains("\"plan_digest\":\""), "{with_digest}");
+    assert!(with_digest.contains("\"trace\":{"), "{with_digest}");
+    assert!(with_digest.contains("\"waits\":"), "{with_digest}");
+
+    // Negative threshold: record nothing.
+    db.execute("SET slow_query_ms = -1").unwrap();
+    db.query("SELECT a FROM t WHERE a = 3").unwrap();
+    let shown = db.execute("SHOW FLIGHT_RECORDER").unwrap();
+    assert!(
+        !shown
+            .rows
+            .iter()
+            .any(|r| r[0].as_text().unwrap().contains("WHERE a = 3")),
+        "threshold -1 must suppress recording"
+    );
+
+    // A high threshold filters fast statements too.
+    db.execute("SET slow_query_ms = 60000").unwrap();
+    db.query("SELECT a FROM t WHERE a = 1").unwrap();
+    let shown = db.execute("SHOW FLIGHT_RECORDER").unwrap();
+    assert!(
+        !shown
+            .rows
+            .iter()
+            .any(|r| r[0].as_text().unwrap().contains("WHERE a = 1")),
+        "sub-threshold statements are not recorded"
+    );
+
+    // The SQL function sees the process-wide ring (ours included).
+    db.execute("SET slow_query_ms = 0").unwrap();
+    db.execute("CREATE TABLE dual (x INT)").unwrap();
+    db.execute("INSERT INTO dual VALUES (1)").unwrap();
+    let json = db.query("SELECT mlql_flight_recorder() FROM dual").unwrap()[0][0]
+        .as_text()
+        .unwrap()
+        .to_string();
+    assert!(json.starts_with('['), "{json}");
+    assert!(json.contains("WHERE a = 2"), "{json}");
+
+    // mlql_activity() renders the live view as JSON: the issuing
+    // statement observes itself mid-lifecycle (the exact stage depends
+    // on where expression evaluation happens, e.g. plan-time folding).
+    let act = db.query("SELECT mlql_activity() FROM dual").unwrap()[0][0]
+        .as_text()
+        .unwrap()
+        .to_string();
+    assert!(act.contains("mlql_activity"), "{act}");
+    assert!(act.contains("\"stage\":\""), "{act}");
+}
+
+/// Wait-event instrumentation: contended catalog acquisition surfaces in
+/// both the per-class global histogram and the query's own wait profile.
+#[test]
+fn wait_events_are_charged_to_global_histograms() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    db.query("SELECT count(*) FROM t").unwrap();
+    // All five wait classes are registered up front, so the Prometheus
+    // surface always shows them (count may be 0 on an idle engine).
+    let prom = obs::global().render_prometheus();
+    for class in [
+        "mlql_wait_catalog_seconds",
+        "mlql_wait_buffer_pool_seconds",
+        "mlql_wait_wal_commit_seconds",
+        "mlql_wait_index_read_seconds",
+        "mlql_wait_omega_cache_seconds",
+    ] {
+        assert!(prom.contains(class), "missing {class}");
+    }
+}
