@@ -162,6 +162,17 @@ pub struct ExtOperator {
     /// Evaluate `left OP right` under the session variables.
     #[allow(clippy::type_complexity)]
     pub eval: Arc<dyn Fn(&Datum, &Datum, &SessionVars) -> Result<Datum> + Send + Sync>,
+    /// Vectorized evaluation of `lefts[i] OP right` for a whole batch of
+    /// left operands against one constant right operand, returning one
+    /// verdict per input in order.  The batch executor uses this to hoist
+    /// per-pair setup (phoneme conversion of the constant, closure-cache
+    /// probes, DP buffer borrows) out of the inner loop; `None` means the
+    /// operator only supports scalar evaluation and the executor falls
+    /// back to calling `eval` per row.  Implementations must be
+    /// result-identical to `eval` on every element.
+    #[allow(clippy::type_complexity)]
+    pub eval_batch:
+        Option<Arc<dyn Fn(&[&Datum], &Datum, &SessionVars) -> Result<Vec<Datum>> + Send + Sync>>,
     /// Algebraic properties (Table 1).
     pub kind: OperatorKind,
     /// CPU cost per evaluated pair, in units of `cpu_operator_cost` — ψ's
@@ -304,6 +315,7 @@ mod tests {
             name: "LexEQUAL".into(),
             operand_type: DataType::Text,
             eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
+            eval_batch: None,
             kind: OperatorKind {
                 commutative: true,
                 distributes_over_union: true,

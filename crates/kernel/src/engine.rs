@@ -77,6 +77,9 @@ pub struct RunStats {
     pub index_node_visits: u64,
     /// Extension-operator (ψ/Ω) evaluations during the statement.
     pub ext_op_calls: u64,
+    /// Batches emitted by the plan root (0 when the statement ran
+    /// row-at-a-time, e.g. DML or `SET enable_batch = 0`).
+    pub batches: u64,
     /// Wall-clock execution time (excludes parse/plan).
     pub exec_time: Duration,
     /// Optimizer-predicted total cost of the executed plan (queries only).
@@ -582,6 +585,7 @@ impl Session {
             plan_digest: result.stats.plan_digest.unwrap_or(0),
             elapsed,
             rows: result.rows.len() as u64 + result.affected,
+            batches: result.stats.batches,
             trace: result.stats.trace.clone().unwrap_or_default(),
             waits: Arc::clone(&qctx.waits),
             io_reads: (io.logical_reads, io.physical_reads),
@@ -1146,6 +1150,7 @@ impl Session {
                 io,
                 index_node_visits: stats.index_node_visits.get(),
                 ext_op_calls: stats.ext_op_calls.get(),
+                batches: stats.batches_out.get(),
                 exec_time,
                 est_cost: Some(plan.est_cost),
                 est_rows: Some(plan.est_rows),
@@ -1226,11 +1231,24 @@ impl Session {
                 // query for real, so it must honor `max_rows` too.
                 let max_rows = self.vars.get_int(MAX_ROWS_VAR, 0).max(0) as u64;
                 let mut rows = Vec::new();
-                while let Some(row) = exec.next(&ctx)? {
-                    if max_rows > 0 && rows.len() as u64 >= max_rows {
-                        return Err(Error::MaxRows { limit: max_rows });
+                if crate::exec::batch_enabled(&self.vars) {
+                    let batch_rows = crate::exec::effective_batch_size(&self.vars);
+                    let mut batches = 0u64;
+                    while let Some(batch) = exec.next_batch(&ctx, batch_rows)? {
+                        if max_rows > 0 && (rows.len() + batch.len()) as u64 > max_rows {
+                            return Err(Error::MaxRows { limit: max_rows });
+                        }
+                        batches += 1;
+                        rows.extend(batch.into_rows());
                     }
-                    rows.push(row);
+                    stats.batches_out.set(batches);
+                } else {
+                    while let Some(row) = exec.next(&ctx)? {
+                        if max_rows > 0 && rows.len() as u64 >= max_rows {
+                            return Err(Error::MaxRows { limit: max_rows });
+                        }
+                        rows.push(row);
+                    }
                 }
                 stats.rows_out.set(rows.len() as u64);
                 let elapsed = start.elapsed();
@@ -1243,6 +1261,7 @@ impl Session {
                     .iter()
                     .map(|s| NodeActuals {
                         rows: s.rows.get(),
+                        batches: s.batches.get(),
                         loops: s.loops.get(),
                         time: Duration::from_nanos(s.time_ns.get()),
                         pages: s.logical_reads.get(),
@@ -1275,8 +1294,9 @@ impl Session {
                 trace.record_span(obs::Span::with_children("execute", elapsed, exec_children));
                 let mut text = phys.explain_with_actuals(&actuals);
                 text.push_str(&format!(
-                    "Actual: rows={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
+                    "Actual: rows={} batches={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
                     rows.len(),
+                    stats.batches_out.get(),
                     elapsed.as_secs_f64() * 1000.0,
                     io.logical_reads,
                     io.physical_reads,
@@ -1312,6 +1332,7 @@ impl Session {
                         io,
                         index_node_visits: stats.index_node_visits.get(),
                         ext_op_calls: stats.ext_op_calls.get(),
+                        batches: stats.batches_out.get(),
                         exec_time: elapsed,
                         est_cost: Some(phys.est_cost),
                         est_rows: Some(phys.est_rows),
@@ -1354,6 +1375,7 @@ impl Session {
                 io,
                 index_node_visits: stats.index_node_visits.get(),
                 ext_op_calls: stats.ext_op_calls.get(),
+                batches: stats.batches_out.get(),
                 exec_time,
                 est_cost: Some(phys.est_cost),
                 est_rows: Some(phys.est_rows),

@@ -1,9 +1,19 @@
-//! Volcano-style executors.
+//! Volcano-style executors with a batch-at-a-time spine.
 //!
 //! Every operator is a pull-based iterator ([`Executor::next`]); rescans
 //! (`rescan`) support non-materialized nested-loops joins, whose repeated
 //! inner-side page traffic is exactly what makes the paper's Plan 2 of
 //! Example 5 expensive.
+//!
+//! On top of the row ABI sits [`Executor::next_batch`]: operators exchange
+//! [`Batch`]es of up to `batch_size` rows (default 1024, `SET batch_size`,
+//! max [`MAX_BATCH_ROWS`]).  A default adapter loops `next`, so every
+//! operator keeps working unmodified; the hot spine — seq scan → filter →
+//! project → limit, plus the gather node of a parallel scan — overrides it
+//! natively and evaluates predicates through [`Expr::eval_batch`], which
+//! dispatches ψ/Ω once per batch instead of once per row.  `SET
+//! enable_batch = 0` falls back to pure row-at-a-time pulls (the A/B
+//! baseline for the `batch_exec` bench).
 
 use crate::catalog::{Catalog, SessionVars, TableMeta};
 use crate::error::{Error, Result};
@@ -15,7 +25,7 @@ use crate::value::Datum;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 pub mod pool;
@@ -58,6 +68,9 @@ pub struct ExecStats {
     pub ext_op_calls: StatCell,
     /// Rows produced by the plan root.
     pub rows_out: StatCell,
+    /// Batches produced by the plan root (0 when the statement was driven
+    /// row-at-a-time, e.g. `SET enable_batch = 0`).
+    pub batches_out: StatCell,
 }
 
 /// Execution context shared by all executors of one query.
@@ -107,6 +120,9 @@ pub struct OpStats {
     pub index_node_visits: StatCell,
     /// Extension-operator (ψ/Ω) evaluations in this subtree.
     pub ext_op_calls: StatCell,
+    /// Batches this node produced via `next_batch` (0 when the node was
+    /// only ever pulled row-at-a-time).
+    pub batches: StatCell,
 }
 
 /// Per-node stats for an instrumented executor tree, in the same
@@ -149,6 +165,130 @@ impl ParallelScanActuals {
     }
 }
 
+// ------------------------------------------------------------------ Batch
+
+/// Session variable naming the per-batch row capacity (`SET batch_size`,
+/// clamped to `[1, MAX_BATCH_ROWS]`; `batch_size = 1` degenerates to
+/// row-at-a-time pulls through the batch ABI).
+pub const BATCH_SIZE_VAR: &str = "batch_size";
+
+/// Session variable switching the drivers between the batch spine
+/// (default) and pure row-at-a-time Volcano pulls (`SET enable_batch = 0`).
+pub const ENABLE_BATCH_VAR: &str = "enable_batch";
+
+/// Hard upper bound on rows per batch: batches stay cache-friendly slabs
+/// of a few thousand rows, never unbounded materializations.
+pub const MAX_BATCH_ROWS: usize = 4096;
+
+/// The process default batch size: `$MLQL_BATCH_SIZE` if set (clamped to
+/// `[1, MAX_BATCH_ROWS]`), else 1024.
+pub fn default_batch_size() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("MLQL_BATCH_SIZE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.clamp(1, MAX_BATCH_ROWS))
+            .unwrap_or(1024)
+    })
+}
+
+/// The batch size a session's queries run with: `batch_size` if set, else
+/// [`default_batch_size`], clamped to `[1, MAX_BATCH_ROWS]`.
+pub fn effective_batch_size(session: &SessionVars) -> usize {
+    (session
+        .get_int(BATCH_SIZE_VAR, default_batch_size() as i64)
+        .max(1) as usize)
+        .min(MAX_BATCH_ROWS)
+}
+
+/// Is the batch spine enabled for this session?
+pub fn batch_enabled(session: &SessionVars) -> bool {
+    session.get_int(ENABLE_BATCH_VAR, 1) != 0
+}
+
+/// A slab of rows flowing between operators.
+///
+/// Rows are stored in producer order; [`Batch::column`] gives columnar
+/// access for vectorized consumers.  Producers never emit empty batches —
+/// end-of-stream is `None` from [`Executor::next_batch`] — and never more
+/// than the `max` the consumer asked for, so LIMIT and `max_rows` keep
+/// exact semantics on the batch path.
+#[derive(Debug, Default)]
+pub struct Batch {
+    /// The rows, in producer order.
+    pub rows: Vec<Row>,
+}
+
+impl Batch {
+    /// Wrap rows into a batch.
+    pub fn new(rows: Vec<Row>) -> Batch {
+        Batch { rows }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow every row as a slice (the shape `Expr::eval_batch` takes).
+    pub fn row_refs(&self) -> Vec<&[Datum]> {
+        self.rows.iter().map(|r| r.as_slice()).collect()
+    }
+
+    /// Columnar view of one attribute across the batch.
+    pub fn column(&self, index: usize) -> impl Iterator<Item = &Datum> {
+        self.rows.iter().filter_map(move |r| r.get(index))
+    }
+
+    /// Take the rows back out.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+}
+
+/// Evaluate `filter` over `rows` via [`Expr::eval_batch`], keeping only
+/// the passing rows (order preserved).
+fn filter_rows_batch(filter: &Expr, rows: Vec<Row>, eval: &EvalCtx<'_>) -> Result<Vec<Row>> {
+    let refs: Vec<&[Datum]> = rows.iter().map(|r| r.as_slice()).collect();
+    let mask = filter.eval_batch(&refs, eval)?;
+    Ok(rows
+        .into_iter()
+        .zip(mask)
+        .filter_map(|(row, v)| v.is_true().then_some(row))
+        .collect())
+}
+
+/// Drain `input` to exhaustion, feeding every row to `sink` — through the
+/// batch ABI when the session has it enabled, else row-at-a-time.  The
+/// bulk drains (aggregate/sort input, hash-join build, materialized
+/// nested-loops inner) all funnel through here so a scan feeding them
+/// gets vectorized predicate evaluation.
+fn drain_input(
+    input: &mut dyn Executor,
+    ctx: &ExecCtx<'_>,
+    mut sink: impl FnMut(Row) -> Result<()>,
+) -> Result<()> {
+    if batch_enabled(ctx.session) {
+        let max = effective_batch_size(ctx.session);
+        while let Some(batch) = input.next_batch(ctx, max)? {
+            for row in batch.rows {
+                sink(row)?;
+            }
+        }
+    } else {
+        while let Some(row) = input.next(ctx)? {
+            sink(row)?;
+        }
+    }
+    Ok(())
+}
+
 /// Wraps an executor, attributing per-`next` deltas of the shared
 /// query counters (pool I/O, index visits, ext-op calls) to this node.
 struct InstrumentedExec {
@@ -189,6 +329,33 @@ impl Executor for InstrumentedExec {
         out
     }
 
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        if self.fresh {
+            self.fresh = false;
+            self.stats.loops.add(1);
+        }
+        let io_before = ctx.pool.stats();
+        let inv_before = ctx.stats.index_node_visits.get();
+        let ext_before = ctx.stats.ext_op_calls.get();
+        let start = Instant::now();
+        let out = self.inner.next_batch(ctx, max);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let io = ctx.pool.stats().since(&io_before);
+        let s = &self.stats;
+        s.time_ns.add(elapsed);
+        s.logical_reads.add(io.logical_reads);
+        s.physical_reads.add(io.physical_reads);
+        s.index_node_visits
+            .add(ctx.stats.index_node_visits.get() - inv_before);
+        s.ext_op_calls
+            .add(ctx.stats.ext_op_calls.get() - ext_before);
+        if let Ok(Some(b)) = &out {
+            s.rows.add(b.len() as u64);
+            s.batches.add(1);
+        }
+        out
+    }
+
     fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.fresh = true;
         self.inner.rescan(ctx)
@@ -204,6 +371,25 @@ pub trait Executor: Send {
     fn schema(&self) -> &Schema;
     /// Produce the next row, or `None` at end of stream.
     fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>>;
+    /// Produce the next batch of up to `max` rows, or `None` at end of
+    /// stream.
+    ///
+    /// Contract: a returned batch is never empty and never longer than
+    /// `max`; rows arrive in the same order `next` would produce them.
+    /// This default is the row-compatibility adapter — it loops `next`,
+    /// so operators without a native batch path interoperate freely with
+    /// batch-native parents and children.
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        let max = max.max(1);
+        let mut rows = Vec::new();
+        while rows.len() < max {
+            match self.next(ctx)? {
+                Some(row) => rows.push(row),
+                None => break,
+            }
+        }
+        Ok((!rows.is_empty()).then(|| Batch::new(rows)))
+    }
     /// Reset to the start of the stream (for nested-loops rescans).
     fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()>;
 }
@@ -384,13 +570,29 @@ pub fn run_to_vec(node: &PhysNode, ctx: &ExecCtx<'_>) -> Result<Vec<Row>> {
     let slot = crate::obs::current().and_then(|c| c.slot.clone());
     let mut exec = build_executor(node, ctx)?;
     let mut out = Vec::new();
-    while let Some(row) = exec.next(ctx)? {
-        if max_rows > 0 && out.len() as u64 >= max_rows {
-            return Err(Error::MaxRows { limit: max_rows });
+    if batch_enabled(ctx.session) {
+        let max = effective_batch_size(ctx.session);
+        let mut batches = 0u64;
+        while let Some(batch) = exec.next_batch(ctx, max)? {
+            batches += 1;
+            if max_rows > 0 && (out.len() + batch.len()) as u64 > max_rows {
+                return Err(Error::MaxRows { limit: max_rows });
+            }
+            if let Some(slot) = &slot {
+                slot.add_rows(batch.len() as u64);
+            }
+            out.extend(batch.rows);
         }
-        out.push(row);
-        if let Some(slot) = &slot {
-            slot.add_rows(1);
+        ctx.stats.batches_out.set(batches);
+    } else {
+        while let Some(row) = exec.next(ctx)? {
+            if max_rows > 0 && out.len() as u64 >= max_rows {
+                return Err(Error::MaxRows { limit: max_rows });
+            }
+            out.push(row);
+            if let Some(slot) = &slot {
+                slot.add_rows(1);
+            }
         }
     }
     ctx.stats.rows_out.set(out.len() as u64);
@@ -471,6 +673,35 @@ impl Executor for SeqScanExec {
             }
             if !self.load_page(ctx)? {
                 return Ok(None);
+            }
+        }
+    }
+
+    /// Native batch path: take whole page-sized runs of decoded rows and
+    /// evaluate the pushed-down filter once per run via `eval_batch` —
+    /// this is where ψ's per-batch memoization (constant phoneme
+    /// conversion, Myers mask) kicks in.
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        let max = max.max(1);
+        let eval = ctx.eval_ctx();
+        let mut out: Vec<Row> = Vec::new();
+        loop {
+            if self.row_pos < self.page_rows.len() {
+                let take = (self.page_rows.len() - self.row_pos).min(max - out.len());
+                let candidates: Vec<Row> = self.page_rows[self.row_pos..self.row_pos + take]
+                    .iter_mut()
+                    .map(std::mem::take)
+                    .collect();
+                self.row_pos += take;
+                match &self.filter {
+                    Some(f) => out.extend(filter_rows_batch(f, candidates, &eval)?),
+                    None => out.extend(candidates),
+                }
+                if out.len() >= max {
+                    return Ok(Some(Batch::new(out)));
+                }
+            } else if !self.load_page(ctx)? {
+                return Ok((!out.is_empty()).then(|| Batch::new(out)));
             }
         }
     }
@@ -651,27 +882,11 @@ impl ParallelSeqScanExec {
             run.shared.wait_all_finished();
         }
     }
-}
 
-impl Drop for ParallelSeqScanExec {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-impl Executor for ParallelSeqScanExec {
-    fn schema(&self) -> &Schema {
-        &self.meta.schema
-    }
-
-    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
-        loop {
-            if let Some(row) = self.buffer.pop_front() {
-                return Ok(Some(row));
-            }
-            if self.done {
-                return Ok(None);
-            }
+    /// Block until the gather buffer holds at least one worker batch or
+    /// the scan is exhausted (`self.done`).
+    fn fill_buffer(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
+        while self.buffer.is_empty() && !self.done {
             if self.running.is_none() {
                 self.start(ctx)?;
             }
@@ -699,6 +914,36 @@ impl Executor for ParallelSeqScanExec {
                 }
             }
         }
+        Ok(())
+    }
+}
+
+impl Drop for ParallelSeqScanExec {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Executor for ParallelSeqScanExec {
+    fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> Result<Option<Row>> {
+        self.fill_buffer(ctx)?;
+        Ok(self.buffer.pop_front())
+    }
+
+    /// Native batch path: morsels already arrive as row batches from the
+    /// workers; hand them over wholesale (split only to honor `max`)
+    /// instead of re-serializing through per-row pops.
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        self.fill_buffer(ctx)?;
+        if self.buffer.is_empty() {
+            return Ok(None);
+        }
+        let take = self.buffer.len().min(max.max(1));
+        Ok(Some(Batch::new(self.buffer.drain(..take).collect())))
     }
 
     fn rescan(&mut self, _ctx: &ExecCtx<'_>) -> Result<()> {
@@ -790,6 +1035,11 @@ fn scan_worker(
 
 /// Decode one heap page and append the rows passing `filter` to `out`
 /// (the same copy-out-then-decode pattern as [`SeqScanExec::load_page`]).
+///
+/// With the batch spine enabled, the page's decoded rows are filtered in
+/// one `eval_batch` call — each worker's morsel loop thereby reuses its
+/// thread's `DistanceBuffer` and the per-batch ψ memoization instead of
+/// paying per-row dispatch.
 fn scan_page_into(
     pool: &BufferPool,
     file: FileId,
@@ -800,14 +1050,25 @@ fn scan_page_into(
     out: &mut Vec<Row>,
 ) -> Result<()> {
     let img: Vec<u8> = pool.with_page(file, page, |buf| buf.to_vec())?;
-    for (_, tuple) in HeapFile::page_tuples(&img) {
-        let row = decode_row(tuple, arity)?;
-        if let Some(f) = filter {
-            if !f.eval(&row, eval)?.is_true() {
-                continue;
+    match filter {
+        Some(f) if batch_enabled(eval.session) => {
+            let mut candidates = Vec::new();
+            for (_, tuple) in HeapFile::page_tuples(&img) {
+                candidates.push(decode_row(tuple, arity)?);
+            }
+            out.extend(filter_rows_batch(f, candidates, eval)?);
+        }
+        _ => {
+            for (_, tuple) in HeapFile::page_tuples(&img) {
+                let row = decode_row(tuple, arity)?;
+                if let Some(f) = filter {
+                    if !f.eval(&row, eval)?.is_true() {
+                        continue;
+                    }
+                }
+                out.push(row);
             }
         }
-        out.push(row);
     }
     Ok(())
 }
@@ -936,6 +1197,19 @@ impl Executor for FilterExec {
         Ok(None)
     }
 
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        let eval = ctx.eval_ctx();
+        // A fully-filtered input batch produces no output batch, so keep
+        // pulling until some rows survive (or the input is exhausted).
+        while let Some(batch) = self.input.next_batch(ctx, max)? {
+            let kept = filter_rows_batch(&self.predicate, batch.rows, &eval)?;
+            if !kept.is_empty() {
+                return Ok(Some(Batch::new(kept)));
+            }
+        }
+        Ok(None)
+    }
+
     fn rescan(&mut self, ctx: &ExecCtx<'_>) -> Result<()> {
         self.input.rescan(ctx)
     }
@@ -963,6 +1237,31 @@ impl Executor for ProjectExec {
                     out.push(e.eval(&row, &eval)?);
                 }
                 Ok(Some(out))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        let eval = ctx.eval_ctx();
+        match self.input.next_batch(ctx, max)? {
+            Some(batch) => {
+                // Evaluate each projection expression over the whole batch
+                // (column-at-a-time), then zip the columns back into rows.
+                let refs: Vec<&[Datum]> = batch.rows.iter().map(|r| r.as_slice()).collect();
+                let mut cols = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    cols.push(e.eval_batch(&refs, &eval)?);
+                }
+                let mut out = Vec::with_capacity(batch.len());
+                for i in 0..batch.len() {
+                    let mut row = Row::with_capacity(cols.len());
+                    for col in &mut cols {
+                        row.push(std::mem::replace(&mut col[i], Datum::Null));
+                    }
+                    out.push(row);
+                }
+                Ok(Some(Batch::new(out)))
             }
             None => Ok(None),
         }
@@ -1035,9 +1334,10 @@ impl Executor for NlJoinExec {
             // Materialize once; the buffer survives rescans.
             if self.materialize && self.inner_buf.is_none() {
                 let mut buf = Vec::new();
-                while let Some(r) = self.inner.next(ctx)? {
+                drain_input(self.inner.as_mut(), ctx, |r| {
                     buf.push(r);
-                }
+                    Ok(())
+                })?;
                 self.inner_buf = Some(buf);
             }
             if !self.advance_outer(ctx)? {
@@ -1109,13 +1409,13 @@ impl Executor for HashJoinExec {
         let eval = ctx.eval_ctx();
         if self.table.is_none() {
             let mut table: HashMap<Datum, Vec<Row>> = HashMap::new();
-            while let Some(row) = self.right.next(ctx)? {
+            drain_input(self.right.as_mut(), ctx, |row| {
                 let key = self.right_key.eval(&row, &eval)?;
-                if key.is_null() {
-                    continue;
+                if !key.is_null() {
+                    table.entry(key).or_default().push(row);
                 }
-                table.entry(key).or_default().push(row);
-            }
+                Ok(())
+            })?;
             self.table = Some(table);
         }
         loop {
@@ -1256,23 +1556,26 @@ impl Executor for AggregateExec {
             // group key -> (row count, one state per aggregate)
             let mut groups: HashMap<Vec<Datum>, (u64, Vec<AggState>)> = HashMap::new();
             let mut order: Vec<Vec<Datum>> = Vec::new();
-            while let Some(row) = self.input.next(ctx)? {
-                let mut key = Vec::with_capacity(self.group_by.len());
-                for g in &self.group_by {
+            let group_by = &self.group_by;
+            let aggs = &self.aggs;
+            drain_input(self.input.as_mut(), ctx, |row| {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
                     key.push(g.eval(&row, &eval)?);
                 }
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
-                    (0, vec![AggState::new(); self.aggs.len()])
+                    (0, vec![AggState::new(); aggs.len()])
                 });
                 entry.0 += 1;
-                for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+                for (agg, state) in aggs.iter().zip(entry.1.iter_mut()) {
                     if let Some(input) = &agg.input {
                         let v = input.eval(&row, &eval)?;
                         state.update(&v);
                     }
                 }
-            }
+                Ok(())
+            })?;
             // Global aggregate over empty input still yields one row.
             if groups.is_empty() && self.group_by.is_empty() {
                 order.push(Vec::new());
@@ -1324,9 +1627,10 @@ impl Executor for SortExec {
         if self.buffered.is_none() {
             let eval = ctx.eval_ctx();
             let mut rows = Vec::new();
-            while let Some(r) = self.input.next(ctx)? {
+            drain_input(self.input.as_mut(), ctx, |r| {
                 rows.push(r);
-            }
+                Ok(())
+            })?;
             // Precompute sort keys (decorate-sort-undecorate).
             let mut decorated: Vec<(Vec<Datum>, Row)> = Vec::with_capacity(rows.len());
             for row in rows {
@@ -1398,6 +1702,22 @@ impl Executor for LimitExec {
             Some(r) => {
                 self.remaining -= 1;
                 Ok(Some(r))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &ExecCtx<'_>, max: usize) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Never ask the input for more rows than the limit still allows;
+        // batches are capped at `max`, so the input cannot overshoot.
+        let cap = (self.remaining as usize).min(max.max(1));
+        match self.input.next_batch(ctx, cap)? {
+            Some(batch) => {
+                self.remaining -= batch.len() as u64;
+                Ok(Some(batch))
             }
             None => Ok(None),
         }

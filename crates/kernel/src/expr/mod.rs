@@ -424,6 +424,133 @@ impl Expr {
             }
         }
     }
+
+    /// Evaluate against every row of a batch, returning one value per row.
+    ///
+    /// Result- and counter-identical to calling [`Expr::eval`] on each row
+    /// in order: AND/OR keep their short-circuit shape (the right side is
+    /// only evaluated for rows the left side did not decide) and the ExtOp
+    /// arm charges `ext_op_calls` once per non-null operand pair.  The
+    /// payoff is the ExtOp fast path: a `col OP const` predicate whose
+    /// operator registers an `eval_batch` hook dispatches once per batch
+    /// instead of once per row, so the operator can hoist constant-side
+    /// conversion and buffer setup out of the inner loop (ψ converts the
+    /// probe's phonemes and compiles its Myers mask once per batch).
+    pub fn eval_batch(&self, rows: &[&[Datum]], ctx: &EvalCtx<'_>) -> Result<Vec<Datum>> {
+        match self {
+            Expr::ExtOp {
+                name,
+                left,
+                right,
+                modifiers,
+            } if right.is_const() => {
+                let op = ctx
+                    .catalog
+                    .operator(name)
+                    .ok_or_else(|| Error::Execution(format!("unknown operator {name:?}")))?;
+                let Some(batch_eval) = &op.eval_batch else {
+                    return rows.iter().map(|&row| self.eval(row, ctx)).collect();
+                };
+                let rv = right.eval(&[], ctx)?;
+                if rv.is_null() {
+                    return Ok(vec![Datum::Null; rows.len()]);
+                }
+                // NULL left operands yield NULL without being dispatched
+                // (or counted), exactly like the scalar arm.
+                let mut out = vec![Datum::Null; rows.len()];
+                let mut lefts = Vec::with_capacity(rows.len());
+                let mut idxs = Vec::with_capacity(rows.len());
+                for (i, &row) in rows.iter().enumerate() {
+                    let lv = left.eval(row, ctx)?;
+                    if lv.is_null() {
+                        continue;
+                    }
+                    idxs.push(i);
+                    lefts.push(lv);
+                }
+                if let Some(stats) = ctx.stats {
+                    stats.ext_op_calls.add(lefts.len() as u64);
+                }
+                crate::obs::metrics()
+                    .ext_op_calls_total
+                    .add(lefts.len() as u64);
+                let refs: Vec<&Datum> = lefts.iter().collect();
+                let verdicts = batch_eval(&refs, &rv, ctx.session)?;
+                if verdicts.len() != lefts.len() {
+                    return Err(Error::Execution(format!(
+                        "operator {name:?} batch eval returned {} verdicts for {} inputs",
+                        verdicts.len(),
+                        lefts.len()
+                    )));
+                }
+                for ((&i, lv), verdict) in idxs.iter().zip(&lefts).zip(verdicts) {
+                    out[i] = if !modifiers.is_empty() && verdict.is_true() {
+                        match &op.modifier_filter {
+                            Some(filter) => Datum::Bool(filter(lv, modifiers)),
+                            None => verdict,
+                        }
+                    } else {
+                        verdict
+                    };
+                }
+                Ok(out)
+            }
+            Expr::And(l, r) => {
+                let mut out = l.eval_batch(rows, ctx)?;
+                let mut sub_rows = Vec::new();
+                let mut sub_idx = Vec::new();
+                for (i, lv) in out.iter().enumerate() {
+                    if !matches!(lv, Datum::Bool(false)) {
+                        sub_rows.push(rows[i]);
+                        sub_idx.push(i);
+                    }
+                }
+                let rvs = r.eval_batch(&sub_rows, ctx)?;
+                for (&i, rv) in sub_idx.iter().zip(rvs) {
+                    out[i] = match (&out[i], rv) {
+                        (Datum::Bool(true), Datum::Bool(true)) => Datum::Bool(true),
+                        (_, Datum::Bool(false)) => Datum::Bool(false),
+                        _ => Datum::Null,
+                    };
+                }
+                Ok(out)
+            }
+            Expr::Or(l, r) => {
+                let mut out = l.eval_batch(rows, ctx)?;
+                let mut sub_rows = Vec::new();
+                let mut sub_idx = Vec::new();
+                for (i, lv) in out.iter().enumerate() {
+                    if !matches!(lv, Datum::Bool(true)) {
+                        sub_rows.push(rows[i]);
+                        sub_idx.push(i);
+                    }
+                }
+                let rvs = r.eval_batch(&sub_rows, ctx)?;
+                for (&i, rv) in sub_idx.iter().zip(rvs) {
+                    out[i] = match (&out[i], rv) {
+                        (Datum::Bool(false), Datum::Bool(false)) => Datum::Bool(false),
+                        (_, Datum::Bool(true)) => Datum::Bool(true),
+                        _ => Datum::Null,
+                    };
+                }
+                Ok(out)
+            }
+            Expr::Not(e) => {
+                let mut vals = e.eval_batch(rows, ctx)?;
+                for v in &mut vals {
+                    *v = match v {
+                        Datum::Bool(b) => Datum::Bool(!*b),
+                        Datum::Null => Datum::Null,
+                        other => {
+                            return Err(Error::Execution(format!("NOT applied to {other}")));
+                        }
+                    };
+                }
+                Ok(vals)
+            }
+            _ => rows.iter().map(|&row| self.eval(row, ctx)).collect(),
+        }
+    }
 }
 
 fn eval_arith(op: ArithOp, l: &Datum, r: &Datum) -> Result<Datum> {
@@ -610,6 +737,7 @@ mod tests {
                     (l.as_int().unwrap_or(0) - r.as_int().unwrap_or(0)).abs() <= k,
                 ))
             }),
+            eval_batch: None,
             kind: OperatorKind {
                 commutative: true,
                 distributes_over_union: true,
@@ -644,6 +772,7 @@ mod tests {
             name: "tagged".into(),
             operand_type: DataType::Text,
             eval: Arc::new(|_, _, _| Ok(Datum::Bool(true))),
+            eval_batch: None,
             kind: OperatorKind {
                 commutative: true,
                 distributes_over_union: true,
@@ -737,6 +866,73 @@ mod tests {
             modifiers: vec!["English".into(), "Hindi".into()],
         };
         assert_eq!(e.to_string(), "(c0 LEXEQUAL 'Nehru' IN (English, Hindi))");
+    }
+
+    #[test]
+    fn eval_batch_matches_scalar_eval() {
+        let mut cat = Catalog::new();
+        // Vectorized "within 2" with a deliberately different code path
+        // from the scalar closure so divergence would be visible.
+        cat.register_operator(ExtOperator {
+            name: "near".into(),
+            operand_type: DataType::Int,
+            eval: Arc::new(|l, r, _| {
+                Ok(Datum::Bool(
+                    (l.as_int().unwrap_or(0) - r.as_int().unwrap_or(0)).abs() <= 2,
+                ))
+            }),
+            eval_batch: Some(Arc::new(|lefts, r, _| {
+                let rv = r.as_int().unwrap_or(0);
+                Ok(lefts
+                    .iter()
+                    .map(|l| Datum::Bool((l.as_int().unwrap_or(0) - rv).abs() <= 2))
+                    .collect())
+            })),
+            kind: OperatorKind {
+                commutative: true,
+                distributes_over_union: true,
+            },
+            per_tuple_cost: Arc::new(|_, _| 1.0),
+            selectivity: Arc::new(|_| 0.1),
+            index_strategy: None,
+            index_extra: None,
+            modifier_filter: None,
+            index_scan_fraction: None,
+        });
+        let sess = SessionVars::new();
+        let c = EvalCtx::new(&cat, &sess);
+        // col0 NEAR 10 AND col1 > 0 — exercises the vectorized ExtOp arm,
+        // NULL propagation, and the AND short-circuit recombination.
+        let e = Expr::And(
+            Box::new(Expr::ExtOp {
+                name: "near".into(),
+                left: Box::new(col(0)),
+                right: Box::new(Expr::int(10)),
+                modifiers: vec![],
+            }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Gt,
+                left: Box::new(col(1)),
+                right: Box::new(Expr::int(0)),
+            }),
+        );
+        let data: Vec<Vec<Datum>> = vec![
+            vec![Datum::Int(9), Datum::Int(1)],
+            vec![Datum::Int(50), Datum::Int(1)],
+            vec![Datum::Null, Datum::Int(1)],
+            vec![Datum::Int(11), Datum::Int(-1)],
+            vec![Datum::Int(12), Datum::Null],
+        ];
+        let refs: Vec<&[Datum]> = data.iter().map(Vec::as_slice).collect();
+        let batched = e.eval_batch(&refs, &c).unwrap();
+        for (row, got) in data.iter().zip(&batched) {
+            let want = e.eval(row, &c).unwrap();
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "row {row:?} diverged"
+            );
+        }
     }
 
     #[test]

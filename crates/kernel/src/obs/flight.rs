@@ -44,6 +44,9 @@ pub struct FlightRecord {
     pub elapsed: Duration,
     /// Rows produced.
     pub rows: u64,
+    /// Batches the plan root emitted (0 when the statement ran
+    /// row-at-a-time — DML, or `SET enable_batch = 0`).
+    pub batches: u64,
     /// Stage span tree.
     pub trace: QueryTrace,
     /// Waits suffered (shared with the workers that charged it).
@@ -62,11 +65,12 @@ impl FlightRecord {
         ));
         json_escape_into(&self.sql, &mut out);
         out.push_str(&format!(
-            "\",\"plan_digest\":\"{:016x}\",\"elapsed_us\":{},\"rows\":{},\
+            "\",\"plan_digest\":\"{:016x}\",\"elapsed_us\":{},\"rows\":{},\"batches\":{},\
              \"logical_reads\":{},\"physical_reads\":{},\"waits\":{},\"trace\":{}}}",
             self.plan_digest,
             self.elapsed.as_micros(),
             self.rows,
+            self.batches,
             self.io_reads.0,
             self.io_reads.1,
             self.waits.to_json(),
@@ -162,6 +166,7 @@ mod tests {
             plan_digest: 0xabcd,
             elapsed: Duration::from_micros(700),
             rows: 3,
+            batches: 1,
             trace,
             waits: Arc::new(WaitProfile::new()),
             io_reads: (10, 1),
@@ -202,6 +207,7 @@ mod tests {
             json.contains("\"plan_digest\":\"000000000000abcd\""),
             "{json}"
         );
+        assert!(json.contains("\"rows\":3,\"batches\":1"), "{json}");
         assert!(json.contains("SELECT \\\"x\\\""), "escaped sql: {json}");
         assert!(json.contains("\"trace\":{\"query_id\":7"), "{json}");
         assert!(json.contains("\"waits\":{}"), "{json}");

@@ -635,6 +635,32 @@ impl Planner<'_> {
         Ok(best.expect("at least one join strategy"))
     }
 
+    /// Does `e` contain an extension operator with a registered batch
+    /// hook (a vectorized kernel the batch spine can actually exploit)?
+    fn expr_has_batch_kernel(&self, e: &Expr) -> bool {
+        match e {
+            Expr::ExtOp {
+                name, left, right, ..
+            } => {
+                self.catalog
+                    .operator(name)
+                    .map(|op| op.eval_batch.is_some())
+                    .unwrap_or(false)
+                    || self.expr_has_batch_kernel(left)
+                    || self.expr_has_batch_kernel(right)
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                self.expr_has_batch_kernel(l) || self.expr_has_batch_kernel(r)
+            }
+            Expr::Not(x) | Expr::IsNull(x) => self.expr_has_batch_kernel(x),
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                self.expr_has_batch_kernel(left) || self.expr_has_batch_kernel(right)
+            }
+            Expr::Func { args, .. } => args.iter().any(|a| self.expr_has_batch_kernel(a)),
+            Expr::ColRef { .. } | Expr::Literal(_) => false,
+        }
+    }
+
     /// Choose the best access path for one relation under its local
     /// conjuncts (rebased to relation-local column indexes).
     fn best_scan(
@@ -669,9 +695,23 @@ impl Planner<'_> {
             }
         };
 
+        // Heap scans run on the batch spine, but `Expr::eval_batch` only
+        // vectorizes extension operators that registered a batch hook —
+        // everything else falls back to scalar eval, so batch-size
+        // costing applies only when the pushed-down filter contains such
+        // an operator.  `batch = 1` otherwise (and when batching is
+        // disabled), which collapses the batched formulas to the
+        // row-at-a-time ones and keeps plain-predicate plans unchanged.
+        let has_batch_kernel = local.iter().any(|e| self.expr_has_batch_kernel(e));
+        let batch = if has_batch_kernel && crate::exec::batch_enabled(self.session) {
+            crate::exec::effective_batch_size(self.session)
+        } else {
+            1
+        };
+
         // Sequential scan.
         {
-            let mut cost = params.seq_scan(rel.pages, rel.rows, per_row);
+            let mut cost = params.seq_scan_batched(rel.pages, rel.rows, per_row, batch);
             if !flag(self.session, "enable_seqscan") {
                 cost += DISABLED_COST;
             }
@@ -700,7 +740,8 @@ impl Planner<'_> {
                 && workers >= 2
                 && rel.rows >= PARALLEL_MIN_ROWS
             {
-                let mut cost = params.parallel_seq_scan(rel.pages, rel.rows, per_row, workers);
+                let mut cost =
+                    params.parallel_seq_scan_batched(rel.pages, rel.rows, per_row, workers, batch);
                 if !flag(self.session, "enable_seqscan") {
                     cost += DISABLED_COST;
                 }

@@ -189,6 +189,9 @@ pub enum PhysOp {
 pub struct NodeActuals {
     /// Rows the node produced across all loops.
     pub rows: u64,
+    /// Batches the node produced across all loops (0 when the node was
+    /// driven row-at-a-time, e.g. under `SET enable_batch = 0`).
+    pub batches: u64,
     /// Times the node was started (1 + pulled rescans).
     pub loops: u64,
     /// Wall-clock time in the node's subtree.
@@ -233,11 +236,12 @@ impl PhysNode {
         *idx += 1;
         let _ = writeln!(
             out,
-            "{pad}{}  (cost={:.2} rows={:.0}) (actual rows={} loops={} time={:.3}ms pages={})",
+            "{pad}{}  (cost={:.2} rows={:.0}) (actual rows={} batches={} loops={} time={:.3}ms pages={})",
             self.op_line(),
             self.est_cost,
             self.est_rows,
             a.rows,
+            a.batches,
             a.loops,
             a.time.as_secs_f64() * 1e3,
             a.pages,

@@ -133,6 +133,7 @@ fn install_inner(
             );
             Ok(Datum::Bool(lv.identical(&rv)))
         }),
+        eval_batch: None,
         kind: mlql_kernel::catalog::OperatorKind {
             commutative: true,
             distributes_over_union: true,

@@ -12,10 +12,11 @@ use crate::selectivity::{psi_default_selectivity, psi_join_selectivity, psi_scan
 use crate::types::unitext_of_datum;
 use mlql_kernel::catalog::{ExtOperator, OperatorKind, SessionVars};
 use mlql_kernel::{DataType, Datum, ExtTypeId};
-use mlql_phonetics::distance::DistanceBuffer;
+use mlql_phonetics::distance::{DistanceBuffer, MyersMatcher};
 use mlql_phonetics::{ConverterRegistry, PhonemeString};
 use mlql_unitext::{LanguageRegistry, UniText};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Session variable holding ψ's error threshold.
@@ -24,6 +25,16 @@ pub const THRESHOLD_VAR: &str = "lexequal.threshold";
 /// Default threshold when the session does not set one (the running
 /// example of the paper's Figure 2 uses 2).
 pub const DEFAULT_THRESHOLD: i64 = 2;
+
+/// Session variable gating the bit-parallel Myers kernel inside the ψ
+/// batch path (`SET lexequal.myers = 0` falls back to the banded DP —
+/// the A/B knob the `batch_exec` bench uses to isolate the kernel win).
+pub const MYERS_VAR: &str = "lexequal.myers";
+
+/// Is the Myers kernel enabled for batch ψ (default: yes)?
+pub fn myers_enabled(session: &SessionVars) -> bool {
+    session.get_int(MYERS_VAR, 1) != 0
+}
 
 thread_local! {
     /// Reused DP rows for the banded edit distance — ψ joins evaluate
@@ -88,6 +99,103 @@ pub fn psi_matches(
     }))
 }
 
+/// Batch ψ: `lefts[i] ψ r` for a whole batch against one constant RHS.
+///
+/// Result-identical to [`psi_matches`] on every element, but the batch
+/// shape amortizes everything that does not depend on the LHS row:
+///
+/// * the RHS phonemes are resolved **once** (materialized slice or one
+///   grapheme→phoneme conversion),
+/// * slow-path LHS conversions are memoized per distinct value across
+///   the batch,
+/// * the inner loop runs the bit-parallel Myers (1999) kernel when the
+///   RHS phoneme string fits one machine word (≤64 symbols, see
+///   [`MyersMatcher`]), falling back to the banded DP above that — both
+///   reuse one thread-local [`DistanceBuffer`], borrowed once per batch
+///   instead of once per row.
+pub fn psi_matches_batch(
+    lefts: &[&Datum],
+    r: &Datum,
+    k: usize,
+    converters: &ConverterRegistry,
+    use_myers: bool,
+) -> mlql_kernel::Result<Vec<Datum>> {
+    if lefts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let m = mlql_kernel::obs::metrics();
+    let has_slice = |d: &Datum| match d {
+        Datum::Ext { bytes, .. } => crate::types::phoneme_slice(bytes).is_some(),
+        _ => false,
+    };
+    let rhs_slice: Option<&[u8]> = match r {
+        Datum::Ext { bytes, .. } => crate::types::phoneme_slice(bytes),
+        _ => None,
+    };
+    // Decode the RHS once iff some pair will take the slow path (exactly
+    // the pairs where scalar `psi_matches` would convert it per row).
+    let need_slow = rhs_slice.is_none() || lefts.iter().any(|l| !has_slice(l));
+    let rhs_decoded: Option<(String, PhonemeString)> = if need_slow {
+        let rv = unitext_of_datum(r)?;
+        let rp = phonemes_of(&rv, converters);
+        Some((rv.text().to_string(), rp))
+    } else {
+        None
+    };
+    // The materialized slice and a fresh conversion yield the same bytes
+    // (the cache is authoritative), so one kernel serves both paths.
+    let rp_bytes: &[u8] = match (&rhs_slice, &rhs_decoded) {
+        (Some(s), _) => s,
+        (None, Some((_, p))) => p.as_bytes(),
+        (None, None) => unreachable!("need_slow when no slice"),
+    };
+    let myers = if use_myers {
+        MyersMatcher::new(rp_bytes)
+    } else {
+        None
+    };
+    let mut memo: HashMap<&Datum, (String, PhonemeString)> = HashMap::new();
+    let mut dist_calls = 0u64;
+    let mut out = Vec::with_capacity(lefts.len());
+    DP.with(|dp| -> mlql_kernel::Result<()> {
+        let dp = &mut *dp.borrow_mut();
+        let within = |lp: &[u8], dp: &mut DistanceBuffer| match &myers {
+            Some(mm) => mm.distance_within(lp, k).is_some(),
+            None => dp.distance_within(lp, rp_bytes, k).is_some(),
+        };
+        for &l in lefts {
+            // Fast path: both sides carry materialized phonemes.
+            if rhs_slice.is_some() {
+                if let Datum::Ext { bytes: lb, .. } = l {
+                    if let Some(lp) = crate::types::phoneme_slice(lb) {
+                        dist_calls += 1;
+                        out.push(Datum::Bool(within(lp, dp)));
+                        continue;
+                    }
+                }
+            }
+            // Slow path: decode + convert, memoized per distinct value.
+            let (r_text, rp) = rhs_decoded.as_ref().expect("decoded above");
+            if !memo.contains_key(l) {
+                let lv = unitext_of_datum(l)?;
+                let lp = phonemes_of(&lv, converters);
+                memo.insert(l, (lv.text().to_string(), lp));
+            }
+            let (l_text, lp) = &memo[l];
+            if lp.is_empty() && rp.is_empty() {
+                // Same graceful degradation as `psi_matches`.
+                out.push(Datum::Bool(l_text == r_text));
+                continue;
+            }
+            dist_calls += 1;
+            out.push(Datum::Bool(within(lp.as_bytes(), dp)));
+        }
+        Ok(())
+    })?;
+    m.psi_distance_calls_total.add(dist_calls);
+    Ok(out)
+}
+
 /// Build the ψ [`ExtOperator`] for registration in the catalog.
 pub fn lexequal_operator(
     unitext_type: ExtTypeId,
@@ -95,6 +203,7 @@ pub fn lexequal_operator(
     langs: Arc<LanguageRegistry>,
 ) -> ExtOperator {
     let eval_convs = Arc::clone(&converters);
+    let batch_convs = Arc::clone(&converters);
     let sel_convs = Arc::clone(&converters);
     ExtOperator {
         name: "lexequal".into(),
@@ -103,6 +212,10 @@ pub fn lexequal_operator(
             let k = threshold(session);
             Ok(Datum::Bool(psi_matches(l, r, k, &eval_convs)?))
         }),
+        eval_batch: Some(Arc::new(move |lefts, r, session| {
+            let k = threshold(session);
+            psi_matches_batch(lefts, r, k, &batch_convs, myers_enabled(session))
+        })),
         // Table 1: ψ commutes, associates, and distributes over ∪.
         kind: OperatorKind {
             commutative: true,
@@ -271,6 +384,59 @@ mod tests {
         // Latin-script untagged text converts through no converter
         // (LangId::UNKNOWN) — exact text equality decides.
         assert!(!psi_matches(&a, &c, 2, &convs).unwrap());
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_on_every_element() {
+        let (langs, convs, op) = setup();
+        // A mix of every evaluation path: materialized fast path,
+        // untagged text (empty-phoneme equality fallback), duplicates
+        // (exercising the batch memo), and misses.
+        let lefts_owned: Vec<Datum> = vec![
+            ut(&langs, "Nehru", "English"),
+            ut(&langs, "நேரு", "Tamil"),
+            ut(&langs, "Gandhi", "English"),
+            Datum::text("exact"),
+            Datum::text("other"),
+            ut(&langs, "Nehru", "English"), // duplicate → memo hit
+            ut(&langs, "नेहरू", "Hindi"),
+        ];
+        let lefts: Vec<&Datum> = lefts_owned.iter().collect();
+        for rhs in [ut(&langs, "Neru", "English"), Datum::text("exact")] {
+            for k in [0usize, 1, 2, 3] {
+                for use_myers in [true, false] {
+                    let batch = psi_matches_batch(&lefts, &rhs, k, &convs, use_myers).unwrap();
+                    assert_eq!(batch.len(), lefts.len());
+                    for (l, got) in lefts.iter().zip(&batch) {
+                        let want = psi_matches(l, &rhs, k, &convs).unwrap();
+                        assert!(
+                            got.is_true() == want,
+                            "mismatch for {l:?} ψ {rhs:?} k={k} myers={use_myers}"
+                        );
+                    }
+                }
+            }
+        }
+        // The registered hook agrees with the free function and honors
+        // the session knobs.
+        let hook = op.eval_batch.as_ref().unwrap();
+        let mut session = SessionVars::new();
+        session.set(THRESHOLD_VAR, Datum::Int(2));
+        let rhs = ut(&langs, "Neru", "English");
+        let via_hook = hook(&lefts, &rhs, &session).unwrap();
+        let direct = psi_matches_batch(&lefts, &rhs, 2, &convs, true).unwrap();
+        for (a, b) in via_hook.iter().zip(&direct) {
+            assert!(a.is_true() == b.is_true());
+        }
+        session.set(MYERS_VAR, Datum::Int(0));
+        assert!(!myers_enabled(&session));
+        let banded = hook(&lefts, &rhs, &session).unwrap();
+        for (a, b) in banded.iter().zip(&direct) {
+            assert!(
+                a.is_true() == b.is_true(),
+                "myers knob must not change results"
+            );
+        }
     }
 
     #[test]

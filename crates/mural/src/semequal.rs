@@ -120,6 +120,56 @@ impl SemState {
         matched
     }
 
+    /// Batch Ω: `lefts[i] Ω r` for a whole batch against one constant RHS.
+    ///
+    /// Result-identical to [`Self::omega_matches`] on every element, but
+    /// one taxonomy read guard covers the batch, the RHS synsets are
+    /// resolved once, each needed closure is fetched from the shared
+    /// cache **once** (instead of one shard acquisition per row), and
+    /// each distinct LHS value is probed once — repeated hierarchy
+    /// values, the common case in a scan, hit a batch-local memo.
+    pub fn omega_matches_batch(
+        &self,
+        lefts: &[&Datum],
+        r: &Datum,
+    ) -> mlql_kernel::Result<Vec<Datum>> {
+        use std::collections::{HashMap, HashSet};
+        let rv = unitext_of_datum(r)?;
+        let taxonomy = self.taxonomy.read();
+        let rhs = Self::synsets_in(&taxonomy, &rv);
+        let (hits_before, misses_before) = self.cache.stats();
+        // Closures resolve lazily (scalar Ω short-circuits across RHS
+        // synsets, so an always-matching first root never pays for the
+        // second root's closure) but at most once per batch.
+        let mut closures: Vec<Option<Arc<HashSet<SynsetId>>>> = vec![None; rhs.len()];
+        let mut memo: HashMap<&Datum, bool> = HashMap::new();
+        let mut out = Vec::with_capacity(lefts.len());
+        for &l in lefts {
+            let verdict = match memo.get(l) {
+                Some(&v) => v,
+                None => {
+                    let lv = unitext_of_datum(l)?;
+                    let v = if rhs.is_empty() {
+                        false
+                    } else {
+                        let lhs = Self::synsets_in(&taxonomy, &lv);
+                        !lhs.is_empty()
+                            && rhs.iter().enumerate().any(|(i, &root)| {
+                                let closure = closures[i]
+                                    .get_or_insert_with(|| self.cache.closure(&taxonomy, root));
+                                lhs.iter().any(|s| closure.contains(s))
+                            })
+                    };
+                    memo.insert(l, v);
+                    v
+                }
+            };
+            out.push(Datum::Bool(verdict));
+        }
+        self.publish_cache_delta(hits_before, misses_before);
+        Ok(out)
+    }
+
     /// Push the closure-cache hit/miss delta of one operation into the
     /// engine metrics (the cache's own counters are cumulative).
     fn publish_cache_delta(&self, hits_before: u64, misses_before: u64) {
@@ -156,6 +206,7 @@ pub fn semequal_operator(
     langs: Arc<LanguageRegistry>,
 ) -> ExtOperator {
     let eval_state = Arc::clone(&state);
+    let batch_state = Arc::clone(&state);
     let sel_state = Arc::clone(&state);
     ExtOperator {
         name: "semequal".into(),
@@ -165,6 +216,9 @@ pub fn semequal_operator(
             let rv = unitext_of_datum(r)?;
             Ok(Datum::Bool(eval_state.omega_matches(&lv, &rv)))
         }),
+        eval_batch: Some(Arc::new(move |lefts, r, _session| {
+            batch_state.omega_matches_batch(lefts, r)
+        })),
         // Table 1: Ω does NOT commute (subsumption is directional) but
         // distributes over ∪.
         kind: OperatorKind {
@@ -311,6 +365,59 @@ mod tests {
         // Prune it again: the match disappears just as promptly.
         assert!(state.remove_hyponym(h, f));
         assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_on_every_element() {
+        let (langs, state, op) = setup();
+        let session = SessionVars::new();
+        let lefts_owned: Vec<Datum> = vec![
+            ut(&langs, "Historiography", "English"),
+            ut(&langs, "Fiction", "English"),
+            ut(&langs, "Histoire", "French"),
+            ut(&langs, "Astrogation", "English"), // unknown concept
+            ut(&langs, "Historiography", "English"), // duplicate → memo hit
+            ut(&langs, "சரித்திரம்", "Tamil"),
+        ];
+        let lefts: Vec<&Datum> = lefts_owned.iter().collect();
+        for rhs in [
+            ut(&langs, "History", "English"),
+            ut(&langs, "Biography", "English"),
+            ut(&langs, "Astrogation", "English"), // unknown RHS → all false
+        ] {
+            let batch = state.omega_matches_batch(&lefts, &rhs).unwrap();
+            assert_eq!(batch.len(), lefts.len());
+            for (l, got) in lefts.iter().zip(&batch) {
+                let want = (op.eval)(l, &rhs, &session).unwrap().is_true();
+                assert!(got.is_true() == want, "mismatch for {l:?} Ω {rhs:?}");
+            }
+        }
+        // The registered hook routes to the same batch entry point.
+        let hook = op.eval_batch.as_ref().unwrap();
+        let rhs = ut(&langs, "History", "English");
+        let via_hook = hook(&lefts, &rhs, &session).unwrap();
+        let direct = state.omega_matches_batch(&lefts, &rhs).unwrap();
+        for (a, b) in via_hook.iter().zip(&direct) {
+            assert!(a.is_true() == b.is_true());
+        }
+    }
+
+    #[test]
+    fn batch_eval_resolves_each_closure_once() {
+        let (langs, state, _op) = setup();
+        let history = ut(&langs, "History", "English");
+        let lefts_owned: Vec<Datum> = ["Historiography", "Biography", "Fiction", "Novel"]
+            .iter()
+            .map(|c| ut(&langs, c, "English"))
+            .collect();
+        let lefts: Vec<&Datum> = lefts_owned.iter().collect();
+        state.omega_matches_batch(&lefts, &history).unwrap();
+        let (hits, misses) = state.cache.stats();
+        assert_eq!(misses, 1, "one closure for the whole batch");
+        assert_eq!(
+            hits, 0,
+            "distinct LHS values hit the batch memo, not the shards"
+        );
     }
 
     #[test]

@@ -124,6 +124,100 @@ impl DistanceBuffer {
     }
 }
 
+/// Longest pattern the bit-parallel kernel accepts: one bit per pattern
+/// symbol in a single machine word.
+pub const MYERS_MAX_PATTERN: usize = 64;
+
+/// Bit-parallel Levenshtein kernel after Myers (1999, "A fast bit-vector
+/// algorithm for approximate string matching based on dynamic
+/// programming").
+///
+/// The pattern (≤ [`MYERS_MAX_PATTERN`] symbols) is compiled once into a
+/// per-symbol position mask; each text symbol then advances the whole DP
+/// column with a handful of word-wide boolean operations instead of the
+/// banded DP's per-cell loop.  Phoneme strings are short (a dozen or so
+/// symbols) and batch ψ evaluation compares thousands of candidate
+/// strings against one constant pattern, which is exactly the shape this
+/// kernel is built for.
+#[derive(Debug, Clone)]
+pub struct MyersMatcher {
+    /// `peq[c]` has bit `i` set iff `pattern[i] == c`.
+    peq: [u64; 256],
+    /// Pattern length `m`, 1..=64.
+    m: usize,
+}
+
+impl MyersMatcher {
+    /// Compile `pattern`; `None` when it is empty or longer than
+    /// [`MYERS_MAX_PATTERN`] symbols (callers fall back to the banded DP).
+    pub fn new(pattern: &[u8]) -> Option<MyersMatcher> {
+        if pattern.is_empty() || pattern.len() > MYERS_MAX_PATTERN {
+            return None;
+        }
+        let mut peq = [0u64; 256];
+        for (i, &c) in pattern.iter().enumerate() {
+            peq[c as usize] |= 1u64 << i;
+        }
+        Some(MyersMatcher {
+            peq,
+            m: pattern.len(),
+        })
+    }
+
+    /// Pattern length.
+    pub fn pattern_len(&self) -> usize {
+        self.m
+    }
+
+    /// Full Levenshtein distance between the compiled pattern and `text`.
+    pub fn distance(&self, text: &[u8]) -> usize {
+        self.run(text, usize::MAX)
+            .expect("uncapped run always completes")
+    }
+
+    /// Threshold-bounded distance: `Some(d)` when `d <= k`, `None`
+    /// otherwise.  Includes the same length-difference pre-filter as the
+    /// banded DP plus a per-symbol lower-bound cut-off.
+    pub fn distance_within(&self, text: &[u8], k: usize) -> Option<usize> {
+        if self.m.abs_diff(text.len()) > k {
+            return None;
+        }
+        self.run(text, k)
+    }
+
+    fn run(&self, text: &[u8], k: usize) -> Option<usize> {
+        let m = self.m;
+        let mask = 1u64 << (m - 1);
+        // VP/VN encode the vertical deltas of the current DP column; the
+        // column starts as 0..=m (all deltas +1).
+        let mut vp = if m == 64 { !0u64 } else { (1u64 << m) - 1 };
+        let mut vn = 0u64;
+        let mut score = m;
+        for (j, &c) in text.iter().enumerate() {
+            let eq = self.peq[c as usize];
+            let xv = eq | vn;
+            let xh = (((eq & vp).wrapping_add(vp)) ^ vp) | eq;
+            let ph = vn | !(xh | vp);
+            let mh = vp & xh;
+            if ph & mask != 0 {
+                score += 1;
+            } else if mh & mask != 0 {
+                score -= 1;
+            }
+            let ph = (ph << 1) | 1;
+            vp = (mh << 1) | !(xv | ph);
+            vn = ph & xv;
+            // The score drops by at most 1 per remaining text symbol; once
+            // it cannot get back under k, give up early.
+            let remaining = text.len() - j - 1;
+            if score > k.saturating_add(remaining) {
+                return None;
+            }
+        }
+        (score <= k).then_some(score)
+    }
+}
+
 /// One-shot full Levenshtein distance (allocates a fresh buffer).
 pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
     DistanceBuffer::new().distance(a, b)
@@ -217,6 +311,52 @@ mod tests {
     }
 
     #[test]
+    fn myers_classic_cases() {
+        let m = MyersMatcher::new(b"kitten").unwrap();
+        assert_eq!(m.distance(b"sitting"), 3);
+        assert_eq!(m.distance(b"kitten"), 0);
+        assert_eq!(m.distance(b""), 6);
+        assert_eq!(m.distance_within(b"sitting", 3), Some(3));
+        assert_eq!(m.distance_within(b"sitting", 2), None);
+        assert_eq!(MyersMatcher::new(b"flaw").unwrap().distance(b"lawn"), 2);
+    }
+
+    #[test]
+    fn myers_rejects_empty_and_overlong_patterns() {
+        assert!(MyersMatcher::new(b"").is_none());
+        let just_fits = vec![7u8; MYERS_MAX_PATTERN];
+        let matcher = MyersMatcher::new(&just_fits).expect("64 symbols fit one word");
+        assert_eq!(matcher.pattern_len(), 64);
+        assert_eq!(matcher.distance(&just_fits), 0);
+        let too_long = vec![7u8; MYERS_MAX_PATTERN + 1];
+        assert!(MyersMatcher::new(&too_long).is_none());
+    }
+
+    #[test]
+    fn myers_full_word_pattern_is_exact() {
+        // m == 64 exercises the `!0u64` initial VP and the top-bit mask.
+        let pattern: Vec<u8> = (0..64).map(|i| (i % 8) as u8).collect();
+        let m = MyersMatcher::new(&pattern).unwrap();
+        let mut text = pattern.clone();
+        text[0] ^= 1;
+        text[63] ^= 1;
+        assert_eq!(m.distance(&text), edit_distance(&pattern, &text));
+        assert_eq!(m.distance_within(&text, 2), Some(2));
+        assert_eq!(m.distance_within(&text, 1), None);
+    }
+
+    #[test]
+    fn myers_threshold_edge_d_equals_k() {
+        // The acceptance boundary d == k must be inclusive, matching the
+        // banded DP.
+        let m = MyersMatcher::new(b"nehru").unwrap();
+        let d = edit_distance(b"nehru", b"neru");
+        assert_eq!(m.distance_within(b"neru", d), Some(d));
+        assert_eq!(m.distance_within(b"neru", d - 1), None);
+        assert_eq!(edit_distance_banded(b"nehru", b"neru", d), Some(d));
+    }
+
+    #[test]
     fn distance_is_metric_on_samples() {
         // Symmetry + triangle inequality on a small sample set — the M-Tree
         // requires metric properties of the distance function.
@@ -249,6 +389,67 @@ mod proptests {
                 prop_assert_eq!(banded, Some(full));
             } else {
                 prop_assert_eq!(banded, None);
+            }
+        }
+
+        /// The three kernels — Myers bit-parallel, banded DP, full DP —
+        /// must agree on every (pattern, text, k), including patterns that
+        /// straddle the 64-symbol fallback boundary and the inclusive
+        /// threshold edge `d == k`.
+        #[test]
+        fn myers_matches_banded_and_full(a in proptest::collection::vec(0u8..8, 0..80),
+                                         b in proptest::collection::vec(0u8..8, 0..80),
+                                         k in 0usize..16) {
+            let full = edit_distance(&a, &b);
+            match MyersMatcher::new(&a) {
+                Some(m) => {
+                    prop_assert_eq!(m.distance(&b), full);
+                    let within = m.distance_within(&b, k);
+                    prop_assert_eq!(within, edit_distance_banded(&a, &b, k));
+                    if full <= k {
+                        prop_assert_eq!(within, Some(full));
+                    } else {
+                        prop_assert_eq!(within, None);
+                    }
+                    // Inclusive threshold edge: k == d accepts, k == d-1 rejects.
+                    prop_assert_eq!(m.distance_within(&b, full), Some(full));
+                    if full > 0 {
+                        prop_assert_eq!(m.distance_within(&b, full - 1), None);
+                    }
+                }
+                // > 64 symbols (or empty): callers fall back to the banded DP,
+                // which must still agree with the full DP.
+                None => {
+                    prop_assert!(a.is_empty() || a.len() > MYERS_MAX_PATTERN);
+                    let banded = edit_distance_banded(&a, &b, k);
+                    if full <= k {
+                        prop_assert_eq!(banded, Some(full));
+                    } else {
+                        prop_assert_eq!(banded, None);
+                    }
+                }
+            }
+        }
+
+        /// Pin the fallback boundary itself: identical inputs either side
+        /// of 64 symbols take different kernels but produce equal answers.
+        #[test]
+        fn myers_fallback_boundary(tail in proptest::collection::vec(0u8..8, 0..6),
+                                   b in proptest::collection::vec(0u8..8, 56..72),
+                                   k in 0usize..16) {
+            for base in [MYERS_MAX_PATTERN - 1, MYERS_MAX_PATTERN, MYERS_MAX_PATTERN + 1] {
+                let mut a: Vec<u8> = (0..base).map(|i| (i % 8) as u8).collect();
+                a.extend_from_slice(&tail);
+                let full = edit_distance(&a, &b);
+                let got = match MyersMatcher::new(&a) {
+                    Some(m) => m.distance_within(&b, k),
+                    None => edit_distance_banded(&a, &b, k),
+                };
+                if full <= k {
+                    prop_assert_eq!(got, Some(full), "len={}", a.len());
+                } else {
+                    prop_assert_eq!(got, None, "len={}", a.len());
+                }
             }
         }
 

@@ -660,6 +660,106 @@ fn flight_recorder_respects_slow_query_ms_threshold() {
     assert!(act.contains("\"stage\":\""), "{act}");
 }
 
+/// Golden test for the batch execution spine: every annotated node prints
+/// a `batches=` counter, the scan's count reconciles with its row count
+/// under the session batch size (ceil(rows/batch_size) ≤ batches ≤ rows,
+/// since producers never emit empty or oversized batches), the query-level
+/// trailer and RunStats carry the root batch count, flight-recorder
+/// records persist it, and `SET enable_batch = 0` pins every counter to
+/// zero without changing row counts.
+#[test]
+fn explain_analyze_batch_counters_reconcile_with_rows() {
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    for i in 0..1000 {
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('Nehru{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE names").unwrap();
+    db.execute("SET lexequal.threshold = 1").unwrap();
+    db.execute("SET batch_size = 128").unwrap();
+    db.execute("SET parallel_workers = 1").unwrap();
+
+    let batches_of = |line: &str| -> u64 {
+        line.split("batches=")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no batches= in {line:?}"))
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+
+    let sql = "EXPLAIN ANALYZE SELECT name FROM names \
+               WHERE name LEXEQUAL unitext('Nehru7','English')";
+    let r = db.execute(sql).unwrap();
+    let text = r.explain.expect("explain text");
+    let nodes = node_actuals(&text);
+    assert!(!nodes.is_empty(), "{text}");
+    for (_, line) in &nodes {
+        assert!(line.contains("batches="), "{line}");
+    }
+
+    // The scan leaf is batch-driven: every batch it emits is non-empty
+    // and capped at batch_size, so the counter brackets against rows.
+    let (scan_rows, scan_line) = nodes
+        .iter()
+        .find(|(_, l)| l.contains("Seq Scan on names"))
+        .expect("scan node");
+    assert!(*scan_rows > 0, "Nehru7 matches at least itself:\n{text}");
+    let scan_batches = batches_of(scan_line);
+    assert!(
+        scan_batches >= scan_rows.div_ceil(128),
+        "too few batches for rows={scan_rows}: {scan_line}"
+    );
+    assert!(scan_batches <= *scan_rows, "{scan_line}");
+
+    // Query-level trailer and RunStats agree on the root batch count.
+    let trailer = text
+        .lines()
+        .find(|l| l.starts_with("Actual: "))
+        .unwrap_or_else(|| panic!("missing Actual: trailer:\n{text}"));
+    let root_batches = batches_of(trailer);
+    assert!(root_batches >= 1, "{trailer}");
+    assert_eq!(r.stats.batches, root_batches, "{trailer}");
+
+    // A plain run of the same predicate leaves a flight record carrying
+    // the batch count alongside rows.
+    db.query("SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru7','English')")
+        .unwrap();
+    let shown = db.execute("SHOW FLIGHT_RECORDER").unwrap();
+    let rec = shown
+        .rows
+        .iter()
+        .map(|row| row[0].as_text().unwrap().to_string())
+        .rfind(|j| j.contains("Nehru7") && !j.contains("EXPLAIN"))
+        .expect("flight record of the batch-mode query");
+    assert!(rec.contains("\"batches\":"), "{rec}");
+    assert!(
+        batches_of(&rec.replace("\"batches\":", "batches=")) >= 1,
+        "{rec}"
+    );
+
+    // Row mode zeroes every batch counter but leaves rows identical.
+    db.execute("SET enable_batch = 0").unwrap();
+    let r2 = db.execute(sql).unwrap();
+    let text2 = r2.explain.expect("explain text");
+    let nodes2 = node_actuals(&text2);
+    for (_, line) in &nodes2 {
+        assert_eq!(batches_of(line), 0, "row mode: {line}");
+    }
+    let (scan_rows2, _) = nodes2
+        .iter()
+        .find(|(_, l)| l.contains("Seq Scan on names"))
+        .expect("scan node");
+    assert_eq!(scan_rows2, scan_rows, "row/batch modes agree on rows");
+    assert!(text2.contains(" batches=0 "), "{text2}");
+    assert_eq!(r2.stats.batches, 0);
+}
+
 /// Wait-event instrumentation: contended catalog acquisition surfaces in
 /// both the per-class global histogram and the query's own wait profile.
 #[test]

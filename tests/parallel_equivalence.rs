@@ -227,6 +227,129 @@ fn limit_and_max_rows_semantics_preserved() {
     }
 }
 
+/// Batch sizes every batch-mode query shape is checked at: the
+/// degenerate one-row batch, a small batch, the default, and the cap.
+const BATCH_SIZES: [usize; 4] = [1, 64, 1024, 4096];
+
+/// The batch spine must be invisible in the results: for ψ scans, Ω
+/// probes, projections and aggregates, every (workers × batch_size)
+/// combination returns exactly the serial *row-mode* result set
+/// (`enable_batch = 0` is the pre-batch executor, our reference).
+#[test]
+fn batch_mode_results_pinned_to_row_mode() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 11);
+    let queries = [
+        "SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru','English')".to_string(),
+        "SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Gandhi','English')".to_string(),
+        "SELECT name FROM names".to_string(),
+    ];
+    for sql in &queries {
+        let threshold = "SET lexequal.threshold = 2";
+        let reference = sorted_rows(&db, 1, &[threshold, "SET enable_batch = 0"], sql);
+        for &w in &WORKER_COUNTS {
+            // Row mode at every worker count agrees with serial row mode.
+            let row_mode = sorted_rows(&db, w, &[threshold, "SET enable_batch = 0"], sql);
+            assert_eq!(
+                row_mode, reference,
+                "row mode diverged at workers={w}: {sql}"
+            );
+            for &b in &BATCH_SIZES {
+                let setup = format!("SET batch_size = {b}");
+                let got = sorted_rows(&db, w, &[threshold, &setup], sql);
+                assert_eq!(
+                    got, reference,
+                    "batch mode diverged at workers={w} batch_size={b}: {sql}"
+                );
+            }
+        }
+    }
+}
+
+/// Ω probes through the batch entry point (distinct-value memo, shared
+/// closure resolved once per batch) match row-mode results too.
+#[test]
+fn omega_batch_results_pinned_to_row_mode() {
+    let (mut db, mural) = db();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    let cats = [
+        ("History", "English"),
+        ("Biography", "English"),
+        ("Fiction", "English"),
+        ("Histoire", "French"),
+    ];
+    for i in 0..1200i64 {
+        let (w, l) = cats[i as usize % cats.len()];
+        let v = UniText::compose(w, mural.langs.id_of(l));
+        db.insert_row(
+            "docs",
+            vec![
+                mlql::kernel::Datum::Int(i),
+                unitext_datum(mural.unitext_type, &v),
+            ],
+        )
+        .unwrap();
+    }
+    db.execute("ANALYZE docs").unwrap();
+    let sql = "SELECT id FROM docs WHERE category SEMEQUAL unitext('History','English')";
+    let reference = sorted_rows(&db, 1, &["SET enable_batch = 0"], sql);
+    assert!(!reference.is_empty(), "probe must select something");
+    for &w in &WORKER_COUNTS {
+        for &b in &BATCH_SIZES {
+            let setup = format!("SET batch_size = {b}");
+            let got = sorted_rows(&db, w, &[&setup], sql);
+            assert_eq!(got, reference, "Ω diverged at workers={w} batch_size={b}");
+        }
+    }
+}
+
+/// The `batch_size` session knob: settable, visible through SHOW, and
+/// `batch_size = 1` degenerates cleanly to one-row batches (same
+/// results, LIMIT and max_rows semantics intact).
+#[test]
+fn batch_size_session_knob() {
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 13);
+    let mut s = db.connect();
+    s.execute("SET batch_size = 1").unwrap();
+    let shown = s.query("SHOW batch_size").unwrap();
+    assert_eq!(shown[0][0].as_text(), Some("1"));
+    // Same rows as the default batch size.
+    let n = s.query("SELECT count(*) FROM names").unwrap()[0][0]
+        .as_int()
+        .unwrap();
+    assert_eq!(n, 1500);
+    let limited = s.query("SELECT name FROM names LIMIT 37").unwrap();
+    assert_eq!(limited.len(), 37);
+    // max_rows still raises the typed error mid-stream.
+    s.execute("SET max_rows = 10").unwrap();
+    let err = s.query("SELECT name FROM names").unwrap_err();
+    assert!(matches!(err, Error::MaxRows { limit: 10 }), "{err}");
+    s.execute("SET max_rows = 0").unwrap();
+    // The ψ path at batch_size = 1 equals the default-batch result.
+    s.execute("SET lexequal.threshold = 2").unwrap();
+    let sql = "SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru','English')";
+    let tiny: Vec<String> = {
+        let mut rows: Vec<String> = s
+            .query(sql)
+            .unwrap()
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect();
+        rows.sort();
+        rows
+    };
+    let dflt = sorted_rows(&db, 1, &["SET lexequal.threshold = 2"], sql);
+    assert_eq!(tiny, dflt, "batch_size=1 must degenerate cleanly");
+    // Out-of-range sizes clamp rather than break execution.
+    s.execute("SET batch_size = 999999").unwrap();
+    assert_eq!(
+        s.query("SELECT count(*) FROM names").unwrap()[0][0].as_int(),
+        Some(1500)
+    );
+}
+
 /// Parallel readers race concurrent DDL and inserts: counts stay in the
 /// valid monotone window and nothing panics or deadlocks — the workers
 /// never touch the catalog, so queued DDL cannot deadlock a scan.
