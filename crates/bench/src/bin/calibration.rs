@@ -1,0 +1,154 @@
+//! Cost-model calibration harness: the runtime analogue of Figure 6.
+//!
+//! Where `fig6_cost_prediction` measures predicted-cost-vs-runtime on
+//! freshly planned one-shot queries, this harness exercises the *plan
+//! store* feedback loop: a graded ψ/Ω workload runs repeatedly through
+//! the ordinary (uninstrumented) execution path, the per-digest
+//! estimate-vs-actual aggregates accumulate in `obs::planstore`, and the
+//! report carries the store's fitted log-log est_cost → mean-elapsed
+//! regression (slope, intercept, residual spread, Pearson) plus the
+//! realized root q-error distribution.
+//!
+//! Run: `cargo run --release -p mlql-bench --bin calibration`
+//! Scale with `MLQL_SCALE`; pin output with `MLQL_BENCH_DIR`.
+
+use mlql_bench::report::{obj, Report, Value};
+use mlql_bench::{load_names_table, mural_db, scale, timed};
+use mlql_kernel::obs::planstore;
+
+/// Executions per query: enough for per-plan means to settle without
+/// inflating CI time.
+const REPS: usize = 3;
+
+/// ψ probe names (the same cross-script homophone set the other
+/// harnesses use).
+const PROBES: &[&str] = &["Nehru", "Gandhi", "Miller", "Krishnan"];
+
+fn main() {
+    println!("# Cost-model calibration: plan-store est-vs-actual fit");
+    println!("# scale {}", scale());
+
+    let (mut db, mural) = mural_db();
+    db.execute("SET lexequal.threshold = 2").unwrap();
+    db.execute("SET parallel_workers = 1").unwrap();
+
+    // Graded ψ tables spread est_cost across roughly a decade and a half.
+    let sizes = [("names_s", 500usize), ("names_m", 2000), ("names_l", 6000)];
+    for (i, (table, rows)) in sizes.iter().enumerate() {
+        load_names_table(&mut db, &mural, table, rows * scale(), 1 + i as u64).unwrap();
+    }
+    // Ω workload over the fixture taxonomy's category vocabulary.
+    db.execute("CREATE TABLE book (category UNITEXT)").unwrap();
+    let cats = ["History", "Historiography", "Autobiography", "Novel"];
+    for i in 0..400 * scale() {
+        let cat = cats[i % cats.len()];
+        db.execute(&format!(
+            "INSERT INTO book VALUES (unitext('{cat}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE book").unwrap();
+
+    let mut queries: Vec<String> = Vec::new();
+    for (table, _) in &sizes {
+        for probe in PROBES {
+            queries.push(format!(
+                "SELECT count(*) FROM {table} WHERE name LEXEQUAL unitext('{probe}','English')"
+            ));
+        }
+    }
+    queries.push(
+        "SELECT count(*) FROM book WHERE category SEMEQUAL unitext('History','English')"
+            .to_string(),
+    );
+    queries.push("SELECT count(*) FROM names_l".to_string());
+
+    let (_, secs) = timed(|| {
+        for _ in 0..REPS {
+            for q in &queries {
+                db.execute(q).unwrap();
+            }
+        }
+    });
+    println!(
+        "# {} queries x {REPS} executions in {:.1} ms",
+        queries.len(),
+        secs * 1e3
+    );
+
+    let snap = planstore::snapshot(Some(db.engine().engine_id()));
+    assert!(
+        !snap.is_empty(),
+        "plan store must record ordinary executions"
+    );
+    let fit = planstore::calibration(&snap);
+
+    println!(
+        "{:>18} {:>24} {:>6} {:>10} {:>12} {:>8}",
+        "plan_digest", "root", "calls", "mean_ms", "est_cost", "qerror"
+    );
+    let mut points = Vec::new();
+    let mut qerror_max: f64 = 1.0;
+    let mut total_calls = 0u64;
+    for e in &snap {
+        let mean_ms = e.mean().as_secs_f64() * 1e3;
+        println!(
+            "{:>18} {:>24} {:>6} {:>10.3} {:>12.1} {:>8.2}",
+            format!("{:016x}", e.digest),
+            e.root,
+            e.calls,
+            mean_ms,
+            e.est_cost,
+            e.qerror_last
+        );
+        assert!(
+            e.qerror_last.is_finite() && e.qerror_last >= 1.0,
+            "q-error must be a finite value >= 1, got {} for {:016x}",
+            e.qerror_last,
+            e.digest
+        );
+        qerror_max = qerror_max.max(e.qerror_max);
+        total_calls += e.calls;
+        points.push(obj(vec![
+            ("plan_digest", Value::Str(format!("{:016x}", e.digest))),
+            ("root", Value::Str(e.root.clone())),
+            ("calls", Value::Int(e.calls as i64)),
+            ("mean_ms", Value::Num(mean_ms)),
+            ("est_cost", Value::Num(e.est_cost)),
+            ("est_rows", Value::Num(e.est_rows)),
+            ("qerror_last", Value::Num(e.qerror_last)),
+            ("qerror_max", Value::Num(e.qerror_max)),
+        ]));
+    }
+    println!();
+    println!(
+        "calibration over {} plans: log10(ms) = {:.3} * log10(cost) + {:.3}",
+        fit.points, fit.slope, fit.intercept
+    );
+    println!(
+        "residual stddev {:.3} decades, log-log Pearson {:.3}",
+        fit.residual_stddev, fit.pearson
+    );
+    println!("worst root q-error across the workload: {qerror_max:.2}");
+
+    let mut rep = Report::new("calibration");
+    rep.int("plans", snap.len() as i64)
+        .int("total_calls", total_calls as i64)
+        .num("slope", fit.slope)
+        .num("intercept", fit.intercept)
+        .num("residual_stddev", fit.residual_stddev)
+        .num("loglog_pearson", fit.pearson)
+        .num("qerror_root_max", qerror_max)
+        .flag("plan_store_populated", !snap.is_empty())
+        .set("points", Value::Arr(points));
+    rep.write_and_note();
+
+    // Every execution went through the plain path, so per-plan call
+    // counts must all equal REPS — a silent recording gap would surface
+    // here before any baseline diff.
+    assert_eq!(
+        total_calls as usize,
+        queries.len() * REPS,
+        "every execution lands in the plan store exactly once"
+    );
+}

@@ -8,6 +8,9 @@
 //! (`obs::set_enabled(false)`), min-of-N each, interleaved A/B so slow
 //! drift hits both arms equally.  The report records the ratio; the
 //! committed baseline plus `scripts/bench_check.sh` gate regressions.
+//! The enabled arm also feeds the per-digest plan store (est-vs-actual
+//! recording on every execution), so the measured ratio covers that
+//! hot-path cost too; the run asserts the store actually populated.
 //!
 //! Targets: `overhead_target_met` when the ratio is ≤ 1.03 (the
 //! acceptance bar); the run itself hard-fails above 1.10 so CI catches a
@@ -73,6 +76,16 @@ fn main() {
     }
     obs::set_enabled(true);
 
+    // The timed enabled rounds must have exercised plan-store recording
+    // (a silently skipped record would make the ratio meaningless for
+    // that path).
+    let plan_entries = obs::planstore::snapshot(Some(db.engine().engine_id()));
+    assert!(
+        !plan_entries.is_empty(),
+        "enabled arm must populate the plan store"
+    );
+    let plan_store_calls: u64 = plan_entries.iter().map(|e| e.calls).sum();
+
     let ratio = enabled / disabled.max(1e-9);
     let target_met = ratio <= 1.03;
     println!();
@@ -88,6 +101,8 @@ fn main() {
         .num("enabled_ms", enabled * 1e3)
         .num("disabled_ms", disabled * 1e3)
         .num("overhead_ratio", ratio)
+        .int("plan_store_plans", plan_entries.len() as i64)
+        .int("plan_store_calls", plan_store_calls as i64)
         .flag("overhead_target_met", target_met);
     rep.write_and_note();
 

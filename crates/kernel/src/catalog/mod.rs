@@ -133,6 +133,31 @@ impl Catalog {
             ret: Some(crate::value::DataType::Text),
             eval: Arc::new(|_, _| Ok(crate::value::Datum::text(crate::obs::flight::render_json()))),
         });
+        // Per-plan-digest estimate-vs-actual aggregates plus the fitted
+        // cost calibration, across every engine in the process (the
+        // function analogue of `SHOW PLAN STATS`, which filters to the
+        // issuing engine).
+        catalog.register_function(FuncDef {
+            name: "mlql_plan_stats".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| {
+                Ok(crate::value::Datum::text(
+                    crate::obs::planstore::render_json(None),
+                ))
+            }),
+        });
+        // Stale-statistics advisories across every engine, as a JSON array.
+        catalog.register_function(FuncDef {
+            name: "mlql_advisories".into(),
+            arity: 0,
+            ret: Some(crate::value::DataType::Text),
+            eval: Arc::new(|_, _| {
+                Ok(crate::value::Datum::text(
+                    crate::obs::planstore::render_advisories_json(None),
+                ))
+            }),
+        });
         catalog
     }
 

@@ -258,6 +258,12 @@ impl Database {
         self.session.analyze(table)
     }
 
+    /// Refresh optimizer statistics on every user table (bare `ANALYZE`),
+    /// clearing any stale-statistics advisories for this engine.
+    pub fn analyze_all(&mut self) -> Result<()> {
+        self.session.analyze_all()
+    }
+
     /// Checkpoint: flush heaps, persist a catalog snapshot + heap copies
     /// under the database root, and truncate the WAL.  Reopen cost after a
     /// checkpoint is bounded by post-checkpoint activity, not total

@@ -119,6 +119,18 @@ pub struct QueryResult {
 /// negative disables recording.
 pub const SLOW_QUERY_MS_VAR: &str = "slow_query_ms";
 
+/// Session variable (`SET qerror_warn`) bounding the tolerated q-error
+/// of row estimates: EXPLAIN ANALYZE marks nodes above it with
+/// `[MISESTIMATE]`, and scans of a table exceeding it over
+/// [`obs::planstore::ADVISOR_WINDOW`] consecutive executions raise a
+/// stale-statistics advisory (`SHOW ADVISORIES`).
+pub const QERROR_WARN_VAR: &str = "qerror_warn";
+
+/// Default `qerror_warn`: two orders of magnitude off before the engine
+/// complains (q-error is ≥ 1 by construction; ordinary estimates land
+/// well under 10).
+pub const QERROR_WARN_DEFAULT: i64 = 100;
+
 /// How `run_select` should report.
 enum ExplainMode {
     Off,
@@ -577,6 +589,7 @@ impl Session {
             return;
         }
         let io = self.engine.pool.stats().since(io_before);
+        let rows = result.rows.len() as u64 + result.affected;
         obs::flight::record(obs::FlightRecord {
             engine_id: self.engine.engine_id,
             session_id: self.session_id,
@@ -584,11 +597,83 @@ impl Session {
             sql: obs::activity::snippet(sql_text).to_string(),
             plan_digest: result.stats.plan_digest.unwrap_or(0),
             elapsed,
-            rows: result.rows.len() as u64 + result.affected,
+            rows,
             batches: result.stats.batches,
             trace: result.stats.trace.clone().unwrap_or_default(),
             waits: Arc::clone(&qctx.waits),
             io_reads: (io.logical_reads, io.physical_reads),
+            est_rows: result.stats.est_rows,
+            est_cost: result.stats.est_cost,
+            qerror: result
+                .stats
+                .est_rows
+                .map(|e| obs::planstore::q_error(e, rows as f64)),
+        });
+    }
+
+    /// The session's `qerror_warn` threshold (≥ 1).
+    fn qerror_warn(&self) -> f64 {
+        self.vars.get_int(QERROR_WARN_VAR, QERROR_WARN_DEFAULT).max(1) as f64
+    }
+
+    /// Deposit one executed SELECT into the plan store: root
+    /// estimate-vs-actual on every path, per-node and per-scan q-errors
+    /// when the instrumented executor ran (`EXPLAIN ANALYZE`), and a
+    /// root-attributed per-table scan q-error on plain linear plans so
+    /// the stale-statistics advisor sees ordinary traffic too.
+    fn record_plan_observation(
+        &self,
+        phys: &PhysNode,
+        digest: Option<u64>,
+        actual_rows: u64,
+        elapsed: Duration,
+        actuals: Option<&[NodeActuals]>,
+    ) {
+        let Some(digest) = digest else { return };
+        let warn = self.qerror_warn();
+        let (node_qerror_max, scans) = match actuals {
+            Some(actuals) => {
+                let mut scans = Vec::new();
+                let mut worst = 1.0f64;
+                for (node, a) in phys.preorder().into_iter().zip(actuals) {
+                    let per_loop = a.rows as f64 / a.loops.max(1) as f64;
+                    let q = obs::planstore::q_error(node.est_rows, per_loop);
+                    worst = worst.max(q);
+                    if let Some((table, class)) = node.leaf_scan_class() {
+                        scans.push(obs::planstore::ScanObservation {
+                            table,
+                            class,
+                            qerror: q,
+                        });
+                    }
+                }
+                (Some(worst), scans)
+            }
+            None => {
+                let scans = phys
+                    .scan_attribution()
+                    .map(|(table, class)| {
+                        vec![obs::planstore::ScanObservation {
+                            table,
+                            class,
+                            qerror: obs::planstore::q_error(phys.est_rows, actual_rows as f64),
+                        }]
+                    })
+                    .unwrap_or_default();
+                (None, scans)
+            }
+        };
+        obs::planstore::record(obs::planstore::Observation {
+            engine_id: self.engine.engine_id,
+            digest,
+            root: phys.op_name(),
+            est_rows: phys.est_rows,
+            est_cost: phys.est_cost,
+            actual_rows,
+            elapsed,
+            qerror_warn: warn,
+            node_qerror_max,
+            scans,
         });
     }
 
@@ -998,7 +1083,10 @@ impl Session {
             }
             Statement::Show { name } => self.show(&name),
             Statement::Analyze { table } => {
-                self.analyze(&table)?;
+                match table {
+                    Some(t) => self.analyze(&t)?,
+                    None => self.analyze_all()?,
+                }
                 Ok(QueryResult::default())
             }
         }
@@ -1067,6 +1155,68 @@ impl Session {
                         Column::new("workers", DataType::Int),
                         Column::new("elapsed_ms", DataType::Float),
                         Column::new("sql", DataType::Text),
+                    ]),
+                    rows,
+                    ..QueryResult::default()
+                })
+            }
+            // Per-plan-digest estimate-vs-actual aggregates for this
+            // engine (the cost-model feedback loop; `SHOW PLAN STATS`).
+            "plan_stats" => {
+                let rows = obs::planstore::snapshot(Some(self.engine.engine_id))
+                    .into_iter()
+                    .map(|e| {
+                        vec![
+                            Datum::text(format!("{:016x}", e.digest)),
+                            Datum::text(&e.root),
+                            Datum::Int(e.calls as i64),
+                            Datum::Float(e.mean().as_secs_f64() * 1e3),
+                            Datum::Float(e.max.as_secs_f64() * 1e3),
+                            Datum::Float(e.est_cost),
+                            Datum::Float(e.est_rows),
+                            Datum::Int(e.last_actual_rows as i64),
+                            Datum::Float(e.qerror_last),
+                            Datum::Float(e.qerror_max),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![
+                        Column::new("plan_digest", DataType::Text),
+                        Column::new("root", DataType::Text),
+                        Column::new("calls", DataType::Int),
+                        Column::new("mean_ms", DataType::Float),
+                        Column::new("max_ms", DataType::Float),
+                        Column::new("est_cost", DataType::Float),
+                        Column::new("est_rows", DataType::Float),
+                        Column::new("last_rows", DataType::Int),
+                        Column::new("qerror_last", DataType::Float),
+                        Column::new("qerror_max", DataType::Float),
+                    ]),
+                    rows,
+                    ..QueryResult::default()
+                })
+            }
+            // Stale-statistics advisories currently raised on this
+            // engine (`SHOW ADVISORIES`).
+            "advisories" => {
+                let rows = obs::planstore::advisories(Some(self.engine.engine_id))
+                    .into_iter()
+                    .map(|a| {
+                        vec![
+                            Datum::text(&a.table),
+                            Datum::Float(a.qerror),
+                            Datum::Int(a.window as i64),
+                            Datum::text(&a.recommendation),
+                        ]
+                    })
+                    .collect();
+                Ok(QueryResult {
+                    schema: Schema::new(vec![
+                        Column::new("table", DataType::Text),
+                        Column::new("qerror", DataType::Float),
+                        Column::new("window", DataType::Int),
+                        Column::new("recommendation", DataType::Text),
                     ]),
                     rows,
                     ..QueryResult::default()
@@ -1141,6 +1291,8 @@ impl Session {
             .stage_execute_ns_total
             .add(exec_time.as_nanos() as u64);
         let io = self.engine.pool.stats().since(&io_before);
+        let plan_digest = obs::enabled().then(|| plan.digest());
+        self.record_plan_observation(&plan, plan_digest, rows.len() as u64, exec_time, None);
         Ok(Some(QueryResult {
             schema: plan.schema.clone(),
             rows,
@@ -1155,7 +1307,7 @@ impl Session {
                 est_cost: Some(plan.est_cost),
                 est_rows: Some(plan.est_rows),
                 trace: None,
-                plan_digest: obs::enabled().then(|| plan.digest()),
+                plan_digest,
                 ..RunStats::default()
             },
         }))
@@ -1292,7 +1444,14 @@ impl Session {
                     ));
                 }
                 trace.record_span(obs::Span::with_children("execute", elapsed, exec_children));
-                let mut text = phys.explain_with_actuals(&actuals);
+                self.record_plan_observation(
+                    &phys,
+                    plan_digest,
+                    rows.len() as u64,
+                    elapsed,
+                    Some(&actuals),
+                );
+                let mut text = phys.explain_with_actuals(&actuals, self.qerror_warn());
                 text.push_str(&format!(
                     "Actual: rows={} batches={} time={:.3}ms logical_reads={} physical_reads={} index_node_visits={} ext_op_calls={}\n",
                     rows.len(),
@@ -1366,6 +1525,7 @@ impl Session {
             .stage_execute_ns_total
             .add(exec_time.as_nanos() as u64);
         let io = self.engine.pool.stats().since(&io_before);
+        self.record_plan_observation(&phys, plan_digest, rows.len() as u64, exec_time, None);
         Ok(QueryResult {
             schema: phys.schema.clone(),
             rows,
@@ -1607,8 +1767,30 @@ impl Session {
                 .collect(),
         };
         *meta.stats.lock() = stats;
+        let canonical = meta.name.clone();
         drop(catalog);
         self.engine.bump_schema_epoch();
+        // Fresh statistics: retract any stale-statistics advisory on the
+        // table (the advisor's recommended remediation just ran).
+        obs::planstore::note_analyze(self.engine.engine_id, Some(&canonical));
+        Ok(())
+    }
+
+    /// Bare `ANALYZE`: refresh statistics on every user table, then
+    /// clear the engine's stale-statistics advisories wholesale.  Each
+    /// per-table pass bumps the schema epoch, so cached plans are
+    /// flushed exactly as for targeted ANALYZE.
+    pub fn analyze_all(&mut self) -> Result<()> {
+        let names: Vec<String> = self
+            .engine
+            .catalog()
+            .tables()
+            .map(|m| m.name.clone())
+            .collect();
+        for name in &names {
+            self.analyze(name)?;
+        }
+        obs::planstore::note_analyze(self.engine.engine_id, None);
         Ok(())
     }
 }
@@ -1821,6 +2003,66 @@ mod tests {
         assert_eq!(engine.cached_plan_count(), 1);
         s.execute("ANALYZE t").unwrap();
         assert_eq!(engine.cached_plan_count(), 0);
+    }
+
+    #[test]
+    fn bare_analyze_refreshes_all_tables_and_flushes_plans() {
+        let engine = Engine::in_memory();
+        let mut s = engine.connect();
+        s.execute("CREATE TABLE a (id INT)").unwrap();
+        s.execute("CREATE TABLE b (id INT)").unwrap();
+        for i in 0..5 {
+            s.execute(&format!("INSERT INTO a VALUES ({i})")).unwrap();
+            s.execute(&format!("INSERT INTO b VALUES ({i})")).unwrap();
+        }
+        s.execute("SELECT count(*) FROM a").unwrap();
+        assert!(engine.cached_plan_count() > 0);
+        s.execute("ANALYZE").unwrap();
+        // Every user table's statistics reflect the current heap...
+        let catalog = engine.catalog();
+        for t in ["a", "b"] {
+            let meta = catalog.table(t).unwrap();
+            let stats = meta.stats.lock();
+            assert_eq!(stats.rows, 5, "table {t} analyzed");
+        }
+        drop(catalog);
+        // ...and the epoch bump flushed every cached plan.
+        assert_eq!(engine.cached_plan_count(), 0);
+    }
+
+    #[test]
+    fn plan_store_aggregates_across_sessions_by_digest() {
+        let engine = Engine::in_memory();
+        let mut s1 = engine.connect();
+        s1.execute("CREATE TABLE t (id INT)").unwrap();
+        for i in 0..8 {
+            s1.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        s1.execute("ANALYZE t").unwrap();
+        let sql = "SELECT count(*) FROM t WHERE id >= 0";
+        let digest = s1.execute(sql).unwrap().stats.plan_digest.unwrap();
+        // A second session runs the same statement (via the plan cache)
+        // plus an EXPLAIN ANALYZE of it: all three executions share one
+        // plan shape, so they land on one entry.
+        let mut s2 = engine.connect();
+        s2.execute(sql).unwrap();
+        s2.execute(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        let snap = obs::planstore::snapshot(Some(engine.engine_id));
+        let entry = snap
+            .iter()
+            .find(|e| e.digest == digest)
+            .expect("plan entry for the shared digest");
+        assert_eq!(entry.calls, 3, "plain + cached + instrumented runs");
+        assert_eq!(entry.last_actual_rows, 1);
+        assert!(entry.qerror_last >= 1.0);
+        assert!(entry.total >= entry.max);
+        // The instrumented run filled in the per-node worst-case q-error.
+        assert!(entry.node_qerror_max.is_some());
+        // A different plan shape gets its own entry.
+        s1.execute("SELECT count(*) FROM t WHERE id >= 1 AND id <= 3")
+            .unwrap();
+        let snap = obs::planstore::snapshot(Some(engine.engine_id));
+        assert!(snap.iter().any(|e| e.digest != digest));
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub struct FlightRecord {
     pub waits: Arc<WaitProfile>,
     /// Buffer-pool (logical, physical) read delta across the statement.
     pub io_reads: (u64, u64),
+    /// Optimizer-estimated root output rows (queries only).
+    pub est_rows: Option<f64>,
+    /// Optimizer-estimated total plan cost (queries only).
+    pub est_cost: Option<f64>,
+    /// Root q-error `max(est,act)/max(min(est,act),1)` of the row
+    /// estimate against `rows` (queries only).
+    pub qerror: Option<f64>,
 }
 
 impl FlightRecord {
@@ -64,13 +71,21 @@ impl FlightRecord {
             self.engine_id, self.session_id, self.query_id
         ));
         json_escape_into(&self.sql, &mut out);
+        let opt = |v: Option<f64>| match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_string(),
+        };
         out.push_str(&format!(
             "\",\"plan_digest\":\"{:016x}\",\"elapsed_us\":{},\"rows\":{},\"batches\":{},\
+             \"est_rows\":{},\"est_cost\":{},\"qerror\":{},\
              \"logical_reads\":{},\"physical_reads\":{},\"waits\":{},\"trace\":{}}}",
             self.plan_digest,
             self.elapsed.as_micros(),
             self.rows,
             self.batches,
+            opt(self.est_rows),
+            opt(self.est_cost),
+            opt(self.qerror),
             self.io_reads.0,
             self.io_reads.1,
             self.waits.to_json(),
@@ -170,6 +185,9 @@ mod tests {
             trace,
             waits: Arc::new(WaitProfile::new()),
             io_reads: (10, 1),
+            est_rows: Some(4.0),
+            est_cost: Some(25.0),
+            qerror: Some(4.0 / 3.0),
         }
     }
 
@@ -208,6 +226,9 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"rows\":3,\"batches\":1"), "{json}");
+        assert!(json.contains("\"est_rows\":4"), "{json}");
+        assert!(json.contains("\"est_cost\":25"), "{json}");
+        assert!(json.contains("\"qerror\":1.33"), "{json}");
         assert!(json.contains("SELECT \\\"x\\\""), "escaped sql: {json}");
         assert!(json.contains("\"trace\":{\"query_id\":7"), "{json}");
         assert!(json.contains("\"waits\":{}"), "{json}");

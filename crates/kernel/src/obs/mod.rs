@@ -20,6 +20,11 @@
 //! 6. **Per-operator actuals**: `exec::build_instrumented` wraps each
 //!    plan node so EXPLAIN ANALYZE prints actual rows / loops / time /
 //!    pages per node (see `exec::OpStats`).
+//! 7. **Plan store** ([`planstore`]): per-plan-digest estimate-vs-actual
+//!    aggregates (calls, elapsed, q-error), the live est_cost→elapsed
+//!    calibration fit, and the stale-statistics advisor
+//!    (`SHOW PLAN STATS`, `SHOW ADVISORIES`, `mlql_plan_stats()`,
+//!    `mlql_advisories()`).
 //!
 //! The glue between layers is the [`QueryContext`]: one per running
 //! statement, installed in a thread-local on the session thread and on
@@ -30,6 +35,7 @@
 
 pub mod activity;
 pub mod flight;
+pub mod planstore;
 pub mod registry;
 pub mod trace;
 pub mod waits;

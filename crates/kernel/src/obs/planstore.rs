@@ -1,0 +1,625 @@
+//! Plan store: per-plan-digest estimate-vs-actual statistics.
+//!
+//! The optimizer's claim to fame (§3.4 selectivity estimators, Table 3
+//! cost models, Figure 6) is that its ψ/Ω predictions are accurate
+//! enough to pick the right plan.  The fig6 bench validates that once,
+//! offline; this module validates it *continuously*: every executed
+//! SELECT (plan-cache hit, cold plan, or `EXPLAIN ANALYZE`) deposits an
+//! [`Observation`] keyed by the plan's FNV-1a digest, and the store
+//! aggregates calls, elapsed time and the q-error
+//! `max(est,act) / max(min(est,act), 1)` of the root (and, when the
+//! instrumented executor ran, of every node).
+//!
+//! Three consumers sit on top:
+//!
+//! * `SHOW PLAN STATS` / `mlql_plan_stats()` — per-digest aggregates
+//!   plus a cost-calibration summary (fitted log-log est_cost→elapsed
+//!   line and residual spread, Figure 6 recomputed over live traffic).
+//! * Per-operator-class q-error histograms (`mlql_qerror_seqscan`,
+//!   `_psi`, `_omega`, `_indexscan`) in the metrics registry.
+//! * The stale-statistics advisor: when a table's scans exceed the
+//!   session's `qerror_warn` threshold over [`ADVISOR_WINDOW`]
+//!   consecutive executions, an advisory naming the table (and
+//!   recommending `ANALYZE`) is raised — surfaced by
+//!   `SHOW ADVISORIES` / `mlql_advisories()` and counted by
+//!   `mlql_stats_advisories_total`.  `ANALYZE t` (or bare `ANALYZE`)
+//!   clears the table's advisory state.
+//!
+//! Everything is process-wide (like the flight recorder) and tagged
+//! with the engine id, so one process can host many engines without
+//! cross-talk.  The store is bounded ([`CAPACITY`] plans per process,
+//! arbitrary eviction like the plan cache) and the per-statement
+//! recording path is O(1) map work — cheap enough to stay inside the
+//! obs_overhead guard's 1.03 budget.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Bound on distinct (engine, digest) entries retained process-wide.
+pub const CAPACITY: usize = 512;
+
+/// Consecutive over-threshold scans of one table before an advisory is
+/// raised (the "N recent executions" window).
+pub const ADVISOR_WINDOW: usize = 3;
+
+/// The q-error of an estimate against a measured actual:
+/// `max(est, act) / max(min(est, act), 1)`, clamped to ≥ 1 so a perfect
+/// estimate (including the degenerate `0 vs 0`) reads exactly 1.0.
+/// Symmetric — under- and over-estimation score alike — and unitless,
+/// the standard cardinality-estimation quality measure.
+pub fn q_error(est: f64, act: f64) -> f64 {
+    let est = if est.is_finite() { est.max(0.0) } else { 0.0 };
+    let act = if act.is_finite() { act.max(0.0) } else { 0.0 };
+    let num = est.max(act);
+    let den = est.min(act).max(1.0);
+    (num / den).max(1.0)
+}
+
+/// Operator class a scan q-error is attributed to (one metrics
+/// histogram per class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Plain (or parallel) sequential scan.
+    SeqScan,
+    /// Scan evaluating a ψ (LexEQUAL) predicate.
+    Psi,
+    /// Scan evaluating an Ω (SemEQUAL) predicate.
+    Omega,
+    /// Index scan (B-tree or M-tree probe without ψ/Ω attribution).
+    IndexScan,
+}
+
+/// One scan node's estimate quality in one execution, attributed to the
+/// table it scanned.
+#[derive(Debug, Clone)]
+pub struct ScanObservation {
+    /// Table the scan read.
+    pub table: String,
+    /// Operator class (selects the q-error histogram).
+    pub class: OpClass,
+    /// q-error of the scan's row estimate.
+    pub qerror: f64,
+}
+
+/// Everything one executed statement reports to the store.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Engine the statement ran in.
+    pub engine_id: u64,
+    /// FNV-1a digest of the executed physical plan.
+    pub digest: u64,
+    /// Root operator name (labels the digest in human surfaces).
+    pub root: String,
+    /// Optimizer-estimated root output rows.
+    pub est_rows: f64,
+    /// Optimizer-estimated total plan cost.
+    pub est_cost: f64,
+    /// Rows the plan root actually produced.
+    pub actual_rows: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Session `qerror_warn` threshold in force (advisor trigger).
+    pub qerror_warn: f64,
+    /// Worst per-node q-error, when the instrumented executor ran
+    /// (`EXPLAIN ANALYZE`); `None` on the plain path.
+    pub node_qerror_max: Option<f64>,
+    /// Per-scan-node attributions (root-attributed on the plain path).
+    pub scans: Vec<ScanObservation>,
+}
+
+/// Aggregated state of one plan digest.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// Engine the plan ran in.
+    pub engine_id: u64,
+    /// Plan-shape digest (groups executions across sessions/ANALYZEs).
+    pub digest: u64,
+    /// Root operator name.
+    pub root: String,
+    /// Executions recorded.
+    pub calls: u64,
+    /// Total execution time across calls.
+    pub total: Duration,
+    /// Slowest single execution.
+    pub max: Duration,
+    /// Latest root row estimate.
+    pub est_rows: f64,
+    /// Latest total cost estimate.
+    pub est_cost: f64,
+    /// Root rows of the latest execution.
+    pub last_actual_rows: u64,
+    /// Root q-error of the latest execution.
+    pub qerror_last: f64,
+    /// Worst root q-error seen.
+    pub qerror_max: f64,
+    /// Worst per-node q-error seen (instrumented runs only).
+    pub node_qerror_max: Option<f64>,
+}
+
+impl PlanEntry {
+    /// Mean execution time.
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.calls as u32
+        }
+    }
+}
+
+/// One stale-statistics advisory.
+#[derive(Debug, Clone)]
+pub struct Advisory {
+    /// Engine the advisory belongs to.
+    pub engine_id: u64,
+    /// Table whose scans keep missing their estimates.
+    pub table: String,
+    /// Worst scan q-error inside the triggering window.
+    pub qerror: f64,
+    /// Number of consecutive over-threshold scans observed.
+    pub window: usize,
+    /// Remediation text.
+    pub recommendation: String,
+}
+
+/// Sliding window of one table's recent scan estimate quality.
+#[derive(Debug, Default)]
+struct TableTrack {
+    /// Last [`ADVISOR_WINDOW`] (qerror, exceeded-threshold) samples.
+    recent: VecDeque<(f64, bool)>,
+    /// Whether the advisory is currently raised (edge-triggers the
+    /// counter metric).
+    active: bool,
+}
+
+fn store() -> &'static Mutex<HashMap<(u64, u64), PlanEntry>> {
+    static STORE: OnceLock<Mutex<HashMap<(u64, u64), PlanEntry>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn tracker() -> &'static Mutex<HashMap<(u64, String), TableTrack>> {
+    static TRACKER: OnceLock<Mutex<HashMap<(u64, String), TableTrack>>> = OnceLock::new();
+    TRACKER.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Record one executed statement.  Called on *every* SELECT execution
+/// (cached, cold, and `EXPLAIN ANALYZE` paths) while observability is
+/// enabled.
+pub fn record(obs: Observation) {
+    let root_q = q_error(obs.est_rows, obs.actual_rows as f64);
+    {
+        let mut map = store().lock();
+        let key = (obs.engine_id, obs.digest);
+        if map.len() >= CAPACITY && !map.contains_key(&key) {
+            if let Some(victim) = map.keys().next().copied() {
+                map.remove(&victim);
+            }
+        }
+        let e = map.entry(key).or_insert_with(|| PlanEntry {
+            engine_id: obs.engine_id,
+            digest: obs.digest,
+            root: obs.root.clone(),
+            calls: 0,
+            total: Duration::ZERO,
+            max: Duration::ZERO,
+            est_rows: obs.est_rows,
+            est_cost: obs.est_cost,
+            last_actual_rows: 0,
+            qerror_last: 1.0,
+            qerror_max: 1.0,
+            node_qerror_max: None,
+        });
+        e.calls += 1;
+        e.total += obs.elapsed;
+        e.max = e.max.max(obs.elapsed);
+        e.est_rows = obs.est_rows;
+        e.est_cost = obs.est_cost;
+        e.last_actual_rows = obs.actual_rows;
+        e.qerror_last = root_q;
+        e.qerror_max = e.qerror_max.max(root_q);
+        if let Some(nq) = obs.node_qerror_max {
+            e.node_qerror_max = Some(e.node_qerror_max.map_or(nq, |m| m.max(nq)));
+        }
+    }
+    if obs.scans.is_empty() {
+        return;
+    }
+    let m = super::registry::metrics();
+    let mut tracks = tracker().lock();
+    for scan in &obs.scans {
+        match scan.class {
+            OpClass::SeqScan => m.qerror_seqscan.observe(scan.qerror),
+            OpClass::Psi => m.qerror_psi.observe(scan.qerror),
+            OpClass::Omega => m.qerror_omega.observe(scan.qerror),
+            OpClass::IndexScan => m.qerror_indexscan.observe(scan.qerror),
+        }
+        let t = tracks
+            .entry((obs.engine_id, scan.table.clone()))
+            .or_default();
+        if t.recent.len() == ADVISOR_WINDOW {
+            t.recent.pop_front();
+        }
+        t.recent.push_back((scan.qerror, scan.qerror > obs.qerror_warn));
+        let raised = t.recent.len() == ADVISOR_WINDOW && t.recent.iter().all(|(_, ex)| *ex);
+        if raised && !t.active {
+            m.stats_advisories_total.inc();
+        }
+        t.active = raised;
+    }
+}
+
+/// Statistics were just rebuilt: clear the advisor state for `table`
+/// (or every table of the engine, for bare `ANALYZE`).  The plan store
+/// aggregates are kept — the digests identify plan *shapes*, which
+/// survive an ANALYZE.
+pub fn note_analyze(engine_id: u64, table: Option<&str>) {
+    let mut tracks = tracker().lock();
+    match table {
+        Some(t) => {
+            let t = t.to_lowercase();
+            tracks.remove(&(engine_id, t));
+        }
+        None => tracks.retain(|(eid, _), _| *eid != engine_id),
+    }
+}
+
+/// Retained plan entries, optionally filtered to one engine, ordered by
+/// call count (descending) then digest for deterministic output.
+pub fn snapshot(engine_id: Option<u64>) -> Vec<PlanEntry> {
+    let mut v: Vec<PlanEntry> = store()
+        .lock()
+        .values()
+        .filter(|e| engine_id.is_none_or(|id| e.engine_id == id))
+        .cloned()
+        .collect();
+    v.sort_by(|a, b| b.calls.cmp(&a.calls).then(a.digest.cmp(&b.digest)));
+    v
+}
+
+/// Currently-raised advisories, optionally filtered to one engine,
+/// ordered by table name.
+pub fn advisories(engine_id: Option<u64>) -> Vec<Advisory> {
+    let tracks = tracker().lock();
+    let mut v: Vec<Advisory> = tracks
+        .iter()
+        .filter(|((eid, _), t)| t.active && engine_id.is_none_or(|id| *eid == id))
+        .map(|((eid, table), t)| Advisory {
+            engine_id: *eid,
+            table: table.clone(),
+            qerror: t
+                .recent
+                .iter()
+                .map(|(q, _)| *q)
+                .fold(1.0f64, f64::max),
+            window: t.recent.len(),
+            recommendation: format!("ANALYZE {table}"),
+        })
+        .collect();
+    v.sort_by(|a, b| (a.engine_id, &a.table).cmp(&(b.engine_id, &b.table)));
+    v
+}
+
+/// Drop every entry and advisory belonging to `engine_id` (tests).
+pub fn clear_engine(engine_id: u64) {
+    store().lock().retain(|(eid, _), _| *eid != engine_id);
+    tracker().lock().retain(|(eid, _), _| *eid != engine_id);
+}
+
+// -------------------------------------------------------- calibration
+
+/// Least-squares fit of the optimizer cost model against measured
+/// runtimes, recomputed over the plan store — Figure 6 as a live gauge.
+/// Fit is in log10 space (`log10(mean_ms) ≈ slope·log10(est_cost) + b`)
+/// because both axes span orders of magnitude.
+#[derive(Debug, Clone, Default)]
+pub struct Calibration {
+    /// Plans that contributed a (cost, time) point.
+    pub points: usize,
+    /// Fitted slope (1.0 = cost units track runtime proportionally).
+    pub slope: f64,
+    /// Fitted intercept (log10 milliseconds at est_cost = 1).
+    pub intercept: f64,
+    /// Standard deviation of the fit residuals (log10 ms) — the spread
+    /// around the Figure 6 trend line.
+    pub residual_stddev: f64,
+    /// Log-log Pearson correlation (the paper reports "well over 0.9").
+    pub pearson: f64,
+}
+
+/// Fit the est_cost→elapsed calibration over `entries`.
+pub fn calibration(entries: &[PlanEntry]) -> Calibration {
+    let pts: Vec<(f64, f64)> = entries
+        .iter()
+        .filter(|e| e.calls > 0 && e.est_cost > 0.0)
+        .map(|e| {
+            let x = e.est_cost.max(1e-9).log10();
+            let y = (e.mean().as_secs_f64() * 1e3).max(1e-6).log10();
+            (x, y)
+        })
+        .collect();
+    let n = pts.len();
+    if n < 2 {
+        return Calibration {
+            points: n,
+            ..Calibration::default()
+        };
+    }
+    let nf = n as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / nf;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in &pts {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let mut rss = 0.0;
+    for (x, y) in &pts {
+        let r = y - (slope * x + intercept);
+        rss += r * r;
+    }
+    let residual_stddev = (rss / nf).sqrt();
+    let pearson = if sxx > 0.0 && syy > 0.0 {
+        sxy / (sxx * syy).sqrt()
+    } else {
+        0.0
+    };
+    Calibration {
+        points: n,
+        slope,
+        intercept,
+        residual_stddev,
+        pearson,
+    }
+}
+
+// ---------------------------------------------------------- rendering
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// JSON object: `{"plans":[...],"calibration":{...}}`, optionally
+/// filtered to one engine (`mlql_plan_stats()` passes `None`).
+pub fn render_json(engine_id: Option<u64>) -> String {
+    let entries = snapshot(engine_id);
+    let cal = calibration(&entries);
+    let mut out = String::from("{\"plans\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"engine_id\":{},\"plan_digest\":\"{:016x}\",\"root\":\"",
+            e.engine_id, e.digest
+        ));
+        super::trace::json_escape_into(&e.root, &mut out);
+        out.push_str(&format!(
+            "\",\"calls\":{},\"mean_ms\":{},\"max_ms\":{},\"total_ms\":{},",
+            e.calls,
+            e.mean().as_secs_f64() * 1e3,
+            e.max.as_secs_f64() * 1e3,
+            e.total.as_secs_f64() * 1e3,
+        ));
+        out.push_str("\"est_rows\":");
+        push_num(&mut out, e.est_rows);
+        out.push_str(",\"est_cost\":");
+        push_num(&mut out, e.est_cost);
+        out.push_str(&format!(",\"last_actual_rows\":{},", e.last_actual_rows));
+        out.push_str("\"qerror_last\":");
+        push_num(&mut out, e.qerror_last);
+        out.push_str(",\"qerror_max\":");
+        push_num(&mut out, e.qerror_max);
+        out.push_str(",\"node_qerror_max\":");
+        match e.node_qerror_max {
+            Some(v) => push_num(&mut out, v),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"calibration\":{");
+    out.push_str(&format!("\"points\":{},", cal.points));
+    out.push_str("\"slope\":");
+    push_num(&mut out, cal.slope);
+    out.push_str(",\"intercept\":");
+    push_num(&mut out, cal.intercept);
+    out.push_str(",\"residual_stddev\":");
+    push_num(&mut out, cal.residual_stddev);
+    out.push_str(",\"loglog_pearson\":");
+    push_num(&mut out, cal.pearson);
+    out.push_str("}}");
+    out
+}
+
+/// JSON array of the currently-raised advisories (`mlql_advisories()`
+/// passes `None`).
+pub fn render_advisories_json(engine_id: Option<u64>) -> String {
+    let mut out = String::from("[");
+    for (i, a) in advisories(engine_id).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"engine_id\":{},\"table\":\"",
+            a.engine_id
+        ));
+        super::trace::json_escape_into(&a.table, &mut out);
+        out.push_str("\",\"qerror\":");
+        push_num(&mut out, a.qerror);
+        out.push_str(&format!(",\"window\":{},\"recommendation\":\"", a.window));
+        super::trace::json_escape_into(&a.recommendation, &mut out);
+        out.push_str("\"}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Engine ids far above anything the test suite's engines allocate,
+    // so concurrently-running statement tests cannot interfere.
+    const ENG: u64 = 0x5157_0000;
+
+    fn ob(engine: u64, digest: u64, est: f64, act: u64, ms: u64) -> Observation {
+        Observation {
+            engine_id: engine,
+            digest,
+            root: "Aggregate".into(),
+            est_rows: est,
+            est_cost: 100.0,
+            actual_rows: act,
+            elapsed: Duration::from_millis(ms),
+            qerror_warn: 100.0,
+            node_qerror_max: None,
+            scans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn q_error_edge_cases() {
+        // Perfect estimates read 1.0, including the 0-vs-0 degenerate.
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        // Zero estimate vs. real rows (and vice versa) divides by the
+        // 1-clamped side instead of exploding.
+        assert_eq!(q_error(0.0, 100.0), 100.0);
+        assert_eq!(q_error(100.0, 0.0), 100.0);
+        // Symmetric over/under-estimation.
+        assert_eq!(q_error(10.0, 1000.0), q_error(1000.0, 10.0));
+        // Fractional estimates below one clamp to the 1 floor.
+        assert_eq!(q_error(0.5, 1.0), 1.0);
+        assert_eq!(q_error(0.25, 8.0), 8.0);
+        // Garbage in, sane out.
+        assert_eq!(q_error(f64::NAN, 5.0), 5.0);
+        assert_eq!(q_error(f64::INFINITY, 5.0), 5.0);
+        assert_eq!(q_error(-3.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn store_aggregates_by_digest() {
+        let eng = ENG + 1;
+        clear_engine(eng);
+        record(ob(eng, 0xd1, 10.0, 10, 4));
+        record(ob(eng, 0xd1, 10.0, 40, 8));
+        record(ob(eng, 0xd2, 1.0, 1, 1));
+        let snap = snapshot(Some(eng));
+        assert_eq!(snap.len(), 2);
+        let e = snap.iter().find(|e| e.digest == 0xd1).unwrap();
+        assert_eq!(e.calls, 2);
+        assert_eq!(e.total, Duration::from_millis(12));
+        assert_eq!(e.mean(), Duration::from_millis(6));
+        assert_eq!(e.max, Duration::from_millis(8));
+        assert_eq!(e.qerror_last, 4.0);
+        assert_eq!(e.qerror_max, 4.0);
+        assert_eq!(e.last_actual_rows, 40);
+        assert!(e.node_qerror_max.is_none());
+        clear_engine(eng);
+    }
+
+    #[test]
+    fn advisory_raises_after_window_and_clears_on_analyze() {
+        let eng = ENG + 2;
+        clear_engine(eng);
+        let scan = |q: f64| Observation {
+            qerror_warn: 4.0,
+            scans: vec![ScanObservation {
+                table: "names".into(),
+                class: OpClass::SeqScan,
+                qerror: q,
+            }],
+            ..ob(eng, 0xd3, 1.0, 1, 1)
+        };
+        let before = super::super::registry::metrics()
+            .stats_advisories_total
+            .get();
+        record(scan(50.0));
+        record(scan(60.0));
+        assert!(
+            advisories(Some(eng)).is_empty(),
+            "needs {ADVISOR_WINDOW} consecutive misses"
+        );
+        record(scan(70.0));
+        let adv = advisories(Some(eng));
+        assert_eq!(adv.len(), 1);
+        assert_eq!(adv[0].table, "names");
+        assert_eq!(adv[0].qerror, 70.0);
+        assert_eq!(adv[0].recommendation, "ANALYZE names");
+        assert!(
+            super::super::registry::metrics()
+                .stats_advisories_total
+                .get()
+                > before,
+            "raising an advisory bumps the counter"
+        );
+        // A good estimate resets the streak...
+        record(scan(1.0));
+        assert!(advisories(Some(eng)).is_empty());
+        // ...and an ANALYZE clears the tracker outright.
+        record(scan(50.0));
+        record(scan(60.0));
+        record(scan(70.0));
+        assert_eq!(advisories(Some(eng)).len(), 1);
+        note_analyze(eng, Some("names"));
+        assert!(advisories(Some(eng)).is_empty());
+        clear_engine(eng);
+    }
+
+    #[test]
+    fn calibration_fits_a_perfect_line() {
+        // mean_ms = est_cost / 100 → slope 1.0 in log-log space.
+        let entries: Vec<PlanEntry> = [(100.0, 1u64), (1000.0, 10), (10000.0, 100)]
+            .iter()
+            .map(|&(cost, ms)| PlanEntry {
+                engine_id: ENG + 3,
+                digest: ms,
+                root: "Aggregate".into(),
+                calls: 1,
+                total: Duration::from_millis(ms),
+                max: Duration::from_millis(ms),
+                est_rows: 1.0,
+                est_cost: cost,
+                last_actual_rows: 1,
+                qerror_last: 1.0,
+                qerror_max: 1.0,
+                node_qerror_max: None,
+            })
+            .collect();
+        let cal = calibration(&entries);
+        assert_eq!(cal.points, 3);
+        assert!((cal.slope - 1.0).abs() < 1e-9, "{cal:?}");
+        assert!(cal.residual_stddev < 1e-9, "{cal:?}");
+        assert!((cal.pearson - 1.0).abs() < 1e-9, "{cal:?}");
+        // Degenerate inputs do not fit.
+        assert_eq!(calibration(&entries[..1]).points, 1);
+        assert_eq!(calibration(&[]).points, 0);
+    }
+
+    #[test]
+    fn json_surfaces_render() {
+        let eng = ENG + 4;
+        clear_engine(eng);
+        record(ob(eng, 0xabc, 5.0, 50, 2));
+        let json = render_json(Some(eng));
+        assert!(json.starts_with("{\"plans\":["), "{json}");
+        assert!(json.contains("\"plan_digest\":\"0000000000000abc\""), "{json}");
+        assert!(json.contains("\"calls\":1"), "{json}");
+        assert!(json.contains("\"qerror_last\":10"), "{json}");
+        assert!(json.contains("\"calibration\":{"), "{json}");
+        assert!(json.contains("\"node_qerror_max\":null"), "{json}");
+        let adv = render_advisories_json(Some(eng));
+        assert_eq!(adv, "[]");
+        clear_engine(eng);
+    }
+}

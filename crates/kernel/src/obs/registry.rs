@@ -495,6 +495,16 @@ pub struct EngineMetrics {
     pub parallel_worker_busy_ns_total: Arc<Counter>,
     /// Nanoseconds gather nodes spent blocked waiting for worker batches.
     pub parallel_gather_wait_ns_total: Arc<Counter>,
+    /// q-error of sequential-scan row estimates (plan store feedback).
+    pub qerror_seqscan: Arc<Histogram>,
+    /// q-error of ψ (LexEQUAL) scan row estimates.
+    pub qerror_psi: Arc<Histogram>,
+    /// q-error of Ω (SemEQUAL) scan row estimates.
+    pub qerror_omega: Arc<Histogram>,
+    /// q-error of index-scan row estimates.
+    pub qerror_indexscan: Arc<Histogram>,
+    /// Stale-statistics advisories raised (edge-triggered per table).
+    pub stats_advisories_total: Arc<Counter>,
 }
 
 /// The engine's metric handles (registered in [`global`] on first use).
@@ -511,6 +521,9 @@ pub fn metrics() -> &'static EngineMetrics {
             50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3,
             500e-3, 1.0, 2.5, 5.0, 10.0,
         ];
+        // q-error is ≥ 1 by construction; powers of two up to "three
+        // orders of magnitude off" cover everything worth bucketing.
+        const QERROR_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0];
         let m = EngineMetrics {
             queries_total: r.counter("mlql_queries_total", "Statements executed"),
             query_latency_seconds: r.histogram(
@@ -613,6 +626,30 @@ pub fn metrics() -> &'static EngineMetrics {
             parallel_gather_wait_ns_total: r.counter(
                 "mlql_parallel_gather_wait_ns_total",
                 "Gather-node wait on worker batches (ns)",
+            ),
+            qerror_seqscan: r.histogram(
+                "mlql_qerror_seqscan",
+                "q-error of seq-scan row estimates",
+                &QERROR_BOUNDS,
+            ),
+            qerror_psi: r.histogram(
+                "mlql_qerror_psi",
+                "q-error of psi (LexEQUAL) scan row estimates",
+                &QERROR_BOUNDS,
+            ),
+            qerror_omega: r.histogram(
+                "mlql_qerror_omega",
+                "q-error of omega (SemEQUAL) scan row estimates",
+                &QERROR_BOUNDS,
+            ),
+            qerror_indexscan: r.histogram(
+                "mlql_qerror_indexscan",
+                "q-error of index-scan row estimates",
+                &QERROR_BOUNDS,
+            ),
+            stats_advisories_total: r.counter(
+                "mlql_stats_advisories_total",
+                "Stale-statistics advisories raised",
             ),
         };
         // Derived at render time so the fetch path pays nothing.

@@ -215,12 +215,15 @@ impl PhysNode {
     }
 
     /// Render an `EXPLAIN ANALYZE` tree: each node line is followed by
-    /// its measured actuals.  `actuals` must be in the same pre-order as
-    /// `explain` lines (as produced by `exec::build_instrumented`).
-    pub fn explain_with_actuals(&self, actuals: &[NodeActuals]) -> String {
+    /// its measured actuals — including the per-node q-error of the row
+    /// estimate, with a `[MISESTIMATE]` marker when it exceeds
+    /// `qerror_warn` (the `SET qerror_warn` session threshold).
+    /// `actuals` must be in the same pre-order as `explain` lines (as
+    /// produced by `exec::build_instrumented`).
+    pub fn explain_with_actuals(&self, actuals: &[NodeActuals], qerror_warn: f64) -> String {
         let mut out = String::new();
         let mut idx = 0;
-        self.explain_actuals_into(&mut out, 0, actuals, &mut idx);
+        self.explain_actuals_into(&mut out, 0, actuals, &mut idx, qerror_warn);
         out
     }
 
@@ -230,21 +233,28 @@ impl PhysNode {
         depth: usize,
         actuals: &[NodeActuals],
         idx: &mut usize,
+        qerror_warn: f64,
     ) {
         let pad = "  ".repeat(depth);
         let a = actuals.get(*idx).copied().unwrap_or_default();
         *idx += 1;
+        // q-error compares the per-loop estimate against the measured
+        // per-loop rows (actuals accumulate across rescans).
+        let per_loop = a.rows as f64 / a.loops.max(1) as f64;
+        let q = crate::obs::planstore::q_error(self.est_rows, per_loop);
+        let marker = if q > qerror_warn { " [MISESTIMATE]" } else { "" };
         let _ = writeln!(
             out,
-            "{pad}{}  (cost={:.2} rows={:.0}) (actual rows={} batches={} loops={} time={:.3}ms pages={})",
+            "{pad}{}  (cost={:.2} rows={}) (actual rows={} batches={} loops={} time={:.3}ms pages={} q={:.1}){marker}",
             self.op_line(),
             self.est_cost,
-            self.est_rows,
+            fmt_est_rows(self.est_rows),
             a.rows,
             a.batches,
             a.loops,
             a.time.as_secs_f64() * 1e3,
             a.pages,
+            q,
         );
         match &self.op {
             PhysOp::Filter { input, .. }
@@ -252,15 +262,15 @@ impl PhysNode {
             | PhysOp::Aggregate { input, .. }
             | PhysOp::Sort { input, .. }
             | PhysOp::Limit { input, .. } => {
-                input.explain_actuals_into(out, depth + 1, actuals, idx)
+                input.explain_actuals_into(out, depth + 1, actuals, idx, qerror_warn)
             }
             PhysOp::NlJoin { outer, inner, .. } => {
-                outer.explain_actuals_into(out, depth + 1, actuals, idx);
-                inner.explain_actuals_into(out, depth + 1, actuals, idx);
+                outer.explain_actuals_into(out, depth + 1, actuals, idx, qerror_warn);
+                inner.explain_actuals_into(out, depth + 1, actuals, idx, qerror_warn);
             }
             PhysOp::HashJoin { left, right, .. } => {
-                left.explain_actuals_into(out, depth + 1, actuals, idx);
-                right.explain_actuals_into(out, depth + 1, actuals, idx);
+                left.explain_actuals_into(out, depth + 1, actuals, idx, qerror_warn);
+                right.explain_actuals_into(out, depth + 1, actuals, idx, qerror_warn);
             }
             PhysOp::SeqScan { .. }
             | PhysOp::ParallelSeqScan { .. }
@@ -274,8 +284,9 @@ impl PhysNode {
         let line = self.op_line();
         let _ = writeln!(
             out,
-            "{pad}{line}  (cost={:.2} rows={:.0})",
-            self.est_cost, self.est_rows
+            "{pad}{line}  (cost={:.2} rows={})",
+            self.est_cost,
+            fmt_est_rows(self.est_rows)
         );
         match &self.op {
             PhysOp::Filter { input, .. }
@@ -362,6 +373,86 @@ impl PhysNode {
             c.digest_into(h);
         }
         fnv1a(h, b")");
+    }
+
+    /// Every node of the subtree in pre-order (the order `explain`,
+    /// `digest` and `exec::build_instrumented` all use).
+    pub fn preorder(&self) -> Vec<&PhysNode> {
+        let mut v = Vec::new();
+        self.preorder_into(&mut v);
+        v
+    }
+
+    fn preorder_into<'a>(&'a self, out: &mut Vec<&'a PhysNode>) {
+        out.push(self);
+        for c in self.children() {
+            c.preorder_into(out);
+        }
+    }
+
+    /// If this node is a scan, the `(table, operator-class)` its row
+    /// estimate should be attributed to: ψ/Ω when the pushed predicate
+    /// (or index strategy) evaluates LexEQUAL/SemEQUAL, otherwise the
+    /// plain scan class.
+    pub fn leaf_scan_class(&self) -> Option<(String, crate::obs::planstore::OpClass)> {
+        use crate::obs::planstore::OpClass;
+        match &self.op {
+            PhysOp::SeqScan { table, filter }
+            | PhysOp::ParallelSeqScan { table, filter, .. } => {
+                let class = match filter {
+                    Some(f) if f.contains_ext_op("lexequal") => OpClass::Psi,
+                    Some(f) if f.contains_ext_op("semequal") => OpClass::Omega,
+                    _ => OpClass::SeqScan,
+                };
+                Some((table.clone(), class))
+            }
+            PhysOp::IndexScan {
+                table,
+                strategy,
+                residual,
+                ..
+            } => {
+                let has = |name: &str| {
+                    residual
+                        .as_ref()
+                        .is_some_and(|r| r.contains_ext_op(name))
+                };
+                // The M-Tree `within` strategy is the ψ proximity probe
+                // (LexEQUAL's registered access path).
+                let class = if strategy.eq_ignore_ascii_case("within") || has("lexequal") {
+                    crate::obs::planstore::OpClass::Psi
+                } else if has("semequal") {
+                    crate::obs::planstore::OpClass::Omega
+                } else {
+                    crate::obs::planstore::OpClass::IndexScan
+                };
+                Some((table.clone(), class))
+            }
+            _ => None,
+        }
+    }
+
+    /// Attribute the *root* estimate of an uninstrumented execution to a
+    /// scanned table: descend through operators whose output cardinality
+    /// is the scan's post-predicate cardinality (Project/Sort preserve
+    /// counts; a Filter's root estimate *is* the per-table selectivity
+    /// estimate under test).  Aggregates, limits, joins and VALUES break
+    /// the attribution, so plans containing them return `None` — their
+    /// scans are only attributed when per-node actuals exist.
+    pub fn scan_attribution(&self) -> Option<(String, crate::obs::planstore::OpClass)> {
+        match &self.op {
+            PhysOp::Project { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Filter { input, .. } => input.scan_attribution(),
+            PhysOp::SeqScan { .. } | PhysOp::ParallelSeqScan { .. } | PhysOp::IndexScan { .. } => {
+                self.leaf_scan_class()
+            }
+            PhysOp::NlJoin { .. }
+            | PhysOp::HashJoin { .. }
+            | PhysOp::Aggregate { .. }
+            | PhysOp::Limit { .. }
+            | PhysOp::Values { .. } => None,
+        }
     }
 
     /// Build a trace span tree mirroring the plan shape from the
@@ -463,6 +554,23 @@ impl PhysNode {
             PhysOp::Limit { n, .. } => format!("Limit: {n}"),
             PhysOp::Values { rows } => format!("Values: {} rows", rows.len()),
         }
+    }
+}
+
+/// Render a row estimate for EXPLAIN: whole numbers keep the classic
+/// integral form, fractional estimates print one decimal, and sub-one
+/// estimates print `<1` instead of truncating to a misleading `rows=0`
+/// (selectivity math routinely produces 0.3-row estimates).
+fn fmt_est_rows(est: f64) -> String {
+    if !est.is_finite() {
+        return format!("{est}");
+    }
+    if est > 0.0 && est < 1.0 {
+        "<1".to_string()
+    } else if (est - est.round()).abs() < 1e-9 {
+        format!("{est:.0}")
+    } else {
+        format!("{est:.1}")
     }
 }
 

@@ -45,8 +45,9 @@ pub enum Statement {
     Set { name: String, value: AstExpr },
     /// `SHOW name`
     Show { name: String },
-    /// `ANALYZE table`
-    Analyze { table: String },
+    /// `ANALYZE [table]` — no table refreshes statistics on every user
+    /// table (the stale-statistics advisory's one-statement remediation).
+    Analyze { table: Option<String> },
 }
 
 /// A SELECT statement.

@@ -196,9 +196,14 @@ impl Parser {
             return Ok(Statement::Show { name });
         }
         if self.eat_kw("analyze") {
-            return Ok(Statement::Analyze {
-                table: self.ident()?,
-            });
+            // Bare `ANALYZE` (no table) targets every user table; a
+            // trailing statement terminator is not a table name.
+            let table = if matches!(self.peek(), Some(Token::Ident(_))) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Analyze { table });
         }
         Err(Error::Parse(format!(
             "unrecognized statement start: {:?}",
@@ -756,7 +761,15 @@ mod tests {
         ));
         assert!(matches!(
             parse("ANALYZE book").unwrap(),
-            Statement::Analyze { .. }
+            Statement::Analyze { table: Some(t) } if t == "book"
+        ));
+        assert!(matches!(
+            parse("ANALYZE").unwrap(),
+            Statement::Analyze { table: None }
+        ));
+        assert!(matches!(
+            parse("ANALYZE;").unwrap(),
+            Statement::Analyze { table: None }
         ));
         assert!(matches!(
             parse("EXPLAIN SELECT * FROM t").unwrap(),

@@ -781,3 +781,297 @@ fn wait_events_are_charged_to_global_histograms() {
         assert!(prom.contains(class), "missing {class}");
     }
 }
+
+/// Satellite fix: sub-one row estimates print as `rows=<1` instead of
+/// being truncated to `rows=0` (two unique-column equality conjuncts on
+/// a 20-row table estimate 20 · 1/20 · 1/20 = 0.05 rows).
+#[test]
+fn explain_renders_sub_one_row_estimates() {
+    let mut db = db();
+    db.execute("CREATE TABLE pts (a INT, b INT)").unwrap();
+    for i in 0..20 {
+        db.execute(&format!("INSERT INTO pts VALUES ({i}, {i})"))
+            .unwrap();
+    }
+    db.execute("ANALYZE pts").unwrap();
+    let r = db
+        .execute("EXPLAIN SELECT a FROM pts WHERE a = 5 AND b = 5")
+        .unwrap();
+    let text = r.explain.expect("explain text");
+    assert!(text.contains("rows=<1"), "{text}");
+    assert!(!text.contains("rows=0)"), "{text}");
+    // Whole-number estimates keep the bare integer rendering.
+    let r = db.execute("EXPLAIN SELECT a FROM pts").unwrap();
+    let text = r.explain.unwrap();
+    assert!(text.contains("rows=20"), "{text}");
+}
+
+/// Golden test: EXPLAIN ANALYZE annotates every node with its per-loop
+/// q-error, and flags nodes whose q-error exceeds `qerror_warn` with a
+/// `[MISESTIMATE]` marker once statistics go stale.
+#[test]
+fn explain_analyze_annotates_qerror_and_flags_misestimates() {
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    for i in 0..5 {
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('Nehru{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE names").unwrap();
+
+    // Fresh statistics: every annotated node carries a q= field near 1
+    // and nothing is flagged.
+    let r = db
+        .execute("EXPLAIN ANALYZE SELECT name FROM names")
+        .unwrap();
+    let text = r.explain.expect("explain text");
+    let nodes = node_actuals(&text);
+    assert!(!nodes.is_empty(), "{text}");
+    for (_, line) in &nodes {
+        assert!(line.contains(" q="), "{line}");
+    }
+    assert!(!text.contains("[MISESTIMATE]"), "{text}");
+
+    // 200 inserts later the 5-row estimate is off by 41x; a strict
+    // qerror_warn flags the scan.
+    for i in 0..200 {
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('Gandhi{i}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("SET qerror_warn = 5").unwrap();
+    let r = db
+        .execute("EXPLAIN ANALYZE SELECT name FROM names")
+        .unwrap();
+    let text = r.explain.unwrap();
+    let flagged: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("[MISESTIMATE]"))
+        .collect();
+    assert!(!flagged.is_empty(), "stale stats must be flagged:\n{text}");
+    assert!(
+        flagged.iter().any(|l| l.contains("Seq Scan on names")),
+        "the scan carries the misestimate:\n{text}"
+    );
+    // The printed q-error itself crosses the threshold.
+    let q: f64 = flagged[0]
+        .split(" q=")
+        .nth(1)
+        .unwrap()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(q > 5.0, "q={q} must exceed qerror_warn:\n{text}");
+
+    // A permissive threshold silences the marker without touching q=.
+    db.execute("SET qerror_warn = 1000").unwrap();
+    let r = db
+        .execute("EXPLAIN ANALYZE SELECT name FROM names")
+        .unwrap();
+    let text = r.explain.unwrap();
+    assert!(text.contains(" q="), "{text}");
+    assert!(!text.contains("[MISESTIMATE]"), "{text}");
+}
+
+/// Flight-recorder records of plain executions carry the optimizer's
+/// estimates and the realized root q-error.
+#[test]
+fn flight_records_carry_estimates_and_qerror() {
+    let mut db = db();
+    db.execute("CREATE TABLE t (a INT)").unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    db.execute("ANALYZE t").unwrap();
+    db.query("SELECT a FROM t WHERE a >= 0").unwrap();
+    let shown = db.execute("SHOW FLIGHT_RECORDER").unwrap();
+    let rec = shown
+        .rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .rfind(|j| j.contains("WHERE a >= 0"))
+        .expect("flight record of the select");
+    assert!(rec.contains("\"est_rows\":"), "{rec}");
+    assert!(rec.contains("\"est_cost\":"), "{rec}");
+    assert!(rec.contains("\"qerror\":"), "{rec}");
+    // The estimates are numbers, not nulls, on a planned select.
+    assert!(!rec.contains("\"est_rows\":null"), "{rec}");
+    assert!(!rec.contains("\"qerror\":null"), "{rec}");
+}
+
+/// Acceptance: a mixed ψ/Ω workload populates the per-digest plan store;
+/// `SHOW PLAN STATS` lists calls / mean elapsed / root q-error per plan,
+/// and `mlql_plan_stats()` renders the same store with the fitted cost
+/// calibration.
+#[test]
+fn plan_store_aggregates_mixed_psi_omega_workload() {
+    let mut db = db();
+    db.execute("CREATE TABLE names (name UNITEXT)").unwrap();
+    for (n, lang) in [
+        ("Nehru", "English"),
+        ("நேரு", "Tamil"),
+        ("नेहरू", "Hindi"),
+        ("Gandhi", "English"),
+    ] {
+        db.execute(&format!(
+            "INSERT INTO names VALUES (unitext('{n}','{lang}'))"
+        ))
+        .unwrap();
+    }
+    db.execute("CREATE TABLE book (id INT, category UNITEXT)")
+        .unwrap();
+    for (id, cat) in [(1, "History"), (2, "Historiography"), (3, "Novel")] {
+        db.execute(&format!(
+            "INSERT INTO book VALUES ({id}, unitext('{cat}','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE").unwrap();
+    db.execute("SET lexequal.threshold = 2").unwrap();
+
+    let psi = "SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')";
+    let omega = "SELECT count(*) FROM book WHERE category SEMEQUAL unitext('History','English')";
+    for _ in 0..3 {
+        db.query(psi).unwrap();
+    }
+    for _ in 0..2 {
+        db.query(omega).unwrap();
+    }
+
+    let shown = db.execute("SHOW PLAN STATS").unwrap();
+    let cols: Vec<&str> = shown
+        .schema
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(
+        cols,
+        [
+            "plan_digest",
+            "root",
+            "calls",
+            "mean_ms",
+            "max_ms",
+            "est_cost",
+            "est_rows",
+            "last_rows",
+            "qerror_last",
+            "qerror_max"
+        ]
+    );
+    // Sorted by calls desc: the ψ plan leads with 3 calls, the Ω plan
+    // follows with 2; both realized one aggregate row.
+    assert!(shown.rows.len() >= 2, "two distinct plan digests");
+    let calls: Vec<i64> = shown
+        .rows
+        .iter()
+        .map(|r| r[2].as_int().unwrap())
+        .collect();
+    assert_eq!(calls[0], 3, "{calls:?}");
+    assert!(calls.contains(&2), "{calls:?}");
+    for row in shown.rows.iter().take(2) {
+        assert_eq!(row[0].as_text().unwrap().len(), 16, "digest is hex16");
+        assert!(row[3].as_float().unwrap() >= 0.0, "mean_ms");
+        assert_eq!(row[7].as_int(), Some(1), "count(*) realizes one row");
+        assert!(row[8].as_float().unwrap() >= 1.0, "qerror_last >= 1");
+        assert!(row[9].as_float().unwrap() >= row[8].as_float().unwrap() - 1e-9);
+    }
+
+    // The SQL function renders the process-wide store plus calibration.
+    db.execute("CREATE TABLE dual (x INT)").unwrap();
+    db.execute("INSERT INTO dual VALUES (1)").unwrap();
+    let json = db.query("SELECT mlql_plan_stats() FROM dual").unwrap()[0][0]
+        .as_text()
+        .unwrap()
+        .to_string();
+    assert!(json.contains("\"plans\":["), "{json}");
+    assert!(json.contains("\"plan_digest\":\""), "{json}");
+    assert!(json.contains("\"calibration\":{"), "{json}");
+    assert!(json.contains("\"loglog_pearson\":"), "{json}");
+}
+
+/// Acceptance: repeated scans whose realized q-error stays above
+/// `qerror_warn` raise a stale-statistics advisory naming the table; a
+/// bare `ANALYZE` refreshes statistics and clears it.
+#[test]
+fn stale_statistics_advisory_raises_and_analyze_clears_it() {
+    let mut db = db();
+    db.execute("CREATE TABLE skew (a INT)").unwrap();
+    for i in 0..5 {
+        db.execute(&format!("INSERT INTO skew VALUES ({i})")).unwrap();
+    }
+    db.execute("ANALYZE skew").unwrap();
+    // The table then grows 100x without a re-ANALYZE.
+    for i in 5..500 {
+        db.execute(&format!("INSERT INTO skew VALUES ({i})")).unwrap();
+    }
+    db.execute("SET qerror_warn = 4").unwrap();
+
+    let advisories_shown = |db: &mut Database| {
+        let r = db.execute("SHOW ADVISORIES").unwrap();
+        r.rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].as_text().unwrap().to_string(),
+                    row[1].as_float().unwrap(),
+                    row[3].as_text().unwrap().to_string(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let raised_before = obs::metrics().stats_advisories_total.get();
+    // The advisor wants a full window of consecutive over-threshold
+    // scans before raising.
+    db.query("SELECT a FROM skew").unwrap();
+    assert!(
+        advisories_shown(&mut db).is_empty(),
+        "one bad scan is not yet advisory-worthy"
+    );
+    db.query("SELECT a FROM skew").unwrap();
+    db.query("SELECT a FROM skew").unwrap();
+    let advs = advisories_shown(&mut db);
+    assert_eq!(advs.len(), 1, "{advs:?}");
+    let (table, qerror, recommendation) = &advs[0];
+    assert_eq!(table, "skew");
+    assert!(*qerror > 4.0, "q={qerror} observed over the window");
+    assert_eq!(recommendation, "ANALYZE skew");
+    assert_eq!(
+        obs::metrics().stats_advisories_total.get(),
+        raised_before + 1,
+        "edge-triggered counter"
+    );
+    // Re-running the scan does not re-count the same standing advisory.
+    db.query("SELECT a FROM skew").unwrap();
+    assert_eq!(
+        obs::metrics().stats_advisories_total.get(),
+        raised_before + 1
+    );
+
+    // The function surface sees it too.
+    db.execute("CREATE TABLE dual (x INT)").unwrap();
+    db.execute("INSERT INTO dual VALUES (1)").unwrap();
+    let json = db.query("SELECT mlql_advisories() FROM dual").unwrap()[0][0]
+        .as_text()
+        .unwrap()
+        .to_string();
+    assert!(json.contains("\"table\":\"skew\""), "{json}");
+    assert!(json.contains("ANALYZE skew"), "{json}");
+
+    // The recommended remediation — a bare ANALYZE — clears it.
+    db.execute("ANALYZE").unwrap();
+    assert!(advisories_shown(&mut db).is_empty(), "cleared by ANALYZE");
+    // With fresh statistics the estimate is honest again, so the
+    // advisory stays down even after another full window of scans.
+    for _ in 0..4 {
+        db.query("SELECT a FROM skew").unwrap();
+    }
+    assert!(advisories_shown(&mut db).is_empty());
+}
