@@ -127,12 +127,12 @@ fn bench_closure_memoization(c: &mut Criterion) {
         cache.closure(&taxonomy, synset); // warm
         bench.iter(|| black_box(cache.closure(&taxonomy, synset).len()))
     });
-    // The §4.3.1 future-work alternative: a reachability index answers the
-    // membership probe without materializing the closure at all.
+    // The interval index answers the membership probe without
+    // materializing the closure at all (the engine's Ω fast path).
     let index = mlql_taxonomy::IntervalIndex::build(&taxonomy);
     let candidate = mlql_taxonomy::SynsetId(17);
     group.bench_function("interval_index_probe", |bench| {
-        bench.iter(|| black_box(index.reachable_same_tree(synset, candidate)))
+        bench.iter(|| black_box(index.contains(synset, candidate)))
     });
     group.finish();
 }

@@ -613,7 +613,9 @@ impl Session {
 
     /// The session's `qerror_warn` threshold (≥ 1).
     fn qerror_warn(&self) -> f64 {
-        self.vars.get_int(QERROR_WARN_VAR, QERROR_WARN_DEFAULT).max(1) as f64
+        self.vars
+            .get_int(QERROR_WARN_VAR, QERROR_WARN_DEFAULT)
+            .max(1) as f64
     }
 
     /// Deposit one executed SELECT into the plan store: root

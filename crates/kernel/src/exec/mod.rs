@@ -428,7 +428,7 @@ fn build_executor_impl(
         s
     });
     let exec: Box<dyn Executor> = match &node.op {
-        PhysOp::SeqScan { table, filter } => {
+        PhysOp::SeqScan { table, filter, .. } => {
             let meta = ctx.catalog.table(table)?;
             Box::new(SeqScanExec::new(meta, filter.clone()))
         }
@@ -436,6 +436,7 @@ fn build_executor_impl(
             table,
             filter,
             workers,
+            ..
         } => {
             let meta = ctx.catalog.table(table)?;
             let actuals = instr.as_deref_mut().map(|i| {

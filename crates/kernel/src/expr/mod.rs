@@ -170,9 +170,7 @@ impl Expr {
                     || left.contains_ext_op(name)
                     || right.contains_ext_op(name)
             }
-            Expr::And(l, r) | Expr::Or(l, r) => {
-                l.contains_ext_op(name) || r.contains_ext_op(name)
-            }
+            Expr::And(l, r) | Expr::Or(l, r) => l.contains_ext_op(name) || r.contains_ext_op(name),
             Expr::Not(e) | Expr::IsNull(e) => e.contains_ext_op(name),
             Expr::Func { args, .. } => args.iter().any(|a| a.contains_ext_op(name)),
         }
@@ -776,6 +774,7 @@ mod tests {
             index_extra: None,
             modifier_filter: None,
             index_scan_fraction: None,
+            strategy_label: None,
         });
         let mut sess = SessionVars::new();
         sess.set("near.threshold", Datum::Int(2));
@@ -816,6 +815,7 @@ mod tests {
                     .unwrap_or(false)
             })),
             index_scan_fraction: None,
+            strategy_label: None,
         });
         let sess = SessionVars::new();
         let c = EvalCtx::new(&cat, &sess);
@@ -926,6 +926,7 @@ mod tests {
             index_extra: None,
             modifier_filter: None,
             index_scan_fraction: None,
+            strategy_label: None,
         });
         let sess = SessionVars::new();
         let c = EvalCtx::new(&cat, &sess);

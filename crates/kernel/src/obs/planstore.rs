@@ -27,10 +27,12 @@
 //!
 //! Everything is process-wide (like the flight recorder) and tagged
 //! with the engine id, so one process can host many engines without
-//! cross-talk.  The store is bounded ([`CAPACITY`] plans per process,
-//! arbitrary eviction like the plan cache) and the per-statement
-//! recording path is O(1) map work — cheap enough to stay inside the
-//! obs_overhead guard's 1.03 budget.
+//! cross-talk.  The store is bounded ([`CAPACITY`] plans per process;
+//! at capacity the *coldest* entry — fewest calls, least recently
+//! recorded on ties — is evicted, so a hot plan's history survives any
+//! number of one-shot digests) and the per-statement recording path is
+//! O(1) map work — cheap enough to stay inside the obs_overhead
+//! guard's 1.03 budget.
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -136,6 +138,9 @@ pub struct PlanEntry {
     pub qerror_max: f64,
     /// Worst per-node q-error seen (instrumented runs only).
     pub node_qerror_max: Option<f64>,
+    /// Recency stamp: global record sequence number of the latest call
+    /// (drives coldest-entry eviction; not rendered).
+    pub last_seq: u64,
 }
 
 impl PlanEntry {
@@ -188,12 +193,22 @@ fn tracker() -> &'static Mutex<HashMap<(u64, String), TableTrack>> {
 /// (cached, cold, and `EXPLAIN ANALYZE` paths) while observability is
 /// enabled.
 pub fn record(obs: Observation) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let root_q = q_error(obs.est_rows, obs.actual_rows as f64);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     {
         let mut map = store().lock();
         let key = (obs.engine_id, obs.digest);
         if map.len() >= CAPACITY && !map.contains_key(&key) {
-            if let Some(victim) = map.keys().next().copied() {
+            // Evict the coldest plan: fewest calls, then least recently
+            // recorded.  A hot plan (many calls, fresh stamp) survives
+            // arbitrarily many distinct one-shot digests passing through.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, e)| (e.calls, e.last_seq))
+                .map(|(k, _)| *k)
+            {
                 map.remove(&victim);
             }
         }
@@ -210,7 +225,9 @@ pub fn record(obs: Observation) {
             qerror_last: 1.0,
             qerror_max: 1.0,
             node_qerror_max: None,
+            last_seq: seq,
         });
+        e.last_seq = seq;
         e.calls += 1;
         e.total += obs.elapsed;
         e.max = e.max.max(obs.elapsed);
@@ -241,7 +258,8 @@ pub fn record(obs: Observation) {
         if t.recent.len() == ADVISOR_WINDOW {
             t.recent.pop_front();
         }
-        t.recent.push_back((scan.qerror, scan.qerror > obs.qerror_warn));
+        t.recent
+            .push_back((scan.qerror, scan.qerror > obs.qerror_warn));
         let raised = t.recent.len() == ADVISOR_WINDOW && t.recent.iter().all(|(_, ex)| *ex);
         if raised && !t.active {
             m.stats_advisories_total.inc();
@@ -288,11 +306,7 @@ pub fn advisories(engine_id: Option<u64>) -> Vec<Advisory> {
         .map(|((eid, table), t)| Advisory {
             engine_id: *eid,
             table: table.clone(),
-            qerror: t
-                .recent
-                .iter()
-                .map(|(q, _)| *q)
-                .fold(1.0f64, f64::max),
+            qerror: t.recent.iter().map(|(q, _)| *q).fold(1.0f64, f64::max),
             window: t.recent.len(),
             recommendation: format!("ANALYZE {table}"),
         })
@@ -449,10 +463,7 @@ pub fn render_advisories_json(engine_id: Option<u64>) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&format!(
-            "{{\"engine_id\":{},\"table\":\"",
-            a.engine_id
-        ));
+        out.push_str(&format!("{{\"engine_id\":{},\"table\":\"", a.engine_id));
         super::trace::json_escape_into(&a.table, &mut out);
         out.push_str("\",\"qerror\":");
         push_num(&mut out, a.qerror);
@@ -471,6 +482,14 @@ mod tests {
     // Engine ids far above anything the test suite's engines allocate,
     // so concurrently-running statement tests cannot interfere.
     const ENG: u64 = 0x5157_0000;
+
+    // The store is process-global and the eviction test fills it to
+    // CAPACITY; serialize the tests that read it back so one test's
+    // churn cannot evict another's entries mid-assert.
+    fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
 
     fn ob(engine: u64, digest: u64, est: f64, act: u64, ms: u64) -> Observation {
         Observation {
@@ -509,6 +528,7 @@ mod tests {
 
     #[test]
     fn store_aggregates_by_digest() {
+        let _guard = test_lock();
         let eng = ENG + 1;
         clear_engine(eng);
         record(ob(eng, 0xd1, 10.0, 10, 4));
@@ -530,6 +550,7 @@ mod tests {
 
     #[test]
     fn advisory_raises_after_window_and_clears_on_analyze() {
+        let _guard = test_lock();
         let eng = ENG + 2;
         clear_engine(eng);
         let scan = |q: f64| Observation {
@@ -577,6 +598,33 @@ mod tests {
     }
 
     #[test]
+    fn hot_plan_survives_a_flood_of_one_shot_digests() {
+        let _guard = test_lock();
+        let eng = ENG + 5;
+        clear_engine(eng);
+        // A hot plan: many calls on one digest.
+        for _ in 0..10 {
+            record(ob(eng, 0xbeef, 10.0, 10, 1));
+        }
+        // More one-shot digests than the whole store can hold.  Under
+        // the old arbitrary (`keys().next()`) eviction this had better
+        // than even odds of dropping the hot entry; coldest-first must
+        // always sacrifice a one-shot instead.
+        for d in 0..(CAPACITY as u64 + 64) {
+            record(ob(eng, 0x1_0000 + d, 1.0, 1, 1));
+        }
+        let snap = snapshot(Some(eng));
+        let hot = snap
+            .iter()
+            .find(|e| e.digest == 0xbeef)
+            .expect("hot plan must survive 512+ one-shot digests");
+        assert_eq!(hot.calls, 10, "aggregates survive intact");
+        // The store stayed bounded while churning.
+        assert!(store().lock().len() <= CAPACITY);
+        clear_engine(eng);
+    }
+
+    #[test]
     fn calibration_fits_a_perfect_line() {
         // mean_ms = est_cost / 100 → slope 1.0 in log-log space.
         let entries: Vec<PlanEntry> = [(100.0, 1u64), (1000.0, 10), (10000.0, 100)]
@@ -594,6 +642,7 @@ mod tests {
                 qerror_last: 1.0,
                 qerror_max: 1.0,
                 node_qerror_max: None,
+                last_seq: 0,
             })
             .collect();
         let cal = calibration(&entries);
@@ -608,12 +657,16 @@ mod tests {
 
     #[test]
     fn json_surfaces_render() {
+        let _guard = test_lock();
         let eng = ENG + 4;
         clear_engine(eng);
         record(ob(eng, 0xabc, 5.0, 50, 2));
         let json = render_json(Some(eng));
         assert!(json.starts_with("{\"plans\":["), "{json}");
-        assert!(json.contains("\"plan_digest\":\"0000000000000abc\""), "{json}");
+        assert!(
+            json.contains("\"plan_digest\":\"0000000000000abc\""),
+            "{json}"
+        );
         assert!(json.contains("\"calls\":1"), "{json}");
         assert!(json.contains("\"qerror_last\":10"), "{json}");
         assert!(json.contains("\"calibration\":{"), "{json}");

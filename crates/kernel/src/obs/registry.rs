@@ -475,6 +475,12 @@ pub struct EngineMetrics {
     pub taxonomy_closure_cache_hits_total: Arc<Counter>,
     /// Taxonomy closure-cache misses.
     pub taxonomy_closure_cache_misses_total: Arc<Counter>,
+    /// Ω probes decided by the interval index alone (no closure, no lock).
+    pub omega_interval_hits_total: Arc<Counter>,
+    /// Ω probes the interval index deferred to the closure-cache path.
+    pub omega_interval_fallbacks_total: Arc<Counter>,
+    /// Interval-index rebuilds triggered by taxonomy mutations.
+    pub omega_interval_rebuilds_total: Arc<Counter>,
     /// PL function-manager crossings.
     pub pl_udf_calls_total: Arc<Counter>,
     /// PL SPI statements executed.
@@ -594,6 +600,18 @@ pub fn metrics() -> &'static EngineMetrics {
             taxonomy_closure_cache_hits_total: r.counter(
                 "mlql_taxonomy_closure_cache_hits_total",
                 "Omega closure-cache hits",
+            ),
+            omega_interval_hits_total: r.counter(
+                "mlql_omega_interval_hits_total",
+                "Omega probes decided by interval containment alone",
+            ),
+            omega_interval_fallbacks_total: r.counter(
+                "mlql_omega_interval_fallbacks_total",
+                "Omega probes deferred from intervals to the closure cache",
+            ),
+            omega_interval_rebuilds_total: r.counter(
+                "mlql_omega_interval_rebuilds_total",
+                "Interval-index rebuilds after taxonomy mutations",
             ),
             taxonomy_closure_cache_misses_total: r.counter(
                 "mlql_taxonomy_closure_cache_misses_total",

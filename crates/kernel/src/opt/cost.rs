@@ -310,6 +310,7 @@ mod tests {
             index_extra: None,
             modifier_filter: None,
             index_scan_fraction: None,
+            strategy_label: None,
         });
         let p = CostParams::default();
         let sess = SessionVars::new();

@@ -661,6 +661,32 @@ impl Planner<'_> {
         }
     }
 
+    /// First operator-supplied strategy label found in the expression
+    /// tree (e.g. SemEQUAL's containment strategy): extension operators
+    /// may register a `strategy_label` hook that renders a short,
+    /// session-dependent note EXPLAIN attaches to the scan node.
+    fn expr_strategy_label(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::ExtOp {
+                name, left, right, ..
+            } => self
+                .catalog
+                .operator(name)
+                .and_then(|op| op.strategy_label.as_ref().map(|f| f(self.session)))
+                .or_else(|| self.expr_strategy_label(left))
+                .or_else(|| self.expr_strategy_label(right)),
+            Expr::And(l, r) | Expr::Or(l, r) => self
+                .expr_strategy_label(l)
+                .or_else(|| self.expr_strategy_label(r)),
+            Expr::Not(x) | Expr::IsNull(x) => self.expr_strategy_label(x),
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => self
+                .expr_strategy_label(left)
+                .or_else(|| self.expr_strategy_label(right)),
+            Expr::Func { args, .. } => args.iter().find_map(|a| self.expr_strategy_label(a)),
+            Expr::ColRef { .. } | Expr::Literal(_) => None,
+        }
+    }
+
     /// Choose the best access path for one relation under its local
     /// conjuncts (rebased to relation-local column indexes).
     fn best_scan(
@@ -703,6 +729,7 @@ impl Planner<'_> {
         // disabled), which collapses the batched formulas to the
         // row-at-a-time ones and keeps plain-predicate plans unchanged.
         let has_batch_kernel = local.iter().any(|e| self.expr_has_batch_kernel(e));
+        let annotation = local.iter().find_map(|e| self.expr_strategy_label(e));
         let batch = if has_batch_kernel && crate::exec::batch_enabled(self.session) {
             crate::exec::effective_batch_size(self.session)
         } else {
@@ -723,6 +750,7 @@ impl Planner<'_> {
                     } else {
                         Some(and_all(local.to_vec()))
                     },
+                    annotation: annotation.clone(),
                 },
                 est_rows: out_rows,
                 est_cost: cost,
@@ -754,6 +782,7 @@ impl Planner<'_> {
                             Some(and_all(local.to_vec()))
                         },
                         workers,
+                        annotation: annotation.clone(),
                     },
                     est_rows: out_rows,
                     est_cost: cost,

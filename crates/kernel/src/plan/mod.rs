@@ -121,7 +121,13 @@ pub struct PhysNode {
 #[derive(Debug, Clone)]
 pub enum PhysOp {
     /// Sequential heap scan with optional pushed-down filter.
-    SeqScan { table: String, filter: Option<Expr> },
+    /// `annotation` carries an operator-supplied strategy note (e.g. the
+    /// Ω containment implementation) surfaced verbatim by EXPLAIN.
+    SeqScan {
+        table: String,
+        filter: Option<Expr>,
+        annotation: Option<String>,
+    },
     /// Morsel-driven parallel heap scan: `workers` threads claim
     /// fixed-size page ranges, evaluate `filter` independently, and a
     /// gather node merges their batches (order-insensitive).
@@ -129,6 +135,7 @@ pub enum PhysOp {
         table: String,
         filter: Option<Expr>,
         workers: usize,
+        annotation: Option<String>,
     },
     /// Index scan: probe `index` with `strategy`, re-check `residual`.
     IndexScan {
@@ -242,7 +249,11 @@ impl PhysNode {
         // per-loop rows (actuals accumulate across rescans).
         let per_loop = a.rows as f64 / a.loops.max(1) as f64;
         let q = crate::obs::planstore::q_error(self.est_rows, per_loop);
-        let marker = if q > qerror_warn { " [MISESTIMATE]" } else { "" };
+        let marker = if q > qerror_warn {
+            " [MISESTIMATE]"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "{pad}{}  (cost={:.2} rows={}) (actual rows={} batches={} loops={} time={:.3}ms pages={} q={:.1}){marker}",
@@ -397,7 +408,7 @@ impl PhysNode {
     pub fn leaf_scan_class(&self) -> Option<(String, crate::obs::planstore::OpClass)> {
         use crate::obs::planstore::OpClass;
         match &self.op {
-            PhysOp::SeqScan { table, filter }
+            PhysOp::SeqScan { table, filter, .. }
             | PhysOp::ParallelSeqScan { table, filter, .. } => {
                 let class = match filter {
                     Some(f) if f.contains_ext_op("lexequal") => OpClass::Psi,
@@ -412,11 +423,7 @@ impl PhysNode {
                 residual,
                 ..
             } => {
-                let has = |name: &str| {
-                    residual
-                        .as_ref()
-                        .is_some_and(|r| r.contains_ext_op(name))
-                };
+                let has = |name: &str| residual.as_ref().is_some_and(|r| r.contains_ext_op(name));
                 // The M-Tree `within` strategy is the ψ proximity probe
                 // (LexEQUAL's registered access path).
                 let class = if strategy.eq_ignore_ascii_case("within") || has("lexequal") {
@@ -477,20 +484,37 @@ impl PhysNode {
     /// The operator description for one `EXPLAIN` line.
     fn op_line(&self) -> String {
         match &self.op {
-            PhysOp::SeqScan { table, filter } => match filter {
-                Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
-                None => format!("Seq Scan on {table}"),
-            },
+            PhysOp::SeqScan {
+                table,
+                filter,
+                annotation,
+            } => {
+                let mut s = match filter {
+                    Some(f) => format!("Seq Scan on {table}  Filter: {f}"),
+                    None => format!("Seq Scan on {table}"),
+                };
+                if let Some(a) = annotation {
+                    let _ = write!(s, "  Containment: {a}");
+                }
+                s
+            }
             PhysOp::ParallelSeqScan {
                 table,
                 filter,
                 workers,
-            } => match filter {
-                Some(f) => {
-                    format!("Parallel Seq Scan on {table}  (workers={workers})  Filter: {f}")
+                annotation,
+            } => {
+                let mut s = match filter {
+                    Some(f) => {
+                        format!("Parallel Seq Scan on {table}  (workers={workers})  Filter: {f}")
+                    }
+                    None => format!("Parallel Seq Scan on {table}  (workers={workers})"),
+                };
+                if let Some(a) = annotation {
+                    let _ = write!(s, "  Containment: {a}");
                 }
-                None => format!("Parallel Seq Scan on {table}  (workers={workers})"),
-            },
+                s
+            }
             PhysOp::IndexScan {
                 table,
                 index,
@@ -617,6 +641,7 @@ mod tests {
             op: PhysOp::SeqScan {
                 table: "book".into(),
                 filter: None,
+                annotation: None,
             },
             est_rows: 100.0,
             est_cost: 12.5,
@@ -649,6 +674,7 @@ mod tests {
             op: PhysOp::SeqScan {
                 table: table.into(),
                 filter,
+                annotation: None,
             },
             est_rows: 100.0,
             est_cost: 12.5,

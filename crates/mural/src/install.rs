@@ -147,6 +147,7 @@ fn install_inner(
         index_extra: None,
         modifier_filter: None,
         index_scan_fraction: None,
+        strategy_label: None,
     });
 
     // 5. SQL functions (⊕/⊗ constructors, transform, editdistance).

@@ -272,6 +272,7 @@ pub fn lexequal_operator(
         index_scan_fraction: Some(Arc::new(|session| {
             crate::cost::approx_index_fraction(threshold(session))
         })),
+        strategy_label: None,
     }
 }
 

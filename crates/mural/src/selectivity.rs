@@ -66,7 +66,10 @@ pub fn omega_scan_selectivity(
         Some(c) => c as f64,
         None => avg_fanout.max(1.0).powf(height as f64 / 2.0),
     };
-    (closure / taxonomy_size as f64).clamp(0.0, 1.0)
+    // Floor at one synset's worth of selectivity: a zero/unknown closure
+    // must never collapse the estimate to exactly 0 rows, which yields
+    // `rows=0` plans and degenerate cost ties downstream.
+    (closure / taxonomy_size as f64).clamp(1.0 / taxonomy_size as f64, 1.0)
 }
 
 /// Ω join selectivity (§3.4.2): probability over random (LHS, RHS) pairs
@@ -81,7 +84,9 @@ pub fn omega_join_selectivity(
         return 0.0;
     }
     let closure = avg_closure_size.unwrap_or_else(|| avg_fanout.max(1.0).powf(height as f64 / 2.0));
-    (closure / taxonomy_size as f64).clamp(0.0, 1.0)
+    // Same floor as the scan estimator: never exactly zero on a
+    // non-empty taxonomy.
+    (closure / taxonomy_size as f64).clamp(1.0 / taxonomy_size as f64, 1.0)
 }
 
 #[cfg(test)]
@@ -134,6 +139,19 @@ mod tests {
         let s = omega_join_selectivity(Some(1000.0), 100_000, 3.5, 16);
         assert!((s - 0.01).abs() < 1e-9);
         assert_eq!(omega_join_selectivity(None, 0, 3.5, 16), 0.0);
+    }
+
+    #[test]
+    fn omega_selectivity_floors_at_one_synset() {
+        // A (corrupt or unknown) zero-size closure must not produce a
+        // zero estimate on a non-empty taxonomy.
+        let floor = 1.0 / 1000.0;
+        assert_eq!(omega_scan_selectivity(Some(0), 1000, 3.5, 16), floor);
+        assert_eq!(omega_join_selectivity(Some(0.0), 1000, 3.5, 16), floor);
+        // Degenerate structure stats can't zero it either.
+        assert!(omega_scan_selectivity(None, 1000, 0.0, 0) >= floor);
+        // The empty taxonomy stays the one legitimate zero.
+        assert_eq!(omega_scan_selectivity(None, 0, 3.5, 16), 0.0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::selectivity::{omega_join_selectivity, omega_scan_selectivity};
 use crate::types::unitext_of_datum;
 use mlql_kernel::catalog::{ExtOperator, OperatorKind};
 use mlql_kernel::{DataType, Datum, ExtTypeId};
-use mlql_taxonomy::{SharedClosureCache, SynsetId, Taxonomy};
+use mlql_taxonomy::{IntervalIndex, SharedClosureCache, SynsetId, Taxonomy};
 use mlql_unitext::{LangId, LanguageRegistry, UniText};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -31,6 +31,16 @@ pub struct SemState {
     /// across closure computation + memoization, which is what makes
     /// invalidation race-free (see `add_hyponym`).
     taxonomy: RwLock<Arc<Taxonomy>>,
+    /// Interval-labeled reachability index over the same hierarchy — the
+    /// Ω fast path.  Swapped (never mutated in place) while the taxonomy
+    /// write guard is held, so any reader holding the taxonomy read guard
+    /// sees an index consistent with its snapshot.  The common Ω probe is
+    /// one interval comparison with no shard lock at all; only probes the
+    /// index defers (exception-edge regions) touch the closure cache.
+    intervals: RwLock<Arc<IntervalIndex>>,
+    /// Generation counter: how many times the index has been rebuilt by
+    /// the mutation API since install.
+    interval_version: std::sync::atomic::AtomicU64,
     /// Memoized closures (§4.3), shared by all sessions and workers.
     pub cache: SharedClosureCache,
     /// Structural statistics captured at install time (drive §3.4.2).
@@ -50,8 +60,11 @@ impl SemState {
             mlql_kernel::obs::waits::observe(mlql_kernel::obs::WaitClass::OmegaCache, d)
         });
         let stats = taxonomy.stats();
+        let intervals = Arc::new(IntervalIndex::build(&taxonomy));
         Arc::new(SemState {
             taxonomy: RwLock::new(taxonomy),
+            intervals: RwLock::new(intervals),
+            interval_version: std::sync::atomic::AtomicU64::new(0),
             cache: SharedClosureCache::new(),
             stats,
         })
@@ -62,27 +75,65 @@ impl SemState {
         Arc::clone(&self.taxonomy.read())
     }
 
-    /// Add a hyponym edge (clone-on-write) and invalidate all memoized
-    /// closures.  The cache is cleared while the write guard is held, so
-    /// no in-flight query can re-memoize a closure of the old hierarchy
-    /// after the clear (readers hold the read guard across memoization).
+    /// Current interval-index snapshot (an `Arc` clone; cheap).
+    pub fn intervals(&self) -> Arc<IntervalIndex> {
+        Arc::clone(&self.intervals.read())
+    }
+
+    /// Interval-index rebuild generation (0 at install).
+    pub fn interval_version(&self) -> u64 {
+        self.interval_version
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Rebuild the interval index against `t` and publish the new
+    /// generation.  MUST be called while the taxonomy *write* guard is
+    /// held: readers take the taxonomy read guard before reading the
+    /// index, so the swap is invisible until the mutation commits.
+    fn rebuild_intervals(&self, t: &Taxonomy) {
+        *self.intervals.write() = Arc::new(IntervalIndex::build(t));
+        self.interval_version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        mlql_kernel::obs::metrics()
+            .omega_interval_rebuilds_total
+            .add(1);
+    }
+
+    /// Add a hyponym edge (clone-on-write), invalidate all memoized
+    /// closures and rebuild the interval index.  Both happen while the
+    /// write guard is held, so no in-flight query can re-memoize a closure
+    /// (or read an interval label) of the old hierarchy after the swap —
+    /// readers hold the read guard across memoization.
     pub fn add_hyponym(&self, parent: SynsetId, child: SynsetId) {
         let mut guard = self.taxonomy.write();
         let mut t = Taxonomy::clone(&guard);
         t.add_hyponym(parent, child);
+        self.rebuild_intervals(&t);
         *guard = Arc::new(t);
         self.cache.invalidate();
     }
 
-    /// Remove a hyponym edge (clone-on-write) and invalidate all memoized
-    /// closures; returns whether the edge existed.
+    /// Remove a hyponym edge (clone-on-write) with the same invalidation
+    /// protocol as [`Self::add_hyponym`]; returns whether the edge existed.
     pub fn remove_hyponym(&self, parent: SynsetId, child: SynsetId) -> bool {
         let mut guard = self.taxonomy.write();
         let mut t = Taxonomy::clone(&guard);
         let removed = t.remove_hyponym(parent, child);
+        self.rebuild_intervals(&t);
         *guard = Arc::new(t);
         self.cache.invalidate();
         removed
+    }
+
+    /// Link two synsets as cross-lingual equivalents (clone-on-write),
+    /// with the same invalidation protocol as [`Self::add_hyponym`].
+    pub fn add_equivalence(&self, a: SynsetId, b: SynsetId) {
+        let mut guard = self.taxonomy.write();
+        let mut t = Taxonomy::clone(&guard);
+        t.add_equivalence(a, b);
+        self.rebuild_intervals(&t);
+        *guard = Arc::new(t);
+        self.cache.invalidate();
     }
 
     /// Synsets a UniText value names within `taxonomy`: exact (word, lang)
@@ -100,8 +151,19 @@ impl SemState {
         Self::synsets_in(&self.taxonomy.read(), v)
     }
 
-    /// The Ω membership test of Figure 5.
+    /// The Ω membership test of Figure 5, on the default (interval-first)
+    /// path.
     pub fn omega_matches(&self, l: &UniText, r: &UniText) -> bool {
+        self.omega_matches_opt(l, r, true)
+    }
+
+    /// Ω membership with an explicit strategy switch: when
+    /// `use_intervals` (the `enable_omega_intervals` session default) the
+    /// probe is decided by interval containment — one range comparison
+    /// per (RHS, LHS) synset pair, no shard lock — and only falls back to
+    /// the memoized hash closure when the index defers (interval miss
+    /// under an exception-edge subtree).
+    pub fn omega_matches_opt(&self, l: &UniText, r: &UniText, use_intervals: bool) -> bool {
         let taxonomy = self.taxonomy.read();
         let rhs = Self::synsets_in(&taxonomy, r);
         if rhs.is_empty() {
@@ -111,8 +173,36 @@ impl SemState {
         if lhs.is_empty() {
             return false;
         }
+        let mut undecided: Vec<SynsetId> = Vec::new();
+        if use_intervals {
+            let idx = self.intervals.read();
+            let m = mlql_kernel::obs::metrics();
+            for &root in &rhs {
+                let mut deferred = false;
+                for &s in &lhs {
+                    match idx.contains(root, s) {
+                        Some(true) => {
+                            m.omega_interval_hits_total.add(1);
+                            return true;
+                        }
+                        Some(false) => {}
+                        None => deferred = true,
+                    }
+                }
+                if deferred {
+                    undecided.push(root);
+                }
+            }
+            if undecided.is_empty() {
+                m.omega_interval_hits_total.add(1);
+                return false;
+            }
+            m.omega_interval_fallbacks_total.add(1);
+        } else {
+            undecided = rhs;
+        }
         let (hits_before, misses_before) = self.cache.stats();
-        let matched = rhs.iter().any(|&root| {
+        let matched = undecided.iter().any(|&root| {
             let closure = self.cache.closure(&taxonomy, root);
             lhs.iter().any(|s| closure.contains(s))
         });
@@ -133,38 +223,101 @@ impl SemState {
         lefts: &[&Datum],
         r: &Datum,
     ) -> mlql_kernel::Result<Vec<Datum>> {
+        self.omega_matches_batch_opt(lefts, r, true)
+    }
+
+    /// Batch Ω with the explicit strategy switch of
+    /// [`Self::omega_matches_opt`].  On the interval path a distinct LHS
+    /// value costs one range comparison per RHS synset — the comparison
+    /// vectorizes trivially across the batch — and the shared closure
+    /// cache is touched only for probes the index defers; interval
+    /// hit/fallback counters are accumulated locally and published once
+    /// per batch.
+    pub fn omega_matches_batch_opt(
+        &self,
+        lefts: &[&Datum],
+        r: &Datum,
+        use_intervals: bool,
+    ) -> mlql_kernel::Result<Vec<Datum>> {
         use std::collections::{HashMap, HashSet};
         let rv = unitext_of_datum(r)?;
         let taxonomy = self.taxonomy.read();
         let rhs = Self::synsets_in(&taxonomy, &rv);
+        let idx = if use_intervals {
+            Some(Arc::clone(&self.intervals.read()))
+        } else {
+            None
+        };
         let (hits_before, misses_before) = self.cache.stats();
         // Closures resolve lazily (scalar Ω short-circuits across RHS
         // synsets, so an always-matching first root never pays for the
         // second root's closure) but at most once per batch.
         let mut closures: Vec<Option<Arc<HashSet<SynsetId>>>> = vec![None; rhs.len()];
         let mut memo: HashMap<&Datum, bool> = HashMap::new();
+        let mut interval_hits = 0u64;
+        let mut interval_fallbacks = 0u64;
         let mut out = Vec::with_capacity(lefts.len());
         for &l in lefts {
             let verdict = match memo.get(l) {
                 Some(&v) => v,
                 None => {
                     let lv = unitext_of_datum(l)?;
-                    let v = if rhs.is_empty() {
-                        false
+                    let lhs = if rhs.is_empty() {
+                        Vec::new()
                     } else {
-                        let lhs = Self::synsets_in(&taxonomy, &lv);
-                        !lhs.is_empty()
-                            && rhs.iter().enumerate().any(|(i, &root)| {
+                        Self::synsets_in(&taxonomy, &lv)
+                    };
+                    let v = if lhs.is_empty() {
+                        false
+                    } else if let Some(idx) = idx.as_deref() {
+                        let mut decided_true = false;
+                        let mut undecided: Vec<usize> = Vec::new();
+                        'roots: for (i, &root) in rhs.iter().enumerate() {
+                            let mut deferred = false;
+                            for &s in &lhs {
+                                match idx.contains(root, s) {
+                                    Some(true) => {
+                                        decided_true = true;
+                                        break 'roots;
+                                    }
+                                    Some(false) => {}
+                                    None => deferred = true,
+                                }
+                            }
+                            if deferred {
+                                undecided.push(i);
+                            }
+                        }
+                        if decided_true || undecided.is_empty() {
+                            interval_hits += 1;
+                            decided_true
+                        } else {
+                            interval_fallbacks += 1;
+                            undecided.iter().any(|&i| {
                                 let closure = closures[i]
-                                    .get_or_insert_with(|| self.cache.closure(&taxonomy, root));
+                                    .get_or_insert_with(|| self.cache.closure(&taxonomy, rhs[i]));
                                 lhs.iter().any(|s| closure.contains(s))
                             })
+                        }
+                    } else {
+                        rhs.iter().enumerate().any(|(i, &root)| {
+                            let closure = closures[i]
+                                .get_or_insert_with(|| self.cache.closure(&taxonomy, root));
+                            lhs.iter().any(|s| closure.contains(s))
+                        })
                     };
                     memo.insert(l, v);
                     v
                 }
             };
             out.push(Datum::Bool(verdict));
+        }
+        let m = mlql_kernel::obs::metrics();
+        if interval_hits > 0 {
+            m.omega_interval_hits_total.add(interval_hits);
+        }
+        if interval_fallbacks > 0 {
+            m.omega_interval_fallbacks_total.add(interval_fallbacks);
         }
         self.publish_cache_delta(hits_before, misses_before);
         Ok(out)
@@ -183,20 +336,51 @@ impl SemState {
 
     /// Exact closure size of the concept a constant names, if resolvable —
     /// the §3.4.2 "closures pre-computed and stored" selectivity variant.
+    ///
+    /// The interval index answers this in O(1) per root (`subtree_size`)
+    /// wherever the subtree is exception-free; only roots in dirty
+    /// regions materialize a closure, so planning a query over a
+    /// tree-shaped taxonomy costs no closure computation at all.
     pub fn closure_size_of(&self, v: &UniText) -> Option<usize> {
         let taxonomy = self.taxonomy.read();
         let roots = Self::synsets_in(&taxonomy, v);
         if roots.is_empty() {
             return None;
         }
+        let idx = self.intervals.read();
         Some(
             roots
                 .iter()
-                .map(|&r| self.cache.closure_size(&taxonomy, r))
+                .map(|&r| {
+                    idx.subtree_size(r)
+                        .unwrap_or_else(|| self.cache.closure_size(&taxonomy, r))
+                })
                 .max()
                 .expect("non-empty roots"),
         )
     }
+}
+
+/// Per-pair CPU cost of Ω on the memoized-closure path (Table 3 units).
+pub const OMEGA_CLOSURE_TUPLE_COST: f64 = 80.0;
+/// Per-pair CPU cost of Ω on the interval path: a UniText decode plus a
+/// single range comparison — the same order as a ψ band check.
+pub const OMEGA_INTERVAL_TUPLE_COST: f64 = 12.0;
+
+/// Is the interval fast path enabled for this session?  `SET
+/// enable_omega_intervals = 0` is the escape hatch back to the pure
+/// closure-walk implementation; the default is on, overridable
+/// process-wide via `MLQL_OMEGA_INTERVALS` (CI runs the equivalence
+/// suites under both strategies with it).
+pub fn omega_intervals_enabled(session: &mlql_kernel::catalog::SessionVars) -> bool {
+    static DEFAULT: std::sync::OnceLock<i64> = std::sync::OnceLock::new();
+    let default = *DEFAULT.get_or_init(|| {
+        std::env::var("MLQL_OMEGA_INTERVALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    });
+    session.get_int("enable_omega_intervals", default) != 0
 }
 
 /// Build the Ω [`ExtOperator`].
@@ -211,13 +395,17 @@ pub fn semequal_operator(
     ExtOperator {
         name: "semequal".into(),
         operand_type: DataType::Ext(unitext_type),
-        eval: Arc::new(move |l, r, _session| {
+        eval: Arc::new(move |l, r, session| {
             let lv = unitext_of_datum(l)?;
             let rv = unitext_of_datum(r)?;
-            Ok(Datum::Bool(eval_state.omega_matches(&lv, &rv)))
+            Ok(Datum::Bool(eval_state.omega_matches_opt(
+                &lv,
+                &rv,
+                omega_intervals_enabled(session),
+            )))
         }),
-        eval_batch: Some(Arc::new(move |lefts, r, _session| {
-            batch_state.omega_matches_batch(lefts, r)
+        eval_batch: Some(Arc::new(move |lefts, r, session| {
+            batch_state.omega_matches_batch_opt(lefts, r, omega_intervals_enabled(session))
         })),
         // Table 1: Ω does NOT commute (subsumption is directional) but
         // distributes over ∪.
@@ -225,12 +413,21 @@ pub fn semequal_operator(
             commutative: false,
             distributes_over_union: true,
         },
-        // Per evaluated pair: UniText decode, two word-index probes, a
-        // cache-mutex acquisition and a hash-set membership test.
-        // Calibrated against measurement (the Figure 6 Ω points sit on the
-        // same cost-vs-runtime line as ψ with this value); the closure
-        // computation itself is amortized across the scan by memoization.
-        per_tuple_cost: Arc::new(|_, _| 80.0),
+        // Per evaluated pair.  On the closure path: UniText decode, two
+        // word-index probes, a cache-mutex acquisition and a hash-set
+        // membership test — 80 units, calibrated against measurement (the
+        // Figure 6 Ω points sit on the same cost-vs-runtime line as ψ
+        // with this value).  On the interval path the shard lock and hash
+        // probe vanish: one range comparison per pair, costed like a
+        // cheap range predicate so the planner treats interval-Ω scans
+        // accordingly.
+        per_tuple_cost: Arc::new(|session, _| {
+            if omega_intervals_enabled(session) {
+                OMEGA_INTERVAL_TUPLE_COST
+            } else {
+                OMEGA_CLOSURE_TUPLE_COST
+            }
+        }),
         // §3.4.2.
         selectivity: Arc::new(move |input| {
             let exact = input
@@ -261,6 +458,15 @@ pub fn semequal_operator(
             })
         })),
         index_scan_fraction: None,
+        // EXPLAIN surfaces which containment implementation the session
+        // will run: the interval index or the memoized closure walk.
+        strategy_label: Some(Arc::new(|session| {
+            if omega_intervals_enabled(session) {
+                "intervals".to_string()
+            } else {
+                "closure-fallback".to_string()
+            }
+        })),
     }
 }
 
@@ -333,7 +539,10 @@ mod tests {
     #[test]
     fn closure_cache_amortizes_repeated_rhs() {
         let (langs, state, op) = setup();
-        let session = SessionVars::new();
+        // Pin the legacy closure path: with intervals on, these probes
+        // never touch the cache at all.
+        let mut session = SessionVars::new();
+        session.set("enable_omega_intervals", Datum::Int(0));
         let history = ut(&langs, "History", "English");
         for cat in ["Historiography", "Biography", "Fiction", "Novel"] {
             let lhs = ut(&langs, cat, "English");
@@ -345,9 +554,53 @@ mod tests {
     }
 
     #[test]
+    fn interval_path_skips_closure_cache_entirely() {
+        let (langs, state, op) = setup();
+        let session = SessionVars::new(); // intervals default on
+        let history = ut(&langs, "History", "English");
+        for cat in ["Historiography", "Biography", "Fiction", "Novel"] {
+            let lhs = ut(&langs, cat, "English");
+            let _ = (op.eval)(&lhs, &history, &session).unwrap();
+        }
+        let (hits, misses) = state.cache.stats();
+        assert_eq!((hits, misses), (0, 0), "no shard lock on the fast path");
+        assert!(state.cache.is_empty(), "no closure materialized");
+    }
+
+    #[test]
+    fn interval_and_closure_paths_agree_everywhere() {
+        let (langs, state, _op) = setup();
+        let cats = [
+            ("History", "English"),
+            ("Historiography", "English"),
+            ("Biography", "English"),
+            ("Autobiography", "English"),
+            ("Fiction", "English"),
+            ("Novel", "English"),
+            ("Histoire", "French"),
+            ("சரித்திரம்", "Tamil"),
+            ("Astrogation", "English"), // unknown
+        ];
+        for (lt, ll) in cats {
+            for (rt, rl) in cats {
+                let l = UniText::compose(lt, langs.id_of(ll));
+                let r = UniText::compose(rt, langs.id_of(rl));
+                assert_eq!(
+                    state.omega_matches_opt(&l, &r, true),
+                    state.omega_matches_opt(&l, &r, false),
+                    "{lt}({ll}) Ω {rt}({rl}) diverged between strategies"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn taxonomy_mutation_invalidates_memoized_closures() {
         let (langs, state, op) = setup();
-        let session = SessionVars::new();
+        // Exercise the closure path; interval-path mutation visibility is
+        // covered by `taxonomy_mutation_rebuilds_interval_index`.
+        let mut session = SessionVars::new();
+        session.set("enable_omega_intervals", Datum::Int(0));
         let history = ut(&langs, "History", "English");
         let fiction = ut(&langs, "Fiction", "English");
         // Fiction is not under History; the probe memoizes History's closure.
@@ -365,6 +618,34 @@ mod tests {
         // Prune it again: the match disappears just as promptly.
         assert!(state.remove_hyponym(h, f));
         assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
+    }
+
+    #[test]
+    fn taxonomy_mutation_rebuilds_interval_index() {
+        let (langs, state, op) = setup();
+        let session = SessionVars::new(); // intervals default on
+        let history = ut(&langs, "History", "English");
+        let fiction = ut(&langs, "Fiction", "English");
+        let v0 = state.interval_version();
+        assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
+        // Graft Fiction under History: the swapped-in index must see it.
+        let h = state.synsets_of(&UniText::compose("History", langs.id_of("English")))[0];
+        let f = state.synsets_of(&UniText::compose("Fiction", langs.id_of("English")))[0];
+        state.add_hyponym(h, f);
+        assert_eq!(state.interval_version(), v0 + 1);
+        assert!(
+            (op.eval)(&fiction, &history, &session).unwrap().is_true(),
+            "rebuilt index must see the new edge"
+        );
+        assert!(state.remove_hyponym(h, f));
+        assert_eq!(state.interval_version(), v0 + 2);
+        assert!(!(op.eval)(&fiction, &history, &session).unwrap().is_true());
+        // Equivalence linking goes through the same protocol: linking
+        // Fiction to Histoire pulls it into History's closure.
+        let hf = state.synsets_of(&UniText::compose("Histoire", langs.id_of("French")))[0];
+        state.add_equivalence(hf, f);
+        assert_eq!(state.interval_version(), v0 + 3);
+        assert!((op.eval)(&fiction, &history, &session).unwrap().is_true());
     }
 
     #[test]
@@ -391,6 +672,11 @@ mod tests {
                 let want = (op.eval)(l, &rhs, &session).unwrap().is_true();
                 assert!(got.is_true() == want, "mismatch for {l:?} Ω {rhs:?}");
             }
+            // Both batch strategies agree element-wise.
+            let closure_batch = state.omega_matches_batch_opt(&lefts, &rhs, false).unwrap();
+            for (a, b) in batch.iter().zip(&closure_batch) {
+                assert!(a.is_true() == b.is_true(), "strategy divergence on {rhs:?}");
+            }
         }
         // The registered hook routes to the same batch entry point.
         let hook = op.eval_batch.as_ref().unwrap();
@@ -411,7 +697,10 @@ mod tests {
             .map(|c| ut(&langs, c, "English"))
             .collect();
         let lefts: Vec<&Datum> = lefts_owned.iter().collect();
-        state.omega_matches_batch(&lefts, &history).unwrap();
+        // Closure path: the interval path would resolve zero closures.
+        state
+            .omega_matches_batch_opt(&lefts, &history, false)
+            .unwrap();
         let (hits, misses) = state.cache.stats();
         assert_eq!(misses, 1, "one closure for the whole batch");
         assert_eq!(

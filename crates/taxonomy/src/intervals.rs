@@ -1,187 +1,304 @@
-//! Interval-labeling reachability index — the §4.3.1 "future work" item.
+//! Interval-labeling reachability index — the §4.3.1 connection index.
 //!
 //! The paper closes its Ω discussion wanting a connection index (it cites
 //! HOPI's 2-hop covers) to avoid materializing closures.  For the
 //! tree-dominant shape of WordNet hypernym hierarchies the classic
 //! *interval labeling* scheme answers reachability in O(1) with two
-//! integers per node: number the synsets by DFS entry/exit order, and
+//! integers per node: number the nodes by DFS entry order, and
 //! `descendant ∈ TC(ancestor)` ⇔ the descendant's entry number falls inside
-//! the ancestor's `[entry, exit]` interval.  Cross-lingual equivalence
-//! edges are folded in by giving every replica group the label of its
-//! canonical member.
+//! the ancestor's `[entry, exit]` interval.
 //!
-//! Nodes reachable through non-tree (multi-parent) edges fall back to the
-//! hash-closure path: [`IntervalIndex::reachable_same_tree`] returns `None` when it
-//! cannot decide exactly, so callers compose it with [`super::ClosureCache`]
-//! without ever losing correctness.  The `omega_closure` criterion bench
-//! compares the two.
+//! The index covers the *full* taxonomy shape, not just pure trees:
+//!
+//! 1. Cross-lingual `add_equivalence` edges are bidirectional, so every
+//!    equivalence group is contracted into one supernode (union-find).
+//!    Closure reachability over `children ∪ equivalents` edges is exactly
+//!    reachability between supernodes in the contracted *group DAG*.
+//! 2. A DFS over the group DAG carves out a spanning *tree skeleton*
+//!    (first arrival claims the node); every non-tree edge becomes an
+//!    **exception edge**, recorded only by its source group.
+//! 3. A group whose tree subtree contains no exception-edge source is
+//!    *clean*: its tree subtree IS its closure, and both membership and
+//!    `subtree_size` are exact.  Dirty subtrees can still answer
+//!    positively (a tree descendant is always reachable) but must defer
+//!    negative answers to the hash-closure path.
+//!
+//! [`IntervalIndex::contains`] therefore returns `Some(true)` on any
+//! interval hit (always exact), `Some(false)` on a miss under a clean
+//! root, and `None` — caller falls back to [`super::ClosureCache`] — only
+//! for misses under roots whose subtree emits exception edges.  On a
+//! DAG-free taxonomy no fallback ever happens.
 
 use crate::hierarchy::{SynsetId, Taxonomy};
 
-/// Per-node DFS labels.
+/// Per-group DFS labels.  `entry` increments once per group, `exit` is the
+/// largest entry in the group's tree subtree, so containment is the single
+/// comparison `entry[c] ∈ [entry[r], exit[r]]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Label {
     entry: u32,
     exit: u32,
 }
 
+/// Summary counters surfaced by [`IntervalIndex::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalStats {
+    /// Synsets covered by the index.
+    pub synsets: usize,
+    /// Equivalence-contracted supernodes.
+    pub groups: usize,
+    /// Non-tree (exception) edges in the group DAG.
+    pub exception_edges: usize,
+}
+
 /// The reachability index.
 #[derive(Debug, Clone)]
 pub struct IntervalIndex {
+    /// Synset → compacted equivalence-group id.
+    group_of: Vec<u32>,
+    /// Per-group DFS interval.
     labels: Vec<Label>,
-    /// Representative of each node's equivalence group (union of
-    /// cross-lingual `equivalents` edges).
-    group: Vec<u32>,
-    /// True when the node has at most one parent everywhere below it —
-    /// i.e. interval containment is *exact* for queries rooted here.
-    exact: Vec<bool>,
+    /// Synsets in the group's tree subtree (own members included); exact
+    /// closure size whenever the subtree is clean.
+    tree_synsets: Vec<u32>,
+    /// True when the group's tree subtree contains the *source* of at
+    /// least one exception edge — negative answers rooted here are
+    /// undecidable from intervals alone.
+    dirty: Vec<bool>,
+    exception_edges: usize,
 }
 
 impl IntervalIndex {
     /// Build the index in O(|synsets| + |edges|).
     pub fn build(taxonomy: &Taxonomy) -> IntervalIndex {
         let n = taxonomy.len();
-        // Union equivalence groups with a small union-find.
-        let mut group: Vec<u32> = (0..n as u32).collect();
-        fn find(group: &mut [u32], x: u32) -> u32 {
+        // 1. Union equivalence groups with a small union-find.
+        let mut uf: Vec<u32> = (0..n as u32).collect();
+        fn find(uf: &mut [u32], x: u32) -> u32 {
             let mut root = x;
-            while group[root as usize] != root {
-                root = group[root as usize];
+            while uf[root as usize] != root {
+                root = uf[root as usize];
             }
             let mut cur = x;
-            while group[cur as usize] != root {
-                let next = group[cur as usize];
-                group[cur as usize] = root;
+            while uf[cur as usize] != root {
+                let next = uf[cur as usize];
+                uf[cur as usize] = root;
                 cur = next;
             }
             root
         }
         for id in taxonomy.ids() {
             for &e in taxonomy.equivalents(id) {
-                let a = find(&mut group, id.raw());
-                let b = find(&mut group, e.raw());
+                let a = find(&mut uf, id.raw());
+                let b = find(&mut uf, e.raw());
                 if a != b {
-                    group[a as usize] = b;
+                    uf[a as usize] = b;
                 }
             }
         }
+        // Compact representatives into dense group ids.
+        let mut group_of = vec![u32::MAX; n];
+        let mut members: Vec<u32> = Vec::new();
         for i in 0..n as u32 {
-            find(&mut group, i);
+            let rep = find(&mut uf, i) as usize;
+            if group_of[rep] == u32::MAX {
+                group_of[rep] = members.len() as u32;
+                members.push(0);
+            }
+            group_of[i as usize] = group_of[rep];
+            members[group_of[i as usize] as usize] += 1;
+        }
+        let g = members.len();
+
+        // 2. Group-level child adjacency (deduped, self-loops dropped —
+        //    a hyponym edge inside one equivalence group adds nothing).
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); g];
+        let mut has_parent = vec![false; g];
+        for id in taxonomy.ids() {
+            let src = group_of[id.raw() as usize];
+            for &c in taxonomy.children(id) {
+                let dst = group_of[c.raw() as usize];
+                if src != dst && !children[src as usize].contains(&dst) {
+                    children[src as usize].push(dst);
+                    has_parent[dst as usize] = true;
+                }
+            }
         }
 
-        // DFS labels over hyponym edges, one tree per root, using the
-        // group representative's traversal position.  Multi-parent nodes
-        // get labeled under their first parent; the `exact` flag records
-        // whether a subtree is free of extra parents.
-        let mut labels = vec![Label { entry: 0, exit: 0 }; n];
-        let mut visited = vec![false; n];
+        // 3. DFS tree skeleton.  Roots are in-degree-0 groups; leftover
+        //    components (cycles introduced by contraction) get swept by a
+        //    second pass so every group is labeled.
+        let mut labels = vec![Label { entry: 0, exit: 0 }; g];
+        let mut visited = vec![false; g];
+        let mut tree_parent = vec![u32::MAX; g];
+        let mut tree_synsets: Vec<u32> = members.clone();
+        let mut dirty = vec![false; g];
+        let mut exit_order: Vec<u32> = Vec::with_capacity(g);
+        let mut exception_edges = 0usize;
         let mut clock = 0u32;
-        let mut multi_parent_below = vec![false; n];
-        let mut order: Vec<SynsetId> = taxonomy.ids().collect();
-        order.retain(|&id| taxonomy.parents(id).is_empty());
-        for root in order {
+        let dfs = |root: u32,
+                   labels: &mut [Label],
+                   visited: &mut [bool],
+                   tree_parent: &mut [u32],
+                   exit_order: &mut Vec<u32>,
+                   clock: &mut u32| {
+            if visited[root as usize] {
+                return;
+            }
+            enum Step {
+                Enter(u32),
+                Exit(u32),
+            }
+            let mut stack = vec![Step::Enter(root)];
+            while let Some(step) = stack.pop() {
+                match step {
+                    Step::Enter(gid) => {
+                        let i = gid as usize;
+                        if visited[i] {
+                            // Reached along a second path; the edge is
+                            // classified as an exception afterwards.
+                            continue;
+                        }
+                        visited[i] = true;
+                        labels[i].entry = *clock;
+                        *clock += 1;
+                        stack.push(Step::Exit(gid));
+                        for &c in &children[i] {
+                            if !visited[c as usize] {
+                                // Tentative claim; the LIFO stack visits a
+                                // node from its *latest* pusher, so the
+                                // last writer here is the real skeleton
+                                // parent by the time the node is entered.
+                                tree_parent[c as usize] = gid;
+                                stack.push(Step::Enter(c));
+                            }
+                        }
+                    }
+                    Step::Exit(gid) => {
+                        let i = gid as usize;
+                        labels[i].exit = *clock - 1;
+                        exit_order.push(gid);
+                    }
+                }
+            }
+        };
+        for root in 0..g as u32 {
+            if !has_parent[root as usize] {
+                dfs(
+                    root,
+                    &mut labels,
+                    &mut visited,
+                    &mut tree_parent,
+                    &mut exit_order,
+                    &mut clock,
+                );
+            }
+        }
+        for root in 0..g as u32 {
             dfs(
-                taxonomy,
                 root,
                 &mut labels,
                 &mut visited,
+                &mut tree_parent,
+                &mut exit_order,
                 &mut clock,
-                &mut multi_parent_below,
             );
         }
-        // Any node never visited (cycle via equivalents only) gets a
-        // degenerate self-interval.
-        for i in 0..n {
-            if !visited[i] {
-                labels[i] = Label {
-                    entry: clock,
-                    exit: clock,
-                };
-                clock += 1;
+
+        // Classify edges against the finished skeleton: every group edge
+        // whose target was claimed by a different parent is an exception,
+        // and its *source* group becomes dirty.
+        for src in 0..g {
+            for &c in &children[src] {
+                if tree_parent[c as usize] != src as u32 {
+                    dirty[src] = true;
+                    exception_edges += 1;
+                }
             }
         }
+
+        // 4. Bottom-up accumulation over the tree skeleton (children exit
+        //    before parents in `exit_order`): subtree synset counts and
+        //    the dirty flag.
+        for &gid in &exit_order {
+            let p = tree_parent[gid as usize];
+            if p != u32::MAX {
+                tree_synsets[p as usize] += tree_synsets[gid as usize];
+                if dirty[gid as usize] {
+                    dirty[p as usize] = true;
+                }
+            }
+        }
+
         IntervalIndex {
+            group_of,
             labels,
-            group: group.clone(),
-            exact: multi_parent_below.iter().map(|&b| !b).collect(),
+            tree_synsets,
+            dirty,
+            exception_edges,
         }
     }
 
-    /// Does `candidate` lie in the transitive closure of `root`, counting
-    /// hyponym edges within `root`'s language tree only?  `Some(bool)` when
-    /// the labels decide exactly; `None` when the subtree contains
-    /// multi-parent nodes (caller must fall back to the hash closure).
-    pub fn reachable_same_tree(&self, root: SynsetId, candidate: SynsetId) -> Option<bool> {
-        if !self.exact[root.raw() as usize] {
-            return None;
-        }
-        let r = self.labels[root.raw() as usize];
-        let c = self.labels[candidate.raw() as usize];
-        Some(c.entry >= r.entry && c.entry <= r.exit)
+    #[inline]
+    fn gid(&self, s: SynsetId) -> usize {
+        self.group_of[s.raw() as usize] as usize
     }
 
-    /// Cross-lingual reachability: true when some member of `candidate`'s
-    /// equivalence group lies under some member of `root`'s group.
-    /// Group membership is resolved through the representative table; the
-    /// exactness caveat of [`Self::reachable_same_tree`] applies.
+    /// Does `candidate` lie in the Ω transitive closure of `root`
+    /// (reachability over `children ∪ equivalents` edges, reflexive)?
+    ///
+    /// `Some(true)` — interval hit; always exact.
+    /// `Some(false)` — miss under a clean subtree; exact.
+    /// `None` — miss under a subtree that emits exception edges: the
+    /// caller must consult the hash closure.
+    #[inline]
+    pub fn contains(&self, root: SynsetId, candidate: SynsetId) -> Option<bool> {
+        let r = self.gid(root);
+        let c = self.gid(candidate);
+        if r == c {
+            return Some(true);
+        }
+        let rl = self.labels[r];
+        let ce = self.labels[c].entry;
+        if ce >= rl.entry && ce <= rl.exit {
+            return Some(true);
+        }
+        if self.dirty[r] {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Do two synsets belong to the same cross-lingual equivalence group?
     pub fn same_group(&self, a: SynsetId, b: SynsetId) -> bool {
-        self.group[a.raw() as usize] == self.group[b.raw() as usize]
+        self.gid(a) == self.gid(b)
     }
 
-    /// Size of the subtree under `root` (exact trees only).
+    /// Exact closure size (in synsets) of `root`, when the subtree is
+    /// clean; `None` when exception edges may extend the closure beyond
+    /// the tree skeleton.
     pub fn subtree_size(&self, root: SynsetId) -> Option<usize> {
-        if !self.exact[root.raw() as usize] {
-            return None;
+        let g = self.gid(root);
+        if self.dirty[g] {
+            None
+        } else {
+            Some(self.tree_synsets[g] as usize)
         }
-        let l = self.labels[root.raw() as usize];
-        Some(((l.exit - l.entry) / 2 + 1) as usize)
     }
-}
 
-fn dfs(
-    taxonomy: &Taxonomy,
-    root: SynsetId,
-    labels: &mut [Label],
-    visited: &mut [bool],
-    clock: &mut u32,
-    multi_parent_below: &mut [bool],
-) {
-    // Iterative DFS to survive WordNet-depth recursion comfortably.
-    enum Step {
-        Enter(SynsetId),
-        Exit(SynsetId),
+    /// Whether any exception edge exists anywhere in the index.  False on
+    /// tree-shaped taxonomies: every query is then decided by intervals.
+    pub fn has_exceptions(&self) -> bool {
+        self.exception_edges > 0
     }
-    let mut stack = vec![Step::Enter(root)];
-    while let Some(step) = stack.pop() {
-        match step {
-            Step::Enter(id) => {
-                let i = id.raw() as usize;
-                if visited[i] {
-                    continue;
-                }
-                visited[i] = true;
-                labels[i].entry = *clock;
-                *clock += 1;
-                stack.push(Step::Exit(id));
-                for &c in taxonomy.children(id) {
-                    if taxonomy.parents(c).len() > 1 {
-                        multi_parent_below[i] = true;
-                    }
-                    stack.push(Step::Enter(c));
-                }
-            }
-            Step::Exit(id) => {
-                let i = id.raw() as usize;
-                labels[i].exit = *clock;
-                *clock += 1;
-                // Propagate the inexactness flag upward lazily: parents
-                // read it after children exit.
-                let dirty = multi_parent_below[i]
-                    || taxonomy.children(id).iter().any(|&c| {
-                        multi_parent_below[c.raw() as usize] || taxonomy.parents(c).len() > 1
-                    });
-                multi_parent_below[i] = dirty;
-            }
+
+    /// Structural counters for observability surfaces.
+    pub fn stats(&self) -> IntervalStats {
+        IntervalStats {
+            synsets: self.group_of.len(),
+            groups: self.labels.len(),
+            exception_edges: self.exception_edges,
         }
     }
 }
@@ -204,15 +321,13 @@ mod tests {
             },
         );
         let idx = IntervalIndex::build(&t);
-        // The generator produces a pure tree: every query is exact.
+        assert!(!idx.has_exceptions(), "generated hierarchy is a tree");
         for root in [0u32, 1, 17, 123, 999] {
             let root = SynsetId(root);
             let closure = compute_closure(&t, root);
             let mut in_count = 0;
             for cand in t.ids() {
-                let got = idx
-                    .reachable_same_tree(root, cand)
-                    .expect("tree hierarchy is exact");
+                let got = idx.contains(root, cand).expect("tree hierarchy is exact");
                 assert_eq!(got, closure.contains(&cand), "root {root:?} cand {cand:?}");
                 if got {
                     in_count += 1;
@@ -224,27 +339,45 @@ mod tests {
     }
 
     #[test]
-    fn multi_parent_regions_refuse_instead_of_lying() {
+    fn diamond_decides_positives_and_defers_negatives() {
         let lang = LanguageRegistry::new().id_of("English");
         let mut t = crate::hierarchy::Taxonomy::new();
         let a = t.add_synset(lang, &["a"]);
         let b = t.add_synset(lang, &["b"]);
         let c = t.add_synset(lang, &["c"]);
         let d = t.add_synset(lang, &["d"]);
+        let e = t.add_synset(lang, &["e"]);
         t.add_hyponym(a, b);
         t.add_hyponym(a, c);
         t.add_hyponym(b, d);
         t.add_hyponym(c, d); // diamond: d has two parents
+        let _ = e; // disconnected
         let idx = IntervalIndex::build(&t);
-        // Queries rooted where the diamond lives must decline.
-        assert_eq!(idx.reachable_same_tree(a, d), None);
-        assert_eq!(idx.reachable_same_tree(c, d), None);
-        // d itself has no children: exact.
-        assert_eq!(idx.reachable_same_tree(d, d), Some(true));
+        assert!(idx.has_exceptions());
+        // The tree skeleton puts d under one of b/c; queries from a still
+        // decide positively through the tree path.
+        assert_eq!(idx.contains(a, d), Some(true));
+        assert_eq!(idx.contains(a, b), Some(true));
+        assert_eq!(idx.contains(a, c), Some(true));
+        // Exactly one of b/c owns d in the skeleton; the other sees an
+        // interval miss under a dirty subtree and must defer.
+        let via_b = idx.contains(b, d);
+        let via_c = idx.contains(c, d);
+        assert!(
+            (via_b == Some(true) && via_c.is_none()) || (via_c == Some(true) && via_b.is_none()),
+            "one skeleton parent decides, the other defers: {via_b:?} {via_c:?}"
+        );
+        // Clean regions still answer negatives exactly.
+        assert_eq!(idx.contains(d, a), Some(false));
+        assert_eq!(idx.contains(e, a), Some(false));
+        assert_eq!(idx.contains(a, e), None, "a's subtree is dirty");
+        // Subtree sizes: clean leaf exact, dirty root deferred.
+        assert_eq!(idx.subtree_size(d), Some(1));
+        assert_eq!(idx.subtree_size(a), None);
     }
 
     #[test]
-    fn equivalence_groups_resolve() {
+    fn equivalence_groups_contract_into_supernodes() {
         let reg = LanguageRegistry::new();
         let lang = reg.id_of("English");
         let mut t = crate::hierarchy::Taxonomy::new();
@@ -254,10 +387,60 @@ mod tests {
         t.add_equivalence(a, b);
         t.add_equivalence(b, c);
         let d = t.add_synset(lang, &["unrelated"]);
+        let child = t.add_synset(lang, &["child"]);
+        t.add_hyponym(b, child); // child hangs off the French replica
         let idx = IntervalIndex::build(&t);
         assert!(idx.same_group(a, c));
         assert!(idx.same_group(b, c));
         assert!(!idx.same_group(a, d));
+        // Closure through the equivalence group: a's closure reaches the
+        // child attached to its French equivalent.
+        assert_eq!(idx.contains(a, child), Some(true));
+        assert_eq!(idx.contains(c, child), Some(true));
+        assert_eq!(idx.contains(child, a), Some(false));
+        // Group members count once each; the supernode subtree holds the
+        // three replicas plus the child.
+        assert_eq!(idx.subtree_size(a), Some(4));
+        assert!(!idx.has_exceptions());
+    }
+
+    #[test]
+    fn equivalence_plus_multiparent_matches_closure() {
+        // The Figure 5 shape: two language trees stitched by equivalence
+        // edges, plus one cross-tree hyponym creating a multi-parent node.
+        let reg = LanguageRegistry::new();
+        let en = reg.id_of("English");
+        let fr = reg.id_of("French");
+        let mut t = crate::hierarchy::Taxonomy::new();
+        let root_en = t.add_synset(en, &["root"]);
+        let hist_en = t.add_synset(en, &["history"]);
+        let bio_en = t.add_synset(en, &["biography"]);
+        let root_fr = t.add_synset(fr, &["racine"]);
+        let hist_fr = t.add_synset(fr, &["histoire"]);
+        t.add_hyponym(root_en, hist_en);
+        t.add_hyponym(hist_en, bio_en);
+        t.add_hyponym(root_fr, hist_fr);
+        t.add_equivalence(hist_en, hist_fr);
+        // Multi-parent: biography also under racine directly.
+        t.add_hyponym(root_fr, bio_en);
+        let idx = IntervalIndex::build(&t);
+        for root in t.ids() {
+            let closure = compute_closure(&t, root);
+            for cand in t.ids() {
+                match idx.contains(root, cand) {
+                    Some(got) => {
+                        assert_eq!(got, closure.contains(&cand), "root {root:?} cand {cand:?}")
+                    }
+                    None => assert!(
+                        idx.stats().exception_edges > 0,
+                        "fallback implies exceptions exist"
+                    ),
+                }
+            }
+            if let Some(sz) = idx.subtree_size(root) {
+                assert_eq!(sz, closure.len(), "clean subtree size is exact closure");
+            }
+        }
     }
 
     #[test]
@@ -272,8 +455,8 @@ mod tests {
             prev = cur;
         }
         let idx = IntervalIndex::build(&t);
-        assert_eq!(idx.reachable_same_tree(SynsetId(0), prev), Some(true));
-        assert_eq!(idx.reachable_same_tree(prev, SynsetId(0)), Some(false));
+        assert_eq!(idx.contains(SynsetId(0), prev), Some(true));
+        assert_eq!(idx.contains(prev, SynsetId(0)), Some(false));
         assert_eq!(idx.subtree_size(SynsetId(0)), Some(50_000));
     }
 }

@@ -27,4 +27,4 @@ pub use closure::{set_shard_wait_observer, ClosureCache, SharedClosureCache};
 pub use fragment::books_fragment;
 pub use generator::{generate, synsets_near_closure_sizes, GeneratorConfig};
 pub use hierarchy::{SynsetId, Taxonomy, TaxonomyStats};
-pub use intervals::IntervalIndex;
+pub use intervals::{IntervalIndex, IntervalStats};

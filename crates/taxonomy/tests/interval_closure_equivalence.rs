@@ -1,0 +1,118 @@
+//! Property test pinning [`IntervalIndex`] to the hash-closure ground
+//! truth: over randomly generated DAGs interleaved with the full mutation
+//! API (`add_hyponym` / `remove_hyponym` / `add_equivalence`), every
+//! decided answer (`Some`) must equal [`compute_closure`] membership, every
+//! deferral (`None`) may only happen when the index reports exception
+//! edges, and `subtree_size` must be the exact closure size wherever it
+//! answers.  This is the contract the Ω fast path in `mlql-mural` leans
+//! on: interval hits/misses are authoritative, fallbacks are rare and safe.
+
+use mlql_taxonomy::closure::compute_closure;
+use mlql_taxonomy::{IntervalIndex, SynsetId, Taxonomy};
+use mlql_unitext::LanguageRegistry;
+use proptest::prelude::*;
+
+/// One step of the mutation workload, indices taken modulo the synset
+/// count at application time.
+#[derive(Debug, Clone)]
+enum Mutation {
+    AddHyponym(usize, usize),
+    RemoveHyponym(usize, usize),
+    AddEquivalence(usize, usize),
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    // Edge additions listed twice to bias the workload toward growth.
+    prop_oneof![
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Mutation::AddHyponym(a, b)),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Mutation::AddHyponym(a, b)),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Mutation::RemoveHyponym(a, b)),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Mutation::AddEquivalence(a, b)),
+    ]
+}
+
+/// Exhaustively check the index against the BFS closure for every
+/// (root, candidate) pair of a small taxonomy.
+fn assert_index_matches_closure(t: &Taxonomy) {
+    let idx = IntervalIndex::build(t);
+    for root in t.ids() {
+        let closure = compute_closure(t, root);
+        for cand in t.ids() {
+            match idx.contains(root, cand) {
+                Some(got) => assert_eq!(
+                    got,
+                    closure.contains(&cand),
+                    "contains({root:?}, {cand:?}) disagreed with compute_closure"
+                ),
+                None => assert!(
+                    idx.has_exceptions(),
+                    "deferred {root:?} → {cand:?} on an exception-free index"
+                ),
+            }
+        }
+        if let Some(sz) = idx.subtree_size(root) {
+            assert_eq!(
+                sz,
+                closure.len(),
+                "subtree_size({root:?}) must be the exact closure size"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_containment_equals_compute_closure(
+        synsets in 2usize..28,
+        // Initial random DAG: each entry is a (parent, child) pair mod n.
+        edges in proptest::collection::vec((0usize..64, 0usize..64), 0..40),
+        equivs in proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+        mutations in proptest::collection::vec(mutation_strategy(), 0..12),
+    ) {
+        let reg = LanguageRegistry::new();
+        let langs = [reg.id_of("English"), reg.id_of("French"), reg.id_of("Tamil")];
+        let mut t = Taxonomy::new();
+        let ids: Vec<SynsetId> = (0..synsets)
+            .map(|i| t.add_synset(langs[i % langs.len()], &[format!("w{i}").as_str()]))
+            .collect();
+        for (p, c) in edges {
+            let (p, c) = (ids[p % synsets], ids[c % synsets]);
+            if p != c {
+                t.add_hyponym(p, c);
+            }
+        }
+        for (a, b) in equivs {
+            let (a, b) = (ids[a % synsets], ids[b % synsets]);
+            if a != b {
+                t.add_equivalence(a, b);
+            }
+        }
+        assert_index_matches_closure(&t);
+
+        // Interleave mutations, rebuilding the index after each — the same
+        // protocol SemState follows under its clone-on-write guard.
+        for m in mutations {
+            match m {
+                Mutation::AddHyponym(p, c) => {
+                    let (p, c) = (ids[p % synsets], ids[c % synsets]);
+                    if p != c {
+                        t.add_hyponym(p, c);
+                    }
+                }
+                Mutation::RemoveHyponym(p, c) => {
+                    let (p, c) = (ids[p % synsets], ids[c % synsets]);
+                    t.remove_hyponym(p, c);
+                }
+                Mutation::AddEquivalence(a, b) => {
+                    let (a, b) = (ids[a % synsets], ids[b % synsets]);
+                    if a != b {
+                        t.add_equivalence(a, b);
+                    }
+                }
+            }
+            assert_index_matches_closure(&t);
+        }
+    }
+}

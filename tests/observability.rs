@@ -115,6 +115,17 @@ fn explain_analyze_semequal_closure_actuals() {
         .unwrap();
     }
     db.execute("ANALYZE book").unwrap();
+    // Pin the closure-walk strategy: the interval index (the default)
+    // decides containment without touching the closure cache, so the
+    // cache-hit assertions below only hold on the fallback path.
+    db.execute("SET enable_omega_intervals = 0").unwrap();
+    // Warm the shared closure cache (batch eval resolves each closure at
+    // most once per query, so hits only show up on a repeated RHS root).
+    db.execute(
+        "SELECT count(*) FROM book \
+         WHERE category SEMEQUAL unitext('History','English')",
+    )
+    .unwrap();
 
     let hits_before = obs::metrics().taxonomy_closure_cache_hits_total.get();
     let r = db
@@ -128,6 +139,10 @@ fn explain_analyze_semequal_closure_actuals() {
     let nodes = node_actuals(&text);
     let (scan_rows, scan_line) = nodes.last().unwrap();
     assert!(scan_line.contains("Seq Scan on book"), "{text}");
+    assert!(
+        scan_line.contains("Containment: closure-fallback"),
+        "{text}"
+    );
     assert_eq!(*scan_rows, 4, "closure members under History:\n{text}");
     // Ω evaluated once per scanned row — the reconciliation the cost
     // model's per-tuple charge assumes.
@@ -137,6 +152,46 @@ fn explain_analyze_semequal_closure_actuals() {
     assert!(
         hits_after > hits_before,
         "closure cache hits must be counted"
+    );
+}
+
+/// The default interval-labeled Ω path is surfaced by EXPLAIN and never
+/// touches the closure cache for a tree-shaped taxonomy.
+#[test]
+fn explain_analyze_semequal_interval_strategy() {
+    let mut db = db();
+    db.execute("CREATE TABLE book (id INT, category UNITEXT)")
+        .unwrap();
+    for (id, cat, lang) in [
+        (1, "History", "English"),
+        (2, "Historiography", "English"),
+        (3, "Autobiography", "English"),
+        (4, "Novel", "English"),
+    ] {
+        db.execute(&format!(
+            "INSERT INTO book VALUES ({id}, unitext('{cat}','{lang}'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE book").unwrap();
+
+    let hits_before = obs::metrics().omega_interval_hits_total.get();
+    let r = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM book \
+             WHERE category SEMEQUAL unitext('History','English')",
+        )
+        .unwrap();
+    let text = r.explain.expect("explain text");
+
+    let nodes = node_actuals(&text);
+    let (scan_rows, scan_line) = nodes.last().unwrap();
+    assert!(scan_line.contains("Containment: intervals"), "{text}");
+    assert_eq!(*scan_rows, 3, "closure members under History:\n{text}");
+    let hits_after = obs::metrics().omega_interval_hits_total.get();
+    assert!(
+        hits_after > hits_before,
+        "interval-decided probes must be counted"
     );
 }
 
@@ -968,11 +1023,7 @@ fn plan_store_aggregates_mixed_psi_omega_workload() {
     // Sorted by calls desc: the ψ plan leads with 3 calls, the Ω plan
     // follows with 2; both realized one aggregate row.
     assert!(shown.rows.len() >= 2, "two distinct plan digests");
-    let calls: Vec<i64> = shown
-        .rows
-        .iter()
-        .map(|r| r[2].as_int().unwrap())
-        .collect();
+    let calls: Vec<i64> = shown.rows.iter().map(|r| r[2].as_int().unwrap()).collect();
     assert_eq!(calls[0], 3, "{calls:?}");
     assert!(calls.contains(&2), "{calls:?}");
     for row in shown.rows.iter().take(2) {
@@ -1004,12 +1055,14 @@ fn stale_statistics_advisory_raises_and_analyze_clears_it() {
     let mut db = db();
     db.execute("CREATE TABLE skew (a INT)").unwrap();
     for i in 0..5 {
-        db.execute(&format!("INSERT INTO skew VALUES ({i})")).unwrap();
+        db.execute(&format!("INSERT INTO skew VALUES ({i})"))
+            .unwrap();
     }
     db.execute("ANALYZE skew").unwrap();
     // The table then grows 100x without a re-ANALYZE.
     for i in 5..500 {
-        db.execute(&format!("INSERT INTO skew VALUES ({i})")).unwrap();
+        db.execute(&format!("INSERT INTO skew VALUES ({i})"))
+            .unwrap();
     }
     db.execute("SET qerror_warn = 4").unwrap();
 

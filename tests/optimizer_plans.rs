@@ -228,3 +228,44 @@ fn fig6_style_correlation_holds_at_test_scale() {
     );
     assert!(measured[0].1 < measured[2].1, "{measured:?}");
 }
+
+#[test]
+fn omega_estimates_never_print_zero_rows() {
+    // Golden (§3.4.2 floor): an Ω scan over a non-empty table must never
+    // be estimated at zero rows — a leaf concept's closure still covers
+    // the concept itself, and an unknown RHS concept falls back to the
+    // structural heuristic — so EXPLAIN must not print `rows=0` (or a
+    // `rows=<1` produced by a literally-zero estimate) on the scan node.
+    let (mut db, _m) = db();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    for i in 0..50 {
+        db.execute(&format!(
+            "INSERT INTO docs VALUES ({i}, unitext('Novel','English'))"
+        ))
+        .unwrap();
+    }
+    db.execute("ANALYZE docs").unwrap();
+
+    // A leaf concept (closure = itself), a mid-tree concept, and a
+    // concept the taxonomy has never heard of.
+    for rhs in ["Autobiography", "History", "Zeppelin"] {
+        let sql =
+            format!("SELECT count(*) FROM docs WHERE category SEMEQUAL unitext('{rhs}','English')");
+        let plan = db.plan_select(&sql).unwrap();
+        let text = plan.explain();
+        let scan = text
+            .lines()
+            .find(|l| l.contains("Scan on docs"))
+            .unwrap_or_else(|| panic!("no scan line in:\n{text}"));
+        assert!(
+            !scan.contains("rows=0"),
+            "Ω scan estimated at zero rows for RHS {rhs}:\n{text}"
+        );
+        let est: f64 = plan.est_rows;
+        assert!(
+            est > 0.0,
+            "root estimate must be positive for RHS {rhs}: {est}\n{text}"
+        );
+    }
+}

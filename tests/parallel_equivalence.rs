@@ -432,3 +432,73 @@ proptest! {
         prop_assert_eq!(serial, parallel);
     }
 }
+
+/// The interval-labeled Ω containment index is invisible in the results:
+/// every (workers × batch on/off) combination returns byte-identical row
+/// sets with `enable_omega_intervals` on and off — including after a
+/// taxonomy mutation grafts a multi-parent (exception) edge, the shape
+/// that forces the index onto its closure-fallback path.
+#[test]
+fn omega_interval_strategy_equivalent() {
+    let (mut db, mural) = db();
+    db.execute("CREATE TABLE docs (id INT, category UNITEXT)")
+        .unwrap();
+    let cats = [
+        ("History", "English"),
+        ("Biography", "English"),
+        ("Fiction", "English"),
+        ("Novel", "English"),
+        ("Histoire", "French"),
+        ("சரித்திரம்", "Tamil"),
+    ];
+    for i in 0..1400i64 {
+        let (w, l) = cats[i as usize % cats.len()];
+        let v = UniText::compose(w, mural.langs.id_of(l));
+        db.insert_row(
+            "docs",
+            vec![
+                mlql::kernel::Datum::Int(i),
+                unitext_datum(mural.unitext_type, &v),
+            ],
+        )
+        .unwrap();
+    }
+    db.execute("ANALYZE docs").unwrap();
+
+    let check_all = |db: &Database| {
+        for rhs in ["History", "Biography", "Fiction"] {
+            let sql =
+                format!("SELECT id FROM docs WHERE category SEMEQUAL unitext('{rhs}','English')");
+            let reference = sorted_rows(
+                db,
+                1,
+                &["SET enable_omega_intervals = 0", "SET enable_batch = 0"],
+                &sql,
+            );
+            for &w in &WORKER_COUNTS {
+                for batch in ["SET enable_batch = 0", "SET enable_batch = 1"] {
+                    for intervals in [
+                        "SET enable_omega_intervals = 0",
+                        "SET enable_omega_intervals = 1",
+                    ] {
+                        let got = sorted_rows(db, w, &[intervals, batch], &sql);
+                        assert_eq!(
+                            got, reference,
+                            "Ω diverged at workers={w} [{batch}; {intervals}]: {sql}"
+                        );
+                    }
+                }
+            }
+        }
+    };
+    check_all(&db);
+
+    // Graft Fiction under both Literature (its tree parent) and History:
+    // the new multi-parent edge dirties History's subtree, so the interval
+    // index must defer those probes to the closure walk — and still agree.
+    let en = mural.langs.id_of("English");
+    let history = mural.sem.synsets_of(&UniText::compose("History", en))[0];
+    let fiction = mural.sem.synsets_of(&UniText::compose("Fiction", en))[0];
+    mural.sem.add_hyponym(history, fiction);
+    check_all(&db);
+}

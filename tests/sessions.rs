@@ -275,6 +275,11 @@ fn omega_cache_invalidation_crosses_sessions() {
     let omega = "SELECT count(*) FROM docs WHERE category SEMEQUAL unitext('History','English')";
     let mut s1 = db.connect();
     let mut s2 = db.connect();
+    // Pin both sessions to the closure-walk fallback: the interval index
+    // (the default) never memoizes closures, and this test is about the
+    // shared *closure cache* invalidation protocol.
+    s1.execute("SET enable_omega_intervals = 0").unwrap();
+    s2.execute("SET enable_omega_intervals = 0").unwrap();
     // Both sessions warm the shared cache: only Biography is under History.
     assert_eq!(s1.query(omega).unwrap()[0][0].as_int(), Some(1));
     assert_eq!(s2.query(omega).unwrap()[0][0].as_int(), Some(1));
@@ -315,6 +320,10 @@ fn omega_cache_never_serves_stale_closure_after_ddl() {
         .unwrap();
     let omega = "SELECT count(*) FROM docs WHERE category SEMEQUAL unitext('History','English')";
     let mut s = db.connect();
+    // Closure-walk fallback: this regression is about the *closure cache*
+    // revalidating across taxonomy versions, which the interval index
+    // (the default path) bypasses entirely.
+    s.execute("SET enable_omega_intervals = 0").unwrap();
     assert_eq!(s.query(omega).unwrap()[0][0].as_int(), Some(0));
 
     let en = mural.langs.id_of("English");
