@@ -1,0 +1,201 @@
+//! Transaction throughput under MVCC snapshot isolation: committed
+//! transactions per second at 1, 2 and 4 concurrent sessions (disjoint
+//! keys, so no conflicts), the conflict-abort rate when sessions contend
+//! on a small hot set under first-updater-wins, and the headline MVCC
+//! property — a read-only ψ scan runs at the same latency whether or not
+//! another session is sitting on an open write transaction, because
+//! readers never block on writers.
+
+use mlql_bench::report::{obj, Report, Value};
+use mlql_bench::{load_names_table, mural_db, scale, timed};
+use mlql_kernel::obs;
+use mlql_kernel::{Database, Error};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Commit-only loop: each session owns a private key range, so every
+/// transaction commits.  Returns (committed txns, txns/s).
+fn run_commit_config(db: &Database, sessions: usize, secs: f64) -> (u64, f64) {
+    let stop = AtomicBool::new(false);
+    let workers: Vec<_> = (0..sessions).map(|_| db.connect()).collect();
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let stop = &stop;
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(slot, mut session)| {
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = 1_000_000 * (slot as u64 + 1) + done;
+                        session.execute("BEGIN").expect("begin");
+                        session
+                            .execute(&format!("INSERT INTO kv VALUES ({k}, 1)"))
+                            .expect("insert");
+                        session
+                            .execute(&format!("UPDATE kv SET v = 2 WHERE k = {k}"))
+                            .expect("update own row");
+                        session.execute("COMMIT").expect("commit");
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (total, total as f64 / elapsed)
+}
+
+/// Contention loop: every session updates the same `hot` keys, so
+/// first-updater-wins aborts the laggards.  Returns (commits, aborts).
+fn run_conflict_config(db: &Database, sessions: usize, hot: u64, secs: f64) -> (u64, u64) {
+    let stop = AtomicBool::new(false);
+    let workers: Vec<_> = (0..sessions).map(|_| db.connect()).collect();
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(slot, mut session)| {
+                scope.spawn(move || {
+                    let (mut commits, mut aborts) = (0u64, 0u64);
+                    let mut i = slot as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = i % hot;
+                        i += 1;
+                        session.execute("BEGIN").expect("begin");
+                        match session.execute(&format!("UPDATE kv SET v = v + 1 WHERE k = {k}")) {
+                            Ok(_) => {
+                                session.execute("COMMIT").expect("commit");
+                                commits += 1;
+                            }
+                            Err(Error::Serialization(_)) => {
+                                session.execute("ROLLBACK").expect("rollback");
+                                aborts += 1;
+                            }
+                            Err(e) => panic!("unexpected error under contention: {e}"),
+                        }
+                    }
+                    (commits, aborts)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().fold((0, 0), |(c, a), h| {
+            let (hc, ha) = h.join().unwrap();
+            (c + hc, a + ha)
+        })
+    })
+}
+
+/// Mean latency (seconds) of `iters` back-to-back ψ scans from one session.
+fn psi_scan_latency(db: &Database, sql: &str, iters: usize) -> f64 {
+    let mut s = db.connect();
+    s.execute("SET lexequal.threshold = 2").unwrap();
+    s.query(sql).unwrap(); // warm plan cache + buffers
+    let (_, secs) = timed(|| {
+        for _ in 0..iters {
+            s.query(sql).expect("read-only scan");
+        }
+    });
+    secs / iters as f64
+}
+
+fn main() {
+    let n = 4_000 * scale();
+    let measure_secs = 0.8;
+    let scan_iters = 40;
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (mut db, mural) = mural_db();
+    load_names_table(&mut db, &mural, "names", n, 1).unwrap();
+    db.execute("CREATE TABLE kv (k INT, v INT)").unwrap();
+    for k in 0..64 {
+        db.execute(&format!("INSERT INTO kv VALUES ({k}, 0)"))
+            .unwrap();
+    }
+    db.execute("ANALYZE kv").unwrap();
+
+    println!("# txn throughput: {n} names rows, {measure_secs}s per config, {cpus} cpu(s)");
+    let metrics = obs::metrics();
+
+    // --- committed-transaction throughput, disjoint keys -------------
+    let mut rows = Vec::new();
+    let mut tps_at = std::collections::HashMap::new();
+    for sessions in [1usize, 2, 4] {
+        let (total, tps) = run_commit_config(&db, sessions, measure_secs);
+        println!("sessions={sessions}: {total} committed txns, {tps:.0} txn/s");
+        tps_at.insert(sessions, tps);
+        rows.push(obj(vec![
+            ("sessions", Value::Int(sessions as i64)),
+            ("committed", Value::Int(total as i64)),
+            ("txn_per_s", Value::Num(tps)),
+        ]));
+    }
+
+    // --- conflict-abort rate on a hot set ----------------------------
+    let conflicts_before = metrics.txn_conflicts_total.get();
+    let (commits, aborts) = run_conflict_config(&db, 4, 8, measure_secs);
+    let abort_rate = aborts as f64 / (commits + aborts).max(1) as f64;
+    let conflict_delta = metrics.txn_conflicts_total.get() - conflicts_before;
+    println!(
+        "contention (4 sessions, 8 hot keys): {commits} commits, {aborts} aborts \
+         (rate {abort_rate:.3}, counter delta {conflict_delta})"
+    );
+
+    // --- read-only ψ scan latency: idle vs open write txn ------------
+    let psi = "SELECT count(*) FROM names WHERE name LEXEQUAL unitext('Nehru','English')";
+    let idle = psi_scan_latency(&db, psi, scan_iters);
+    // A writer parks on an open transaction with uncommitted lexicon
+    // inserts; the reader's scans must neither block nor slow down —
+    // snapshot visibility filters the in-flight versions for free.
+    let mut writer = db.connect();
+    writer.execute("BEGIN").unwrap();
+    for i in 0..50 {
+        writer
+            .execute(&format!(
+                "INSERT INTO names VALUES (unitext('Writer{i}','English'))"
+            ))
+            .unwrap();
+    }
+    let with_writer = psi_scan_latency(&db, psi, scan_iters);
+    writer.execute("ROLLBACK").unwrap();
+    let overhead = with_writer / idle;
+    println!(
+        "ψ scan: idle {:.3} ms, with open write txn {:.3} ms ({overhead:.2}x)",
+        idle * 1e3,
+        with_writer * 1e3
+    );
+
+    let mut rep = Report::new("txn");
+    rep.int("rows", n as i64)
+        .num("measure_secs", measure_secs)
+        .set("commit_configs", Value::Arr(rows))
+        .num("txn_per_s_1_session", tps_at[&1])
+        .num("txn_per_s_2_sessions", tps_at[&2])
+        .num("txn_per_s_4_sessions", tps_at[&4])
+        .int("conflict_commits", commits as i64)
+        .int("conflict_aborts", aborts as i64)
+        .num("conflict_abort_rate", abort_rate)
+        .int("conflict_counter_delta", conflict_delta as i64)
+        .num("psi_scan_ms_idle", idle * 1e3)
+        .num("psi_scan_ms_with_open_writer", with_writer * 1e3)
+        .num("open_writer_overhead_ratio", overhead)
+        // Readers never block on writers: the scan must complete (it did,
+        // or we'd still be here) and stay within noise of the idle
+        // latency — 2x is far above timing jitter yet far below any
+        // lock-wait, which would stall for the writer's whole lifetime.
+        .flag("non_blocking_reads_target_met", overhead < 2.0)
+        .flag(
+            "conflicts_detected_under_contention",
+            aborts > 0 && conflict_delta >= aborts,
+        );
+    rep.write_and_note();
+}

@@ -136,7 +136,7 @@ pub fn core_closure_via_tables(
     index_name: Option<&str>,
     root: i64,
 ) -> Result<usize> {
-    use mlql_kernel::storage::decode_row;
+    use mlql_kernel::storage::{decode_row, split_version};
     use std::collections::HashSet;
 
     let meta = db.catalog().table(edges_table)?;
@@ -147,6 +147,8 @@ pub fn core_closure_via_tables(
             .into_iter()
             .find(|i| i.name == n)
     });
+    // Direct heap access still honors MVCC: read under a fresh snapshot.
+    let vis = db.engine().fresh_visibility();
     let mut seen: HashSet<i64> = HashSet::new();
     let mut stack = vec![root];
     seen.insert(root);
@@ -159,7 +161,11 @@ pub fn core_closure_via_tables(
                     .search("eq", &Datum::Int(node), &Datum::Null)?;
                 for tid in hits.tids {
                     if let Some(bytes) = meta.heap.get(db.pool(), tid)? {
-                        let row = decode_row(&bytes, arity)?;
+                        let (xmin, xmax, rest) = split_version(&bytes)?;
+                        if !vis.sees(xmin, xmax) {
+                            continue;
+                        }
+                        let row = decode_row(rest, arity)?;
                         if let Some(child) = row[0].as_int() {
                             if seen.insert(child) {
                                 stack.push(child);
@@ -171,7 +177,13 @@ pub fn core_closure_via_tables(
             None => {
                 let mut children = Vec::new();
                 meta.heap.scan(db.pool(), |_, bytes| {
-                    if let Ok(row) = decode_row(bytes, arity) {
+                    let Ok((xmin, xmax, rest)) = split_version(bytes) else {
+                        return true;
+                    };
+                    if !vis.sees(xmin, xmax) {
+                        return true;
+                    }
+                    if let Ok(row) = decode_row(rest, arity) {
                         if row[1].as_int() == Some(node) {
                             if let Some(c) = row[0].as_int() {
                                 children.push(c);

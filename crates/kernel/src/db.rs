@@ -12,8 +12,8 @@ use crate::plan::PhysNode;
 use crate::schema::Row;
 use crate::snapshot::{self, Snapshot};
 use crate::storage::{
-    decode_row, BufferPool, FileBackend, FileId, HeapFile, SharedWal, StorageBackend, SyncMode,
-    Wal, WalReader, WalRecord,
+    decode_row, split_version, BufferPool, FileBackend, FileId, HeapFile, SharedWal,
+    StorageBackend, SyncMode, Wal, WalReader, WalRecord,
 };
 use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 use std::path::Path;
@@ -116,9 +116,30 @@ impl Database {
                 catalog.create_index(&table_name, &i.name, i.column as usize, &i.am)?;
             }
         }
-        // Replay the tail: DDL records carry the original SQL; DML records
-        // carry tuple bytes addressed by table id (creation order = id
-        // order, which the snapshot's dead slots preserve).
+        // Replay the tail in two passes.  Pass 1 collects the ids of
+        // transactions whose Commit record made it to disk — a DML record
+        // in the tail is only as durable as its transaction's Commit, so
+        // work from transactions still open at the crash (or whose Commit
+        // was torn off the end) must be dropped, not applied.
+        let committed: std::collections::HashSet<u64> = {
+            let mut committed = std::collections::HashSet::new();
+            if let Some(mut reader) = WalReader::open(&wal_path)? {
+                while let Some((lsn, rec)) = reader.next_record()? {
+                    if lsn <= base_lsn {
+                        continue;
+                    }
+                    if let WalRecord::Commit { txn } = rec {
+                        committed.insert(txn);
+                    }
+                }
+            }
+            committed
+        };
+        // Pass 2: DDL records carry the original SQL; DML records carry
+        // tuple bytes addressed by table id (creation order = id order,
+        // which the snapshot's dead slots preserve).  `txn == 0` marks a
+        // record committed at append time (pre-MVCC logs and synthetic
+        // test records); anything else needs its Commit from pass 1.
         if let Some(mut reader) = WalReader::open(&wal_path)? {
             loop {
                 let offset = reader.offset();
@@ -129,6 +150,16 @@ impl Database {
                     // Already covered by the snapshot (a crash between
                     // checkpoint-pointer commit and WAL truncation leaves
                     // these behind).
+                    continue;
+                }
+                let skip = match &rec {
+                    WalRecord::Commit { .. } | WalRecord::Abort { .. } => true,
+                    WalRecord::Insert { txn, .. } | WalRecord::Delete { txn, .. } => {
+                        *txn != 0 && !committed.contains(txn)
+                    }
+                    WalRecord::Ddl { .. } => false,
+                };
+                if skip {
                     continue;
                 }
                 Self::apply_record(&mut db, rec).map_err(|e| Error::Replay {
@@ -158,7 +189,9 @@ impl Database {
             WalRecord::Ddl { sql } => {
                 db.execute(&sql)?;
             }
-            WalRecord::Insert { table_id, tuple } => {
+            WalRecord::Insert {
+                table_id, tuple, ..
+            } => {
                 let (name, arity) = {
                     let catalog = db.catalog();
                     let meta = catalog.table_by_id(TableId(table_id))?;
@@ -167,10 +200,15 @@ impl Database {
                 let row = decode_row(&tuple, arity)?;
                 db.insert_row(&name, row)?;
             }
-            WalRecord::Delete { table_id, tuple } => {
+            WalRecord::Delete {
+                table_id, tuple, ..
+            } => {
                 let name = db.catalog().table_by_id(TableId(table_id))?.name.clone();
                 db.session.delete_matching_tuple(&name, &tuple)?;
             }
+            // Pass 2 filters these out before `apply_record`; they carry
+            // no heap effects of their own.
+            WalRecord::Commit { .. } | WalRecord::Abort { .. } => {}
         }
         Ok(())
     }
@@ -288,8 +326,12 @@ pub fn rebuild_indexes(db: &mut Database) -> Result<()> {
                 .ok_or_else(|| Error::Catalog(format!("no access method {:?}", idx.am)))?;
             let mut fresh = am.create()?;
             let mut scan_err = None;
+            // Index every version regardless of visibility (same policy
+            // as CREATE INDEX back-fill): scans filter through their
+            // snapshot, and a version invisible now may be the one a
+            // later snapshot needs to reach.
             meta.heap.scan(pool, |tid, bytes| {
-                match decode_row(bytes, arity) {
+                match split_version(bytes).and_then(|(_, _, rest)| decode_row(rest, arity)) {
                     Ok(row) => {
                         if let Err(e) = fresh.insert(&row[idx.column], tid) {
                             scan_err = Some(e);

@@ -57,9 +57,10 @@ use crate::schema::{Column, Row, Schema};
 use crate::snapshot::{self, Snapshot};
 use crate::sql::{self, Statement};
 use crate::storage::{
-    decode_row, encode_row, BufferPool, HeapFile, IoStats, MemBackend, SharedWal, StorageBackend,
-    SyncMode, WalRecord,
+    decode_row, encode_row, encode_version, split_version, BufferPool, HeapFile, IoStats,
+    MemBackend, SharedWal, StorageBackend, SyncMode, WalRecord, FROZEN_TXN_ID, VERSION_HEADER_LEN,
 };
+use crate::txn::{TransactionManager, TxnSnapshot, TxnVisibility, INVALID_TXN_ID};
 use crate::value::{DataType, Datum};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -261,6 +262,9 @@ pub struct Engine {
     engine_id: u64,
     /// Allocator for per-engine session ids.
     next_session_id: AtomicU64,
+    /// MVCC transaction bookkeeping: monotonic ids, the active set, and
+    /// aborted ids awaiting checkpoint vacuum.
+    txns: TransactionManager,
 }
 
 /// `Engine` must stay shareable across session threads.
@@ -291,12 +295,29 @@ impl Engine {
             pending_wal_mode: Mutex::new(None),
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             next_session_id: AtomicU64::new(1),
+            txns: TransactionManager::new(),
         })
     }
 
     /// Process-unique engine id (tags activity rows and flight records).
     pub fn engine_id(&self) -> u64 {
         self.engine_id
+    }
+
+    /// The engine's transaction manager (MVCC snapshots and txn ids).
+    pub fn txns(&self) -> &TransactionManager {
+        &self.txns
+    }
+
+    /// Visibility for a reader outside any transaction: a fresh snapshot
+    /// and no transaction id of its own.  Every autocommit read uses one;
+    /// helpers that walk heaps directly (benches, extension k-NN) should
+    /// too, so they never surface uncommitted or deleted versions.
+    pub fn fresh_visibility(&self) -> TxnVisibility {
+        TxnVisibility {
+            txn: INVALID_TXN_ID,
+            snap: self.txns.snapshot(),
+        }
     }
 
     /// Open a new session against this engine.  `vars` seeds the session's
@@ -312,6 +333,7 @@ impl Engine {
             vars,
             session_id,
             slot,
+            txn: None,
         }
     }
 
@@ -433,10 +455,19 @@ impl Engine {
         Ok(())
     }
 
-    /// Checkpoint: flush dirty heap pages, persist a catalog snapshot plus
-    /// copies of the heap files under the database root, then truncate the
-    /// WAL.  Recovery restores from the snapshot and replays only the WAL
-    /// tail, so reopen cost is bounded by post-checkpoint activity.
+    /// Checkpoint: vacuum-freeze the heaps, flush dirty pages, persist a
+    /// catalog snapshot plus copies of the heap files under the database
+    /// root, then truncate the WAL.  Recovery restores from the snapshot
+    /// and replays only the WAL tail, so reopen cost is bounded by
+    /// post-checkpoint activity.
+    ///
+    /// The vacuum physically deletes versions dead to a fresh snapshot
+    /// (aborted inserts, committed deletes) and freezes every survivor to
+    /// `xmin = FROZEN_TXN_ID, xmax = 0` — the snapshot's heap copies must
+    /// not reference transaction ids, because recovery starts a fresh
+    /// [`TransactionManager`] whose id space restarts at 2.  That is only
+    /// sound when no transaction is in flight, so a checkpoint with open
+    /// transactions fails up front.
     ///
     /// In-memory engines (and WAL-only setups without a root) just flush.
     pub fn checkpoint(&self) -> Result<()> {
@@ -448,13 +479,25 @@ impl Engine {
             self.pool.flush_all()?;
             return Ok(());
         };
-        // Quiesce writers: DML lock first, then the catalog read guard —
-        // the same order every DML statement uses.  DDL (which takes the
-        // catalog *write* lock without the DML lock) blocks on the read
-        // guard below, so nothing can append to the WAL between the
+        if self.txns.has_active() {
+            return Err(Error::Execution(
+                "checkpoint requires no open transactions (vacuum would remove \
+                 versions their snapshots still see)"
+                    .into(),
+            ));
+        }
+        // Quiesce writers: DML lock first, then the catalog guard — the
+        // same order every DML statement uses.  The *write* guard (unlike
+        // the read guard the pre-MVCC checkpoint took) also drains running
+        // readers, so the vacuum below cannot rewrite version headers
+        // under a scan that has already captured its snapshot.  DDL
+        // (which takes the catalog write lock without the DML lock)
+        // blocks here too, so nothing can append to the WAL between the
         // `sync_now` that fixes the snapshot LSN and the truncation.
         let _writer = self.dml_lock.lock();
-        let catalog = self.catalog.read();
+        let catalog = self.catalog.write();
+        self.vacuum_in(&catalog)?;
+        self.txns.clear_aborted();
         let flushed = self.pool.flush_all()?;
         let lsn = d.wal.sync_now()?;
         let snap = Snapshot::capture(&catalog, lsn)?;
@@ -466,6 +509,50 @@ impl Engine {
         let m = obs::metrics();
         m.checkpoints_total.inc();
         m.checkpoint_pages_flushed_total.add(flushed);
+        Ok(())
+    }
+
+    /// Checkpoint vacuum: physically delete heap versions invisible to a
+    /// fresh snapshot and freeze the survivors.  Caller holds the DML
+    /// lock and the catalog write guard, and has verified no transaction
+    /// is in flight.  Index entries for deleted versions are left behind
+    /// on purpose — heap slots are never reused, so a stale entry just
+    /// resolves to a missing tuple and is skipped by the scan.
+    fn vacuum_in(&self, catalog: &Catalog) -> Result<()> {
+        let vis = self.fresh_visibility();
+        let frozen_header = encode_version(FROZEN_TXN_ID, INVALID_TXN_ID, &[]);
+        for meta in catalog.tables() {
+            let mut dead = Vec::new();
+            let mut freeze = Vec::new();
+            let mut scan_err = None;
+            meta.heap.scan(&self.pool, |tid, bytes| {
+                match split_version(bytes) {
+                    Ok((xmin, xmax, _)) => {
+                        if vis.sees(xmin, xmax) {
+                            if xmin != FROZEN_TXN_ID || xmax != INVALID_TXN_ID {
+                                freeze.push(tid);
+                            }
+                        } else {
+                            dead.push(tid);
+                        }
+                    }
+                    Err(e) => {
+                        scan_err = Some(e);
+                        return false;
+                    }
+                }
+                true
+            })?;
+            if let Some(e) = scan_err {
+                return Err(e);
+            }
+            for tid in freeze {
+                meta.heap.patch(&self.pool, tid, 0, &frozen_header)?;
+            }
+            for tid in dead {
+                meta.heap.delete(&self.pool, tid)?;
+            }
+        }
         Ok(())
     }
 }
@@ -489,6 +576,22 @@ pub struct Session {
     session_id: u64,
     /// This session's live-activity slot (registered process-wide).
     slot: Arc<obs::ActivitySlot>,
+    /// The transaction this session is in, if any.  Explicit transactions
+    /// (`BEGIN` … `COMMIT`/`ROLLBACK`) live across statements; autocommit
+    /// writes install an ephemeral one for the duration of the statement.
+    txn: Option<SessionTxn>,
+}
+
+/// A session's open transaction.
+struct SessionTxn {
+    /// The id handed out by the engine's [`TransactionManager`].
+    id: u64,
+    /// Snapshot captured when the transaction began — every statement in
+    /// the transaction reads against it (snapshot isolation).
+    snap: TxnSnapshot,
+    /// Set when a statement inside the transaction failed; everything but
+    /// `COMMIT` (which rolls back) and `ROLLBACK` is then rejected.
+    failed: bool,
 }
 
 const _: fn() = || {
@@ -542,6 +645,10 @@ impl Session {
         let tracking = obs::enabled();
         if tracking {
             self.slot.begin(query_id, sql_text);
+            // `begin` resets the txn column; republish for statements
+            // running inside an explicit transaction.
+            self.slot
+                .set_txn(self.txn.as_ref().map_or(INVALID_TXN_ID, |t| t.id));
         }
         let qctx = Arc::new(obs::QueryContext::new(
             query_id,
@@ -594,6 +701,7 @@ impl Session {
             engine_id: self.engine.engine_id,
             session_id: self.session_id,
             query_id,
+            txn_id: self.txn.as_ref().map_or(INVALID_TXN_ID, |t| t.id),
             sql: obs::activity::snippet(sql_text).to_string(),
             plan_digest: result.stats.plan_digest.unwrap_or(0),
             elapsed,
@@ -684,17 +792,23 @@ impl Session {
     fn execute_tracked(&mut self, sql_text: &str) -> Result<QueryResult> {
         let metrics = obs::metrics();
         let total_start = Instant::now();
-        // Plan-cache fast path: a hit skips parse/bind/plan entirely.
-        if let Some(mut result) = self.run_cached_select(sql_text)? {
-            metrics.queries_total.inc();
-            metrics.query_rows_total.add(result.rows.len() as u64);
-            metrics
-                .query_latency_seconds
-                .observe_duration(total_start.elapsed());
-            let mut t = QueryTrace::new();
-            t.record("execute", result.stats.exec_time);
-            result.stats.trace = Some(t);
-            return Ok(result);
+        // Plan-cache fast path: a hit skips parse/bind/plan entirely.  A
+        // failed transaction must not take it — the gate that rejects
+        // statements until COMMIT/ROLLBACK lives in `dispatch`, and a
+        // cached SELECT would otherwise happily read the dead snapshot.
+        let in_failed_txn = self.txn.as_ref().is_some_and(|t| t.failed);
+        if !in_failed_txn {
+            if let Some(mut result) = self.run_cached_select(sql_text)? {
+                metrics.queries_total.inc();
+                metrics.query_rows_total.add(result.rows.len() as u64);
+                metrics
+                    .query_latency_seconds
+                    .observe_duration(total_start.elapsed());
+                let mut t = QueryTrace::new();
+                t.record("execute", result.stats.exec_time);
+                result.stats.trace = Some(t);
+                return Ok(result);
+            }
         }
         let parse_start = Instant::now();
         let stmt = sql::parse(sql_text)?;
@@ -729,6 +843,13 @@ impl Session {
     /// same session object is shared immutably across threads.  Only
     /// `SELECT` is accepted; uses (and fills) the plan cache.
     pub fn query_ref(&self, sql_text: &str) -> Result<Vec<Row>> {
+        if self.txn.as_ref().is_some_and(|t| t.failed) {
+            return Err(Error::Execution(
+                "current transaction is aborted, commands ignored until \
+                 COMMIT or ROLLBACK"
+                    .into(),
+            ));
+        }
         let metrics = obs::metrics();
         let start = Instant::now();
         if let Some(result) = self.run_cached_select(sql_text)? {
@@ -761,6 +882,7 @@ impl Session {
             session: &self.vars,
             stats: &stats,
             exec_pool: Some(&self.engine.exec_pool),
+            vis: self.statement_visibility(),
         };
         let rows = run_to_vec(&phys, &ctx)?;
         metrics.queries_total.inc();
@@ -847,24 +969,162 @@ impl Session {
 
     // ------------------------------------------------------- dispatching
 
+    /// The visibility this statement reads with: the open transaction's
+    /// snapshot (and id, for read-your-own-writes), or a fresh autocommit
+    /// snapshot when no transaction is open.
+    fn statement_visibility(&self) -> TxnVisibility {
+        match &self.txn {
+            Some(t) => TxnVisibility {
+                txn: t.id,
+                snap: t.snap.clone(),
+            },
+            None => self.engine.fresh_visibility(),
+        }
+    }
+
+    /// `BEGIN`: allocate a transaction id and capture the snapshot every
+    /// statement of the transaction will read against.
+    fn txn_begin(&mut self) -> Result<QueryResult> {
+        if self.txn.is_some() {
+            return Err(Error::Execution(
+                "a transaction is already in progress".into(),
+            ));
+        }
+        let id = self.engine.txns.begin();
+        self.txn = Some(SessionTxn {
+            id,
+            snap: self.engine.txns.snapshot(),
+            failed: false,
+        });
+        self.slot.set_txn(id);
+        Ok(QueryResult::default())
+    }
+
+    /// `COMMIT`: make the open transaction's writes visible (and durable,
+    /// via the group-commit rendezvous).  A failed transaction rolls back
+    /// instead, PostgreSQL-style.  No open transaction is a no-op.
+    fn txn_commit(&mut self) -> Result<QueryResult> {
+        let Some(t) = self.txn.take() else {
+            return Ok(QueryResult::default());
+        };
+        self.slot.set_txn(0);
+        if t.failed {
+            self.engine.log(WalRecord::Abort { txn: t.id })?;
+            self.engine.txns.abort(t.id);
+            return Ok(QueryResult::default());
+        }
+        self.engine.log(WalRecord::Commit { txn: t.id })?;
+        self.engine.txns.commit(t.id);
+        self.set_stage(Stage::Commit);
+        self.engine.wal_commit()?;
+        Ok(QueryResult::default())
+    }
+
+    /// `ROLLBACK`: abort the open transaction — its versions stay dead
+    /// for every snapshot until checkpoint vacuum reclaims them.  No open
+    /// transaction is a no-op.
+    fn txn_rollback(&mut self) -> Result<QueryResult> {
+        let Some(t) = self.txn.take() else {
+            return Ok(QueryResult::default());
+        };
+        self.slot.set_txn(0);
+        // No fsync: an abort needs no durability guarantee — if the Abort
+        // record is lost, replay drops the transaction's records anyway
+        // for want of a Commit.
+        self.engine.log(WalRecord::Abort { txn: t.id })?;
+        self.engine.txns.abort(t.id);
+        Ok(QueryResult::default())
+    }
+
     fn dispatch(&mut self, stmt: Statement, sql_text: &str) -> Result<QueryResult> {
+        // Transaction control manages session state directly.
+        match stmt {
+            Statement::Begin => return self.txn_begin(),
+            Statement::Commit => return self.txn_commit(),
+            Statement::Rollback => return self.txn_rollback(),
+            _ => {}
+        }
+        if let Some(t) = &self.txn {
+            if t.failed {
+                return Err(Error::Execution(
+                    "current transaction is aborted, commands ignored until \
+                     COMMIT or ROLLBACK"
+                        .into(),
+                ));
+            }
+            if matches!(
+                stmt,
+                Statement::CreateTable { .. }
+                    | Statement::CreateIndex { .. }
+                    | Statement::DropTable { .. }
+                    | Statement::DropIndex { .. }
+            ) {
+                return Err(Error::Execution(
+                    "DDL is not supported inside an explicit transaction".into(),
+                ));
+            }
+        }
         // Statements that appended WAL records finish with a group-commit
         // rendezvous — decided up front because the match consumes `stmt`.
         // The commit must happen *after* `dispatch_stmt` returns (locks
         // released), or concurrent writers would fsync one at a time under
-        // the DML lock and group commit would never batch.
-        let needs_commit = matches!(
+        // the DML lock and group commit would never batch.  Inside an
+        // explicit transaction nothing is durable until COMMIT, so no
+        // per-statement rendezvous there.
+        let in_txn = self.txn.is_some();
+        let needs_commit = !in_txn
+            && matches!(
+                stmt,
+                Statement::CreateTable { .. }
+                    | Statement::CreateIndex { .. }
+                    | Statement::DropTable { .. }
+                    | Statement::DropIndex { .. }
+                    | Statement::Insert { .. }
+                    | Statement::InsertSelect { .. }
+                    | Statement::Update { .. }
+                    | Statement::Delete { .. }
+            );
+        // An autocommit write runs inside an ephemeral transaction: its
+        // versions are stamped with a real id, its WAL records are gated
+        // on the Commit record appended below, and a mid-statement error
+        // aborts it — partial effects never become visible or durable.
+        let is_write = matches!(
             stmt,
-            Statement::CreateTable { .. }
-                | Statement::CreateIndex { .. }
-                | Statement::DropTable { .. }
-                | Statement::DropIndex { .. }
-                | Statement::Insert { .. }
+            Statement::Insert { .. }
                 | Statement::InsertSelect { .. }
                 | Statement::Update { .. }
                 | Statement::Delete { .. }
         );
-        let result = self.dispatch_stmt(stmt, sql_text)?;
+        let ephemeral = if is_write && !in_txn {
+            let id = self.engine.txns.begin();
+            self.txn = Some(SessionTxn {
+                id,
+                snap: self.engine.txns.snapshot(),
+                failed: false,
+            });
+            Some(id)
+        } else {
+            None
+        };
+        let result = self.dispatch_stmt(stmt, sql_text);
+        if let Some(id) = ephemeral {
+            self.txn = None;
+            match &result {
+                Ok(_) => {
+                    self.engine.log(WalRecord::Commit { txn: id })?;
+                    self.engine.txns.commit(id);
+                }
+                Err(_) => {
+                    let _ = self.engine.log(WalRecord::Abort { txn: id });
+                    self.engine.txns.abort(id);
+                }
+            }
+        } else if result.is_err() {
+            if let Some(t) = &mut self.txn {
+                t.failed = true;
+            }
+        }
+        let result = result?;
         if needs_commit {
             // The group-commit rendezvous can park behind another leader's
             // fsync: surface it as its own stage and wait class.
@@ -919,8 +1179,11 @@ impl Session {
                 let arity = meta.schema.len();
                 let mut instance = idx.instance.write();
                 let mut scan_err = None;
+                // Every version is indexed regardless of visibility: an
+                // in-flight insert may commit later, and scans filter
+                // stale entries through their snapshot anyway.
                 let scan_result = meta.heap.scan(&self.engine.pool, |tid, bytes| {
-                    match decode_row(bytes, arity) {
+                    match split_version(bytes).and_then(|(_, _, rest)| decode_row(rest, arity)) {
                         Ok(row) => {
                             if let Err(e) = instance.insert(&row[col], tid) {
                                 scan_err = Some(e);
@@ -970,6 +1233,7 @@ impl Session {
                 Ok(QueryResult::default())
             }
             Statement::Insert { table, rows } => {
+                let txn = self.writer_txn_id();
                 let _writer = self.engine.dml_lock.lock();
                 let catalog = self.engine.catalog();
                 let mut affected = 0u64;
@@ -980,7 +1244,7 @@ impl Session {
                         let ctx = EvalCtx::new(&catalog, &self.vars);
                         row.push(bound.eval(&[], &ctx)?);
                     }
-                    self.insert_row_in(&catalog, &table, row)?;
+                    self.insert_row_in(&catalog, &table, row, txn)?;
                     affected += 1;
                 }
                 Ok(QueryResult {
@@ -989,12 +1253,13 @@ impl Session {
                 })
             }
             Statement::InsertSelect { table, select } => {
+                let txn = self.writer_txn_id();
                 let _writer = self.engine.dml_lock.lock();
                 let catalog = self.engine.catalog();
                 let result = self.run_select_in(&catalog, &select, ExplainMode::Off, None)?;
                 let mut affected = 0u64;
                 for row in result.rows {
-                    self.insert_row_in(&catalog, &table, row)?;
+                    self.insert_row_in(&catalog, &table, row, txn)?;
                     affected += 1;
                 }
                 Ok(QueryResult {
@@ -1022,7 +1287,8 @@ impl Session {
                     let bound = sql::bind_single_table(e, &meta.name, &meta.schema, &catalog)?;
                     bound_sets.push((idx, bound));
                 }
-                let n = self.update_where(&catalog, &table, &bound_sets, filter.as_ref())?;
+                let vis = self.statement_visibility();
+                let n = self.update_where(&catalog, &table, &bound_sets, filter.as_ref(), &vis)?;
                 Ok(QueryResult {
                     affected: n,
                     ..QueryResult::default()
@@ -1035,7 +1301,8 @@ impl Session {
                 let filter = filter
                     .map(|f| sql::bind_single_table(&f, &meta.name, &meta.schema, &catalog))
                     .transpose()?;
-                let n = self.delete_where(&catalog, &table, filter.as_ref())?;
+                let vis = self.statement_visibility();
+                let n = self.delete_where(&catalog, &table, filter.as_ref(), &vis)?;
                 Ok(QueryResult {
                     affected: n,
                     ..QueryResult::default()
@@ -1091,7 +1358,20 @@ impl Session {
                 }
                 Ok(QueryResult::default())
             }
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control is handled in dispatch")
+            }
         }
+    }
+
+    /// The transaction id DML stamps into `xmin`/`xmax` and its WAL
+    /// records.  `dispatch` guarantees every write statement runs inside a
+    /// transaction (explicit or the ephemeral autocommit wrapper).
+    fn writer_txn_id(&self) -> u64 {
+        self.txn
+            .as_ref()
+            .expect("write statements run inside a transaction")
+            .id
     }
 
     fn show(&self, name: &str) -> Result<QueryResult> {
@@ -1140,6 +1420,7 @@ impl Session {
                         vec![
                             Datum::Int(r.session_id as i64),
                             Datum::Int(r.query_id as i64),
+                            Datum::Int(r.txn_id as i64),
                             Datum::text(r.stage.name()),
                             Datum::Int(r.rows as i64),
                             Datum::Int(r.workers as i64),
@@ -1152,6 +1433,7 @@ impl Session {
                     schema: Schema::new(vec![
                         Column::new("session_id", DataType::Int),
                         Column::new("query_id", DataType::Int),
+                        Column::new("txn", DataType::Int),
                         Column::new("stage", DataType::Text),
                         Column::new("rows", DataType::Int),
                         Column::new("workers", DataType::Int),
@@ -1286,6 +1568,7 @@ impl Session {
             session: &self.vars,
             stats: &stats,
             exec_pool: Some(&self.engine.exec_pool),
+            vis: self.statement_visibility(),
         };
         let rows = run_to_vec(&plan, &ctx)?;
         let exec_time = start.elapsed();
@@ -1379,6 +1662,7 @@ impl Session {
                     session: &self.vars,
                     stats: &stats,
                     exec_pool: Some(&self.engine.exec_pool),
+                    vis: self.statement_visibility(),
                 };
                 let (mut exec, instr) = build_instrumented(&phys, &ctx)?;
                 // Same guard as `run_to_vec`: EXPLAIN ANALYZE executes the
@@ -1519,6 +1803,7 @@ impl Session {
             session: &self.vars,
             stats: &stats,
             exec_pool: Some(&self.engine.exec_pool),
+            vis: self.statement_visibility(),
         };
         let rows = run_to_vec(&phys, &ctx)?;
         let exec_time = start.elapsed();
@@ -1553,168 +1838,232 @@ impl Session {
     /// Insert a pre-evaluated row (used by SQL INSERT, recovery, and bulk
     /// loaders).  Applies type checks, extension `on_insert` transforms
     /// (phoneme materialization), index maintenance and WAL logging.
+    /// Inside an explicit transaction the row joins it; otherwise the
+    /// insert autocommits in an ephemeral transaction of its own.
     pub fn insert_row(&mut self, table: &str, row: Row) -> Result<()> {
-        {
+        if let Some(t) = &self.txn {
+            let id = t.id;
             let _writer = self.engine.dml_lock.lock();
             let catalog = self.engine.catalog();
-            self.insert_row_in(&catalog, table, row)?;
+            return self.insert_row_in(&catalog, table, row, id);
         }
-        // Durability rendezvous after the locks drop (group commit).
-        self.engine.wal_commit()
+        let id = self.engine.txns.begin();
+        let inserted = {
+            let _writer = self.engine.dml_lock.lock();
+            let catalog = self.engine.catalog();
+            self.insert_row_in(&catalog, table, row, id)
+        };
+        match inserted {
+            Ok(()) => {
+                self.engine.log(WalRecord::Commit { txn: id })?;
+                self.engine.txns.commit(id);
+                // Durability rendezvous after the locks drop (group commit).
+                self.engine.wal_commit()
+            }
+            Err(e) => {
+                self.engine.txns.abort(id);
+                Err(e)
+            }
+        }
     }
 
-    /// Insert under an already-held catalog guard (and DML lock).
-    fn insert_row_in(&self, catalog: &Catalog, table: &str, row: Row) -> Result<()> {
+    /// Insert under an already-held catalog guard (and DML lock).  The
+    /// heap tuple is stamped `xmin = txn, xmax = 0`; the WAL record
+    /// carries the plain row bytes plus the transaction id, so replay can
+    /// gate it on the transaction's Commit record.
+    fn insert_row_in(&self, catalog: &Catalog, table: &str, row: Row, txn: u64) -> Result<()> {
         let meta = catalog.table(table)?;
         let row = prepare_row(catalog, &meta, row)?;
         let bytes = encode_row(&row);
-        let tid = meta.heap.insert(&self.engine.pool, &bytes)?;
+        let tid = meta.heap.insert(
+            &self.engine.pool,
+            &encode_version(txn, INVALID_TXN_ID, &bytes),
+        )?;
         for idx in catalog.indexes_of(meta.id) {
             idx.instance.write().insert(&row[idx.column], tid)?;
         }
         self.engine.log(WalRecord::Insert {
             table_id: meta.id.0,
+            txn,
             tuple: bytes,
         })?;
         Ok(())
     }
 
-    /// UPDATE = qualifying-row delete + prepared re-insert, which re-runs
-    /// the extension hooks (a changed UniText gets a fresh phoneme cache).
+    /// Collect the visible rows of `table` matching `filter`, with the
+    /// tuple id, current `xmax`, decoded row and plain row bytes of each —
+    /// the victim-selection pass shared by UPDATE and DELETE.
+    #[allow(clippy::type_complexity)]
+    fn collect_victims(
+        &self,
+        catalog: &Catalog,
+        meta: &crate::catalog::TableMeta,
+        filter: Option<&crate::expr::Expr>,
+        vis: &TxnVisibility,
+    ) -> Result<Vec<(crate::storage::TupleId, u64, Row, Vec<u8>)>> {
+        let arity = meta.schema.len();
+        let ctx = EvalCtx::new(catalog, &self.vars);
+        let mut victims = Vec::new();
+        let mut scan_err = None;
+        meta.heap.scan(&self.engine.pool, |tid, bytes| {
+            let parsed = split_version(bytes).and_then(|(xmin, xmax, rest)| {
+                if !vis.sees(xmin, xmax) {
+                    return Ok(None);
+                }
+                decode_row(rest, arity).map(|row| Some((xmax, row, rest.to_vec())))
+            });
+            match parsed {
+                Ok(None) => {}
+                Ok(Some((xmax, row, plain))) => {
+                    let hit = match filter {
+                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
+                        None => Ok(true),
+                    };
+                    match hit {
+                        Ok(true) => victims.push((tid, xmax, row, plain)),
+                        Ok(false) => {}
+                        Err(e) => {
+                            scan_err = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    scan_err = Some(e);
+                    return false;
+                }
+            }
+            true
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        Ok(victims)
+    }
+
+    /// First-updater-wins: a visible victim whose `xmax` carries another
+    /// transaction that has not aborted was updated or deleted by a
+    /// concurrent transaction after our snapshot — we lose.  Under the
+    /// DML lock no `xmax` can change beneath us, so the check is a plain
+    /// read.  An aborted `xmax` is reclaimable and re-stamped freely.
+    fn check_write_conflicts(
+        &self,
+        table: &str,
+        victims: &[(crate::storage::TupleId, u64, Row, Vec<u8>)],
+    ) -> Result<()> {
+        for (_, xmax, ..) in victims {
+            if *xmax != INVALID_TXN_ID && !self.engine.txns.is_aborted(*xmax) {
+                obs::metrics().txn_conflicts_total.inc();
+                return Err(Error::Serialization(format!(
+                    "row in {table:?} was updated by concurrent transaction {xmax}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// UPDATE, MVCC-style: the old version is `xmax`-stamped in place and
+    /// a new version is inserted with `xmin = us`, re-running the
+    /// extension hooks (a changed UniText gets a fresh phoneme cache).
+    /// The old version's index entries stay — concurrent snapshots still
+    /// reach it through them, and visibility filters it for everyone
+    /// else.
     fn update_where(
         &self,
         catalog: &Catalog,
         table: &str,
         sets: &[(usize, crate::expr::Expr)],
         filter: Option<&crate::expr::Expr>,
+        vis: &TxnVisibility,
     ) -> Result<u64> {
         let meta = catalog.table(table)?;
-        let arity = meta.schema.len();
         let ctx = EvalCtx::new(catalog, &self.vars);
-        let mut victims: Vec<(crate::storage::TupleId, Row, Vec<u8>, Row)> = Vec::new();
-        let mut scan_err = None;
-        meta.heap.scan(&self.engine.pool, |tid, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
-                    let hit = match filter {
-                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
-                        None => Ok(true),
-                    };
-                    match hit {
-                        Ok(true) => {
-                            let mut new_row = row.clone();
-                            for (idx, e) in sets {
-                                match e.eval(&row, &ctx) {
-                                    Ok(v) => new_row[*idx] = v,
-                                    Err(err) => {
-                                        scan_err = Some(err);
-                                        return false;
-                                    }
-                                }
-                            }
-                            victims.push((tid, row, bytes.to_vec(), new_row));
-                        }
-                        Ok(false) => {}
-                        Err(e) => {
-                            scan_err = Some(e);
-                            return false;
-                        }
-                    }
-                }
-                Err(e) => {
-                    scan_err = Some(e);
-                    return false;
-                }
-            }
-            true
-        })?;
-        if let Some(e) = scan_err {
-            return Err(e);
-        }
+        let me = vis.txn;
+        let victims = self.collect_victims(catalog, &meta, filter, vis)?;
+        self.check_write_conflicts(table, &victims)?;
         let n = victims.len() as u64;
-        for (tid, old_row, old_bytes, new_row) in victims {
+        for (tid, _, old_row, old_plain) in victims {
+            let mut new_row = old_row.clone();
+            for (idx, e) in sets {
+                new_row[*idx] = e.eval(&old_row, &ctx)?;
+            }
             // The new image must be valid before touching the old one.
             let new_row = prepare_row(catalog, &meta, new_row)?;
-            meta.heap.delete(&self.engine.pool, tid)?;
-            for idx in catalog.indexes_of(meta.id) {
-                idx.instance.write().delete(&old_row[idx.column], tid)?;
+            if !meta
+                .heap
+                .patch(&self.engine.pool, tid, 8, &me.to_le_bytes())?
+            {
+                return Err(Error::Execution(format!(
+                    "update victim {tid:?} vanished mid-statement"
+                )));
             }
             self.engine.log(WalRecord::Delete {
                 table_id: meta.id.0,
-                tuple: old_bytes,
+                txn: me,
+                tuple: old_plain,
             })?;
             let bytes = encode_row(&new_row);
-            let new_tid = meta.heap.insert(&self.engine.pool, &bytes)?;
+            let new_tid = meta.heap.insert(
+                &self.engine.pool,
+                &encode_version(me, INVALID_TXN_ID, &bytes),
+            )?;
             for idx in catalog.indexes_of(meta.id) {
                 idx.instance.write().insert(&new_row[idx.column], new_tid)?;
             }
             self.engine.log(WalRecord::Insert {
                 table_id: meta.id.0,
+                txn: me,
                 tuple: bytes,
             })?;
         }
         Ok(n)
     }
 
+    /// DELETE, MVCC-style: victims are `xmax`-stamped, not removed — the
+    /// version stays readable for snapshots that predate us and is
+    /// physically reclaimed by checkpoint vacuum.
     fn delete_where(
         &self,
         catalog: &Catalog,
         table: &str,
         filter: Option<&crate::expr::Expr>,
+        vis: &TxnVisibility,
     ) -> Result<u64> {
         let meta = catalog.table(table)?;
-        let arity = meta.schema.len();
-        let ctx = EvalCtx::new(catalog, &self.vars);
-        let mut victims = Vec::new();
-        let mut scan_err = None;
-        meta.heap.scan(&self.engine.pool, |tid, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
-                    let keep = match filter {
-                        Some(f) => f.eval(&row, &ctx).map(|d| d.is_true()),
-                        None => Ok(true),
-                    };
-                    match keep {
-                        Ok(true) => victims.push((tid, row, bytes.to_vec())),
-                        Ok(false) => {}
-                        Err(e) => {
-                            scan_err = Some(e);
-                            return false;
-                        }
-                    }
-                }
-                Err(e) => {
-                    scan_err = Some(e);
-                    return false;
-                }
-            }
-            true
-        })?;
-        if let Some(e) = scan_err {
-            return Err(e);
-        }
+        let me = vis.txn;
+        let victims = self.collect_victims(catalog, &meta, filter, vis)?;
+        self.check_write_conflicts(table, &victims)?;
         let n = victims.len() as u64;
-        for (tid, row, bytes) in victims {
-            meta.heap.delete(&self.engine.pool, tid)?;
-            for idx in catalog.indexes_of(meta.id) {
-                idx.instance.write().delete(&row[idx.column], tid)?;
+        for (tid, _, _, plain) in victims {
+            if !meta
+                .heap
+                .patch(&self.engine.pool, tid, 8, &me.to_le_bytes())?
+            {
+                return Err(Error::Execution(format!(
+                    "delete victim {tid:?} vanished mid-statement"
+                )));
             }
             self.engine.log(WalRecord::Delete {
                 table_id: meta.id.0,
-                tuple: bytes,
+                txn: me,
+                tuple: plain,
             })?;
         }
         Ok(n)
     }
 
-    /// Recovery helper: delete one tuple whose bytes match exactly.
+    /// Recovery helper: physically delete one version whose *row bytes*
+    /// (version header excluded) match exactly.  Replay applies only
+    /// committed work in log order on a single thread, so the physical
+    /// delete is safe — there is no concurrent snapshot to preserve the
+    /// version for.
     pub(crate) fn delete_matching_tuple(&mut self, table: &str, tuple: &[u8]) -> Result<()> {
         let _writer = self.engine.dml_lock.lock();
         let catalog = self.engine.catalog();
         let meta = catalog.table(table)?;
         let mut victim = None;
         meta.heap.scan(&self.engine.pool, |tid, bytes| {
-            if bytes == tuple {
+            if bytes.len() >= VERSION_HEADER_LEN && &bytes[VERSION_HEADER_LEN..] == tuple {
                 victim = Some(tid);
                 false
             } else {
@@ -1741,9 +2090,18 @@ impl Session {
         let mut columns: Vec<Vec<Datum>> = vec![Vec::new(); arity];
         let mut rows = 0u64;
         let mut scan_err = None;
+        // Statistics describe what queries can see: dead and in-flight
+        // versions are skipped under a fresh snapshot.
+        let vis = self.engine.fresh_visibility();
         meta.heap.scan(&self.engine.pool, |_, bytes| {
-            match decode_row(bytes, arity) {
-                Ok(row) => {
+            match split_version(bytes).and_then(|(xmin, xmax, rest)| {
+                if !vis.sees(xmin, xmax) {
+                    return Ok(None);
+                }
+                decode_row(rest, arity).map(Some)
+            }) {
+                Ok(None) => {}
+                Ok(Some(row)) => {
                     rows += 1;
                     for (i, d) in row.into_iter().enumerate() {
                         columns[i].push(d);
@@ -1794,6 +2152,19 @@ impl Session {
         }
         obs::planstore::note_analyze(self.engine.engine_id, None);
         Ok(())
+    }
+}
+
+impl Drop for Session {
+    /// A session dropped mid-transaction rolls it back: its writes were
+    /// never durable (no Commit record), and leaving the id active would
+    /// pin every snapshot's horizon and block checkpoints forever.
+    fn drop(&mut self) {
+        if let Some(t) = self.txn.take() {
+            let _ = self.engine.log(WalRecord::Abort { txn: t.id });
+            self.engine.txns.abort(t.id);
+            self.slot.set_txn(0);
+        }
     }
 }
 

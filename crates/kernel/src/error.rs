@@ -16,6 +16,11 @@ pub enum Error {
     Storage(String),
     /// Executor runtime failure (e.g. division by zero).
     Execution(String),
+    /// Write-write conflict under snapshot isolation (first-updater-wins):
+    /// the statement tried to update or delete a row version already
+    /// modified by a concurrent transaction.  The transaction is aborted;
+    /// the client should retry it.
+    Serialization(String),
     /// Procedural-language runtime failure.
     Pl(String),
     /// A statement materialized more rows than the `max_rows` session
@@ -75,6 +80,9 @@ impl fmt::Display for Error {
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Serialization(m) => {
+                write!(f, "serialization failure: {m} — retry the transaction")
+            }
             Error::Pl(m) => write!(f, "PL error: {m}"),
             Error::MaxRows { limit } => {
                 write!(

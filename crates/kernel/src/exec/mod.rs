@@ -20,7 +20,8 @@ use crate::error::{Error, Result};
 use crate::expr::{EvalCtx, Expr};
 use crate::plan::{AggFunc, PhysNode, PhysOp};
 use crate::schema::{Row, Schema};
-use crate::storage::{decode_row, BufferPool, FileId, HeapFile, TupleId};
+use crate::storage::{decode_row, split_version, BufferPool, FileId, HeapFile, TupleId};
+use crate::txn::TxnVisibility;
 use crate::value::Datum;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -86,6 +87,10 @@ pub struct ExecCtx<'a> {
     /// The engine's worker pool for parallel operators (`None` in
     /// contexts that must stay serial, e.g. recovery replay).
     pub exec_pool: Option<&'a ExecPool>,
+    /// MVCC visibility: which heap tuple versions this statement sees.
+    /// Owned (the snapshot is a couple of `Arc`s), so worker threads can
+    /// clone it without borrowing the session.
+    pub vis: TxnVisibility,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -643,7 +648,10 @@ impl SeqScanExec {
         // (pool-wide) lock through it would serialize concurrent sessions.
         let img: Vec<u8> = ctx.pool.with_page(file, self.page, |buf| buf.to_vec())?;
         let rows: Result<Vec<Row>> = HeapFile::page_tuples(&img)
-            .map(|(_, t)| decode_row(t, arity))
+            .filter_map(|(_, t)| match split_version(t) {
+                Ok((xmin, xmax, rest)) => ctx.vis.sees(xmin, xmax).then(|| decode_row(rest, arity)),
+                Err(e) => Some(Err(e)),
+            })
             .collect();
         self.page_rows = rows?;
         self.page += 1;
@@ -780,6 +788,9 @@ struct ErasedCtx {
     pool: *const BufferPool,
     session: *const SessionVars,
     stats: *const ExecStats,
+    /// Owned clone (not a pointer): visibility is cheap to clone and the
+    /// workers need it past any one borrow of the originating `ExecCtx`.
+    vis: TxnVisibility,
 }
 
 unsafe impl Send for ErasedCtx {}
@@ -849,6 +860,7 @@ impl ParallelSeqScanExec {
             pool: ctx.pool,
             session: ctx.session,
             stats: ctx.stats,
+            vis: ctx.vis.clone(),
         });
         // Propagate the session's query context into every worker task so
         // waits and progress charged on pool threads land on this query.
@@ -1012,7 +1024,16 @@ fn scan_worker(
         let mut batch = Vec::new();
         let mut err = None;
         for page in first..last {
-            if let Err(e) = scan_page_into(pool, file, page, arity, &filter, &eval, &mut batch) {
+            if let Err(e) = scan_page_into(
+                pool,
+                file,
+                page,
+                arity,
+                &filter,
+                &eval,
+                &erased.vis,
+                &mut batch,
+            ) {
                 err = Some(e);
                 break;
             }
@@ -1041,6 +1062,7 @@ fn scan_worker(
 /// one `eval_batch` call — each worker's morsel loop thereby reuses its
 /// thread's `DistanceBuffer` and the per-batch ψ memoization instead of
 /// paying per-row dispatch.
+#[allow(clippy::too_many_arguments)]
 fn scan_page_into(
     pool: &BufferPool,
     file: FileId,
@@ -1048,6 +1070,7 @@ fn scan_page_into(
     arity: usize,
     filter: &Option<Expr>,
     eval: &EvalCtx<'_>,
+    vis: &TxnVisibility,
     out: &mut Vec<Row>,
 ) -> Result<()> {
     let img: Vec<u8> = pool.with_page(file, page, |buf| buf.to_vec())?;
@@ -1055,13 +1078,21 @@ fn scan_page_into(
         Some(f) if batch_enabled(eval.session) => {
             let mut candidates = Vec::new();
             for (_, tuple) in HeapFile::page_tuples(&img) {
-                candidates.push(decode_row(tuple, arity)?);
+                let (xmin, xmax, rest) = split_version(tuple)?;
+                if !vis.sees(xmin, xmax) {
+                    continue;
+                }
+                candidates.push(decode_row(rest, arity)?);
             }
             out.extend(filter_rows_batch(f, candidates, eval)?);
         }
         _ => {
             for (_, tuple) in HeapFile::page_tuples(&img) {
-                let row = decode_row(tuple, arity)?;
+                let (xmin, xmax, rest) = split_version(tuple)?;
+                if !vis.sees(xmin, xmax) {
+                    continue;
+                }
+                let row = decode_row(rest, arity)?;
                 if let Some(f) = filter {
                     if !f.eval(&row, eval)?.is_true() {
                         continue;
@@ -1158,9 +1189,15 @@ impl Executor for IndexScanExec {
             };
             self.pos += 1;
             let Some(bytes) = self.meta.heap.get(ctx.pool, tid)? else {
-                continue; // deleted since the index entry was made
+                continue; // vacuumed since the index entry was made
             };
-            let row = decode_row(&bytes, arity)?;
+            // Index entries outlive their versions: the heap tuple decides
+            // visibility, the index only locates it.
+            let (xmin, xmax, rest) = split_version(&bytes)?;
+            if !ctx.vis.sees(xmin, xmax) {
+                continue;
+            }
+            let row = decode_row(rest, arity)?;
             if let Some(f) = &self.residual {
                 if !f.eval(&row, &eval)?.is_true() {
                     continue;

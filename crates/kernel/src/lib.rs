@@ -54,6 +54,7 @@ pub mod schema;
 pub mod snapshot;
 pub mod sql;
 pub mod storage;
+pub mod txn;
 pub mod value;
 
 pub use db::{Database, QueryResult};

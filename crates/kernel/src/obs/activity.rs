@@ -93,6 +93,10 @@ pub struct ActivitySlot {
     stage: AtomicU8,
     rows: AtomicU64,
     workers: AtomicU64,
+    /// Open transaction id (0 = autocommit / none).  Survives across
+    /// statements of the transaction; `begin` resets it and the session
+    /// republishes it, so a stale id never outlives its statement.
+    txn_id: AtomicU64,
     /// Start of the current statement, ns since [`epoch`]; 0 = never ran.
     start_nanos: AtomicU64,
     /// Written once per statement in `begin`; never touched per row.
@@ -109,6 +113,7 @@ impl ActivitySlot {
             stage: AtomicU8::new(Stage::Idle as u8),
             rows: AtomicU64::new(0),
             workers: AtomicU64::new(0),
+            txn_id: AtomicU64::new(0),
             start_nanos: AtomicU64::new(0),
             sql: Mutex::new(String::new()),
         }
@@ -134,8 +139,15 @@ impl ActivitySlot {
         self.query_id.store(query_id, Ordering::Relaxed);
         self.rows.store(0, Ordering::Relaxed);
         self.workers.store(0, Ordering::Relaxed);
+        self.txn_id.store(0, Ordering::Relaxed);
         self.start_nanos.store(now_nanos(), Ordering::Relaxed);
         self.stage.store(Stage::Parse as u8, Ordering::Release);
+    }
+
+    /// Publish the transaction id the session is running under
+    /// (0 = autocommit / transaction closed).
+    pub fn set_txn(&self, txn_id: u64) {
+        self.txn_id.store(txn_id, Ordering::Relaxed);
     }
 
     /// Advance the lifecycle stage.
@@ -175,6 +187,8 @@ pub struct ActivityRow {
     pub session_id: u64,
     /// Engine-wide statement id (0 if the session never ran one).
     pub query_id: u64,
+    /// Open transaction id (0 = autocommit / none).
+    pub txn_id: u64,
     /// Lifecycle stage at snapshot time.
     pub stage: Stage,
     /// Rows produced so far by the running statement.
@@ -222,6 +236,7 @@ pub fn snapshot() -> Vec<ActivityRow> {
                 engine_id: s.engine_id,
                 session_id: s.session_id,
                 query_id: s.query_id.load(Ordering::Relaxed),
+                txn_id: s.txn_id.load(Ordering::Relaxed),
                 stage,
                 rows: s.rows.load(Ordering::Relaxed),
                 workers: s.workers.load(Ordering::Relaxed),
@@ -240,11 +255,12 @@ pub fn render_json() -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"engine_id\":{},\"session_id\":{},\"query_id\":{},\"stage\":\"{}\",\
-             \"rows\":{},\"workers\":{},\"elapsed_ms\":{:.3},\"sql\":\"",
+            "{{\"engine_id\":{},\"session_id\":{},\"query_id\":{},\"txn_id\":{},\
+             \"stage\":\"{}\",\"rows\":{},\"workers\":{},\"elapsed_ms\":{:.3},\"sql\":\"",
             r.engine_id,
             r.session_id,
             r.query_id,
+            r.txn_id,
             r.stage.name(),
             r.rows,
             r.workers,

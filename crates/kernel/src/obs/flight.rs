@@ -35,6 +35,8 @@ pub struct FlightRecord {
     pub session_id: u64,
     /// Engine-wide statement id.
     pub query_id: u64,
+    /// Transaction the statement ran in (0 = autocommit).
+    pub txn_id: u64,
     /// Leading chars of the statement text (see `activity::snippet`).
     pub sql: String,
     /// FNV-1a digest of the physical plan shape (0 for non-SELECTs and
@@ -67,8 +69,8 @@ impl FlightRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"engine_id\":{},\"session_id\":{},\"query_id\":{},\"sql\":\"",
-            self.engine_id, self.session_id, self.query_id
+            "{{\"engine_id\":{},\"session_id\":{},\"query_id\":{},\"txn_id\":{},\"sql\":\"",
+            self.engine_id, self.session_id, self.query_id, self.txn_id
         ));
         json_escape_into(&self.sql, &mut out);
         let opt = |v: Option<f64>| match v {
@@ -177,6 +179,7 @@ mod tests {
             engine_id: MY_ENGINE,
             session_id: 2,
             query_id,
+            txn_id: 0,
             sql: "SELECT \"x\"".into(),
             plan_digest: 0xabcd,
             elapsed: Duration::from_micros(700),

@@ -511,6 +511,14 @@ pub struct EngineMetrics {
     pub qerror_indexscan: Arc<Histogram>,
     /// Stale-statistics advisories raised (edge-triggered per table).
     pub stats_advisories_total: Arc<Counter>,
+    /// Transactions begun (explicit BEGIN and autocommit wrappers).
+    pub txn_begins_total: Arc<Counter>,
+    /// Transactions committed.
+    pub txn_commits_total: Arc<Counter>,
+    /// Transactions aborted (ROLLBACK, statement failure, or conflict).
+    pub txn_aborts_total: Arc<Counter>,
+    /// Write-write conflicts detected (first-updater-wins losers).
+    pub txn_conflicts_total: Arc<Counter>,
 }
 
 /// The engine's metric handles (registered in [`global`] on first use).
@@ -668,6 +676,13 @@ pub fn metrics() -> &'static EngineMetrics {
             stats_advisories_total: r.counter(
                 "mlql_stats_advisories_total",
                 "Stale-statistics advisories raised",
+            ),
+            txn_begins_total: r.counter("mlql_txn_begins_total", "Transactions begun"),
+            txn_commits_total: r.counter("mlql_txn_commits_total", "Transactions committed"),
+            txn_aborts_total: r.counter("mlql_txn_aborts_total", "Transactions aborted"),
+            txn_conflicts_total: r.counter(
+                "mlql_txn_conflicts_total",
+                "Write-write conflicts (first-updater-wins losers)",
             ),
         };
         // Derived at render time so the fetch path pays nothing.

@@ -48,6 +48,12 @@ pub enum Statement {
     /// `ANALYZE [table]` — no table refreshes statistics on every user
     /// table (the stale-statistics advisory's one-statement remediation).
     Analyze { table: Option<String> },
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — commit the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` — abort the open transaction.
+    Rollback,
 }
 
 /// A SELECT statement.

@@ -205,6 +205,18 @@ impl Parser {
             };
             return Ok(Statement::Analyze { table });
         }
+        if self.eat_kw("begin") {
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            return Ok(Statement::Begin);
+        }
+        if self.eat_kw("commit") {
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            return Ok(Statement::Commit);
+        }
+        if self.eat_kw("rollback") {
+            let _ = self.eat_kw("transaction") || self.eat_kw("work");
+            return Ok(Statement::Rollback);
+        }
         Err(Error::Parse(format!(
             "unrecognized statement start: {:?}",
             self.peek()
@@ -677,6 +689,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn transaction_control_statements() {
+        assert!(matches!(parse("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(
+            parse("begin transaction;").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(parse("BEGIN WORK").unwrap(), Statement::Begin));
+        assert!(matches!(parse("COMMIT").unwrap(), Statement::Commit));
+        assert!(matches!(parse("commit work").unwrap(), Statement::Commit));
+        assert!(matches!(parse("ROLLBACK").unwrap(), Statement::Rollback));
+        assert!(matches!(
+            parse("rollback transaction").unwrap(),
+            Statement::Rollback
+        ));
+        // Trailing garbage still rejected.
+        assert!(parse("BEGIN stuff").is_err());
     }
 
     #[test]

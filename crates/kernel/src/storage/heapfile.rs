@@ -126,6 +126,28 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Overwrite `bytes` at offset `at` *inside* an existing tuple,
+    /// without moving it.  Used by MVCC to stamp `xmax` (and to freeze
+    /// version headers at checkpoint): the tuple length never changes,
+    /// so no slot bookkeeping is touched.  Returns `false` when the slot
+    /// is dead or the write would run past the tuple's end.
+    pub fn patch(&self, pool: &BufferPool, tid: TupleId, at: usize, bytes: &[u8]) -> Result<bool> {
+        pool.with_page_mut(self.file, tid.page, |buf| {
+            let slot_count = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+            if tid.slot as usize >= slot_count {
+                return false;
+            }
+            let off = 8 + tid.slot as usize * 4;
+            let data_off = u16::from_le_bytes([buf[off], buf[off + 1]]) as usize;
+            let len = u16::from_le_bytes([buf[off + 2], buf[off + 3]]) as usize;
+            if len == 0 || at + bytes.len() > len {
+                return false;
+            }
+            buf[data_off + at..data_off + at + bytes.len()].copy_from_slice(bytes);
+            true
+        })
+    }
+
     /// Count live tuples (scans the file).
     pub fn count(&self, pool: &BufferPool) -> Result<u64> {
         let mut n = 0u64;
@@ -223,6 +245,21 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, vec![b"b".to_vec()]);
+    }
+
+    #[test]
+    fn patch_overwrites_in_place() {
+        let (pool, heap) = setup();
+        let tid = heap.insert(&pool, b"0123456789").unwrap();
+        assert!(heap.patch(&pool, tid, 2, b"XY").unwrap());
+        assert_eq!(heap.get(&pool, tid).unwrap().unwrap(), b"01XY456789");
+        // Out-of-bounds writes and dead slots are refused.
+        assert!(!heap.patch(&pool, tid, 9, b"AB").unwrap());
+        heap.delete(&pool, tid).unwrap();
+        assert!(!heap.patch(&pool, tid, 0, b"Z").unwrap());
+        assert!(!heap
+            .patch(&pool, TupleId { page: 0, slot: 99 }, 0, b"Z")
+            .unwrap());
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub use backend::{FaultInjector, FaultyBackend, FileBackend, MemBackend, Storage
 pub use bufferpool::{BufferPool, IoStats};
 pub use heapfile::{HeapFile, TupleId};
 pub use page::{Page, PAGE_SIZE};
-pub use tuple::{decode_row, encode_row};
+pub use tuple::{
+    decode_row, encode_row, encode_version, split_version, FROZEN_TXN_ID, VERSION_HEADER_LEN,
+};
 pub use wal::{SharedWal, SyncMode, Wal, WalReader, WalRecord, WAL_HEADER_LEN};
 
 pub(crate) use wal::sync_parent_dir;

@@ -58,36 +58,75 @@ pub const WAL_HEADER_LEN: u64 = 16;
 const FRAME_HEADER_LEN: usize = 16;
 
 /// One logical WAL record.
+///
+/// DML records carry the id of the transaction that wrote them.  `txn == 0`
+/// means *committed at append time* — the autocommit path, where the
+/// statement's group-commit fsync is the commit point.  `txn > 0` marks an
+/// explicit transaction: replay applies those records only when a matching
+/// [`WalRecord::Commit`] follows in the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
-    /// A tuple was inserted into the table with this catalog id.
-    Insert { table_id: u32, tuple: Vec<u8> },
+    /// A tuple was inserted into the table with this catalog id.  `tuple`
+    /// holds plain row bytes — version headers are a heap-only concern;
+    /// replay re-stamps recovered tuples as frozen/committed.
+    Insert {
+        table_id: u32,
+        txn: u64,
+        tuple: Vec<u8>,
+    },
     /// A tuple was deleted (page/slot of the pre-recovery layout are not
     /// stable, so deletes log the tuple bytes and recovery deletes by
     /// content — adequate for the append-mostly workloads of the paper).
-    Delete { table_id: u32, tuple: Vec<u8> },
+    Delete {
+        table_id: u32,
+        txn: u64,
+        tuple: Vec<u8>,
+    },
     /// DDL: the original SQL text, re-executed on replay.  Covers CREATE
     /// TABLE / CREATE INDEX / DROP TABLE / DROP INDEX; replay order equals
     /// append order, so table ids are reassigned identically.
     Ddl { sql: String },
+    /// An explicit transaction committed: its DML records become real.
+    Commit { txn: u64 },
+    /// An explicit transaction rolled back.  Purely informational (replay
+    /// drops uncommitted work by default); logged without an fsync.
+    Abort { txn: u64 },
 }
 
 impl WalRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            WalRecord::Insert { table_id, tuple } => {
+            WalRecord::Insert {
+                table_id,
+                txn,
+                tuple,
+            } => {
                 out.push(1);
                 out.extend_from_slice(&table_id.to_le_bytes());
+                out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(tuple);
             }
-            WalRecord::Delete { table_id, tuple } => {
+            WalRecord::Delete {
+                table_id,
+                txn,
+                tuple,
+            } => {
                 out.push(2);
                 out.extend_from_slice(&table_id.to_le_bytes());
+                out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(tuple);
             }
             WalRecord::Ddl { sql } => {
                 out.push(3);
                 out.extend_from_slice(sql.as_bytes());
+            }
+            WalRecord::Commit { txn } => {
+                out.push(4);
+                out.extend_from_slice(&txn.to_le_bytes());
+            }
+            WalRecord::Abort { txn } => {
+                out.push(5);
+                out.extend_from_slice(&txn.to_le_bytes());
             }
         }
     }
@@ -98,15 +137,24 @@ impl WalRecord {
         let tag = *payload.first().ok_or("empty payload")?;
         match tag {
             1 | 2 => {
-                if payload.len() < 5 {
+                if payload.len() < 13 {
                     return Err(format!("DML payload too short ({} bytes)", payload.len()));
                 }
                 let table_id = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes"));
-                let tuple = payload[5..].to_vec();
+                let txn = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+                let tuple = payload[13..].to_vec();
                 Ok(if tag == 1 {
-                    WalRecord::Insert { table_id, tuple }
+                    WalRecord::Insert {
+                        table_id,
+                        txn,
+                        tuple,
+                    }
                 } else {
-                    WalRecord::Delete { table_id, tuple }
+                    WalRecord::Delete {
+                        table_id,
+                        txn,
+                        tuple,
+                    }
                 })
             }
             3 => {
@@ -114,6 +162,20 @@ impl WalRecord {
                     .map_err(|_| "DDL payload is not UTF-8".to_string())?;
                 Ok(WalRecord::Ddl {
                     sql: sql.to_string(),
+                })
+            }
+            4 | 5 => {
+                if payload.len() < 9 {
+                    return Err(format!(
+                        "txn-control payload too short ({} bytes)",
+                        payload.len()
+                    ));
+                }
+                let txn = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+                Ok(if tag == 4 {
+                    WalRecord::Commit { txn }
+                } else {
+                    WalRecord::Abort { txn }
                 })
             }
             other => Err(format!("unknown record tag {other}")),
@@ -706,12 +768,16 @@ mod tests {
             },
             WalRecord::Insert {
                 table_id: 0,
+                txn: 0,
                 tuple: vec![1, 2, 3],
             },
             WalRecord::Delete {
                 table_id: 0,
+                txn: 7,
                 tuple: vec![1, 2, 3],
             },
+            WalRecord::Commit { txn: 7 },
+            WalRecord::Abort { txn: 9 },
         ]
     }
 
@@ -724,7 +790,7 @@ mod tests {
         for (i, r) in records.iter().enumerate() {
             assert_eq!(wal.append(r).unwrap(), i as u64 + 1, "LSNs start at 1");
         }
-        assert_eq!(wal.records_written(), 3);
+        assert_eq!(wal.records_written(), 5);
         wal.flush().unwrap();
         drop(wal);
         assert_eq!(Wal::replay(&path).unwrap(), records);
@@ -743,6 +809,7 @@ mod tests {
         let mut wal = Wal::open(&path, 0).unwrap();
         wal.append(&WalRecord::Insert {
             table_id: 9,
+            txn: 0,
             tuple: vec![7; 100],
         })
         .unwrap();
@@ -764,6 +831,7 @@ mod tests {
         assert_eq!(
             wal.append(&WalRecord::Insert {
                 table_id: 9,
+                txn: 0,
                 tuple: vec![8],
             })
             .unwrap(),
@@ -814,11 +882,13 @@ mod tests {
         let mut wal = Wal::open(&path, 0).unwrap();
         wal.append(&WalRecord::Insert {
             table_id: 1,
+            txn: 0,
             tuple: vec![1],
         })
         .unwrap();
         wal.append(&WalRecord::Insert {
             table_id: 1,
+            txn: 0,
             tuple: vec![2],
         })
         .unwrap();
@@ -827,6 +897,7 @@ mod tests {
         let lsn = wal
             .append(&WalRecord::Insert {
                 table_id: 2,
+                txn: 0,
                 tuple: vec![3],
             })
             .unwrap();
@@ -841,6 +912,7 @@ mod tests {
             rec,
             WalRecord::Insert {
                 table_id: 2,
+                txn: 0,
                 tuple: vec![3]
             }
         );
@@ -858,6 +930,7 @@ mod tests {
         let mut wal = Wal::open(&path, 0).unwrap();
         wal.append(&WalRecord::Insert {
             table_id: 0,
+            txn: 0,
             tuple: vec![1],
         })
         .unwrap();
@@ -894,6 +967,7 @@ mod tests {
                         shared
                             .append(&WalRecord::Insert {
                                 table_id: t,
+                                txn: 0,
                                 tuple: vec![i as u8],
                             })
                             .unwrap();

@@ -54,10 +54,17 @@ impl Mural {
             .instance
             .read()
             .search("nearest", probe, &Datum::Int(k as i64))?;
+        // Index entries address versions; a fresh snapshot filters the
+        // dead and in-flight ones (same policy as the kernel's IndexScan).
+        let vis = db.engine().fresh_visibility();
         let mut out = Vec::with_capacity(search.tids.len());
         for tid in search.tids {
             if let Some(bytes) = meta.heap.get(db.pool(), tid)? {
-                out.push(mlql_kernel::storage::decode_row(&bytes, meta.schema.len())?);
+                let (xmin, xmax, rest) = mlql_kernel::storage::split_version(&bytes)?;
+                if !vis.sees(xmin, xmax) {
+                    continue;
+                }
+                out.push(mlql_kernel::storage::decode_row(rest, meta.schema.len())?);
             }
         }
         Ok(out)

@@ -331,15 +331,19 @@ fn duplicate_row_delete_replays_exactly_one_removal() {
             sql: "CREATE TABLE twins (a INT, b TEXT)".to_string(),
         })
         .unwrap();
+        // `txn: 0` marks a record committed at append time — no Commit
+        // record needed for replay to apply it.
         for _ in 0..2 {
             wal.append(&WalRecord::Insert {
                 table_id: 0,
+                txn: 0,
                 tuple: tuple.clone(),
             })
             .unwrap();
         }
         wal.append(&WalRecord::Delete {
             table_id: 0,
+            txn: 0,
             tuple: tuple.clone(),
         })
         .unwrap();
@@ -505,4 +509,89 @@ fn random_kill_crash_torture_recovers_committed_prefix() {
         drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+// ------------------------------------------------------- transaction tails
+
+/// Kill-at-any-byte over a WAL tail holding one *committed* and one
+/// *uncommitted* transaction: wherever the crash lands, recovery keeps
+/// the committed transaction iff its Commit record survived the cut, and
+/// the uncommitted transaction's rows never appear — there is no cut
+/// point at which an orphan version becomes visible.
+#[test]
+fn torn_tail_with_committed_and_uncommitted_txns_at_every_byte() {
+    let _guard = serial();
+    let dir = tmpdir("txn-torn");
+    let setup_end;
+    let committed_end;
+    {
+        let db = Database::open(&dir).unwrap();
+        let mut s = db.connect();
+        s.execute("CREATE TABLE t (id INT, tag TEXT)").unwrap();
+        for i in 0..3 {
+            s.execute(&format!("INSERT INTO t VALUES ({i}, 'base')"))
+                .unwrap();
+        }
+        setup_end = wal_len(&dir);
+
+        // Committed transaction: three rows then COMMIT (fsynced, so the
+        // file length here is exact).
+        let mut a = db.connect();
+        a.execute("BEGIN").unwrap();
+        for i in 10..13 {
+            a.execute(&format!("INSERT INTO t VALUES ({i}, 'committed')"))
+                .unwrap();
+        }
+        a.execute("COMMIT").unwrap();
+        committed_end = wal_len(&dir);
+
+        // In-flight transaction: DML appended, no terminator ever —
+        // the leaked session means not even an Abort reaches the log.
+        let mut b = db.connect();
+        b.execute("BEGIN").unwrap();
+        for i in 20..23 {
+            b.execute(&format!("INSERT INTO t VALUES ({i}, 'orphan')"))
+                .unwrap();
+        }
+        // Another session's group commit flushes the shared tail — B's
+        // buffered records reach disk without B ever committing, exactly
+        // the state a crash mid-transaction leaves behind.
+        db.engine().wal().unwrap().commit().unwrap();
+        std::mem::forget(b);
+    }
+    let wal_path = snapshot::wal_path(&dir);
+    let full = std::fs::read(&wal_path).unwrap();
+    assert!(
+        full.len() as u64 > committed_end,
+        "the uncommitted tail must be on disk for the cuts to mean anything"
+    );
+
+    for cut in setup_end..=full.len() as u64 {
+        std::fs::write(&wal_path, &full[..cut as usize]).unwrap();
+        let mut db = Database::open(&dir).unwrap();
+        let base = count(&mut db, "t");
+        let committed = db
+            .query("SELECT count(*) FROM t WHERE tag = 'committed'")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        let orphans = db
+            .query("SELECT count(*) FROM t WHERE tag = 'orphan'")
+            .unwrap()[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(orphans, 0, "cut at byte {cut}: orphan rows surfaced");
+        let expect_committed = if cut >= committed_end { 3 } else { 0 };
+        assert_eq!(
+            committed,
+            expect_committed,
+            "cut at byte {cut} of {}: committed txn is all-or-nothing at its Commit record",
+            full.len()
+        );
+        assert_eq!(base, 3 + expect_committed, "cut at byte {cut}");
+        drop(db);
+        // Reopening truncated the tear; restore the full log for the next cut.
+        std::fs::write(&wal_path, &full).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }

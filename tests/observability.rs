@@ -496,21 +496,26 @@ fn show_activity_observes_live_parallel_scan_from_second_session() {
         let deadline = Instant::now() + Duration::from_secs(10);
         while Instant::now() < deadline && !(saw_execute && saw_workers && saw_rows) {
             let shown = observer.execute("SHOW ACTIVITY").unwrap();
-            // Columns: session_id, query_id, stage, rows, workers,
+            // Columns: session_id, query_id, txn, stage, rows, workers,
             // elapsed_ms, sql.
             for row in &shown.rows {
-                let stage = row[2].as_text().unwrap();
-                let rows_so_far = row[3].as_int().unwrap();
-                let workers = row[4].as_int().unwrap();
-                let snippet = row[6].as_text().unwrap();
+                let stage = row[3].as_text().unwrap();
+                let rows_so_far = row[4].as_int().unwrap();
+                let workers = row[5].as_int().unwrap();
+                let snippet = row[7].as_text().unwrap();
                 if !snippet.contains("LEXEQUAL") {
                     continue; // the observer's own SHOW ACTIVITY row
                 }
                 saw_sql = true;
+                assert_eq!(
+                    row[2].as_int(),
+                    Some(0),
+                    "autocommit statements report txn = 0"
+                );
                 if stage == "execute" {
                     saw_execute = true;
                     assert!(
-                        row[5].as_float().unwrap() >= 0.0,
+                        row[6].as_float().unwrap() >= 0.0,
                         "elapsed must be non-negative"
                     );
                     assert!(row[1].as_int().unwrap() > 0, "query id assigned");

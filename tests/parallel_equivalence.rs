@@ -502,3 +502,85 @@ fn omega_interval_strategy_equivalent() {
     mural.sem.add_hyponym(history, fiction);
     check_all(&db);
 }
+
+/// MVCC pin under parallel execution: a snapshot taken before a parallel
+/// ψ scan starts must return the identical row set on every re-scan while
+/// another session commits matching rows mid-flight.  The worker threads
+/// all read through the transaction's visibility, so the result is frozen
+/// at BEGIN regardless of how morsels interleave with the writer's
+/// commits; fresh sessions see the new rows immediately, and the reader
+/// catches up the moment its transaction ends.
+#[test]
+fn snapshot_pins_parallel_scan_against_concurrent_commits() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (mut db, mural) = db();
+    load_names(&mut db, &mural, "names", 1500, 9);
+
+    let sql = "SELECT name FROM names WHERE name LEXEQUAL unitext('Nehru','English')";
+    let mut reader = db.connect();
+    reader.execute("SET parallel_workers = 4").unwrap();
+    reader.execute("SET lexequal.threshold = 2").unwrap();
+    reader.execute("BEGIN").unwrap();
+    let reference: Vec<String> = {
+        let mut rows: Vec<String> = reader
+            .query(sql)
+            .unwrap()
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect();
+        rows.sort();
+        rows
+    };
+
+    let stop = AtomicBool::new(false);
+    const EXTRA: usize = 30;
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        // Writer: commits a matching row every iteration from its own
+        // session while the reader re-scans inside its snapshot.
+        let writer = {
+            let mut w = db.connect();
+            scope.spawn(move || {
+                for i in 0..EXTRA {
+                    w.execute("INSERT INTO names VALUES (unitext('Nehru','English'))")
+                        .unwrap();
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        let mut scans = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let mut rows: Vec<String> = reader
+                .query(sql)
+                .unwrap()
+                .iter()
+                .map(|row| row[0].to_string())
+                .collect();
+            rows.sort();
+            assert_eq!(
+                rows, reference,
+                "parallel scan inside the snapshot diverged after {scans} re-scans"
+            );
+            scans += 1;
+        }
+        writer.join().unwrap();
+        assert!(scans > 0, "reader never completed a scan");
+    });
+
+    // Outside the snapshot the commits are all there: a fresh session
+    // counts them, and so does the reader once its transaction ends.
+    let expect = reference.len() + EXTRA;
+    let fresh = sorted_rows(&db, 4, &["SET lexequal.threshold = 2"], sql);
+    assert_eq!(fresh.len(), expect, "fresh session must see every commit");
+    reader.execute("COMMIT").unwrap();
+    let after: Vec<String> = reader
+        .query(sql)
+        .unwrap()
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect();
+    assert_eq!(after.len(), expect, "reader must catch up after COMMIT");
+}
